@@ -1,0 +1,174 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each group varies one methodological knob, measures the analysis cost,
+//! and prints the resulting Best/Short percentage so the *effect* of the
+//! choice is visible alongside its price:
+//!
+//! * `short_rule` — Short as "≤ model shortest" (our default; measured
+//!   paths can beat a partial topology) vs strict equality (DESIGN.md §5);
+//! * `psp_criteria` — criterion 1 vs criterion 2 (the paper's
+//!   aggressive-vs-conservative trade-off);
+//! * `refinements` — each refinement in isolation;
+//! * `vantage_count` — how collector coverage changes inferred-topology
+//!   size (the visibility driver behind most unexplained decisions);
+//! * `clique_candidates` — sensitivity of relationship inference to the
+//!   clique-seed pool size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_bgp::RoutingUniverse;
+use ir_core::classify::{Category, ClassifyConfig, Classifier, PspCriterion};
+use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use ir_inference::feeds::{self, FeedConfig};
+use ir_inference::relinfer::{infer_relationships, InferConfig};
+use ir_types::Asn;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+}
+
+fn best_short_pct(cfg: ClassifyConfig<'_>) -> f64 {
+    let s = scenario();
+    let mut c = Classifier::new(&s.inferred, cfg);
+    c.breakdown(&s.decisions).pct(Category::BestShort)
+}
+
+fn bench_short_rule(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!(
+        "short rule: lenient (≤) Best/Short = {:.1}% | strict (=) Best/Short = {:.1}%",
+        best_short_pct(ClassifyConfig::default()),
+        best_short_pct(ClassifyConfig { strict_short: true, ..ClassifyConfig::default() }),
+    );
+    let mut g = c.benchmark_group("ablation_short_rule");
+    g.bench_function("lenient", |b| {
+        b.iter(|| {
+            let mut cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.bench_function("strict", |b| {
+        b.iter(|| {
+            let cfg = ClassifyConfig { strict_short: true, ..ClassifyConfig::default() };
+            let mut cl = Classifier::new(&s.inferred, cfg);
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.finish();
+}
+
+fn bench_psp_criteria(c: &mut Criterion) {
+    let s = scenario();
+    let c1 = ClassifyConfig {
+        psp: Some((PspCriterion::One, &s.feed)),
+        ..ClassifyConfig::default()
+    };
+    let c2 = ClassifyConfig {
+        psp: Some((PspCriterion::Two, &s.feed)),
+        ..ClassifyConfig::default()
+    };
+    eprintln!(
+        "psp criteria: none = {:.1}% | criterion 1 = {:.1}% | criterion 2 = {:.1}% Best/Short",
+        best_short_pct(ClassifyConfig::default()),
+        best_short_pct(c1),
+        best_short_pct(c2),
+    );
+    let mut g = c.benchmark_group("ablation_psp");
+    g.sample_size(20);
+    g.bench_function("criterion1", |b| {
+        b.iter(|| {
+            let mut cl = Classifier::new(&s.inferred, c1);
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.bench_function("criterion2", |b| {
+        b.iter(|| {
+            let mut cl = Classifier::new(&s.inferred, c2);
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.finish();
+}
+
+fn bench_refinements(c: &mut Criterion) {
+    let s = scenario();
+    let sibs_only = ClassifyConfig { siblings: Some(&s.siblings), ..ClassifyConfig::default() };
+    let complex_only = ClassifyConfig { complex: Some(&s.complex), ..ClassifyConfig::default() };
+    eprintln!(
+        "refinements alone: none = {:.1}% | +sibs = {:.1}% | +complex = {:.1}% Best/Short",
+        best_short_pct(ClassifyConfig::default()),
+        best_short_pct(sibs_only),
+        best_short_pct(complex_only),
+    );
+    let mut g = c.benchmark_group("ablation_refinements");
+    g.bench_function("siblings_only", |b| {
+        b.iter(|| {
+            let mut cl = Classifier::new(&s.inferred, sibs_only);
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.bench_function("complex_only", |b| {
+        b.iter(|| {
+            let mut cl = Classifier::new(&s.inferred, complex_only);
+            black_box(cl.breakdown(&s.decisions))
+        })
+    });
+    g.finish();
+}
+
+fn bench_vantage_count(c: &mut Criterion) {
+    let s = scenario();
+    let universe = RoutingUniverse::compute_all(&s.world);
+    let mut g = c.benchmark_group("ablation_vantages");
+    g.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let cfg = FeedConfig { vantages: n, ..FeedConfig::default() };
+        let vantages = feeds::pick_vantages(&s.world, &cfg, 7);
+        let feed = feeds::extract_feed(&s.world, &universe, &vantages);
+        let paths: Vec<&[Asn]> = feed.paths().collect();
+        let db = infer_relationships(paths.clone(), &InferConfig::default());
+        eprintln!(
+            "vantages = {n}: inferred {} links of {} ground-truth",
+            db.len(),
+            s.world.graph.link_count()
+        );
+        g.bench_with_input(BenchmarkId::new("infer", n), &feed, |b, feed| {
+            b.iter(|| {
+                let paths: Vec<&[Asn]> = feed.paths().collect();
+                black_box(infer_relationships(paths, &InferConfig::default()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_clique_candidates(c: &mut Criterion) {
+    let s = scenario();
+    let mut g = c.benchmark_group("ablation_clique");
+    g.sample_size(20);
+    for k in [5usize, 10, 20, 40] {
+        let cfg = InferConfig { clique_candidates: k };
+        let paths: Vec<&[Asn]> = s.feed.paths().collect();
+        let db = infer_relationships(paths, &cfg);
+        eprintln!("clique_candidates = {k}: {} links inferred", db.len());
+        g.bench_with_input(BenchmarkId::new("infer", k), &cfg, |b, cfg| {
+            b.iter(|| {
+                let paths: Vec<&[Asn]> = s.feed.paths().collect();
+                black_box(infer_relationships(paths, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_short_rule,
+    bench_psp_criteria,
+    bench_refinements,
+    bench_vantage_count,
+    bench_clique_candidates
+);
+criterion_main!(ablations);

@@ -1,0 +1,50 @@
+//! Benchmarks for the beyond-the-paper extensions: the informed model
+//! (§7 future work), destination-based-routing consistency, and
+//! looking-glass topology augmentation (§1 suggestion). Each prints its
+//! result once so `cargo bench` output records the extension findings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+}
+
+fn bench_informed(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_informed::run(s, 40).render());
+    let mut g = c.benchmark_group("ext_informed_model");
+    g.sample_size(10);
+    g.bench_function("learn_and_evaluate", |b| {
+        b.iter(|| black_box(ir_experiments::exp_informed::run(black_box(s), 40)))
+    });
+    g.finish();
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_consistency::run(s).render());
+    let mut g = c.benchmark_group("ext_consistency");
+    g.sample_size(10);
+    g.bench_function("campaign_plus_clean_control", |b| {
+        b.iter(|| black_box(ir_experiments::exp_consistency::run(black_box(s))))
+    });
+    g.finish();
+}
+
+fn bench_lg_augment(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_lg_augment::run(s, 25).render());
+    let mut g = c.benchmark_group("ext_lg_augment");
+    g.sample_size(10);
+    g.bench_function("gather_reinfer_reclassify", |b| {
+        b.iter(|| black_box(ir_experiments::exp_lg_augment::run(black_box(s), 25)))
+    });
+    g.finish();
+}
+
+criterion_group!(extensions, bench_informed, bench_consistency, bench_lg_augment);
+criterion_main!(extensions);

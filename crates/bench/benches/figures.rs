@@ -1,0 +1,55 @@
+//! Benchmarks regenerating every *figure* of the paper (Figures 1–3).
+//!
+//! As with the table benches, each prints its regenerated figure data once
+//! so `cargo bench` output doubles as a reproduction transcript.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_fig1::run(s).render());
+    let mut g = c.benchmark_group("fig1_refinement_pipeline");
+    g.sample_size(10);
+    g.bench_function("all_seven_variants", |b| {
+        b.iter(|| black_box(ir_experiments::exp_fig1::run(black_box(s))))
+    });
+    // The single-variant baseline for scaling context.
+    g.bench_function("simple_variant_only", |b| {
+        b.iter(|| {
+            let inputs = s.refine_inputs();
+            black_box(inputs.run(
+                &s.inferred,
+                &s.decisions,
+                ir_core::refine::Variant::Simple,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_fig2::run(s).render());
+    c.bench_function("fig2_violation_skew", |b| {
+        b.iter(|| black_box(ir_experiments::exp_fig2::run(black_box(s))))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_fig3::run(s).render());
+    c.bench_function("fig3_continental_breakdown", |b| {
+        b.iter(|| black_box(ir_experiments::exp_fig3::run(black_box(s))))
+    });
+}
+
+criterion_group!(figures, bench_fig1, bench_fig2, bench_fig3);
+criterion_main!(figures);

@@ -1,0 +1,137 @@
+//! Microbenchmarks of the substrates everything else stands on: world
+//! generation, BGP convergence, the valley-free model computation,
+//! relationship inference, traceroute, and IP→AS conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_bgp::{Announcement, PrefixSim, RoutingUniverse};
+use ir_core::grmodel::GrModel;
+use ir_dataplane::{AddressPlan, OriginTable, TraceConfig, Tracer};
+use ir_inference::feeds::{self, FeedConfig};
+use ir_inference::relinfer::{infer_relationships, InferConfig};
+use ir_inference::SiblingGroups;
+use ir_topology::{GeneratorConfig, World};
+use ir_types::{Asn, Prefix, Timestamp};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| GeneratorConfig::tiny().build(7))
+}
+
+fn universe() -> &'static RoutingUniverse {
+    static U: OnceLock<RoutingUniverse> = OnceLock::new();
+    U.get_or_init(|| RoutingUniverse::compute_all(world()))
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.sample_size(20);
+    g.bench_function("tiny_world", |b| {
+        b.iter(|| black_box(GeneratorConfig::tiny().build(black_box(7))))
+    });
+    g.bench_function("paper_world", |b| {
+        b.iter(|| black_box(GeneratorConfig::default().build(black_box(7))))
+    });
+    g.finish();
+}
+
+fn bench_bgp_convergence(c: &mut Criterion) {
+    let w = world();
+    let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+    let mut g = c.benchmark_group("bgp");
+    g.bench_function("single_prefix_convergence", |b| {
+        b.iter(|| {
+            let mut sim = PrefixSim::new(w, prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            black_box(sim.best(0).cloned())
+        })
+    });
+    g.bench_function("poisoned_reconvergence", |b| {
+        let mut sim = PrefixSim::new(w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let first_hop = (0..w.graph.len())
+            .find_map(|x| sim.best(x).and_then(|r| r.learned_from))
+            .unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 5400;
+            let mut ann = Announcement::plain(origin, prefix);
+            ann.poison = vec![first_hop];
+            sim.announce(ann, Timestamp(t));
+            t += 5400;
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            black_box(sim.clock())
+        })
+    });
+    g.sample_size(10);
+    let prefixes: Vec<Prefix> = w.graph.nodes().iter().map(|n| n.prefixes[0]).collect();
+    g.bench_function(BenchmarkId::new("universe_compute", prefixes.len()), |b| {
+        b.iter(|| black_box(RoutingUniverse::compute(w, &prefixes)))
+    });
+    g.finish();
+}
+
+fn bench_grmodel(c: &mut Criterion) {
+    let w = world();
+    let vantages = feeds::pick_vantages(w, &FeedConfig::default(), 7);
+    let feed = feeds::extract_feed(w, universe(), &vantages);
+    let paths: Vec<&[Asn]> = feed.paths().collect();
+    let db = infer_relationships(paths, &InferConfig::default());
+    let model = GrModel::new(&db);
+    let dest = w.content.providers()[0].origin_asns[0];
+    let mut g = c.benchmark_group("grmodel");
+    g.bench_function("index_topology", |b| b.iter(|| black_box(GrModel::new(black_box(&db)))));
+    g.bench_function("routes_to_one_destination", |b| {
+        b.iter(|| black_box(model.routes_to(black_box(dest))))
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let w = world();
+    let vantages = feeds::pick_vantages(w, &FeedConfig::default(), 7);
+    let feed = feeds::extract_feed(w, universe(), &vantages);
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(20);
+    g.bench_function("relationships_from_feed", |b| {
+        b.iter(|| {
+            let paths: Vec<&[Asn]> = feed.paths().collect();
+            black_box(infer_relationships(paths, &InferConfig::default()))
+        })
+    });
+    g.bench_function("sibling_groups_from_whois", |b| {
+        b.iter(|| black_box(SiblingGroups::infer(black_box(&w.orgs))))
+    });
+    g.finish();
+}
+
+fn bench_dataplane(c: &mut Criterion) {
+    let w = world();
+    let u = universe();
+    let plan = AddressPlan::build(w);
+    let tracer = Tracer::new(w, u, &plan, TraceConfig::default(), 7);
+    let table = OriginTable::from_universe(u);
+    let src = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap().asn;
+    let dst = w.content.providers()[0].deployments[0].server_ip();
+    let tr = tracer.run(src, dst);
+    let mut g = c.benchmark_group("dataplane");
+    g.bench_function("traceroute", |b| {
+        b.iter(|| black_box(tracer.run(black_box(src), black_box(dst))))
+    });
+    g.bench_function("ip2as_conversion", |b| {
+        b.iter(|| black_box(ir_dataplane::as_path_of(black_box(&tr), black_box(&table))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_generator,
+    bench_bgp_convergence,
+    bench_grmodel,
+    bench_inference,
+    bench_dataplane
+);
+criterion_main!(substrates);

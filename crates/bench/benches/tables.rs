@@ -1,0 +1,85 @@
+//! Benchmarks regenerating every *table* of the paper (Tables 1–4 plus the
+//! §4.3 validation and §4.4 alternate-route statistics).
+//!
+//! Each benchmark measures the analysis cost over a prebuilt scenario and
+//! prints the regenerated table once, so `cargo bench` output doubles as a
+//! reproduction transcript. Absolute numbers come from the synthetic
+//! substrate; the shapes are compared against the paper in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_table1::run(s).render());
+    c.bench_function("table1_probe_distribution", |b| {
+        b.iter(|| black_box(ir_experiments::exp_table1::run(black_box(s))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_table2::run(s).render());
+    let mut g = c.benchmark_group("table2_magnet");
+    g.sample_size(10);
+    g.bench_function("magnet_runs_and_attribution", |b| {
+        b.iter(|| black_box(ir_experiments::exp_table2::run(black_box(s))))
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_table3::run(s).render());
+    c.bench_function("table3_domestic_paths", |b| {
+        b.iter(|| black_box(ir_experiments::exp_table3::run(black_box(s))))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_table4::run(s).render());
+    c.bench_function("table4_undersea_cables", |b| {
+        b.iter(|| black_box(ir_experiments::exp_table4::run(black_box(s))))
+    });
+}
+
+fn bench_alternates(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_alternates::run(s, 30).render());
+    let mut g = c.benchmark_group("sec44_alternates");
+    g.sample_size(10);
+    g.bench_function("discovery_and_order_check", |b| {
+        b.iter(|| black_box(ir_experiments::exp_alternates::run(black_box(s), 30)))
+    });
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let s = scenario();
+    eprintln!("{}", ir_experiments::exp_validation::run(s, 10).render());
+    let mut g = c.benchmark_group("sec43_validation");
+    g.sample_size(10);
+    g.bench_function("psp_cases_and_looking_glasses", |b| {
+        b.iter(|| black_box(ir_experiments::exp_validation::run(black_box(s), 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_alternates,
+    bench_validation
+);
+criterion_main!(tables);

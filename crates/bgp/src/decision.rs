@@ -1,0 +1,234 @@
+//! The BGP decision process.
+//!
+//! The comparison order mirrors the Cisco best-path algorithm subset the
+//! paper reasons about (§3.2, Table 2):
+//!
+//! 1. highest local preference (relationship tiers + policy deltas),
+//! 2. shortest AS-path length (an AS-set counts as one hop),
+//! 3. lowest IGP cost to the exit ("intradomain tie-breaker" / hot potato),
+//! 4. oldest route,
+//! 5. lowest neighbor ASN (router-id proxy).
+//!
+//! Origin code and MED are skipped: all synthetic routes share them, just
+//! as the paper's analysis never needs them.
+
+use crate::route::Route;
+use std::cmp::Ordering;
+
+/// Which decision step selected a route over the runner-up. This is the
+/// ground truth that the paper's magnet experiment (§3.2) tries to infer
+/// from the outside; `ir-core::magnet` checks its inferences against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DecisionStep {
+    /// Route won on local preference.
+    LocalPref,
+    /// Tied on pref; won on AS-path length.
+    PathLength,
+    /// Tied further; won on IGP cost.
+    IgpCost,
+    /// Tied further; won on route age.
+    RouteAge,
+    /// Fell through to the neighbor-ASN (router-id) tie-breaker.
+    RouterId,
+    /// Only one candidate existed.
+    OnlyRoute,
+}
+
+/// Returns `Ordering::Less` when `a` is **better** than `b`.
+pub fn compare(a: &Route, b: &Route) -> Ordering {
+    // 1. Local preference, higher wins.
+    b.local_pref
+        .cmp(&a.local_pref)
+        // 2. Path length, shorter wins.
+        .then_with(|| a.path.len().cmp(&b.path.len()))
+        // 3. IGP cost, lower wins.
+        .then_with(|| a.igp_cost.cmp(&b.igp_cost))
+        // 4. Route age, older (smaller timestamp) wins.
+        .then_with(|| a.age.cmp(&b.age))
+        // 5. Router id: lower neighbor ASN wins; local routes (None) first.
+        .then_with(|| a.learned_from.cmp(&b.learned_from))
+        // Total order fallback for determinism (sessions to the same
+        // neighbor in different cities).
+        .then_with(|| a.entry_city.cmp(&b.entry_city))
+}
+
+/// Picks the best route among candidates; also reports which decision step
+/// separated it from the runner-up.
+pub fn select<'r>(candidates: &'r [Route]) -> Option<(&'r Route, DecisionStep)> {
+    let best = candidates.iter().min_by(|a, b| compare(a, b))?;
+    if candidates.len() == 1 {
+        return Some((best, DecisionStep::OnlyRoute));
+    }
+    let runner_up = candidates
+        .iter()
+        .filter(|r| !std::ptr::eq(*r, best))
+        .min_by(|a, b| compare(a, b))
+        .expect("≥2 candidates");
+    let step = if best.local_pref != runner_up.local_pref {
+        DecisionStep::LocalPref
+    } else if best.path.len() != runner_up.path.len() {
+        DecisionStep::PathLength
+    } else if best.igp_cost != runner_up.igp_cost {
+        DecisionStep::IgpCost
+    } else if best.age != runner_up.age {
+        DecisionStep::RouteAge
+    } else {
+        DecisionStep::RouterId
+    };
+    Some((best, step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::AsPath;
+    use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
+
+    fn route(pref: i32, hops: &[u32], igp: u32, age: u64, from: u32) -> Route {
+        let mut path = AsPath::origin(Asn(hops[hops.len() - 1]));
+        for h in hops[..hops.len() - 1].iter().rev() {
+            path = path.prepend(Asn(*h));
+        }
+        Route {
+            prefix: "10.0.0.0/24".parse::<Prefix>().unwrap(),
+            path,
+            learned_from: Some(Asn(from)),
+            entry_city: Some(CityId(0)),
+            rel: Some(Relationship::Peer),
+            local_pref: pref,
+            igp_cost: igp,
+            age: Timestamp(age),
+            }
+    }
+
+    #[test]
+    fn local_pref_dominates_shorter_path() {
+        let a = route(300, &[1, 2, 3, 4], 9, 9, 9);
+        let b = route(200, &[1, 2], 1, 1, 1);
+        assert_eq!(compare(&a, &b), Ordering::Less);
+        let cands = [a.clone(), b];
+        let (best, step) = select(&cands).unwrap();
+        assert_eq!(best, &a);
+        assert_eq!(step, DecisionStep::LocalPref);
+    }
+
+    #[test]
+    fn path_length_then_igp_then_age_then_routerid() {
+        let long = route(200, &[1, 2, 3], 1, 1, 1);
+        let short = route(200, &[1, 2], 9, 9, 9);
+        let cands = [long, short];
+        assert_eq!(select(&cands).unwrap().1, DecisionStep::PathLength);
+
+        let cheap = route(200, &[1, 2], 1, 9, 9);
+        let costly = route(200, &[1, 2], 5, 1, 1);
+        let cands = [costly, cheap.clone()];
+        let (best, step) = select(&cands).unwrap();
+        assert_eq!((best, step), (&cheap, DecisionStep::IgpCost));
+
+        let old = route(200, &[1, 2], 5, 1, 9);
+        let new = route(200, &[1, 2], 5, 2, 1);
+        let cands = [new, old.clone()];
+        let sel = select(&cands).unwrap();
+        assert_eq!(sel.0, &old);
+        assert_eq!(sel.1, DecisionStep::RouteAge);
+
+        let lo = route(200, &[1, 2], 5, 1, 3);
+        let hi = route(200, &[9, 2], 5, 1, 9);
+        let cands = [hi, lo.clone()];
+        let sel = select(&cands).unwrap();
+        assert_eq!(sel.0, &lo);
+        assert_eq!(sel.1, DecisionStep::RouterId);
+    }
+
+    #[test]
+    fn single_candidate_is_only_route() {
+        let r = route(100, &[1], 1, 1, 1);
+        assert_eq!(select(std::slice::from_ref(&r)).unwrap().1, DecisionStep::OnlyRoute);
+        assert!(select(&[]).is_none());
+    }
+
+    #[test]
+    fn comparison_is_a_total_order() {
+        let rs = [
+            route(300, &[1, 2], 1, 1, 1),
+            route(200, &[1, 2], 1, 1, 1),
+            route(200, &[1, 2, 3], 1, 1, 1),
+            route(200, &[1, 2], 2, 1, 1),
+            route(200, &[1, 2], 1, 5, 1),
+            route(200, &[1, 2], 1, 1, 7),
+        ];
+        // Antisymmetry + transitivity smoke check via sort stability.
+        let mut sorted = rs.to_vec();
+        sorted.sort_by(compare);
+        for w in sorted.windows(2) {
+            assert_ne!(compare(&w[0], &w[1]), Ordering::Greater);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::path::AsPath;
+    use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
+    use proptest::prelude::*;
+
+    prop_compose! {
+        fn arb_route()(
+            pref in -500i32..1500,
+            hops in 1usize..6,
+            igp in 0u32..12,
+            age in 0u64..1000,
+            from in proptest::option::of(1u32..50),
+            city in proptest::option::of(0u16..8),
+        ) -> Route {
+            let mut path = AsPath::origin(Asn(9_999));
+            for h in 0..hops.saturating_sub(1) {
+                path = path.prepend(Asn(100 + h as u32));
+            }
+            Route {
+                prefix: "10.0.0.0/24".parse::<Prefix>().unwrap(),
+                path,
+                learned_from: from.map(Asn),
+                entry_city: city.map(CityId),
+                rel: Some(Relationship::Peer),
+                local_pref: pref,
+                igp_cost: igp,
+                age: Timestamp(age),
+            }
+        }
+    }
+
+    proptest! {
+        /// `compare` is a strict weak ordering usable by `sort_by`:
+        /// antisymmetric and transitive over arbitrary routes.
+        #[test]
+        fn compare_is_consistent(a in arb_route(), b in arb_route(), c in arb_route()) {
+            use Ordering::*;
+            // Antisymmetry.
+            match compare(&a, &b) {
+                Less => prop_assert_eq!(compare(&b, &a), Greater),
+                Greater => prop_assert_eq!(compare(&b, &a), Less),
+                Equal => prop_assert_eq!(compare(&b, &a), Equal),
+            }
+            // Transitivity (≤ chains).
+            if compare(&a, &b) != Greater && compare(&b, &c) != Greater {
+                prop_assert_ne!(compare(&a, &c), Greater);
+            }
+        }
+
+        /// `select` always returns the minimum under `compare`, and the
+        /// reported decision step names an attribute that genuinely
+        /// separates best from runner-up.
+        #[test]
+        fn select_returns_the_minimum(routes in proptest::collection::vec(arb_route(), 1..8)) {
+            let (best, step) = select(&routes).expect("non-empty");
+            for r in &routes {
+                prop_assert_ne!(compare(r, best), Ordering::Less, "{:?} beats selected", r);
+            }
+            if routes.len() == 1 {
+                prop_assert_eq!(step, DecisionStep::OnlyRoute);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic path-vector (BGP) simulator.
+//!
+//! This crate is the control-plane substrate of the reproduction. It
+//! implements:
+//!
+//! * AS paths with `AS_SEQUENCE`/`AS_SET` segments — AS-sets are how the
+//!   paper's PEERING experiments wrap poisoned ASNs (§3.2);
+//! * the BGP decision process in the order the paper reverse-engineers
+//!   (Table 2): local preference → AS-path length → intradomain (IGP) cost
+//!   → route age → neighbor ASN as the router-id proxy;
+//! * Gao–Rexford import/export policy plus every ground-truth deviation the
+//!   topology's [`PolicySpec`](ir_topology::policy::PolicySpec) can express
+//!   (selective announcement, partial transit, per-neighbor preference
+//!   deltas, domestic-path preference, hybrid per-city relationships);
+//! * BGP loop prevention, which is what makes poisoning work — and its
+//!   per-AS opt-outs, which is what makes poisoning *fail* in the ways §4.4
+//!   describes;
+//! * a synchronous-rounds fixpoint engine per prefix ([`sim::PrefixSim`])
+//!   and a rayon-parallel multi-prefix layer ([`universe`]).
+//!
+//! Hybrid relationships are modeled the way they arise operationally: a
+//! link interconnecting in two cities is **two BGP sessions**, each with the
+//! relationship in force at its city. A route therefore remembers the city
+//! it entered through, which the data plane later geolocates.
+
+pub mod decision;
+pub mod path;
+pub mod policy_eval;
+pub mod route;
+pub mod sim;
+pub mod universe;
+
+pub use path::{AsPath, Segment};
+pub use route::Route;
+pub use sim::{Announcement, Convergence, PrefixSim};
+pub use universe::RoutingUniverse;

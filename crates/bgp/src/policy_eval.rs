@@ -1,0 +1,325 @@
+//! Import/export policy evaluation against the ground-truth
+//! [`ir_topology::World`].
+//!
+//! Local-preference tiers follow Gao–Rexford (customer 300 / peer 200 /
+//! provider 100), then the world's per-AS deviations are layered on top:
+//! per-neighbor deltas, a +1000 domestic tier, a −400 backup-link penalty.
+
+use crate::path::AsPath;
+use crate::route::Route;
+use ir_types::{CityId, Prefix, Relationship, Timestamp};
+use ir_topology::graph::{LinkKind, NodeIdx};
+use ir_topology::policy::TransitScope;
+use ir_topology::World;
+
+/// Base local preference for a relationship tier.
+pub fn base_pref(rel: Relationship) -> i32 {
+    match rel {
+        Relationship::Customer | Relationship::Sibling => 300,
+        Relationship::Peer => 200,
+        Relationship::Provider => 100,
+    }
+}
+
+/// Bonus granted to all-domestic routes by ASes with `domestic_pref`.
+pub const DOMESTIC_BONUS: i32 = 1000;
+
+/// Penalty applied to routes arriving over a [`LinkKind::Backup`] link.
+pub const BACKUP_PENALTY: i32 = -400;
+
+/// Policy evaluator bound to a world.
+pub struct PolicyEngine<'w> {
+    world: &'w World,
+}
+
+impl<'w> PolicyEngine<'w> {
+    /// Binds the engine to a world.
+    pub fn new(world: &'w World) -> Self {
+        PolicyEngine { world }
+    }
+
+    /// Whether every AS on `path` is registered in `country_of` `me`'s home
+    /// country (the condition for the §6 domestic-path preference).
+    pub fn path_is_domestic(&self, me: NodeIdx, path: &AsPath) -> bool {
+        let home = self.world.graph.node(me).home_country;
+        path.asns().all(|asn| {
+            self.world
+                .graph
+                .index_of(asn)
+                .map(|i| self.world.graph.node(i).home_country == home)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Import filter + attribute computation for a route announced by
+    /// neighbor `from` over the session at `city` with relationship `rel`
+    /// (of `from`, as seen from `me`, hybrid-resolved by the caller).
+    ///
+    /// Returns `None` when the announcement is rejected (loop prevention,
+    /// AS-set filtering).
+    #[allow(clippy::too_many_arguments)]
+    pub fn import(
+        &self,
+        me: NodeIdx,
+        from: NodeIdx,
+        city: CityId,
+        rel: Relationship,
+        kind: LinkKind,
+        prefix: Prefix,
+        path: &AsPath,
+        igp_cost: u32,
+        clock: Timestamp,
+    ) -> Option<Route> {
+        let me_node = self.world.graph.node(me);
+        let policy = self.world.policy(me);
+
+        // BGP loop prevention. A real routing loop (own ASN in a sequence
+        // segment) is always rejected; ASes with `no_loop_prevention` skip
+        // only the AS-*set* check, which is precisely what makes poisoning
+        // ineffective against them (§4.4 "Limitations") without letting the
+        // control plane converge onto genuine loops.
+        if path.sequence_asns().contains(&me_node.asn) {
+            return None;
+        }
+        if !policy.no_loop_prevention && path.contains(me_node.asn) {
+            return None;
+        }
+        // Poisoned-announcement filtering (§4.4 "Limitations").
+        if policy.filters_as_sets && path.has_set() {
+            return None;
+        }
+
+        let mut pref = base_pref(rel);
+        pref += i32::from(policy.pref_delta(self.world.graph.asn(from)));
+        if kind == LinkKind::Backup {
+            pref += BACKUP_PENALTY;
+        }
+        if policy.domestic_pref && self.path_is_domestic(me, path) {
+            pref += DOMESTIC_BONUS;
+        }
+
+        Some(Route {
+            prefix,
+            path: path.clone(),
+            learned_from: Some(self.world.graph.asn(from)),
+            entry_city: Some(city),
+            rel: Some(rel),
+            local_pref: pref,
+            igp_cost,
+            age: clock,
+        })
+    }
+
+    /// Export filter: may `me` announce its current `route` to neighbor
+    /// `to`, whose relationship over the session in question is `rel_to`?
+    ///
+    /// Checks, in order: Gao–Rexford export (driven by the class the route
+    /// was learned on), partial transit, and — for locally-originated
+    /// routes — the origin's selective-announcement table.
+    pub fn may_export(
+        &self,
+        me: NodeIdx,
+        route: &Route,
+        to: NodeIdx,
+        rel_to: Relationship,
+    ) -> bool {
+        let policy = self.world.policy(me);
+        let to_asn = self.world.graph.asn(to);
+
+        // Class the route was learned on; local originations export freely.
+        if let Some(learned_rel) = route.rel {
+            if !learned_rel.exportable_to(rel_to) {
+                return false;
+            }
+            // Partial transit: `to` only gets customer-learned routes.
+            if policy.transit_scope(to_asn) == TransitScope::CustomerRoutesOnly
+                && !matches!(learned_rel, Relationship::Customer | Relationship::Sibling)
+            {
+                return false;
+            }
+        } else {
+            // Origin-side prefix-specific policy (§4.3).
+            if !policy.may_announce(&route.prefix, to_asn) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+    use ir_types::Asn;
+
+    fn world() -> World {
+        GeneratorConfig::tiny().build(1)
+    }
+
+    #[test]
+    fn loop_prevention_rejects_own_asn() {
+        let w = world();
+        let eng = PolicyEngine::new(&w);
+        // Find an AS with loop prevention enabled and one without.
+        let me = (0..w.graph.len()).find(|&i| !w.policy(i).no_loop_prevention).unwrap();
+        let from = w.graph.links(me)[0].peer;
+        let city = w.graph.links(me)[0].cities[0];
+        let my_asn = w.graph.asn(me);
+        let looped = AsPath::origin(Asn(9_999_999)).prepend(my_asn);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert!(eng
+            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &looped, 1, Timestamp(0))
+            .is_none());
+        let clean = AsPath::origin(Asn(9_999_999));
+        assert!(eng
+            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &clean, 1, Timestamp(0))
+            .is_some());
+    }
+
+    #[test]
+    fn as_set_filtering() {
+        let mut w = world();
+        let me = 0;
+        w.policies[me].filters_as_sets = true;
+        w.policies[me].no_loop_prevention = false;
+        let eng = PolicyEngine::new(&w);
+        let from = w.graph.links(me)[0].peer;
+        let city = w.graph.links(me)[0].cities[0];
+        let poisoned = AsPath::poisoned(Asn(9_999_999), &[Asn(123)]);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert!(eng
+            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &poisoned, 1, Timestamp(0))
+            .is_none());
+    }
+
+    #[test]
+    fn pref_tiers_and_deltas() {
+        let mut w = world();
+        let me = 0;
+        let from = w.graph.links(me)[0].peer;
+        let from_asn = w.graph.asn(from);
+        w.policies[me].neighbor_pref.insert(from_asn, -150);
+        w.policies[me].domestic_pref = false;
+        let eng = PolicyEngine::new(&w);
+        let city = w.graph.links(me)[0].cities[0];
+        let path = AsPath::origin(Asn(9_999_999));
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let r = eng
+            .import(me, from, city, Relationship::Customer, LinkKind::Normal, pfx, &path, 1, Timestamp(0))
+            .unwrap();
+        assert_eq!(r.local_pref, 300 - 150);
+        let r = eng
+            .import(me, from, city, Relationship::Provider, LinkKind::Backup, pfx, &path, 1, Timestamp(0))
+            .unwrap();
+        assert_eq!(r.local_pref, 100 - 150 + BACKUP_PENALTY);
+    }
+
+    #[test]
+    fn domestic_bonus_applies_to_domestic_paths_only() {
+        let mut w = world();
+        // Pick an AS and a neighbor in the same country if possible.
+        let me = (0..w.graph.len())
+            .find(|&i| {
+                w.graph.links(i).iter().any(|l| {
+                    w.graph.node(l.peer).home_country == w.graph.node(i).home_country
+                })
+            })
+            .expect("some intra-country link exists");
+        let link = w
+            .graph
+            .links(me)
+            .iter()
+            .find(|l| w.graph.node(l.peer).home_country == w.graph.node(me).home_country)
+            .unwrap()
+            .clone();
+        w.policies[me].domestic_pref = true;
+        let eng = PolicyEngine::new(&w);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let domestic_path = AsPath::origin(w.graph.asn(link.peer));
+        let r = eng
+            .import(
+                me, link.peer, link.cities[0], Relationship::Peer, LinkKind::Normal,
+                pfx, &domestic_path, 1, Timestamp(0),
+            )
+            .unwrap();
+        assert_eq!(r.local_pref, 200 + DOMESTIC_BONUS);
+        // A path containing an unknown (foreign) ASN gets no bonus.
+        let foreign_path = domestic_path.prepend(Asn(9_999_999));
+        let r2 = eng
+            .import(
+                me, link.peer, link.cities[0], Relationship::Peer, LinkKind::Normal,
+                pfx, &foreign_path, 1, Timestamp(0),
+            )
+            .unwrap();
+        assert_eq!(r2.local_pref, 200);
+    }
+
+    #[test]
+    fn gao_rexford_export_enforced() {
+        let w = world();
+        let eng = PolicyEngine::new(&w);
+        let me = 0;
+        let to = w.graph.links(me)[0].peer;
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let mk = |rel: Relationship| Route {
+            prefix: pfx,
+            path: AsPath::origin(Asn(42)),
+            learned_from: Some(Asn(42)),
+            entry_city: None,
+            rel: Some(rel),
+            local_pref: 100,
+            igp_cost: 1,
+            age: Timestamp(0),
+        };
+        // Peer-learned routes only go to customers/siblings.
+        assert!(!eng.may_export(me, &mk(Relationship::Peer), to, Relationship::Peer));
+        assert!(eng.may_export(me, &mk(Relationship::Peer), to, Relationship::Customer));
+        // Customer-learned routes go anywhere.
+        assert!(eng.may_export(me, &mk(Relationship::Customer), to, Relationship::Provider));
+    }
+
+    #[test]
+    fn partial_transit_limits_customer() {
+        let mut w = world();
+        let me = 0;
+        let to = w.graph.links(me)[0].peer;
+        let to_asn = w.graph.asn(to);
+        w.policies[me].partial_transit.insert(to_asn, TransitScope::CustomerRoutesOnly);
+        let eng = PolicyEngine::new(&w);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let provider_route = Route {
+            prefix: pfx,
+            path: AsPath::origin(Asn(42)),
+            learned_from: Some(Asn(42)),
+            entry_city: None,
+            rel: Some(Relationship::Provider),
+            local_pref: 100,
+            igp_cost: 1,
+            age: Timestamp(0),
+        };
+        // Even though `to` is a customer, provider-learned routes are withheld.
+        assert!(!eng.may_export(me, &provider_route, to, Relationship::Customer));
+        let customer_route = Route { rel: Some(Relationship::Customer), ..provider_route };
+        assert!(eng.may_export(me, &customer_route, to, Relationship::Customer));
+    }
+
+    #[test]
+    fn selective_announce_blocks_origin_export() {
+        let mut w = world();
+        let me = 0;
+        let to = w.graph.links(me)[0].peer;
+        let other = w.graph.links(me).iter().map(|l| l.peer).find(|&p| p != to);
+        let pfx = w.graph.node(me).prefixes[0];
+        let to_asn = w.graph.asn(to);
+        w.policies[me]
+            .selective_announce
+            .insert(pfx, [to_asn].into_iter().collect());
+        let eng = PolicyEngine::new(&w);
+        let local = Route::originate(pfx, AsPath::origin(w.graph.asn(me)), Timestamp(0));
+        assert!(eng.may_export(me, &local, to, Relationship::Customer));
+        if let Some(other) = other {
+            assert!(!eng.may_export(me, &local, other, Relationship::Customer));
+        }
+    }
+}

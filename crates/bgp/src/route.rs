@@ -1,0 +1,97 @@
+//! Routes as installed at an AS.
+
+use crate::path::AsPath;
+use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A route for a prefix as selected/installed at one AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// AS path as received (this AS's own number is *not* prepended).
+    pub path: AsPath,
+    /// Neighbor ASN the route was learned from, `None` if locally
+    /// originated.
+    pub learned_from: Option<Asn>,
+    /// Interconnection city of the session the route arrived on (`None` for
+    /// local originations). The data plane geolocates this; hybrid
+    /// relationships key off it.
+    pub entry_city: Option<CityId>,
+    /// Relationship of the announcing neighbor *at the entry city* (hybrid
+    /// aware), as evaluated at import time. `None` for local originations.
+    pub rel: Option<Relationship>,
+    /// Computed local preference (relationship tier + policy deltas +
+    /// domestic bonus).
+    pub local_pref: i32,
+    /// IGP cost to the session's interconnection point (hot-potato input).
+    pub igp_cost: u32,
+    /// Logical time this route was installed as best at this AS.
+    pub age: Timestamp,
+}
+
+impl Route {
+    /// A locally-originated route (possibly poisoned).
+    pub fn originate(prefix: Prefix, path: AsPath, at: Timestamp) -> Route {
+        Route {
+            prefix,
+            path,
+            learned_from: None,
+            entry_city: None,
+            rel: None,
+            local_pref: i32::MAX, // local routes beat everything
+            igp_cost: 0,
+            age: at,
+        }
+    }
+
+    /// Whether this is a local origination.
+    pub fn is_local(&self) -> bool {
+        self.learned_from.is_none()
+    }
+
+    /// Identity for route-age bookkeeping: a route "stays the same" (and
+    /// keeps its age) iff it came over the same session with the same path.
+    pub fn same_route(&self, other: &Route) -> bool {
+        self.learned_from == other.learned_from
+            && self.entry_city == other.entry_city
+            && self.path == other.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx() -> Prefix {
+        "10.0.0.0/24".parse().unwrap()
+    }
+
+    #[test]
+    fn origination_is_local_and_unbeatable() {
+        let r = Route::originate(pfx(), AsPath::origin(Asn(1)), Timestamp(5));
+        assert!(r.is_local());
+        assert_eq!(r.local_pref, i32::MAX);
+        assert_eq!(r.age, Timestamp(5));
+    }
+
+    #[test]
+    fn same_route_ignores_age_and_pref() {
+        let a = Route {
+            prefix: pfx(),
+            path: AsPath::origin(Asn(1)),
+            learned_from: Some(Asn(2)),
+            entry_city: Some(CityId(3)),
+            rel: Some(Relationship::Peer),
+            local_pref: 200,
+            igp_cost: 4,
+            age: Timestamp(1),
+        };
+        let mut b = a.clone();
+        b.age = Timestamp(99);
+        b.local_pref = 100;
+        assert!(a.same_route(&b));
+        b.entry_city = Some(CityId(4));
+        assert!(!a.same_route(&b));
+    }
+}

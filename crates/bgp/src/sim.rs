@@ -1,0 +1,586 @@
+//! Per-prefix route-propagation engine.
+//!
+//! Propagation runs in deterministic Gauss–Seidel sweeps: every AS, in a
+//! fixed round-robin order, recomputes its best route from its neighbors'
+//! *current* selections, filtered through export and import policy. A
+//! fixpoint is reached when a full sweep changes nothing; round-robin is a
+//! fair activation sequence, under which safe (dispute-free) policies
+//! provably converge, and a sweep cap turns any genuine dispute wheel into
+//! a reported non-convergence instead of a hang.
+//!
+//! The engine models exactly the announcement shapes the paper's PEERING
+//! experiments use (§3.2): plain originations, **poisoned** originations
+//! (AS-set sandwich), and originations restricted to a subset of the
+//! origin's providers (`via` — how a prefix is announced "from" particular
+//! mux locations), plus withdrawals. Events carry logical timestamps so
+//! route age is meaningful (the magnet experiment's last tie-breaker).
+
+use crate::decision;
+use crate::path::AsPath;
+use crate::policy_eval::PolicyEngine;
+use crate::route::Route;
+use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
+use ir_topology::graph::{LinkKind, NodeIdx};
+use ir_topology::World;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An origination event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// Originating AS.
+    pub origin: Asn,
+    /// Prefix announced.
+    pub prefix: Prefix,
+    /// If set, the origin only exports the prefix to these neighbors
+    /// (PEERING announcing "via" a subset of its university muxes).
+    pub via: Option<BTreeSet<Asn>>,
+    /// ASNs to poison (inserted as an AS-set surrounded by the origin).
+    pub poison: Vec<Asn>,
+}
+
+impl Announcement {
+    /// Plain announcement from `origin` to all neighbors.
+    pub fn plain(origin: Asn, prefix: Prefix) -> Announcement {
+        Announcement { origin, prefix, via: None, poison: Vec::new() }
+    }
+
+    /// The origination path this announcement produces.
+    pub fn origination_path(&self) -> AsPath {
+        AsPath::poisoned(self.origin, &self.poison)
+    }
+}
+
+/// Result of running propagation to fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Convergence {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether a fixpoint was reached (false = round cap hit; policy
+    /// dispute).
+    pub converged: bool,
+}
+
+/// One BGP session: a (link, interconnection city) pair. Hybrid links
+/// produce one session per city, each with its own relationship.
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    peer: NodeIdx,
+    city: CityId,
+    /// Relationship of `peer` as seen from the owning node, at `city`.
+    rel: Relationship,
+    kind: LinkKind,
+    /// IGP cost from the owning node to this session's interconnection.
+    igp: u32,
+}
+
+/// Per-prefix propagation state.
+///
+/// ```
+/// use ir_bgp::{Announcement, PrefixSim};
+/// use ir_topology::GeneratorConfig;
+/// use ir_types::Timestamp;
+///
+/// let world = GeneratorConfig::tiny().build(1);
+/// let origin = world.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+/// let (asn, prefix) = (origin.asn, origin.prefixes[0]);
+///
+/// let mut sim = PrefixSim::new(&world, prefix);
+/// let conv = sim.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
+/// assert!(conv.converged);
+/// // The origin holds a local route; the rest of the graph routes to it.
+/// let idx = world.graph.index_of(asn).unwrap();
+/// assert!(sim.best(idx).unwrap().is_local());
+/// ```
+pub struct PrefixSim<'w> {
+    world: &'w World,
+    engine: PolicyEngine<'w>,
+    prefix: Prefix,
+    sessions: Vec<Vec<Session>>,
+    /// Current origination, if announced.
+    announcement: Option<Announcement>,
+    origin_idx: Option<NodeIdx>,
+    announce_time: Timestamp,
+    best: Vec<Option<Route>>,
+    clock: Timestamp,
+}
+
+impl<'w> PrefixSim<'w> {
+    /// Prepares a (not yet announced) simulation for `prefix`.
+    pub fn new(world: &'w World, prefix: Prefix) -> PrefixSim<'w> {
+        let n = world.graph.len();
+        let mut sessions = Vec::with_capacity(n);
+        for a in 0..n {
+            let mut ss = Vec::new();
+            for l in world.graph.links(a) {
+                for (pos, &city) in l.cities.iter().enumerate() {
+                    ss.push(Session {
+                        peer: l.peer,
+                        city,
+                        rel: l.rel_at(city),
+                        kind: l.kind,
+                        igp: l.igp_cost + pos as u32,
+                    });
+                }
+            }
+            sessions.push(ss);
+        }
+        PrefixSim {
+            world,
+            engine: PolicyEngine::new(world),
+            prefix,
+            sessions,
+            announcement: None,
+            origin_idx: None,
+            announce_time: Timestamp::ZERO,
+            best: vec![None; n],
+            clock: Timestamp::ZERO,
+        }
+    }
+
+    /// Announces (or re-announces with different poison/via) the prefix and
+    /// runs to fixpoint. `at` must not move backwards.
+    pub fn announce(&mut self, ann: Announcement, at: Timestamp) -> Convergence {
+        assert_eq!(ann.prefix, self.prefix, "announcement for the wrong prefix");
+        assert!(at >= self.clock, "time went backwards");
+        let idx = self
+            .world
+            .graph
+            .index_of(ann.origin)
+            .unwrap_or_else(|| panic!("unknown origin {}", ann.origin));
+        self.clock = at;
+        self.announce_time = at;
+        self.origin_idx = Some(idx);
+        self.announcement = Some(ann);
+        self.run()
+    }
+
+    /// Withdraws the prefix and runs to fixpoint.
+    pub fn withdraw(&mut self, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        self.announcement = None;
+        self.origin_idx = None;
+        self.run()
+    }
+
+    /// The candidate routes AS `x` can currently choose between: its own
+    /// origination plus every import that survives neighbor export policy
+    /// and its own import policy. This is what the paper can only see by
+    /// poisoning, but the simulator (like a looking glass) can enumerate.
+    pub fn candidates(&self, x: NodeIdx) -> Vec<Route> {
+        let mut cands = Vec::new();
+        if let (Some(origin_idx), Some(ann)) = (self.origin_idx, &self.announcement) {
+            if origin_idx == x {
+                cands.push(Route::originate(self.prefix, ann.origination_path(), self.announce_time));
+            }
+        }
+        for s in &self.sessions[x] {
+            if let Some(r) = self.export_of(s.peer, x, s) {
+                if let Some(imported) = self.engine.import(
+                    x,
+                    s.peer,
+                    s.city,
+                    s.rel,
+                    s.kind,
+                    self.prefix,
+                    &r,
+                    s.igp,
+                    self.clock,
+                ) {
+                    cands.push(imported);
+                }
+            }
+        }
+        cands
+    }
+
+    /// What neighbor `nb` exports toward `x` over session `s` (the path as
+    /// announced, i.e. with `nb` prepended), or `None` if policy withholds
+    /// the route. `s` is the session from `x`'s perspective.
+    fn export_of(&self, nb: NodeIdx, x: NodeIdx, s: &Session) -> Option<AsPath> {
+        let best = self.best[nb].as_ref()?;
+        // Relationship of `x` as seen from `nb` at this city: the mirror of
+        // the session relationship (set_hybrid keeps both sides consistent).
+        let rel_of_x_from_nb = s.rel.reverse();
+        // The `via` restriction applies at the origin for local routes.
+        if best.is_local() {
+            if let Some(ann) = &self.announcement {
+                if let Some(via) = &ann.via {
+                    if !via.contains(&self.world.graph.asn(x)) {
+                        return None;
+                    }
+                }
+            }
+        }
+        if !self.engine.may_export(nb, best, x, rel_of_x_from_nb) {
+            return None;
+        }
+        let nb_asn = self.world.graph.asn(nb);
+        let mut path = if best.is_local() {
+            best.path.clone()
+        } else {
+            best.path.prepend(nb_asn)
+        };
+        // Export-side prepending (inbound traffic engineering).
+        for _ in 0..self.world.policy(nb).prepends_to(self.world.graph.asn(x)) {
+            path = path.prepend(nb_asn);
+        }
+        Some(path)
+    }
+
+    fn run(&mut self) -> Convergence {
+        // Gauss–Seidel sweeps: each AS recomputes its selection *in place*,
+        // so later ASes in the same sweep already see earlier updates.
+        // Round-robin order is a fair activation sequence, under which any
+        // "safe" (dispute-free) policy configuration converges — and it
+        // avoids the two-node flip-flops plain Jacobi iteration can fall
+        // into even for stable configurations. Still fully deterministic.
+        let n = self.world.graph.len();
+        let cap = 2 * n + 16;
+        for round in 0..cap {
+            let mut changed = false;
+            for x in 0..n {
+                let cands = self.candidates(x);
+                let new_best = decision::select(&cands).map(|(r, _)| r.clone());
+                let keep = match (&self.best[x], &new_best) {
+                    (Some(old), Some(new)) if old.same_route(new) => true,
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !keep {
+                    changed = true;
+                    self.best[x] = new_best;
+                }
+            }
+            if !changed {
+                return Convergence { rounds: round + 1, converged: true };
+            }
+        }
+        Convergence { rounds: cap, converged: false }
+    }
+
+    /// The selected route at node `x` (path does not include `x` itself).
+    pub fn best(&self, x: NodeIdx) -> Option<&Route> {
+        self.best[x].as_ref()
+    }
+
+    /// The selected route at the AS with number `asn`.
+    pub fn best_by_asn(&self, asn: Asn) -> Option<&Route> {
+        self.world.graph.index_of(asn).and_then(|i| self.best(i))
+    }
+
+    /// Next-hop node and interconnection city at `x`, if `x` has a
+    /// non-local route.
+    pub fn next_hop(&self, x: NodeIdx) -> Option<(NodeIdx, CityId)> {
+        let r = self.best(x)?;
+        let nb = r.learned_from?;
+        Some((self.world.graph.index_of(nb)?, r.entry_city?))
+    }
+
+    /// The prefix being simulated.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// The world this simulation runs over.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// Logical time of the last event.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+
+    fn world() -> World {
+        GeneratorConfig::tiny().build(3)
+    }
+
+    fn some_origin(world: &World) -> (Asn, Prefix) {
+        // A stub's first prefix, so routes have to climb the hierarchy.
+        let node = world
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.asn.value() >= 20_000)
+            .expect("stub exists");
+        (node.asn, node.prefixes[0])
+    }
+
+    #[test]
+    fn plain_announcement_reaches_almost_everyone() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        assert!(conv.converged, "no policy dispute in tiny world");
+        let reached = (0..w.graph.len()).filter(|&x| sim.best(x).is_some()).count();
+        // GR propagation reaches essentially the whole graph.
+        assert!(
+            reached as f64 >= 0.95 * w.graph.len() as f64,
+            "only {reached}/{} ASes reached",
+            w.graph.len()
+        );
+    }
+
+    #[test]
+    fn paths_are_loop_free_and_terminate_at_origin() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        for x in 0..w.graph.len() {
+            if let Some(r) = sim.best(x) {
+                if r.is_local() {
+                    continue; // the origin's own route trivially contains it
+                }
+                let seq = r.path.sequence_asns();
+                assert_eq!(seq.last(), Some(&origin), "path ends at origin");
+                assert!(!seq.contains(&w.graph.asn(x)), "own ASN not in path");
+                let mut dedup = seq.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(dedup.len(), seq.len(), "no repeated AS in {:?}", seq);
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_follows_next_hops_to_origin() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let origin_idx = w.graph.index_of(origin).unwrap();
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        // Walk next hops from every AS; must reach the origin without loops
+        // (interdomain routing is destination-based, §3.1).
+        for start in 0..w.graph.len() {
+            if sim.best(start).is_none() {
+                continue;
+            }
+            let mut x = start;
+            let mut hops = 0;
+            while x != origin_idx {
+                let (nh, _) = sim.next_hop(x).expect("non-origin AS has next hop");
+                x = nh;
+                hops += 1;
+                assert!(hops <= w.graph.len(), "forwarding loop from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn withdraw_clears_routes() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let conv = sim.withdraw(Timestamp(60));
+        assert!(conv.converged);
+        for x in 0..w.graph.len() {
+            assert!(sim.best(x).is_none());
+        }
+    }
+
+    #[test]
+    fn poisoning_diverts_routes_around_poisoned_as() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        // Find some AS whose route transits an intermediate AS we can poison.
+        let mut poison_target = None;
+        for x in 0..w.graph.len() {
+            if let Some(r) = sim.best(x) {
+                let seq = r.path.sequence_asns();
+                if seq.len() >= 3 {
+                    poison_target = Some((x, seq[0]));
+                    break;
+                }
+            }
+        }
+        let (observer, poisoned) = poison_target.expect("a multi-hop path exists");
+        let p_idx = w.graph.index_of(poisoned).unwrap();
+        let filters = w.policy(p_idx).filters_as_sets || w.policy(p_idx).no_loop_prevention;
+        let mut ann = Announcement::plain(origin, prefix);
+        ann.poison = vec![poisoned];
+        sim.announce(ann, Timestamp(90 * 60));
+        if !filters {
+            // The poisoned AS must have dropped the route...
+            assert!(sim.best(p_idx).is_none(), "poisoned AS rejected the route");
+        }
+        // ...and the observer either lost the route or routes around it.
+        if let Some(r) = sim.best(observer) {
+            assert!(!r.path.sequence_asns().contains(&poisoned));
+        }
+    }
+
+    #[test]
+    fn via_restriction_limits_first_hops() {
+        let w = world();
+        let testbed = w.graph.index_of(Asn::TESTBED).expect("testbed in world");
+        let provs: Vec<NodeIdx> = w.graph.providers(testbed).collect();
+        assert!(provs.len() >= 2, "testbed is multihomed");
+        let prefix = w.graph.node(testbed).prefixes[0];
+        let keep = w.graph.asn(provs[0]);
+        let mut ann = Announcement::plain(Asn::TESTBED, prefix);
+        ann.via = Some([keep].into_iter().collect());
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(ann, Timestamp::ZERO);
+        // The excluded providers see the route only via a detour (their own
+        // path must pass through `keep`), never directly from the testbed.
+        for &p in &provs[1..] {
+            if let Some(r) = sim.best(p) {
+                assert_ne!(r.learned_from, Some(Asn::TESTBED));
+                assert!(r.path.sequence_asns().contains(&keep));
+            }
+        }
+        assert_eq!(sim.best(provs[0]).unwrap().learned_from, Some(Asn::TESTBED));
+    }
+
+    #[test]
+    fn route_age_survives_reconvergence_when_route_unchanged() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let before: Vec<Option<Route>> = (0..w.graph.len()).map(|x| sim.best(x).cloned()).collect();
+        // Re-announce identically much later: nothing should change,
+        // including ages.
+        sim.announce(Announcement::plain(origin, prefix), Timestamp(5400));
+        for x in 0..w.graph.len() {
+            match (&before[x], sim.best(x)) {
+                (Some(a), Some(b)) => {
+                    assert!(a.same_route(b));
+                    assert_eq!(a.age, b.age, "age preserved at {}", w.graph.asn(x));
+                }
+                (None, None) => {}
+                _ => panic!("route appeared/disappeared at {}", w.graph.asn(x)),
+            }
+        }
+    }
+
+    #[test]
+    fn export_prepending_lengthens_paths_and_diverts_traffic() {
+        let mut w = world();
+        let (origin, prefix) = some_origin(&w);
+        let origin_idx = w.graph.index_of(origin).unwrap();
+        let provs: Vec<NodeIdx> = w.graph.providers(origin_idx).collect();
+        if provs.len() < 2 {
+            return; // this seed's origin is single-homed; covered elsewhere
+        }
+        // Baseline: remember who routes via the to-be-prepended provider.
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let target_prov = provs[0];
+        let via_before: Vec<NodeIdx> = (0..w.graph.len())
+            .filter(|&x| {
+                sim.best(x)
+                    .map(|r| r.path.sequence_asns().contains(&w.graph.asn(target_prov)))
+                    .unwrap_or(false)
+            })
+            .collect();
+        drop(sim);
+        // Prepend 5 copies toward that provider.
+        w.policies[origin_idx].export_prepend.insert(w.graph.asn(target_prov), 5);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        // The provider's own received path is longer now…
+        let r = sim.best(target_prov).expect("provider still reaches the origin");
+        assert!(r.path.len() >= 6, "prepended path has length {}", r.path.len());
+        // …and strictly fewer ASes still route through it.
+        let via_after = (0..w.graph.len())
+            .filter(|&x| {
+                sim.best(x)
+                    .map(|r| r.path.sequence_asns().contains(&w.graph.asn(target_prov)))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            via_after <= via_before.len(),
+            "prepending never attracts traffic ({via_after} vs {})",
+            via_before.len()
+        );
+    }
+
+    #[test]
+    fn candidates_include_alternatives() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        // Some multihomed AS must see >1 candidate.
+        let multi = (0..w.graph.len()).any(|x| sim.candidates(x).len() >= 2);
+        assert!(multi, "alternatives visible somewhere");
+        // The best is always among the candidates.
+        for x in 0..w.graph.len() {
+            if let Some(b) = sim.best(x) {
+                assert!(sim.candidates(x).iter().any(|c| c.same_route(b)));
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// Any seeded tiny world converges for an arbitrary origin, stays
+        /// loop-free, and two identical simulations agree route for route.
+        #[test]
+        fn convergence_and_determinism(seed in 0u64..1000, origin_pick in any::<u16>()) {
+            let w = GeneratorConfig::tiny().build(seed);
+            let n = w.graph.len();
+            let origin = origin_pick as usize % n;
+            let prefix = w.graph.node(origin).prefixes[0];
+            let asn = w.graph.asn(origin);
+
+            let mut a = PrefixSim::new(&w, prefix);
+            let conv = a.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
+            prop_assert!(conv.converged, "seed {seed} origin {asn} did not converge");
+            let mut b = PrefixSim::new(&w, prefix);
+            b.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
+
+            for x in 0..n {
+                prop_assert_eq!(a.best(x), b.best(x), "determinism at {}", w.graph.asn(x));
+                if let Some(r) = a.best(x) {
+                    if !r.is_local() {
+                        // No AS-level loop in any selected path (prepending
+                        // repeats are consecutive by construction).
+                        let mut seq = r.path.sequence_asns();
+                        seq.dedup();
+                        let mut sorted = seq.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        prop_assert_eq!(sorted.len(), seq.len(), "loop at {}", w.graph.asn(x));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        #[ignore = "slow; covered by the 6-case default run in CI-style runs"]
+        fn convergence_and_determinism_extended(seed in 0u64..100_000, origin_pick in any::<u16>()) {
+            let w = GeneratorConfig::tiny().build(seed);
+            let n = w.graph.len();
+            let origin = origin_pick as usize % n;
+            let prefix = w.graph.node(origin).prefixes[0];
+            let asn = w.graph.asn(origin);
+            let mut a = PrefixSim::new(&w, prefix);
+            let conv = a.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
+            prop_assert!(conv.converged);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Analysis of poisoning-revealed alternate routes (§3.2 data set, §4.4).
+//!
+//! Alternate-route discovery yields, per target AS, the sequence of routes
+//! it fell back to as its preferred next hops were successively poisoned —
+//! ground-truth *relative preferences*, which passive data can never show.
+//! Two order-consistency properties are checked against the inferred
+//! topology:
+//!
+//! * **Best** — each route's next-hop relationship class is at least as
+//!   good (cheap) as the next route's;
+//! * **Shortest** — each route is no longer than the next.
+//!
+//! The module also does the §3.2 link accounting: how many distinct
+//! inter-AS links the experiments observed, how many are absent from the
+//! inferred (CAIDA-role) topology, and how many of those only became
+//! visible through poisoned announcements.
+
+use crate::grmodel::RouteClass;
+use ir_types::Asn;
+use ir_measure::AlternateDiscovery;
+use ir_topology::RelationshipDb;
+use std::collections::BTreeSet;
+
+/// Order-consistency verdict for one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderVerdict {
+    /// Relationship preference never worsens out of order.
+    pub best: bool,
+    /// Path length never shrinks later in the order.
+    pub shortest: bool,
+    /// Number of revealed routes.
+    pub routes: usize,
+}
+
+impl OrderVerdict {
+    /// The §4.4 bucket: both / best-only / shortest-only / neither.
+    pub fn bucket(&self) -> &'static str {
+        match (self.best, self.shortest) {
+            (true, true) => "both",
+            (true, false) => "best-only",
+            (false, true) => "shortest-only",
+            (false, false) => "neither",
+        }
+    }
+}
+
+/// Checks the §3.3 ordering properties for one discovery sequence.
+///
+/// Per the paper, consecutive route pairs are compared: property (1) holds
+/// when the earlier route's next-hop relationship is equal or better, and
+/// property (2) when the earlier route is shorter or equal in length. A
+/// next hop whose relationship the topology does not know counts against
+/// the Best property (the model cannot rank it).
+pub fn check_order(db: &RelationshipDb, d: &AlternateDiscovery) -> OrderVerdict {
+    let mut best = true;
+    let mut shortest = true;
+    for w in d.routes.windows(2) {
+        let (first, second) = (&w[0], &w[1]);
+        let rank = |next: Asn| -> Option<u8> {
+            db.rel(d.target, next).map(|r| RouteClass::of_rel(r) as u8)
+        };
+        // Pairs where the topology cannot rank one of the next hops are
+        // skipped: absence of evidence is not an order violation.
+        if let (Some(a), Some(b)) = (rank(first.next_hop), rank(second.next_hop)) {
+            if a > b {
+                best = false;
+            }
+        }
+        if first.suffix.len() > second.suffix.len() {
+            shortest = false;
+        }
+    }
+    OrderVerdict { best, shortest, routes: d.routes.len() }
+}
+
+/// Aggregated §4.4 counts over many targets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderSummary {
+    pub both: usize,
+    pub best_only: usize,
+    pub shortest_only: usize,
+    pub neither: usize,
+}
+
+impl OrderSummary {
+    /// Tallies verdicts (targets with fewer than two revealed routes are
+    /// uninformative and skipped).
+    pub fn tally<'a, I: IntoIterator<Item = &'a OrderVerdict>>(verdicts: I) -> OrderSummary {
+        let mut s = OrderSummary::default();
+        for v in verdicts {
+            if v.routes < 2 {
+                continue;
+            }
+            match (v.best, v.shortest) {
+                (true, true) => s.both += 1,
+                (true, false) => s.best_only += 1,
+                (false, true) => s.shortest_only += 1,
+                (false, false) => s.neither += 1,
+            }
+        }
+        s
+    }
+
+    /// Total informative targets.
+    pub fn total(&self) -> usize {
+        self.both + self.best_only + self.shortest_only + self.neither
+    }
+}
+
+/// §3.2 link accounting across a set of discoveries.
+#[derive(Debug, Clone, Default)]
+pub struct LinkAccounting {
+    /// All inter-AS links observed across the experiments.
+    pub observed: BTreeSet<(Asn, Asn)>,
+    /// Observed links absent from the inferred topology.
+    pub missing_from_db: BTreeSet<(Asn, Asn)>,
+    /// Missing links that only appeared in poisoned (round ≥ 1) states.
+    pub only_via_poisoning: BTreeSet<(Asn, Asn)>,
+}
+
+impl LinkAccounting {
+    /// Builds the accounting from discovery results.
+    pub fn build(db: &RelationshipDb, discoveries: &[AlternateDiscovery]) -> LinkAccounting {
+        let mut acc = LinkAccounting::default();
+        let mut seen_unpoisoned: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for d in discoveries {
+            for r in &d.routes {
+                // Links on the observed suffix: target→next plus the suffix
+                // chain.
+                let mut chain = vec![d.target];
+                chain.extend(r.suffix.iter().copied());
+                for w in chain.windows(2) {
+                    let key = (w[0].min(w[1]), w[0].max(w[1]));
+                    acc.observed.insert(key);
+                    if r.round == 0 {
+                        seen_unpoisoned.insert(key);
+                    }
+                }
+            }
+        }
+        for &key in &acc.observed {
+            if !db.has_link(key.0, key.1) {
+                acc.missing_from_db.insert(key);
+                if !seen_unpoisoned.contains(&key) {
+                    acc.only_via_poisoning.insert(key);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fraction of the missing links visible only through poisoning
+    /// (the paper reports 22.2%).
+    pub fn poisoning_only_fraction(&self) -> f64 {
+        if self.missing_from_db.is_empty() {
+            0.0
+        } else {
+            self.only_via_poisoning.len() as f64 / self.missing_from_db.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_measure::peering::DiscoveredRoute;
+    use ir_types::Relationship;
+
+    fn discovery(target: u32, routes: Vec<(u32, Vec<u32>)>) -> AlternateDiscovery {
+        AlternateDiscovery {
+            target: Asn(target),
+            announcements: routes.len(),
+            routes: routes
+                .into_iter()
+                .enumerate()
+                .map(|(round, (nh, suffix))| DiscoveredRoute {
+                    round,
+                    next_hop: Asn(nh),
+                    suffix: suffix.into_iter().map(Asn).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        // Target 10: customer 20, peer 30, provider 40.
+        db.insert(Asn(10), Asn(20), Customer);
+        db.insert(Asn(10), Asn(30), Peer);
+        db.insert(Asn(40), Asn(10), Customer); // 40 provider of 10
+        db
+    }
+
+    #[test]
+    fn gr_consistent_order_is_both() {
+        let db = db();
+        let d = discovery(
+            10,
+            vec![(20, vec![20, 99]), (30, vec![30, 98, 99]), (40, vec![40, 97, 98, 99])],
+        );
+        let v = check_order(&db, &d);
+        assert!(v.best && v.shortest);
+        assert_eq!(v.bucket(), "both");
+    }
+
+    #[test]
+    fn preference_inversion_breaks_best() {
+        let db = db();
+        // Provider tried before peer: order violation of Best.
+        let d = discovery(10, vec![(40, vec![40, 99]), (30, vec![30, 98, 99])]);
+        let v = check_order(&db, &d);
+        assert!(!v.best);
+        assert!(v.shortest);
+        assert_eq!(v.bucket(), "shortest-only");
+    }
+
+    #[test]
+    fn length_inversion_breaks_shortest() {
+        let db = db();
+        let d = discovery(10, vec![(20, vec![20, 98, 99, 97]), (30, vec![30, 99])]);
+        let v = check_order(&db, &d);
+        assert!(v.best, "customer before peer is fine");
+        assert!(!v.shortest, "longer before shorter violates Shortest");
+    }
+
+    #[test]
+    fn unknown_next_hop_is_skipped_not_a_violation() {
+        let db = db();
+        let d = discovery(10, vec![(77, vec![77, 99]), (30, vec![30, 98, 99])]);
+        assert!(check_order(&db, &d).best, "unrankable pair skipped");
+        // ...but a genuine inversion between adjacent known hops still
+        // fails (an unknown hop in between would mask it — a real
+        // limitation of the comparison, shared with the paper).
+        let d2 = discovery(10, vec![(40, vec![40, 99]), (30, vec![30, 97, 98, 99])]);
+        assert!(!check_order(&db, &d2).best);
+    }
+
+    #[test]
+    fn summary_skips_single_route_targets() {
+        let db = db();
+        let verdicts = [
+            check_order(&db, &discovery(10, vec![(20, vec![20, 99])])), // 1 route
+            check_order(&db, &discovery(10, vec![(20, vec![20, 99]), (30, vec![30, 98, 99])])),
+        ];
+        let s = OrderSummary::tally(verdicts.iter());
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.both, 1);
+    }
+
+    #[test]
+    fn link_accounting_flags_poisoning_only_links() {
+        let db = db();
+        // Round 0 shows 10–20–99; round 1 shows 10–30–98–99. The 30–98 and
+        // 98–99 links are missing from the db and appear only after
+        // poisoning; 10–30 is in the db.
+        let d = discovery(10, vec![(20, vec![20, 99]), (30, vec![30, 98, 99])]);
+        let acc = LinkAccounting::build(&db, std::slice::from_ref(&d));
+        assert!(acc.observed.contains(&(Asn(10), Asn(20))));
+        // 20–99 missing from db but seen in round 0 → not poisoning-only.
+        assert!(acc.missing_from_db.contains(&(Asn(20), Asn(99))));
+        assert!(!acc.only_via_poisoning.contains(&(Asn(20), Asn(99))));
+        assert!(acc.only_via_poisoning.contains(&(Asn(30), Asn(98))));
+        assert!(acc.poisoning_only_fraction() > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Topology augmentation from looking glasses.
+//!
+//! The paper's conclusion of §1: "additional vantage points and looking
+//! glass servers could improve the fidelity of our AS topology data". This
+//! module implements that suggestion: looking glasses expose an AS's
+//! *candidate* routes — including the less-preferred alternatives that no
+//! best-path feed ever carries — and each of those is one more observed AS
+//! path for relationship inference.
+//!
+//! [`gather_lg_paths`] collects the glass views for a set of prefixes;
+//! feeding them to `ir-inference::infer_relationships` alongside the
+//! ordinary collector feed yields an augmented topology whose effect on
+//! classification the `exp_lg_augment` experiment measures.
+
+use ir_types::{Asn, Prefix, Timestamp};
+use ir_bgp::{Announcement, PrefixSim};
+use ir_measure::LookingGlassNet;
+use ir_topology::World;
+
+/// Collects, for every glass-hosting AS and every given `(origin, prefix)`
+/// pair, the AS paths of all candidate routes visible at the glass (host
+/// first, origin last). One prefix is converged once and queried at every
+/// glass.
+pub fn gather_lg_paths(
+    world: &World,
+    lg: &LookingGlassNet,
+    targets: &[(Asn, Prefix)],
+) -> Vec<Vec<Asn>> {
+    let mut out = Vec::new();
+    for &(origin, prefix) in targets {
+        if world.graph.index_of(origin).is_none() {
+            continue;
+        }
+        let mut sim = PrefixSim::new(world, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        for host in lg.hosts() {
+            let Some(routes) = lg.query_sim(&sim, host) else { continue };
+            for r in routes {
+                if r.is_local() {
+                    continue;
+                }
+                let mut path = vec![host];
+                path.extend(r.path.sequence_asns());
+                out.push(path);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_inference::feeds::{self, FeedConfig};
+    use ir_inference::relinfer::{infer_relationships, InferConfig};
+    use ir_topology::GeneratorConfig;
+
+    #[test]
+    fn lg_paths_expose_alternatives_and_augment_inference() {
+        let world = GeneratorConfig::tiny().build(3);
+        let lg = LookingGlassNet::deploy(&world, 0.6, 3);
+        // A handful of content prefixes.
+        let targets: Vec<(Asn, Prefix)> = world
+            .content
+            .providers()
+            .iter()
+            .map(|p| (p.origin_asns[0], p.deployments[0].prefix))
+            .collect();
+        let lg_paths = gather_lg_paths(&world, &lg, &targets);
+        assert!(!lg_paths.is_empty());
+        // Every path starts at a glass host and is link-correct.
+        for p in &lg_paths {
+            assert!(lg.has_glass(p[0]));
+            for w in p.windows(2) {
+                if w[0] == w[1] {
+                    continue; // prepending
+                }
+                let (a, b) = (
+                    world.graph.index_of(w[0]).unwrap(),
+                    world.graph.index_of(w[1]).unwrap(),
+                );
+                assert!(world.graph.link(a, b).is_some(), "{} - {}", w[0], w[1]);
+            }
+        }
+        // Augmentation strictly extends a thin feed's inferred topology.
+        let universe = ir_bgp::RoutingUniverse::compute_all(&world);
+        let vantages =
+            feeds::pick_vantages(&world, &FeedConfig { vantages: 6, ..Default::default() }, 3);
+        let feed = feeds::extract_feed(&world, &universe, &vantages);
+        let base_paths: Vec<&[Asn]> = feed.paths().collect();
+        let base = infer_relationships(base_paths.clone(), &InferConfig::default());
+        let mut all_paths = base_paths;
+        for p in &lg_paths {
+            all_paths.push(p.as_slice());
+        }
+        let augmented = infer_relationships(all_paths, &InferConfig::default());
+        assert!(
+            augmented.len() > base.len(),
+            "augmented {} links vs base {}",
+            augmented.len(),
+            base.len()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Destination-based-routing consistency (after Mazloum et al., cited in
+//! §2 as the control-plane way of observing routing-assumption violations).
+//!
+//! Interdomain forwarding is assumed destination-based: an AS forwards all
+//! traffic for a destination through one next hop. The measured dataset
+//! can violate that assumption in two ways, and telling them apart
+//! matters:
+//!
+//! * real multipath/load-balancing (absent in this simulator — the control
+//!   plane selects exactly one best route), and
+//! * **conversion artifacts** — third-party addresses and unlucky bridging
+//!   make one AS appear to use two next hops for one destination.
+//!
+//! Because the simulator's ground truth *is* destination-based, every
+//! inconsistency found here is a measured artifact; the report therefore
+//! doubles as a data-quality metric for the IP→AS pipeline, and the
+//! integration suite pins the artifact-free case to zero.
+
+use crate::dataset::MeasuredPath;
+use ir_types::{Asn, Prefix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed inconsistency: an AS with several next hops toward the
+/// same destination prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistency {
+    pub observer: Asn,
+    pub prefix: Prefix,
+    pub next_hops: Vec<Asn>,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyReport {
+    /// (observer, prefix) pairs with at least two observations.
+    pub pairs_checked: usize,
+    /// Pairs with conflicting next hops.
+    pub inconsistent: Vec<Inconsistency>,
+}
+
+impl ConsistencyReport {
+    /// Fraction of multiply-observed pairs that conflict.
+    pub fn violation_rate(&self) -> f64 {
+        if self.pairs_checked == 0 {
+            0.0
+        } else {
+            self.inconsistent.len() as f64 / self.pairs_checked as f64
+        }
+    }
+}
+
+/// Checks destination-based consistency over a measured-path dataset.
+pub fn destination_consistency(paths: &[MeasuredPath]) -> ConsistencyReport {
+    let mut next_hops: BTreeMap<(Asn, Prefix), BTreeSet<Asn>> = BTreeMap::new();
+    let mut observations: BTreeMap<(Asn, Prefix), usize> = BTreeMap::new();
+    for p in paths {
+        let Some(prefix) = p.prefix else { continue };
+        for d in p.decisions() {
+            next_hops.entry((d.observer, prefix)).or_default().insert(d.next_hop);
+            *observations.entry((d.observer, prefix)).or_default() += 1;
+        }
+    }
+    let mut report = ConsistencyReport::default();
+    for ((observer, prefix), hops) in next_hops {
+        if observations[&(observer, prefix)] < 2 {
+            continue; // single observation: nothing to compare
+        }
+        report.pairs_checked += 1;
+        if hops.len() > 1 {
+            report.inconsistent.push(Inconsistency {
+                observer,
+                prefix,
+                next_hops: hops.into_iter().collect(),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::{CityId, Continent, CountryId};
+
+    fn path(src: u32, hops: &[u32], prefix: &str) -> MeasuredPath {
+        MeasuredPath {
+            src: Asn(src),
+            path: hops.iter().copied().map(Asn).collect(),
+            dest: Asn(*hops.last().unwrap()),
+            prefix: Some(prefix.parse().unwrap()),
+            hostname: None,
+            link_cities: vec![None::<CityId>; hops.len() - 1],
+            hop_continents: Vec::<Continent>::new(),
+            hop_countries: Vec::<CountryId>::new(),
+        }
+    }
+
+    #[test]
+    fn consistent_dataset_reports_nothing() {
+        let paths = vec![
+            path(1, &[1, 2, 5], "10.5.0.0/24"),
+            path(7, &[7, 1, 2, 5], "10.5.0.0/24"), // 1 uses 2 again: fine
+        ];
+        let r = destination_consistency(&paths);
+        // (1, pfx) and (2, pfx) are each observed twice.
+        assert_eq!(r.pairs_checked, 2);
+        assert!(r.inconsistent.is_empty());
+        assert_eq!(r.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn conflicting_next_hops_detected() {
+        let paths = vec![
+            path(1, &[1, 2, 5], "10.5.0.0/24"),
+            path(1, &[1, 3, 5], "10.5.0.0/24"), // 1 now via 3: conflict
+        ];
+        let r = destination_consistency(&paths);
+        assert_eq!(r.pairs_checked, 1);
+        assert_eq!(r.inconsistent.len(), 1);
+        assert_eq!(r.inconsistent[0].observer, Asn(1));
+        assert_eq!(r.inconsistent[0].next_hops, vec![Asn(2), Asn(3)]);
+        assert!(r.violation_rate() > 0.99);
+    }
+
+    #[test]
+    fn different_prefixes_do_not_conflict() {
+        let paths = vec![
+            path(1, &[1, 2, 5], "10.5.0.0/24"),
+            path(1, &[1, 3, 5], "10.6.0.0/24"), // other prefix: allowed
+        ];
+        let r = destination_consistency(&paths);
+        assert!(r.inconsistent.is_empty());
+    }
+}

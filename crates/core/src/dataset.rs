@@ -1,0 +1,228 @@
+//! From raw traceroutes to analyzable measured paths and decisions.
+//!
+//! A traceroute becomes a [`MeasuredPath`]: the converted AS-level path
+//! (via the Chen et al. method of `ir-dataplane::ip2as`), the destination
+//! prefix, and the geographic context the §4.1/§6 analyses need —
+//! per-boundary interconnection cities and per-hop continents, both
+//! obtained by **geolocating hop IPs** (never from ground truth).
+//!
+//! Because interdomain routing is destination-based, one measured path
+//! toward destination *d* exposes a routing [`Decision`] for *every* AS on
+//! it: "AS `observer` forwards toward *d* via `next_hop`". Those decisions
+//! are the unit of all Figure 1–3 and Table 3–4 statistics.
+
+use ir_types::{Asn, CityId, Continent, CountryId, Prefix};
+use ir_dataplane::{as_path_of, GeoDb, OriginTable, Traceroute};
+
+/// A traceroute after conversion and annotation.
+#[derive(Debug, Clone)]
+pub struct MeasuredPath {
+    /// Probe (source) AS.
+    pub src: Asn,
+    /// AS-level path, source first, destination last.
+    pub path: Vec<Asn>,
+    /// Destination AS (last element of `path`).
+    pub dest: Asn,
+    /// The destination prefix (longest match for the target address in the
+    /// public origin table).
+    pub prefix: Option<Prefix>,
+    /// Hostname that was traced, if DNS was involved.
+    pub hostname: Option<String>,
+    /// For each adjacent AS pair `path[i] → path[i+1]`, the geolocated
+    /// interconnection city (from the first hop IP mapped into
+    /// `path[i+1]`), when geolocation knew the address.
+    pub link_cities: Vec<Option<CityId>>,
+    /// Geolocated continents of all responsive, geolocatable hops.
+    pub hop_continents: Vec<Continent>,
+    /// Geolocated countries of all responsive, geolocatable hops.
+    pub hop_countries: Vec<CountryId>,
+}
+
+impl MeasuredPath {
+    /// Builds a measured path from a traceroute; `None` when conversion
+    /// fails (unreached destination or AS-loop artifact) or the converted
+    /// path is trivial.
+    pub fn build(tr: &Traceroute, table: &OriginTable, geo: &GeoDb) -> Option<MeasuredPath> {
+        let path = as_path_of(tr, table)?;
+        if path.len() < 2 {
+            return None;
+        }
+        // Boundary cities: for each pair (path[i], path[i+1]), geolocate the
+        // first hop whose mapped AS is path[i+1], after a hop of path[i]
+        // was seen (the probe's own AS counts as pre-seen at i = 0).
+        let mut mapped: Vec<(Asn, Option<CityId>)> = Vec::new();
+        for h in &tr.hops {
+            let Some(ip) = h.ip else { continue };
+            let Some(asn) = table.lookup(ip) else { continue };
+            mapped.push((asn, geo.city(ip)));
+        }
+        let mut link_cities = vec![None; path.len() - 1];
+        for i in 0..path.len() - 1 {
+            let next = path[i + 1];
+            let mut seen_cur = i == 0;
+            for (asn, city) in &mapped {
+                if *asn == path[i] {
+                    seen_cur = true;
+                } else if *asn == next && seen_cur {
+                    link_cities[i] = *city;
+                    break;
+                }
+            }
+        }
+        let mut hop_continents = Vec::new();
+        let mut hop_countries = Vec::new();
+        for h in &tr.hops {
+            if let Some(ip) = h.ip {
+                if let Some(c) = geo.continent(ip) {
+                    hop_continents.push(c);
+                }
+                if let Some(c) = geo.country(ip) {
+                    hop_countries.push(c);
+                }
+            }
+        }
+        Some(MeasuredPath {
+            src: tr.src_as,
+            dest: *path.last().expect("non-empty"),
+            prefix: table.lookup_prefix(tr.dst_ip),
+            hostname: tr.dst_hostname.clone(),
+            path,
+            link_cities,
+            hop_continents,
+            hop_countries,
+        })
+    }
+
+    /// Whether every geolocatable hop stays on one continent; returns that
+    /// continent. `None` when hops span continents or nothing geolocates.
+    pub fn continental(&self) -> Option<Continent> {
+        let first = *self.hop_continents.first()?;
+        self.hop_continents.iter().all(|c| *c == first).then_some(first)
+    }
+
+    /// Whether every geolocatable hop stays in one country; returns it.
+    pub fn domestic(&self) -> Option<CountryId> {
+        let first = *self.hop_countries.first()?;
+        self.hop_countries.iter().all(|c| *c == first).then_some(first)
+    }
+
+    /// The routing decisions this path exposes.
+    pub fn decisions(&self) -> Vec<Decision> {
+        let mut out = Vec::new();
+        for i in 0..self.path.len() - 1 {
+            out.push(Decision {
+                observer: self.path[i],
+                next_hop: self.path[i + 1],
+                dest: self.dest,
+                prefix: self.prefix,
+                src: self.src,
+                suffix_len: self.path.len() - 1 - i,
+                link_city: self.link_cities[i],
+                path_index: i,
+            });
+        }
+        out
+    }
+}
+
+/// One observed routing decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The AS whose decision this is.
+    pub observer: Asn,
+    /// The neighbor it forwards through.
+    pub next_hop: Asn,
+    /// The destination AS of the path.
+    pub dest: Asn,
+    /// The destination prefix, when resolvable.
+    pub prefix: Option<Prefix>,
+    /// The probe (source) AS of the measurement that exposed the decision.
+    pub src: Asn,
+    /// Measured path length from `observer` to `dest` (AS hops).
+    pub suffix_len: usize,
+    /// Geolocated interconnection city of the observer→next_hop boundary.
+    pub link_city: Option<CityId>,
+    /// Index of `observer` in the measured path.
+    pub path_index: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_dataplane::trace::Hop;
+    use ir_types::Ipv4;
+
+    fn table() -> OriginTable {
+        OriginTable::from_entries(vec![
+            ("10.1.0.0/16".parse().unwrap(), Asn(100)),
+            ("10.2.0.0/16".parse().unwrap(), Asn(200)),
+            ("10.3.0.0/16".parse().unwrap(), Asn(300)),
+        ])
+    }
+
+    fn tr() -> Traceroute {
+        let hop = |a: u8, b: u8, c: u8, d: u8| Hop {
+            ip: Some(Ipv4::new(a, b, c, d)),
+            true_asn: None,
+            true_city: None,
+        };
+        Traceroute {
+            src_as: Asn(100),
+            dst_ip: Ipv4::new(10, 3, 0, 9),
+            dst_hostname: Some("www.x.example".into()),
+            hops: vec![
+                hop(10, 1, 0, 1), // AS100
+                hop(10, 2, 0, 1), // AS200
+                hop(10, 3, 0, 9), // AS300 (dest)
+            ],
+            reached: true,
+        }
+    }
+
+    #[test]
+    fn build_and_decisions() {
+        let mp = MeasuredPath::build(&tr(), &table(), &GeoDb::empty()).unwrap();
+        assert_eq!(mp.path, vec![Asn(100), Asn(200), Asn(300)]);
+        assert_eq!(mp.dest, Asn(300));
+        assert_eq!(mp.prefix, Some("10.3.0.0/16".parse().unwrap()));
+        assert_eq!(mp.hostname.as_deref(), Some("www.x.example"));
+        let ds = mp.decisions();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].observer, Asn(100));
+        assert_eq!(ds[0].next_hop, Asn(200));
+        assert_eq!(ds[0].suffix_len, 2);
+        assert_eq!(ds[1].observer, Asn(200));
+        assert_eq!(ds[1].suffix_len, 1);
+        for d in &ds {
+            assert_eq!(d.dest, Asn(300));
+            assert_eq!(d.src, Asn(100));
+        }
+    }
+
+    #[test]
+    fn unreached_or_trivial_paths_rejected() {
+        let mut t = tr();
+        t.reached = false;
+        assert!(MeasuredPath::build(&t, &table(), &GeoDb::empty()).is_none());
+        let t2 = Traceroute {
+            src_as: Asn(100),
+            dst_ip: Ipv4::new(10, 1, 0, 9),
+            dst_hostname: None,
+            hops: vec![Hop {
+                ip: Some(Ipv4::new(10, 1, 0, 1)),
+                true_asn: None,
+                true_city: None,
+            }],
+            reached: true,
+        };
+        assert!(MeasuredPath::build(&t2, &table(), &GeoDb::empty()).is_none());
+    }
+
+    #[test]
+    fn geo_methods_none_without_geolocation() {
+        let mp = MeasuredPath::build(&tr(), &table(), &GeoDb::empty()).unwrap();
+        assert_eq!(mp.continental(), None);
+        assert_eq!(mp.domestic(), None);
+        assert!(mp.link_cities.iter().all(|c| c.is_none()));
+    }
+}

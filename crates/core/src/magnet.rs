@@ -1,0 +1,287 @@
+//! Reverse-engineering BGP decisions from the magnet experiment (Table 2).
+//!
+//! After the anycast, every observed AS either **kept** the route toward
+//! the magnet or **switched** to a new one. Following §3.2:
+//!
+//! * kept, and the magnet route is cheaper (GR) than every other route
+//!   observed from that AS → *Best relationship*;
+//! * kept, same cost but shorter → *Shorter path*;
+//! * kept, neither → the AS used an unobservable tie-breaker; since the
+//!   magnet route is by construction the **oldest**, this bucket is
+//!   reported as *Oldest route (magnet)*;
+//! * switched, and the new route is cheaper → *Best relationship*;
+//! * switched, same cost but shorter → *Shorter path*;
+//! * switched, equal on both → *Intradomain tie-breaker*;
+//! * the chosen route is more **expensive**, or same cost but **longer**,
+//!   than another observed route → *Violation* of the model.
+//!
+//! Results are tallied separately per observation channel (BGP feeds vs
+//! traceroutes), giving the two columns of Table 2.
+
+use crate::grmodel::RouteClass;
+use ir_types::Asn;
+use ir_measure::peering::{MagnetRun, Observation};
+use ir_topology::RelationshipDb;
+use std::collections::BTreeMap;
+
+/// Table 2 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MagnetDecision {
+    BestRelationship,
+    ShorterPath,
+    IntradomainTieBreaker,
+    OldestRoute,
+    Violation,
+}
+
+impl MagnetDecision {
+    /// All rows in Table 2 order.
+    pub const ALL: [MagnetDecision; 5] = [
+        MagnetDecision::BestRelationship,
+        MagnetDecision::ShorterPath,
+        MagnetDecision::IntradomainTieBreaker,
+        MagnetDecision::OldestRoute,
+        MagnetDecision::Violation,
+    ];
+
+    /// Table 2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MagnetDecision::BestRelationship => "Best relationship",
+            MagnetDecision::ShorterPath => "Shorter path",
+            MagnetDecision::IntradomainTieBreaker => "Intradomain tie-breaker",
+            MagnetDecision::OldestRoute => "Oldest route (magnet)",
+            MagnetDecision::Violation => "Violation",
+        }
+    }
+}
+
+/// Table 2: per-channel tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MagnetTally {
+    feeds: BTreeMap<MagnetDecision, usize>,
+    traceroutes: BTreeMap<MagnetDecision, usize>,
+}
+
+impl MagnetTally {
+    /// Count of a row in the feeds column.
+    pub fn feeds(&self, d: MagnetDecision) -> usize {
+        self.feeds.get(&d).copied().unwrap_or(0)
+    }
+
+    /// Count of a row in the traceroutes column.
+    pub fn traceroutes(&self, d: MagnetDecision) -> usize {
+        self.traceroutes.get(&d).copied().unwrap_or(0)
+    }
+
+    /// Column totals `(feeds, traceroutes)`.
+    pub fn totals(&self) -> (usize, usize) {
+        (self.feeds.values().sum(), self.traceroutes.values().sum())
+    }
+
+    fn add(&mut self, d: MagnetDecision, obs: &Observation) {
+        if obs.via_feed {
+            *self.feeds.entry(d).or_default() += 1;
+        }
+        if obs.via_probe {
+            *self.traceroutes.entry(d).or_default() += 1;
+        }
+    }
+}
+
+/// GR cost of a route as observed from `x`: the relationship class of its
+/// next hop under the inferred topology; `None` when the topology does not
+/// know the link (such routes cannot be ranked, and the paper's analysis
+/// can only score neighbors CAIDA knows).
+fn cost(db: &RelationshipDb, x: Asn, o: &Observation) -> Option<u8> {
+    o.next_hop().and_then(|n| db.rel(x, n)).map(|r| RouteClass::of_rel(r) as u8)
+}
+
+/// Classifies one AS's post-anycast behavior in one magnet run.
+///
+/// `others` are the other routes observed from `x` during the experiment
+/// series (at minimum, the pre-anycast magnet route).
+pub fn classify_decision(
+    db: &RelationshipDb,
+    x: Asn,
+    kept_magnet: bool,
+    chosen: &Observation,
+    others: &[&Observation],
+) -> Option<MagnetDecision> {
+    // Routes over links the inferred topology does not know cannot be
+    // ranked; drop them from the comparison, and skip the AS entirely when
+    // the chosen route itself is unrankable.
+    let c_cost = cost(db, x, chosen)?;
+    let ranked: Vec<(&&Observation, u8)> =
+        others.iter().filter_map(|o| cost(db, x, o).map(|c| (o, c))).collect();
+    if ranked.is_empty() {
+        // Nothing to compare against: uncontested best.
+        return Some(MagnetDecision::BestRelationship);
+    }
+    let c_len = chosen.suffix.len();
+    let cheaper_than_all = ranked.iter().all(|(_, c)| c_cost < *c);
+    let any_cheaper_other = ranked.iter().any(|(_, c)| *c < c_cost);
+    let shorter_than_equal_cost_others = ranked
+        .iter()
+        .filter(|(_, c)| *c == c_cost)
+        .all(|(o, _)| c_len < o.suffix.len());
+    let any_shorter_equal_cost_other =
+        ranked.iter().any(|(o, c)| *c == c_cost && o.suffix.len() < c_len);
+
+    if any_cheaper_other || any_shorter_equal_cost_other {
+        // More expensive than an observed alternative, or same cost but
+        // longer: the model cannot justify the choice.
+        return Some(MagnetDecision::Violation);
+    }
+    Some(if cheaper_than_all {
+        MagnetDecision::BestRelationship
+    } else if shorter_than_equal_cost_others {
+        MagnetDecision::ShorterPath
+    } else if kept_magnet {
+        // Tied on everything the model sees; the magnet route is by
+        // construction the oldest.
+        MagnetDecision::OldestRoute
+    } else {
+        MagnetDecision::IntradomainTieBreaker
+    })
+}
+
+/// Runs the Table 2 analysis over a set of magnet runs.
+pub fn analyze_runs(db: &RelationshipDb, runs: &[MagnetRun]) -> MagnetTally {
+    // Pool every observation per AS across the series — "all other routes
+    // we observed from x".
+    let mut pool: BTreeMap<Asn, Vec<Observation>> = BTreeMap::new();
+    for run in runs {
+        for (x, o) in run.before.iter().chain(run.after.iter()) {
+            let v = pool.entry(*x).or_default();
+            if !v.iter().any(|e| e.suffix == o.suffix) {
+                v.push(o.clone());
+            }
+        }
+    }
+    let mut tally = MagnetTally::default();
+    for run in runs {
+        for (x, after) in &run.after {
+            let Some(before) = run.before.get(x) else { continue };
+            let kept_magnet = after.suffix == before.suffix;
+            let others: Vec<&Observation> = pool
+                .get(x)
+                .map(|v| v.iter().filter(|o| o.suffix != after.suffix).collect())
+                .unwrap_or_default();
+            if let Some(d) = classify_decision(db, *x, kept_magnet, after, &others) {
+                tally.add(d, after);
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::Relationship;
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(10), Asn(20), Customer); // 20 customer of 10
+        db.insert(Asn(10), Asn(30), Peer);
+        db.insert(Asn(40), Asn(10), Customer); // 40 provider of 10
+        db
+    }
+
+    fn obs(suffix: &[u32]) -> Observation {
+        Observation {
+            suffix: suffix.iter().copied().map(Asn).collect(),
+            via_feed: true,
+            via_probe: false,
+        }
+    }
+
+    #[test]
+    fn cheaper_chosen_is_best_relationship() {
+        let db = db();
+        let chosen = obs(&[20, 99]);
+        let other = obs(&[30, 99]);
+        let d = classify_decision(&db, Asn(10), false, &chosen, &[&other]);
+        assert_eq!(d, Some(MagnetDecision::BestRelationship));
+    }
+
+    #[test]
+    fn equal_cost_shorter_is_shorter_path() {
+        let db = db();
+        let chosen = obs(&[30, 99]);
+        let other = obs(&[30, 98, 99]);
+        let d = classify_decision(&db, Asn(10), false, &chosen, &[&other]);
+        assert_eq!(d, Some(MagnetDecision::ShorterPath));
+    }
+
+    #[test]
+    fn ties_split_by_keep_or_switch() {
+        let db = db();
+        let chosen = obs(&[30, 99]);
+        let other = obs(&[30, 98]); // same cost (peer), same length
+        assert_eq!(
+            classify_decision(&db, Asn(10), true, &chosen, &[&other]),
+            Some(MagnetDecision::OldestRoute)
+        );
+        assert_eq!(
+            classify_decision(&db, Asn(10), false, &chosen, &[&other]),
+            Some(MagnetDecision::IntradomainTieBreaker)
+        );
+    }
+
+    #[test]
+    fn expensive_or_longer_choice_is_violation() {
+        let db = db();
+        // Chose provider route while a customer route was observed.
+        let chosen = obs(&[40, 99]);
+        let other = obs(&[20, 99]);
+        assert_eq!(
+            classify_decision(&db, Asn(10), false, &chosen, &[&other]),
+            Some(MagnetDecision::Violation)
+        );
+        // Chose a longer route at the same cost.
+        let chosen = obs(&[30, 98, 99]);
+        let other = obs(&[30, 99]);
+        assert_eq!(
+            classify_decision(&db, Asn(10), true, &chosen, &[&other]),
+            Some(MagnetDecision::Violation)
+        );
+    }
+
+    #[test]
+    fn unrankable_routes_are_skipped_or_dropped() {
+        let db = db();
+        // Chosen next hop unknown to the topology: the AS is skipped.
+        let chosen = obs(&[77, 99]);
+        let other = obs(&[30, 99]);
+        assert_eq!(classify_decision(&db, Asn(10), false, &chosen, &[&other]), None);
+        // Unrankable alternatives are dropped from the comparison; a known
+        // chosen route with only unrankable others is an uncontested best.
+        let chosen = obs(&[30, 99]);
+        let other = obs(&[77, 99]);
+        assert_eq!(
+            classify_decision(&db, Asn(10), false, &chosen, &[&other]),
+            Some(MagnetDecision::BestRelationship)
+        );
+    }
+
+    #[test]
+    fn tally_splits_channels() {
+        let db = db();
+        let mut before = BTreeMap::new();
+        let mut after = BTreeMap::new();
+        let mut o1 = obs(&[20, 99]);
+        o1.via_probe = true; // both channels
+        before.insert(Asn(10), o1.clone());
+        after.insert(Asn(10), o1);
+        let run = MagnetRun { magnet: Asn(99), before, after, truth_steps: BTreeMap::new() };
+        let t = analyze_runs(&db, std::slice::from_ref(&run));
+        let (f, tr) = t.totals();
+        assert_eq!(f, 1);
+        assert_eq!(tr, 1);
+        // Kept, no alternatives: folded into BestRelationship.
+        assert_eq!(t.feeds(MagnetDecision::BestRelationship), 1);
+    }
+}

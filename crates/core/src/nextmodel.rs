@@ -1,0 +1,314 @@
+//! An *informed* routing model — the paper's future work, §7.
+//!
+//! The paper closes: "we aim to incorporate our findings into new models
+//! of Internet routing". This module builds that next model and measures
+//! how much it helps. It extends plain Gao–Rexford classification with the
+//! two signals the paper showed to matter and showed how to obtain:
+//!
+//! * **learned neighbor rankings** — the poisoning experiments (§3.2)
+//!   reveal each target AS's *actual* preference order over its neighbors,
+//!   at the finer-than-relationship granularity that iPlane Nano argued
+//!   for and the paper's §4.4 violations demanded. When the informed model
+//!   has a revealed ranking for an AS, "Best" means "consistent with the
+//!   revealed order", not "cheapest relationship class".
+//! * **detected domestic preference** — ASes whose violations are
+//!   repeatedly explained by the §6 domestic-path analysis are marked;
+//!   their all-domestic decisions satisfy Best by policy.
+//!
+//! The model is *honestly obtainable*: both signals come from measurement
+//! procedures the paper actually ran, never from ground truth.
+
+use crate::classify::{Category, ClassifyConfig, Classifier};
+use crate::dataset::{Decision, MeasuredPath};
+use ir_types::{Asn, CountryId};
+use ir_measure::AlternateDiscovery;
+use ir_topology::orgs::OrgRegistry;
+use ir_topology::RelationshipDb;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The informed model: learned rankings + detected domestic preference,
+/// layered over a configured GR classifier.
+pub struct InformedModel {
+    /// Revealed preference position of each (AS, neighbor): 0 = most
+    /// preferred. Only present for ASes the active experiments covered.
+    ranks: BTreeMap<(Asn, Asn), usize>,
+    /// ASes detected to prefer domestic paths.
+    domestic: BTreeSet<Asn>,
+    /// Country each AS is registered in (whois), for the domestic test.
+    whois_country: BTreeMap<Asn, CountryId>,
+}
+
+impl InformedModel {
+    /// Learns the model from the paper's own measurement outputs.
+    ///
+    /// * `discoveries` — poisoning-revealed preference orders (§3.2);
+    /// * `paths` + `classifier` + `registry` — the passive campaign, used
+    ///   to detect domestic-preferring ASes: an AS is marked when at least
+    ///   `domestic_threshold` of its violating decisions sit on
+    ///   single-country traceroutes.
+    pub fn learn(
+        discoveries: &[AlternateDiscovery],
+        paths: &[MeasuredPath],
+        classifier: &mut Classifier<'_>,
+        registry: &OrgRegistry,
+        domestic_threshold: usize,
+    ) -> InformedModel {
+        let mut ranks = BTreeMap::new();
+        for d in discoveries {
+            for (pos, r) in d.routes.iter().enumerate() {
+                // First revelation wins (it is the most preferred position
+                // at which this neighbor ever appeared).
+                ranks.entry((d.target, r.next_hop)).or_insert(pos);
+            }
+        }
+
+        let mut domestic_votes: BTreeMap<Asn, usize> = BTreeMap::new();
+        for p in paths {
+            if p.domestic().is_none() {
+                continue;
+            }
+            for d in p.decisions() {
+                if classifier.classify(&d).category.is_violation() {
+                    *domestic_votes.entry(d.observer).or_default() += 1;
+                }
+            }
+        }
+        let domestic = domestic_votes
+            .into_iter()
+            .filter(|(_, n)| *n >= domestic_threshold)
+            .map(|(a, _)| a)
+            .collect();
+
+        let whois_country =
+            registry.whois_records().map(|w| (w.asn, w.country)).collect();
+        InformedModel { ranks, domestic, whois_country }
+    }
+
+    /// Number of (AS, neighbor) pairs with a revealed ranking.
+    pub fn learned_pairs(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Number of ASes detected as domestic-preferring.
+    pub fn domestic_ases(&self) -> usize {
+        self.domestic.len()
+    }
+
+    /// Whether the revealed order at `observer` is consistent with using
+    /// `next_hop`: no *other* neighbor with a strictly better revealed
+    /// rank... is known. `None` when the model has no data for the pair.
+    fn rank_consistent(&self, observer: Asn, next_hop: Asn) -> Option<bool> {
+        let used = *self.ranks.get(&(observer, next_hop))?;
+        let best = self
+            .ranks
+            .range((observer, Asn(0))..=(observer, Asn(u32::MAX)))
+            .map(|(_, r)| *r)
+            .min()
+            .expect("at least the used pair");
+        Some(used == best)
+    }
+
+    /// Whether the measured path of `d` (from the observer on) stays in
+    /// the observer's whois country.
+    fn decision_is_domestic(&self, d: &Decision, path: &[Asn]) -> bool {
+        let Some(home) = self.whois_country.get(&d.observer) else { return false };
+        path[d.path_index..]
+            .iter()
+            .all(|a| self.whois_country.get(a) == Some(home))
+    }
+
+    /// Classifies a decision under the informed model: the GR verdict,
+    /// upgraded when learned rankings or detected domestic preference
+    /// justify the choice.
+    pub fn classify(
+        &self,
+        classifier: &mut Classifier<'_>,
+        d: &Decision,
+        path: &[Asn],
+    ) -> Category {
+        let base = classifier.classify(d);
+        if base.category == Category::BestShort {
+            return base.category;
+        }
+        let mut best = base.category.is_best();
+        let mut short = base.category.is_short();
+        // Learned ranking overrides the relationship-class Best test.
+        if let Some(consistent) = self.rank_consistent(d.observer, d.next_hop) {
+            best = consistent;
+        }
+        // Detected domestic preference: an all-domestic choice by a
+        // domestic-preferring AS is policy-consistent in both dimensions
+        // (the AS is optimizing under a constraint the model now knows).
+        if self.domestic.contains(&d.observer) && self.decision_is_domestic(d, path) {
+            best = true;
+            short = true;
+        }
+        match (best, short) {
+            (true, true) => Category::BestShort,
+            (false, true) => Category::NonBestShort,
+            (true, false) => Category::BestLong,
+            (false, false) => Category::NonBestLong,
+        }
+    }
+
+    /// Reclassifies a whole campaign: returns `(gr_best_short,
+    /// informed_best_short, total)` counts for the headline comparison.
+    pub fn evaluate(
+        &self,
+        db: &RelationshipDb,
+        cfg: ClassifyConfig<'_>,
+        paths: &[MeasuredPath],
+    ) -> (usize, usize, usize) {
+        let mut classifier = Classifier::new(db, cfg);
+        let mut gr = 0usize;
+        let mut informed = 0usize;
+        let mut total = 0usize;
+        for p in paths {
+            for d in p.decisions() {
+                total += 1;
+                if !classifier.classify(&d).category.is_violation() {
+                    gr += 1;
+                }
+                if self.classify(&mut classifier, &d, &p.path) == Category::BestShort {
+                    informed += 1;
+                }
+            }
+        }
+        (gr, informed, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_measure::peering::DiscoveredRoute;
+    use ir_types::{CityId, Prefix, Relationship};
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Peer);
+        db.insert(Asn(5), Asn(2), Provider);
+        db.insert(Asn(5), Asn(1), Provider);
+        db
+    }
+
+    fn decision(observer: u32, next: u32, dest: u32, len: usize) -> Decision {
+        Decision {
+            observer: Asn(observer),
+            next_hop: Asn(next),
+            dest: Asn(dest),
+            prefix: None::<Prefix>,
+            src: Asn(observer),
+            suffix_len: len,
+            link_city: None::<CityId>,
+            path_index: 0,
+        }
+    }
+
+    fn discovery(target: u32, hops: &[u32]) -> AlternateDiscovery {
+        AlternateDiscovery {
+            target: Asn(target),
+            announcements: hops.len(),
+            routes: hops
+                .iter()
+                .enumerate()
+                .map(|(round, &nh)| DiscoveredRoute {
+                    round,
+                    next_hop: Asn(nh),
+                    suffix: vec![Asn(nh), Asn(99)],
+                })
+                .collect(),
+        }
+    }
+
+    fn empty_registry() -> OrgRegistry {
+        OrgRegistry::default()
+    }
+
+    #[test]
+    fn learned_ranking_upgrades_nonbest_decisions() {
+        let db = db();
+        // GR says: 1 routing to 5 via peer 2 is NonBest (customer 5 direct).
+        // The poisoning experiment revealed that 1 actually prefers 2 first.
+        let discoveries = vec![discovery(1, &[2, 5])];
+        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model =
+            InformedModel::learn(&discoveries, &[], &mut classifier, &empty_registry(), 1);
+        assert_eq!(model.learned_pairs(), 2);
+        let d = decision(1, 2, 5, 2);
+        let path = [Asn(1), Asn(2), Asn(5)];
+        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        let gr = c2.classify(&d).category;
+        assert!(!gr.is_best(), "plain GR flags the peer detour");
+        let informed = model.classify(&mut c2, &d, &path);
+        assert!(informed.is_best(), "revealed ranking explains it");
+    }
+
+    #[test]
+    fn learned_ranking_still_flags_inconsistent_choices() {
+        let db = db();
+        // Revealed order at 1: prefers 5 first, then 2. Using 2 while 5
+        // was available stays NonBest even under the informed model.
+        let discoveries = vec![discovery(1, &[5, 2])];
+        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model =
+            InformedModel::learn(&discoveries, &[], &mut classifier, &empty_registry(), 1);
+        let d = decision(1, 2, 5, 2);
+        let path = [Asn(1), Asn(2), Asn(5)];
+        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        let informed = model.classify(&mut c2, &d, &path);
+        assert!(!informed.is_best());
+    }
+
+    #[test]
+    fn no_data_falls_back_to_gr() {
+        let db = db();
+        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model = InformedModel::learn(&[], &[], &mut classifier, &empty_registry(), 1);
+        assert_eq!(model.learned_pairs(), 0);
+        assert_eq!(model.domestic_ases(), 0);
+        let d = decision(1, 5, 5, 1);
+        let path = [Asn(1), Asn(5)];
+        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        let gr = c2.classify(&d).category;
+        let mut c3 = Classifier::new(&db, ClassifyConfig::default());
+        assert_eq!(model.classify(&mut c3, &d, &path), gr);
+    }
+
+    #[test]
+    fn domestic_detection_requires_whois_and_threshold() {
+        use ir_topology::orgs::WhoisRecord;
+        let db = db();
+        let mut reg = OrgRegistry::default();
+        for asn in [1u32, 2, 5] {
+            reg.add_whois(WhoisRecord {
+                asn: Asn(asn),
+                email: format!("noc@as{asn}.example"),
+                org_field: format!("ORG-{asn}"),
+                country: CountryId(3),
+            });
+        }
+        // A model with AS 1 marked domestic (manually, via a path set that
+        // votes it over the threshold) upgrades its domestic detours.
+        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+        let mut model = InformedModel::learn(&[], &[], &mut classifier, &reg, 1);
+        model.domestic.insert(Asn(1));
+        let d = decision(1, 2, 5, 2);
+        let path = [Asn(1), Asn(2), Asn(5)];
+        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        assert_eq!(model.classify(&mut c2, &d, &path), Category::BestShort);
+        // A path through an AS in another country is not domestic.
+        reg.add_whois(WhoisRecord {
+            asn: Asn(2),
+            email: "noc@as2.example".into(),
+            org_field: "ORG-2B".into(),
+            country: CountryId(9),
+        });
+        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+        let mut model2 = InformedModel::learn(&[], &[], &mut classifier, &reg, 1);
+        model2.domestic.insert(Asn(1));
+        let mut c3 = Classifier::new(&db, ClassifyConfig::default());
+        assert!(model2.classify(&mut c3, &d, &path).is_violation());
+    }
+}

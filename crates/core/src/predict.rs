@@ -1,0 +1,151 @@
+//! Path-level prediction accuracy (the §2 use-case).
+//!
+//! The paper's motivation is that security/reliability studies *simulate*
+//! interdomain routing over inferred topologies. Decision classification
+//! (Figure 1) scores one hop at a time; this module asks the question those
+//! simulation studies actually depend on: **if you predict the whole path
+//! with the Gao–Rexford model over the inferred topology, how often do you
+//! get it right?** — the evaluation style of iPlane Nano and Mühlbauer
+//! et al., both cited in §2.
+//!
+//! Predictions use the model's shortest best-class path (the standard
+//! simulator tie-break of §2: "restrict path selection to the shortest
+//! among all paths satisfying Local Preference").
+
+use crate::dataset::MeasuredPath;
+use crate::grmodel::{GrModel, GrRoutes};
+use ir_types::Asn;
+use std::collections::BTreeMap;
+
+/// Path-prediction agreement metrics over a measured dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictReport {
+    /// Paths with a prediction (source and destination both in the model,
+    /// destination reachable).
+    pub predicted: usize,
+    /// Measured paths with no prediction available.
+    pub unpredictable: usize,
+    /// Predicted path exactly equals the measured path.
+    pub exact: usize,
+    /// Predicted first hop (the measured source's next AS) matches.
+    pub first_hop: usize,
+    /// Predicted length equals the measured length.
+    pub same_length: usize,
+}
+
+impl PredictReport {
+    /// Exact-path agreement rate.
+    pub fn exact_rate(&self) -> f64 {
+        self.rate(self.exact)
+    }
+
+    /// First-hop agreement rate.
+    pub fn first_hop_rate(&self) -> f64 {
+        self.rate(self.first_hop)
+    }
+
+    /// Length agreement rate.
+    pub fn length_rate(&self) -> f64 {
+        self.rate(self.same_length)
+    }
+
+    fn rate(&self, n: usize) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            n as f64 / self.predicted as f64
+        }
+    }
+}
+
+/// Predicts the path from `src` to `dst` under the model: the shortest
+/// best-class valley-free path, source exclusive, destination inclusive.
+pub fn predict_path(routes: &GrRoutes, src: Asn) -> Option<Vec<Asn>> {
+    routes.extract_path(src)
+}
+
+/// Evaluates path prediction over a measured dataset.
+pub fn evaluate(model: &GrModel, paths: &[MeasuredPath]) -> PredictReport {
+    let mut cache: BTreeMap<Asn, GrRoutes> = BTreeMap::new();
+    let mut report = PredictReport::default();
+    for m in paths {
+        let routes = cache
+            .entry(m.dest)
+            .or_insert_with(|| model.routes_to(m.dest));
+        let Some(predicted) = predict_path(routes, m.src) else {
+            report.unpredictable += 1;
+            continue;
+        };
+        report.predicted += 1;
+        // Measured path, source exclusive (matching the prediction's shape).
+        let measured = &m.path[1..];
+        if predicted == measured {
+            report.exact += 1;
+        }
+        if predicted.first() == measured.first() {
+            report.first_hop += 1;
+        }
+        if predicted.len() == measured.len() {
+            report.same_length += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::RelationshipDb;
+    use ir_types::{CityId, CountryId, Prefix, Relationship};
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Peer);
+        db.insert(Asn(3), Asn(1), Provider);
+        db.insert(Asn(5), Asn(2), Provider);
+        db.insert(Asn(5), Asn(1), Provider);
+        db
+    }
+
+    fn path(hops: &[u32]) -> MeasuredPath {
+        MeasuredPath {
+            src: Asn(hops[0]),
+            path: hops.iter().copied().map(Asn).collect(),
+            dest: Asn(*hops.last().unwrap()),
+            prefix: None::<Prefix>,
+            hostname: None,
+            link_cities: vec![None::<CityId>; hops.len() - 1],
+            hop_continents: Vec::new(),
+            hop_countries: vec![CountryId(0); 0],
+        }
+    }
+
+    #[test]
+    fn exact_and_partial_agreement() {
+        let db = db();
+        let model = GrModel::new(&db);
+        // 3's modeled path to 5: 3→1→5 (customer at 1... 3 climbs to
+        // provider 1 which has customer 5): predicted [1, 5].
+        let exact = path(&[3, 1, 5]);
+        // A measured detour 3→1→2→5: first hop matches, rest doesn't.
+        let detour = path(&[3, 1, 2, 5]);
+        let report = evaluate(&model, &[exact, detour]);
+        assert_eq!(report.predicted, 2);
+        assert_eq!(report.exact, 1);
+        assert_eq!(report.first_hop, 2);
+        assert_eq!(report.same_length, 1);
+        assert!((report.exact_rate() - 0.5).abs() < 1e-9);
+        assert!((report.first_hop_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_sources_are_unpredictable() {
+        let db = db();
+        let model = GrModel::new(&db);
+        let report = evaluate(&model, &[path(&[99, 1, 5])]);
+        assert_eq!(report.predicted, 0);
+        assert_eq!(report.unpredictable, 1);
+        assert_eq!(report.exact_rate(), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Looking-glass validation of prefix-specific-policy inferences (§4.3).
+//!
+//! When criterion 1 declares "origin O does not announce prefix P to
+//! neighbor N", the claim can be checked wherever N hosts a looking glass:
+//! if the glass at N shows a route for P learned directly from O, the
+//! inference was wrong. The paper found glasses in 28 of 149 candidate
+//! neighbor ASes and measured 78% precision for criterion 1 over 10
+//! manually-verified cases.
+
+use ir_types::{Asn, Prefix};
+use ir_inference::feeds::BgpFeed;
+use ir_measure::LookingGlassNet;
+use ir_topology::{RelationshipDb, World};
+use std::collections::BTreeSet;
+
+/// One PSP inference: "origin does not announce `prefix` to `neighbor`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PspCase {
+    pub origin: Asn,
+    pub neighbor: Asn,
+    pub prefix: Prefix,
+}
+
+/// Enumerates the criterion-1 PSP cases implied by a feed and topology:
+/// every (origin, neighbor) link in the inferred topology for which the
+/// feed shows the origin announcing *some* prefix to that neighbor but not
+/// `prefix`. (Without the some-prefix gate, every invisible corner of the
+/// feed would be declared a policy; these are "cases of prefix-specific
+/// policies", not cases of poor visibility.)
+pub fn psp_cases(db: &RelationshipDb, feed: &BgpFeed, origins: &[(Asn, Prefix)]) -> Vec<PspCase> {
+    let mut out = Vec::new();
+    for &(origin, prefix) in origins {
+        for (neighbor, _) in db.neighbors_of(origin) {
+            if feed.announces_any_to(origin, neighbor)
+                && !feed.announces_to(origin, neighbor, prefix)
+            {
+                out.push(PspCase { origin, neighbor, prefix });
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Validation outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Cases we found a looking glass for.
+    pub checkable: usize,
+    /// Cases the glass confirmed (no direct route from the origin).
+    pub confirmed: usize,
+    /// Cases the glass refuted (a direct origin route exists).
+    pub refuted: usize,
+    /// Distinct neighbor ASes among all cases.
+    pub neighbor_ases: usize,
+    /// Distinct neighbor ASes hosting a glass.
+    pub neighbors_with_glass: usize,
+}
+
+impl ValidationReport {
+    /// Precision of criterion 1 over the checkable cases.
+    pub fn precision(&self) -> f64 {
+        if self.checkable == 0 {
+            0.0
+        } else {
+            self.confirmed as f64 / self.checkable as f64
+        }
+    }
+}
+
+/// Validates PSP cases against the looking-glass network, checking at most
+/// `limit` cases (the paper manually verified 10).
+pub fn validate_cases(
+    world: &World,
+    lg: &LookingGlassNet,
+    cases: &[PspCase],
+    limit: usize,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let neighbors: BTreeSet<Asn> = cases.iter().map(|c| c.neighbor).collect();
+    report.neighbor_ases = neighbors.len();
+    report.neighbors_with_glass = neighbors.iter().filter(|n| lg.has_glass(**n)).count();
+    for case in cases.iter().filter(|c| lg.has_glass(c.neighbor)).take(limit) {
+        let Some(routes) = lg.query(world, case.neighbor, case.prefix, case.origin) else {
+            continue;
+        };
+        report.checkable += 1;
+        let direct = routes.iter().any(|r| r.learned_from == Some(case.origin));
+        if direct {
+            report.refuted += 1;
+        } else {
+            report.confirmed += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_inference::feeds::FeedEntry;
+    use ir_types::Relationship;
+
+    #[test]
+    fn cases_enumerate_unevidenced_edges() {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(5), Asn(1), Relationship::Provider);
+        db.insert(Asn(5), Asn(2), Relationship::Provider);
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let other: Prefix = "10.0.1.0/24".parse().unwrap();
+        let feed = BgpFeed {
+            entries: vec![
+                FeedEntry { prefix: pfx, path: vec![Asn(9), Asn(1), Asn(5)] },
+                // The 5–2 edge carries *another* prefix, so its silence on
+                // `pfx` is a policy signal, not poor visibility.
+                FeedEntry { prefix: other, path: vec![Asn(9), Asn(2), Asn(5)] },
+            ],
+        };
+        let cases = psp_cases(&db, &feed, &[(Asn(5), pfx)]);
+        // Edge 5–1 evidenced for `pfx`; 5–2 evidenced only for `other`.
+        assert_eq!(cases, vec![PspCase { origin: Asn(5), neighbor: Asn(2), prefix: pfx }]);
+        // Without any evidence on an edge, no case is raised (the gate).
+        let silent = BgpFeed {
+            entries: vec![FeedEntry { prefix: pfx, path: vec![Asn(9), Asn(1), Asn(5)] }],
+        };
+        assert!(psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty() || {
+            // 5–1 carries pfx, so only 5–2 could be a case — and it is
+            // gated away.
+            psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty()
+        });
+    }
+
+    #[test]
+    fn validation_against_ground_truth_world() {
+        // End-to-end: build a world, pick a ground-truth selective
+        // announcement, and confirm the glass at an excluded neighbor
+        // refutes/confirms correctly.
+        let world = ir_topology::GeneratorConfig::default().build(29);
+        let lg = LookingGlassNet::deploy(&world, 1.0, 1);
+        // Find an origin with a ground-truth PSP.
+        let (idx, prefix, allowed) = world
+            .policies
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| {
+                p.selective_announce.iter().next().map(|(pfx, allowed)| (i, *pfx, allowed.clone()))
+            })
+            .expect("generated world has PSPs");
+        let origin = world.graph.asn(idx);
+        // A neighbor excluded from the announcement set.
+        let excluded = world
+            .graph
+            .links(idx)
+            .iter()
+            .map(|l| world.graph.asn(l.peer))
+            .find(|a| !allowed.contains(a));
+        let Some(excluded) = excluded else { return };
+        if !lg.has_glass(excluded) {
+            return; // only transit ASes host glasses
+        }
+        let case = PspCase { origin, neighbor: excluded, prefix };
+        let report = validate_cases(&world, &lg, &[case], 10);
+        assert_eq!(report.checkable, 1);
+        // Ground truth says the origin really does not announce to this
+        // neighbor, so the glass confirms the case.
+        assert_eq!(report.confirmed, 1, "true PSP confirmed by the glass");
+        assert!((report.precision() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! The deterministic address plan.
+//!
+//! Every AS numbers its router interfaces out of the **low** addresses of
+//! its first prefix, one per point-of-presence city; content servers sit at
+//! the **high** end of their deployment prefixes (see
+//! [`ir_topology::content::Deployment::server_ip`]), so the two never
+//! collide. A reserved, *unannounced* IXP block provides the shared
+//! interconnection addresses that defeat IP→AS mapping at exchange points.
+
+use ir_types::{Asn, CityId, Ipv4, Prefix};
+use ir_topology::World;
+use std::collections::BTreeMap;
+
+/// The unannounced IXP address block (plays the role of 198.32.0.0/16-style
+/// exchange fabrics).
+pub const IXP_BLOCK: Prefix = Prefix { base: Ipv4(0xC620_0000), len: 16 }; // 198.32.0.0/16
+
+/// Address plan for a world.
+pub struct AddressPlan {
+    /// Router interface address per (AS, city-of-presence).
+    router_ifaces: BTreeMap<(Asn, CityId), Ipv4>,
+    /// Reverse map for ground-truth lookups in tests and oracles.
+    reverse: BTreeMap<Ipv4, (Asn, CityId)>,
+}
+
+impl AddressPlan {
+    /// Builds the plan: for every AS, interface `i` (the i-th presence
+    /// city, in presence order) gets `first_prefix.addr(1 + i)`.
+    pub fn build(world: &World) -> AddressPlan {
+        let mut router_ifaces = BTreeMap::new();
+        let mut reverse = BTreeMap::new();
+        for node in world.graph.nodes() {
+            let pfx = node.prefixes[0];
+            for (i, &city) in node.presence.iter().enumerate() {
+                // Interfaces occupy .1 .. .62 of the first /24; presence
+                // lists are far smaller than that in any config.
+                let ip = pfx.addr(1 + (i as u64 % 62));
+                router_ifaces.insert((node.asn, city), ip);
+                reverse.entry(ip).or_insert((node.asn, city));
+            }
+        }
+        AddressPlan { router_ifaces, reverse }
+    }
+
+    /// The router interface of `asn` at `city`, if the AS has a PoP there.
+    pub fn router(&self, asn: Asn, city: CityId) -> Option<Ipv4> {
+        self.router_ifaces.get(&(asn, city)).copied()
+    }
+
+    /// Any router interface of `asn` (its first PoP in presence order).
+    pub fn any_router(&self, asn: Asn) -> Option<Ipv4> {
+        self.router_ifaces
+            .iter()
+            .find(|((a, _), _)| *a == asn)
+            .map(|(_, ip)| *ip)
+    }
+
+    /// The shared IXP fabric address used at `city`.
+    pub fn ixp_address(city: CityId) -> Ipv4 {
+        IXP_BLOCK.addr(1 + city.0 as u64)
+    }
+
+    /// Ground truth: which AS/city owns this router interface (not
+    /// available to the measurement pipeline — used by tests and oracles).
+    pub fn truth(&self, ip: Ipv4) -> Option<(Asn, CityId)> {
+        self.reverse.get(&ip).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+
+    #[test]
+    fn ixp_block_value() {
+        assert_eq!(IXP_BLOCK.to_string(), "198.32.0.0/16");
+        assert!(IXP_BLOCK.contains(AddressPlan::ixp_address(CityId(7))));
+    }
+
+    #[test]
+    fn interfaces_live_inside_own_prefix() {
+        let w = GeneratorConfig::tiny().build(2);
+        let plan = AddressPlan::build(&w);
+        for node in w.graph.nodes() {
+            for &city in &node.presence {
+                let ip = plan.router(node.asn, city).expect("PoP has an interface");
+                assert!(node.prefixes[0].contains(ip), "{} interface outside prefix", node.asn);
+                // Interfaces never collide with deployment server addresses
+                // (servers are at the top of their prefix).
+                assert_ne!(ip, node.prefixes[0].addr(node.prefixes[0].size() - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn truth_roundtrip() {
+        let w = GeneratorConfig::tiny().build(2);
+        let plan = AddressPlan::build(&w);
+        let node = &w.graph.nodes()[0];
+        let city = node.presence[0];
+        let ip = plan.router(node.asn, city).unwrap();
+        assert_eq!(plan.truth(ip), Some((node.asn, city)));
+        assert_eq!(plan.any_router(node.asn), Some(ip));
+    }
+
+    #[test]
+    fn unknown_lookups_are_none() {
+        let w = GeneratorConfig::tiny().build(2);
+        let plan = AddressPlan::build(&w);
+        assert_eq!(plan.router(Asn(424242), CityId(0)), None);
+        assert_eq!(plan.truth(Ipv4::new(203, 0, 113, 77)), None);
+        assert_eq!(plan.any_router(Asn(424242)), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Alidade-like IP geolocation.
+//!
+//! The paper uses the Alidade database (Chandrasekaran et al.) because it
+//! has "good coverage of infrastructure IPs such as routers". We build the
+//! equivalent: a database mapping router-interface and server addresses to
+//! cities, derived from ground truth with a seeded error model — a small
+//! fraction of addresses is missing, and a small fraction is mislocated to
+//! another city in the same country (the dominant real-world failure mode
+//! for infrastructure geolocation).
+
+use crate::addr::AddressPlan;
+use ir_types::{CityId, Continent, CountryId, Ipv4};
+use ir_topology::World;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// Error-model parameters for the database build.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoConfig {
+    /// Probability that an address is simply absent from the database.
+    pub miss_rate: f64,
+    /// Probability that a present address is mapped to a wrong city within
+    /// the right country.
+    pub wrong_city_rate: f64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig { miss_rate: 0.02, wrong_city_rate: 0.03 }
+    }
+}
+
+/// The geolocation database.
+pub struct GeoDb {
+    entries: BTreeMap<Ipv4, CityId>,
+    /// Country/continent lookups resolved at query time via the world's
+    /// geography, captured here to keep the query API self-contained.
+    city_country: Vec<CountryId>,
+    country_continent: Vec<Continent>,
+}
+
+impl GeoDb {
+    /// An empty database (every lookup misses). Useful for pure-path unit
+    /// tests in downstream crates.
+    pub fn empty() -> GeoDb {
+        GeoDb { entries: BTreeMap::new(), city_country: Vec::new(), country_continent: Vec::new() }
+    }
+
+    /// Builds the database from the world's address plan and server
+    /// deployments, with the given error model.
+    pub fn build(world: &World, plan: &AddressPlan, cfg: GeoConfig, seed: u64) -> GeoDb {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut entries = BTreeMap::new();
+        // Router interfaces.
+        for node in world.graph.nodes() {
+            for &city in &node.presence {
+                if let Some(ip) = plan.router(node.asn, city) {
+                    if let Some(loc) = Self::perturb(world, city, cfg, &mut rng) {
+                        entries.insert(ip, loc);
+                    }
+                }
+            }
+        }
+        // Content servers: located at the hosting AS's first presence city.
+        for p in world.content.providers() {
+            for d in &p.deployments {
+                if let Some(idx) = world.graph.index_of(d.host_as) {
+                    let city = world.graph.node(idx).presence[0];
+                    if let Some(loc) = Self::perturb(world, city, cfg, &mut rng) {
+                        entries.insert(d.server_ip(), loc);
+                    }
+                }
+            }
+        }
+        GeoDb {
+            entries,
+            city_country: world.geo.cities().iter().map(|c| c.country).collect(),
+            country_continent: world
+                .geo
+                .countries()
+                .iter()
+                .map(|c| c.continent)
+                .collect(),
+        }
+    }
+
+    fn perturb(world: &World, city: CityId, cfg: GeoConfig, rng: &mut StdRng) -> Option<CityId> {
+        if rng.random_bool(cfg.miss_rate) {
+            return None;
+        }
+        if rng.random_bool(cfg.wrong_city_rate) {
+            let country = world.geo.country_of(city);
+            let siblings = &world.geo.country(country).cities;
+            if siblings.len() > 1 {
+                let other: Vec<CityId> = siblings.iter().copied().filter(|c| *c != city).collect();
+                return Some(other[rng.random_range(0..other.len())]);
+            }
+        }
+        Some(city)
+    }
+
+    /// City an address geolocates to, if known.
+    pub fn city(&self, ip: Ipv4) -> Option<CityId> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Country an address geolocates to.
+    pub fn country(&self, ip: Ipv4) -> Option<CountryId> {
+        self.city(ip).map(|c| self.city_country[c.0 as usize])
+    }
+
+    /// Continent an address geolocates to.
+    pub fn continent(&self, ip: Ipv4) -> Option<Continent> {
+        self.country(ip).map(|c| self.country_continent[c.0 as usize])
+    }
+
+    /// Number of addresses in the database.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+
+    fn setup() -> (World, AddressPlan) {
+        let w = GeneratorConfig::tiny().build(4);
+        let plan = AddressPlan::build(&w);
+        (w, plan)
+    }
+
+    #[test]
+    fn perfect_db_matches_ground_truth() {
+        let (w, plan) = setup();
+        let cfg = GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 };
+        let db = GeoDb::build(&w, &plan, cfg, 1);
+        for node in w.graph.nodes() {
+            for &city in &node.presence {
+                let ip = plan.router(node.asn, city).unwrap();
+                // Multiple presence cities can share one interface address
+                // (modulo wrap); ground truth only guaranteed for the entry
+                // the reverse map kept.
+                if plan.truth(ip) == Some((node.asn, city)) {
+                    assert_eq!(db.city(ip), Some(city));
+                    assert_eq!(db.country(ip), Some(w.geo.country_of(city)));
+                    assert_eq!(db.continent(ip), Some(w.geo.continent_of(city)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_model_misses_and_mislocates() {
+        let (w, plan) = setup();
+        let lossy = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.5, wrong_city_rate: 0.0 }, 2);
+        let perfect = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 }, 2);
+        assert!(lossy.len() < perfect.len(), "misses reduce coverage");
+
+        let wrong = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 1.0 }, 3);
+        // Wrong-city entries stay in the right country.
+        let mut mismatches = 0;
+        for node in w.graph.nodes() {
+            for &city in &node.presence {
+                let ip = plan.router(node.asn, city).unwrap();
+                if plan.truth(ip) != Some((node.asn, city)) {
+                    continue;
+                }
+                let got = wrong.city(ip).unwrap();
+                assert_eq!(
+                    w.geo.country_of(got),
+                    w.geo.country_of(city),
+                    "mislocation stays in-country"
+                );
+                if got != city {
+                    mismatches += 1;
+                }
+            }
+        }
+        assert!(mismatches > 0, "wrong_city_rate=1.0 mislocates multi-city countries");
+    }
+
+    #[test]
+    fn servers_are_geolocated() {
+        let (w, plan) = setup();
+        let db = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 }, 4);
+        let d = &w.content.providers()[0].deployments[0];
+        assert!(db.city(d.server_ip()).is_some());
+    }
+
+    #[test]
+    fn unknown_ip_is_none() {
+        let (w, plan) = setup();
+        let db = GeoDb::build(&w, &plan, GeoConfig::default(), 5);
+        assert_eq!(db.city(Ipv4::new(203, 0, 113, 1)), None);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Data-plane substrate: addresses, forwarding, traceroute, IP→AS mapping,
+//! geolocation.
+//!
+//! The paper's passive methodology (§3.1) is data-plane first: RIPE Atlas
+//! probes traceroute toward content hostnames, and the IP-level paths are
+//! converted to AS-level paths with the method of Chen et al. That
+//! conversion is lossy in specific, well-known ways — border interfaces
+//! numbered from the neighbor's space ("third-party addresses"), IXP
+//! addresses that no AS originates, unresponsive hops — and the analysis
+//! inherits those errors. This crate reproduces the whole chain:
+//!
+//! * [`addr`] — a deterministic address plan: router interface addresses
+//!   carved from each AS's prefixes, plus an unannounced IXP block;
+//! * [`trace`] — a traceroute engine that walks converged BGP forwarding
+//!   (from [`ir_bgp::RoutingUniverse`]) hop by hop, emitting interface IPs
+//!   with seeded measurement artifacts;
+//! * [`ip2as`] — the origin-prefix table (as one would build from public
+//!   BGP feeds) and the traceroute → AS-path conversion;
+//! * [`geo`] — an Alidade-like IP geolocation database with configurable
+//!   coverage and accuracy, used by the hybrid-relationship and
+//!   continental analyses (§4.1, §6).
+
+pub mod addr;
+pub mod geo;
+pub mod ip2as;
+pub mod trace;
+
+pub use addr::AddressPlan;
+pub use geo::GeoDb;
+pub use ip2as::{as_path_of, OriginTable};
+pub use trace::{Hop, TraceConfig, Traceroute, Tracer};

@@ -1,0 +1,44 @@
+//! Internal diagnostic dump for scenario tuning (not part of the paper's
+//! deliverables; `repro` is the user-facing binary).
+
+use ir_experiments::{scenario::ScenarioConfig, Scenario};
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let seed = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let cfg = match scale.as_str() {
+        "tiny" => ScenarioConfig::tiny(seed),
+        _ => ScenarioConfig::paper_scale(seed),
+    };
+    let t0 = std::time::Instant::now();
+    let s = Scenario::build(cfg);
+    println!("build: {:.1?}", t0.elapsed());
+    println!(
+        "world: {} ASes {} links | inferred {} links | unconverged prefixes: {}",
+        s.world.graph.len(),
+        s.world.graph.link_count(),
+        s.inferred.len(),
+        s.universe.unconverged().len()
+    );
+    for p in s.universe.unconverged() {
+        let origin = s.universe.origin(*p);
+        println!("  unconverged: {p} origin {origin:?}");
+    }
+    println!(
+        "campaign: {} traceroutes, {} measured, {} decisions, {} observed ASes, {} dest ASes",
+        s.campaign.traceroutes.len(),
+        s.measured.len(),
+        s.decisions.len(),
+        s.observed_ases(),
+        s.campaign.destination_ases()
+    );
+    println!("{}", ir_experiments::exp_table1::run(&s).render());
+    println!("{}", ir_experiments::exp_fig1::run(&s).render());
+    println!("{}", ir_experiments::exp_fig3::run(&s).render());
+    println!("{}", ir_experiments::exp_table2::run(&s).render());
+    println!("{}", ir_experiments::exp_table3::run(&s).render());
+    println!("{}", ir_experiments::exp_table4::run(&s).render());
+    println!("{}", ir_experiments::exp_alternates::run(&s, 60).render());
+    println!("{}", ir_experiments::exp_validation::run(&s, 10).render());
+    println!("{}", ir_experiments::exp_fig2::run(&s).render());
+}

@@ -1,0 +1,104 @@
+//! Table 1 — distribution of selected probes by AS type.
+//!
+//! The paper classifies the ASes hosting its selected RIPE Atlas probes
+//! with the method of Oliveira et al. We do the same, over the *inferred*
+//! topology (the measurement pipeline has no ground truth), and report per
+//! AS type the number of probes, distinct ASes, and distinct countries.
+
+use crate::report::TextTable;
+use crate::scenario::Scenario;
+use ir_types::{AsType, Asn, CountryId};
+use ir_topology::classify::TypeClassifier;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    pub as_type: String,
+    pub probes: usize,
+    pub distinct_ases: usize,
+    pub distinct_countries: usize,
+}
+
+/// The full result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    pub rows: Vec<Table1Row>,
+    pub total_probes: usize,
+}
+
+/// Runs the experiment.
+pub fn run(s: &Scenario) -> Table1 {
+    let classifier = TypeClassifier::new(&s.inferred);
+    let mut per_type: BTreeMap<AsType, (usize, BTreeSet<Asn>, BTreeSet<CountryId>)> =
+        BTreeMap::new();
+    for p in &s.probes {
+        let t = classifier.classify(p.asn);
+        let e = per_type.entry(t).or_default();
+        e.0 += 1;
+        e.1.insert(p.asn);
+        e.2.insert(p.country);
+    }
+    let rows = AsType::ALL
+        .iter()
+        .map(|t| {
+            let (probes, ases, countries) =
+                per_type.get(t).cloned().unwrap_or((0, BTreeSet::new(), BTreeSet::new()));
+            Table1Row {
+                as_type: t.label().to_string(),
+                probes,
+                distinct_ases: ases.len(),
+                distinct_countries: countries.len(),
+            }
+        })
+        .collect();
+    Table1 { rows, total_probes: s.probes.len() }
+}
+
+impl Table1 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 1: Distribution of selected probes",
+            &["AS type", "Probes", "Distinct ASes", "Distinct Countries"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.as_type.clone(),
+                r.probes.to_string(),
+                r.distinct_ases.to_string(),
+                r.distinct_countries.to_string(),
+            ]);
+        }
+        t.row(&[
+            "Total".into(),
+            self.total_probes.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::Scenario;
+    
+
+    fn scenario() -> &'static Scenario {
+        crate::testutil::tiny7()
+    }
+
+    #[test]
+    fn rows_sum_to_selected_probes() {
+        let t = super::run(scenario());
+        let sum: usize = t.rows.iter().map(|r| r.probes).sum();
+        assert_eq!(sum, t.total_probes);
+        assert_eq!(t.rows.len(), 4);
+        // Edge-heavy platform: stubs + small ISPs dominate.
+        let edge: usize = t.rows[..2].iter().map(|r| r.probes).sum();
+        assert!(edge * 2 > t.total_probes, "probes sit near the edge");
+        assert!(t.render().contains("Stub-AS"));
+    }
+}

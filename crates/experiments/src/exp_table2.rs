@@ -1,0 +1,226 @@
+//! Table 2 — BGP decisions observed after anycasting a magnet prefix.
+//!
+//! One magnet run per mux; the analysis attributes each observed AS's
+//! post-anycast choice to a BGP decision step, tallied separately for the
+//! feed and traceroute observation channels. Because the simulator knows
+//! which step *actually* decided (ground truth the real experiment never
+//! had), the result also reports how often the paper's inference agrees
+//! with it.
+
+use crate::report::{count_pct, TextTable};
+use crate::scenario::Scenario;
+use ir_bgp::decision::DecisionStep;
+use ir_core::magnet::{analyze_runs, classify_decision, MagnetDecision};
+use ir_measure::peering::{MagnetRun, ObservationSetup, Peering};
+use ir_types::{Asn, Timestamp};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Builds the active-experiment observation setup: collector vantages plus
+/// the greedy-cover monitor probe selection (§3.2).
+pub fn monitor_setup(s: &Scenario) -> ObservationSetup {
+    let peering = Peering::new(&s.world).expect("world has a testbed");
+    let prefix = peering.prefixes()[0];
+    // Default (anycast) paths from every probe AS toward the testbed.
+    let mut sim = ir_bgp::PrefixSim::new(&s.world, prefix);
+    sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO);
+    let mut probe_paths = Vec::new();
+    for p in s.pool.probes() {
+        let Some(idx) = s.world.graph.index_of(p.asn) else { continue };
+        let Some(route) = sim.best(idx) else { continue };
+        let mut path = vec![p.asn];
+        path.extend(route.path.sequence_asns());
+        probe_paths.push((*p, path));
+    }
+    let monitors = s.pool.select_greedy_cover(&probe_paths, s.cfg.monitor_probes);
+    ObservationSetup {
+        feed_vantages: s.vantages.clone(),
+        probe_ases: monitors.into_iter().map(|p| p.asn).collect(),
+    }
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    pub decision: String,
+    pub feeds: usize,
+    pub feeds_pct: f64,
+    pub traceroutes: usize,
+    pub traceroutes_pct: f64,
+}
+
+/// The full result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2 {
+    pub rows: Vec<Table2Row>,
+    pub total_feeds: usize,
+    pub total_traceroutes: usize,
+    /// Agreement between the paper's inference and the simulator's ground
+    /// truth, over ASes where both are known (not available to the paper).
+    pub truth_agreement: f64,
+}
+
+/// Runs the experiment.
+pub fn run(s: &Scenario) -> Table2 {
+    let peering = Peering::new(&s.world).expect("world has a testbed");
+    let setup = monitor_setup(s);
+    let prefix = peering.prefixes()[0];
+    let runs: Vec<MagnetRun> = peering
+        .muxes()
+        .iter()
+        .enumerate()
+        .map(|(i, &mux)| {
+            peering.run_magnet(prefix, mux, &setup, Timestamp(i as u64 * 2 * 90 * 60))
+        })
+        .collect();
+    let tally = analyze_runs(&s.inferred, &runs);
+    let (total_feeds, total_traceroutes) = tally.totals();
+
+    // Ground-truth agreement: re-classify each (run, AS) and compare with
+    // the simulator's decision step.
+    let mut pool: BTreeMap<Asn, Vec<ir_measure::peering::Observation>> = BTreeMap::new();
+    for run in &runs {
+        for (x, o) in run.before.iter().chain(run.after.iter()) {
+            let v = pool.entry(*x).or_default();
+            if !v.iter().any(|e| e.suffix == o.suffix) {
+                v.push(o.clone());
+            }
+        }
+    }
+    let mut agree = 0usize;
+    let mut considered = 0usize;
+    for run in &runs {
+        for (x, after) in &run.after {
+            let (Some(before), Some(truth)) = (run.before.get(x), run.truth_steps.get(x)) else {
+                continue;
+            };
+            let kept = after.suffix == before.suffix;
+            let others: Vec<&ir_measure::peering::Observation> = pool
+                .get(x)
+                .map(|v| v.iter().filter(|o| o.suffix != after.suffix).collect())
+                .unwrap_or_default();
+            if others.is_empty() {
+                continue; // uncontested: nothing to infer
+            }
+            let Some(inferred) = classify_decision(&s.inferred, *x, kept, after, &others) else {
+                continue; // unrankable at this AS
+            };
+            considered += 1;
+            let matches = matches!(
+                (inferred, truth),
+                (MagnetDecision::BestRelationship, DecisionStep::LocalPref)
+                    | (MagnetDecision::ShorterPath, DecisionStep::PathLength)
+                    | (MagnetDecision::IntradomainTieBreaker, DecisionStep::IgpCost)
+                    | (
+                        MagnetDecision::IntradomainTieBreaker,
+                        DecisionStep::RouterId
+                    )
+                    | (MagnetDecision::OldestRoute, DecisionStep::RouteAge)
+                    | (MagnetDecision::OldestRoute, DecisionStep::IgpCost)
+            );
+            if matches {
+                agree += 1;
+            }
+        }
+    }
+    let truth_agreement = if considered == 0 { 0.0 } else { agree as f64 / considered as f64 };
+
+    let rows = MagnetDecision::ALL
+        .iter()
+        .map(|d| Table2Row {
+            decision: d.label().to_string(),
+            feeds: tally.feeds(*d),
+            feeds_pct: if total_feeds == 0 {
+                0.0
+            } else {
+                100.0 * tally.feeds(*d) as f64 / total_feeds as f64
+            },
+            traceroutes: tally.traceroutes(*d),
+            traceroutes_pct: if total_traceroutes == 0 {
+                0.0
+            } else {
+                100.0 * tally.traceroutes(*d) as f64 / total_traceroutes as f64
+            },
+        })
+        .collect();
+    Table2 { rows, total_feeds, total_traceroutes, truth_agreement }
+}
+
+impl Table2 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Table 2: BGP decisions observed after anycasting a magnet prefix",
+            &["BGP decision", "BGP feeds", "Traceroutes"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.decision.clone(),
+                count_pct(r.feeds, self.total_feeds),
+                count_pct(r.traceroutes, self.total_traceroutes),
+            ]);
+        }
+        t.row(&[
+            "Total".into(),
+            format!("{} (100%)", self.total_feeds),
+            format!("{} (100%)", self.total_traceroutes),
+        ]);
+        let mut s = t.render();
+        s.push_str(&format!(
+            "(inference agrees with simulator ground truth on {:.1}% of contested decisions)\n",
+            100.0 * self.truth_agreement
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use std::sync::OnceLock;
+
+    fn table2() -> &'static Table2 {
+        static R: OnceLock<Table2> = OnceLock::new();
+        R.get_or_init(|| run(crate::testutil::tiny7()))
+    }
+
+    #[test]
+    fn relationship_and_length_dominate() {
+        let t = table2();
+        assert!(t.total_feeds > 0 && t.total_traceroutes > 0);
+        let row = |name: &str| t.rows.iter().find(|r| r.decision == name).unwrap();
+        let best = row("Best relationship");
+        let short = row("Shorter path");
+        let tie = row("Intradomain tie-breaker");
+        let oldest = row("Oldest route (magnet)");
+        // The two model-visible steps dominate...
+        assert!(
+            best.feeds_pct + short.feeds_pct > 50.0,
+            "relationship+length explain most: {:.1}+{:.1}",
+            best.feeds_pct,
+            short.feeds_pct
+        );
+        // ...but tie-breakers the models ignore carry real mass (the
+        // paper's >17% point).
+        assert!(
+            tie.feeds + oldest.feeds > 0,
+            "tie-breaker decisions observed"
+        );
+        // Inference is meaningfully better than chance (5 classes → 20%).
+        // It cannot be near-perfect: the paper's procedure sees only two
+        // route observations per AS and ranks them through an *inferred*
+        // topology, while the ground truth knows every candidate.
+        assert!(t.truth_agreement > 0.25, "agreement {:.2}", t.truth_agreement);
+    }
+
+    #[test]
+    fn render_mentions_all_rows() {
+        let s = table2().render();
+        for name in
+            ["Best relationship", "Shorter path", "Intradomain", "Oldest route", "Violation"]
+        {
+            assert!(s.contains(name), "{name} in render");
+        }
+    }
+}

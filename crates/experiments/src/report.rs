@@ -1,0 +1,114 @@
+//! Plain-text rendering helpers for paper-style tables.
+
+/// A fixed-width text table with a title and a header row.
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table.
+    pub fn new(title: &str, header: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut r: Vec<String> = cells.to_vec();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(widths[i] - c.len() + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a percentage with one decimal, paper style ("64.7%").
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats `count (pct%)`.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        format!("{count} (0.0%)")
+    } else {
+        format!("{count} ({:.1}%)", 100.0 * count as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Table X", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into()]);
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("| alpha | 1     |"));
+        // Padded short row.
+        assert!(s.contains("| b     |       |"));
+        // Every body line has equal width.
+        let widths: Vec<usize> =
+            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(64.66), "64.7%");
+        assert_eq!(count_pct(3, 4), "3 (75.0%)");
+        assert_eq!(count_pct(1, 0), "1 (0.0%)");
+    }
+}

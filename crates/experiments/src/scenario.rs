@@ -1,0 +1,266 @@
+//! One fully-assembled experiment environment.
+//!
+//! Building a [`Scenario`] performs, in order, everything the paper's
+//! data-collection phase did:
+//!
+//! 1. generate the ground-truth world (unobservable in reality);
+//! 2. converge BGP for every originated prefix;
+//! 3. build the address plan, geolocation database, and origin table;
+//! 4. place route collectors and derive five monthly topology snapshots
+//!    (with churn), infer relationships per month, and aggregate (§3.3);
+//! 5. infer siblings from whois/SOA and take the complex-relationship
+//!    side dataset;
+//! 6. install the probe platform, select the continent-balanced probe set
+//!    (§3.1), and run the passive traceroute campaign;
+//! 7. convert traceroutes to measured paths and decisions.
+//!
+//! Everything downstream (the `exp_*` runners) consumes this struct
+//! read-only.
+
+use ir_bgp::RoutingUniverse;
+use ir_core::dataset::{Decision, MeasuredPath};
+use ir_dataplane::geo::GeoConfig;
+use ir_dataplane::{AddressPlan, GeoDb, OriginTable, TraceConfig};
+use ir_inference::feeds::{self, BgpFeed, FeedConfig};
+use ir_inference::relinfer::{infer_relationships, InferConfig};
+use ir_inference::{aggregate_snapshots, ComplexRelDb, SiblingGroups};
+use ir_measure::atlas::{Probe, ProbePool};
+use ir_measure::campaign::{Campaign, CampaignConfig};
+use ir_measure::LookingGlassNet;
+use ir_topology::{GeneratorConfig, RelationshipDb, World};
+use ir_types::Asn;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// World generator configuration.
+    pub gen: GeneratorConfig,
+    /// Master seed; all randomness descends from it.
+    pub seed: u64,
+    /// Probes selected for the passive campaign (the paper used 1,998).
+    pub probes: usize,
+    /// Probes used to monitor the active experiments (the paper used 96
+    /// Atlas probes + ~200 PlanetLab nodes).
+    pub monitor_probes: usize,
+    /// Monthly topology snapshots aggregated (§3.3 uses 5).
+    pub months: usize,
+    /// Collector vantage configuration.
+    pub feed: FeedConfig,
+    /// Geolocation error model.
+    pub geo: GeoConfig,
+    /// Traceroute artifact model.
+    pub trace: TraceConfig,
+    /// Coverage of the complex-relationship side dataset.
+    pub complex_coverage: f64,
+    /// Fraction of transit ASes hosting a looking glass.
+    pub lg_fraction: f64,
+}
+
+impl ScenarioConfig {
+    /// Paper-comparable scale (~700 ASes, hundreds of probes).
+    pub fn paper_scale(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            gen: GeneratorConfig::default(),
+            seed,
+            probes: 600,
+            monitor_probes: 96,
+            months: 5,
+            feed: FeedConfig::default(),
+            geo: GeoConfig::default(),
+            trace: TraceConfig::default(),
+            complex_coverage: 0.7,
+            lg_fraction: 0.4,
+        }
+    }
+
+    /// A small scale for tests and examples.
+    pub fn tiny(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            gen: GeneratorConfig::tiny(),
+            seed,
+            probes: 60,
+            monitor_probes: 24,
+            months: 3,
+            feed: FeedConfig { vantages: 16, ..FeedConfig::default() },
+            geo: GeoConfig::default(),
+            trace: TraceConfig::default(),
+            complex_coverage: 0.7,
+            lg_fraction: 0.5,
+        }
+    }
+}
+
+/// The assembled environment.
+pub struct Scenario {
+    pub cfg: ScenarioConfig,
+    pub world: World,
+    pub universe: RoutingUniverse,
+    pub plan: AddressPlan,
+    pub geodb: GeoDb,
+    pub origin_table: OriginTable,
+    /// The full probe platform.
+    pub pool: ProbePool,
+    /// The continent-balanced campaign probe selection.
+    pub probes: Vec<Probe>,
+    /// Collector vantage ASes.
+    pub vantages: Vec<Asn>,
+    /// Current-month full BGP feed (PSP evidence, §4.3).
+    pub feed: BgpFeed,
+    /// The aggregated inferred topology (the "CAIDA" the analyses use).
+    pub inferred: RelationshipDb,
+    /// Complex-relationship side dataset (§4.1).
+    pub complex: ComplexRelDb,
+    /// Inferred sibling groups (§4.2).
+    pub siblings: SiblingGroups,
+    /// Looking glasses (§4.3 validation).
+    pub lg: LookingGlassNet,
+    /// The passive campaign's raw traceroutes.
+    pub campaign: Campaign,
+    /// Converted + annotated paths.
+    pub measured: Vec<MeasuredPath>,
+    /// All routing decisions the campaign exposed.
+    pub decisions: Vec<Decision>,
+}
+
+impl Scenario {
+    /// Builds the scenario. Deterministic in `cfg` (including its seed).
+    pub fn build(cfg: ScenarioConfig) -> Scenario {
+        let seed = cfg.seed;
+        let world = cfg.gen.build(seed);
+        world.validate().expect("generated world is consistent");
+
+        // 2. Converge the present-day routing universe.
+        let universe = RoutingUniverse::compute_all(&world);
+
+        // 3. Data-plane substrate.
+        let plan = AddressPlan::build(&world);
+        let geodb = GeoDb::build(&world, &plan, cfg.geo, seed);
+        let origin_table = OriginTable::from_universe(&universe);
+
+        // 4. Collectors, monthly snapshots, inference, aggregation.
+        let vantages = feeds::pick_vantages(&world, &cfg.feed, seed);
+        let feed = feeds::extract_feed_lossy(&world, &universe, &vantages, cfg.feed.loss, seed);
+        let months = feeds::monthly_worlds(&world, cfg.months, seed);
+        let infer_cfg = InferConfig::default();
+        let mut snapshots: Vec<RelationshipDb> = Vec::with_capacity(months.len());
+        for (i, month) in months.iter().enumerate() {
+            let month_feed = if i + 1 == months.len() {
+                // The present month reuses the full feed.
+                feed.clone()
+            } else {
+                // Historical months: one prefix per AS is enough for
+                // relationship inference and much cheaper to converge.
+                let prefixes: Vec<_> =
+                    month.graph.nodes().iter().map(|n| n.prefixes[0]).collect();
+                let u = RoutingUniverse::compute(month, &prefixes);
+                feeds::extract_feed(month, &u, &vantages)
+            };
+            let paths: Vec<&[Asn]> = month_feed.paths().collect();
+            snapshots.push(infer_relationships(paths, &infer_cfg));
+        }
+        let inferred = aggregate_snapshots(&snapshots);
+
+        // 5. Side datasets.
+        let complex = ComplexRelDb::derive(&world, cfg.complex_coverage, seed);
+        let siblings = SiblingGroups::infer(&world.orgs);
+        let lg = LookingGlassNet::deploy(&world, cfg.lg_fraction, seed);
+
+        // 6. Probe platform + passive campaign.
+        let pool = ProbePool::install(&world, seed);
+        let probes = pool.select_balanced(cfg.probes);
+        let campaign = Campaign::run(
+            &world,
+            &universe,
+            &plan,
+            &probes,
+            &CampaignConfig { trace: cfg.trace, seed, budget: None },
+        );
+
+        // 7. Conversion + decision extraction.
+        let measured: Vec<MeasuredPath> = campaign
+            .traceroutes
+            .iter()
+            .filter_map(|tr| MeasuredPath::build(tr, &origin_table, &geodb))
+            .collect();
+        let decisions: Vec<Decision> = measured.iter().flat_map(|m| m.decisions()).collect();
+
+        Scenario {
+            cfg,
+            world,
+            universe,
+            plan,
+            geodb,
+            origin_table,
+            pool,
+            probes,
+            vantages,
+            feed,
+            inferred,
+            complex,
+            siblings,
+            lg,
+            campaign,
+            measured,
+            decisions,
+        }
+    }
+
+    /// The refinement inputs for classification pipelines.
+    pub fn refine_inputs(&self) -> ir_core::refine::RefineInputs<'_> {
+        ir_core::refine::RefineInputs {
+            complex: &self.complex,
+            siblings: &self.siblings,
+            feed: &self.feed,
+        }
+    }
+
+    /// ASes whose decisions the campaign observed (the paper observed
+    /// decisions for 746 ASes).
+    pub fn observed_ases(&self) -> usize {
+        let mut asns: Vec<Asn> = self.decisions.iter().map(|d| d.observer).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    pub(crate) fn tiny() -> &'static Scenario {
+        static S: OnceLock<Scenario> = OnceLock::new();
+        S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+    }
+
+    #[test]
+    fn scenario_assembles() {
+        let s = tiny();
+        assert!(s.universe.unconverged().is_empty(), "all prefixes converge");
+        assert!(!s.measured.is_empty(), "campaign produced usable paths");
+        assert!(!s.decisions.is_empty());
+        assert!(s.observed_ases() > 20, "decisions span many ASes");
+        assert!(s.inferred.len() > 50, "inference found links");
+    }
+
+    #[test]
+    fn inferred_topology_is_subset_biased() {
+        let s = tiny();
+        // The inferred topology misses edge links relative to ground truth,
+        // possibly offset by a few historical (stale) links.
+        let truth = s.world.graph.link_count();
+        assert!(
+            s.inferred.len() < truth,
+            "inferred {} links of {truth} ground-truth ones",
+            s.inferred.len()
+        );
+    }
+
+    #[test]
+    fn decisions_reference_measured_paths() {
+        let s = tiny();
+        let n_from_paths: usize = s.measured.iter().map(|m| m.path.len() - 1).sum();
+        assert_eq!(s.decisions.len(), n_from_paths);
+    }
+}

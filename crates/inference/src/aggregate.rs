@@ -1,0 +1,155 @@
+//! Aggregation of monthly relationship snapshots (§3.3).
+//!
+//! The paper aggregates five monthly CAIDA topologies "to mitigate the
+//! impact of transient link failures", resolving conflicts by a majority
+//! poll that weighs recent months more: *"if the latest two months had the
+//! same inference, we used that inference regardless of the first three
+//! months."* Links present in any snapshot survive into the aggregate —
+//! which is exactly how stale links (§5's Netflix case) enter the topology
+//! the measured paths are judged against.
+
+use ir_types::{Asn, Relationship};
+use ir_topology::RelationshipDb;
+use std::collections::BTreeMap;
+
+/// Aggregates snapshots ordered **oldest first**.
+pub fn aggregate_snapshots(snapshots: &[RelationshipDb]) -> RelationshipDb {
+    assert!(!snapshots.is_empty(), "need at least one snapshot");
+    // Gather, per canonical pair, the per-month inferences (None = absent).
+    let mut pairs: BTreeMap<(Asn, Asn), Vec<Option<Relationship>>> = BTreeMap::new();
+    for (m, snap) in snapshots.iter().enumerate() {
+        for (a, b, rel) in snap.iter() {
+            let key = (a.min(b), a.max(b));
+            // Normalize: relationship of key.1 as seen from key.0.
+            let rel_from_lo = if a == key.0 { rel } else { rel.reverse() };
+            let entry = pairs.entry(key).or_insert_with(|| vec![None; snapshots.len()]);
+            entry[m] = Some(rel_from_lo);
+        }
+    }
+
+    let n = snapshots.len();
+    let mut out = RelationshipDb::default();
+    for ((lo, hi), months) in pairs {
+        let rel = decide(&months, n);
+        out.insert(lo, hi, rel);
+    }
+    out
+}
+
+/// The paper's decision rule for one link.
+fn decide(months: &[Option<Relationship>], n: usize) -> Relationship {
+    // Latest-two-months agreement short-circuits everything.
+    if n >= 2 {
+        if let (Some(a), Some(b)) = (months[n - 1], months[n - 2]) {
+            if a == b {
+                return a;
+            }
+        }
+    }
+    // Otherwise: weighted majority poll, more recent months weigh more.
+    let mut scores: BTreeMap<u8, (usize, Relationship)> = BTreeMap::new();
+    for (m, rel) in months.iter().enumerate() {
+        if let Some(rel) = rel {
+            let weight = m + 1; // month 0 oldest
+            let key = rel_key(*rel);
+            let e = scores.entry(key).or_insert((0, *rel));
+            e.0 += weight;
+        }
+    }
+    scores
+        .values()
+        .max_by_key(|(w, rel)| (*w, std::cmp::Reverse(rel_key(*rel))))
+        .map(|(_, rel)| *rel)
+        .expect("link appears in at least one month")
+}
+
+fn rel_key(rel: Relationship) -> u8 {
+    match rel {
+        Relationship::Customer => 0,
+        Relationship::Provider => 1,
+        Relationship::Peer => 2,
+        Relationship::Sibling => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(u32, u32, Relationship)]) -> RelationshipDb {
+        let mut db = RelationshipDb::default();
+        for &(a, b, rel) in entries {
+            db.insert(Asn(a), Asn(b), rel);
+        }
+        db
+    }
+
+    #[test]
+    fn latest_two_months_override_majority() {
+        use Relationship::*;
+        // Months 0-2 say peer; months 3-4 agree on provider → provider wins.
+        let snaps = vec![
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Provider)]),
+            snap(&[(1, 2, Provider)]),
+        ];
+        let agg = aggregate_snapshots(&snaps);
+        assert_eq!(agg.rel(Asn(1), Asn(2)), Some(Provider));
+    }
+
+    #[test]
+    fn weighted_majority_when_latest_disagree() {
+        use Relationship::*;
+        // Months: P2P, P2P, P2P, Provider, Peer (latest two differ).
+        // Weights: peer = 1+2+3+5 = 11, provider = 4 → peer.
+        let snaps = vec![
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Provider)]),
+            snap(&[(1, 2, Peer)]),
+        ];
+        // Latest two: Peer+Provider differ? months[4]=Peer, months[3]=Provider
+        // → fall to weighted majority → Peer.
+        let agg = aggregate_snapshots(&snaps);
+        assert_eq!(agg.rel(Asn(1), Asn(2)), Some(Peer));
+    }
+
+    #[test]
+    fn stale_links_survive_aggregation() {
+        use Relationship::*;
+        // A link present only in old months is still in the aggregate — the
+        // §5 stale-link phenomenon.
+        let snaps = vec![
+            snap(&[(1, 2, Peer), (3, 4, Provider)]),
+            snap(&[(1, 2, Peer), (3, 4, Provider)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+            snap(&[(1, 2, Peer)]),
+        ];
+        let agg = aggregate_snapshots(&snaps);
+        assert_eq!(agg.rel(Asn(3), Asn(4)), Some(Provider));
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn single_snapshot_passthrough() {
+        use Relationship::*;
+        let s = snap(&[(1, 2, Peer), (2, 3, Provider)]);
+        let agg = aggregate_snapshots(std::slice::from_ref(&s));
+        assert_eq!(agg, s);
+    }
+
+    #[test]
+    fn orientation_preserved_through_aggregation() {
+        use Relationship::*;
+        // 5 is provider of 9 in both months, inserted with opposite
+        // argument orders.
+        let snaps = vec![snap(&[(9, 5, Provider)]), snap(&[(5, 9, Customer)])];
+        let agg = aggregate_snapshots(&snaps);
+        assert_eq!(agg.rel(Asn(9), Asn(5)), Some(Provider));
+        assert_eq!(agg.rel(Asn(5), Asn(9)), Some(Customer));
+    }
+}

@@ -1,0 +1,35 @@
+//! Inference substrates: everything the paper consumes as "inferred data".
+//!
+//! The paper never sees ground truth. It classifies measured paths against
+//! **CAIDA's inferred relationships** (Luckie et al. 2013), identifies
+//! siblings with **whois + DNS SOA grouping** (Cai et al. 2010), and patches
+//! in **complex relationships** from Giotsas et al. 2014. This crate builds
+//! all three the way the originals were built — from partial observations —
+//! so the inference errors that drive the paper's headline numbers (stale
+//! links, missed edge links, misclassified cable ASes) arise organically:
+//!
+//! * [`feeds`] — BGP feeds as seen from route collectors peering with a
+//!   subset of ASes, plus monthly world churn so consecutive snapshots
+//!   genuinely differ;
+//! * [`relinfer`] — AS-relationship inference from feed paths (clique
+//!   detection + Gao-style uphill/downhill voting, a faithful
+//!   simplification of Luckie et al.);
+//! * [`aggregate`] — the §3.3 five-snapshot aggregation with its
+//!   recency-weighted majority poll;
+//! * [`siblings`] — Cai-style sibling grouping over whois emails resolved
+//!   through DNS SOA, with freemail/RIR filtering;
+//! * [`complex`] — the hybrid/partial-transit side dataset (consumed by the
+//!   paper as a published artifact; we derive it from ground truth with
+//!   partial coverage, substituting for Giotsas's BGP-communities method).
+
+pub mod aggregate;
+pub mod complex;
+pub mod feeds;
+pub mod relinfer;
+pub mod siblings;
+
+pub use aggregate::aggregate_snapshots;
+pub use complex::ComplexRelDb;
+pub use feeds::{BgpFeed, FeedConfig};
+pub use relinfer::infer_relationships;
+pub use siblings::SiblingGroups;

@@ -1,0 +1,273 @@
+//! AS-relationship inference from observed BGP paths.
+//!
+//! A faithful simplification of Luckie et al. 2013 ("AS relationships,
+//! customer cones, and validation"), keeping the parts that matter for this
+//! study:
+//!
+//! 1. **transit degree** — for each AS, the number of distinct ASes it
+//!    appears *between* on observed paths;
+//! 2. **clique inference** — the provider-free core: greedily grow a clique
+//!    (by observed adjacency) from the highest-transit-degree ASes;
+//! 3. **c2p voting** — walk every path; it ascends until its topmost AS
+//!    (clique member, or highest transit degree on the path) and descends
+//!    after it; each traversed link votes `customer→provider` on the way up
+//!    and `provider→customer` on the way down;
+//! 4. **p2p remainder** — links adjacent to the top, links inside the
+//!    clique, and links whose votes conflict without majority become peer
+//!    links.
+//!
+//! The failure modes the paper investigates fall out organically: links
+//! never observed are missing; **undersea-cable ASes** — low transit
+//! degree, sitting "between" two big ISPs — get inferred as a customer on
+//! one side and provider on the other, although ground truth has both
+//! big ISPs paying the cable operator (§6); hybrid relationships collapse
+//! to whichever orientation the feeds saw more often.
+
+use ir_types::{Asn, Relationship};
+use ir_topology::RelationshipDb;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Collapses consecutive duplicate ASNs (AS-path prepending) — the first
+/// thing every real inference pipeline does to raw feed paths.
+fn dedup_prepending(path: &[Asn]) -> Vec<Asn> {
+    let mut out: Vec<Asn> = Vec::with_capacity(path.len());
+    for &a in path {
+        if out.last() != Some(&a) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Tuning for the inference pass.
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// How many top-transit-degree ASes are considered as clique seeds.
+    pub clique_candidates: usize,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        InferConfig { clique_candidates: 20 }
+    }
+}
+
+/// Computes transit degrees: `td[x]` = number of distinct neighbors that
+/// appear adjacent to `x` while `x` is in the middle of some path.
+pub fn transit_degrees<'a, I: IntoIterator<Item = &'a [Asn]>>(paths: I) -> BTreeMap<Asn, usize> {
+    let mut seen: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    for path in paths {
+        let path = dedup_prepending(path);
+        for w in path.windows(3) {
+            let mid = w[1];
+            let e = seen.entry(mid).or_default();
+            e.insert(w[0]);
+            e.insert(w[2]);
+        }
+    }
+    seen.into_iter().map(|(a, s)| (a, s.len())).collect()
+}
+
+/// Infers the provider-free clique from observed adjacency.
+pub fn infer_clique<'a, I: IntoIterator<Item = &'a [Asn]>>(
+    paths: I,
+    cfg: &InferConfig,
+) -> BTreeSet<Asn> {
+    let paths: Vec<&[Asn]> = paths.into_iter().collect();
+    let td = transit_degrees(paths.iter().copied());
+    let mut adj: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    for path in &paths {
+        let path = dedup_prepending(path);
+        for w in path.windows(2) {
+            adj.entry(w[0]).or_default().insert(w[1]);
+            adj.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    // Rank by transit degree, descending, tie-break by ASN for determinism.
+    let mut ranked: Vec<(Asn, usize)> = td.into_iter().collect();
+    ranked.sort_by_key(|&(a, d)| (std::cmp::Reverse(d), a));
+    ranked.truncate(cfg.clique_candidates);
+    let mut clique: BTreeSet<Asn> = BTreeSet::new();
+    for (a, _) in ranked {
+        if clique
+            .iter()
+            .all(|c| adj.get(&a).map(|s| s.contains(c)).unwrap_or(false))
+        {
+            clique.insert(a);
+        }
+    }
+    clique
+}
+
+/// Infers a relationship snapshot from observed paths.
+pub fn infer_relationships<'a, I>(paths: I, cfg: &InferConfig) -> RelationshipDb
+where
+    I: IntoIterator<Item = &'a [Asn]>,
+{
+    let paths: Vec<&[Asn]> = paths.into_iter().collect();
+    let td = transit_degrees(paths.iter().copied());
+    let clique = infer_clique(paths.iter().copied(), cfg);
+
+    // Votes per canonical link: (c2p lo→hi, c2p hi→lo, p2p).
+    #[derive(Default, Clone, Copy)]
+    struct Votes {
+        lo_pays_hi: usize,
+        hi_pays_lo: usize,
+        p2p: usize,
+    }
+    let mut votes: BTreeMap<(Asn, Asn), Votes> = BTreeMap::new();
+    let mut vote = |a: Asn, b: Asn, rel_of_b_from_a: Relationship| {
+        let key = (a.min(b), a.max(b));
+        let v = votes.entry(key).or_default();
+        match rel_of_b_from_a {
+            Relationship::Provider => {
+                if a < b {
+                    v.lo_pays_hi += 1;
+                } else {
+                    v.hi_pays_lo += 1;
+                }
+            }
+            Relationship::Customer => {
+                if a < b {
+                    v.hi_pays_lo += 1;
+                } else {
+                    v.lo_pays_hi += 1;
+                }
+            }
+            _ => v.p2p += 1,
+        }
+    };
+
+    for raw in &paths {
+        let path = dedup_prepending(raw);
+        if path.len() < 2 {
+            continue;
+        }
+        let path = &path[..];
+        // The topmost position: first clique member, else the max transit
+        // degree on the path.
+        let top = path
+            .iter()
+            .position(|a| clique.contains(a))
+            .unwrap_or_else(|| {
+                let mut best = 0usize;
+                let mut best_td = 0usize;
+                for (i, a) in path.iter().enumerate() {
+                    let d = td.get(a).copied().unwrap_or(0);
+                    if d > best_td {
+                        best_td = d;
+                        best = i;
+                    }
+                }
+                best
+            });
+        for (i, w) in path.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            if clique.contains(&a) && clique.contains(&b) {
+                vote(a, b, Relationship::Peer);
+            } else if i < top {
+                // Ascending: a pays b.
+                vote(a, b, Relationship::Provider);
+            } else {
+                // Descending: b pays a.
+                vote(a, b, Relationship::Customer);
+            }
+        }
+    }
+
+    let mut db = RelationshipDb::default();
+    for ((lo, hi), v) in votes {
+        // Majority poll; conflicting orientations without a strict winner
+        // become peer links (matching how inference hedges).
+        if v.lo_pays_hi > v.hi_pays_lo && v.lo_pays_hi >= v.p2p {
+            db.insert(lo, hi, Relationship::Provider);
+        } else if v.hi_pays_lo > v.lo_pays_hi && v.hi_pays_lo >= v.p2p {
+            db.insert(hi, lo, Relationship::Provider);
+        } else {
+            db.insert(lo, hi, Relationship::Peer);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Vec<Asn> {
+        v.iter().map(|&x| Asn(x)).collect()
+    }
+
+    /// A small scene: clique {1,2}; 10,11 are customers of 1 resp. 2;
+    /// 100 is a customer of 10.
+    fn scene() -> Vec<Vec<Asn>> {
+        vec![
+            p(&[10, 1, 2, 11]),
+            p(&[100, 10, 1, 2, 11]),
+            p(&[11, 2, 1, 10, 100]),
+            p(&[10, 1, 2]),
+            p(&[11, 2, 1]),
+        ]
+    }
+
+    #[test]
+    fn transit_degree_counts_distinct_neighbors() {
+        let paths = scene();
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let td = transit_degrees(refs);
+        assert_eq!(td[&Asn(1)], 2); // between 10 and 2 on every path
+        assert_eq!(td[&Asn(10)], 2); // between 100 and 1
+        assert!(td.get(&Asn(100)).is_none(), "leaf never transits");
+    }
+
+    #[test]
+    fn clique_is_the_top_pair() {
+        let paths = scene();
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let clique = infer_clique(refs, &InferConfig::default());
+        assert!(clique.contains(&Asn(1)));
+        assert!(clique.contains(&Asn(2)));
+        assert!(!clique.contains(&Asn(100)));
+    }
+
+    #[test]
+    fn relationships_match_the_scene() {
+        let paths = scene();
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let db = infer_relationships(refs, &InferConfig::default());
+        assert_eq!(db.rel(Asn(1), Asn(2)), Some(Relationship::Peer));
+        assert_eq!(db.rel(Asn(10), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(db.rel(Asn(11), Asn(2)), Some(Relationship::Provider));
+        assert_eq!(db.rel(Asn(100), Asn(10)), Some(Relationship::Provider));
+        assert_eq!(db.rel(Asn(1), Asn(10)), Some(Relationship::Customer));
+    }
+
+    #[test]
+    fn conflicting_votes_become_peer() {
+        // 5-6 observed ascending in one path and descending in another,
+        // equally often → hedge to p2p.
+        let paths = vec![p(&[5, 6, 1, 2]), p(&[6, 5, 1, 2]), p(&[9, 1, 2])];
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let db = infer_relationships(refs, &InferConfig::default());
+        assert_eq!(db.rel(Asn(5), Asn(6)), Some(Relationship::Peer));
+    }
+
+    #[test]
+    fn prepending_is_collapsed() {
+        // Origin 100 prepends itself toward 10; inference must not see a
+        // self link or an inflated hierarchy.
+        let paths = vec![p(&[10, 1, 2, 11]), p(&[11, 2, 1, 10, 100, 100, 100])];
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let db = infer_relationships(refs, &InferConfig::default());
+        assert!(!db.has_link(Asn(100), Asn(100)));
+        assert_eq!(db.rel(Asn(100), Asn(10)), Some(Relationship::Provider));
+    }
+
+    #[test]
+    fn unobserved_links_absent() {
+        let paths = scene();
+        let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
+        let db = infer_relationships(refs, &InferConfig::default());
+        assert!(!db.has_link(Asn(10), Asn(11)));
+    }
+}

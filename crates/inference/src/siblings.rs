@@ -1,0 +1,176 @@
+//! Sibling-AS inference from whois + DNS SOA (§4.2, after Cai et al.).
+//!
+//! The paper's pipeline keyed on whois **email addresses** only (the field
+//! with best precision/recall), unified different domains of one company
+//! through their **DNS SOA** records (dish.com and dishaccess.tv share the
+//! dishnetwork.com authoritative domain), and removed groups whose contact
+//! address is hosted at a freemail provider or a regional Internet registry
+//! (shared mail domains say nothing about common ownership).
+
+use ir_types::Asn;
+use ir_topology::orgs::{email_domain, OrgRegistry};
+use std::collections::BTreeMap;
+
+/// Inferred sibling groups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiblingGroups {
+    groups: Vec<Vec<Asn>>,
+    of: BTreeMap<Asn, usize>,
+}
+
+impl SiblingGroups {
+    /// Runs the inference over a registry's whois records.
+    pub fn infer(registry: &OrgRegistry) -> SiblingGroups {
+        // Bucket ASNs by SOA-resolved email domain.
+        let mut buckets: BTreeMap<String, Vec<Asn>> = BTreeMap::new();
+        for rec in registry.whois_records() {
+            let Some(domain) = email_domain(&rec.email) else { continue };
+            // Freemail / RIR-hosted addresses carry no ownership signal.
+            if OrgRegistry::is_shared_mail_domain(domain) {
+                continue;
+            }
+            // Resolve through DNS SOA where a record exists; fall back to
+            // the literal domain otherwise.
+            let key = registry.soa_lookup(domain).unwrap_or(domain).to_string();
+            buckets.entry(key).or_default().push(rec.asn);
+        }
+        // Only multi-AS buckets are sibling groups.
+        let mut groups: Vec<Vec<Asn>> = buckets
+            .into_values()
+            .filter(|v| v.len() >= 2)
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .filter(|v| v.len() >= 2)
+            .collect();
+        groups.sort();
+        let mut of = BTreeMap::new();
+        for (i, g) in groups.iter().enumerate() {
+            for &a in g {
+                of.insert(a, i);
+            }
+        }
+        SiblingGroups { groups, of }
+    }
+
+    /// Whether two ASNs were inferred to belong to one organization.
+    pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
+        a != b && self.of.get(&a).is_some() && self.of.get(&a) == self.of.get(&b)
+    }
+
+    /// All groups, each sorted ascending.
+    pub fn groups(&self) -> &[Vec<Asn>] {
+        &self.groups
+    }
+
+    /// Number of groups (the paper found 94 in its traceroute dataset).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups were found.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::orgs::{Organization, WhoisRecord};
+    use ir_types::{CountryId, OrgId};
+
+    fn registry() -> OrgRegistry {
+        let mut r = OrgRegistry::default();
+        r.add_org(Organization {
+            id: OrgId(0),
+            name: "dish".into(),
+            domains: vec!["dish.example".into(), "dishaccess.example".into()],
+            soa_domain: "dishnetwork.example".into(),
+            country: CountryId(0),
+        });
+        // Two ASes of one org, registered under *different* domains that
+        // share an SOA.
+        r.add_whois(WhoisRecord {
+            asn: Asn(100),
+            email: "noc@dish.example".into(),
+            org_field: "ORG-A".into(),
+            country: CountryId(0),
+        });
+        r.add_whois(WhoisRecord {
+            asn: Asn(101),
+            email: "peering@dishaccess.example".into(),
+            org_field: "ORG-B".into(),
+            country: CountryId(0),
+        });
+        // Two unrelated ASes registered with freemail addresses.
+        r.add_whois(WhoisRecord {
+            asn: Asn(200),
+            email: "a@hotmail.example".into(),
+            org_field: "ORG-C".into(),
+            country: CountryId(1),
+        });
+        r.add_whois(WhoisRecord {
+            asn: Asn(201),
+            email: "b@hotmail.example".into(),
+            org_field: "ORG-D".into(),
+            country: CountryId(2),
+        });
+        // A singleton org.
+        r.add_whois(WhoisRecord {
+            asn: Asn(300),
+            email: "noc@lonely.example".into(),
+            org_field: "ORG-E".into(),
+            country: CountryId(3),
+        });
+        r
+    }
+
+    #[test]
+    fn soa_unifies_sibling_domains() {
+        let g = SiblingGroups::infer(&registry());
+        assert!(g.are_siblings(Asn(100), Asn(101)));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.groups()[0], vec![Asn(100), Asn(101)]);
+    }
+
+    #[test]
+    fn freemail_groups_filtered() {
+        let g = SiblingGroups::infer(&registry());
+        assert!(!g.are_siblings(Asn(200), Asn(201)));
+    }
+
+    #[test]
+    fn singletons_and_self_pairs_are_not_siblings() {
+        let g = SiblingGroups::infer(&registry());
+        assert!(!g.are_siblings(Asn(300), Asn(300)));
+        assert!(!g.are_siblings(Asn(300), Asn(100)));
+    }
+
+    #[test]
+    fn generated_worlds_sibling_recall() {
+        // In a generated world, inferred groups must match the ground-truth
+        // multi-AS organizations with non-freemail whois.
+        let w = ir_topology::GeneratorConfig::default().build(21);
+        let g = SiblingGroups::infer(&w.orgs);
+        // Ground truth: organizations owning ≥2 ASes.
+        let mut by_org: BTreeMap<u32, Vec<Asn>> = BTreeMap::new();
+        for node in w.graph.nodes() {
+            by_org.entry(node.org.0).or_default().push(node.asn);
+        }
+        let truth: Vec<&Vec<Asn>> = by_org.values().filter(|v| v.len() >= 2).collect();
+        assert!(!truth.is_empty(), "world has sibling orgs");
+        for group in &truth {
+            for pair in group.windows(2) {
+                assert!(
+                    g.are_siblings(pair[0], pair[1]),
+                    "{} and {} share an org but weren't inferred as siblings",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The RIPE-Atlas-like probe platform.
+//!
+//! Real Atlas has broad coverage but is skewed toward Europe; §3.1 of the
+//! paper therefore samples **an equal number of probes per continent**,
+//! round-robin across countries and ASes, so selected probes cover a wide
+//! range of ASes. Probes live near the edge: eyeballs, enterprises, small
+//! ISPs, and a few education networks — the Table 1 population.
+
+use ir_types::{Asn, Continent, CountryId};
+use ir_topology::graph::AsRole;
+use ir_topology::World;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// One probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Platform-wide probe id.
+    pub id: u32,
+    /// AS hosting the probe.
+    pub asn: Asn,
+    /// Country of the hosting AS.
+    pub country: CountryId,
+    /// Continent of the hosting AS.
+    pub continent: Continent,
+}
+
+/// The platform: every installed probe, plus selection utilities.
+#[derive(Debug, Clone)]
+pub struct ProbePool {
+    probes: Vec<Probe>,
+    /// Daily traceroute budget (the paper ran at the maximum allowed rate).
+    pub daily_budget: usize,
+}
+
+impl ProbePool {
+    /// Installs probes across the world: every eyeball AS hosts 1–3 probes,
+    /// enterprises and small ISPs occasionally host one, with a **Europe
+    /// skew** (extra probes in European ASes) mirroring the real platform.
+    pub fn install(world: &World, seed: u64) -> ProbePool {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA71A5);
+        let mut probes = Vec::new();
+        let mut id = 0u32;
+        for node in world.graph.nodes() {
+            let continent = world.geo.continent_of_country(node.home_country);
+            let base = match node.role {
+                AsRole::Eyeball => rng.random_range(1..=3usize),
+                AsRole::Enterprise => usize::from(rng.random_bool(0.4)),
+                AsRole::Transit if node.asn.value() >= 5_000 => usize::from(rng.random_bool(0.5)),
+                AsRole::Transit => usize::from(rng.random_bool(0.15)),
+                AsRole::Education => usize::from(rng.random_bool(0.6)),
+                _ => 0,
+            };
+            let skew = if continent == Continent::Europe && base > 0 {
+                rng.random_range(0..=2usize)
+            } else {
+                0
+            };
+            for _ in 0..base + skew {
+                probes.push(Probe { id, asn: node.asn, country: node.home_country, continent });
+                id += 1;
+            }
+        }
+        ProbePool { probes, daily_budget: 30_000 }
+    }
+
+    /// All installed probes.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// §3.1 sampling: an equal share of `n` per continent, chosen
+    /// round-robin over countries and, within a country, over ASes, so the
+    /// selection never concentrates in one network. Returns fewer than `n`
+    /// when a continent runs out of probes.
+    pub fn select_balanced(&self, n: usize) -> Vec<Probe> {
+        let per_continent = n / Continent::ALL.len();
+        let mut selected = Vec::new();
+        for continent in Continent::ALL {
+            // country → asn → probes, all ordered for determinism.
+            let mut by_country: BTreeMap<CountryId, BTreeMap<Asn, Vec<&Probe>>> = BTreeMap::new();
+            for p in self.probes.iter().filter(|p| p.continent == continent) {
+                by_country.entry(p.country).or_default().entry(p.asn).or_default().push(p);
+            }
+            let mut taken = 0;
+            // Round-robin over countries; within a country, rotate ASes.
+            let mut country_queues: Vec<Vec<&Probe>> = by_country
+                .into_values()
+                .map(|by_as| {
+                    // Interleave the country's ASes (one probe per AS per pass).
+                    let mut lists: Vec<Vec<&Probe>> = by_as.into_values().collect();
+                    let mut out = Vec::new();
+                    let mut more = true;
+                    while more {
+                        more = false;
+                        for l in &mut lists {
+                            if let Some(p) = l.pop() {
+                                out.push(p);
+                                more = true;
+                            }
+                        }
+                    }
+                    // `out` is pass-major: one probe per AS, then second
+                    // probes, … — exactly the order round-robin wants.
+                    out
+                })
+                .collect();
+            'outer: loop {
+                let mut progressed = false;
+                for q in &mut country_queues {
+                    if taken >= per_continent {
+                        break 'outer;
+                    }
+                    if let Some(p) = q.first().copied() {
+                        q.remove(0);
+                        selected.push(*p);
+                        taken += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        selected
+    }
+
+    /// §3.2 greedy heuristic: pick up to `k` probes maximizing the number
+    /// of distinct ASes traversed on their (precomputed) default paths
+    /// toward the testbed. `paths[i]` is the AS path from probe `i`.
+    pub fn select_greedy_cover(&self, paths: &[(Probe, Vec<Asn>)], k: usize) -> Vec<Probe> {
+        let mut chosen: Vec<Probe> = Vec::new();
+        let mut covered: std::collections::BTreeSet<Asn> = std::collections::BTreeSet::new();
+        let mut remaining: Vec<&(Probe, Vec<Asn>)> = paths.iter().collect();
+        while chosen.len() < k && !remaining.is_empty() {
+            // Pick the probe whose path adds the most uncovered ASes;
+            // deterministic tie-break by probe id.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (p, path))| {
+                    let gain = path.iter().filter(|a| !covered.contains(a)).count();
+                    (gain, std::cmp::Reverse(p.id))
+                })
+                .expect("remaining non-empty");
+            let (probe, path) = remaining.remove(pos);
+            let gain = path.iter().filter(|a| !covered.contains(a)).count();
+            if gain == 0 && !chosen.is_empty() {
+                break; // nothing left to cover
+            }
+            covered.extend(path.iter().copied());
+            chosen.push(*probe);
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::GeneratorConfig;
+    use std::sync::OnceLock;
+
+    fn pool() -> &'static (World, ProbePool) {
+        static P: OnceLock<(World, ProbePool)> = OnceLock::new();
+        P.get_or_init(|| {
+            let w = GeneratorConfig::default().build(17);
+            let pool = ProbePool::install(&w, 17);
+            (w, pool)
+        })
+    }
+
+    #[test]
+    fn installation_is_edge_heavy_and_europe_skewed() {
+        let (w, pool) = pool();
+        assert!(pool.probes().len() > 300, "platform has substance");
+        // Count per continent: Europe must be the (or near the) maximum.
+        let mut per: BTreeMap<Continent, usize> = BTreeMap::new();
+        for p in pool.probes() {
+            *per.entry(p.continent).or_default() += 1;
+        }
+        let eu = per[&Continent::Europe];
+        let max = per.values().copied().max().unwrap();
+        assert!(eu as f64 >= 0.8 * max as f64, "Europe skew present: {per:?}");
+        // Probes never sit in tier-1s or content ASes.
+        for p in pool.probes() {
+            let idx = w.graph.index_of(p.asn).unwrap();
+            let role = w.graph.node(idx).role;
+            assert!(
+                !matches!(role, AsRole::Content | AsRole::CableOperator),
+                "probe in {role:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_selection_is_continent_equal() {
+        let (_, pool) = pool();
+        let sel = pool.select_balanced(120);
+        let mut per: BTreeMap<Continent, usize> = BTreeMap::new();
+        for p in &sel {
+            *per.entry(p.continent).or_default() += 1;
+        }
+        for c in Continent::ALL {
+            assert_eq!(per.get(&c).copied().unwrap_or(0), 20, "equal share on {c}");
+        }
+        // Probes spread across many ASes.
+        let mut asns: Vec<Asn> = sel.iter().map(|p| p.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert!(asns.len() >= 60, "selection covers ≥60 ASes, got {}", asns.len());
+    }
+
+    #[test]
+    fn balanced_selection_is_deterministic() {
+        let (_, pool) = pool();
+        let a = pool.select_balanced(60);
+        let b = pool.select_balanced(60);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_cover_maximizes_new_ases() {
+        let (_, pool) = pool();
+        let p = pool.probes()[0];
+        let q = pool.probes()[1];
+        let r = pool.probes()[2];
+        let paths = vec![
+            (p, vec![Asn(1), Asn(2)]),
+            (q, vec![Asn(1), Asn(2), Asn(3)]), // superset of p
+            (r, vec![Asn(9)]),
+        ];
+        let chosen = pool.select_greedy_cover(&paths, 2);
+        assert_eq!(chosen.len(), 2);
+        // q first (covers 3), then r (adds 1); p adds nothing.
+        assert_eq!(chosen[0].id, q.id);
+        assert_eq!(chosen[1].id, r.id);
+    }
+}

@@ -1,0 +1,176 @@
+//! The passive measurement campaign (§3.1).
+//!
+//! Every selected probe resolves each of the content hostnames through the
+//! CDN-aware [`crate::dns::Resolver`] and traceroutes the result.
+//! The output is the raw traceroute dataset the paper's Figure 1–3 and
+//! Tables 3–4 analyses consume.
+
+use crate::atlas::Probe;
+use crate::dns::Resolver;
+use ir_dataplane::{AddressPlan, TraceConfig, Tracer, Traceroute};
+use ir_bgp::RoutingUniverse;
+use ir_topology::World;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Traceroute artifact model.
+    pub trace: TraceConfig,
+    /// Seed for traceroute artifacts.
+    pub seed: u64,
+    /// Measurement budget: at most this many traceroutes are executed
+    /// (the platform's daily rate limit — §3.1 ran "at the maximum probing
+    /// rate allowed"). `None` = unlimited.
+    pub budget: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { trace: TraceConfig::default(), seed: 0, budget: None }
+    }
+}
+
+/// A completed campaign.
+pub struct Campaign {
+    /// All traceroutes, in (probe, hostname) order.
+    pub traceroutes: Vec<Traceroute>,
+    /// Measurements dropped because the budget ran out.
+    pub skipped_for_budget: usize,
+}
+
+impl Campaign {
+    /// Runs the campaign: `probes × hostnames` measurements.
+    pub fn run(
+        world: &World,
+        universe: &RoutingUniverse,
+        plan: &AddressPlan,
+        probes: &[Probe],
+        cfg: &CampaignConfig,
+    ) -> Campaign {
+        let resolver = Resolver::new(world);
+        let tracer = Tracer::new(world, universe, plan, cfg.trace, cfg.seed);
+        let mut traceroutes = Vec::with_capacity(probes.len() * world.content.hostname_count());
+        let mut skipped_for_budget = 0usize;
+        'outer: for probe in probes {
+            for (_, hostname) in world.content.hostnames() {
+                if let Some(budget) = cfg.budget {
+                    if traceroutes.len() >= budget {
+                        // Everything else this probe (and later probes)
+                        // would have measured is lost to the rate limit.
+                        skipped_for_budget = probes.len() * world.content.hostname_count()
+                            - traceroutes.len();
+                        break 'outer;
+                    }
+                }
+                let Some(ip) = resolver.resolve(hostname, probe.asn) else { continue };
+                let mut tr = tracer.run(probe.asn, ip);
+                tr.dst_hostname = Some(hostname.to_string());
+                traceroutes.push(tr);
+            }
+        }
+        Campaign { traceroutes, skipped_for_budget }
+    }
+
+    /// Number of traceroutes that reached their destination.
+    pub fn reached(&self) -> usize {
+        self.traceroutes.iter().filter(|t| t.reached).count()
+    }
+
+    /// Distinct destination ASes (ground truth) — the paper's "218
+    /// destination ASes" statistic.
+    pub fn destination_ases(&self) -> usize {
+        let mut asns: Vec<_> = self
+            .traceroutes
+            .iter()
+            .filter(|t| t.reached)
+            .filter_map(|t| t.hops.last().and_then(|h| h.true_asn))
+            .collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atlas::ProbePool;
+    use ir_topology::GeneratorConfig;
+    use std::sync::OnceLock;
+
+    struct Fx {
+        world: World,
+        universe: RoutingUniverse,
+        plan: AddressPlan,
+        pool: ProbePool,
+    }
+
+    fn fx() -> &'static Fx {
+        static F: OnceLock<Fx> = OnceLock::new();
+        F.get_or_init(|| {
+            let world = GeneratorConfig::tiny().build(23);
+            let universe = RoutingUniverse::compute_all(&world);
+            let plan = AddressPlan::build(&world);
+            let pool = ProbePool::install(&world, 23);
+            Fx { world, universe, plan, pool }
+        })
+    }
+
+    #[test]
+    fn campaign_produces_probe_times_hostname_traceroutes() {
+        let f = fx();
+        let probes = f.pool.select_balanced(30);
+        let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        assert_eq!(
+            c.traceroutes.len(),
+            probes.len() * f.world.content.hostname_count()
+        );
+        // The overwhelming majority reach their destination.
+        assert!(c.reached() as f64 >= 0.9 * c.traceroutes.len() as f64);
+    }
+
+    #[test]
+    fn destinations_exceed_provider_count() {
+        let f = fx();
+        let probes = f.pool.select_balanced(60);
+        let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        // Off-net caches inflate the destination-AS count beyond the number
+        // of content providers — the paper's observation.
+        assert!(
+            c.destination_ases() > f.world.content.providers().len(),
+            "{} destinations for {} providers",
+            c.destination_ases(),
+            f.world.content.providers().len()
+        );
+    }
+
+    #[test]
+    fn budget_truncates_the_campaign() {
+        let f = fx();
+        let probes = f.pool.select_balanced(30);
+        let cfg = CampaignConfig { budget: Some(25), ..CampaignConfig::default() };
+        let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &cfg);
+        assert_eq!(c.traceroutes.len(), 25);
+        assert_eq!(
+            c.skipped_for_budget,
+            probes.len() * f.world.content.hostname_count() - 25
+        );
+        // Unlimited leaves nothing behind.
+        let c2 =
+            Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        assert_eq!(c2.skipped_for_budget, 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let f = fx();
+        let probes = f.pool.select_balanced(12);
+        let cfg = CampaignConfig::default();
+        let a = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &cfg);
+        let b = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &cfg);
+        assert_eq!(a.traceroutes.len(), b.traceroutes.len());
+        for (x, y) in a.traceroutes.iter().zip(&b.traceroutes) {
+            assert_eq!(x.hops, y.hops);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Route collectors (the RouteViews / RIPE RIS role in §3.2).
+//!
+//! Collectors peer with vantage ASes and archive the paths those ASes
+//! export, on a fixed 15-minute cadence. The active experiments watch
+//! these dumps to see how the control plane reacted to each announcement
+//! round.
+
+use ir_types::{Asn, Prefix, Timestamp};
+use ir_bgp::PrefixSim;
+use serde::{Deserialize, Serialize};
+
+/// Collector sampling interval (§3.2: "collect BGP feeds every 15 min").
+pub const FEED_INTERVAL: u64 = 15 * 60;
+
+/// One archived table dump: the path each vantage exported at `at`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedSnapshot {
+    pub at: Timestamp,
+    pub prefix: Prefix,
+    /// (vantage, full AS path vantage-first).
+    pub paths: Vec<(Asn, Vec<Asn>)>,
+}
+
+impl FeedSnapshot {
+    /// The path a given vantage exported, if it had a route.
+    pub fn path_of(&self, vantage: Asn) -> Option<&[Asn]> {
+        self.paths.iter().find(|(v, _)| *v == vantage).map(|(_, p)| p.as_slice())
+    }
+}
+
+/// A collector service bound to its vantage list.
+#[derive(Debug, Clone)]
+pub struct Collectors {
+    vantages: Vec<Asn>,
+}
+
+impl Collectors {
+    /// Creates the service.
+    pub fn new(mut vantages: Vec<Asn>) -> Collectors {
+        vantages.sort_unstable();
+        vantages.dedup();
+        Collectors { vantages }
+    }
+
+    /// The vantage ASes.
+    pub fn vantages(&self) -> &[Asn] {
+        &self.vantages
+    }
+
+    /// Takes one dump of the current state.
+    pub fn snapshot(&self, sim: &PrefixSim<'_>, at: Timestamp) -> FeedSnapshot {
+        let world = sim.world();
+        let mut paths = Vec::new();
+        for &v in &self.vantages {
+            let Some(idx) = world.graph.index_of(v) else { continue };
+            let Some(route) = sim.best(idx) else { continue };
+            let mut path = vec![v];
+            if !route.is_local() {
+                path.extend(route.path.sequence_asns());
+            }
+            paths.push((v, path));
+        }
+        FeedSnapshot { at, prefix: sim.prefix(), paths }
+    }
+
+    /// The dump timestamps inside a time window (multiples of the interval).
+    pub fn schedule(&self, from: Timestamp, to: Timestamp) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut t = from.secs().div_ceil(FEED_INTERVAL) * FEED_INTERVAL;
+        while t <= to.secs() {
+            out.push(Timestamp(t));
+            t += FEED_INTERVAL;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_bgp::Announcement;
+    use ir_topology::GeneratorConfig;
+
+    #[test]
+    fn snapshot_captures_vantage_paths() {
+        let w = GeneratorConfig::tiny().build(37);
+        let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+        let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+        let vantages: Vec<Asn> = w
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.asn.value() < 1000)
+            .map(|n| n.asn)
+            .take(4)
+            .collect();
+        let c = Collectors::new(vantages.clone());
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let snap = c.snapshot(&sim, Timestamp(FEED_INTERVAL));
+        assert_eq!(snap.paths.len(), vantages.len());
+        for v in &vantages {
+            let p = snap.path_of(*v).expect("vantage had a route");
+            assert_eq!(p[0], *v);
+            assert_eq!(*p.last().unwrap(), origin);
+        }
+        assert_eq!(snap.path_of(Asn(999_999)), None);
+    }
+
+    #[test]
+    fn schedule_is_interval_aligned() {
+        let c = Collectors::new(vec![Asn(1)]);
+        let s = c.schedule(Timestamp(100), Timestamp(3 * FEED_INTERVAL));
+        assert_eq!(
+            s,
+            vec![
+                Timestamp(FEED_INTERVAL),
+                Timestamp(2 * FEED_INTERVAL),
+                Timestamp(3 * FEED_INTERVAL)
+            ]
+        );
+        assert!(c.schedule(Timestamp(10), Timestamp(20)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_vantages_deduplicated() {
+        let c = Collectors::new(vec![Asn(5), Asn(5), Asn(1)]);
+        assert_eq!(c.vantages(), &[Asn(1), Asn(5)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Measurement platforms: the paper's §3 apparatus.
+//!
+//! * [`atlas`] — a RIPE-Atlas-like probe platform: probes hosted in edge
+//!   ASes, the paper's continent-balanced round-robin sampling (§3.1), a
+//!   probing budget, and the greedy probe-selection heuristic that
+//!   maximizes AS coverage toward the testbed (§3.2);
+//! * [`dns`] — CDN-style DNS resolution mapping a hostname to the closest
+//!   deployment for each client AS (why traceroutes to 34 hostnames end in
+//!   hundreds of destination ASes);
+//! * [`campaign`] — the passive traceroute campaign: every probe resolves
+//!   and traceroutes every content hostname;
+//! * [`peering`] — the PEERING-like testbed: announcements via university
+//!   muxes at 90-minute rounds, the iterative poisoning driver that
+//!   discovers alternate routes, and the magnet/anycast schedule (§3.2);
+//! * [`collectors`] — RouteViews/RIS-like collectors sampling feeds every
+//!   15 minutes;
+//! * [`looking_glass`] — looking-glass servers hosted by a subset of
+//!   transit ASes, used to validate prefix-specific-policy inferences
+//!   (§4.3).
+
+pub mod atlas;
+pub mod campaign;
+pub mod collectors;
+pub mod dns;
+pub mod looking_glass;
+pub mod peering;
+
+pub use atlas::{Probe, ProbePool};
+pub use campaign::{Campaign, CampaignConfig};
+pub use dns::Resolver;
+pub use collectors::Collectors;
+pub use looking_glass::LookingGlassNet;
+pub use peering::{AlternateDiscovery, MagnetRun, ObservationSetup, Peering};

@@ -1,0 +1,380 @@
+//! The PEERING-like testbed (§3.2).
+//!
+//! The testbed operates one ASN and a set of research prefixes it can
+//! announce through its university "muxes" (its providers — six in one
+//! country and one abroad, like the real deployment). Announcements change
+//! at most once per 90 minutes (route-flap dampening etiquette); poisoned
+//! ASNs ride in an AS-set surrounded by the testbed's own number.
+//!
+//! Two experiment drivers live here:
+//!
+//! * [`Peering::discover_alternates`] — iteratively poison the target AS's
+//!   current next hop to force it onto ever-less-preferred routes,
+//!   recording the revealed preference order;
+//! * [`Peering::run_magnet`] — announce from a single *magnet* mux, wait
+//!   for convergence, then anycast from all muxes; whether an AS sticks
+//!   with the magnet route or switches reveals which BGP decision step it
+//!   applied (analyzed by `ir-core::magnet`, Table 2).
+//!
+//! Both observe the world only through measurement channels: collector
+//! feeds at vantage ASes and (control-plane equivalents of) traceroutes
+//! from monitor probes. Interdomain routing is destination-based, so one
+//! observed path exposes the route of every AS along it.
+
+use ir_types::{Asn, Prefix, Timestamp};
+use ir_bgp::decision::{self, DecisionStep};
+use ir_bgp::{Announcement, PrefixSim};
+use ir_topology::World;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The 90-minute announcement round (§3.2).
+pub const ROUND: u64 = 90 * 60;
+
+/// The 5-minute convergence wait between magnet and anycast.
+pub const MAGNET_WAIT: u64 = 5 * 60;
+
+/// What the measurement infrastructure can see of one AS's route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The AS's route as an AS-path suffix (next hop first, origin last).
+    pub suffix: Vec<Asn>,
+    /// Seen in a collector feed.
+    pub via_feed: bool,
+    /// Seen on a monitor-probe path.
+    pub via_probe: bool,
+}
+
+impl Observation {
+    /// The next-hop neighbor the AS routes through.
+    pub fn next_hop(&self) -> Option<Asn> {
+        self.suffix.first().copied()
+    }
+}
+
+/// Where the observation machinery sits.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationSetup {
+    /// ASes peering with route collectors.
+    pub feed_vantages: Vec<Asn>,
+    /// ASes hosting monitor probes (the 96-probe / PlanetLab set).
+    pub probe_ases: Vec<Asn>,
+}
+
+/// Extracts everything the channels reveal about the current routing state
+/// of `sim`: for every AS on an observed path, its route suffix.
+pub fn observe_routes(sim: &PrefixSim<'_>, setup: &ObservationSetup) -> BTreeMap<Asn, Observation> {
+    let world = sim.world();
+    let mut out: BTreeMap<Asn, Observation> = BTreeMap::new();
+    let mut record = |path: &[Asn], feed: bool| {
+        // path = [observer, ..., origin]; AS at position i routes via suffix
+        // i+1.. (destination-based forwarding).
+        for i in 0..path.len().saturating_sub(1) {
+            let suffix = path[i + 1..].to_vec();
+            let e = out.entry(path[i]).or_insert(Observation {
+                suffix: suffix.clone(),
+                via_feed: false,
+                via_probe: false,
+            });
+            // Channels are consistent (same converged state), so suffixes
+            // agree; only the channel flags accumulate.
+            if feed {
+                e.via_feed = true;
+            } else {
+                e.via_probe = true;
+            }
+        }
+    };
+    // Collector feeds: the vantage's full best path.
+    for &v in &setup.feed_vantages {
+        if let Some(idx) = world.graph.index_of(v) {
+            if let Some(route) = sim.best(idx) {
+                let mut path = vec![v];
+                if !route.is_local() {
+                    path.extend(route.path.sequence_asns());
+                }
+                record(&path, true);
+            }
+        }
+    }
+    // Probe paths (control-plane walk of data-plane forwarding).
+    for &p in &setup.probe_ases {
+        if let Some(idx) = world.graph.index_of(p) {
+            if let Some(route) = sim.best(idx) {
+                let mut path = vec![p];
+                if !route.is_local() {
+                    path.extend(route.path.sequence_asns());
+                }
+                record(&path, false);
+            }
+        }
+    }
+    out
+}
+
+/// One revealed preference step of a target AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredRoute {
+    /// Round number (0 = unpoisoned).
+    pub round: usize,
+    /// Next hop the target used this round.
+    pub next_hop: Asn,
+    /// Full suffix the target used this round.
+    pub suffix: Vec<Asn>,
+}
+
+/// The outcome of an alternate-route discovery for one target.
+#[derive(Debug, Clone)]
+pub struct AlternateDiscovery {
+    pub target: Asn,
+    /// Routes in revealed preference order (most preferred first).
+    pub routes: Vec<DiscoveredRoute>,
+    /// Total poisoned announcements used.
+    pub announcements: usize,
+}
+
+/// The outcome of one magnet run.
+#[derive(Debug, Clone)]
+pub struct MagnetRun {
+    /// The mux used as the magnet.
+    pub magnet: Asn,
+    /// Observed routes while only the magnet announced.
+    pub before: BTreeMap<Asn, Observation>,
+    /// Observed routes after the anycast.
+    pub after: BTreeMap<Asn, Observation>,
+    /// Ground truth: the decision step that actually selected each AS's
+    /// post-anycast route (for validating the paper's inference).
+    pub truth_steps: BTreeMap<Asn, DecisionStep>,
+}
+
+/// The testbed controller.
+pub struct Peering<'w> {
+    world: &'w World,
+    muxes: Vec<Asn>,
+    prefixes: Vec<Prefix>,
+}
+
+impl<'w> Peering<'w> {
+    /// Binds to the world's testbed AS; `None` if the world was generated
+    /// without one.
+    pub fn new(world: &'w World) -> Option<Peering<'w>> {
+        let idx = world.graph.index_of(Asn::TESTBED)?;
+        let muxes: Vec<Asn> =
+            world.graph.providers(idx).map(|p| world.graph.asn(p)).collect();
+        let prefixes = world.graph.node(idx).prefixes.clone();
+        Some(Peering { world, muxes, prefixes })
+    }
+
+    /// The university muxes (provider ASNs).
+    pub fn muxes(&self) -> &[Asn] {
+        &self.muxes
+    }
+
+    /// The testbed's research prefixes.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// An anycast announcement (all muxes) with the given poison list.
+    pub fn anycast(&self, prefix: Prefix, poison: &[Asn]) -> Announcement {
+        Announcement {
+            origin: Asn::TESTBED,
+            prefix,
+            via: Some(self.muxes.iter().copied().collect()),
+            poison: poison.to_vec(),
+        }
+    }
+
+    /// An announcement restricted to a subset of muxes.
+    pub fn via(&self, prefix: Prefix, muxes: &[Asn], poison: &[Asn]) -> Announcement {
+        let set: BTreeSet<Asn> = muxes.iter().copied().collect();
+        assert!(
+            set.iter().all(|m| self.muxes.contains(m)),
+            "announcing via a non-mux"
+        );
+        Announcement { origin: Asn::TESTBED, prefix, via: Some(set), poison: poison.to_vec() }
+    }
+
+    /// §3.2 alternate-route discovery: anycast, observe the target's next
+    /// hop, poison it, repeat — until the target loses the route, vanishes
+    /// from the channels, or `max_rounds` is hit.
+    pub fn discover_alternates(
+        &self,
+        prefix: Prefix,
+        target: Asn,
+        setup: &ObservationSetup,
+        max_rounds: usize,
+    ) -> AlternateDiscovery {
+        let mut sim = PrefixSim::new(self.world, prefix);
+        let mut poison: Vec<Asn> = Vec::new();
+        let mut routes = Vec::new();
+        let mut announcements = 0usize;
+        for round in 0..max_rounds {
+            let at = Timestamp(round as u64 * ROUND);
+            sim.announce(self.anycast(prefix, &poison), at);
+            announcements += 1;
+            let obs = observe_routes(&sim, setup);
+            let Some(o) = obs.get(&target) else { break };
+            let Some(next) = o.next_hop() else { break };
+            routes.push(DiscoveredRoute { round, next_hop: next, suffix: o.suffix.clone() });
+            if poison.contains(&next) || next == Asn::TESTBED {
+                // Poisoning this neighbor did not dislodge it (loop
+                // prevention disabled / AS-set filtering upstream), or we
+                // reached a direct mux adjacency: nothing more to reveal.
+                break;
+            }
+            poison.push(next);
+        }
+        AlternateDiscovery { target, routes, announcements }
+    }
+
+    /// §3.2 magnet experiment for one magnet mux.
+    pub fn run_magnet(
+        &self,
+        prefix: Prefix,
+        magnet: Asn,
+        setup: &ObservationSetup,
+        start: Timestamp,
+    ) -> MagnetRun {
+        assert!(self.muxes.contains(&magnet), "magnet must be a mux");
+        let mut sim = PrefixSim::new(self.world, prefix);
+        sim.announce(self.via(prefix, &[magnet], &[]), start);
+        let before = observe_routes(&sim, setup);
+        sim.announce(self.anycast(prefix, &[]), Timestamp(start.secs() + MAGNET_WAIT));
+        let after = observe_routes(&sim, setup);
+        // Ground-truth decision steps after the anycast.
+        let mut truth_steps = BTreeMap::new();
+        for x in 0..self.world.graph.len() {
+            let cands = sim.candidates(x);
+            if let Some((_, step)) = decision::select(&cands) {
+                truth_steps.insert(self.world.graph.asn(x), step);
+            }
+        }
+        MagnetRun { magnet, before, after, truth_steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_topology::graph::AsRole;
+    use ir_topology::GeneratorConfig;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| GeneratorConfig::tiny().build(31))
+    }
+
+    fn setup(w: &World) -> ObservationSetup {
+        // Vantages: a few core transit ASes; probes: a spread of stubs.
+        let mut feed_vantages: Vec<Asn> = w
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.role == AsRole::Transit && n.asn.value() < 1000)
+            .map(|n| n.asn)
+            .take(6)
+            .collect();
+        feed_vantages.sort_unstable();
+        let probe_ases: Vec<Asn> = w
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.asn.value() >= 20_000)
+            .map(|n| n.asn)
+            .step_by(3)
+            .take(20)
+            .collect();
+        ObservationSetup { feed_vantages, probe_ases }
+    }
+
+    #[test]
+    fn testbed_binds_with_muxes() {
+        let w = world();
+        let p = Peering::new(w).expect("testbed exists");
+        assert!(!p.muxes().is_empty() && p.muxes().len() <= 7);
+        assert!(!p.prefixes().is_empty());
+    }
+
+    #[test]
+    fn observations_expose_on_path_decisions() {
+        let w = world();
+        let p = Peering::new(w).unwrap();
+        let s = setup(w);
+        let mut sim = PrefixSim::new(w, p.prefixes()[0]);
+        sim.announce(p.anycast(p.prefixes()[0], &[]), Timestamp::ZERO);
+        let obs = observe_routes(&sim, &s);
+        assert!(obs.len() > s.feed_vantages.len(), "on-path ASes observed too");
+        // Every observed suffix matches the AS's actual best route.
+        for (asn, o) in &obs {
+            let idx = w.graph.index_of(*asn).unwrap();
+            let best = sim.best(idx).expect("observed AS has a route");
+            assert_eq!(o.suffix, best.path.sequence_asns(), "suffix matches at {asn}");
+        }
+        // Channel flags are set somewhere.
+        assert!(obs.values().any(|o| o.via_feed));
+        assert!(obs.values().any(|o| o.via_probe));
+    }
+
+    #[test]
+    fn discovery_reveals_distinct_next_hops_in_order() {
+        let w = world();
+        let p = Peering::new(w).unwrap();
+        let s = setup(w);
+        // Target: some multihomed stub observed on paths.
+        let mut sim = PrefixSim::new(w, p.prefixes()[0]);
+        sim.announce(p.anycast(p.prefixes()[0], &[]), Timestamp::ZERO);
+        let obs = observe_routes(&sim, &s);
+        let target = *obs
+            .keys()
+            .find(|a| {
+                let idx = w.graph.index_of(**a).unwrap();
+                w.graph.links(idx).len() >= 3 && **a != Asn::TESTBED
+            })
+            .expect("an observed multihomed AS");
+        let d = p.discover_alternates(p.prefixes()[0], target, &s, 8);
+        assert!(!d.routes.is_empty());
+        // Next hops are distinct until a terminal repeat.
+        let mut hops: Vec<Asn> = d.routes.iter().map(|r| r.next_hop).collect();
+        let last_repeats =
+            hops.len() >= 2 && hops[hops.len() - 1] == hops[hops.len() - 2];
+        if last_repeats {
+            hops.pop();
+        }
+        let mut dedup = hops.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hops.len(), "distinct next hops {hops:?}");
+        assert!(d.announcements >= d.routes.len());
+    }
+
+    #[test]
+    fn magnet_keeps_or_switches_routes() {
+        let w = world();
+        let p = Peering::new(w).unwrap();
+        let s = setup(w);
+        let magnet = p.muxes()[0];
+        let run = p.run_magnet(p.prefixes()[0], magnet, &s, Timestamp::ZERO);
+        assert!(!run.before.is_empty() && !run.after.is_empty());
+        // Before the anycast every observed route goes through the magnet.
+        for o in run.before.values() {
+            assert!(
+                o.suffix.contains(&magnet) || o.suffix == vec![Asn::TESTBED],
+                "magnet-only epoch routes via the magnet: {:?}",
+                o.suffix
+            );
+        }
+        // After the anycast, at least one AS switched away from the magnet
+        // (muxes other than the magnet now have direct routes).
+        let other_mux = p.muxes().iter().find(|m| **m != magnet);
+        if let Some(&om) = other_mux {
+            let switched = run
+                .after
+                .values()
+                .any(|o| o.suffix.contains(&om) && !o.suffix.contains(&magnet));
+            assert!(switched, "someone switched to another mux");
+        }
+        // Ground-truth steps recorded for routed ASes.
+        assert!(!run.truth_steps.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Undersea cable systems.
+//!
+//! §6 of the paper: some cables are jointly owned by large ISPs
+//! (Pan-American Crossing, Americas-II), while others (EAC-C2C/PACNET) are
+//! operated by independent organizations with their own ASNs and prefixes.
+//! Independent cable ASes only provide point-to-point transit along the
+//! cable — they originate no traffic and peer only at the landing points —
+//! so they "resemble high-latency, high-cost IXPs" and confuse relationship
+//! inference. The paper identifies them from the TeleGeography Submarine
+//! Cable Map; our [`CableMap`] plays that side-list role.
+
+use ir_types::{Asn, CityId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Who operates a cable system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CableOwnership {
+    /// Jointly owned by a consortium of ISPs; the cable has no ASN of its
+    /// own and appears as ordinary (often hybrid) links between the owners.
+    Consortium(Vec<Asn>),
+    /// Operated by an independent organization under its own ASN; the cable
+    /// AS appears in the data plane on intercontinental paths.
+    Independent(Asn),
+}
+
+/// One undersea cable system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CableSystem {
+    /// Synthesized name ("cable3").
+    pub name: String,
+    /// Coastal cities where the cable lands (≥ 2, on ≥ 2 continents).
+    pub landings: Vec<CityId>,
+    /// Operator.
+    pub ownership: CableOwnership,
+}
+
+impl CableSystem {
+    /// The cable's own ASN, if independently operated.
+    pub fn own_asn(&self) -> Option<Asn> {
+        match &self.ownership {
+            CableOwnership::Independent(asn) => Some(*asn),
+            CableOwnership::Consortium(_) => None,
+        }
+    }
+}
+
+/// The TeleGeography-like side list of cable systems.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CableMap {
+    systems: Vec<CableSystem>,
+}
+
+impl CableMap {
+    /// Adds a cable system to the map.
+    pub fn add(&mut self, system: CableSystem) {
+        assert!(system.landings.len() >= 2, "cable {} needs ≥2 landings", system.name);
+        self.systems.push(system);
+    }
+
+    /// All systems.
+    pub fn systems(&self) -> &[CableSystem] {
+        &self.systems
+    }
+
+    /// The set of ASNs belonging to independent cable operators — the list
+    /// the §6/Table 4 analysis uses to attribute deviations to cables.
+    pub fn cable_asns(&self) -> BTreeSet<Asn> {
+        self.systems.iter().filter_map(|s| s.own_asn()).collect()
+    }
+
+    /// Whether an ASN is an independently-operated cable AS.
+    pub fn is_cable_asn(&self, asn: Asn) -> bool {
+        self.systems.iter().any(|s| s.own_asn() == Some(asn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cable_asns_only_from_independents() {
+        let mut map = CableMap::default();
+        map.add(CableSystem {
+            name: "consortium-cable".into(),
+            landings: vec![CityId(0), CityId(9)],
+            ownership: CableOwnership::Consortium(vec![Asn(1), Asn(2)]),
+        });
+        map.add(CableSystem {
+            name: "pacnet-like".into(),
+            landings: vec![CityId(1), CityId(8)],
+            ownership: CableOwnership::Independent(Asn(77)),
+        });
+        assert_eq!(map.cable_asns().into_iter().collect::<Vec<_>>(), vec![Asn(77)]);
+        assert!(map.is_cable_asn(Asn(77)));
+        assert!(!map.is_cable_asn(Asn(1)));
+        assert_eq!(map.systems().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥2 landings")]
+    fn single_landing_rejected() {
+        let mut map = CableMap::default();
+        map.add(CableSystem {
+            name: "bad".into(),
+            landings: vec![CityId(0)],
+            ownership: CableOwnership::Independent(Asn(1)),
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Oliveira et al.-style AS classification over *inferred* data.
+//!
+//! [`crate::graph::AsGraph::as_type`] classifies with ground-truth
+//! knowledge; the paper instead classifies vantage-point ASes (Table 1)
+//! using inferred topologies. This module provides the same structural
+//! classification over a [`RelationshipDb`], so Table 1 can be produced the
+//! way the paper produced it.
+
+use crate::reldb::RelationshipDb;
+use ir_types::{AsType, Asn, Relationship};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classifier over an inferred relationship snapshot.
+pub struct TypeClassifier {
+    customers: BTreeMap<Asn, Vec<Asn>>,
+    has_provider: BTreeSet<Asn>,
+}
+
+impl TypeClassifier {
+    /// Indexes the snapshot for classification queries.
+    pub fn new(db: &RelationshipDb) -> TypeClassifier {
+        let mut customers: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        let mut has_provider = BTreeSet::new();
+        for (a, b, rel) in db.iter() {
+            match rel {
+                // rel is b-from-a.
+                Relationship::Provider => {
+                    customers.entry(b).or_default().push(a);
+                    has_provider.insert(a);
+                }
+                Relationship::Customer => {
+                    customers.entry(a).or_default().push(b);
+                    has_provider.insert(b);
+                }
+                Relationship::Peer | Relationship::Sibling => {}
+            }
+        }
+        TypeClassifier { customers, has_provider }
+    }
+
+    /// Customer-cone size of `asn` (itself included).
+    pub fn cone_size(&self, asn: Asn) -> usize {
+        let mut seen = BTreeSet::from([asn]);
+        let mut stack = vec![asn];
+        while let Some(x) = stack.pop() {
+            if let Some(cs) = self.customers.get(&x) {
+                for &c in cs {
+                    if seen.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Classification mirroring [`crate::graph::AsGraph::as_type`]: Tier-1 =
+    /// provider-free with customers; then by customer-cone size.
+    pub fn classify(&self, asn: Asn) -> AsType {
+        let cone = self.cone_size(asn);
+        if !self.has_provider.contains(&asn) && cone > 1 {
+            return AsType::Tier1;
+        }
+        match cone {
+            1 => AsType::Stub,
+            2..=50 => AsType::SmallIsp,
+            _ => AsType::LargeIsp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 ← 2 ← {3,4}; 1—5 peer; 3,4,5 stubs, 2 small ISP, 1 tier-1.
+    fn db() -> RelationshipDb {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(2), Asn(1), Relationship::Provider);
+        db.insert(Asn(3), Asn(2), Relationship::Provider);
+        db.insert(Asn(4), Asn(2), Relationship::Provider);
+        db.insert(Asn(1), Asn(5), Relationship::Peer);
+        db
+    }
+
+    #[test]
+    fn cone_sizes() {
+        let c = TypeClassifier::new(&db());
+        assert_eq!(c.cone_size(Asn(1)), 4);
+        assert_eq!(c.cone_size(Asn(2)), 3);
+        assert_eq!(c.cone_size(Asn(3)), 1);
+        assert_eq!(c.cone_size(Asn(5)), 1);
+    }
+
+    #[test]
+    fn classification() {
+        let c = TypeClassifier::new(&db());
+        assert_eq!(c.classify(Asn(1)), AsType::Tier1);
+        assert_eq!(c.classify(Asn(2)), AsType::SmallIsp);
+        assert_eq!(c.classify(Asn(3)), AsType::Stub);
+        assert_eq!(c.classify(Asn(5)), AsType::Stub); // peer-only, no customers
+    }
+
+    #[test]
+    fn cone_handles_cycles() {
+        // Inference artifacts can produce c2p cycles; cone must terminate.
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Relationship::Customer); // 2 customer of 1
+        db.insert(Asn(2), Asn(3), Relationship::Customer);
+        db.insert(Asn(3), Asn(1), Relationship::Customer);
+        let c = TypeClassifier::new(&db);
+        assert_eq!(c.cone_size(Asn(1)), 3);
+    }
+}

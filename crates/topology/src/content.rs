@@ -1,0 +1,141 @@
+//! The catalog of large content providers the passive campaign targets.
+//!
+//! §3.1 of the paper: 34 DNS names of 14 large content providers (top
+//! Sandvine applications + top Quantcast sites). Traceroutes toward them end
+//! in 218 distinct destination ASes — far more than 14 — because "large
+//! numbers of content servers are hosted outside the provider's network
+//! (e.g., inside ISPs)" (Akamai/Netflix-style off-net caches). The catalog
+//! therefore distinguishes a provider's own origin ASes from its off-net
+//! deployments, and DNS resolution picks per-client among them.
+
+use ir_types::{Asn, Ipv4, OrgId, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One deployment (a place a hostname can resolve into).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// AS hosting the servers — the provider's own AS or a third-party
+    /// (eyeball/ISP) AS for off-net caches.
+    pub host_as: Asn,
+    /// Address block the servers answer from (inside `host_as`'s space).
+    pub prefix: Prefix,
+    /// Whether this is an off-net cache (hosted outside the provider's
+    /// network).
+    pub offnet: bool,
+}
+
+impl Deployment {
+    /// A representative server address within the deployment.
+    pub fn server_ip(&self) -> Ipv4 {
+        // Use the highest host address so it never collides with the router
+        // interface addresses the data plane allocates from the low end.
+        self.prefix.addr(self.prefix.size() - 1)
+    }
+}
+
+/// A content provider (Akamai/Netflix/Google-like).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentProvider {
+    /// Organization operating the provider (ties into sibling inference).
+    pub org: OrgId,
+    /// Display name ("content3").
+    pub name: String,
+    /// DNS names the measurement campaign targets (≥ 1 each, 34 total in
+    /// the paper).
+    pub hostnames: Vec<String>,
+    /// The provider's own origin ASes.
+    pub origin_asns: Vec<Asn>,
+    /// All deployments, on-net first.
+    pub deployments: Vec<Deployment>,
+}
+
+/// The full catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContentCatalog {
+    providers: Vec<ContentProvider>,
+}
+
+impl ContentCatalog {
+    /// Adds a provider.
+    pub fn add(&mut self, p: ContentProvider) {
+        assert!(!p.hostnames.is_empty(), "provider {} has no hostnames", p.name);
+        assert!(!p.deployments.is_empty(), "provider {} has no deployments", p.name);
+        self.providers.push(p);
+    }
+
+    /// All providers.
+    pub fn providers(&self) -> &[ContentProvider] {
+        &self.providers
+    }
+
+    /// Total number of hostnames across providers (34 in the paper).
+    pub fn hostname_count(&self) -> usize {
+        self.providers.iter().map(|p| p.hostnames.len()).sum()
+    }
+
+    /// Iterates `(provider index, hostname)` pairs in catalog order.
+    pub fn hostnames(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.providers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.hostnames.iter().map(move |h| (i, h.as_str())))
+    }
+
+    /// The provider a hostname belongs to.
+    pub fn provider_of(&self, hostname: &str) -> Option<&ContentProvider> {
+        self.providers.iter().find(|p| p.hostnames.iter().any(|h| h == hostname))
+    }
+
+    /// All ASNs that can appear as traceroute destinations (origin ASes and
+    /// off-net hosts) — the "218 destination ASes" effect.
+    pub fn destination_asns(&self) -> Vec<Asn> {
+        let mut asns: Vec<Asn> =
+            self.providers.iter().flat_map(|p| p.deployments.iter().map(|d| d.host_as)).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ContentCatalog {
+        let mut c = ContentCatalog::default();
+        c.add(ContentProvider {
+            org: OrgId(0),
+            name: "content0".into(),
+            hostnames: vec!["www.content0.example".into(), "cdn.content0.example".into()],
+            origin_asns: vec![Asn(500)],
+            deployments: vec![
+                Deployment { host_as: Asn(500), prefix: "10.5.0.0/24".parse().unwrap(), offnet: false },
+                Deployment { host_as: Asn(42), prefix: "10.9.1.0/26".parse().unwrap(), offnet: true },
+            ],
+        });
+        c
+    }
+
+    #[test]
+    fn hostname_lookup_and_counts() {
+        let c = catalog();
+        assert_eq!(c.hostname_count(), 2);
+        assert_eq!(c.provider_of("cdn.content0.example").unwrap().name, "content0");
+        assert!(c.provider_of("nope.example").is_none());
+        assert_eq!(c.hostnames().count(), 2);
+    }
+
+    #[test]
+    fn destinations_include_offnet_hosts() {
+        let c = catalog();
+        assert_eq!(c.destination_asns(), vec![Asn(42), Asn(500)]);
+    }
+
+    #[test]
+    fn server_ip_is_inside_prefix() {
+        let c = catalog();
+        for d in &c.providers()[0].deployments {
+            assert!(d.prefix.contains(d.server_ip()));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! GraphViz DOT export of the AS graph.
+//!
+//! For eyeballing generated worlds and debugging scenarios: nodes are
+//! colored by role, edge style encodes the relationship (solid arrows
+//! customer→provider, dashed peering, dotted sibling). Render with
+//! `dot -Tsvg world.dot -o world.svg` or `sfdp` for large graphs.
+
+use crate::graph::{AsGraph, AsRole};
+use ir_types::Relationship;
+use std::fmt::Write as _;
+
+/// Exports the graph as a DOT document.
+pub fn to_dot(graph: &AsGraph) -> String {
+    let mut out = String::from(
+        "graph as_topology {\n  layout=sfdp;\n  overlap=false;\n  node [style=filled];\n",
+    );
+    for idx in 0..graph.len() {
+        let node = graph.node(idx);
+        let color = match node.role {
+            AsRole::Transit => "lightblue",
+            AsRole::Eyeball => "palegreen",
+            AsRole::Content => "gold",
+            AsRole::Education => "plum",
+            AsRole::CableOperator => "salmon",
+            AsRole::Enterprise => "lightgray",
+        };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\", fillcolor={color}];",
+            node.asn.value(),
+            node.asn
+        )
+        .expect("write to String");
+    }
+    for a in 0..graph.len() {
+        for l in graph.links(a) {
+            if l.peer < a {
+                continue; // one edge per undirected link
+            }
+            let (style, dir) = match l.rel {
+                // l.rel is the peer as seen from a: Customer means the peer
+                // pays a → draw the arrow from the customer (peer) to the
+                // provider (a).
+                Relationship::Customer => ("solid", Some((l.peer, a))),
+                Relationship::Provider => ("solid", Some((a, l.peer))),
+                Relationship::Peer => ("dashed", None),
+                Relationship::Sibling => ("dotted", None),
+            };
+            let extra = if l.is_hybrid() { ", color=red" } else { "" };
+            match dir {
+                Some((customer, provider)) => writeln!(
+                    out,
+                    "  n{} -- n{} [style={style}, dir=forward{extra}];",
+                    graph.asn(customer).value(),
+                    graph.asn(provider).value()
+                ),
+                None => writeln!(
+                    out,
+                    "  n{} -- n{} [style={style}{extra}];",
+                    graph.asn(a).value(),
+                    graph.asn(l.peer).value()
+                ),
+            }
+            .expect("write to String");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GeneratorConfig;
+
+    #[test]
+    fn dot_export_is_complete_and_well_formed() {
+        let w = GeneratorConfig::tiny().build(1);
+        let dot = to_dot(&w.graph);
+        assert!(dot.starts_with("graph as_topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per AS, one edge line per undirected link.
+        let nodes = dot.lines().filter(|l| l.contains("[label=")).count();
+        let edges = dot.lines().filter(|l| l.contains(" -- ")).count();
+        assert_eq!(nodes, w.graph.len());
+        assert_eq!(edges, w.graph.link_count());
+        // Roles appear as colors.
+        assert!(dot.contains("gold"), "content nodes colored");
+        assert!(dot.contains("dashed"), "peering edges dashed");
+    }
+
+    #[test]
+    fn customer_arrows_point_at_providers() {
+        use crate::graph::{AsNode, LinkKind};
+        use ir_types::{Asn, CityId, CountryId, Ipv4, OrgId, Prefix, Relationship};
+        let mut g = AsGraph::default();
+        let mk = |asn: u32| AsNode {
+            asn: Asn(asn),
+            org: OrgId(asn),
+            home_country: CountryId(0),
+            presence: vec![CityId(0)],
+            role: crate::graph::AsRole::Transit,
+            prefixes: vec![Prefix::new(Ipv4::new(10, 0, asn as u8, 0), 24)],
+        };
+        let p = g.add_node(mk(1));
+        let c = g.add_node(mk(2));
+        g.add_link(p, c, Relationship::Customer, vec![CityId(0)], LinkKind::Normal);
+        let dot = to_dot(&g);
+        // Arrow from customer (2) to provider (1).
+        assert!(dot.contains("n2 -- n1 [style=solid, dir=forward]"), "{dot}");
+    }
+}

@@ -1,0 +1,182 @@
+//! The synthetic world's geography: continents contain countries, countries
+//! contain cities, and every AS/interconnection/IP is anchored to a city.
+
+use ir_types::{CityId, Continent, CountryId};
+use serde::{Deserialize, Serialize};
+
+/// A country in the synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Country {
+    pub id: CountryId,
+    pub continent: Continent,
+    /// Cities located in this country.
+    pub cities: Vec<CityId>,
+    /// ISO-like two-letter code, synthesized ("aa", "ab", …).
+    pub code: String,
+}
+
+/// A city in the synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    pub id: CityId,
+    pub country: CountryId,
+    /// Whether the city is on a coast and can host undersea-cable landings.
+    pub coastal: bool,
+    /// Synthesized name ("city0001").
+    pub name: String,
+}
+
+/// The full geography: lookup tables from ids to records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Geography {
+    countries: Vec<Country>,
+    cities: Vec<City>,
+}
+
+impl Geography {
+    /// Builds a geography with `countries_per_continent` countries on each
+    /// continent and `cities_per_country` cities per country. Every third
+    /// city (at least one per country) is coastal.
+    pub fn build(countries_per_continent: usize, cities_per_country: usize) -> Geography {
+        assert!(cities_per_country >= 1, "countries need at least one city");
+        let mut geo = Geography::default();
+        for continent in Continent::ALL {
+            for _ in 0..countries_per_continent {
+                let cid = CountryId(geo.countries.len() as u16);
+                let mut cities = Vec::with_capacity(cities_per_country);
+                for k in 0..cities_per_country {
+                    let city_id = CityId(geo.cities.len() as u16);
+                    geo.cities.push(City {
+                        id: city_id,
+                        country: cid,
+                        coastal: k % 3 == 0,
+                        name: format!("{city_id}"),
+                    });
+                    cities.push(city_id);
+                }
+                let n = geo.countries.len();
+                geo.countries.push(Country {
+                    id: cid,
+                    continent,
+                    cities,
+                    code: format!("{}{}", (b'a' + (n / 26) as u8) as char, (b'a' + (n % 26) as u8) as char),
+                });
+            }
+        }
+        geo
+    }
+
+    /// All countries in id order.
+    pub fn countries(&self) -> &[Country] {
+        &self.countries
+    }
+
+    /// All cities in id order.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// Country record by id.
+    pub fn country(&self, id: CountryId) -> &Country {
+        &self.countries[id.0 as usize]
+    }
+
+    /// City record by id.
+    pub fn city(&self, id: CityId) -> &City {
+        &self.cities[id.0 as usize]
+    }
+
+    /// Country a city belongs to.
+    pub fn country_of(&self, city: CityId) -> CountryId {
+        self.city(city).country
+    }
+
+    /// Continent a city is on.
+    pub fn continent_of(&self, city: CityId) -> Continent {
+        self.country(self.city(city).country).continent
+    }
+
+    /// Continent a country is on.
+    pub fn continent_of_country(&self, country: CountryId) -> Continent {
+        self.country(country).continent
+    }
+
+    /// Countries on a given continent, in id order.
+    pub fn countries_on(&self, continent: Continent) -> impl Iterator<Item = &Country> {
+        self.countries.iter().filter(move |c| c.continent == continent)
+    }
+
+    /// Coastal cities on a given continent (candidate cable landings).
+    pub fn coastal_cities_on(&self, continent: Continent) -> Vec<CityId> {
+        self.cities
+            .iter()
+            .filter(|c| c.coastal && self.continent_of(c.id) == continent)
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Whether two cities are in the same country.
+    pub fn same_country(&self, a: CityId, b: CityId) -> bool {
+        self.country_of(a) == self.country_of(b)
+    }
+
+    /// Whether two cities are on the same continent.
+    pub fn same_continent(&self, a: CityId, b: CityId) -> bool {
+        self.continent_of(a) == self.continent_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counts() {
+        let g = Geography::build(3, 4);
+        assert_eq!(g.countries().len(), 18);
+        assert_eq!(g.cities().len(), 72);
+        for country in g.countries() {
+            assert_eq!(country.cities.len(), 4);
+            // At least one coastal city per country (k = 0 is coastal).
+            assert!(country.cities.iter().any(|c| g.city(*c).coastal));
+        }
+    }
+
+    #[test]
+    fn lookups_are_consistent() {
+        let g = Geography::build(2, 3);
+        for city in g.cities() {
+            let country = g.country(city.country);
+            assert!(country.cities.contains(&city.id));
+            assert_eq!(g.continent_of(city.id), country.continent);
+        }
+    }
+
+    #[test]
+    fn same_country_and_continent() {
+        let g = Geography::build(2, 2);
+        let c0 = g.countries()[0].cities[0];
+        let c1 = g.countries()[0].cities[1];
+        let other = g.countries()[1].cities[0];
+        assert!(g.same_country(c0, c1));
+        assert!(!g.same_country(c0, other));
+        assert!(g.same_continent(c0, other)); // countries 0 and 1 are both on Africa
+    }
+
+    #[test]
+    fn coastal_cities_exist_everywhere() {
+        let g = Geography::build(2, 3);
+        for continent in Continent::ALL {
+            assert!(!g.coastal_cities_on(continent).is_empty());
+        }
+    }
+
+    #[test]
+    fn country_codes_unique() {
+        let g = Geography::build(4, 1);
+        let mut codes: Vec<_> = g.countries().iter().map(|c| c.code.clone()).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), g.countries().len());
+    }
+}

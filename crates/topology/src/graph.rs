@@ -1,0 +1,388 @@
+//! The ground-truth AS graph.
+//!
+//! Nodes are ASes with geographic footprints and roles; edges are
+//! interconnections annotated with the business relationship *per
+//! interconnection city* — the representation needed to express the hybrid
+//! relationships of Giotsas et al. (§4.1 of the paper), where the same AS
+//! pair peers in one city and has a transit arrangement in another.
+
+use ir_types::{AsType, Asn, CityId, CountryId, OrgId, Prefix, Relationship};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Dense index of a node inside an [`AsGraph`].
+pub type NodeIdx = usize;
+
+/// Functional role of an AS in the synthetic world. Orthogonal to the
+/// structural [`AsType`] classification (a content AS is usually a stub,
+/// but large content providers can have sizeable customer cones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AsRole {
+    /// Sells transit (tier-1s, large and small ISPs).
+    Transit,
+    /// Access/eyeball network hosting end users (and RIPE-Atlas-like probes).
+    Eyeball,
+    /// Large content provider (the passive campaign's destinations).
+    Content,
+    /// Research & education network (Internet2/GEANT-like; hosts the
+    /// PEERING-like testbed muxes).
+    Education,
+    /// Undersea-cable operator with its own ASN (EAC-C2C/PACNET-like).
+    CableOperator,
+    /// Enterprise stub.
+    Enterprise,
+}
+
+/// Kind of an interconnection, used by the generator and the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Ordinary private or IXP interconnection.
+    Normal,
+    /// A backup arrangement: ground truth deprioritizes it below every other
+    /// route class (the §4.4 violations U/E route this way).
+    Backup,
+    /// A segment of an undersea cable system (one endpoint is a
+    /// [`AsRole::CableOperator`] AS).
+    CableSegment,
+}
+
+/// One directed view of an (undirected) interconnection between two ASes.
+///
+/// `rel` is the relationship of `peer` *as seen from the owning node* — e.g.
+/// `Relationship::Customer` means "`peer` is my customer".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Index of the neighboring AS.
+    pub peer: NodeIdx,
+    /// Default relationship of `peer` from this side.
+    pub rel: Relationship,
+    /// Hybrid relationships: overrides of `rel` at specific interconnection
+    /// cities. Empty for ordinary links.
+    pub rel_by_city: Vec<(CityId, Relationship)>,
+    /// Cities where the two ASes interconnect (at least one).
+    pub cities: Vec<CityId>,
+    /// IGP cost from this AS's "center" to the interconnection (hot-potato
+    /// tie-breaker input).
+    pub igp_cost: u32,
+    /// What kind of interconnection this is.
+    pub kind: LinkKind,
+}
+
+impl Link {
+    /// Relationship to use for traffic entering/leaving at `city`, honoring
+    /// hybrid per-city overrides.
+    pub fn rel_at(&self, city: CityId) -> Relationship {
+        self.rel_by_city
+            .iter()
+            .find(|(c, _)| *c == city)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.rel)
+    }
+
+    /// Whether this link has city-dependent (hybrid) relationships.
+    pub fn is_hybrid(&self) -> bool {
+        self.rel_by_city.iter().any(|(_, r)| *r != self.rel)
+    }
+}
+
+/// A node of the AS graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    pub asn: Asn,
+    /// Organization operating this AS (siblings share it).
+    pub org: OrgId,
+    /// Country the AS is registered in (what whois would say).
+    pub home_country: CountryId,
+    /// Cities where the AS has points of presence.
+    pub presence: Vec<CityId>,
+    /// Functional role.
+    pub role: AsRole,
+    /// Prefixes originated by this AS.
+    pub prefixes: Vec<Prefix>,
+}
+
+/// The ground-truth AS-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: Vec<AsNode>,
+    adj: Vec<Vec<Link>>,
+    by_asn: BTreeMap<Asn, NodeIdx>,
+}
+
+impl AsGraph {
+    /// Adds a node; its ASN must be unique. Returns the node's index.
+    pub fn add_node(&mut self, node: AsNode) -> NodeIdx {
+        let idx = self.nodes.len();
+        let prev = self.by_asn.insert(node.asn, idx);
+        assert!(prev.is_none(), "duplicate ASN {}", node.asn);
+        self.nodes.push(node);
+        self.adj.push(Vec::new());
+        idx
+    }
+
+    /// Connects `a` and `b` with relationship `rel_of_b_from_a` (what `b` is
+    /// to `a`; the reverse view is derived). Panics if the link already
+    /// exists or connects a node to itself.
+    pub fn add_link(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        rel_of_b_from_a: Relationship,
+        cities: Vec<CityId>,
+        kind: LinkKind,
+    ) {
+        assert_ne!(a, b, "self-link on {}", self.nodes[a].asn);
+        assert!(!cities.is_empty(), "link needs an interconnection city");
+        assert!(
+            self.link(a, b).is_none(),
+            "duplicate link {} - {}",
+            self.nodes[a].asn,
+            self.nodes[b].asn
+        );
+        self.adj[a].push(Link {
+            peer: b,
+            rel: rel_of_b_from_a,
+            rel_by_city: Vec::new(),
+            cities: cities.clone(),
+            igp_cost: 1,
+            kind,
+        });
+        self.adj[b].push(Link {
+            peer: a,
+            rel: rel_of_b_from_a.reverse(),
+            rel_by_city: Vec::new(),
+            cities,
+            igp_cost: 1,
+            kind,
+        });
+    }
+
+    /// Sets a hybrid (per-city) relationship override on the `a`–`b` link;
+    /// both directional views are updated consistently.
+    pub fn set_hybrid(&mut self, a: NodeIdx, b: NodeIdx, city: CityId, rel_of_b_from_a: Relationship) {
+        let la = self.link_mut(a, b).expect("hybrid on missing link");
+        la.rel_by_city.retain(|(c, _)| *c != city);
+        la.rel_by_city.push((city, rel_of_b_from_a));
+        if !la.cities.contains(&city) {
+            la.cities.push(city);
+        }
+        let lb = self.link_mut(b, a).expect("hybrid on missing link");
+        lb.rel_by_city.retain(|(c, _)| *c != city);
+        lb.rel_by_city.push((city, rel_of_b_from_a.reverse()));
+        if !lb.cities.contains(&city) {
+            lb.cities.push(city);
+        }
+    }
+
+    /// Sets the IGP cost of the directional view `a → b`.
+    pub fn set_igp_cost(&mut self, a: NodeIdx, b: NodeIdx, cost: u32) {
+        self.link_mut(a, b).expect("igp cost on missing link").igp_cost = cost;
+    }
+
+    /// Removes the link between `a` and `b` (both directional views).
+    /// Returns whether it existed. Used by the snapshot-churn machinery.
+    pub fn remove_link(&mut self, a: NodeIdx, b: NodeIdx) -> bool {
+        let before = self.adj[a].len();
+        self.adj[a].retain(|l| l.peer != b);
+        self.adj[b].retain(|l| l.peer != a);
+        before != self.adj[a].len()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node record by index.
+    pub fn node(&self, idx: NodeIdx) -> &AsNode {
+        &self.nodes[idx]
+    }
+
+    /// Mutable node record by index.
+    pub fn node_mut(&mut self, idx: NodeIdx) -> &mut AsNode {
+        &mut self.nodes[idx]
+    }
+
+    /// All nodes in index order.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// Index of the node with the given ASN.
+    pub fn index_of(&self, asn: Asn) -> Option<NodeIdx> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// ASN of the node at `idx`.
+    pub fn asn(&self, idx: NodeIdx) -> Asn {
+        self.nodes[idx].asn
+    }
+
+    /// Outgoing directional links of `idx`.
+    pub fn links(&self, idx: NodeIdx) -> &[Link] {
+        &self.adj[idx]
+    }
+
+    /// The directional link `a → b`, if the ASes are connected.
+    pub fn link(&self, a: NodeIdx, b: NodeIdx) -> Option<&Link> {
+        self.adj[a].iter().find(|l| l.peer == b)
+    }
+
+    fn link_mut(&mut self, a: NodeIdx, b: NodeIdx) -> Option<&mut Link> {
+        self.adj[a].iter_mut().find(|l| l.peer == b)
+    }
+
+    /// Relationship of `b` as seen from `a` (default, ignoring hybrid
+    /// overrides), if connected.
+    pub fn rel(&self, a: NodeIdx, b: NodeIdx) -> Option<Relationship> {
+        self.link(a, b).map(|l| l.rel)
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+
+    /// Customers of `idx` (nodes for which `idx` is a provider).
+    pub fn customers(&self, idx: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.adj[idx].iter().filter(|l| l.rel == Relationship::Customer).map(|l| l.peer)
+    }
+
+    /// Providers of `idx`.
+    pub fn providers(&self, idx: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.adj[idx].iter().filter(|l| l.rel == Relationship::Provider).map(|l| l.peer)
+    }
+
+    /// Size of the customer cone of `idx` (the AS itself plus all ASes
+    /// reachable by repeatedly descending provider→customer edges). Siblings
+    /// are not descended.
+    pub fn customer_cone_size(&self, idx: NodeIdx) -> usize {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![idx];
+        seen[idx] = true;
+        let mut n = 0;
+        while let Some(x) = stack.pop() {
+            n += 1;
+            for l in &self.adj[x] {
+                if l.rel == Relationship::Customer && !seen[l.peer] {
+                    seen[l.peer] = true;
+                    stack.push(l.peer);
+                }
+            }
+        }
+        n
+    }
+
+    /// Structural Oliveira-style classification of `idx` (see Table 1).
+    ///
+    /// Tier-1s are provider-free transit ASes; among the rest, the customer
+    /// cone size separates large ISPs (> 50), small ISPs (2–50) and stubs
+    /// (cone of 1, i.e. no customers).
+    pub fn as_type(&self, idx: NodeIdx) -> AsType {
+        let has_provider = self.providers(idx).next().is_some();
+        let cone = self.customer_cone_size(idx);
+        if !has_provider && cone > 1 && self.nodes[idx].role == AsRole::Transit {
+            return AsType::Tier1;
+        }
+        match cone {
+            1 => AsType::Stub,
+            2..=50 => AsType::SmallIsp,
+            _ => AsType::LargeIsp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::Ipv4;
+
+    fn node(asn: u32) -> AsNode {
+        AsNode {
+            asn: Asn(asn),
+            org: OrgId(asn),
+            home_country: CountryId(0),
+            presence: vec![CityId(0)],
+            role: AsRole::Transit,
+            prefixes: vec![Prefix::new(Ipv4::new(10, 0, (asn % 256) as u8, 0), 24)],
+        }
+    }
+
+    /// p provider of c; x peers with p.
+    fn tiny() -> (AsGraph, NodeIdx, NodeIdx, NodeIdx) {
+        let mut g = AsGraph::default();
+        let p = g.add_node(node(1));
+        let c = g.add_node(node(2));
+        let x = g.add_node(node(3));
+        g.add_link(p, c, Relationship::Customer, vec![CityId(0)], LinkKind::Normal);
+        g.add_link(p, x, Relationship::Peer, vec![CityId(1)], LinkKind::Normal);
+        (g, p, c, x)
+    }
+
+    #[test]
+    fn directional_views_are_mirrored() {
+        let (g, p, c, _) = tiny();
+        assert_eq!(g.rel(p, c), Some(Relationship::Customer));
+        assert_eq!(g.rel(c, p), Some(Relationship::Provider));
+        assert_eq!(g.link_count(), 2);
+    }
+
+    #[test]
+    fn hybrid_override_applies_per_city() {
+        let (mut g, p, _, x) = tiny();
+        g.set_hybrid(p, x, CityId(2), Relationship::Customer);
+        let l = g.link(p, x).unwrap();
+        assert_eq!(l.rel_at(CityId(1)), Relationship::Peer);
+        assert_eq!(l.rel_at(CityId(2)), Relationship::Customer);
+        assert!(l.is_hybrid());
+        // Mirrored on the other side.
+        let l = g.link(x, p).unwrap();
+        assert_eq!(l.rel_at(CityId(2)), Relationship::Provider);
+    }
+
+    #[test]
+    fn cone_and_type() {
+        let (g, p, c, x) = tiny();
+        assert_eq!(g.customer_cone_size(p), 2);
+        assert_eq!(g.customer_cone_size(c), 1);
+        assert_eq!(g.as_type(p), AsType::Tier1); // provider-free with a customer
+        assert_eq!(g.as_type(c), AsType::Stub);
+        assert_eq!(g.as_type(x), AsType::Stub); // no customers
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let (mut g, p, c, _) = tiny();
+        g.add_link(p, c, Relationship::Peer, vec![CityId(0)], LinkKind::Normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_asn_rejected() {
+        let mut g = AsGraph::default();
+        g.add_node(node(1));
+        g.add_node(node(1));
+    }
+
+    #[test]
+    fn customers_and_providers_iterators() {
+        let (g, p, c, x) = tiny();
+        assert_eq!(g.customers(p).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(g.providers(c).collect::<Vec<_>>(), vec![p]);
+        assert_eq!(g.customers(x).count(), 0);
+    }
+
+    #[test]
+    fn igp_cost_is_directional() {
+        let (mut g, p, c, _) = tiny();
+        g.set_igp_cost(p, c, 7);
+        assert_eq!(g.link(p, c).unwrap().igp_cost, 7);
+        assert_eq!(g.link(c, p).unwrap().igp_cost, 1);
+    }
+}

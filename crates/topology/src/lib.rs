@@ -1,0 +1,39 @@
+//! AS-level topology substrate.
+//!
+//! The paper's analyses run against two different views of the Internet:
+//!
+//! * the **ground truth** — the actual AS graph with its business
+//!   relationships and routing-policy quirks (which on the real Internet is
+//!   unobservable; here we generate it), and
+//! * the **inferred view** — CAIDA-style relationship databases built from
+//!   partial BGP feeds (produced by the `ir-inference` crate), against which
+//!   measured paths are classified.
+//!
+//! This crate owns the ground truth: the [`graph::AsGraph`], the
+//! [`geo::Geography`] it is embedded in, the [`orgs`] registry (whois + DNS
+//! SOA records used for sibling inference), the [`cables`] that confuse
+//! relationship models (§6 of the paper), the [`content`] catalog of large
+//! providers the passive campaign traceroutes toward, per-AS
+//! [`policy::PolicySpec`]s interpreted by the BGP simulator, and the seeded
+//! [`gen`]erator that assembles an Internet-like world from all of it. It
+//! also provides [`reldb::RelationshipDb`] — the shared representation for
+//! *inferred* relationship datasets — and a CAIDA serial-1-style text
+//! [`serial`]ization for them.
+
+pub mod cables;
+pub mod classify;
+pub mod content;
+pub mod dot;
+pub mod gen;
+pub mod geo;
+pub mod graph;
+pub mod orgs;
+pub mod policy;
+pub mod reldb;
+pub mod serial;
+pub mod world;
+
+pub use gen::GeneratorConfig;
+pub use graph::{AsGraph, AsNode, AsRole, Link, LinkKind, NodeIdx};
+pub use reldb::RelationshipDb;
+pub use world::World;

@@ -1,0 +1,174 @@
+//! Organizations, whois records, and DNS SOA records.
+//!
+//! §4.2 of the paper identifies sibling ASes (several ASNs run by one
+//! organization) by grouping whois **email addresses**, resolving different
+//! domains of the same company through **DNS SOA records** (dish.com and
+//! dishaccess.tv share the dishnetwork.com authoritative domain), and
+//! filtering out addresses hosted at freemail providers or regional Internet
+//! registries. This module synthesizes exactly those artifacts so the
+//! `ir-inference::siblings` pipeline faces the same precision/recall
+//! trade-offs as the real one.
+
+use ir_types::{Asn, CountryId, OrgId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Freemail domains that pollute whois data; sibling inference must filter
+/// them (two unrelated ASes registered with hotmail addresses are not
+/// siblings).
+pub const FREEMAIL_DOMAINS: [&str; 3] = ["hotmail.example", "gmail.example", "mail.example"];
+
+/// RIR-hosted contact domains, likewise filtered.
+pub const RIR_DOMAINS: [&str; 3] = ["ripe.example", "arin.example", "apnic.example"];
+
+/// An organization operating one or more ASes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Organization {
+    pub id: OrgId,
+    /// Display name ("org17").
+    pub name: String,
+    /// Web domains the organization registers ASes under. Several domains
+    /// may map to one authoritative (SOA) domain.
+    pub domains: Vec<String>,
+    /// The authoritative domain shared by all of the org's domains.
+    pub soa_domain: String,
+    /// Country of incorporation.
+    pub country: CountryId,
+}
+
+/// A (simplified) whois record for an ASN — the fields Cai et al. found
+/// useful, of which the paper keeps only the email address plus the
+/// registered country (used by the Table 3 domestic-path analysis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhoisRecord {
+    pub asn: Asn,
+    /// Registered contact email, e.g. "noc@org17-net.example".
+    pub email: String,
+    /// Organization id string as it appears in whois (not globally unique
+    /// across registries, which is why the paper keys on emails).
+    pub org_field: String,
+    /// Country the ASN is registered in. For multinational ASes whois still
+    /// lists a single country — the limitation §6 calls out.
+    pub country: CountryId,
+}
+
+/// The registry: organizations, per-ASN whois, and DNS SOA records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrgRegistry {
+    orgs: Vec<Organization>,
+    whois: BTreeMap<Asn, WhoisRecord>,
+    /// DNS SOA: maps a domain to its authoritative domain.
+    soa: BTreeMap<String, String>,
+}
+
+impl OrgRegistry {
+    /// Registers an organization. Its domains' SOA records are installed.
+    pub fn add_org(&mut self, org: Organization) {
+        for d in &org.domains {
+            self.soa.insert(d.clone(), org.soa_domain.clone());
+        }
+        self.soa.insert(org.soa_domain.clone(), org.soa_domain.clone());
+        self.orgs.push(org);
+    }
+
+    /// Registers the whois record for an ASN.
+    pub fn add_whois(&mut self, rec: WhoisRecord) {
+        self.whois.insert(rec.asn, rec);
+    }
+
+    /// All organizations.
+    pub fn orgs(&self) -> &[Organization] {
+        &self.orgs
+    }
+
+    /// Organization by id.
+    pub fn org(&self, id: OrgId) -> &Organization {
+        &self.orgs[id.0 as usize]
+    }
+
+    /// Whois record for an ASN, if registered.
+    pub fn whois(&self, asn: Asn) -> Option<&WhoisRecord> {
+        self.whois.get(&asn)
+    }
+
+    /// All whois records in ASN order.
+    pub fn whois_records(&self) -> impl Iterator<Item = &WhoisRecord> {
+        self.whois.values()
+    }
+
+    /// DNS SOA lookup: the authoritative domain for `domain`, if it exists.
+    pub fn soa_lookup(&self, domain: &str) -> Option<&str> {
+        self.soa.get(domain).map(String::as_str)
+    }
+
+    /// Whether `domain` belongs to a freemail provider or an RIR (sibling
+    /// inference must ignore such contact addresses).
+    pub fn is_shared_mail_domain(domain: &str) -> bool {
+        FREEMAIL_DOMAINS.contains(&domain) || RIR_DOMAINS.contains(&domain)
+    }
+}
+
+/// Extracts the domain part of an email address.
+pub fn email_domain(email: &str) -> Option<&str> {
+    email.split_once('@').map(|(_, d)| d).filter(|d| !d.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> OrgRegistry {
+        let mut r = OrgRegistry::default();
+        r.add_org(Organization {
+            id: OrgId(0),
+            name: "org0".into(),
+            domains: vec!["dish.example".into(), "dishaccess.example".into()],
+            soa_domain: "dishnetwork.example".into(),
+            country: CountryId(1),
+        });
+        r.add_whois(WhoisRecord {
+            asn: Asn(100),
+            email: "noc@dish.example".into(),
+            org_field: "ORG-0".into(),
+            country: CountryId(1),
+        });
+        r.add_whois(WhoisRecord {
+            asn: Asn(101),
+            email: "peering@dishaccess.example".into(),
+            org_field: "ORG-0B".into(),
+            country: CountryId(1),
+        });
+        r
+    }
+
+    #[test]
+    fn soa_unifies_org_domains() {
+        let r = registry();
+        assert_eq!(r.soa_lookup("dish.example"), Some("dishnetwork.example"));
+        assert_eq!(r.soa_lookup("dishaccess.example"), Some("dishnetwork.example"));
+        assert_eq!(r.soa_lookup("dishnetwork.example"), Some("dishnetwork.example"));
+        assert_eq!(r.soa_lookup("unrelated.example"), None);
+    }
+
+    #[test]
+    fn whois_lookup() {
+        let r = registry();
+        assert_eq!(r.whois(Asn(100)).unwrap().email, "noc@dish.example");
+        assert!(r.whois(Asn(999)).is_none());
+        assert_eq!(r.whois_records().count(), 2);
+    }
+
+    #[test]
+    fn email_domain_extraction() {
+        assert_eq!(email_domain("a@b.example"), Some("b.example"));
+        assert_eq!(email_domain("nodomain"), None);
+        assert_eq!(email_domain("trailing@"), None);
+    }
+
+    #[test]
+    fn shared_domains_flagged() {
+        assert!(OrgRegistry::is_shared_mail_domain("hotmail.example"));
+        assert!(OrgRegistry::is_shared_mail_domain("ripe.example"));
+        assert!(!OrgRegistry::is_shared_mail_domain("dish.example"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Ground-truth routing-policy specifications.
+//!
+//! These are *data* describing how each AS deviates from the plain
+//! Gao–Rexford model; the `ir-bgp` crate interprets them when simulating
+//! route selection and export. Every deviation class studied by the paper
+//! is expressible:
+//!
+//! | Paper section | Deviation | Field |
+//! |---|---|---|
+//! | §4.1 | hybrid relationships | per-city overrides on [`crate::graph::Link`] |
+//! | §4.1 | partial transit | [`PolicySpec::partial_transit`] |
+//! | §4.2 | siblings | sibling edges in the graph (org-driven) |
+//! | §4.3 | prefix-specific export at origins | [`PolicySpec::selective_announce`] |
+//! | §4.4 | finer-grained neighbor ranking | [`PolicySpec::neighbor_pref`] |
+//! | §4.4 | backup links | [`LinkKind::Backup`](crate::graph::LinkKind) |
+//! | §4.4 | intradomain tie-breakers / route age | always active in the BGP decision process |
+//! | §6 | domestic-path preference | [`PolicySpec::domestic_pref`] |
+
+use ir_types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an AS behaves toward one neighbor when acting as its (partial)
+/// transit provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransitScope {
+    /// Full transit: exports everything GR allows.
+    Full,
+    /// Partial transit (Giotsas et al.): exports only customer-learned
+    /// routes to this neighbor — the neighbor gets regional/cone
+    /// reachability, not the full table.
+    CustomerRoutesOnly,
+}
+
+/// Per-AS policy specification (ground truth).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Prefer routes whose AS-level path stays inside the AS's home country
+    /// over any route that leaves it, regardless of relationship class
+    /// (§6 "Domestic paths"). Applied as a local-pref tier above the
+    /// relationship tiers.
+    pub domestic_pref: bool,
+
+    /// Explicit neighbor ranking overrides: local-pref *delta* added for
+    /// routes learned from this neighbor (positive = more preferred). Models
+    /// the finer-than-relationship ranking the paper observes (e.g. the
+    /// European network preferring a transit route over a peering route).
+    pub neighbor_pref: BTreeMap<Asn, i16>,
+
+    /// Origin-side selective announcement: if a prefix appears here it is
+    /// announced **only** to the listed neighbors (§4.3 prefix-specific
+    /// policies). Prefixes not listed follow normal GR export.
+    pub selective_announce: BTreeMap<Prefix, BTreeSet<Asn>>,
+
+    /// Neighbors that only receive partial transit from this AS.
+    pub partial_transit: BTreeMap<Asn, TransitScope>,
+
+    /// BGP loop prevention disabled (a small fraction of ASes; limits
+    /// poisoning, §4.4 "Limitations").
+    pub no_loop_prevention: bool,
+
+    /// Rejects announcements containing AS-sets (filters poisoned
+    /// announcements, §4.4 "Limitations").
+    pub filters_as_sets: bool,
+
+    /// Export-side AS-path prepending: extra copies of the own ASN added
+    /// when exporting to this neighbor (inbound traffic engineering — the
+    /// classic way to depreciate a backup link). A TE mechanism the intro
+    /// lists among the things the standard model does not capture.
+    pub export_prepend: BTreeMap<Asn, u8>,
+}
+
+impl PolicySpec {
+    /// Whether `prefix` may be announced to `neighbor` under the origin's
+    /// selective-announcement table. `true` when the prefix is unlisted.
+    pub fn may_announce(&self, prefix: &Prefix, neighbor: Asn) -> bool {
+        match self.selective_announce.get(prefix) {
+            Some(allowed) => allowed.contains(&neighbor),
+            None => true,
+        }
+    }
+
+    /// The transit scope this AS grants `neighbor`.
+    pub fn transit_scope(&self, neighbor: Asn) -> TransitScope {
+        self.partial_transit.get(&neighbor).copied().unwrap_or(TransitScope::Full)
+    }
+
+    /// Local-pref delta for routes learned from `neighbor`.
+    pub fn pref_delta(&self, neighbor: Asn) -> i16 {
+        self.neighbor_pref.get(&neighbor).copied().unwrap_or(0)
+    }
+
+    /// Extra prepends when exporting to `neighbor`.
+    pub fn prepends_to(&self, neighbor: Asn) -> u8 {
+        self.export_prepend.get(&neighbor).copied().unwrap_or(0)
+    }
+
+    /// Whether this spec equals the plain Gao–Rexford policy.
+    pub fn is_plain_gr(&self) -> bool {
+        !self.domestic_pref
+            && self.neighbor_pref.is_empty()
+            && self.selective_announce.is_empty()
+            && self.partial_transit.is_empty()
+            && self.export_prepend.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_plain_gr() {
+        let p = PolicySpec::default();
+        assert!(p.is_plain_gr());
+        assert!(p.may_announce(&"10.0.0.0/24".parse().unwrap(), Asn(1)));
+        assert_eq!(p.transit_scope(Asn(1)), TransitScope::Full);
+        assert_eq!(p.pref_delta(Asn(1)), 0);
+    }
+
+    #[test]
+    fn selective_announce_restricts_only_listed_prefixes() {
+        let mut p = PolicySpec::default();
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        let other: Prefix = "10.0.1.0/24".parse().unwrap();
+        p.selective_announce.insert(pfx, BTreeSet::from([Asn(5)]));
+        assert!(p.may_announce(&pfx, Asn(5)));
+        assert!(!p.may_announce(&pfx, Asn(6)));
+        assert!(p.may_announce(&other, Asn(6)));
+        assert!(!p.is_plain_gr());
+    }
+
+    #[test]
+    fn export_prepend_lookup() {
+        let mut p = PolicySpec::default();
+        p.export_prepend.insert(Asn(7), 3);
+        assert_eq!(p.prepends_to(Asn(7)), 3);
+        assert_eq!(p.prepends_to(Asn(8)), 0);
+        assert!(!p.is_plain_gr());
+    }
+
+    #[test]
+    fn partial_transit_and_pref_delta() {
+        let mut p = PolicySpec::default();
+        p.partial_transit.insert(Asn(9), TransitScope::CustomerRoutesOnly);
+        p.neighbor_pref.insert(Asn(9), -50);
+        assert_eq!(p.transit_scope(Asn(9)), TransitScope::CustomerRoutesOnly);
+        assert_eq!(p.pref_delta(Asn(9)), -50);
+        assert_eq!(p.transit_scope(Asn(10)), TransitScope::Full);
+    }
+}

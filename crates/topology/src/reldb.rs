@@ -1,0 +1,165 @@
+//! Inferred-relationship databases (the "CAIDA topology" role).
+//!
+//! The paper classifies measured paths against CAIDA's *inferred* AS
+//! relationships, not against ground truth (which nobody has). A
+//! [`RelationshipDb`] is the in-memory form of one such snapshot: a set of
+//! AS links labeled c2p/p2p/sibling. It is produced by `ir-inference`,
+//! aggregated across monthly snapshots (§3.3), optionally patched with
+//! complex-relationship and cable-list side data, and consumed by
+//! `ir-core`'s model computation.
+
+use ir_types::{Asn, EdgeRel, Relationship};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A snapshot of inferred AS relationships.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationshipDb {
+    /// Canonical storage: key is `(min_asn, max_asn)`, value the edge label
+    /// oriented so that "a" is the key's first element.
+    edges: BTreeMap<(Asn, Asn), EdgeRel>,
+}
+
+impl RelationshipDb {
+    /// Inserts/overwrites the relationship between `a` and `b`, where `rel`
+    /// is `b` as seen from `a`.
+    ///
+    /// Storage convention: `CustomerToProvider` entries are keyed
+    /// `(customer, provider)`; symmetric labels (peer, sibling) are keyed
+    /// `(min, max)`. Exactly one orientation of a pair is ever present.
+    pub fn insert(&mut self, a: Asn, b: Asn, rel_of_b_from_a: Relationship) {
+        assert_ne!(a, b, "self relationship on {a}");
+        // A re-insert may change the c2p orientation (and thus the key), so
+        // drop any existing entry for the pair first.
+        self.remove(a, b);
+        let (key, edge) = match rel_of_b_from_a {
+            Relationship::Provider => ((a, b), EdgeRel::CustomerToProvider),
+            Relationship::Customer => ((b, a), EdgeRel::CustomerToProvider),
+            Relationship::Peer => ((a.min(b), a.max(b)), EdgeRel::PeerToPeer),
+            Relationship::Sibling => ((a.min(b), a.max(b)), EdgeRel::SiblingToSibling),
+        };
+        self.edges.insert(key, edge);
+    }
+
+    /// Looks up the relationship of `b` as seen from `a`.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if let Some(e) = self.edges.get(&(a, b)) {
+            return Some(e.from_a());
+        }
+        if let Some(e) = self.edges.get(&(b, a)) {
+            return Some(e.from_b());
+        }
+        None
+    }
+
+    /// Whether a link between `a` and `b` is known at all.
+    pub fn has_link(&self, a: Asn, b: Asn) -> bool {
+        self.edges.contains_key(&(a, b)) || self.edges.contains_key(&(b, a))
+    }
+
+    /// Removes the link between `a` and `b` if present; returns whether it
+    /// existed (used to apply stale-link corrections).
+    pub fn remove(&mut self, a: Asn, b: Asn) -> bool {
+        self.edges.remove(&(a, b)).is_some() || self.edges.remove(&(b, a)).is_some()
+    }
+
+    /// Number of links in the snapshot.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates `(a, b, rel-of-b-from-a)` triples in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, Asn, Relationship)> + '_ {
+        self.edges.iter().map(|(&(a, b), e)| (a, b, e.from_a()))
+    }
+
+    /// All ASNs mentioned by any link, deduplicated, ascending.
+    pub fn asns(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.edges.keys().flat_map(|&(a, b)| [a, b]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Neighbors of `x` with their relationship as seen from `x`.
+    ///
+    /// O(len) — fine for analysis passes; the hot path (`ir-core`'s model
+    /// computation) converts the db into an indexed adjacency first.
+    pub fn neighbors_of(&self, x: Asn) -> Vec<(Asn, Relationship)> {
+        let mut out = Vec::new();
+        for (&(a, b), e) in &self.edges {
+            if a == x {
+                out.push((b, e.from_a()));
+            } else if b == x {
+                out.push((a, e.from_b()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_both_directions() {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(2), Asn(1), Relationship::Provider); // 1 is provider of 2
+        assert_eq!(db.rel(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(db.rel(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert!(db.has_link(Asn(1), Asn(2)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn orientation_independent_of_insert_order() {
+        let mut a = RelationshipDb::default();
+        a.insert(Asn(10), Asn(20), Relationship::Customer); // 20 is customer of 10
+        let mut b = RelationshipDb::default();
+        b.insert(Asn(20), Asn(10), Relationship::Provider); // same fact
+        assert_eq!(a, b);
+        assert_eq!(a.rel(Asn(20), Asn(10)), Some(Relationship::Provider));
+    }
+
+    #[test]
+    fn peers_and_siblings_symmetric() {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Relationship::Peer);
+        db.insert(Asn(3), Asn(4), Relationship::Sibling);
+        assert_eq!(db.rel(Asn(2), Asn(1)), Some(Relationship::Peer));
+        assert_eq!(db.rel(Asn(4), Asn(3)), Some(Relationship::Sibling));
+    }
+
+    #[test]
+    fn overwrite_updates_label() {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Relationship::Peer);
+        db.insert(Asn(1), Asn(2), Relationship::Provider); // reclassified
+        assert_eq!(db.rel(Asn(1), Asn(2)), Some(Relationship::Provider));
+        assert_eq!(db.len(), 1);
+        // Flipping the c2p orientation must not leave a stale second entry.
+        db.insert(Asn(1), Asn(2), Relationship::Customer);
+        assert_eq!(db.rel(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_neighbors() {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Relationship::Peer);
+        db.insert(Asn(1), Asn(3), Relationship::Customer);
+        let n = db.neighbors_of(Asn(1));
+        assert_eq!(n.len(), 2);
+        assert!(n.contains(&(Asn(3), Relationship::Customer)));
+        assert!(db.remove(Asn(2), Asn(1)));
+        assert!(!db.has_link(Asn(1), Asn(2)));
+        assert!(!db.remove(Asn(1), Asn(2)));
+        assert_eq!(db.asns(), vec![Asn(1), Asn(3)]);
+    }
+}

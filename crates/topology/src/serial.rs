@@ -1,0 +1,143 @@
+//! CAIDA "serial-1"-style text serialization for relationship databases.
+//!
+//! Format, one link per line: `<asn>|<asn>|<code>` with `-1` = the first AS
+//! is a customer of the second, `0` = peer-to-peer, `1` = sibling. Comment
+//! lines start with `#`. This is the interchange format between the
+//! inference pipeline and the analysis crates, and lets the repository read
+//! real CAIDA files should a user have them.
+
+use crate::reldb::RelationshipDb;
+use ir_types::{Asn, EdgeRel, Relationship};
+use std::fmt::Write as _;
+
+/// Error from parsing a serial-1 document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSerialError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseSerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serial-1 parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSerialError {}
+
+/// Serializes a database to serial-1 text, deterministically ordered.
+///
+/// ```
+/// use ir_topology::{serial, RelationshipDb};
+/// use ir_types::{Asn, Relationship};
+///
+/// let mut db = RelationshipDb::default();
+/// db.insert(Asn(3), Asn(1), Relationship::Provider); // 3 customer of 1
+/// let text = serial::to_serial1(&db);
+/// assert!(text.contains("3|1|-1"));
+/// assert_eq!(serial::from_serial1(&text).unwrap(), db);
+/// ```
+pub fn to_serial1(db: &RelationshipDb) -> String {
+    let mut out = String::from("# synthetic serial-1 relationship snapshot\n");
+    let mut lines: Vec<(Asn, Asn, i8)> = Vec::with_capacity(db.len());
+    for (a, b, rel) in db.iter() {
+        // `rel` is b-from-a; serial-1 lists customer first for c2p.
+        let (x, y, code) = match rel {
+            Relationship::Provider => (a, b, -1),
+            Relationship::Customer => (b, a, -1),
+            Relationship::Peer => (a.min(b), a.max(b), 0),
+            Relationship::Sibling => (a.min(b), a.max(b), 1),
+        };
+        lines.push((x, y, code));
+    }
+    lines.sort_unstable();
+    for (x, y, code) in lines {
+        writeln!(out, "{}|{}|{}", x.0, y.0, code).expect("write to String");
+    }
+    out
+}
+
+/// Parses serial-1 text into a database.
+pub fn from_serial1(text: &str) -> Result<RelationshipDb, ParseSerialError> {
+    let mut db = RelationshipDb::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('|');
+        let err = |m: &str| ParseSerialError { line: line_no, message: m.to_string() };
+        let a: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing first ASN"))?
+            .parse()
+            .map_err(|_| err("bad first ASN"))?;
+        let b: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing second ASN"))?
+            .parse()
+            .map_err(|_| err("bad second ASN"))?;
+        let code: i8 = parts
+            .next()
+            .ok_or_else(|| err("missing relationship code"))?
+            .parse()
+            .map_err(|_| err("bad relationship code"))?;
+        if a == b {
+            return Err(err("self link"));
+        }
+        let edge = EdgeRel::from_caida_code(code)
+            .ok_or_else(|| err(&format!("unknown relationship code {code}")))?;
+        // serial-1 lists the customer first for c2p links.
+        db.insert(Asn(a), Asn(b), edge.from_a());
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> RelationshipDb {
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(3), Asn(1), Relationship::Provider); // 3 customer of 1
+        db.insert(Asn(1), Asn(2), Relationship::Peer);
+        db.insert(Asn(4), Asn(5), Relationship::Sibling);
+        db
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample_db();
+        let text = to_serial1(&db);
+        let back = from_serial1(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_customer_first() {
+        let text = to_serial1(&sample_db());
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body, vec!["1|2|0", "3|1|-1", "4|5|1"]);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let db = from_serial1("# header\n\n  \n10|20|-1\n").unwrap();
+        assert_eq!(db.rel(Asn(10), Asn(20)), Some(Relationship::Provider));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_serial1("1|2|0\nbogus").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = from_serial1("1|2|7").unwrap_err();
+        assert!(e.message.contains("unknown relationship code"));
+        let e = from_serial1("5|5|0").unwrap_err();
+        assert!(e.message.contains("self link"));
+        let e = from_serial1("1|x|0").unwrap_err();
+        assert!(e.message.contains("bad second ASN"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The assembled synthetic world: everything the measurement and analysis
+//! pipeline needs, in one place.
+
+use crate::cables::CableMap;
+use crate::content::ContentCatalog;
+use crate::geo::Geography;
+use crate::graph::{AsGraph, NodeIdx};
+use crate::orgs::OrgRegistry;
+use crate::policy::PolicySpec;
+use ir_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth world produced by [`crate::gen`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct World {
+    /// Geography the topology is embedded in.
+    pub geo: Geography,
+    /// The AS graph.
+    pub graph: AsGraph,
+    /// Organizations, whois, and DNS SOA records.
+    pub orgs: OrgRegistry,
+    /// Undersea cable systems (the TeleGeography-like side list).
+    pub cables: CableMap,
+    /// Content providers targeted by the passive campaign.
+    pub content: ContentCatalog,
+    /// Ground-truth per-AS policy, indexed by [`NodeIdx`].
+    pub policies: Vec<PolicySpec>,
+}
+
+impl World {
+    /// The policy of the AS at `idx`.
+    pub fn policy(&self, idx: NodeIdx) -> &PolicySpec {
+        &self.policies[idx]
+    }
+
+    /// The policy of the AS with number `asn`, if it exists.
+    pub fn policy_of(&self, asn: Asn) -> Option<&PolicySpec> {
+        self.graph.index_of(asn).map(|i| &self.policies[i])
+    }
+
+    /// Sanity checks the invariants the generator promises; used by tests
+    /// and debug builds of the experiment harness.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policies.len() != self.graph.len() {
+            return Err(format!(
+                "policy table has {} entries for {} ASes",
+                self.policies.len(),
+                self.graph.len()
+            ));
+        }
+        for idx in 0..self.graph.len() {
+            let node = self.graph.node(idx);
+            if node.presence.is_empty() {
+                return Err(format!("{} has no point of presence", node.asn));
+            }
+            if node.prefixes.is_empty() {
+                return Err(format!("{} originates no prefix", node.asn));
+            }
+            if self.orgs.whois(node.asn).is_none() {
+                return Err(format!("{} has no whois record", node.asn));
+            }
+            for l in self.graph.links(idx) {
+                if l.cities.is_empty() {
+                    return Err(format!(
+                        "link {} - {} has no interconnection city",
+                        node.asn,
+                        self.graph.asn(l.peer)
+                    ));
+                }
+            }
+        }
+        // Prefixes must not overlap across ASes (keeps IP→AS ground truth
+        // unambiguous; the data plane adds deliberate ambiguity separately).
+        let mut all: Vec<(ir_types::Prefix, Asn)> = Vec::new();
+        for n in self.graph.nodes() {
+            for p in &n.prefixes {
+                all.push((*p, n.asn));
+            }
+        }
+        all.sort_unstable();
+        for w in all.windows(2) {
+            let ((a, asn_a), (b, asn_b)) = (w[0], w[1]);
+            if asn_a != asn_b && a.covers(&b) {
+                return Err(format!("prefix {a} of {asn_a} covers {b} of {asn_b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GeneratorConfig;
+    use crate::graph::{AsNode, AsRole};
+    use ir_types::{Asn, CityId, CountryId, Ipv4, OrgId, Prefix};
+
+    #[test]
+    fn generated_worlds_validate() {
+        for seed in [1u64, 2, 3] {
+            GeneratorConfig::tiny().build(seed).validate().expect("valid world");
+        }
+    }
+
+    #[test]
+    fn validation_catches_missing_policy_rows() {
+        let mut w = GeneratorConfig::tiny().build(1);
+        w.policies.pop();
+        let err = w.validate().unwrap_err();
+        assert!(err.contains("policy table"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_missing_whois() {
+        let mut w = GeneratorConfig::tiny().build(1);
+        let node = AsNode {
+            asn: Asn(999_999),
+            org: OrgId(0),
+            home_country: CountryId(0),
+            presence: vec![CityId(0)],
+            role: AsRole::Enterprise,
+            prefixes: vec![Prefix::new(Ipv4::new(11, 255, 0, 0), 24)],
+        };
+        w.graph.add_node(node);
+        w.policies.push(Default::default());
+        let err = w.validate().unwrap_err();
+        assert!(err.contains("whois"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_overlapping_prefixes() {
+        let mut w = GeneratorConfig::tiny().build(1);
+        // Give a second AS a prefix nested inside the first AS's block.
+        let victim = w.graph.node(0).prefixes[0];
+        let nested = Prefix::new(victim.addr(64), 26);
+        w.graph.node_mut(1).prefixes.push(nested);
+        let err = w.validate().unwrap_err();
+        assert!(err.contains("covers"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_missing_pop_and_prefix() {
+        let mut w = GeneratorConfig::tiny().build(1);
+        w.graph.node_mut(0).presence.clear();
+        assert!(w.validate().unwrap_err().contains("point of presence"));
+        let mut w = GeneratorConfig::tiny().build(1);
+        w.graph.node_mut(0).prefixes.clear();
+        assert!(w.validate().unwrap_err().contains("prefix"));
+    }
+
+    #[test]
+    fn policy_lookup_by_asn() {
+        let w = GeneratorConfig::tiny().build(1);
+        let asn = w.graph.asn(3);
+        assert!(w.policy_of(asn).is_some());
+        assert!(w.policy_of(Asn(123_456_789)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gen::GeneratorConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Every seed yields a valid, connected-enough world with the
+        /// structural invariants the pipeline relies on.
+        #[test]
+        fn generator_invariants_across_seeds(seed in 0u64..10_000) {
+            let w = GeneratorConfig::tiny().build(seed);
+            prop_assert!(w.validate().is_ok());
+            // ASNs unique and indexable.
+            for idx in 0..w.graph.len() {
+                let asn = w.graph.asn(idx);
+                prop_assert_eq!(w.graph.index_of(asn), Some(idx));
+            }
+            // Every link is mirrored with reversed relationships.
+            for a in 0..w.graph.len() {
+                for l in w.graph.links(a) {
+                    let back = w.graph.rel(l.peer, a);
+                    prop_assert_eq!(back, Some(l.rel.reverse()));
+                }
+            }
+            // Content deployments point at existing ASes and covered space.
+            for p in w.content.providers() {
+                for d in &p.deployments {
+                    let host = w.graph.index_of(d.host_as);
+                    prop_assert!(host.is_some());
+                    let host = host.unwrap();
+                    prop_assert!(
+                        w.graph.node(host).prefixes.iter().any(|pf| pf.covers(&d.prefix))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Autonomous-system numbers, organization ids, and the Oliveira et al.
+//! AS-type classification used by Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An autonomous-system number.
+///
+/// Real ASNs are 32-bit; we keep the same width so synthetic worlds can use
+/// recognizable numbering schemes (e.g. reserving a range for undersea-cable
+/// operators or for the PEERING-like testbed ASN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN used by the PEERING-like testbed in synthetic worlds.
+    pub const TESTBED: Asn = Asn(47_065); // the real PEERING testbed ASN
+
+    /// Returns the raw numeric value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// Identifier of an organization (a real-world company that may operate
+/// several sibling ASes, cf. Cai et al. and §4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "org{}", self.0)
+    }
+}
+
+/// AS classification in the style of Oliveira et al. (used by Table 1 to
+/// describe where vantage points sit in the AS hierarchy).
+///
+/// The classification is structural: stubs have no customers, small ISPs a
+/// handful, large ISPs many, and Tier-1s form the provider-free clique at the
+/// top of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AsType {
+    /// No customers of its own (enterprises, eyeball access networks, content).
+    Stub,
+    /// A regional provider with a small customer cone.
+    SmallIsp,
+    /// A national/continental provider with a large customer cone.
+    LargeIsp,
+    /// Member of the provider-free clique at the top of the hierarchy.
+    Tier1,
+}
+
+impl AsType {
+    /// All variants, in the order Table 1 lists them.
+    pub const ALL: [AsType; 4] = [AsType::Stub, AsType::SmallIsp, AsType::LargeIsp, AsType::Tier1];
+
+    /// Human-readable label matching the paper's Table 1 rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsType::Stub => "Stub-AS",
+            AsType::SmallIsp => "Small ISP",
+            AsType::LargeIsp => "Large ISP",
+            AsType::Tier1 => "Tier 1",
+        }
+    }
+}
+
+impl fmt::Display for AsType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_and_order() {
+        assert_eq!(Asn(174).to_string(), "AS174");
+        assert!(Asn(1) < Asn(2));
+        assert_eq!(Asn::from(7018).value(), 7018);
+    }
+
+    #[test]
+    fn astype_labels_are_table1_rows() {
+        let labels: Vec<&str> = AsType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels, ["Stub-AS", "Small ISP", "Large ISP", "Tier 1"]);
+    }
+
+    #[test]
+    fn astype_order_is_hierarchical() {
+        assert!(AsType::Stub < AsType::SmallIsp);
+        assert!(AsType::SmallIsp < AsType::LargeIsp);
+        assert!(AsType::LargeIsp < AsType::Tier1);
+    }
+
+    #[test]
+    fn serde_roundtrip_transparent() {
+        let asn: Asn = serde_json::from_str("3356").unwrap();
+        assert_eq!(asn, Asn(3356));
+        assert_eq!(serde_json::to_string(&asn).unwrap(), "3356");
+    }
+}

@@ -1,0 +1,118 @@
+//! Geography: continents, countries, cities.
+//!
+//! §5–6 of the paper study how geography shapes routing decisions —
+//! continental vs intercontinental traceroutes (Figure 3), domestic-path
+//! preference (Table 3), and undersea cables (Table 4). The synthetic world
+//! therefore carries a three-level geography: every AS has a home country,
+//! every interconnection happens in a city, and every city belongs to a
+//! country on a continent.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six continents the paper's Figure 3 and Table 3 break down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    Africa,
+    Asia,
+    Europe,
+    NorthAmerica,
+    Oceania,
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents, in a fixed deterministic order.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Two-letter code used in the paper's Figure 3 ("AF", "NA", …).
+    pub fn code(self) -> &'static str {
+        match self {
+            Continent::Africa => "AF",
+            Continent::Asia => "AS",
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "NA",
+            Continent::Oceania => "OC",
+            Continent::SouthAmerica => "SA",
+        }
+    }
+
+    /// Full name as used in Table 3.
+    pub fn name(self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "N. America",
+            Continent::Oceania => "Oceania",
+            Continent::SouthAmerica => "S. America",
+        }
+    }
+
+    /// Index into [`Continent::ALL`].
+    pub fn index(self) -> usize {
+        Continent::ALL.iter().position(|c| *c == self).expect("continent in ALL")
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of a country in the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CountryId(pub u16);
+
+impl fmt::Display for CountryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{:03}", self.0)
+    }
+}
+
+/// Identifier of a city in the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CityId(pub u16);
+
+impl fmt::Display for CityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "city{:04}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = Continent::ALL.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, c) in Continent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Continent::NorthAmerica.to_string(), "N. America");
+        assert_eq!(CountryId(7).to_string(), "C007");
+        assert_eq!(CityId(42).to_string(), "city0042");
+    }
+}

@@ -1,0 +1,23 @@
+//! Primitive vocabulary types shared by every crate in the workspace.
+//!
+//! This crate deliberately contains **no logic beyond the types themselves**:
+//! autonomous-system numbers, IPv4 addresses and prefixes, business
+//! relationships, geography, and the handful of identifier newtypes used
+//! across the topology, simulator, and analysis crates.
+//!
+//! Everything here is `Copy` or cheap to clone, totally ordered where a
+//! deterministic iteration order matters (the whole reproduction is a pure
+//! function of its seed), and serde-serializable so experiment outputs can be
+//! exported as JSON.
+
+pub mod asn;
+pub mod geo;
+pub mod net;
+pub mod rel;
+pub mod time;
+
+pub use asn::{AsType, Asn, OrgId};
+pub use geo::{CityId, Continent, CountryId};
+pub use net::{Ipv4, Prefix};
+pub use rel::{EdgeRel, Relationship};
+pub use time::Timestamp;

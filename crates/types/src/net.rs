@@ -1,0 +1,211 @@
+//! IPv4 addresses and CIDR prefixes.
+//!
+//! The study is prefix-centric: BGP announces prefixes, prefix-specific
+//! policies (§4.3 of the paper) are keyed on them, and the data plane maps
+//! hop IPs back to origin prefixes. We use a compact `u32`-backed
+//! representation rather than `std::net::Ipv4Addr` so prefixes can be used
+//! as ordered map keys and longest-prefix matching is a couple of shifts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address backed by its 32-bit big-endian integer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets most-significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Error returned when parsing an address or prefix from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetError(pub String);
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address or prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseNetError {}
+
+impl FromStr for Ipv4 {
+    type Err = ParseNetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| ParseNetError(s.into()))?;
+            *slot = part.parse().map_err(|_| ParseNetError(s.into()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseNetError(s.into()));
+        }
+        Ok(Ipv4::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// An IPv4 CIDR prefix. The base address is always stored masked, so two
+/// `Prefix` values compare equal iff they denote the same address block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address (host bits zeroed).
+    pub base: Ipv4,
+    /// Prefix length in bits, `0..=32`.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, masking off host bits. Panics if `len > 32`.
+    pub fn new(base: Ipv4, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix { base: Ipv4(base.0 & Self::mask(len)), len }
+    }
+
+    /// Bit mask selecting the network part of a `len`-bit prefix.
+    #[inline]
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    #[inline]
+    pub fn contains(&self, ip: Ipv4) -> bool {
+        ip.0 & Self::mask(self.len) == self.base.0
+    }
+
+    /// Whether `other` is fully contained in `self` (i.e. `self` is a
+    /// covering aggregate of `other`).
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.base)
+    }
+
+    /// Number of addresses in the prefix (as u64 so /0 does not overflow).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th host address inside the prefix. Panics if out of range.
+    pub fn addr(&self, i: u64) -> Ipv4 {
+        assert!(i < self.size(), "host index {i} out of range for /{}", self.len);
+        Ipv4(self.base.0 + i as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseNetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s.split_once('/').ok_or_else(|| ParseNetError(s.into()))?;
+        let base: Ipv4 = ip.parse()?;
+        let len: u8 = len.parse().map_err(|_| ParseNetError(s.into()))?;
+        if len > 32 {
+            return Err(ParseNetError(s.into()));
+        }
+        Ok(Prefix::new(base, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+        assert_eq!(p.base, Ipv4::new(10, 1, 2, 0));
+        assert_eq!(p.len, 24);
+    }
+
+    #[test]
+    fn base_is_masked() {
+        let p = Prefix::new(Ipv4::new(10, 1, 2, 3), 24);
+        assert_eq!(p.base, Ipv4::new(10, 1, 2, 0));
+        assert_eq!(p, "10.1.2.0/24".parse().unwrap());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert!(p.contains(Ipv4::new(192, 0, 2, 255)));
+        assert!(!p.contains(Ipv4::new(192, 0, 3, 0)));
+        let sub: Prefix = "192.0.2.128/25".parse().unwrap();
+        assert!(p.covers(&sub));
+        assert!(!sub.covers(&p));
+        assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn size_and_addr() {
+        let p: Prefix = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.addr(3), Ipv4::new(10, 0, 0, 3));
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(all.size(), 1 << 32);
+    }
+
+    #[test]
+    fn bad_parses_rejected() {
+        assert!("10.0.0/24".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.256/8".parse::<Prefix>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4>().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prefix_display_parse_roundtrip(base in any::<u32>(), len in 0u8..=32) {
+            let p = Prefix::new(Ipv4(base), len);
+            let back: Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn contains_agrees_with_addr(base in any::<u32>(), len in 8u8..=32, i in any::<u64>()) {
+            let p = Prefix::new(Ipv4(base), len);
+            let i = i % p.size();
+            prop_assert!(p.contains(p.addr(i)));
+        }
+
+        #[test]
+        fn covers_is_reflexive_and_antisymmetric(base in any::<u32>(), la in 1u8..=32, lb in 1u8..=32) {
+            let a = Prefix::new(Ipv4(base), la);
+            let b = Prefix::new(Ipv4(base), lb);
+            prop_assert!(a.covers(&a));
+            if a != b {
+                prop_assert!(!(a.covers(&b) && b.covers(&a)));
+            }
+        }
+    }
+}

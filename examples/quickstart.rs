@@ -1,0 +1,85 @@
+//! Quickstart: generate a synthetic Internet, converge BGP, traceroute
+//! toward a content host, and classify the routing decisions the way the
+//! paper does.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ir_bgp::RoutingUniverse;
+use ir_core::classify::{ClassifyConfig, Classifier};
+use ir_core::dataset::MeasuredPath;
+use ir_dataplane::geo::GeoConfig;
+use ir_dataplane::{AddressPlan, GeoDb, OriginTable, TraceConfig, Tracer};
+use ir_inference::feeds::{self, FeedConfig};
+use ir_inference::relinfer::{infer_relationships, InferConfig};
+use ir_measure::dns::Resolver;
+use ir_topology::GeneratorConfig;
+use ir_types::Asn;
+
+fn main() {
+    // 1. A small Internet-like world, deterministic in its seed.
+    let world = GeneratorConfig::tiny().build(42);
+    println!(
+        "world: {} ASes, {} links, {} content providers",
+        world.graph.len(),
+        world.graph.link_count(),
+        world.content.providers().len()
+    );
+
+    // 2. Converge BGP for every originated prefix (rayon-parallel).
+    let universe = RoutingUniverse::compute_all(&world);
+    println!("routing: {} prefixes converged", universe.prefixes().count());
+
+    // 3. Build the data-plane substrate and resolve a hostname like a
+    //    probe would.
+    let plan = AddressPlan::build(&world);
+    let geodb = GeoDb::build(&world, &plan, GeoConfig::default(), 42);
+    let probe_as = world
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.asn.value() >= 20_000)
+        .expect("a stub exists")
+        .asn;
+
+    // 4. Traceroute and convert to an AS path (Chen et al. style). Not
+    //    every hostname is reachable from every probe — some content
+    //    prefixes are selectively announced (§4.3)! — so walk the catalog
+    //    until a measurement converts cleanly, exactly as a real campaign
+    //    keeps only usable traceroutes.
+    let resolver = Resolver::new(&world);
+    let tracer = Tracer::new(&world, &universe, &plan, TraceConfig::default(), 42);
+    let table = OriginTable::from_universe(&universe);
+    let (hostname, tr, measured) = world
+        .content
+        .hostnames()
+        .find_map(|(_, hostname)| {
+            let server = resolver.resolve(hostname, probe_as)?;
+            let tr = tracer.run(probe_as, server);
+            let measured = MeasuredPath::build(&tr, &table, &geodb)?;
+            Some((hostname.to_string(), tr, measured))
+        })
+        .expect("some hostname is measurable from the probe");
+    println!("probe {probe_as} resolves {hostname} -> {}", tr.dst_ip);
+    let path: Vec<String> = measured.path.iter().map(|a| a.to_string()).collect();
+    println!("AS path: {}", path.join(" -> "));
+
+    // 5. Build an inferred topology from collector feeds and classify every
+    //    decision on the path against the Gao–Rexford model.
+    let vantages = feeds::pick_vantages(&world, &FeedConfig::default(), 42);
+    let feed = feeds::extract_feed(&world, &universe, &vantages);
+    let paths: Vec<&[Asn]> = feed.paths().collect();
+    let inferred = infer_relationships(paths, &InferConfig::default());
+    let mut classifier = Classifier::new(&inferred, ClassifyConfig::default());
+    for d in measured.decisions() {
+        let v = classifier.classify(&d);
+        println!(
+            "  {} -> {} toward {}: {}",
+            d.observer,
+            d.next_hop,
+            d.dest,
+            v.category.label()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Topology explorer: inspect a generated world, compare inferred vs
+//! ground-truth relationships, and export the inferred topology as a
+//! CAIDA serial-1 file.
+//!
+//! ```sh
+//! cargo run --release --example topology_explorer [seed]
+//! ```
+
+use ir_bgp::RoutingUniverse;
+use ir_inference::aggregate_snapshots;
+use ir_inference::feeds::{self, FeedConfig};
+use ir_inference::relinfer::{infer_relationships, InferConfig};
+use ir_topology::graph::AsRole;
+use ir_topology::{serial, GeneratorConfig};
+use ir_types::{AsType, Asn, Relationship};
+use std::collections::BTreeMap;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let world = GeneratorConfig::tiny().build(seed);
+
+    // Population census.
+    let mut by_role: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_type: BTreeMap<AsType, usize> = BTreeMap::new();
+    for idx in 0..world.graph.len() {
+        *by_role.entry(format!("{:?}", world.graph.node(idx).role)).or_default() += 1;
+        *by_type.entry(world.graph.as_type(idx)).or_default() += 1;
+    }
+    println!("world (seed {seed}): {} ASes, {} links", world.graph.len(), world.graph.link_count());
+    println!("roles: {by_role:?}");
+    for (t, n) in &by_type {
+        println!("  {}: {n}", t.label());
+    }
+    println!(
+        "cables: {} systems, {} with their own ASN",
+        world.cables.systems().len(),
+        world.cables.cable_asns().len()
+    );
+
+    // Policy deviation census (ground truth the real Internet hides).
+    let domestic = world.policies.iter().filter(|p| p.domestic_pref).count();
+    let psp = world.policies.iter().filter(|p| !p.selective_announce.is_empty()).count();
+    let partial = world.policies.iter().filter(|p| !p.partial_transit.is_empty()).count();
+    let npref = world.policies.iter().filter(|p| !p.neighbor_pref.is_empty()).count();
+    let hybrid = (0..world.graph.len())
+        .flat_map(|i| world.graph.links(i))
+        .filter(|l| l.is_hybrid())
+        .count()
+        / 2;
+    println!(
+        "policy deviations: domestic_pref={domestic} selective_announce={psp} \
+         partial_transit={partial} neighbor_pref={npref} hybrid_links={hybrid}"
+    );
+
+    // Infer relationships from collector feeds (5 monthly snapshots) and
+    // compare against ground truth.
+    let universe = RoutingUniverse::compute_all(&world);
+    let vantages = feeds::pick_vantages(&world, &FeedConfig::default(), seed);
+    let months = feeds::monthly_worlds(&world, 5, seed);
+    let snapshots: Vec<_> = months
+        .iter()
+        .map(|m| {
+            let feed = feeds::monthly_feed(m, &vantages);
+            let paths: Vec<&[Asn]> = feed.paths().collect();
+            infer_relationships(paths, &InferConfig::default())
+        })
+        .collect();
+    let inferred = aggregate_snapshots(&snapshots);
+    let _ = universe;
+
+    let mut agree = 0usize;
+    let mut wrong = 0usize;
+    let mut missing = 0usize;
+    let mut stale = 0usize;
+    for a in 0..world.graph.len() {
+        for l in world.graph.links(a) {
+            if l.peer < a {
+                continue;
+            }
+            let (asn_a, asn_b) = (world.graph.asn(a), world.graph.asn(l.peer));
+            match inferred.rel(asn_a, asn_b) {
+                None => missing += 1,
+                Some(r) if r == l.rel => agree += 1,
+                // Sibling links are inferred as something else by design
+                // (relationship inference has no whois); count as wrong.
+                Some(_) => wrong += 1,
+            }
+        }
+    }
+    for (a, b, _) in inferred.iter() {
+        let known = world
+            .graph
+            .index_of(a)
+            .zip(world.graph.index_of(b))
+            .map(|(ia, ib)| world.graph.link(ia, ib).is_some())
+            .unwrap_or(false);
+        if !known {
+            stale += 1;
+        }
+    }
+    println!(
+        "\ninferred vs ground truth: {agree} correct, {wrong} misclassified, \
+         {missing} missing, {stale} stale (historical) links"
+    );
+    let cable_misses = world
+        .cables
+        .cable_asns()
+        .iter()
+        .map(|c| {
+            inferred
+                .neighbors_of(*c)
+                .into_iter()
+                .filter(|(n, r)| {
+                    let idx = world.graph.index_of(*c).unwrap();
+                    let nidx = world.graph.index_of(*n);
+                    let truth = nidx.and_then(|ni| world.graph.rel(idx, ni));
+                    truth.map(|t| t != *r).unwrap_or(false)
+                })
+                .count()
+        })
+        .sum::<usize>();
+    println!("cable-AS links misclassified by inference: {cable_misses} (the §6 phenomenon)");
+
+    // Export serial-1 (the interchange format; also reads real CAIDA files).
+    let text = serial::to_serial1(&inferred);
+    let path = std::env::temp_dir().join("inferred-topology.serial1.txt");
+    std::fs::write(&path, &text).expect("write serial-1 export");
+    println!("\nwrote {} relationship lines to {}", inferred.len(), path.display());
+
+    // And a GraphViz rendering of the ground-truth graph.
+    let dot = ir_topology::dot::to_dot(&world.graph);
+    let dot_path = std::env::temp_dir().join("world.dot");
+    std::fs::write(&dot_path, &dot).expect("write dot export");
+    println!("wrote GraphViz graph to {} (render with: sfdp -Tsvg)", dot_path.display());
+
+    // Show a couple of interesting ASes.
+    for idx in 0..world.graph.len() {
+        let node = world.graph.node(idx);
+        if node.role == AsRole::CableOperator {
+            let neighbors: Vec<String> = world
+                .graph
+                .links(idx)
+                .iter()
+                .map(|l| {
+                    let rel = match l.rel {
+                        Relationship::Customer => "customer",
+                        Relationship::Peer => "peer",
+                        Relationship::Provider => "provider",
+                        Relationship::Sibling => "sibling",
+                    };
+                    format!("{} ({rel})", world.graph.asn(l.peer))
+                })
+                .collect();
+            println!("cable AS {}: subscribers = {}", node.asn, neighbors.join(", "));
+        }
+    }
+}
