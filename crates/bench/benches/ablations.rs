@@ -16,7 +16,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ir_bgp::RoutingUniverse;
-use ir_core::classify::{Category, ClassifyConfig, Classifier, PspCriterion};
+use ir_core::classify::{Category, Classifier, ClassifyConfig, PspCriterion};
 use ir_experiments::scenario::{Scenario, ScenarioConfig};
 use ir_inference::feeds::{self, FeedConfig};
 use ir_inference::relinfer::{infer_relationships, InferConfig};
@@ -31,7 +31,7 @@ fn scenario() -> &'static Scenario {
 
 fn best_short_pct(cfg: ClassifyConfig<'_>) -> f64 {
     let s = scenario();
-    let mut c = Classifier::new(&s.inferred, cfg);
+    let c = Classifier::new(&s.inferred, cfg);
     c.breakdown(&s.decisions).pct(Category::BestShort)
 }
 
@@ -40,19 +40,25 @@ fn bench_short_rule(c: &mut Criterion) {
     eprintln!(
         "short rule: lenient (≤) Best/Short = {:.1}% | strict (=) Best/Short = {:.1}%",
         best_short_pct(ClassifyConfig::default()),
-        best_short_pct(ClassifyConfig { strict_short: true, ..ClassifyConfig::default() }),
+        best_short_pct(ClassifyConfig {
+            strict_short: true,
+            ..ClassifyConfig::default()
+        }),
     );
     let mut g = c.benchmark_group("ablation_short_rule");
     g.bench_function("lenient", |b| {
         b.iter(|| {
-            let mut cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+            let cl = Classifier::new(&s.inferred, ClassifyConfig::default());
             black_box(cl.breakdown(&s.decisions))
         })
     });
     g.bench_function("strict", |b| {
         b.iter(|| {
-            let cfg = ClassifyConfig { strict_short: true, ..ClassifyConfig::default() };
-            let mut cl = Classifier::new(&s.inferred, cfg);
+            let cfg = ClassifyConfig {
+                strict_short: true,
+                ..ClassifyConfig::default()
+            };
+            let cl = Classifier::new(&s.inferred, cfg);
             black_box(cl.breakdown(&s.decisions))
         })
     });
@@ -79,13 +85,13 @@ fn bench_psp_criteria(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("criterion1", |b| {
         b.iter(|| {
-            let mut cl = Classifier::new(&s.inferred, c1);
+            let cl = Classifier::new(&s.inferred, c1);
             black_box(cl.breakdown(&s.decisions))
         })
     });
     g.bench_function("criterion2", |b| {
         b.iter(|| {
-            let mut cl = Classifier::new(&s.inferred, c2);
+            let cl = Classifier::new(&s.inferred, c2);
             black_box(cl.breakdown(&s.decisions))
         })
     });
@@ -94,8 +100,14 @@ fn bench_psp_criteria(c: &mut Criterion) {
 
 fn bench_refinements(c: &mut Criterion) {
     let s = scenario();
-    let sibs_only = ClassifyConfig { siblings: Some(&s.siblings), ..ClassifyConfig::default() };
-    let complex_only = ClassifyConfig { complex: Some(&s.complex), ..ClassifyConfig::default() };
+    let sibs_only = ClassifyConfig {
+        siblings: Some(&s.siblings),
+        ..ClassifyConfig::default()
+    };
+    let complex_only = ClassifyConfig {
+        complex: Some(&s.complex),
+        ..ClassifyConfig::default()
+    };
     eprintln!(
         "refinements alone: none = {:.1}% | +sibs = {:.1}% | +complex = {:.1}% Best/Short",
         best_short_pct(ClassifyConfig::default()),
@@ -105,13 +117,13 @@ fn bench_refinements(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_refinements");
     g.bench_function("siblings_only", |b| {
         b.iter(|| {
-            let mut cl = Classifier::new(&s.inferred, sibs_only);
+            let cl = Classifier::new(&s.inferred, sibs_only);
             black_box(cl.breakdown(&s.decisions))
         })
     });
     g.bench_function("complex_only", |b| {
         b.iter(|| {
-            let mut cl = Classifier::new(&s.inferred, complex_only);
+            let cl = Classifier::new(&s.inferred, complex_only);
             black_box(cl.breakdown(&s.decisions))
         })
     });
@@ -124,7 +136,10 @@ fn bench_vantage_count(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_vantages");
     g.sample_size(10);
     for n in [4usize, 8, 16, 32] {
-        let cfg = FeedConfig { vantages: n, ..FeedConfig::default() };
+        let cfg = FeedConfig {
+            vantages: n,
+            ..FeedConfig::default()
+        };
         let vantages = feeds::pick_vantages(&s.world, &cfg, 7);
         let feed = feeds::extract_feed(&s.world, &universe, &vantages);
         let paths: Vec<&[Asn]> = feed.paths().collect();
@@ -149,7 +164,9 @@ fn bench_clique_candidates(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_clique");
     g.sample_size(20);
     for k in [5usize, 10, 20, 40] {
-        let cfg = InferConfig { clique_candidates: k };
+        let cfg = InferConfig {
+            clique_candidates: k,
+        };
         let paths: Vec<&[Asn]> = s.feed.paths().collect();
         let db = infer_relationships(paths, &cfg);
         eprintln!("clique_candidates = {k}: {} links inferred", db.len());

@@ -1,0 +1,79 @@
+//! Parallel-classification benches for the arena refactor.
+//!
+//! Measures the three costs the `TopologyArena` redesign targets:
+//!
+//! * `arena_build` — indexing a `RelationshipDb` into the CSR arena (paid
+//!   once per topology instead of once per model and per route set);
+//! * `classify_sequential` vs `classify_batch` — per-decision
+//!   classification one-by-one against the rayon fan-out over the same
+//!   shared `&Classifier` (identical verdicts; see the `arena_equiv`
+//!   equivalence tests);
+//! * `routes_cold` — a full three-phase model computation on the arena
+//!   adjacency, the kernel under every cache miss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_core::classify::{Classifier, ClassifyConfig};
+use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use ir_topology::TopologyArena;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::tiny(7)))
+}
+
+fn bench_arena_build(c: &mut Criterion) {
+    let s = scenario();
+    c.bench_function("arena_build", |b| {
+        b.iter(|| black_box(TopologyArena::build(&s.inferred)))
+    });
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let s = scenario();
+    let mut g = c.benchmark_group("classify");
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+            let verdicts: Vec<_> = s.decisions.iter().map(|d| cl.classify(d)).collect();
+            black_box(verdicts)
+        })
+    });
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            let cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+            black_box(cl.classify_batch(&s.decisions))
+        })
+    });
+    // Warm-cache variants isolate the per-decision cost from the
+    // per-destination model computations.
+    let warm = Classifier::new(&s.inferred, ClassifyConfig::default());
+    warm.classify_batch(&s.decisions);
+    g.bench_function("batch_warm", |b| {
+        b.iter(|| black_box(warm.classify_batch(&s.decisions)))
+    });
+    g.finish();
+}
+
+fn bench_routes_cold(c: &mut Criterion) {
+    let s = scenario();
+    let cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let model = cl.model();
+    let dests: Vec<_> = s.decisions.iter().map(|d| d.dest).take(32).collect();
+    c.bench_function("routes_cold", |b| {
+        b.iter(|| {
+            for &d in &dests {
+                black_box(model.routes_to(d));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arena_build,
+    bench_classify,
+    bench_routes_cold
+);
+criterion_main!(benches);

@@ -46,5 +46,10 @@ fn bench_lg_augment(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(extensions, bench_informed, bench_consistency, bench_lg_augment);
+criterion_group!(
+    extensions,
+    bench_informed,
+    bench_consistency,
+    bench_lg_augment
+);
 criterion_main!(extensions);

@@ -25,11 +25,7 @@ fn bench_fig1(c: &mut Criterion) {
     g.bench_function("simple_variant_only", |b| {
         b.iter(|| {
             let inputs = s.refine_inputs();
-            black_box(inputs.run(
-                &s.inferred,
-                &s.decisions,
-                ir_core::refine::Variant::Simple,
-            ))
+            black_box(inputs.run(&s.inferred, &s.decisions, ir_core::refine::Variant::Simple))
         })
     });
     g.finish();

@@ -38,7 +38,12 @@ fn bench_generator(c: &mut Criterion) {
 
 fn bench_bgp_convergence(c: &mut Criterion) {
     let w = world();
-    let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+    let stub = w
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.asn.value() >= 20_000)
+        .unwrap();
     let (origin, prefix) = (stub.asn, stub.prefixes[0]);
     let mut g = c.benchmark_group("bgp");
     g.bench_function("single_prefix_convergence", |b| {
@@ -82,7 +87,9 @@ fn bench_grmodel(c: &mut Criterion) {
     let model = GrModel::new(&db);
     let dest = w.content.providers()[0].origin_asns[0];
     let mut g = c.benchmark_group("grmodel");
-    g.bench_function("index_topology", |b| b.iter(|| black_box(GrModel::new(black_box(&db)))));
+    g.bench_function("index_topology", |b| {
+        b.iter(|| black_box(GrModel::new(black_box(&db))))
+    });
     g.bench_function("routes_to_one_destination", |b| {
         b.iter(|| black_box(model.routes_to(black_box(dest))))
     });
@@ -113,7 +120,13 @@ fn bench_dataplane(c: &mut Criterion) {
     let plan = AddressPlan::build(w);
     let tracer = Tracer::new(w, u, &plan, TraceConfig::default(), 7);
     let table = OriginTable::from_universe(u);
-    let src = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap().asn;
+    let src = w
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.asn.value() >= 20_000)
+        .unwrap()
+        .asn;
     let dst = w.content.providers()[0].deployments[0].server_ip();
     let tr = tracer.run(src, dst);
     let mut g = c.benchmark_group("dataplane");

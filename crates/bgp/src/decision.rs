@@ -54,7 +54,7 @@ pub fn compare(a: &Route, b: &Route) -> Ordering {
 
 /// Picks the best route among candidates; also reports which decision step
 /// separated it from the runner-up.
-pub fn select<'r>(candidates: &'r [Route]) -> Option<(&'r Route, DecisionStep)> {
+pub fn select(candidates: &[Route]) -> Option<(&Route, DecisionStep)> {
     let best = candidates.iter().min_by(|a, b| compare(a, b))?;
     if candidates.len() == 1 {
         return Some((best, DecisionStep::OnlyRoute));
@@ -98,7 +98,7 @@ mod tests {
             local_pref: pref,
             igp_cost: igp,
             age: Timestamp(age),
-            }
+        }
     }
 
     #[test]
@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn single_candidate_is_only_route() {
         let r = route(100, &[1], 1, 1, 1);
-        assert_eq!(select(std::slice::from_ref(&r)).unwrap().1, DecisionStep::OnlyRoute);
+        assert_eq!(
+            select(std::slice::from_ref(&r)).unwrap().1,
+            DecisionStep::OnlyRoute
+        );
         assert!(select(&[]).is_none());
     }
 

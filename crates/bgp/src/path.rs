@@ -119,12 +119,14 @@ impl AsPath {
     /// Iterates all ASNs in the path, sequence entries in order and set
     /// members in ascending order at their position.
     pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.0.iter().flat_map(|s| -> Box<dyn Iterator<Item = Asn> + '_> {
-            match s {
-                Segment::Seq(v) => Box::new(v.iter().copied()),
-                Segment::Set(set) => Box::new(set.iter().copied()),
-            }
-        })
+        self.0
+            .iter()
+            .flat_map(|s| -> Box<dyn Iterator<Item = Asn> + '_> {
+                match s {
+                    Segment::Seq(v) => Box::new(v.iter().copied()),
+                    Segment::Set(set) => Box::new(set.iter().copied()),
+                }
+            })
     }
 
     /// ASNs of sequence segments only, in order — what AS-level path
@@ -175,7 +177,9 @@ mod tests {
 
     #[test]
     fn origin_and_prepend() {
-        let p = AsPath::origin(Asn(65001)).prepend(Asn(65002)).prepend(Asn(65003));
+        let p = AsPath::origin(Asn(65001))
+            .prepend(Asn(65002))
+            .prepend(Asn(65003));
         assert_eq!(p.len(), 3);
         assert_eq!(p.origin_as(), Some(Asn(65001)));
         assert_eq!(p.first(), Some(Asn(65003)));

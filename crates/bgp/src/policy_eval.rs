@@ -7,10 +7,10 @@
 
 use crate::path::AsPath;
 use crate::route::Route;
-use ir_types::{CityId, Prefix, Relationship, Timestamp};
 use ir_topology::graph::{LinkKind, NodeIdx};
 use ir_topology::policy::TransitScope;
 use ir_topology::World;
+use ir_types::{CityId, Prefix, Relationship, Timestamp};
 
 /// Base local preference for a relationship tier.
 pub fn base_pref(rel: Relationship) -> i32 {
@@ -162,18 +162,40 @@ mod tests {
         let w = world();
         let eng = PolicyEngine::new(&w);
         // Find an AS with loop prevention enabled and one without.
-        let me = (0..w.graph.len()).find(|&i| !w.policy(i).no_loop_prevention).unwrap();
+        let me = (0..w.graph.len())
+            .find(|&i| !w.policy(i).no_loop_prevention)
+            .unwrap();
         let from = w.graph.links(me)[0].peer;
         let city = w.graph.links(me)[0].cities[0];
         let my_asn = w.graph.asn(me);
         let looped = AsPath::origin(Asn(9_999_999)).prepend(my_asn);
         let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
         assert!(eng
-            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &looped, 1, Timestamp(0))
+            .import(
+                me,
+                from,
+                city,
+                Relationship::Peer,
+                LinkKind::Normal,
+                pfx,
+                &looped,
+                1,
+                Timestamp(0)
+            )
             .is_none());
         let clean = AsPath::origin(Asn(9_999_999));
         assert!(eng
-            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &clean, 1, Timestamp(0))
+            .import(
+                me,
+                from,
+                city,
+                Relationship::Peer,
+                LinkKind::Normal,
+                pfx,
+                &clean,
+                1,
+                Timestamp(0)
+            )
             .is_some());
     }
 
@@ -189,7 +211,17 @@ mod tests {
         let poisoned = AsPath::poisoned(Asn(9_999_999), &[Asn(123)]);
         let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
         assert!(eng
-            .import(me, from, city, Relationship::Peer, LinkKind::Normal, pfx, &poisoned, 1, Timestamp(0))
+            .import(
+                me,
+                from,
+                city,
+                Relationship::Peer,
+                LinkKind::Normal,
+                pfx,
+                &poisoned,
+                1,
+                Timestamp(0)
+            )
             .is_none());
     }
 
@@ -206,11 +238,31 @@ mod tests {
         let path = AsPath::origin(Asn(9_999_999));
         let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
         let r = eng
-            .import(me, from, city, Relationship::Customer, LinkKind::Normal, pfx, &path, 1, Timestamp(0))
+            .import(
+                me,
+                from,
+                city,
+                Relationship::Customer,
+                LinkKind::Normal,
+                pfx,
+                &path,
+                1,
+                Timestamp(0),
+            )
             .unwrap();
         assert_eq!(r.local_pref, 300 - 150);
         let r = eng
-            .import(me, from, city, Relationship::Provider, LinkKind::Backup, pfx, &path, 1, Timestamp(0))
+            .import(
+                me,
+                from,
+                city,
+                Relationship::Provider,
+                LinkKind::Backup,
+                pfx,
+                &path,
+                1,
+                Timestamp(0),
+            )
             .unwrap();
         assert_eq!(r.local_pref, 100 - 150 + BACKUP_PENALTY);
     }
@@ -221,9 +273,10 @@ mod tests {
         // Pick an AS and a neighbor in the same country if possible.
         let me = (0..w.graph.len())
             .find(|&i| {
-                w.graph.links(i).iter().any(|l| {
-                    w.graph.node(l.peer).home_country == w.graph.node(i).home_country
-                })
+                w.graph
+                    .links(i)
+                    .iter()
+                    .any(|l| w.graph.node(l.peer).home_country == w.graph.node(i).home_country)
             })
             .expect("some intra-country link exists");
         let link = w
@@ -234,13 +287,23 @@ mod tests {
             .unwrap()
             .clone();
         w.policies[me].domestic_pref = true;
+        // The generator hands ~10% of ASes a random neighbor_pref override;
+        // clear it so only the domestic bonus is measured.
+        w.policies[me].neighbor_pref.clear();
         let eng = PolicyEngine::new(&w);
         let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
         let domestic_path = AsPath::origin(w.graph.asn(link.peer));
         let r = eng
             .import(
-                me, link.peer, link.cities[0], Relationship::Peer, LinkKind::Normal,
-                pfx, &domestic_path, 1, Timestamp(0),
+                me,
+                link.peer,
+                link.cities[0],
+                Relationship::Peer,
+                LinkKind::Normal,
+                pfx,
+                &domestic_path,
+                1,
+                Timestamp(0),
             )
             .unwrap();
         assert_eq!(r.local_pref, 200 + DOMESTIC_BONUS);
@@ -248,8 +311,15 @@ mod tests {
         let foreign_path = domestic_path.prepend(Asn(9_999_999));
         let r2 = eng
             .import(
-                me, link.peer, link.cities[0], Relationship::Peer, LinkKind::Normal,
-                pfx, &foreign_path, 1, Timestamp(0),
+                me,
+                link.peer,
+                link.cities[0],
+                Relationship::Peer,
+                LinkKind::Normal,
+                pfx,
+                &foreign_path,
+                1,
+                Timestamp(0),
             )
             .unwrap();
         assert_eq!(r2.local_pref, 200);
@@ -285,7 +355,9 @@ mod tests {
         let me = 0;
         let to = w.graph.links(me)[0].peer;
         let to_asn = w.graph.asn(to);
-        w.policies[me].partial_transit.insert(to_asn, TransitScope::CustomerRoutesOnly);
+        w.policies[me]
+            .partial_transit
+            .insert(to_asn, TransitScope::CustomerRoutesOnly);
         let eng = PolicyEngine::new(&w);
         let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
         let provider_route = Route {
@@ -300,7 +372,10 @@ mod tests {
         };
         // Even though `to` is a customer, provider-learned routes are withheld.
         assert!(!eng.may_export(me, &provider_route, to, Relationship::Customer));
-        let customer_route = Route { rel: Some(Relationship::Customer), ..provider_route };
+        let customer_route = Route {
+            rel: Some(Relationship::Customer),
+            ..provider_route
+        };
         assert!(eng.may_export(me, &customer_route, to, Relationship::Customer));
     }
 

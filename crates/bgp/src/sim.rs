@@ -19,9 +19,9 @@ use crate::decision;
 use crate::path::AsPath;
 use crate::policy_eval::PolicyEngine;
 use crate::route::Route;
-use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use ir_topology::graph::{LinkKind, NodeIdx};
 use ir_topology::World;
+use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -42,7 +42,12 @@ pub struct Announcement {
 impl Announcement {
     /// Plain announcement from `origin` to all neighbors.
     pub fn plain(origin: Asn, prefix: Prefix) -> Announcement {
-        Announcement { origin, prefix, via: None, poison: Vec::new() }
+        Announcement {
+            origin,
+            prefix,
+            via: None,
+            poison: Vec::new(),
+        }
     }
 
     /// The origination path this announcement produces.
@@ -172,7 +177,11 @@ impl<'w> PrefixSim<'w> {
         let mut cands = Vec::new();
         if let (Some(origin_idx), Some(ann)) = (self.origin_idx, &self.announcement) {
             if origin_idx == x {
-                cands.push(Route::originate(self.prefix, ann.origination_path(), self.announce_time));
+                cands.push(Route::originate(
+                    self.prefix,
+                    ann.origination_path(),
+                    self.announce_time,
+                ));
             }
         }
         for s in &self.sessions[x] {
@@ -254,10 +263,16 @@ impl<'w> PrefixSim<'w> {
                 }
             }
             if !changed {
-                return Convergence { rounds: round + 1, converged: true };
+                return Convergence {
+                    rounds: round + 1,
+                    converged: true,
+                };
             }
         }
-        Convergence { rounds: cap, converged: false }
+        Convergence {
+            rounds: cap,
+            converged: false,
+        }
     }
 
     /// The selected route at node `x` (path does not include `x` itself).
@@ -321,7 +336,9 @@ mod tests {
         let mut sim = PrefixSim::new(&w, prefix);
         let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         assert!(conv.converged, "no policy dispute in tiny world");
-        let reached = (0..w.graph.len()).filter(|&x| sim.best(x).is_some()).count();
+        let reached = (0..w.graph.len())
+            .filter(|&x| sim.best(x).is_some())
+            .count();
         // GR propagation reaches essentially the whole graph.
         assert!(
             reached as f64 >= 0.95 * w.graph.len() as f64,
@@ -455,8 +472,8 @@ mod tests {
         // Re-announce identically much later: nothing should change,
         // including ages.
         sim.announce(Announcement::plain(origin, prefix), Timestamp(5400));
-        for x in 0..w.graph.len() {
-            match (&before[x], sim.best(x)) {
+        for (x, prev) in before.iter().enumerate() {
+            match (prev, sim.best(x)) {
                 (Some(a), Some(b)) => {
                     assert!(a.same_route(b));
                     assert_eq!(a.age, b.age, "age preserved at {}", w.graph.asn(x));
@@ -489,12 +506,20 @@ mod tests {
             .collect();
         drop(sim);
         // Prepend 5 copies toward that provider.
-        w.policies[origin_idx].export_prepend.insert(w.graph.asn(target_prov), 5);
+        w.policies[origin_idx]
+            .export_prepend
+            .insert(w.graph.asn(target_prov), 5);
         let mut sim = PrefixSim::new(&w, prefix);
         sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         // The provider's own received path is longer now…
-        let r = sim.best(target_prov).expect("provider still reaches the origin");
-        assert!(r.path.len() >= 6, "prepended path has length {}", r.path.len());
+        let r = sim
+            .best(target_prov)
+            .expect("provider still reaches the origin");
+        assert!(
+            r.path.len() >= 6,
+            "prepended path has length {}",
+            r.path.len()
+        );
         // …and strictly fewer ASes still route through it.
         let via_after = (0..w.graph.len())
             .filter(|&x| {
@@ -527,7 +552,6 @@ mod tests {
         }
     }
 }
-
 
 #[cfg(test)]
 mod proptests {

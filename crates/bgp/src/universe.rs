@@ -9,9 +9,9 @@
 
 use crate::route::Route;
 use crate::sim::{Announcement, PrefixSim};
-use ir_types::{Asn, Ipv4, Prefix, Timestamp};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
+use ir_types::{Asn, Ipv4, Prefix, Timestamp};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -51,8 +51,9 @@ impl RoutingUniverse {
                     .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
                 let mut sim = PrefixSim::new(world, prefix);
                 let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
-                let table: Vec<Option<Route>> =
-                    (0..world.graph.len()).map(|x| sim.best(x).cloned()).collect();
+                let table: Vec<Option<Route>> = (0..world.graph.len())
+                    .map(|x| sim.best(x).cloned())
+                    .collect();
                 (prefix, origin, table, conv.converged)
             })
             .collect();

@@ -16,9 +16,9 @@
 //! visible through poisoned announcements.
 
 use crate::grmodel::RouteClass;
-use ir_types::Asn;
 use ir_measure::AlternateDiscovery;
 use ir_topology::RelationshipDb;
+use ir_types::Asn;
 use std::collections::BTreeSet;
 
 /// Order-consistency verdict for one target.
@@ -70,7 +70,11 @@ pub fn check_order(db: &RelationshipDb, d: &AlternateDiscovery) -> OrderVerdict 
             shortest = false;
         }
     }
-    OrderVerdict { best, shortest, routes: d.routes.len() }
+    OrderVerdict {
+        best,
+        shortest,
+        routes: d.routes.len(),
+    }
 }
 
 /// Aggregated §4.4 counts over many targets.
@@ -197,7 +201,11 @@ mod tests {
         let db = db();
         let d = discovery(
             10,
-            vec![(20, vec![20, 99]), (30, vec![30, 98, 99]), (40, vec![40, 97, 98, 99])],
+            vec![
+                (20, vec![20, 99]),
+                (30, vec![30, 98, 99]),
+                (40, vec![40, 97, 98, 99]),
+            ],
         );
         let v = check_order(&db, &d);
         assert!(v.best && v.shortest);
@@ -241,7 +249,10 @@ mod tests {
         let db = db();
         let verdicts = [
             check_order(&db, &discovery(10, vec![(20, vec![20, 99])])), // 1 route
-            check_order(&db, &discovery(10, vec![(20, vec![20, 99]), (30, vec![30, 98, 99])])),
+            check_order(
+                &db,
+                &discovery(10, vec![(20, vec![20, 99]), (30, vec![30, 98, 99])]),
+            ),
         ];
         let s = OrderSummary::tally(verdicts.iter());
         assert_eq!(s.total(), 1);

@@ -12,10 +12,10 @@
 //! ordinary collector feed yields an augmented topology whose effect on
 //! classification the `exp_lg_augment` experiment measures.
 
-use ir_types::{Asn, Prefix, Timestamp};
 use ir_bgp::{Announcement, PrefixSim};
 use ir_measure::LookingGlassNet;
 use ir_topology::World;
+use ir_types::{Asn, Prefix, Timestamp};
 
 /// Collects, for every glass-hosting AS and every given `(origin, prefix)`
 /// pair, the AS paths of all candidate routes visible at the glass (host
@@ -34,7 +34,9 @@ pub fn gather_lg_paths(
         let mut sim = PrefixSim::new(world, prefix);
         sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         for host in lg.hosts() {
-            let Some(routes) = lg.query_sim(&sim, host) else { continue };
+            let Some(routes) = lg.query_sim(&sim, host) else {
+                continue;
+            };
             for r in routes {
                 if r.is_local() {
                     continue;
@@ -84,8 +86,14 @@ mod tests {
         }
         // Augmentation strictly extends a thin feed's inferred topology.
         let universe = ir_bgp::RoutingUniverse::compute_all(&world);
-        let vantages =
-            feeds::pick_vantages(&world, &FeedConfig { vantages: 6, ..Default::default() }, 3);
+        let vantages = feeds::pick_vantages(
+            &world,
+            &FeedConfig {
+                vantages: 6,
+                ..Default::default()
+            },
+            3,
+        );
         let feed = feeds::extract_feed(&world, &universe, &vantages);
         let base_paths: Vec<&[Asn]> = feed.paths().collect();
         let base = infer_relationships(base_paths.clone(), &InferConfig::default());

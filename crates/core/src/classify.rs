@@ -26,11 +26,13 @@
 
 use crate::dataset::Decision;
 use crate::grmodel::{GrModel, GrRoutes, RouteClass};
-use ir_types::{Asn, Prefix, Relationship};
 use ir_inference::feeds::BgpFeed;
 use ir_inference::{ComplexRelDb, SiblingGroups};
 use ir_topology::RelationshipDb;
+use ir_types::{Asn, Prefix, Relationship};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
 
 /// The four Figure 1 categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,8 +49,12 @@ pub enum Category {
 
 impl Category {
     /// All categories in Figure 1 order.
-    pub const ALL: [Category; 4] =
-        [Category::BestShort, Category::NonBestShort, Category::BestLong, Category::NonBestLong];
+    pub const ALL: [Category; 4] = [
+        Category::BestShort,
+        Category::NonBestShort,
+        Category::BestLong,
+        Category::NonBestLong,
+    ];
 
     fn of(best: bool, short: bool) -> Category {
         match (best, short) {
@@ -122,7 +128,16 @@ pub struct Verdict {
     pub model_shortest: Option<usize>,
 }
 
+/// Number of cache shards; destinations hash across them so concurrent
+/// `classify_batch` workers rarely contend on the same lock.
+const CACHE_SHARDS: usize = 16;
+
 /// Decision classifier with per-destination model caching.
+///
+/// Classification is `&self`: the per-destination route cache is sharded
+/// behind `RwLock`s and holds `Arc<GrRoutes>`, so [`Classifier::classify`]
+/// can run concurrently from many threads ([`Classifier::classify_batch`]
+/// does exactly that via rayon).
 ///
 /// ```
 /// use ir_core::classify::{Category, ClassifyConfig, Classifier};
@@ -134,7 +149,7 @@ pub struct Verdict {
 /// db.insert(Asn(1), Asn(2), Relationship::Peer);
 /// db.insert(Asn(5), Asn(1), Relationship::Provider); // 5 customer of 1
 ///
-/// let mut classifier = Classifier::new(&db, ClassifyConfig::default());
+/// let classifier = Classifier::new(&db, ClassifyConfig::default());
 /// let d = Decision {
 ///     observer: Asn(1), next_hop: Asn(5), dest: Asn(5), prefix: None,
 ///     src: Asn(1), suffix_len: 1, link_city: None, path_index: 0,
@@ -145,15 +160,24 @@ pub struct Classifier<'a> {
     model: GrModel,
     db: &'a RelationshipDb,
     cfg: ClassifyConfig<'a>,
-    /// Cache key: (destination, prefix under PSP filtering or None).
-    cache: BTreeMap<(Asn, Option<Prefix>), GrRoutes>,
+    /// Cache key: (destination, prefix under PSP filtering or None),
+    /// sharded by destination ASN.
+    cache: [CacheShard; CACHE_SHARDS],
 }
+
+/// One lock-guarded slice of the route cache.
+type CacheShard = RwLock<BTreeMap<(Asn, Option<Prefix>), Arc<GrRoutes>>>;
 
 impl<'a> Classifier<'a> {
     /// Builds a classifier over an inferred topology with the given
     /// refinement configuration.
     pub fn new(db: &'a RelationshipDb, cfg: ClassifyConfig<'a>) -> Classifier<'a> {
-        Classifier { model: GrModel::new(db), db, cfg, cache: BTreeMap::new() }
+        Classifier {
+            model: GrModel::new(db),
+            db,
+            cfg,
+            cache: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+        }
     }
 
     /// The underlying indexed model.
@@ -181,42 +205,48 @@ impl<'a> Classifier<'a> {
 
     /// Per-destination GR routes, honoring PSP filtering when configured
     /// and a prefix is known.
-    fn routes(&mut self, dest: Asn, prefix: Option<Prefix>) -> &GrRoutes {
+    fn routes(&self, dest: Asn, prefix: Option<Prefix>) -> Arc<GrRoutes> {
         let psp = self.cfg.psp;
         let key_prefix = psp.and(prefix);
-        if !self.cache.contains_key(&(dest, key_prefix)) {
-            let routes = match (psp, key_prefix) {
-                (Some((criterion, feed)), Some(pfx)) => {
-                    self.model.routes_to_filtered(dest, |a, b| {
-                        // Only edges incident to the origin are scrutinized.
-                        let neighbor = if a == dest {
-                            b
-                        } else if b == dest {
-                            a
-                        } else {
-                            return true;
-                        };
-                        match criterion {
-                            PspCriterion::One => feed.announces_to(dest, neighbor, pfx),
-                            PspCriterion::Two => {
-                                if feed.announces_any_to(dest, neighbor) {
-                                    feed.announces_to(dest, neighbor, pfx)
-                                } else {
-                                    true // no visibility: keep the edge
-                                }
+        let key = (dest, key_prefix);
+        let shard = &self.cache[dest.0 as usize % CACHE_SHARDS];
+        if let Some(routes) = shard.read().expect("cache shard poisoned").get(&key) {
+            return Arc::clone(routes);
+        }
+        // Compute outside the lock; a racing thread may duplicate the work,
+        // but both arrive at the same deterministic result and the first
+        // insert wins.
+        let routes = Arc::new(match (psp, key_prefix) {
+            (Some((criterion, feed)), Some(pfx)) => {
+                self.model.routes_to_filtered(dest, |a, b| {
+                    // Only edges incident to the origin are scrutinized.
+                    let neighbor = if a == dest {
+                        b
+                    } else if b == dest {
+                        a
+                    } else {
+                        return true;
+                    };
+                    match criterion {
+                        PspCriterion::One => feed.announces_to(dest, neighbor, pfx),
+                        PspCriterion::Two => {
+                            if feed.announces_any_to(dest, neighbor) {
+                                feed.announces_to(dest, neighbor, pfx)
+                            } else {
+                                true // no visibility: keep the edge
                             }
                         }
-                    })
-                }
-                _ => self.model.routes_to(dest),
-            };
-            self.cache.insert((dest, key_prefix), routes);
-        }
-        &self.cache[&(dest, key_prefix)]
+                    }
+                })
+            }
+            _ => self.model.routes_to(dest),
+        });
+        let mut shard = shard.write().expect("cache shard poisoned");
+        Arc::clone(shard.entry(key).or_insert(routes))
     }
 
     /// Classifies one decision.
-    pub fn classify(&mut self, d: &Decision) -> Verdict {
+    pub fn classify(&self, d: &Decision) -> Verdict {
         let used_rel = self.effective_rel(d);
         let used_class = used_rel.map(RouteClass::of_rel);
         let strict = self.cfg.strict_short;
@@ -245,14 +275,27 @@ impl<'a> Classifier<'a> {
             }
             None => false,
         };
-        Verdict { category: Category::of(best, short), used_class, best_class, model_shortest }
+        Verdict {
+            category: Category::of(best, short),
+            used_class,
+            best_class,
+            model_shortest,
+        }
     }
 
-    /// Classifies a batch and tallies a Figure 1-style breakdown.
-    pub fn breakdown(&mut self, decisions: &[Decision]) -> Breakdown {
+    /// Classifies every decision in parallel, returning verdicts in input
+    /// order — element `i` is exactly what `classify(&decisions[i])` would
+    /// produce sequentially.
+    pub fn classify_batch(&self, decisions: &[Decision]) -> Vec<Verdict> {
+        decisions.par_iter().map(|d| self.classify(d)).collect()
+    }
+
+    /// Classifies a batch (in parallel) and tallies a Figure 1-style
+    /// breakdown.
+    pub fn breakdown(&self, decisions: &[Decision]) -> Breakdown {
         let mut b = Breakdown::default();
-        for d in decisions {
-            b.add(self.classify(d).category);
+        for v in self.classify_batch(decisions) {
+            b.add(v.category);
         }
         b
     }
@@ -267,13 +310,19 @@ pub struct Breakdown {
 impl Breakdown {
     /// Records one categorized decision.
     pub fn add(&mut self, c: Category) {
-        let i = Category::ALL.iter().position(|x| *x == c).expect("category");
+        let i = Category::ALL
+            .iter()
+            .position(|x| *x == c)
+            .expect("category");
         self.counts[i] += 1;
     }
 
     /// Count in a category.
     pub fn count(&self, c: Category) -> usize {
-        self.counts[Category::ALL.iter().position(|x| *x == c).expect("category")]
+        self.counts[Category::ALL
+            .iter()
+            .position(|x| *x == c)
+            .expect("category")]
     }
 
     /// Total decisions.
@@ -325,7 +374,7 @@ mod tests {
     #[test]
     fn best_short_when_model_agrees() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         // 1 routes to 5 via customer 4 (len 2): customer class, shortest.
         let v = c.classify(&decision(1, 4, 5, 2));
         assert_eq!(v.category, Category::BestShort);
@@ -337,7 +386,7 @@ mod tests {
     #[test]
     fn nonbest_when_cheaper_class_exists() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         // 1 routes to 5 via peer 2 (len 2): shortest but peer ≺ customer.
         let v = c.classify(&decision(1, 2, 5, 2));
         assert_eq!(v.category, Category::NonBestShort);
@@ -346,7 +395,7 @@ mod tests {
     #[test]
     fn long_when_measured_exceeds_model() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         // 3 to 5: model shortest = 3 (3→1→4→5 provider class). A measured
         // suffix of 4 is Long; and via provider 1 it is still Best.
         let v = c.classify(&decision(3, 1, 5, 4));
@@ -357,7 +406,7 @@ mod tests {
     #[test]
     fn unknown_link_is_nonbest() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         // 3—4 link unknown to the topology.
         let v = c.classify(&decision(3, 4, 5, 2));
         assert!(v.used_class.is_none());
@@ -365,11 +414,17 @@ mod tests {
         // Measured length 2 beats the model's 3 → Short by default...
         assert_eq!(v.category, Category::NonBestShort);
         // ...but Long under the strict ablation.
-        let mut strict = Classifier::new(
+        let strict = Classifier::new(
             &db,
-            ClassifyConfig { strict_short: true, ..ClassifyConfig::default() },
+            ClassifyConfig {
+                strict_short: true,
+                ..ClassifyConfig::default()
+            },
         );
-        assert_eq!(strict.classify(&decision(3, 4, 5, 2)).category, Category::NonBestLong);
+        assert_eq!(
+            strict.classify(&decision(3, 4, 5, 2)).category,
+            Category::NonBestLong
+        );
     }
 
     #[test]
@@ -396,8 +451,11 @@ mod tests {
         }
         let sibs = SiblingGroups::infer(&reg);
         assert!(sibs.are_siblings(Asn(1), Asn(2)));
-        let cfg = ClassifyConfig { siblings: Some(&sibs), ..ClassifyConfig::default() };
-        let mut c = Classifier::new(&db, cfg);
+        let cfg = ClassifyConfig {
+            siblings: Some(&sibs),
+            ..ClassifyConfig::default()
+        };
+        let c = Classifier::new(&db, cfg);
         // The same decision that was NonBest/Short becomes Best/Short.
         let v = c.classify(&decision(1, 2, 5, 2));
         assert_eq!(v.category, Category::BestShort);
@@ -409,9 +467,18 @@ mod tests {
         // Hand-build a complex dataset claiming that at city 7, AS 1 is a
         // *customer* of AS 2 (they peer elsewhere).
         let mut complex = ComplexRelDb::default();
-        complex_test_insert(&mut complex, Asn(2), Asn(1), CityId(7), Relationship::Customer);
-        let cfg = ClassifyConfig { complex: Some(&complex), ..ClassifyConfig::default() };
-        let mut c = Classifier::new(&db, cfg);
+        complex_test_insert(
+            &mut complex,
+            Asn(2),
+            Asn(1),
+            CityId(7),
+            Relationship::Customer,
+        );
+        let cfg = ClassifyConfig {
+            complex: Some(&complex),
+            ..ClassifyConfig::default()
+        };
+        let c = Classifier::new(&db, cfg);
         let mut d = decision(2, 1, 5, 2);
         d.link_city = Some(CityId(7));
         // At city 7, 1 is 2's customer → class Customer. But wait: dest 5

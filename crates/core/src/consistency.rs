@@ -56,7 +56,10 @@ pub fn destination_consistency(paths: &[MeasuredPath]) -> ConsistencyReport {
     for p in paths {
         let Some(prefix) = p.prefix else { continue };
         for d in p.decisions() {
-            next_hops.entry((d.observer, prefix)).or_default().insert(d.next_hop);
+            next_hops
+                .entry((d.observer, prefix))
+                .or_default()
+                .insert(d.next_hop);
             *observations.entry((d.observer, prefix)).or_default() += 1;
         }
     }

@@ -11,8 +11,8 @@
 //! it: "AS `observer` forwards toward *d* via `next_hop`". Those decisions
 //! are the unit of all Figure 1–3 and Table 3–4 statistics.
 
-use ir_types::{Asn, CityId, Continent, CountryId, Prefix};
 use ir_dataplane::{as_path_of, GeoDb, OriginTable, Traceroute};
+use ir_types::{Asn, CityId, Continent, CountryId, Prefix};
 
 /// A traceroute after conversion and annotation.
 #[derive(Debug, Clone)]
@@ -53,7 +53,9 @@ impl MeasuredPath {
         let mut mapped: Vec<(Asn, Option<CityId>)> = Vec::new();
         for h in &tr.hops {
             let Some(ip) = h.ip else { continue };
-            let Some(asn) = table.lookup(ip) else { continue };
+            let Some(asn) = table.lookup(ip) else {
+                continue;
+            };
             mapped.push((asn, geo.city(ip)));
         }
         let mut link_cities = vec![None; path.len() - 1];
@@ -97,13 +99,19 @@ impl MeasuredPath {
     /// continent. `None` when hops span continents or nothing geolocates.
     pub fn continental(&self) -> Option<Continent> {
         let first = *self.hop_continents.first()?;
-        self.hop_continents.iter().all(|c| *c == first).then_some(first)
+        self.hop_continents
+            .iter()
+            .all(|c| *c == first)
+            .then_some(first)
     }
 
     /// Whether every geolocatable hop stays in one country; returns it.
     pub fn domestic(&self) -> Option<CountryId> {
         let first = *self.hop_countries.first()?;
-        self.hop_countries.iter().all(|c| *c == first).then_some(first)
+        self.hop_countries
+            .iter()
+            .all(|c| *c == first)
+            .then_some(first)
     }
 
     /// The routing decisions this path exposes.

@@ -12,9 +12,9 @@
 
 use crate::classify::{Breakdown, Category, Classifier};
 use crate::dataset::MeasuredPath;
-use ir_types::{Asn, Continent};
 use ir_topology::geo::Geography;
 use ir_topology::orgs::OrgRegistry;
+use ir_types::{Asn, Continent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Figure 3: per-continent and continental-vs-not breakdowns.
@@ -33,11 +33,11 @@ pub struct GeoBreakdown {
 }
 
 /// Runs the Figure 3 analysis.
-pub fn continental_breakdown(
-    classifier: &mut Classifier<'_>,
-    paths: &[MeasuredPath],
-) -> GeoBreakdown {
-    let mut out = GeoBreakdown { total_paths: paths.len(), ..GeoBreakdown::default() };
+pub fn continental_breakdown(classifier: &Classifier<'_>, paths: &[MeasuredPath]) -> GeoBreakdown {
+    let mut out = GeoBreakdown {
+        total_paths: paths.len(),
+        ..GeoBreakdown::default()
+    };
     for p in paths {
         let continent = p.continental();
         if continent.is_some() {
@@ -96,7 +96,7 @@ impl DomesticStats {
 /// the modeled alternative is multinational and the AS demonstrably
 /// avoided it.
 pub fn domestic_stats(
-    classifier: &mut Classifier<'_>,
+    classifier: &Classifier<'_>,
     paths: &[MeasuredPath],
     registry: &OrgRegistry,
     geo: &Geography,
@@ -108,7 +108,9 @@ pub fn domestic_stats(
     for p in paths {
         // Only traceroutes that stayed inside one country are candidates
         // for the domestic-preference explanation (§6 "Domestic paths").
-        let Some(continent) = p.continental() else { continue };
+        let Some(continent) = p.continental() else {
+            continue;
+        };
         if p.domestic().is_none() {
             continue;
         }
@@ -122,17 +124,19 @@ pub fn domestic_stats(
             let entry = out.per_continent.entry(continent).or_insert((0, 0));
             entry.1 += 1;
             // Extract the model's preferred path and test for a foreign AS.
-            if !routes_cache.contains_key(&d.dest) {
-                routes_cache.insert(d.dest, classifier.model().routes_to(d.dest));
-            }
-            let routes = &routes_cache[&d.dest];
-            let Some(model_path) = routes.extract_path(d.observer) else { continue };
-            let multinational = model_path.iter().any(|asn| {
-                match registry.whois(*asn).map(|w| w.country) {
-                    Some(c) => Some(c) != src_country && Some(c) != dst_country,
-                    None => false,
-                }
-            });
+            let routes = routes_cache
+                .entry(d.dest)
+                .or_insert_with(|| classifier.model().routes_to(d.dest));
+            let Some(model_path) = routes.extract_path(d.observer) else {
+                continue;
+            };
+            let multinational =
+                model_path
+                    .iter()
+                    .any(|asn| match registry.whois(*asn).map(|w| w.country) {
+                        Some(c) => Some(c) != src_country && Some(c) != dst_country,
+                        None => false,
+                    });
             if multinational {
                 entry.0 += 1;
             }
@@ -188,11 +192,14 @@ impl CableStats {
 
 /// Runs the Table 4 analysis against the cable-AS side list.
 pub fn cable_stats(
-    classifier: &mut Classifier<'_>,
+    classifier: &Classifier<'_>,
     paths: &[MeasuredPath],
     cable_asns: &BTreeSet<Asn>,
 ) -> CableStats {
-    let mut out = CableStats { total_paths: paths.len(), ..CableStats::default() };
+    let mut out = CableStats {
+        total_paths: paths.len(),
+        ..CableStats::default()
+    };
     for p in paths {
         if p.path.iter().any(|a| cable_asns.contains(a)) {
             out.paths_with_cables += 1;
@@ -223,8 +230,8 @@ pub fn cable_stats(
 mod tests {
     use super::*;
     use crate::classify::ClassifyConfig;
-    use ir_types::{CityId, CountryId, Prefix, Relationship};
     use ir_topology::RelationshipDb;
+    use ir_types::{CityId, CountryId, Prefix, Relationship};
 
     fn db() -> RelationshipDb {
         use Relationship::*;
@@ -252,12 +259,12 @@ mod tests {
     #[test]
     fn continental_split() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         let paths = vec![
             path(3, &[3, 1, 5], &[Continent::Europe, Continent::Europe]),
             path(3, &[3, 1, 2, 5], &[Continent::Europe, Continent::Asia]),
         ];
-        let g = continental_breakdown(&mut c, &paths);
+        let g = continental_breakdown(&c, &paths);
         assert_eq!(g.total_paths, 2);
         assert_eq!(g.continental_paths, 1);
         assert_eq!(g.continental.total(), 2); // two decisions on the EU path
@@ -268,19 +275,23 @@ mod tests {
     #[test]
     fn cable_attribution() {
         let db = db();
-        let mut c = Classifier::new(&db, ClassifyConfig::default());
+        let c = Classifier::new(&db, ClassifyConfig::default());
         // 1→2→5 is NonBest/Long at 1 (the direct customer link 1–5 is
         // shorter and cheaper in the model).
         let paths = vec![path(1, &[1, 2, 5], &[Continent::Europe, Continent::Asia])];
         let cables: BTreeSet<Asn> = [Asn(2)].into_iter().collect();
-        let s = cable_stats(&mut c, &paths, &cables);
+        let s = cable_stats(&c, &paths, &cables);
         assert_eq!(s.paths_with_cables, 1);
         assert!(s.path_fraction() > 0.99);
         // Decision 1→2 involves the cable and is a violation; decision 2→5
         // involves it too (observer is the cable) but is model-consistent.
         assert_eq!(s.cable_decisions, (1, 2));
         assert!(s.deviant_fraction() > 0.0);
-        let nbl = s.per_category.get(&Category::NonBestLong).copied().unwrap_or((0, 0));
+        let nbl = s
+            .per_category
+            .get(&Category::NonBestLong)
+            .copied()
+            .unwrap_or((0, 0));
         assert_eq!(nbl, (1, 1));
     }
 }

@@ -19,10 +19,11 @@
 //! O(E log V); destinations are independent, and the classifier caches one
 //! [`GrRoutes`] per destination AS.
 
+use ir_topology::{RelationshipDb, TopologyArena};
 use ir_types::{Asn, Relationship};
-use ir_topology::RelationshipDb;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// The three Gao–Rexford route classes, cheapest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,43 +81,41 @@ const INF: u32 = u32::MAX;
 /// assert_eq!(routes.extract_path(Asn(2)), Some(vec![Asn(1), Asn(3)]));
 /// ```
 pub struct GrModel {
-    asns: Vec<Asn>,
-    index: BTreeMap<Asn, usize>,
-    /// Per node: `(neighbor, relationship-of-neighbor-from-node)`.
-    adj: Vec<Vec<(usize, Relationship)>>,
+    /// The workspace-wide dense topology index, shared (not copied) into
+    /// every [`GrRoutes`] this model produces.
+    arena: Arc<TopologyArena>,
 }
 
 impl GrModel {
     /// Indexes the topology.
     pub fn new(db: &RelationshipDb) -> GrModel {
-        let asns = db.asns();
-        let index: BTreeMap<Asn, usize> =
-            asns.iter().enumerate().map(|(i, &a)| (a, i)).collect();
-        let mut adj = vec![Vec::new(); asns.len()];
-        for (a, b, rel) in db.iter() {
-            let (ia, ib) = (index[&a], index[&b]);
-            adj[ia].push((ib, rel));
-            adj[ib].push((ia, rel.reverse()));
-        }
-        GrModel { asns, index, adj }
+        GrModel::from_arena(Arc::new(TopologyArena::build(db)))
+    }
+
+    /// Wraps an already-built arena (sharable across models and threads).
+    pub fn from_arena(arena: Arc<TopologyArena>) -> GrModel {
+        GrModel { arena }
+    }
+
+    /// The shared arena handle.
+    pub fn arena(&self) -> &Arc<TopologyArena> {
+        &self.arena
     }
 
     /// Number of ASes in the topology.
     pub fn len(&self) -> usize {
-        self.asns.len()
+        self.arena.len()
     }
 
     /// Whether the topology is empty.
     pub fn is_empty(&self) -> bool {
-        self.asns.is_empty()
+        self.arena.is_empty()
     }
 
     /// The relationship of `b` as seen from `a`, if the inferred topology
     /// knows the link.
     pub fn rel(&self, a: Asn, b: Asn) -> Option<Relationship> {
-        let ia = *self.index.get(&a)?;
-        let ib = *self.index.get(&b)?;
-        self.adj[ia].iter().find(|(n, _)| *n == ib).map(|(_, r)| *r)
+        self.arena.rel(a, b)
     }
 
     /// Computes the per-class shortest valley-free distances toward `dst`.
@@ -133,13 +132,26 @@ impl GrModel {
         F: Fn(Asn, Asn) -> bool,
     {
         let n = self.len();
+        let arena = &self.arena;
+        let interner = arena.interner();
         let mut dist = vec![[INF; 3]; n];
         let mut parent = vec![[usize::MAX; 3]; n];
-        let Some(&d) = self.index.get(&dst) else {
-            return GrRoutes { model_asns: self.asns.clone(), dst, dist, parent };
+        let Some(d) = interner.get(dst).map(|i| i as usize) else {
+            return GrRoutes {
+                arena: Arc::clone(arena),
+                dst,
+                dist,
+                parent,
+            };
         };
 
-        let ok = |x: usize, y: usize| edge_ok(self.asns[x], self.asns[y]);
+        let ok = |x: usize, y: usize| edge_ok(interner.asn(x as u32), interner.asn(y as u32));
+        let adj = |y: usize| {
+            arena
+                .neighbors(y as u32)
+                .iter()
+                .map(|&(x, rel)| (x as usize, rel))
+        };
 
         // Phase 1 — customer class: BFS from d ascending provider links
         // (and crossing sibling links).
@@ -148,7 +160,7 @@ impl GrModel {
             dist[d][c] = 0;
             let mut q = VecDeque::from([d]);
             while let Some(y) = q.pop_front() {
-                for &(x, rel) in &self.adj[y] {
+                for (x, rel) in adj(y) {
                     // rel = relationship of x from y; we may extend to x if x
                     // would route to y as its customer (y is x's customer,
                     // i.e. x is y's provider) or sibling.
@@ -172,7 +184,7 @@ impl GrModel {
             let p = RouteClass::Peer.idx();
             let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
             for x in 0..n {
-                for &(y, rel) in &self.adj[x] {
+                for (y, rel) in adj(x) {
                     if rel == Relationship::Peer && dist[y][c] != INF && ok(x, y) {
                         let cand = dist[y][c] + 1;
                         if cand < dist[x][p] {
@@ -189,7 +201,7 @@ impl GrModel {
                 if dv > dist[y][p] {
                     continue;
                 }
-                for &(x, rel) in &self.adj[y] {
+                for (x, rel) in adj(y) {
                     if rel.reverse() == Relationship::Sibling && ok(x, y) {
                         let cand = dv + 1;
                         if cand < dist[x][p] {
@@ -211,8 +223,8 @@ impl GrModel {
             let v = RouteClass::Provider.idx();
             let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
             // Seed: every node's best non-provider value can be extended.
-            for y in 0..n {
-                let base = dist[y][c].min(dist[y][p]);
+            for (y, dy) in dist.iter().enumerate() {
+                let base = dy[c].min(dy[p]);
                 if base != INF {
                     heap.push(Reverse((base, y)));
                 }
@@ -222,42 +234,48 @@ impl GrModel {
                 if dy > best_y {
                     continue;
                 }
-                for &(x, rel) in &self.adj[y] {
+                for (x, rel) in adj(y) {
                     // `rel` is x as seen from y. x may route through y as
                     // its provider or sibling — i.e. x is y's customer or
                     // sibling.
-                    if matches!(rel, Relationship::Customer | Relationship::Sibling) {
-                        if ok(x, y) {
-                            let cand = dy + 1;
-                            if cand < dist[x][v] {
-                                dist[x][v] = cand;
-                                parent[x][v] = y;
-                                let best_x = dist[x][c].min(dist[x][p]).min(cand);
-                                heap.push(Reverse((best_x.min(cand), x)));
-                            }
+                    if matches!(rel, Relationship::Customer | Relationship::Sibling) && ok(x, y) {
+                        let cand = dy + 1;
+                        if cand < dist[x][v] {
+                            dist[x][v] = cand;
+                            parent[x][v] = y;
+                            let best_x = dist[x][c].min(dist[x][p]).min(cand);
+                            heap.push(Reverse((best_x.min(cand), x)));
                         }
                     }
                 }
             }
         }
 
-        GrRoutes { model_asns: self.asns.clone(), dst, dist, parent }
+        GrRoutes {
+            arena: Arc::clone(arena),
+            dst,
+            dist,
+            parent,
+        }
     }
 
     /// The ASN at an internal index (used by [`GrRoutes`] path extraction).
     pub fn asn_at(&self, idx: usize) -> Asn {
-        self.asns[idx]
+        self.arena.interner().asn(idx as u32)
     }
 
     /// The internal index of an ASN.
     pub fn index_of(&self, asn: Asn) -> Option<usize> {
-        self.index.get(&asn).copied()
+        self.arena.interner().get(asn).map(|i| i as usize)
     }
 }
 
 /// Per-destination valley-free route structure.
+///
+/// Shares the model's arena by `Arc` — no per-destination copy of the ASN
+/// table is made.
 pub struct GrRoutes {
-    model_asns: Vec<Asn>,
+    arena: Arc<TopologyArena>,
     /// The destination.
     pub dst: Asn,
     dist: Vec<[u32; 3]>,
@@ -266,7 +284,11 @@ pub struct GrRoutes {
 
 impl GrRoutes {
     fn idx_of(&self, asn: Asn) -> Option<usize> {
-        self.model_asns.binary_search(&asn).ok()
+        self.arena.interner().get(asn).map(|i| i as usize)
+    }
+
+    fn asn_at(&self, idx: usize) -> Asn {
+        self.arena.interner().asn(idx as u32)
     }
 
     /// Distance from `x` to the destination in a given class.
@@ -278,12 +300,17 @@ impl GrRoutes {
 
     /// The best (cheapest) class with a valley-free route at `x`.
     pub fn best_class(&self, x: Asn) -> Option<RouteClass> {
-        RouteClass::ALL.into_iter().find(|c| self.dist(x, *c).is_some())
+        RouteClass::ALL
+            .into_iter()
+            .find(|c| self.dist(x, *c).is_some())
     }
 
     /// Shortest valley-free path length from `x`, over all classes.
     pub fn shortest_any(&self, x: Asn) -> Option<usize> {
-        RouteClass::ALL.into_iter().filter_map(|c| self.dist(x, c)).min()
+        RouteClass::ALL
+            .into_iter()
+            .filter_map(|c| self.dist(x, c))
+            .min()
     }
 
     /// Shortest valley-free path length within `x`'s best class.
@@ -300,7 +327,7 @@ impl GrRoutes {
         let mut c = class.idx();
         let mut out = Vec::new();
         let mut guard = 0;
-        while self.model_asns[i] != self.dst {
+        while self.asn_at(i) != self.dst {
             let next = self.parent[i][c];
             if next == usize::MAX {
                 // The peer/provider phases chain through lower classes: a
@@ -308,11 +335,8 @@ impl GrRoutes {
                 // parent chain, and the provider phase continues on
                 // whichever class seeded its value.
                 if c > 0 {
-                    c = (0..c)
-                        .rev()
-                        .find(|&k| self.dist[i][k] != INF)
-                        .unwrap_or(c);
-                    if self.parent[i][c] == usize::MAX && self.model_asns[i] != self.dst {
+                    c = (0..c).rev().find(|&k| self.dist[i][k] != INF).unwrap_or(c);
+                    if self.parent[i][c] == usize::MAX && self.asn_at(i) != self.dst {
                         return None;
                     }
                     continue;
@@ -323,7 +347,7 @@ impl GrRoutes {
             // remainder of the path continues at the parent in the class
             // that produced the recorded distance.
             let parent_idx = next;
-            out.push(self.model_asns[parent_idx]);
+            out.push(self.asn_at(parent_idx));
             // Determine the class at the parent that matches dist[i][c]-1.
             let want = self.dist[i][c].checked_sub(1)?;
             let pc = (0..3).find(|&k| self.dist[parent_idx][k] == want);
@@ -333,7 +357,7 @@ impl GrRoutes {
                 None => c.min(2),
             };
             guard += 1;
-            if guard > self.model_asns.len() + 3 {
+            if guard > self.arena.len() + 3 {
                 return None; // defensive: malformed parent chain
             }
         }
@@ -379,7 +403,11 @@ mod tests {
         let r = m.routes_to(Asn(6));
         assert_eq!(r.dist(Asn(3), RouteClass::Customer), Some(1));
         assert_eq!(r.dist(Asn(1), RouteClass::Customer), Some(2));
-        assert_eq!(r.dist(Asn(4), RouteClass::Customer), None, "4 has no customer route to 6");
+        assert_eq!(
+            r.dist(Asn(4), RouteClass::Customer),
+            None,
+            "4 has no customer route to 6"
+        );
         assert_eq!(r.best_class(Asn(1)), Some(RouteClass::Customer));
     }
 
@@ -439,7 +467,11 @@ mod tests {
         for asn in [1u32, 2, 3, 4, 5, 7, 8] {
             let x = Asn(asn);
             let path = r.extract_path(x).unwrap_or_else(|| panic!("{x} reachable"));
-            assert_eq!(path.len(), r.shortest_best_class(x).unwrap(), "length at {x}");
+            assert_eq!(
+                path.len(),
+                r.shortest_best_class(x).unwrap(),
+                "length at {x}"
+            );
             assert_eq!(*path.last().unwrap(), Asn(6));
         }
         // Destination itself: empty path.
@@ -464,7 +496,7 @@ mod tests {
         // Forbid the 3–6 edge: 6 only reachable... 6's only neighbor is 3,
         // so nobody reaches 6.
         let r = m.routes_to_filtered(Asn(6), |a, b| {
-            !(a == Asn(6) && b == Asn(3)) && !(a == Asn(3) && b == Asn(6))
+            !matches!((a, b), (Asn(6), Asn(3)) | (Asn(3), Asn(6)))
         });
         assert!(!r.reachable(Asn(1)));
         assert!(!r.reachable(Asn(3)));
@@ -488,8 +520,9 @@ mod differential_tests {
     //! random topologies.
 
     use super::*;
-    use proptest::prelude::*;
     use ir_topology::RelationshipDb;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
 
     /// Reference implementation: iterate the defining equations
     ///
@@ -525,8 +558,11 @@ mod differential_tests {
                 };
                 for (y, rel) in db.neighbors_of(x) {
                     // rel = y as seen from x.
-                    let best_y =
-                        [dc.get(&y), dp.get(&y), dv.get(&y)].into_iter().flatten().min().copied();
+                    let best_y = [dc.get(&y), dp.get(&y), dv.get(&y)]
+                        .into_iter()
+                        .flatten()
+                        .min()
+                        .copied();
                     match rel {
                         Relationship::Customer => {
                             keep_min(&mut cand_c, dc.get(&y).map(|v| v + 1));
@@ -544,7 +580,7 @@ mod differential_tests {
                         }
                     }
                 }
-                let mut apply = |map: &mut BTreeMap<Asn, usize>, cand: Option<usize>| {
+                let apply = |map: &mut BTreeMap<Asn, usize>, cand: Option<usize>| {
                     if let Some(c) = cand {
                         if map.get(&x).map(|v| c < *v).unwrap_or(true) {
                             map.insert(x, c);
@@ -563,7 +599,14 @@ mod differential_tests {
         }
         asns.into_iter()
             .map(|a| {
-                (a, [dc.get(&a).copied(), dp.get(&a).copied(), dv.get(&a).copied()])
+                (
+                    a,
+                    [
+                        dc.get(&a).copied(),
+                        dp.get(&a).copied(),
+                        dv.get(&a).copied(),
+                    ],
+                )
             })
             .collect()
     }

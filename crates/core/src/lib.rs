@@ -11,7 +11,10 @@
 //!   AS, with path extraction;
 //! * [`dataset`] — turning raw traceroutes into measured AS paths with
 //!   geographic context, and into per-AS routing *decisions*;
-//! * [`classify`] — the Best/Short four-way classification (§3.3);
+//! * [`classify`] — the Best/Short four-way classification (§3.3); the
+//!   [`classify::Classifier`] works through `&self` over a sharded route
+//!   cache, and [`classify::Classifier::classify_batch`] classifies whole
+//!   decision slices in parallel with verdicts in input order;
 //! * [`refine`] — the Figure 1 pipeline: complex relationships, siblings,
 //!   and the two prefix-specific-policy criteria (§4.1–4.3);
 //! * [`alternates`] — preference-order checks over poisoning-revealed
@@ -50,7 +53,5 @@ pub mod predict;
 pub mod refine;
 pub mod skew;
 pub mod validate;
-
-
 
 pub use grmodel::{GrModel, GrRoutes, RouteClass};

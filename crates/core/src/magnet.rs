@@ -19,9 +19,9 @@
 //! traceroutes), giving the two columns of Table 2.
 
 use crate::grmodel::RouteClass;
-use ir_types::Asn;
 use ir_measure::peering::{MagnetRun, Observation};
 use ir_topology::RelationshipDb;
+use ir_types::Asn;
 use std::collections::BTreeMap;
 
 /// Table 2 rows.
@@ -94,7 +94,9 @@ impl MagnetTally {
 /// know the link (such routes cannot be ranked, and the paper's analysis
 /// can only score neighbors CAIDA knows).
 fn cost(db: &RelationshipDb, x: Asn, o: &Observation) -> Option<u8> {
-    o.next_hop().and_then(|n| db.rel(x, n)).map(|r| RouteClass::of_rel(r) as u8)
+    o.next_hop()
+        .and_then(|n| db.rel(x, n))
+        .map(|r| RouteClass::of_rel(r) as u8)
 }
 
 /// Classifies one AS's post-anycast behavior in one magnet run.
@@ -112,8 +114,10 @@ pub fn classify_decision(
     // ranked; drop them from the comparison, and skip the AS entirely when
     // the chosen route itself is unrankable.
     let c_cost = cost(db, x, chosen)?;
-    let ranked: Vec<(&&Observation, u8)> =
-        others.iter().filter_map(|o| cost(db, x, o).map(|c| (o, c))).collect();
+    let ranked: Vec<(&&Observation, u8)> = others
+        .iter()
+        .filter_map(|o| cost(db, x, o).map(|c| (o, c)))
+        .collect();
     if ranked.is_empty() {
         // Nothing to compare against: uncontested best.
         return Some(MagnetDecision::BestRelationship);
@@ -125,8 +129,9 @@ pub fn classify_decision(
         .iter()
         .filter(|(_, c)| *c == c_cost)
         .all(|(o, _)| c_len < o.suffix.len());
-    let any_shorter_equal_cost_other =
-        ranked.iter().any(|(o, c)| *c == c_cost && o.suffix.len() < c_len);
+    let any_shorter_equal_cost_other = ranked
+        .iter()
+        .any(|(o, c)| *c == c_cost && o.suffix.len() < c_len);
 
     if any_cheaper_other || any_shorter_equal_cost_other {
         // More expensive than an observed alternative, or same cost but
@@ -162,7 +167,9 @@ pub fn analyze_runs(db: &RelationshipDb, runs: &[MagnetRun]) -> MagnetTally {
     let mut tally = MagnetTally::default();
     for run in runs {
         for (x, after) in &run.after {
-            let Some(before) = run.before.get(x) else { continue };
+            let Some(before) = run.before.get(x) else {
+                continue;
+            };
             let kept_magnet = after.suffix == before.suffix;
             let others: Vec<&Observation> = pool
                 .get(x)
@@ -256,7 +263,10 @@ mod tests {
         // Chosen next hop unknown to the topology: the AS is skipped.
         let chosen = obs(&[77, 99]);
         let other = obs(&[30, 99]);
-        assert_eq!(classify_decision(&db, Asn(10), false, &chosen, &[&other]), None);
+        assert_eq!(
+            classify_decision(&db, Asn(10), false, &chosen, &[&other]),
+            None
+        );
         // Unrankable alternatives are dropped from the comparison; a known
         // chosen route with only unrankable others is an uncontested best.
         let chosen = obs(&[30, 99]);
@@ -276,7 +286,12 @@ mod tests {
         o1.via_probe = true; // both channels
         before.insert(Asn(10), o1.clone());
         after.insert(Asn(10), o1);
-        let run = MagnetRun { magnet: Asn(99), before, after, truth_steps: BTreeMap::new() };
+        let run = MagnetRun {
+            magnet: Asn(99),
+            before,
+            after,
+            truth_steps: BTreeMap::new(),
+        };
         let t = analyze_runs(&db, std::slice::from_ref(&run));
         let (f, tr) = t.totals();
         assert_eq!(f, 1);

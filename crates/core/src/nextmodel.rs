@@ -18,12 +18,12 @@
 //! The model is *honestly obtainable*: both signals come from measurement
 //! procedures the paper actually ran, never from ground truth.
 
-use crate::classify::{Category, ClassifyConfig, Classifier};
+use crate::classify::{Category, Classifier, ClassifyConfig};
 use crate::dataset::{Decision, MeasuredPath};
-use ir_types::{Asn, CountryId};
 use ir_measure::AlternateDiscovery;
 use ir_topology::orgs::OrgRegistry;
 use ir_topology::RelationshipDb;
+use ir_types::{Asn, CountryId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The informed model: learned rankings + detected domestic preference,
@@ -49,7 +49,7 @@ impl InformedModel {
     pub fn learn(
         discoveries: &[AlternateDiscovery],
         paths: &[MeasuredPath],
-        classifier: &mut Classifier<'_>,
+        classifier: &Classifier<'_>,
         registry: &OrgRegistry,
         domestic_threshold: usize,
     ) -> InformedModel {
@@ -79,9 +79,15 @@ impl InformedModel {
             .map(|(a, _)| a)
             .collect();
 
-        let whois_country =
-            registry.whois_records().map(|w| (w.asn, w.country)).collect();
-        InformedModel { ranks, domestic, whois_country }
+        let whois_country = registry
+            .whois_records()
+            .map(|w| (w.asn, w.country))
+            .collect();
+        InformedModel {
+            ranks,
+            domestic,
+            whois_country,
+        }
     }
 
     /// Number of (AS, neighbor) pairs with a revealed ranking.
@@ -111,7 +117,9 @@ impl InformedModel {
     /// Whether the measured path of `d` (from the observer on) stays in
     /// the observer's whois country.
     fn decision_is_domestic(&self, d: &Decision, path: &[Asn]) -> bool {
-        let Some(home) = self.whois_country.get(&d.observer) else { return false };
+        let Some(home) = self.whois_country.get(&d.observer) else {
+            return false;
+        };
         path[d.path_index..]
             .iter()
             .all(|a| self.whois_country.get(a) == Some(home))
@@ -120,12 +128,7 @@ impl InformedModel {
     /// Classifies a decision under the informed model: the GR verdict,
     /// upgraded when learned rankings or detected domestic preference
     /// justify the choice.
-    pub fn classify(
-        &self,
-        classifier: &mut Classifier<'_>,
-        d: &Decision,
-        path: &[Asn],
-    ) -> Category {
+    pub fn classify(&self, classifier: &Classifier<'_>, d: &Decision, path: &[Asn]) -> Category {
         let base = classifier.classify(d);
         if base.category == Category::BestShort {
             return base.category;
@@ -159,7 +162,7 @@ impl InformedModel {
         cfg: ClassifyConfig<'_>,
         paths: &[MeasuredPath],
     ) -> (usize, usize, usize) {
-        let mut classifier = Classifier::new(db, cfg);
+        let classifier = Classifier::new(db, cfg);
         let mut gr = 0usize;
         let mut informed = 0usize;
         let mut total = 0usize;
@@ -169,7 +172,7 @@ impl InformedModel {
                 if !classifier.classify(&d).category.is_violation() {
                     gr += 1;
                 }
-                if self.classify(&mut classifier, &d, &p.path) == Category::BestShort {
+                if self.classify(&classifier, &d, &p.path) == Category::BestShort {
                     informed += 1;
                 }
             }
@@ -232,16 +235,15 @@ mod tests {
         // GR says: 1 routing to 5 via peer 2 is NonBest (customer 5 direct).
         // The poisoning experiment revealed that 1 actually prefers 2 first.
         let discoveries = vec![discovery(1, &[2, 5])];
-        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
-        let model =
-            InformedModel::learn(&discoveries, &[], &mut classifier, &empty_registry(), 1);
+        let classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model = InformedModel::learn(&discoveries, &[], &classifier, &empty_registry(), 1);
         assert_eq!(model.learned_pairs(), 2);
         let d = decision(1, 2, 5, 2);
         let path = [Asn(1), Asn(2), Asn(5)];
-        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        let c2 = Classifier::new(&db, ClassifyConfig::default());
         let gr = c2.classify(&d).category;
         assert!(!gr.is_best(), "plain GR flags the peer detour");
-        let informed = model.classify(&mut c2, &d, &path);
+        let informed = model.classify(&c2, &d, &path);
         assert!(informed.is_best(), "revealed ranking explains it");
     }
 
@@ -251,29 +253,28 @@ mod tests {
         // Revealed order at 1: prefers 5 first, then 2. Using 2 while 5
         // was available stays NonBest even under the informed model.
         let discoveries = vec![discovery(1, &[5, 2])];
-        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
-        let model =
-            InformedModel::learn(&discoveries, &[], &mut classifier, &empty_registry(), 1);
+        let classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model = InformedModel::learn(&discoveries, &[], &classifier, &empty_registry(), 1);
         let d = decision(1, 2, 5, 2);
         let path = [Asn(1), Asn(2), Asn(5)];
-        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
-        let informed = model.classify(&mut c2, &d, &path);
+        let c2 = Classifier::new(&db, ClassifyConfig::default());
+        let informed = model.classify(&c2, &d, &path);
         assert!(!informed.is_best());
     }
 
     #[test]
     fn no_data_falls_back_to_gr() {
         let db = db();
-        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
-        let model = InformedModel::learn(&[], &[], &mut classifier, &empty_registry(), 1);
+        let classifier = Classifier::new(&db, ClassifyConfig::default());
+        let model = InformedModel::learn(&[], &[], &classifier, &empty_registry(), 1);
         assert_eq!(model.learned_pairs(), 0);
         assert_eq!(model.domestic_ases(), 0);
         let d = decision(1, 5, 5, 1);
         let path = [Asn(1), Asn(5)];
-        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
+        let c2 = Classifier::new(&db, ClassifyConfig::default());
         let gr = c2.classify(&d).category;
-        let mut c3 = Classifier::new(&db, ClassifyConfig::default());
-        assert_eq!(model.classify(&mut c3, &d, &path), gr);
+        let c3 = Classifier::new(&db, ClassifyConfig::default());
+        assert_eq!(model.classify(&c3, &d, &path), gr);
     }
 
     #[test]
@@ -291,13 +292,13 @@ mod tests {
         }
         // A model with AS 1 marked domestic (manually, via a path set that
         // votes it over the threshold) upgrades its domestic detours.
-        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
-        let mut model = InformedModel::learn(&[], &[], &mut classifier, &reg, 1);
+        let classifier = Classifier::new(&db, ClassifyConfig::default());
+        let mut model = InformedModel::learn(&[], &[], &classifier, &reg, 1);
         model.domestic.insert(Asn(1));
         let d = decision(1, 2, 5, 2);
         let path = [Asn(1), Asn(2), Asn(5)];
-        let mut c2 = Classifier::new(&db, ClassifyConfig::default());
-        assert_eq!(model.classify(&mut c2, &d, &path), Category::BestShort);
+        let c2 = Classifier::new(&db, ClassifyConfig::default());
+        assert_eq!(model.classify(&c2, &d, &path), Category::BestShort);
         // A path through an AS in another country is not domestic.
         reg.add_whois(WhoisRecord {
             asn: Asn(2),
@@ -305,10 +306,10 @@ mod tests {
             org_field: "ORG-2B".into(),
             country: CountryId(9),
         });
-        let mut classifier = Classifier::new(&db, ClassifyConfig::default());
-        let mut model2 = InformedModel::learn(&[], &[], &mut classifier, &reg, 1);
+        let classifier = Classifier::new(&db, ClassifyConfig::default());
+        let mut model2 = InformedModel::learn(&[], &[], &classifier, &reg, 1);
         model2.domestic.insert(Asn(1));
-        let mut c3 = Classifier::new(&db, ClassifyConfig::default());
-        assert!(model2.classify(&mut c3, &d, &path).is_violation());
+        let c3 = Classifier::new(&db, ClassifyConfig::default());
+        assert!(model2.classify(&c3, &d, &path).is_violation());
     }
 }

@@ -13,7 +13,7 @@
 //! | `All1`    | Complex + Sibs + Psp1 |
 //! | `All2`    | Complex + Sibs + Psp2 |
 
-use crate::classify::{Breakdown, ClassifyConfig, Classifier, PspCriterion};
+use crate::classify::{Breakdown, Classifier, ClassifyConfig, PspCriterion};
 use crate::dataset::Decision;
 use ir_inference::feeds::BgpFeed;
 use ir_inference::{ComplexRelDb, SiblingGroups};
@@ -104,7 +104,10 @@ impl<'a> RefineInputs<'a> {
         db: &'a RelationshipDb,
         decisions: &[Decision],
     ) -> Vec<(Variant, Breakdown)> {
-        Variant::ALL.into_iter().map(|v| (v, self.run(db, decisions, v))).collect()
+        Variant::ALL
+            .into_iter()
+            .map(|v| (v, self.run(db, decisions, v)))
+            .collect()
     }
 }
 
@@ -144,7 +147,11 @@ mod tests {
         let world = ir_topology::GeneratorConfig::tiny().build(1);
         let siblings = SiblingGroups::infer(&world.orgs);
         let feed = BgpFeed::default();
-        let inputs = RefineInputs { complex: &complex, siblings: &siblings, feed: &feed };
+        let inputs = RefineInputs {
+            complex: &complex,
+            siblings: &siblings,
+            feed: &feed,
+        };
         let decisions = vec![decision(1, 5, 5, 1), decision(1, 2, 5, 2)];
         let all = inputs.run_all(&db, &decisions);
         assert_eq!(all.len(), 7);
@@ -178,7 +185,11 @@ mod tests {
                 path: vec![Asn(1), Asn(2), Asn(5)],
             }],
         };
-        let inputs = RefineInputs { complex: &complex, siblings: &siblings, feed: &feed };
+        let inputs = RefineInputs {
+            complex: &complex,
+            siblings: &siblings,
+            feed: &feed,
+        };
         // Plain model: the direct customer edge 1–5 predicts a length-1
         // customer route, so the measured peer detour is NonBest *and*
         // Long.
@@ -188,11 +199,19 @@ mod tests {
         // best class at 1 becomes peer with length 2 — the decision is
         // fully explained.
         let psp1 = inputs.run(&db, std::slice::from_ref(&d), Variant::Psp1);
-        assert_eq!(psp1.count(Category::BestShort), 1, "PSP-1 explains the decision");
+        assert_eq!(
+            psp1.count(Category::BestShort),
+            1,
+            "PSP-1 explains the decision"
+        );
         // PSP-2 needs evidence that the 1–5 edge ever carried a prefix; the
         // feed never shows it, so the edge is kept and the decision stays
         // unexplained.
         let psp2 = inputs.run(&db, std::slice::from_ref(&d), Variant::Psp2);
-        assert_eq!(psp2.count(Category::NonBestLong), 1, "PSP-2 is conservative");
+        assert_eq!(
+            psp2.count(Category::NonBestLong),
+            1,
+            "PSP-2 is conservative"
+        );
     }
 }

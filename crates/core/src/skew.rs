@@ -28,15 +28,18 @@ pub struct Violation {
 }
 
 /// Extracts the violations (every decision not Best/Short) from a decision
-/// set under a configured classifier.
-pub fn violations(classifier: &mut Classifier<'_>, decisions: &[Decision]) -> Vec<Violation> {
-    decisions
-        .iter()
-        .filter_map(|d| {
-            let v = classifier.classify(d);
-            v.category
-                .is_violation()
-                .then(|| Violation { decision: d.clone(), category: v.category })
+/// set under a configured classifier. Classification runs in parallel via
+/// [`Classifier::classify_batch`]; the returned violations keep input order.
+pub fn violations(classifier: &Classifier<'_>, decisions: &[Decision]) -> Vec<Violation> {
+    classifier
+        .classify_batch(decisions)
+        .into_iter()
+        .zip(decisions)
+        .filter_map(|(v, d)| {
+            v.category.is_violation().then(|| Violation {
+                decision: d.clone(),
+                category: v.category,
+            })
         })
         .collect()
 }
@@ -80,7 +83,11 @@ impl SkewCurve {
         let mut acc = 0usize;
         for &(_, n) in &self.ranked {
             acc += n;
-            out.push(if self.total == 0 { 0.0 } else { acc as f64 / self.total as f64 });
+            out.push(if self.total == 0 {
+                0.0
+            } else {
+                acc as f64 / self.total as f64
+            });
         }
         out
     }
@@ -166,14 +173,15 @@ mod tests {
     #[test]
     fn skew_coefficient_orders_even_vs_concentrated() {
         // Concentrated: one destination holds everything.
-        let conc: Vec<Violation> =
-            (0..10).map(|i| violation(i, 100, Category::NonBestLong)).collect();
+        let conc: Vec<Violation> = (0..10)
+            .map(|i| violation(i, 100, Category::NonBestLong))
+            .collect();
         // Even: ten destinations with one each.
-        let even: Vec<Violation> =
-            (0..10).map(|i| violation(i, 100 + i, Category::NonBestLong)).collect();
+        let even: Vec<Violation> = (0..10)
+            .map(|i| violation(i, 100 + i, Category::NonBestLong))
+            .collect();
         let c1 = SkewCurve::build(&conc, SkewBy::Destination, None);
         let c2 = SkewCurve::build(&even, SkewBy::Destination, None);
-        assert!(c1.skew_coefficient() <= c2.skew_coefficient() + 1e-9 || true);
         // A single-AS curve degenerates to 0 by convention.
         assert!((c1.skew_coefficient() - 0.0).abs() < 1e-9);
         assert!((c2.skew_coefficient() - 0.0).abs() < 1e-9);

@@ -7,10 +7,10 @@
 //! neighbor ASes and measured 78% precision for criterion 1 over 10
 //! manually-verified cases.
 
-use ir_types::{Asn, Prefix};
 use ir_inference::feeds::BgpFeed;
 use ir_measure::LookingGlassNet;
 use ir_topology::{RelationshipDb, World};
+use ir_types::{Asn, Prefix};
 use std::collections::BTreeSet;
 
 /// One PSP inference: "origin does not announce `prefix` to `neighbor`".
@@ -34,7 +34,11 @@ pub fn psp_cases(db: &RelationshipDb, feed: &BgpFeed, origins: &[(Asn, Prefix)])
             if feed.announces_any_to(origin, neighbor)
                 && !feed.announces_to(origin, neighbor, prefix)
             {
-                out.push(PspCase { origin, neighbor, prefix });
+                out.push(PspCase {
+                    origin,
+                    neighbor,
+                    prefix,
+                });
             }
         }
     }
@@ -81,7 +85,11 @@ pub fn validate_cases(
     let neighbors: BTreeSet<Asn> = cases.iter().map(|c| c.neighbor).collect();
     report.neighbor_ases = neighbors.len();
     report.neighbors_with_glass = neighbors.iter().filter(|n| lg.has_glass(**n)).count();
-    for case in cases.iter().filter(|c| lg.has_glass(c.neighbor)).take(limit) {
+    for case in cases
+        .iter()
+        .filter(|c| lg.has_glass(c.neighbor))
+        .take(limit)
+    {
         let Some(routes) = lg.query(world, case.neighbor, case.prefix, case.origin) else {
             continue;
         };
@@ -111,24 +119,42 @@ mod tests {
         let other: Prefix = "10.0.1.0/24".parse().unwrap();
         let feed = BgpFeed {
             entries: vec![
-                FeedEntry { prefix: pfx, path: vec![Asn(9), Asn(1), Asn(5)] },
+                FeedEntry {
+                    prefix: pfx,
+                    path: vec![Asn(9), Asn(1), Asn(5)],
+                },
                 // The 5–2 edge carries *another* prefix, so its silence on
                 // `pfx` is a policy signal, not poor visibility.
-                FeedEntry { prefix: other, path: vec![Asn(9), Asn(2), Asn(5)] },
+                FeedEntry {
+                    prefix: other,
+                    path: vec![Asn(9), Asn(2), Asn(5)],
+                },
             ],
         };
         let cases = psp_cases(&db, &feed, &[(Asn(5), pfx)]);
         // Edge 5–1 evidenced for `pfx`; 5–2 evidenced only for `other`.
-        assert_eq!(cases, vec![PspCase { origin: Asn(5), neighbor: Asn(2), prefix: pfx }]);
+        assert_eq!(
+            cases,
+            vec![PspCase {
+                origin: Asn(5),
+                neighbor: Asn(2),
+                prefix: pfx
+            }]
+        );
         // Without any evidence on an edge, no case is raised (the gate).
         let silent = BgpFeed {
-            entries: vec![FeedEntry { prefix: pfx, path: vec![Asn(9), Asn(1), Asn(5)] }],
+            entries: vec![FeedEntry {
+                prefix: pfx,
+                path: vec![Asn(9), Asn(1), Asn(5)],
+            }],
         };
-        assert!(psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty() || {
-            // 5–1 carries pfx, so only 5–2 could be a case — and it is
-            // gated away.
-            psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty()
-        });
+        assert!(
+            psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty() || {
+                // 5–1 carries pfx, so only 5–2 could be a case — and it is
+                // gated away.
+                psp_cases(&db, &silent, &[(Asn(5), pfx)]).is_empty()
+            }
+        );
     }
 
     #[test]
@@ -144,7 +170,10 @@ mod tests {
             .iter()
             .enumerate()
             .find_map(|(i, p)| {
-                p.selective_announce.iter().next().map(|(pfx, allowed)| (i, *pfx, allowed.clone()))
+                p.selective_announce
+                    .iter()
+                    .next()
+                    .map(|(pfx, allowed)| (i, *pfx, allowed.clone()))
             })
             .expect("generated world has PSPs");
         let origin = world.graph.asn(idx);
@@ -159,7 +188,11 @@ mod tests {
         if !lg.has_glass(excluded) {
             return; // only transit ASes host glasses
         }
-        let case = PspCase { origin, neighbor: excluded, prefix };
+        let case = PspCase {
+            origin,
+            neighbor: excluded,
+            prefix,
+        };
         let report = validate_cases(&world, &lg, &[case], 10);
         assert_eq!(report.checkable, 1);
         // Ground truth says the origin really does not announce to this

@@ -7,13 +7,16 @@
 //! collide. A reserved, *unannounced* IXP block provides the shared
 //! interconnection addresses that defeat IP→AS mapping at exchange points.
 
-use ir_types::{Asn, CityId, Ipv4, Prefix};
 use ir_topology::World;
+use ir_types::{Asn, CityId, Ipv4, Prefix};
 use std::collections::BTreeMap;
 
 /// The unannounced IXP address block (plays the role of 198.32.0.0/16-style
 /// exchange fabrics).
-pub const IXP_BLOCK: Prefix = Prefix { base: Ipv4(0xC620_0000), len: 16 }; // 198.32.0.0/16
+pub const IXP_BLOCK: Prefix = Prefix {
+    base: Ipv4(0xC620_0000),
+    len: 16,
+}; // 198.32.0.0/16
 
 /// Address plan for a world.
 pub struct AddressPlan {
@@ -39,7 +42,10 @@ impl AddressPlan {
                 reverse.entry(ip).or_insert((node.asn, city));
             }
         }
-        AddressPlan { router_ifaces, reverse }
+        AddressPlan {
+            router_ifaces,
+            reverse,
+        }
     }
 
     /// The router interface of `asn` at `city`, if the AS has a PoP there.
@@ -85,7 +91,11 @@ mod tests {
         for node in w.graph.nodes() {
             for &city in &node.presence {
                 let ip = plan.router(node.asn, city).expect("PoP has an interface");
-                assert!(node.prefixes[0].contains(ip), "{} interface outside prefix", node.asn);
+                assert!(
+                    node.prefixes[0].contains(ip),
+                    "{} interface outside prefix",
+                    node.asn
+                );
                 // Interfaces never collide with deployment server addresses
                 // (servers are at the top of their prefix).
                 assert_ne!(ip, node.prefixes[0].addr(node.prefixes[0].size() - 1));

@@ -9,8 +9,8 @@
 //! for infrastructure geolocation).
 
 use crate::addr::AddressPlan;
-use ir_types::{CityId, Continent, CountryId, Ipv4};
 use ir_topology::World;
+use ir_types::{CityId, Continent, CountryId, Ipv4};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
@@ -27,7 +27,10 @@ pub struct GeoConfig {
 
 impl Default for GeoConfig {
     fn default() -> Self {
-        GeoConfig { miss_rate: 0.02, wrong_city_rate: 0.03 }
+        GeoConfig {
+            miss_rate: 0.02,
+            wrong_city_rate: 0.03,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ impl GeoDb {
     /// An empty database (every lookup misses). Useful for pure-path unit
     /// tests in downstream crates.
     pub fn empty() -> GeoDb {
-        GeoDb { entries: BTreeMap::new(), city_country: Vec::new(), country_continent: Vec::new() }
+        GeoDb {
+            entries: BTreeMap::new(),
+            city_country: Vec::new(),
+            country_continent: Vec::new(),
+        }
     }
 
     /// Builds the database from the world's address plan and server
@@ -76,12 +83,7 @@ impl GeoDb {
         GeoDb {
             entries,
             city_country: world.geo.cities().iter().map(|c| c.country).collect(),
-            country_continent: world
-                .geo
-                .countries()
-                .iter()
-                .map(|c| c.continent)
-                .collect(),
+            country_continent: world.geo.countries().iter().map(|c| c.continent).collect(),
         }
     }
 
@@ -112,7 +114,8 @@ impl GeoDb {
 
     /// Continent an address geolocates to.
     pub fn continent(&self, ip: Ipv4) -> Option<Continent> {
-        self.country(ip).map(|c| self.country_continent[c.0 as usize])
+        self.country(ip)
+            .map(|c| self.country_continent[c.0 as usize])
     }
 
     /// Number of addresses in the database.
@@ -140,7 +143,10 @@ mod tests {
     #[test]
     fn perfect_db_matches_ground_truth() {
         let (w, plan) = setup();
-        let cfg = GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 };
+        let cfg = GeoConfig {
+            miss_rate: 0.0,
+            wrong_city_rate: 0.0,
+        };
         let db = GeoDb::build(&w, &plan, cfg, 1);
         for node in w.graph.nodes() {
             for &city in &node.presence {
@@ -160,11 +166,35 @@ mod tests {
     #[test]
     fn error_model_misses_and_mislocates() {
         let (w, plan) = setup();
-        let lossy = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.5, wrong_city_rate: 0.0 }, 2);
-        let perfect = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 }, 2);
+        let lossy = GeoDb::build(
+            &w,
+            &plan,
+            GeoConfig {
+                miss_rate: 0.5,
+                wrong_city_rate: 0.0,
+            },
+            2,
+        );
+        let perfect = GeoDb::build(
+            &w,
+            &plan,
+            GeoConfig {
+                miss_rate: 0.0,
+                wrong_city_rate: 0.0,
+            },
+            2,
+        );
         assert!(lossy.len() < perfect.len(), "misses reduce coverage");
 
-        let wrong = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 1.0 }, 3);
+        let wrong = GeoDb::build(
+            &w,
+            &plan,
+            GeoConfig {
+                miss_rate: 0.0,
+                wrong_city_rate: 1.0,
+            },
+            3,
+        );
         // Wrong-city entries stay in the right country.
         let mut mismatches = 0;
         for node in w.graph.nodes() {
@@ -184,13 +214,24 @@ mod tests {
                 }
             }
         }
-        assert!(mismatches > 0, "wrong_city_rate=1.0 mislocates multi-city countries");
+        assert!(
+            mismatches > 0,
+            "wrong_city_rate=1.0 mislocates multi-city countries"
+        );
     }
 
     #[test]
     fn servers_are_geolocated() {
         let (w, plan) = setup();
-        let db = GeoDb::build(&w, &plan, GeoConfig { miss_rate: 0.0, wrong_city_rate: 0.0 }, 4);
+        let db = GeoDb::build(
+            &w,
+            &plan,
+            GeoConfig {
+                miss_rate: 0.0,
+                wrong_city_rate: 0.0,
+            },
+            4,
+        );
         let d = &w.content.providers()[0].deployments[0];
         assert!(db.city(d.server_ip()).is_some());
     }

@@ -7,8 +7,8 @@
 //! (a conversion artifact) are rejected.
 
 use crate::trace::Traceroute;
-use ir_types::{Asn, Ipv4, Prefix};
 use ir_bgp::RoutingUniverse;
+use ir_types::{Asn, Ipv4, Prefix};
 
 /// Prefix → origin-AS table, as derived from BGP data.
 #[derive(Debug, Clone, Default)]
@@ -79,7 +79,9 @@ pub fn as_path_of(tr: &Traceroute, table: &OriginTable) -> Option<Vec<Asn>> {
     let mut path = vec![tr.src_as];
     for hop in &tr.hops {
         let Some(ip) = hop.ip else { continue }; // unresponsive hop: bridge
-        let Some(asn) = table.lookup(ip) else { continue }; // IXP/unmapped: bridge
+        let Some(asn) = table.lookup(ip) else {
+            continue;
+        }; // IXP/unmapped: bridge
         if path.last() != Some(&asn) {
             path.push(asn);
         }
@@ -108,7 +110,11 @@ mod tests {
     }
 
     fn hop(ip: Option<Ipv4>) -> Hop {
-        Hop { ip, true_asn: None, true_city: None }
+        Hop {
+            ip,
+            true_asn: None,
+            true_city: None,
+        }
     }
 
     #[test]
@@ -135,11 +141,11 @@ mod tests {
         let t = table();
         let tr = mk_trace(
             vec![
-                hop(Some(Ipv4::new(10, 1, 0, 1))), // AS100
-                hop(Some(Ipv4::new(10, 1, 0, 2))), // AS100 again → collapse
-                hop(None),                         // star → bridge
+                hop(Some(Ipv4::new(10, 1, 0, 1))),   // AS100
+                hop(Some(Ipv4::new(10, 1, 0, 2))),   // AS100 again → collapse
+                hop(None),                           // star → bridge
                 hop(Some(Ipv4::new(198, 32, 0, 5))), // unmapped IXP → bridge
-                hop(Some(Ipv4::new(10, 2, 0, 9))), // AS300
+                hop(Some(Ipv4::new(10, 2, 0, 9))),   // AS300
             ],
             true,
         );

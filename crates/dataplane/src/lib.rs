@@ -28,4 +28,4 @@ pub mod trace;
 pub use addr::AddressPlan;
 pub use geo::GeoDb;
 pub use ip2as::{as_path_of, OriginTable};
-pub use trace::{Hop, TraceConfig, Traceroute, Tracer};
+pub use trace::{Hop, TraceConfig, Tracer, Traceroute};

@@ -16,10 +16,10 @@
 //! * **unresponsive hops** — `*`.
 
 use crate::addr::AddressPlan;
-use ir_types::{Asn, CityId, Ipv4, Timestamp};
 use ir_bgp::RoutingUniverse;
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
+use ir_types::{Asn, CityId, Ipv4, Timestamp};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -131,7 +131,13 @@ impl<'a> Tracer<'a> {
         cfg: TraceConfig,
         seed: u64,
     ) -> Tracer<'a> {
-        Tracer { world, universe, plan, cfg, seed }
+        Tracer {
+            world,
+            universe,
+            plan,
+            cfg,
+            seed,
+        }
     }
 
     fn rng_for(&self, src: Asn, dst: Ipv4) -> StdRng {
@@ -207,7 +213,14 @@ impl<'a> Tracer<'a> {
 
     /// Emits the ingress hop of `node` at `city`, where the packet came
     /// from `prev` — applying the artifact model.
-    fn emit(&self, tr: &mut Traceroute, node: NodeIdx, prev: NodeIdx, city: CityId, rng: &mut StdRng) {
+    fn emit(
+        &self,
+        tr: &mut Traceroute,
+        node: NodeIdx,
+        prev: NodeIdx,
+        city: CityId,
+        rng: &mut StdRng,
+    ) {
         let asn = self.world.graph.asn(node);
         let roll: f64 = rng.random();
         let c = &self.cfg;
@@ -221,16 +234,29 @@ impl<'a> Tracer<'a> {
                 .router(self.world.graph.asn(prev), city)
                 .or_else(|| self.plan.any_router(self.world.graph.asn(prev)))
         } else {
-            self.plan.router(asn, city).or_else(|| self.plan.any_router(asn))
+            self.plan
+                .router(asn, city)
+                .or_else(|| self.plan.any_router(asn))
         };
-        tr.hops.push(Hop { ip, true_asn: Some(asn), true_city: Some(city) });
+        tr.hops.push(Hop {
+            ip,
+            true_asn: Some(asn),
+            true_city: Some(city),
+        });
     }
 
     /// Emits an artifact-free intra-AS hop.
     fn emit_plain(&self, tr: &mut Traceroute, node: NodeIdx, city: CityId) {
         let asn = self.world.graph.asn(node);
-        let ip = self.plan.router(asn, city).or_else(|| self.plan.any_router(asn));
-        tr.hops.push(Hop { ip, true_asn: Some(asn), true_city: Some(city) });
+        let ip = self
+            .plan
+            .router(asn, city)
+            .or_else(|| self.plan.any_router(asn));
+        tr.hops.push(Hop {
+            ip,
+            true_asn: Some(asn),
+            true_city: Some(city),
+        });
     }
 
     /// Convenience: the time a traceroute nominally takes; used by the
@@ -259,32 +285,55 @@ mod tests {
             let world = GeneratorConfig::tiny().build(6);
             let universe = RoutingUniverse::compute_all(&world);
             let plan = AddressPlan::build(&world);
-            Fixture { world, universe, plan }
+            Fixture {
+                world,
+                universe,
+                plan,
+            }
         })
     }
 
     fn no_artifacts() -> TraceConfig {
-        TraceConfig { third_party_rate: 0.0, ixp_rate: 0.0, star_rate: 0.0, extra_hop_rate: 0.0 }
+        TraceConfig {
+            third_party_rate: 0.0,
+            ixp_rate: 0.0,
+            star_rate: 0.0,
+            extra_hop_rate: 0.0,
+        }
     }
 
     fn pick_src_dst(f: &Fixture) -> (Asn, Ipv4) {
-        // A stub probe and a content deployment server.
-        let src = f
+        // A stub probe and a content deployment server whose prefix the
+        // probe's AS actually has a route toward — random worlds may leave
+        // some (stub, deployment) pairs unreachable under policy.
+        for src in f
             .world
             .graph
             .nodes()
             .iter()
-            .find(|n| n.asn.value() >= 20_000)
-            .unwrap()
-            .asn;
-        let d = &f.world.content.providers()[0].deployments[0];
-        (src, d.server_ip())
+            .filter(|n| n.asn.value() >= 20_000)
+        {
+            let src_idx = f.world.graph.index_of(src.asn).unwrap();
+            for p in f.world.content.providers() {
+                for d in &p.deployments {
+                    let ip = d.server_ip();
+                    let reachable = f
+                        .universe
+                        .lpm(ip)
+                        .is_some_and(|pfx| f.universe.route(pfx, src_idx).is_some());
+                    if reachable {
+                        return (src.asn, ip);
+                    }
+                }
+            }
+        }
+        panic!("no reachable (probe, deployment) pair in fixture world");
     }
 
     #[test]
     fn clean_traceroute_matches_control_plane_path() {
         let f = fixture();
-        let (src, dst) = pick_src_dst(&f);
+        let (src, dst) = pick_src_dst(f);
         let tracer = Tracer::new(&f.world, &f.universe, &f.plan, no_artifacts(), 1);
         let tr = tracer.run(src, dst);
         assert!(tr.reached, "destination answered");
@@ -305,7 +354,7 @@ mod tests {
     #[test]
     fn traceroutes_are_deterministic() {
         let f = fixture();
-        let (src, dst) = pick_src_dst(&f);
+        let (src, dst) = pick_src_dst(f);
         let tracer = Tracer::new(&f.world, &f.universe, &f.plan, TraceConfig::default(), 9);
         let a = tracer.run(src, dst);
         let b = tracer.run(src, dst);
@@ -326,7 +375,14 @@ mod tests {
         let mut stars = 0;
         let mut ixp = 0;
         let mut third = 0;
-        for node in f.world.graph.nodes().iter().filter(|n| n.asn.value() >= 20_000).take(30) {
+        for node in f
+            .world
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| n.asn.value() >= 20_000)
+            .take(30)
+        {
             let d = &f.world.content.providers()[0].deployments[0];
             let tr = tracer.run(node.asn, d.server_ip());
             for h in &tr.hops {
@@ -351,7 +407,7 @@ mod tests {
     #[test]
     fn unroutable_destination_unreached() {
         let f = fixture();
-        let (src, _) = pick_src_dst(&f);
+        let (src, _) = pick_src_dst(f);
         let tracer = Tracer::new(&f.world, &f.universe, &f.plan, no_artifacts(), 3);
         let tr = tracer.run(src, Ipv4::new(203, 0, 113, 7));
         assert!(!tr.reached);
@@ -362,7 +418,7 @@ mod tests {
         // A traceroute exposes a decision for each AS along the path;
         // the true path must contain no gaps relative to forwarding.
         let f = fixture();
-        let (src, dst) = pick_src_dst(&f);
+        let (src, dst) = pick_src_dst(f);
         let tracer = Tracer::new(&f.world, &f.universe, &f.plan, no_artifacts(), 4);
         let tr = tracer.run(src, dst);
         let path = tr.true_as_path();
@@ -370,7 +426,12 @@ mod tests {
         for w in path.windows(2) {
             let a = f.world.graph.index_of(w[0]).unwrap();
             let b = f.world.graph.index_of(w[1]).unwrap();
-            assert!(f.world.graph.link(a, b).is_some(), "{} - {} adjacent", w[0], w[1]);
+            assert!(
+                f.world.graph.link(a, b).is_some(),
+                "{} - {} adjacent",
+                w[0],
+                w[1]
+            );
         }
     }
 }

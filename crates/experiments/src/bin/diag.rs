@@ -5,7 +5,10 @@ use ir_experiments::{scenario::ScenarioConfig, Scenario};
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
-    let seed = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seed = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     let cfg = match scale.as_str() {
         "tiny" => ScenarioConfig::tiny(seed),
         _ => ScenarioConfig::paper_scale(seed),

@@ -30,7 +30,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--scale" => scale = args.next().unwrap_or_else(|| usage()),
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -38,8 +43,20 @@ fn main() {
         }
     }
     let all = [
-        "stats", "table1", "fig1", "table2", "alternates", "fig2", "fig3", "table3", "table4",
-        "validation", "informed", "consistency", "lg_augment", "predict",
+        "stats",
+        "table1",
+        "fig1",
+        "table2",
+        "alternates",
+        "fig2",
+        "fig3",
+        "table3",
+        "table4",
+        "validation",
+        "informed",
+        "consistency",
+        "lg_augment",
+        "predict",
     ];
     if wanted.is_empty() {
         wanted = all.iter().map(|s| s.to_string()).collect();
@@ -175,7 +192,11 @@ fn main() {
     if let Some(path) = json_path {
         let write = || -> std::io::Result<()> {
             let mut f = std::fs::File::create(&path)?;
-            writeln!(f, "{}", serde_json::to_string_pretty(&out).expect("serialize"))
+            writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&out).expect("serialize")
+            )
         };
         if let Err(e) = write() {
             eprintln!("error: cannot write {path}: {e}");

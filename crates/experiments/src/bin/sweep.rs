@@ -43,7 +43,15 @@ fn main() {
 
     println!(
         "{:>4} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9} {:>10} {:>9}",
-        "seed", "Simple%", "All-1%", "All-2%", "Cont%", "NonCont%", "Domestic%", "DestSkew", "SrcSkew"
+        "seed",
+        "Simple%",
+        "All-1%",
+        "All-2%",
+        "Cont%",
+        "NonCont%",
+        "Domestic%",
+        "DestSkew",
+        "SrcSkew"
     );
     let mut rows = Vec::new();
     for seed in 1..=seeds {
@@ -120,5 +128,8 @@ fn main() {
         .iter()
         .filter(|r| r.all1 >= r.simple && r.cont > r.non_cont && r.dest_skew > r.src_skew)
         .count();
-    println!("seeds with all headline shapes intact: {robust}/{}", rows.len());
+    println!(
+        "seeds with all headline shapes intact: {robust}/{}",
+        rows.len()
+    );
 }

@@ -54,8 +54,10 @@ pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
         .iter()
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
-    let verdicts: Vec<OrderVerdict> =
-        discoveries.iter().map(|d| check_order(&s.inferred, d)).collect();
+    let verdicts: Vec<OrderVerdict> = discoveries
+        .iter()
+        .map(|d| check_order(&s.inferred, d))
+        .collect();
     let summary = OrderSummary::tally(verdicts.iter());
     let acc = LinkAccounting::build(&s.inferred, &discoveries);
 
@@ -105,7 +107,7 @@ impl Alternates {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn result() -> &'static Alternates {

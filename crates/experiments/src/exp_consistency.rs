@@ -67,7 +67,11 @@ impl Consistency {
         t.row(&[
             "campaign (with artifacts)".into(),
             self.pairs_checked.to_string(),
-            format!("{} ({:.2}%)", self.inconsistent, 100.0 * self.violation_rate),
+            format!(
+                "{} ({:.2}%)",
+                self.inconsistent,
+                100.0 * self.violation_rate
+            ),
         ]);
         t.row(&[
             "artifact-free control".into(),
@@ -81,12 +85,11 @@ impl Consistency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn artifacts_explain_all_inconsistencies() {
         let s = crate::testutil::tiny7();
-        let r = run(&s);
+        let r = run(s);
         assert!(r.pairs_checked > 50);
         // The clean control is perfectly destination-based.
         assert_eq!(r.clean_inconsistent, 0, "no artifacts ⇒ no inconsistencies");

@@ -59,7 +59,13 @@ impl Fig1 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Figure 1: Breakdown of routing decisions (percent of decisions)",
-            &["Variant", "Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long"],
+            &[
+                "Variant",
+                "Best/Short",
+                "NonBest/Short",
+                "Best/Long",
+                "NonBest/Long",
+            ],
         );
         for b in &self.bars {
             t.row(&[
@@ -77,7 +83,7 @@ impl Fig1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn fig1() -> &'static Fig1 {

@@ -6,7 +6,7 @@
 
 use crate::report::TextTable;
 use crate::scenario::Scenario;
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_core::skew::{violations, SkewBy, SkewCurve};
 use serde::Serialize;
 
@@ -35,8 +35,8 @@ pub struct Fig2 {
 
 /// Runs the experiment.
 pub fn run(s: &Scenario) -> Fig2 {
-    let mut classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
-    let vs = violations(&mut classifier, &s.decisions);
+    let classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let vs = violations(&classifier, &s.decisions);
     let dest = SkewCurve::build(&vs, SkewBy::Destination, None);
     let src = SkewCurve::build(&vs, SkewBy::Source, None);
 
@@ -55,7 +55,13 @@ pub fn run(s: &Scenario) -> Fig2 {
         .ranked
         .iter()
         .take(5)
-        .map(|&(a, n)| (a.value(), n as f64 / dest.total.max(1) as f64, provider_of(a)))
+        .map(|&(a, n)| {
+            (
+                a.value(),
+                n as f64 / dest.total.max(1) as f64,
+                provider_of(a),
+            )
+        })
         .collect();
     let top_sources = src
         .ranked
@@ -73,7 +79,10 @@ pub fn run(s: &Scenario) -> Fig2 {
         ]
         .into_iter()
         .map(|(label, cat)| {
-            (label.to_string(), SkewCurve::build(&vs, by, Some(cat)).cumulative())
+            (
+                label.to_string(),
+                SkewCurve::build(&vs, by, Some(cat)).cumulative(),
+            )
         })
         .collect::<Vec<_>>()
     };
@@ -125,7 +134,7 @@ impl Fig2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn fig2() -> &'static Fig2 {
@@ -145,7 +154,10 @@ mod tests {
         // The top destination holds a disproportionate share.
         let top = f.top_destinations[0].1;
         let even = 1.0 / f.dest_cumulative.len() as f64;
-        assert!(top > 2.0 * even, "top dest share {top:.3} vs even {even:.3}");
+        assert!(
+            top > 2.0 * even,
+            "top dest share {top:.3} vs even {even:.3}"
+        );
     }
 
     #[test]
@@ -159,7 +171,10 @@ mod tests {
                 curve.windows(2).all(|w| w[0] <= w[1] + 1e-12),
                 "{label} monotone"
             );
-            assert!((curve.last().unwrap() - 1.0).abs() < 1e-9, "{label} ends at 1");
+            assert!(
+                (curve.last().unwrap() - 1.0).abs() < 1e-9,
+                "{label} ends at 1"
+            );
         }
         assert_eq!(f.dest_by_subtype.len(), 3);
     }

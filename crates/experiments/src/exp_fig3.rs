@@ -7,7 +7,7 @@
 
 use crate::report::{pct, TextTable};
 use crate::scenario::Scenario;
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_core::geography::continental_breakdown;
 use ir_types::Continent;
 use serde::Serialize;
@@ -44,8 +44,8 @@ fn bar(group: &str, b: &ir_core::classify::Breakdown) -> Fig3Bar {
 
 /// Runs the experiment.
 pub fn run(s: &Scenario) -> Fig3 {
-    let mut classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
-    let g = continental_breakdown(&mut classifier, &s.measured);
+    let classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let g = continental_breakdown(&classifier, &s.measured);
     let mut bars = Vec::new();
     for c in Continent::ALL {
         if let Some(b) = g.per_continent.get(&c) {
@@ -54,7 +54,11 @@ pub fn run(s: &Scenario) -> Fig3 {
     }
     bars.push(bar("Cont", &g.continental));
     bars.push(bar("Non Cont", &g.intercontinental));
-    Fig3 { bars, continental_paths: g.continental_paths, total_paths: g.total_paths }
+    Fig3 {
+        bars,
+        continental_paths: g.continental_paths,
+        total_paths: g.total_paths,
+    }
 }
 
 impl Fig3 {
@@ -67,7 +71,14 @@ impl Fig3 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Figure 3: Decisions by geography (percent of decisions)",
-            &["Group", "Best/Short", "NonBest/Short", "Best/Long", "NonBest/Long", "N"],
+            &[
+                "Group",
+                "Best/Short",
+                "NonBest/Short",
+                "Best/Long",
+                "NonBest/Long",
+                "N",
+            ],
         );
         for b in &self.bars {
             t.row(&[
@@ -93,7 +104,7 @@ impl Fig3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn fig3() -> &'static Fig3 {

@@ -6,7 +6,7 @@
 use crate::exp_table2::monitor_setup;
 use crate::report::TextTable;
 use crate::scenario::Scenario;
-use ir_core::classify::{ClassifyConfig, Classifier};
+use ir_core::classify::{Classifier, ClassifyConfig};
 use ir_core::nextmodel::InformedModel;
 use ir_measure::peering::{observe_routes, Peering};
 use ir_types::{Asn, Timestamp};
@@ -48,16 +48,15 @@ pub fn run(s: &Scenario, max_targets: usize) -> Informed {
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
 
-    let mut learn_classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let learn_classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
     let model = InformedModel::learn(
         &discoveries,
         &s.measured,
-        &mut learn_classifier,
+        &learn_classifier,
         &s.world.orgs,
         3,
     );
-    let (gr, informed, total) =
-        model.evaluate(&s.inferred, ClassifyConfig::default(), &s.measured);
+    let (gr, informed, total) = model.evaluate(&s.inferred, ClassifyConfig::default(), &s.measured);
     Informed {
         decisions: total,
         gr_best_short: gr,
@@ -76,7 +75,10 @@ impl Informed {
             "Extension (§7 future work): informed model vs plain Gao-Rexford",
             &["Model", "Best/Short decisions"],
         );
-        t.row(&["Gao-Rexford".into(), format!("{} ({:.1}%)", self.gr_best_short, self.gr_pct)]);
+        t.row(&[
+            "Gao-Rexford".into(),
+            format!("{} ({:.1}%)", self.gr_best_short, self.gr_pct),
+        ]);
         t.row(&[
             "Informed (rankings + domestic)".into(),
             format!("{} ({:.1}%)", self.informed_best_short, self.informed_pct),
@@ -93,13 +95,16 @@ impl Informed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn informed_model_never_loses_and_learns_something() {
         let s = crate::testutil::tiny7();
-        let r = run(&s, 40);
-        assert!(r.learned_pairs > 10, "rankings learned: {}", r.learned_pairs);
+        let r = run(s, 40);
+        assert!(
+            r.learned_pairs > 10,
+            "rankings learned: {}",
+            r.learned_pairs
+        );
         // The informed model explains at least as much as plain GR.
         assert!(r.informed_best_short >= r.gr_best_short);
         assert_eq!(r.decisions, s.decisions.len());

@@ -10,7 +10,7 @@
 use crate::report::TextTable;
 use crate::scenario::Scenario;
 use ir_core::augment::gather_lg_paths;
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_inference::relinfer::{infer_relationships, InferConfig};
 use ir_types::{Asn, Prefix};
 use serde::Serialize;
@@ -46,9 +46,9 @@ pub fn run(s: &Scenario, max_prefixes: usize) -> LgAugment {
     }
     let augmented = infer_relationships(all_paths, &InferConfig::default());
 
-    let mut base_cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let base_cl = Classifier::new(&s.inferred, ClassifyConfig::default());
     let base_bd = base_cl.breakdown(&s.decisions);
-    let mut aug_cl = Classifier::new(&augmented, ClassifyConfig::default());
+    let aug_cl = Classifier::new(&augmented, ClassifyConfig::default());
     let aug_bd = aug_cl.breakdown(&s.decisions);
 
     LgAugment {
@@ -78,7 +78,10 @@ impl LgAugment {
             format!("{:.1}%", self.augmented_best_short_pct),
         ]);
         let mut out = t.render();
-        out.push_str(&format!("{} alternative paths gathered at glasses\n", self.lg_paths));
+        out.push_str(&format!(
+            "{} alternative paths gathered at glasses\n",
+            self.lg_paths
+        ));
         out
     }
 }
@@ -86,12 +89,11 @@ impl LgAugment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn augmentation_extends_topology_and_does_not_hurt() {
         let s = crate::testutil::tiny7();
-        let r = run(&s, 25);
+        let r = run(s, 25);
         assert!(r.lg_paths > 0, "glasses contributed paths");
         // Note: the augmented db is re-inferred from scratch, so it is not
         // guaranteed to be a superset — but with the same feed plus extra

@@ -48,9 +48,18 @@ impl Predict {
         );
         t.row(&["measured paths".into(), self.measured_paths.to_string()]);
         t.row(&["predictable".into(), self.predicted.to_string()]);
-        t.row(&["exact-path agreement".into(), format!("{:.1}%", self.exact_pct)]);
-        t.row(&["first-hop agreement".into(), format!("{:.1}%", self.first_hop_pct)]);
-        t.row(&["length agreement".into(), format!("{:.1}%", self.length_pct)]);
+        t.row(&[
+            "exact-path agreement".into(),
+            format!("{:.1}%", self.exact_pct),
+        ]);
+        t.row(&[
+            "first-hop agreement".into(),
+            format!("{:.1}%", self.first_hop_pct),
+        ]);
+        t.row(&[
+            "length agreement".into(),
+            format!("{:.1}%", self.length_pct),
+        ]);
         t.render()
     }
 }

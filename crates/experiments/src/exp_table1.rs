@@ -7,8 +7,9 @@
 
 use crate::report::TextTable;
 use crate::scenario::Scenario;
-use ir_types::{AsType, Asn, CountryId};
 use ir_topology::classify::TypeClassifier;
+use ir_types::{AsType, Asn, CountryId};
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -31,10 +32,15 @@ pub struct Table1 {
 /// Runs the experiment.
 pub fn run(s: &Scenario) -> Table1 {
     let classifier = TypeClassifier::new(&s.inferred);
+    // Per-probe type classification is independent — fan out, tally after.
+    let types: Vec<AsType> = s
+        .probes
+        .par_iter()
+        .map(|p| classifier.classify(p.asn))
+        .collect();
     let mut per_type: BTreeMap<AsType, (usize, BTreeSet<Asn>, BTreeSet<CountryId>)> =
         BTreeMap::new();
-    for p in &s.probes {
-        let t = classifier.classify(p.asn);
+    for (p, t) in s.probes.iter().zip(types) {
         let e = per_type.entry(t).or_default();
         e.0 += 1;
         e.1.insert(p.asn);
@@ -44,7 +50,10 @@ pub fn run(s: &Scenario) -> Table1 {
         .iter()
         .map(|t| {
             let (probes, ases, countries) =
-                per_type.get(t).cloned().unwrap_or((0, BTreeSet::new(), BTreeSet::new()));
+                per_type
+                    .get(t)
+                    .cloned()
+                    .unwrap_or((0, BTreeSet::new(), BTreeSet::new()));
             Table1Row {
                 as_type: t.label().to_string(),
                 probes,
@@ -53,7 +62,10 @@ pub fn run(s: &Scenario) -> Table1 {
             }
         })
         .collect();
-    Table1 { rows, total_probes: s.probes.len() }
+    Table1 {
+        rows,
+        total_probes: s.probes.len(),
+    }
 }
 
 impl Table1 {
@@ -84,7 +96,6 @@ impl Table1 {
 #[cfg(test)]
 mod tests {
     use crate::scenario::Scenario;
-    
 
     fn scenario() -> &'static Scenario {
         crate::testutil::tiny7()

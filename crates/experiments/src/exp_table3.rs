@@ -6,7 +6,7 @@
 
 use crate::report::{pct, TextTable};
 use crate::scenario::Scenario;
-use ir_core::classify::{ClassifyConfig, Classifier};
+use ir_core::classify::{Classifier, ClassifyConfig};
 use ir_core::geography::domestic_stats;
 use ir_types::Continent;
 use serde::Serialize;
@@ -29,8 +29,8 @@ pub struct Table3 {
 
 /// Runs the experiment.
 pub fn run(s: &Scenario) -> Table3 {
-    let mut classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
-    let stats = domestic_stats(&mut classifier, &s.measured, &s.world.orgs, &s.world.geo);
+    let classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let stats = domestic_stats(&classifier, &s.measured, &s.world.orgs, &s.world.geo);
     let rows = Continent::ALL
         .iter()
         .filter_map(|c| {
@@ -42,7 +42,10 @@ pub fn run(s: &Scenario) -> Table3 {
             })
         })
         .collect();
-    Table3 { rows, overall_fraction: stats.overall() }
+    Table3 {
+        rows,
+        overall_fraction: stats.overall(),
+    }
 }
 
 impl Table3 {
@@ -67,7 +70,7 @@ impl Table3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn table3() -> &'static Table3 {
@@ -78,7 +81,10 @@ mod tests {
     #[test]
     fn domestic_preference_explains_a_substantial_share() {
         let t = table3();
-        assert!(!t.rows.is_empty(), "violations observed on continental paths");
+        assert!(
+            !t.rows.is_empty(),
+            "violations observed on continental paths"
+        );
         let total: usize = t.rows.iter().map(|r| r.total).sum();
         assert!(total > 0);
         // The paper finds >40% overall; shapes vary with seed, so require a

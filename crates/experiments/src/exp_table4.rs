@@ -7,7 +7,7 @@
 
 use crate::report::{pct, TextTable};
 use crate::scenario::Scenario;
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_core::geography::cable_stats;
 use serde::Serialize;
 
@@ -35,23 +35,27 @@ pub struct Table4 {
 /// Runs the experiment.
 pub fn run(s: &Scenario) -> Table4 {
     let cables = s.world.cables.cable_asns();
-    let mut classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
-    let stats = cable_stats(&mut classifier, &s.measured, &cables);
-    let mut classifier2 = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let stats = cable_stats(&classifier, &s.measured, &cables);
+    let classifier2 = Classifier::new(&s.inferred, ClassifyConfig::default());
     let overall = classifier2.breakdown(&s.decisions);
     let baseline = 1.0 - overall.pct(Category::BestShort) / 100.0;
-    let rows = [Category::NonBestShort, Category::BestLong, Category::NonBestLong]
-        .iter()
-        .map(|c| {
-            let (e, t) = stats.per_category.get(c).copied().unwrap_or((0, 0));
-            Table4Row {
-                violation_type: c.label().to_string(),
-                explained: e,
-                total: t,
-                pct: stats.pct(*c),
-            }
-        })
-        .collect();
+    let rows = [
+        Category::NonBestShort,
+        Category::BestLong,
+        Category::NonBestLong,
+    ]
+    .iter()
+    .map(|c| {
+        let (e, t) = stats.per_category.get(c).copied().unwrap_or((0, 0));
+        Table4Row {
+            violation_type: c.label().to_string(),
+            explained: e,
+            total: t,
+            pct: stats.pct(*c),
+        }
+    })
+    .collect();
     Table4 {
         rows,
         path_fraction: stats.path_fraction(),
@@ -85,7 +89,7 @@ impl Table4 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::OnceLock;
 
     fn table4() -> &'static Table4 {
@@ -97,7 +101,11 @@ mod tests {
     fn cables_are_rare_but_deviation_prone() {
         let t = table4();
         // Cable ASes sit on a small fraction of paths.
-        assert!(t.path_fraction < 0.25, "cable paths are rare: {:.3}", t.path_fraction);
+        assert!(
+            t.path_fraction < 0.25,
+            "cable paths are rare: {:.3}",
+            t.path_fraction
+        );
         // When present, they deviate far above baseline.
         if t.deviant_fraction > 0.0 {
             assert!(

@@ -62,8 +62,11 @@ pub fn run(s: &Scenario, limit: usize) -> Validation {
             truly_correct += 1;
         }
     }
-    let true_precision =
-        if cases.is_empty() { 0.0 } else { truly_correct as f64 / cases.len() as f64 };
+    let true_precision = if cases.is_empty() {
+        0.0
+    } else {
+        truly_correct as f64 / cases.len() as f64
+    };
 
     Validation {
         cases: cases.len(),
@@ -93,14 +96,23 @@ pub fn cases(s: &Scenario) -> Vec<PspCase> {
 impl Validation {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new("Section 4.3: PSP validation via looking glasses", &["Metric", "Value"]);
+        let mut t = TextTable::new(
+            "Section 4.3: PSP validation via looking glasses",
+            &["Metric", "Value"],
+        );
         t.row(&["PSP cases".into(), self.cases.to_string()]);
         t.row(&["Neighbor ASes".into(), self.neighbor_ases.to_string()]);
-        t.row(&["Neighbors with a glass".into(), self.neighbors_with_glass.to_string()]);
+        t.row(&[
+            "Neighbors with a glass".into(),
+            self.neighbors_with_glass.to_string(),
+        ]);
         t.row(&["Cases checked".into(), self.checked.to_string()]);
         t.row(&["Confirmed".into(), self.confirmed.to_string()]);
         t.row(&["Refuted".into(), self.refuted.to_string()]);
-        t.row(&["Precision (checked)".into(), format!("{:.0}%", 100.0 * self.precision)]);
+        t.row(&[
+            "Precision (checked)".into(),
+            format!("{:.0}%", 100.0 * self.precision),
+        ]);
         t.row(&[
             "True precision (oracle)".into(),
             format!("{:.0}%", 100.0 * self.true_precision),

@@ -100,8 +100,7 @@ mod tests {
         // Padded short row.
         assert!(s.contains("| b     |       |"));
         // Every body line has equal width.
-        let widths: Vec<usize> =
-            s.lines().skip(1).map(|l| l.chars().count()).collect();
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]));
     }
 

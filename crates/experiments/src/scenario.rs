@@ -81,7 +81,10 @@ impl ScenarioConfig {
             probes: 60,
             monitor_probes: 24,
             months: 3,
-            feed: FeedConfig { vantages: 16, ..FeedConfig::default() },
+            feed: FeedConfig {
+                vantages: 16,
+                ..FeedConfig::default()
+            },
             geo: GeoConfig::default(),
             trace: TraceConfig::default(),
             complex_coverage: 0.7,
@@ -150,8 +153,7 @@ impl Scenario {
             } else {
                 // Historical months: one prefix per AS is enough for
                 // relationship inference and much cheaper to converge.
-                let prefixes: Vec<_> =
-                    month.graph.nodes().iter().map(|n| n.prefixes[0]).collect();
+                let prefixes: Vec<_> = month.graph.nodes().iter().map(|n| n.prefixes[0]).collect();
                 let u = RoutingUniverse::compute(month, &prefixes);
                 feeds::extract_feed(month, &u, &vantages)
             };
@@ -173,7 +175,11 @@ impl Scenario {
             &universe,
             &plan,
             &probes,
-            &CampaignConfig { trace: cfg.trace, seed, budget: None },
+            &CampaignConfig {
+                trace: cfg.trace,
+                seed,
+                budget: None,
+            },
         );
 
         // 7. Conversion + decision extraction.

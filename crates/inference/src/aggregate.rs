@@ -8,21 +8,34 @@
 //! which is exactly how stale links (§5's Netflix case) enter the topology
 //! the measured paths are judged against.
 
-use ir_types::{Asn, Relationship};
-use ir_topology::RelationshipDb;
-use std::collections::BTreeMap;
+use ir_topology::{AsnInterner, RelationshipDb};
+use ir_types::Relationship;
+use std::collections::{BTreeMap, HashMap};
 
 /// Aggregates snapshots ordered **oldest first**.
+///
+/// ASNs across all snapshots are interned once and pairs are keyed by
+/// dense `(u32, u32)` indices, so the merge works over flat integer keys
+/// rather than comparing ASN tuples.
 pub fn aggregate_snapshots(snapshots: &[RelationshipDb]) -> RelationshipDb {
     assert!(!snapshots.is_empty(), "need at least one snapshot");
+    let interner = AsnInterner::from_iter(snapshots.iter().flat_map(|s| s.asns()));
     // Gather, per canonical pair, the per-month inferences (None = absent).
-    let mut pairs: BTreeMap<(Asn, Asn), Vec<Option<Relationship>>> = BTreeMap::new();
+    // Canonical orientation is by ASN (lower ASN first), matching the
+    // serial-format convention.
+    let mut pairs: HashMap<(u32, u32), Vec<Option<Relationship>>> = HashMap::new();
     for (m, snap) in snapshots.iter().enumerate() {
         for (a, b, rel) in snap.iter() {
-            let key = (a.min(b), a.max(b));
-            // Normalize: relationship of key.1 as seen from key.0.
-            let rel_from_lo = if a == key.0 { rel } else { rel.reverse() };
-            let entry = pairs.entry(key).or_insert_with(|| vec![None; snapshots.len()]);
+            let (lo, hi) = (a.min(b), a.max(b));
+            // Normalize: relationship of hi as seen from lo.
+            let rel_from_lo = if a == lo { rel } else { rel.reverse() };
+            let key = (
+                interner.get(lo).expect("interned"),
+                interner.get(hi).expect("interned"),
+            );
+            let entry = pairs
+                .entry(key)
+                .or_insert_with(|| vec![None; snapshots.len()]);
             entry[m] = Some(rel_from_lo);
         }
     }
@@ -31,7 +44,7 @@ pub fn aggregate_snapshots(snapshots: &[RelationshipDb]) -> RelationshipDb {
     let mut out = RelationshipDb::default();
     for ((lo, hi), months) in pairs {
         let rel = decide(&months, n);
-        out.insert(lo, hi, rel);
+        out.insert(interner.asn(lo), interner.asn(hi), rel);
     }
     out
 }
@@ -75,6 +88,7 @@ fn rel_key(rel: Relationship) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ir_types::Asn;
 
     fn snap(entries: &[(u32, u32, Relationship)]) -> RelationshipDb {
         let mut db = RelationshipDb::default();

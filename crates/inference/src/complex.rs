@@ -8,8 +8,8 @@
 //! the published dataset was itself incomplete, and coverage (not the
 //! production method) is what the downstream analysis is sensitive to.
 
-use ir_types::{Asn, CityId, Relationship};
 use ir_topology::World;
+use ir_types::{Asn, CityId, Relationship};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -77,7 +77,12 @@ impl ComplexRelDb {
         city: CityId,
         rel_of_b_from_a: Relationship,
     ) {
-        self.push_hybrid(HybridEntry { a, b, city, rel_of_b_from_a });
+        self.push_hybrid(HybridEntry {
+            a,
+            b,
+            city,
+            rel_of_b_from_a,
+        });
     }
 
     /// Registers a partial-transit pair directly (tests / curated data).
@@ -88,7 +93,8 @@ impl ComplexRelDb {
 
     fn push_hybrid(&mut self, e: HybridEntry) {
         self.index.insert((e.a, e.b, e.city), e.rel_of_b_from_a);
-        self.index.insert((e.b, e.a, e.city), e.rel_of_b_from_a.reverse());
+        self.index
+            .insert((e.b, e.a, e.city), e.rel_of_b_from_a.reverse());
         self.hybrids.push(e);
     }
 
@@ -107,7 +113,9 @@ impl ComplexRelDb {
 
     /// Whether `(provider, customer)` is a known partial-transit pair.
     pub fn is_partial_transit(&self, provider: Asn, customer: Asn) -> bool {
-        self.partial_transit.binary_search(&(provider, customer)).is_ok()
+        self.partial_transit
+            .binary_search(&(provider, customer))
+            .is_ok()
     }
 
     /// All hybrid entries.

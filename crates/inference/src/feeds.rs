@@ -9,11 +9,11 @@
 //! real work to do (and stale links — the Netflix/AS3549 story — can
 //! survive into the aggregate).
 
-use ir_types::{Asn, Prefix, Relationship};
 use ir_bgp::{Announcement, PrefixSim, RoutingUniverse};
 use ir_topology::graph::{AsRole, LinkKind, NodeIdx};
 use ir_topology::World;
 use ir_types::Timestamp;
+use ir_types::{Asn, Prefix, Relationship};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::BTreeSet;
@@ -36,7 +36,11 @@ pub struct FeedConfig {
 
 impl Default for FeedConfig {
     fn default() -> Self {
-        FeedConfig { vantages: 60, core_fraction: 0.4, loss: 0.03 }
+        FeedConfig {
+            vantages: 60,
+            core_fraction: 0.4,
+            loss: 0.03,
+        }
     }
 }
 
@@ -86,10 +90,9 @@ impl BgpFeed {
     /// prefix, prepending collapsed). The §4.3 PSP criterion-1 evidence
     /// test.
     pub fn announces_to(&self, origin: Asn, neighbor: Asn, prefix: Prefix) -> bool {
-        self.entries.iter().any(|e| {
-            e.prefix == prefix
-                && Self::origin_edge(&e.path) == Some((neighbor, origin))
-        })
+        self.entries
+            .iter()
+            .any(|e| e.prefix == prefix && Self::origin_edge(&e.path) == Some((neighbor, origin)))
     }
 
     /// Whether the feed shows `origin` announcing *any* prefix to
@@ -111,8 +114,11 @@ pub fn pick_vantages(world: &World, cfg: &FeedConfig, seed: u64) -> Vec<Asn> {
     // Largest customer cones first (deterministic tie-break by index).
     transit.sort_by_key(|&i| (std::cmp::Reverse(world.graph.customer_cone_size(i)), i));
     let n_core = ((cfg.vantages as f64) * cfg.core_fraction).round() as usize;
-    let mut vantages: Vec<Asn> =
-        transit.iter().take(n_core).map(|&i| world.graph.asn(i)).collect();
+    let mut vantages: Vec<Asn> = transit
+        .iter()
+        .take(n_core)
+        .map(|&i| world.graph.asn(i))
+        .collect();
     // The long tail: small ISPs, edge networks, and GREN — the peers that
     // give the real collectors their (partial) view of the edge.
     let remainder = cfg.vantages.saturating_sub(vantages.len());
@@ -128,7 +134,10 @@ pub fn pick_vantages(world: &World, cfg: &FeedConfig, seed: u64) -> Vec<Asn> {
     vantages.extend(smalls.iter().take(n_small).map(|&i| world.graph.asn(i)));
     let mut edges: Vec<NodeIdx> = (0..world.graph.len())
         .filter(|&i| {
-            matches!(world.graph.node(i).role, AsRole::Eyeball | AsRole::Enterprise)
+            matches!(
+                world.graph.node(i).role,
+                AsRole::Eyeball | AsRole::Enterprise
+            )
         })
         .collect();
     edges.shuffle(&mut rng);
@@ -140,7 +149,9 @@ pub fn pick_vantages(world: &World, cfg: &FeedConfig, seed: u64) -> Vec<Asn> {
         .collect();
     edu.shuffle(&mut rng);
     vantages.extend(
-        edu.iter().take(cfg.vantages.saturating_sub(vantages.len())).map(|&i| world.graph.asn(i)),
+        edu.iter()
+            .take(cfg.vantages.saturating_sub(vantages.len()))
+            .map(|&i| world.graph.asn(i)),
     );
     vantages.sort_unstable();
     vantages.dedup();
@@ -157,10 +168,14 @@ pub fn extract_feed_lossy(
     loss: f64,
     seed: u64,
 ) -> BgpFeed {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED_10_55);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED_1055);
     let full = extract_feed(world, universe, vantages);
     BgpFeed {
-        entries: full.entries.into_iter().filter(|_| !rng.random_bool(loss)).collect(),
+        entries: full
+            .entries
+            .into_iter()
+            .filter(|_| !rng.random_bool(loss))
+            .collect(),
     }
 }
 
@@ -171,8 +186,12 @@ pub fn extract_feed(world: &World, universe: &RoutingUniverse, vantages: &[Asn])
     let mut feed = BgpFeed::default();
     for prefix in universe.prefixes() {
         for &v in vantages {
-            let Some(idx) = world.graph.index_of(v) else { continue };
-            let Some(route) = universe.route(prefix, idx) else { continue };
+            let Some(idx) = world.graph.index_of(v) else {
+                continue;
+            };
+            let Some(route) = universe.route(prefix, idx) else {
+                continue;
+            };
             let mut path = vec![v];
             if !route.is_local() {
                 path.extend(route.path.sequence_asns());
@@ -190,13 +209,18 @@ pub fn extract_prefix_feed(sim: &PrefixSim<'_>, vantages: &[Asn]) -> BgpFeed {
     let world = sim.world();
     let mut feed = BgpFeed::default();
     for &v in vantages {
-        let Some(idx) = world.graph.index_of(v) else { continue };
+        let Some(idx) = world.graph.index_of(v) else {
+            continue;
+        };
         let Some(route) = sim.best(idx) else { continue };
         let mut path = vec![v];
         if !route.is_local() {
             path.extend(route.path.sequence_asns());
         }
-        feed.entries.push(FeedEntry { prefix: sim.prefix(), path });
+        feed.entries.push(FeedEntry {
+            prefix: sim.prefix(),
+            path,
+        });
     }
     feed
 }
@@ -257,10 +281,12 @@ fn churn(w: &mut World, rng: &mut StdRng, distance: usize) {
     }
     // "Existed then, gone now": add a few historical content–ISP peerings.
     let adds = (drop / 2).max(if distance > 0 { 2 } else { 0 });
-    let contents: Vec<NodeIdx> =
-        (0..n).filter(|&i| w.graph.node(i).role == AsRole::Content).collect();
-    let transits: Vec<NodeIdx> =
-        (0..n).filter(|&i| w.graph.node(i).role == AsRole::Transit).collect();
+    let contents: Vec<NodeIdx> = (0..n)
+        .filter(|&i| w.graph.node(i).role == AsRole::Content)
+        .collect();
+    let transits: Vec<NodeIdx> = (0..n)
+        .filter(|&i| w.graph.node(i).role == AsRole::Transit)
+        .collect();
     let mut added = 0;
     let mut guard = 0;
     while added < adds && guard < 100 && !contents.is_empty() && !transits.is_empty() {
@@ -272,7 +298,8 @@ fn churn(w: &mut World, rng: &mut StdRng, distance: usize) {
             if !w.graph.node(c).presence.contains(&city) {
                 w.graph.node_mut(c).presence.push(city);
             }
-            w.graph.add_link(c, t, Relationship::Provider, vec![city], LinkKind::Normal);
+            w.graph
+                .add_link(c, t, Relationship::Provider, vec![city], LinkKind::Normal);
             added += 1;
         }
     }
@@ -385,7 +412,11 @@ mod tests {
             }
             s
         };
-        assert_ne!(link_set(&months[0].graph), link_set(&w.graph), "oldest month differs");
+        assert_ne!(
+            link_set(&months[0].graph),
+            link_set(&w.graph),
+            "oldest month differs"
+        );
         // Some link existed in month 0 but not today (stale-link source).
         let mut stale = 0;
         for a in 0..months[0].graph.len().min(w.graph.len()) {
@@ -395,7 +426,10 @@ mod tests {
                 }
             }
         }
-        assert!(stale > 0, "historical links that have since disappeared exist");
+        assert!(
+            stale > 0,
+            "historical links that have since disappeared exist"
+        );
     }
 
     #[test]
@@ -434,8 +468,7 @@ impl BgpFeed {
             let (pfx, path) = line
                 .split_once('|')
                 .ok_or_else(|| format!("line {}: missing '|'", i + 1))?;
-            let prefix: Prefix =
-                pfx.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            let prefix: Prefix = pfx.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
             let path: Vec<Asn> = path
                 .split_whitespace()
                 .map(|t| t.parse::<u32>().map(Asn))
@@ -461,7 +494,10 @@ mod dump_tests {
                     prefix: "10.1.0.0/24".parse().unwrap(),
                     path: vec![Asn(100), Asn(7), Asn(42)],
                 },
-                FeedEntry { prefix: "10.2.0.0/24".parse().unwrap(), path: vec![Asn(9)] },
+                FeedEntry {
+                    prefix: "10.2.0.0/24".parse().unwrap(),
+                    path: vec![Asn(9)],
+                },
             ],
         }
     }
@@ -477,11 +513,25 @@ mod dump_tests {
 
     #[test]
     fn dump_parse_errors_are_located() {
-        assert!(BgpFeed::from_dump("garbage").unwrap_err().contains("line 1"));
-        assert!(BgpFeed::from_dump("10.0.0.0/24|").unwrap_err().contains("empty path"));
-        assert!(BgpFeed::from_dump("10.0.0.0/24|1 x 3").unwrap_err().contains("bad ASN"));
-        assert!(BgpFeed::from_dump("not-a-prefix|1 2").unwrap_err().contains("line 1"));
+        assert!(BgpFeed::from_dump("garbage")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(BgpFeed::from_dump("10.0.0.0/24|")
+            .unwrap_err()
+            .contains("empty path"));
+        assert!(BgpFeed::from_dump("10.0.0.0/24|1 x 3")
+            .unwrap_err()
+            .contains("bad ASN"));
+        assert!(BgpFeed::from_dump("not-a-prefix|1 2")
+            .unwrap_err()
+            .contains("line 1"));
         // Comments and blanks are fine.
-        assert!(BgpFeed::from_dump("# hi\n\n10.0.0.0/24|1 2\n").unwrap().entries.len() == 1);
+        assert!(
+            BgpFeed::from_dump("# hi\n\n10.0.0.0/24|1 2\n")
+                .unwrap()
+                .entries
+                .len()
+                == 1
+        );
     }
 }

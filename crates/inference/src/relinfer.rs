@@ -23,8 +23,8 @@
 //! big ISPs paying the cable operator (§6); hybrid relationships collapse
 //! to whichever orientation the feeds saw more often.
 
-use ir_types::{Asn, Relationship};
 use ir_topology::RelationshipDb;
+use ir_types::{Asn, Relationship};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Collapses consecutive duplicate ASNs (AS-path prepending) — the first
@@ -48,7 +48,9 @@ pub struct InferConfig {
 
 impl Default for InferConfig {
     fn default() -> Self {
-        InferConfig { clique_candidates: 20 }
+        InferConfig {
+            clique_candidates: 20,
+        }
     }
 }
 
@@ -217,7 +219,7 @@ mod tests {
         let td = transit_degrees(refs);
         assert_eq!(td[&Asn(1)], 2); // between 10 and 2 on every path
         assert_eq!(td[&Asn(10)], 2); // between 100 and 1
-        assert!(td.get(&Asn(100)).is_none(), "leaf never transits");
+        assert!(!td.contains_key(&Asn(100)), "leaf never transits");
     }
 
     #[test]
@@ -246,7 +248,7 @@ mod tests {
     fn conflicting_votes_become_peer() {
         // 5-6 observed ascending in one path and descending in another,
         // equally often → hedge to p2p.
-        let paths = vec![p(&[5, 6, 1, 2]), p(&[6, 5, 1, 2]), p(&[9, 1, 2])];
+        let paths = [p(&[5, 6, 1, 2]), p(&[6, 5, 1, 2]), p(&[9, 1, 2])];
         let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
         let db = infer_relationships(refs, &InferConfig::default());
         assert_eq!(db.rel(Asn(5), Asn(6)), Some(Relationship::Peer));
@@ -256,7 +258,7 @@ mod tests {
     fn prepending_is_collapsed() {
         // Origin 100 prepends itself toward 10; inference must not see a
         // self link or an inflated hierarchy.
-        let paths = vec![p(&[10, 1, 2, 11]), p(&[11, 2, 1, 10, 100, 100, 100])];
+        let paths = [p(&[10, 1, 2, 11]), p(&[11, 2, 1, 10, 100, 100, 100])];
         let refs: Vec<&[Asn]> = paths.iter().map(|v| v.as_slice()).collect();
         let db = infer_relationships(refs, &InferConfig::default());
         assert!(!db.has_link(Asn(100), Asn(100)));

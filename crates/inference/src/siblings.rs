@@ -7,8 +7,8 @@
 //! address is hosted at a freemail provider or a regional Internet registry
 //! (shared mail domains say nothing about common ownership).
 
-use ir_types::Asn;
 use ir_topology::orgs::{email_domain, OrgRegistry};
+use ir_types::Asn;
 use std::collections::BTreeMap;
 
 /// Inferred sibling groups.
@@ -24,7 +24,9 @@ impl SiblingGroups {
         // Bucket ASNs by SOA-resolved email domain.
         let mut buckets: BTreeMap<String, Vec<Asn>> = BTreeMap::new();
         for rec in registry.whois_records() {
-            let Some(domain) = email_domain(&rec.email) else { continue };
+            let Some(domain) = email_domain(&rec.email) else {
+                continue;
+            };
             // Freemail / RIR-hosted addresses carry no ownership signal.
             if OrgRegistry::is_shared_mail_domain(domain) {
                 continue;
@@ -57,7 +59,7 @@ impl SiblingGroups {
 
     /// Whether two ASNs were inferred to belong to one organization.
     pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
-        a != b && self.of.get(&a).is_some() && self.of.get(&a) == self.of.get(&b)
+        a != b && self.of.contains_key(&a) && self.of.get(&a) == self.of.get(&b)
     }
 
     /// All groups, each sorted ascending.

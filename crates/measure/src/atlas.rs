@@ -6,9 +6,9 @@
 //! range of ASes. Probes live near the edge: eyeballs, enterprises, small
 //! ISPs, and a few education networks — the Table 1 population.
 
-use ir_types::{Asn, Continent, CountryId};
 use ir_topology::graph::AsRole;
 use ir_topology::World;
+use ir_types::{Asn, Continent, CountryId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
@@ -58,11 +58,19 @@ impl ProbePool {
                 0
             };
             for _ in 0..base + skew {
-                probes.push(Probe { id, asn: node.asn, country: node.home_country, continent });
+                probes.push(Probe {
+                    id,
+                    asn: node.asn,
+                    country: node.home_country,
+                    continent,
+                });
                 id += 1;
             }
         }
-        ProbePool { probes, daily_budget: 30_000 }
+        ProbePool {
+            probes,
+            daily_budget: 30_000,
+        }
     }
 
     /// All installed probes.
@@ -81,7 +89,12 @@ impl ProbePool {
             // country → asn → probes, all ordered for determinism.
             let mut by_country: BTreeMap<CountryId, BTreeMap<Asn, Vec<&Probe>>> = BTreeMap::new();
             for p in self.probes.iter().filter(|p| p.continent == continent) {
-                by_country.entry(p.country).or_default().entry(p.asn).or_default().push(p);
+                by_country
+                    .entry(p.country)
+                    .or_default()
+                    .entry(p.asn)
+                    .or_default()
+                    .push(p);
             }
             let mut taken = 0;
             // Round-robin over countries; within a country, rotate ASes.
@@ -183,7 +196,10 @@ mod tests {
         }
         let eu = per[&Continent::Europe];
         let max = per.values().copied().max().unwrap();
-        assert!(eu as f64 >= 0.8 * max as f64, "Europe skew present: {per:?}");
+        assert!(
+            eu as f64 >= 0.8 * max as f64,
+            "Europe skew present: {per:?}"
+        );
         // Probes never sit in tier-1s or content ASes.
         for p in pool.probes() {
             let idx = w.graph.index_of(p.asn).unwrap();
@@ -210,7 +226,11 @@ mod tests {
         let mut asns: Vec<Asn> = sel.iter().map(|p| p.asn).collect();
         asns.sort_unstable();
         asns.dedup();
-        assert!(asns.len() >= 60, "selection covers ≥60 ASes, got {}", asns.len());
+        assert!(
+            asns.len() >= 60,
+            "selection covers ≥60 ASes, got {}",
+            asns.len()
+        );
     }
 
     #[test]

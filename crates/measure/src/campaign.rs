@@ -7,12 +7,12 @@
 
 use crate::atlas::Probe;
 use crate::dns::Resolver;
-use ir_dataplane::{AddressPlan, TraceConfig, Tracer, Traceroute};
 use ir_bgp::RoutingUniverse;
+use ir_dataplane::{AddressPlan, TraceConfig, Tracer, Traceroute};
 use ir_topology::World;
 
 /// Campaign parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignConfig {
     /// Traceroute artifact model.
     pub trace: TraceConfig,
@@ -22,12 +22,6 @@ pub struct CampaignConfig {
     /// (the platform's daily rate limit — §3.1 ran "at the maximum probing
     /// rate allowed"). `None` = unlimited.
     pub budget: Option<usize>,
-}
-
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        CampaignConfig { trace: TraceConfig::default(), seed: 0, budget: None }
-    }
 }
 
 /// A completed campaign.
@@ -57,18 +51,23 @@ impl Campaign {
                     if traceroutes.len() >= budget {
                         // Everything else this probe (and later probes)
                         // would have measured is lost to the rate limit.
-                        skipped_for_budget = probes.len() * world.content.hostname_count()
-                            - traceroutes.len();
+                        skipped_for_budget =
+                            probes.len() * world.content.hostname_count() - traceroutes.len();
                         break 'outer;
                     }
                 }
-                let Some(ip) = resolver.resolve(hostname, probe.asn) else { continue };
+                let Some(ip) = resolver.resolve(hostname, probe.asn) else {
+                    continue;
+                };
                 let mut tr = tracer.run(probe.asn, ip);
                 tr.dst_hostname = Some(hostname.to_string());
                 traceroutes.push(tr);
             }
         }
-        Campaign { traceroutes, skipped_for_budget }
+        Campaign {
+            traceroutes,
+            skipped_for_budget,
+        }
     }
 
     /// Number of traceroutes that reached their destination.
@@ -112,7 +111,12 @@ mod tests {
             let universe = RoutingUniverse::compute_all(&world);
             let plan = AddressPlan::build(&world);
             let pool = ProbePool::install(&world, 23);
-            Fx { world, universe, plan, pool }
+            Fx {
+                world,
+                universe,
+                plan,
+                pool,
+            }
         })
     }
 
@@ -120,7 +124,13 @@ mod tests {
     fn campaign_produces_probe_times_hostname_traceroutes() {
         let f = fx();
         let probes = f.pool.select_balanced(30);
-        let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        let c = Campaign::run(
+            &f.world,
+            &f.universe,
+            &f.plan,
+            &probes,
+            &CampaignConfig::default(),
+        );
         assert_eq!(
             c.traceroutes.len(),
             probes.len() * f.world.content.hostname_count()
@@ -133,7 +143,13 @@ mod tests {
     fn destinations_exceed_provider_count() {
         let f = fx();
         let probes = f.pool.select_balanced(60);
-        let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        let c = Campaign::run(
+            &f.world,
+            &f.universe,
+            &f.plan,
+            &probes,
+            &CampaignConfig::default(),
+        );
         // Off-net caches inflate the destination-AS count beyond the number
         // of content providers — the paper's observation.
         assert!(
@@ -148,7 +164,10 @@ mod tests {
     fn budget_truncates_the_campaign() {
         let f = fx();
         let probes = f.pool.select_balanced(30);
-        let cfg = CampaignConfig { budget: Some(25), ..CampaignConfig::default() };
+        let cfg = CampaignConfig {
+            budget: Some(25),
+            ..CampaignConfig::default()
+        };
         let c = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &cfg);
         assert_eq!(c.traceroutes.len(), 25);
         assert_eq!(
@@ -156,8 +175,13 @@ mod tests {
             probes.len() * f.world.content.hostname_count() - 25
         );
         // Unlimited leaves nothing behind.
-        let c2 =
-            Campaign::run(&f.world, &f.universe, &f.plan, &probes, &CampaignConfig::default());
+        let c2 = Campaign::run(
+            &f.world,
+            &f.universe,
+            &f.plan,
+            &probes,
+            &CampaignConfig::default(),
+        );
         assert_eq!(c2.skipped_for_budget, 0);
     }
 

@@ -5,8 +5,8 @@
 //! these dumps to see how the control plane reacted to each announcement
 //! round.
 
-use ir_types::{Asn, Prefix, Timestamp};
 use ir_bgp::PrefixSim;
+use ir_types::{Asn, Prefix, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// Collector sampling interval (§3.2: "collect BGP feeds every 15 min").
@@ -24,7 +24,10 @@ pub struct FeedSnapshot {
 impl FeedSnapshot {
     /// The path a given vantage exported, if it had a route.
     pub fn path_of(&self, vantage: Asn) -> Option<&[Asn]> {
-        self.paths.iter().find(|(v, _)| *v == vantage).map(|(_, p)| p.as_slice())
+        self.paths
+            .iter()
+            .find(|(v, _)| *v == vantage)
+            .map(|(_, p)| p.as_slice())
     }
 }
 
@@ -52,7 +55,9 @@ impl Collectors {
         let world = sim.world();
         let mut paths = Vec::new();
         for &v in &self.vantages {
-            let Some(idx) = world.graph.index_of(v) else { continue };
+            let Some(idx) = world.graph.index_of(v) else {
+                continue;
+            };
             let Some(route) = sim.best(idx) else { continue };
             let mut path = vec![v];
             if !route.is_local() {
@@ -60,7 +65,11 @@ impl Collectors {
             }
             paths.push((v, path));
         }
-        FeedSnapshot { at, prefix: sim.prefix(), paths }
+        FeedSnapshot {
+            at,
+            prefix: sim.prefix(),
+            paths,
+        }
     }
 
     /// The dump timestamps inside a time window (multiples of the interval).
@@ -84,7 +93,12 @@ mod tests {
     #[test]
     fn snapshot_captures_vantage_paths() {
         let w = GeneratorConfig::tiny().build(37);
-        let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+        let stub = w
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.asn.value() >= 20_000)
+            .unwrap();
         let (origin, prefix) = (stub.asn, stub.prefixes[0]);
         let vantages: Vec<Asn> = w
             .graph

@@ -5,9 +5,9 @@
 //! a deployment in the client's country, continent, and finally any. This
 //! is why the paper's 34 hostnames resolve into 218 destination ASes.
 
-use ir_types::{Asn, Ipv4};
 use ir_topology::content::Deployment;
 use ir_topology::World;
+use ir_types::{Asn, Ipv4};
 
 /// Resolver bound to a world's content catalog and geography.
 pub struct Resolver<'w> {
@@ -33,7 +33,9 @@ impl<'w> Resolver<'w> {
             if d.host_as == client_as {
                 return 0; // cache inside the client's own AS
             }
-            let Some(idx) = self.world.graph.index_of(d.host_as) else { return 4 };
+            let Some(idx) = self.world.graph.index_of(d.host_as) else {
+                return 4;
+            };
             let c = self.world.graph.node(idx).home_country;
             if c == client_country {
                 1
@@ -49,8 +51,11 @@ impl<'w> Resolver<'w> {
         // different clients — the precondition for observing
         // prefix-specific policies in the wild.
         let best = provider.deployments.iter().map(score).min()?;
-        let candidates: Vec<&Deployment> =
-            provider.deployments.iter().filter(|d| score(d) == best).collect();
+        let candidates: Vec<&Deployment> = provider
+            .deployments
+            .iter()
+            .filter(|d| score(d) == best)
+            .collect();
         let pick = (client_as.value() as usize) % candidates.len();
         Some(candidates[pick].server_ip())
     }
@@ -101,7 +106,9 @@ mod tests {
             .unwrap()
             .asn;
         for (_, hostname) in w.content.hostnames() {
-            let a = r.resolve(hostname, client).expect("every hostname resolves");
+            let a = r
+                .resolve(hostname, client)
+                .expect("every hostname resolves");
             let b = r.resolve(hostname, client).unwrap();
             assert_eq!(a, b);
             // Resolved address belongs to a deployment of this provider.

@@ -27,7 +27,7 @@ pub mod peering;
 
 pub use atlas::{Probe, ProbePool};
 pub use campaign::{Campaign, CampaignConfig};
-pub use dns::Resolver;
 pub use collectors::Collectors;
+pub use dns::Resolver;
 pub use looking_glass::LookingGlassNet;
 pub use peering::{AlternateDiscovery, MagnetRun, ObservationSetup, Peering};

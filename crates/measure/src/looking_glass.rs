@@ -7,11 +7,11 @@
 //! prefix-specific-policy inferences against them (78% precision for
 //! criterion 1).
 
-use ir_types::{Asn, Prefix};
 use ir_bgp::{Announcement, PrefixSim, Route};
 use ir_topology::graph::AsRole;
 use ir_topology::World;
 use ir_types::Timestamp;
+use ir_types::{Asn, Prefix};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::BTreeSet;
@@ -59,7 +59,13 @@ impl LookingGlassNet {
     /// `prefix`, converging the prefix on demand (`None` if the AS hosts no
     /// glass). This is the "show ip bgp" view: all usable paths, best
     /// first.
-    pub fn query(&self, world: &World, host: Asn, prefix: Prefix, origin: Asn) -> Option<Vec<Route>> {
+    pub fn query(
+        &self,
+        world: &World,
+        host: Asn,
+        prefix: Prefix,
+        origin: Asn,
+    ) -> Option<Vec<Route>> {
         if !self.has_glass(host) {
             return None;
         }
@@ -101,7 +107,12 @@ mod tests {
     fn query_returns_best_first() {
         let w = GeneratorConfig::tiny().build(41);
         let lg = LookingGlassNet::deploy(&w, 1.0, 1);
-        let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+        let stub = w
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.asn.value() >= 20_000)
+            .unwrap();
         let host = lg.hosts().next().unwrap();
         let routes = lg
             .query(&w, host, stub.prefixes[0], stub.asn)
@@ -117,7 +128,12 @@ mod tests {
     fn no_glass_no_answer() {
         let w = GeneratorConfig::tiny().build(41);
         let lg = LookingGlassNet::deploy(&w, 0.0, 1);
-        let stub = w.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+        let stub = w
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.asn.value() >= 20_000)
+            .unwrap();
         assert!(lg.query(&w, Asn(100), stub.prefixes[0], stub.asn).is_none());
         assert_eq!(lg.len(), 0);
     }

@@ -1,0 +1,253 @@
+//! Dense AS indexing: the single `Asn ↔ u32` mapping of the workspace.
+//!
+//! Three layers used to maintain their own ASN→index map (`GrModel`'s
+//! `BTreeMap`, `AsGraph`'s `by_asn`, ad-hoc scans of `RelationshipDb`).
+//! They now all go through [`AsnInterner`], and the model-computation hot
+//! path — one shortest-path pass per destination over the inferred
+//! topology — runs on [`TopologyArena`], a CSR (compressed sparse row)
+//! adjacency built once per `RelationshipDb` and shared via `Arc` across
+//! every per-destination computation, including concurrent ones.
+
+use crate::reldb::RelationshipDb;
+use ir_types::{Asn, Relationship};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+/// Bidirectional `Asn ↔ u32` mapping with O(1) lookup both ways.
+///
+/// Indices are dense, assigned in insertion order. Built from a sorted
+/// source (like [`RelationshipDb::asns`]) the index order equals ASN
+/// order, which keeps downstream iteration deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsnInterner {
+    asns: Vec<Asn>,
+    index: HashMap<Asn, u32>,
+}
+
+/// Interns every ASN yielded, in order, skipping duplicates — so
+/// `AsnInterner::from_iter(db.asns())` (or `.collect()`) builds the canonical
+/// dense mapping.
+impl FromIterator<Asn> for AsnInterner {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> AsnInterner {
+        let mut interner = AsnInterner::default();
+        for asn in iter {
+            interner.intern(asn);
+        }
+        interner
+    }
+}
+
+impl AsnInterner {
+    /// The index of `asn`, interning it if new.
+    pub fn intern(&mut self, asn: Asn) -> u32 {
+        if let Some(&i) = self.index.get(&asn) {
+            return i;
+        }
+        let i = u32::try_from(self.asns.len()).expect("more than u32::MAX ASes");
+        self.asns.push(asn);
+        self.index.insert(asn, i);
+        i
+    }
+
+    /// The index of `asn`, if interned.
+    pub fn get(&self, asn: Asn) -> Option<u32> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The ASN at `idx`. Panics on out-of-range indices.
+    pub fn asn(&self, idx: u32) -> Asn {
+        self.asns[idx as usize]
+    }
+
+    /// Number of interned ASNs.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// All ASNs in index order.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+}
+
+// The interner serializes as its ASN list; the reverse map is rebuilt.
+impl Serialize for AsnInterner {
+    fn serialize(&self) -> Value {
+        self.asns.serialize()
+    }
+}
+
+impl Deserialize for AsnInterner {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let asns: Vec<Asn> = Deserialize::deserialize(v)?;
+        Ok(AsnInterner::from_iter(asns))
+    }
+}
+
+/// CSR adjacency of an inferred relationship topology.
+///
+/// `neighbors(i)` is the contiguous slice of `(neighbor_index,
+/// relationship-of-neighbor-as-seen-from-i)` pairs — one flat allocation
+/// for the whole graph, cache-friendly for the BFS/Dijkstra passes that
+/// dominate classification time. Build once per [`RelationshipDb`], share
+/// via `Arc` across destinations and threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyArena {
+    interner: AsnInterner,
+    /// CSR row offsets; `len() + 1` entries.
+    offsets: Vec<u32>,
+    /// CSR payload: `(neighbor, rel-of-neighbor-from-row)`.
+    neighbors: Vec<(u32, Relationship)>,
+}
+
+impl TopologyArena {
+    /// Indexes a relationship snapshot. ASN indices follow ascending ASN
+    /// order ([`RelationshipDb::asns`] is sorted).
+    pub fn build(db: &RelationshipDb) -> TopologyArena {
+        let interner = AsnInterner::from_iter(db.asns());
+        let n = interner.len();
+
+        // Degree count, then prefix-sum into offsets, then fill.
+        let mut degree = vec![0u32; n];
+        for (a, b, _) in db.iter() {
+            degree[interner.get(a).expect("interned") as usize] += 1;
+            degree[interner.get(b).expect("interned") as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![(0u32, Relationship::Peer); total as usize];
+        for (a, b, rel) in db.iter() {
+            let ia = interner.get(a).expect("interned");
+            let ib = interner.get(b).expect("interned");
+            neighbors[cursor[ia as usize] as usize] = (ib, rel);
+            cursor[ia as usize] += 1;
+            neighbors[cursor[ib as usize] as usize] = (ia, rel.reverse());
+            cursor[ib as usize] += 1;
+        }
+        TopologyArena {
+            interner,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// The `Asn ↔ u32` mapping.
+    pub fn interner(&self) -> &AsnInterner {
+        &self.interner
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Adjacency row of the AS at `idx`.
+    pub fn neighbors(&self, idx: u32) -> &[(u32, Relationship)] {
+        &self.neighbors
+            [self.offsets[idx as usize] as usize..self.offsets[idx as usize + 1] as usize]
+    }
+
+    /// Relationship of `b` as seen from `a`, by index.
+    pub fn rel_idx(&self, a: u32, b: u32) -> Option<Relationship> {
+        self.neighbors(a)
+            .iter()
+            .find(|(x, _)| *x == b)
+            .map(|(_, r)| *r)
+    }
+
+    /// Relationship of `b` as seen from `a`, by ASN.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.rel_idx(self.interner.get(a)?, self.interner.get(b)?)
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RelationshipDb {
+        use Relationship::*;
+        let mut db = RelationshipDb::default();
+        db.insert(Asn(1), Asn(2), Peer);
+        db.insert(Asn(3), Asn(1), Provider); // 1 provider of 3
+        db.insert(Asn(30), Asn(3), Sibling);
+        db
+    }
+
+    #[test]
+    fn interner_round_trips_and_is_dense() {
+        let i = AsnInterner::from_iter([Asn(5), Asn(9), Asn(5), Asn(2)]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.get(Asn(9)), Some(1));
+        assert_eq!(i.asn(2), Asn(2));
+        assert_eq!(i.get(Asn(7)), None);
+        assert_eq!(i.asns(), &[Asn(5), Asn(9), Asn(2)]);
+    }
+
+    #[test]
+    fn interner_serde_round_trip() {
+        let i = AsnInterner::from_iter([Asn(10), Asn(4), Asn(7)]);
+        let back = AsnInterner::deserialize(&i.serialize()).unwrap();
+        assert_eq!(back, i);
+        assert_eq!(back.get(Asn(4)), Some(1));
+    }
+
+    #[test]
+    fn arena_matches_db_adjacency() {
+        let db = db();
+        let arena = TopologyArena::build(&db);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.link_count(), db.len());
+        // Index order follows ascending ASN order.
+        assert_eq!(arena.interner().asns(), &[Asn(1), Asn(2), Asn(3), Asn(30)]);
+        for (a, b, rel) in db.iter() {
+            assert_eq!(arena.rel(a, b), Some(rel), "{a}-{b}");
+            assert_eq!(arena.rel(b, a), Some(rel.reverse()), "{b}-{a}");
+        }
+        assert_eq!(arena.rel(Asn(2), Asn(3)), None);
+        assert_eq!(arena.rel(Asn(999), Asn(1)), None);
+    }
+
+    #[test]
+    fn neighbor_rows_are_complete() {
+        let db = db();
+        let arena = TopologyArena::build(&db);
+        let i1 = arena.interner().get(Asn(1)).unwrap();
+        let row: Vec<(Asn, Relationship)> = arena
+            .neighbors(i1)
+            .iter()
+            .map(|&(n, r)| (arena.interner().asn(n), r))
+            .collect();
+        assert_eq!(row.len(), 2);
+        assert!(row.contains(&(Asn(2), Relationship::Peer)));
+        assert!(row.contains(&(Asn(3), Relationship::Customer)));
+    }
+
+    #[test]
+    fn empty_db_builds_empty_arena() {
+        let arena = TopologyArena::build(&RelationshipDb::default());
+        assert!(arena.is_empty());
+        assert_eq!(arena.link_count(), 0);
+    }
+}

@@ -54,7 +54,11 @@ pub struct CableMap {
 impl CableMap {
     /// Adds a cable system to the map.
     pub fn add(&mut self, system: CableSystem) {
-        assert!(system.landings.len() >= 2, "cable {} needs ≥2 landings", system.name);
+        assert!(
+            system.landings.len() >= 2,
+            "cable {} needs ≥2 landings",
+            system.name
+        );
         self.systems.push(system);
     }
 
@@ -92,7 +96,10 @@ mod tests {
             landings: vec![CityId(1), CityId(8)],
             ownership: CableOwnership::Independent(Asn(77)),
         });
-        assert_eq!(map.cable_asns().into_iter().collect::<Vec<_>>(), vec![Asn(77)]);
+        assert_eq!(
+            map.cable_asns().into_iter().collect::<Vec<_>>(),
+            vec![Asn(77)]
+        );
         assert!(map.is_cable_asn(Asn(77)));
         assert!(!map.is_cable_asn(Asn(1)));
         assert_eq!(map.systems().len(), 2);

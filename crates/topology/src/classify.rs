@@ -35,7 +35,10 @@ impl TypeClassifier {
                 Relationship::Peer | Relationship::Sibling => {}
             }
         }
-        TypeClassifier { customers, has_provider }
+        TypeClassifier {
+            customers,
+            has_provider,
+        }
     }
 
     /// Customer-cone size of `asn` (itself included).

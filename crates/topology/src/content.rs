@@ -58,8 +58,16 @@ pub struct ContentCatalog {
 impl ContentCatalog {
     /// Adds a provider.
     pub fn add(&mut self, p: ContentProvider) {
-        assert!(!p.hostnames.is_empty(), "provider {} has no hostnames", p.name);
-        assert!(!p.deployments.is_empty(), "provider {} has no deployments", p.name);
+        assert!(
+            !p.hostnames.is_empty(),
+            "provider {} has no hostnames",
+            p.name
+        );
+        assert!(
+            !p.deployments.is_empty(),
+            "provider {} has no deployments",
+            p.name
+        );
         self.providers.push(p);
     }
 
@@ -83,14 +91,19 @@ impl ContentCatalog {
 
     /// The provider a hostname belongs to.
     pub fn provider_of(&self, hostname: &str) -> Option<&ContentProvider> {
-        self.providers.iter().find(|p| p.hostnames.iter().any(|h| h == hostname))
+        self.providers
+            .iter()
+            .find(|p| p.hostnames.iter().any(|h| h == hostname))
     }
 
     /// All ASNs that can appear as traceroute destinations (origin ASes and
     /// off-net hosts) — the "218 destination ASes" effect.
     pub fn destination_asns(&self) -> Vec<Asn> {
-        let mut asns: Vec<Asn> =
-            self.providers.iter().flat_map(|p| p.deployments.iter().map(|d| d.host_as)).collect();
+        let mut asns: Vec<Asn> = self
+            .providers
+            .iter()
+            .flat_map(|p| p.deployments.iter().map(|d| d.host_as))
+            .collect();
         asns.sort_unstable();
         asns.dedup();
         asns
@@ -109,8 +122,16 @@ mod tests {
             hostnames: vec!["www.content0.example".into(), "cdn.content0.example".into()],
             origin_asns: vec![Asn(500)],
             deployments: vec![
-                Deployment { host_as: Asn(500), prefix: "10.5.0.0/24".parse().unwrap(), offnet: false },
-                Deployment { host_as: Asn(42), prefix: "10.9.1.0/26".parse().unwrap(), offnet: true },
+                Deployment {
+                    host_as: Asn(500),
+                    prefix: "10.5.0.0/24".parse().unwrap(),
+                    offnet: false,
+                },
+                Deployment {
+                    host_as: Asn(42),
+                    prefix: "10.9.1.0/26".parse().unwrap(),
+                    offnet: true,
+                },
             ],
         });
         c
@@ -120,7 +141,10 @@ mod tests {
     fn hostname_lookup_and_counts() {
         let c = catalog();
         assert_eq!(c.hostname_count(), 2);
-        assert_eq!(c.provider_of("cdn.content0.example").unwrap().name, "content0");
+        assert_eq!(
+            c.provider_of("cdn.content0.example").unwrap().name,
+            "content0"
+        );
         assert!(c.provider_of("nope.example").is_none());
         assert_eq!(c.hostnames().count(), 2);
     }

@@ -104,7 +104,13 @@ mod tests {
         };
         let p = g.add_node(mk(1));
         let c = g.add_node(mk(2));
-        g.add_link(p, c, Relationship::Customer, vec![CityId(0)], LinkKind::Normal);
+        g.add_link(
+            p,
+            c,
+            Relationship::Customer,
+            vec![CityId(0)],
+            LinkKind::Normal,
+        );
         let dot = to_dot(&g);
         // Arrow from customer (2) to provider (1).
         assert!(dot.contains("n2 -- n1 [style=solid, dir=forward]"), "{dot}");

@@ -218,7 +218,9 @@ impl Builder {
         // Blocks start at 16.0.0.0 and advance by 4096 addresses.
         let base = 0x1000_0000u32 + self.next_prefix_block * 4096;
         self.next_prefix_block += 1;
-        (0..n).map(|i| Prefix::new(Ipv4(base + (i as u32) * 256), 24)).collect()
+        (0..n)
+            .map(|i| Prefix::new(Ipv4(base + (i as u32) * 256), 24))
+            .collect()
     }
 
     fn random_country(&mut self) -> CountryId {
@@ -231,11 +233,23 @@ impl Builder {
     }
 
     /// Registers an organization + whois for a (possibly multi-AS) org.
-    fn register_org(&mut self, name: &str, country: CountryId, asns: &[Asn], freemail: bool) -> OrgId {
+    fn register_org(
+        &mut self,
+        name: &str,
+        country: CountryId,
+        asns: &[Asn],
+        freemail: bool,
+    ) -> OrgId {
         let id = OrgId(self.orgs.orgs().len() as u32);
         let soa = format!("{name}-net.example");
         let domains: Vec<String> = (0..asns.len().max(1))
-            .map(|i| if i == 0 { format!("{name}.example") } else { format!("{name}-{i}.example") })
+            .map(|i| {
+                if i == 0 {
+                    format!("{name}.example")
+                } else {
+                    format!("{name}-{i}.example")
+                }
+            })
             .collect();
         self.orgs.add_org(Organization {
             id,
@@ -246,7 +260,11 @@ impl Builder {
         });
         for (i, &asn) in asns.iter().enumerate() {
             let email = if freemail {
-                format!("admin{}@{}", asn.value(), FREEMAIL_DOMAINS[i % FREEMAIL_DOMAINS.len()])
+                format!(
+                    "admin{}@{}",
+                    asn.value(),
+                    FREEMAIL_DOMAINS[i % FREEMAIL_DOMAINS.len()]
+                )
             } else {
                 format!("noc@{}", domains[i % domains.len()])
             };
@@ -327,7 +345,11 @@ impl Builder {
             // 2–3 ASNs covering different continents.
             let sibling_group = self.rng.random_bool(self.cfg.sibling_org_fraction)
                 && self.cfg.tier1s - tier1s.len() >= 3;
-            let n_asns = if sibling_group { self.rng.random_range(2..=3) } else { 1 };
+            let n_asns = if sibling_group {
+                self.rng.random_range(2..=3)
+            } else {
+                1
+            };
             let home = self.random_country();
             let asns: Vec<Asn> = (0..n_asns).map(|k| Asn(asn_cursor + k as u32)).collect();
             asn_cursor += n_asns as u32;
@@ -385,7 +407,12 @@ impl Builder {
                 // sometimes one more continent.
                 let continent = self.geo.continent_of_country(home);
                 let mut presence = Vec::new();
-                for country in self.geo.countries_on(continent).map(|c| c.id).collect::<Vec<_>>() {
+                for country in self
+                    .geo
+                    .countries_on(continent)
+                    .map(|c| c.id)
+                    .collect::<Vec<_>>()
+                {
                     if self.rng.random_bool(0.8) {
                         let cities = self.cities_of_country(country);
                         presence.push(cities[self.rng.random_range(0..cities.len())]);
@@ -421,8 +448,12 @@ impl Builder {
                 if self.graph.link(a, b).is_some() {
                     continue;
                 }
-                let same = self.geo.continent_of_country(self.graph.node(a).home_country)
-                    == self.geo.continent_of_country(self.graph.node(b).home_country);
+                let same = self
+                    .geo
+                    .continent_of_country(self.graph.node(a).home_country)
+                    == self
+                        .geo
+                        .continent_of_country(self.graph.node(b).home_country);
                 let p = if same { 0.30 } else { 0.05 };
                 if self.rng.random_bool(p) {
                     self.connect(a, b, Relationship::Peer, LinkKind::Normal);
@@ -450,7 +481,9 @@ impl Builder {
                     .iter()
                     .copied()
                     .filter(|&l| {
-                        self.geo.continent_of_country(self.graph.node(l).home_country) == continent
+                        self.geo
+                            .continent_of_country(self.graph.node(l).home_country)
+                            == continent
                     })
                     .collect();
                 if candidates.is_empty() {
@@ -468,7 +501,12 @@ impl Builder {
             for x in 0..in_country.len() {
                 for y in (x + 1)..in_country.len() {
                     if self.rng.random_bool(self.cfg.edge_peering_prob) {
-                        self.connect(in_country[x], in_country[y], Relationship::Peer, LinkKind::Normal);
+                        self.connect(
+                            in_country[x],
+                            in_country[y],
+                            Relationship::Peer,
+                            LinkKind::Normal,
+                        );
                     }
                 }
             }
@@ -492,13 +530,19 @@ impl Builder {
                 .iter()
                 .copied()
                 .filter(|&l| {
-                    self.geo.continent_of_country(self.graph.node(l).home_country) == continent
+                    self.geo
+                        .continent_of_country(self.graph.node(l).home_country)
+                        == continent
                 })
                 .collect();
             for k in 0..self.cfg.stubs_per_country {
                 let asn = Asn(asn_cursor);
                 asn_cursor += 1;
-                let role = if k % 10 < 7 { AsRole::Eyeball } else { AsRole::Enterprise };
+                let role = if k % 10 < 7 {
+                    AsRole::Eyeball
+                } else {
+                    AsRole::Enterprise
+                };
                 // A sprinkle of freemail whois records pollutes sibling
                 // inference exactly as on the real Internet.
                 let freemail = self.rng.random_bool(0.05);
@@ -509,7 +553,11 @@ impl Builder {
                 let mut presence = cities;
                 presence.shuffle(&mut self.rng);
                 presence.truncate(n_cities);
-                let n_pfx = if self.rng.random_bool(0.4) { self.rng.random_range(2..=4) } else { 1 };
+                let n_pfx = if self.rng.random_bool(0.4) {
+                    self.rng.random_range(2..=4)
+                } else {
+                    1
+                };
                 let idx = self.add_as(asn, org, home, presence, role, n_pfx);
                 // Providers: 1–3, mostly local small ISPs, sometimes a large.
                 let n_prov = self.rng.random_range(1..=3usize);
@@ -552,10 +600,16 @@ impl Builder {
                     .iter()
                     .copied()
                     .filter(|&l| {
-                        self.geo.continent_of_country(self.graph.node(l).home_country) == continent
+                        self.geo
+                            .continent_of_country(self.graph.node(l).home_country)
+                            == continent
                     })
                     .collect();
-                let pool = if cont_larges.is_empty() { larges } else { &cont_larges[..] };
+                let pool = if cont_larges.is_empty() {
+                    larges
+                } else {
+                    &cont_larges[..]
+                };
                 let p = pool[self.rng.random_range(0..pool.len())];
                 self.connect(p, idx, Relationship::Customer, LinkKind::Normal);
                 edus.push(idx);
@@ -588,7 +642,11 @@ impl Builder {
         let mut remaining = self.cfg.content_hostnames.saturating_sub(n);
         let mut hi = 0usize;
         while remaining > 0 {
-            let take = if hi < 2 { remaining.min(5) } else { remaining.min(2) };
+            let take = if hi < 2 {
+                remaining.min(5)
+            } else {
+                remaining.min(2)
+            };
             host_counts[hi % n] += take;
             remaining -= take;
             hi += 1;
@@ -598,7 +656,7 @@ impl Builder {
             .copied()
             .filter(|&s| self.graph.node(s).role == AsRole::Eyeball)
             .collect();
-        for i in 0..n {
+        for (i, &host_count) in host_counts.iter().enumerate() {
             let asn = Asn(asn_plan::CONTENT_BASE + i as u32);
             let home = self.random_country();
             let name = format!("content{i}");
@@ -646,7 +704,11 @@ impl Builder {
             let own_pfx = self.graph.node(idx).prefixes.clone();
             let mut deployments: Vec<Deployment> = own_pfx
                 .iter()
-                .map(|p| Deployment { host_as: asn, prefix: *p, offnet: false })
+                .map(|p| Deployment {
+                    host_as: asn,
+                    prefix: *p,
+                    offnet: false,
+                })
                 .collect();
             let n_offnet = if i == 0 {
                 self.rng.random_range(18..=24usize)
@@ -666,9 +728,13 @@ impl Builder {
                 let host_node = self.graph.node(h);
                 let base = *host_node.prefixes.last().expect("host has a prefix");
                 let cache = Prefix::new(Ipv4(base.base.0 + 64), 26);
-                deployments.push(Deployment { host_as: host_node.asn, prefix: cache, offnet: true });
+                deployments.push(Deployment {
+                    host_as: host_node.asn,
+                    prefix: cache,
+                    offnet: true,
+                });
             }
-            let hostnames: Vec<String> = (0..host_counts[i])
+            let hostnames: Vec<String> = (0..host_count)
                 .map(|k| {
                     if k == 0 {
                         format!("www.{name}.example")
@@ -701,8 +767,10 @@ impl Builder {
             if la.is_empty() || lb.is_empty() {
                 continue;
             }
-            let landings =
-                vec![la[self.rng.random_range(0..la.len())], lb[self.rng.random_range(0..lb.len())]];
+            let landings = vec![
+                la[self.rng.random_range(0..la.len())],
+                lb[self.rng.random_range(0..lb.len())],
+            ];
             if self.rng.random_bool(self.cfg.independent_cable_fraction) {
                 // Independently-operated cable: its own ASN; subscriber ISPs
                 // (one near each landing) become its customers — the cable
@@ -719,7 +787,8 @@ impl Builder {
                         .chain(tier1s.iter())
                         .copied()
                         .filter(|&x| {
-                            self.geo.continent_of_country(self.graph.node(x).home_country)
+                            self.geo
+                                .continent_of_country(self.graph.node(x).home_country)
                                 == continent
                         })
                         .collect();
@@ -756,7 +825,8 @@ impl Builder {
                     .chain(larges.iter())
                     .copied()
                     .filter(|&x| {
-                        self.geo.continent_of_country(self.graph.node(x).home_country)
+                        self.geo
+                            .continent_of_country(self.graph.node(x).home_country)
                             == continents.0
                     })
                     .collect();
@@ -765,7 +835,8 @@ impl Builder {
                     .chain(larges.iter())
                     .copied()
                     .filter(|&x| {
-                        self.geo.continent_of_country(self.graph.node(x).home_country)
+                        self.geo
+                            .continent_of_country(self.graph.node(x).home_country)
                             == continents.1
                     })
                     .collect();
@@ -871,10 +942,9 @@ impl Builder {
         policies.resize_with(self.graph.len(), PolicySpec::default);
 
         // Universal knobs.
-        for idx in 0..self.graph.len() {
-            policies[idx].no_loop_prevention =
-                self.rng.random_bool(self.cfg.no_loop_prevention_fraction);
-            policies[idx].filters_as_sets = self.rng.random_bool(self.cfg.filters_as_sets_fraction);
+        for policy in policies.iter_mut() {
+            policy.no_loop_prevention = self.rng.random_bool(self.cfg.no_loop_prevention_fraction);
+            policy.filters_as_sets = self.rng.random_bool(self.cfg.filters_as_sets_fraction);
         }
 
         // Domestic-path preference at edge ASes (stubs + small ISPs).
@@ -887,7 +957,7 @@ impl Builder {
         // Finer-grained neighbor rankings at transit ASes: deprioritize one
         // customer below peers (a Cogent-like economics quirk) or boost one
         // provider above peers.
-        for idx in 0..self.graph.len() {
+        for (idx, policy) in policies.iter_mut().enumerate() {
             if self.graph.node(idx).role != AsRole::Transit {
                 continue;
             }
@@ -907,10 +977,10 @@ impl Builder {
                 .collect();
             if !customers.is_empty() && self.rng.random_bool(0.6) {
                 let c = customers[self.rng.random_range(0..customers.len())];
-                policies[idx].neighbor_pref.insert(c, -150); // below peers
+                policy.neighbor_pref.insert(c, -150); // below peers
             } else if !providers.is_empty() {
                 let p = providers[self.rng.random_range(0..providers.len())];
-                policies[idx].neighbor_pref.insert(p, 250); // above peers
+                policy.neighbor_pref.insert(p, 250); // above peers
             }
         }
 
@@ -919,7 +989,9 @@ impl Builder {
         for (provider, customer) in pairs {
             if self.rng.random_bool(self.cfg.partial_transit_fraction) {
                 let c_asn = self.graph.asn(customer);
-                policies[provider].partial_transit.insert(c_asn, TransitScope::CustomerRoutesOnly);
+                policies[provider]
+                    .partial_transit
+                    .insert(c_asn, TransitScope::CustomerRoutesOnly);
             }
         }
 
@@ -961,12 +1033,21 @@ impl Builder {
         let psp_candidates: Vec<NodeIdx> = contents
             .iter()
             .copied()
-            .chain(stubs.iter().copied().filter(|&s| self.graph.node(s).prefixes.len() >= 2))
+            .chain(
+                stubs
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.graph.node(s).prefixes.len() >= 2),
+            )
             .collect();
         for idx in psp_candidates {
             // Content providers are the heaviest users of per-prefix
             // policies (premium service blocks); edge origins less so.
-            let p = if contents.contains(&idx) { 0.9 } else { self.cfg.psp_fraction };
+            let p = if contents.contains(&idx) {
+                0.9
+            } else {
+                self.cfg.psp_fraction
+            };
             if !self.rng.random_bool(p) {
                 continue;
             }
@@ -974,9 +1055,7 @@ impl Builder {
                 .graph
                 .links(idx)
                 .iter()
-                .filter(|l| {
-                    matches!(l.rel, Relationship::Provider | Relationship::Peer)
-                })
+                .filter(|l| matches!(l.rel, Relationship::Provider | Relationship::Peer))
                 .map(|l| self.graph.asn(l.peer))
                 .collect();
             if neighbors.len() < 2 {
@@ -986,7 +1065,11 @@ impl Builder {
             // Restrict the last prefix (content providers: the last two —
             // enterprise-class service blocks) to a strict subset of
             // neighbors.
-            let n_restricted = if contents.contains(&idx) && prefixes.len() >= 3 { 2 } else { 1 };
+            let n_restricted = if contents.contains(&idx) && prefixes.len() >= 3 {
+                2
+            } else {
+                1
+            };
             for pfx in prefixes.iter().rev().take(n_restricted) {
                 // Enterprise-class prefixes go to a single (premium)
                 // provider.
@@ -994,7 +1077,9 @@ impl Builder {
                 let mut picked = neighbors.clone();
                 picked.shuffle(&mut self.rng);
                 picked.truncate(keep);
-                policies[idx].selective_announce.insert(*pfx, picked.into_iter().collect());
+                policies[idx]
+                    .selective_announce
+                    .insert(*pfx, picked.into_iter().collect());
             }
         }
 
@@ -1014,7 +1099,11 @@ mod tests {
     fn world_validates() {
         let w = world();
         w.validate().expect("generated world is self-consistent");
-        assert!(w.graph.len() > 50, "tiny world still has substance: {}", w.graph.len());
+        assert!(
+            w.graph.len() > 50,
+            "tiny world still has substance: {}",
+            w.graph.len()
+        );
     }
 
     #[test]
@@ -1072,11 +1161,16 @@ mod tests {
         let any_psp = w.policies.iter().any(|p| !p.selective_announce.is_empty());
         let any_partial = w.policies.iter().any(|p| !p.partial_transit.is_empty());
         let any_npref = w.policies.iter().any(|p| !p.neighbor_pref.is_empty());
-        let any_hybrid = (0..w.graph.len())
-            .any(|i| w.graph.links(i).iter().any(|l| l.is_hybrid()));
-        assert!(any_domestic && any_psp && any_partial && any_npref, "policy deviations seeded");
+        let any_hybrid = (0..w.graph.len()).any(|i| w.graph.links(i).iter().any(|l| l.is_hybrid()));
+        assert!(
+            any_domestic && any_psp && any_partial && any_npref,
+            "policy deviations seeded"
+        );
         assert!(any_hybrid, "hybrid links seeded");
-        assert!(!w.cables.cable_asns().is_empty(), "independent cables exist");
+        assert!(
+            !w.cables.cable_asns().is_empty(),
+            "independent cables exist"
+        );
     }
 
     #[test]
@@ -1106,7 +1200,12 @@ mod tests {
         assert!(!offnets.is_empty());
         for d in offnets {
             let host = w.graph.index_of(d.host_as).expect("host AS exists");
-            assert!(w.graph.node(host).prefixes.iter().any(|p| p.covers(&d.prefix)));
+            assert!(w
+                .graph
+                .node(host)
+                .prefixes
+                .iter()
+                .any(|p| p.covers(&d.prefix)));
         }
     }
 

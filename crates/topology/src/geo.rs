@@ -59,7 +59,11 @@ impl Geography {
                     id: cid,
                     continent,
                     cities,
-                    code: format!("{}{}", (b'a' + (n / 26) as u8) as char, (b'a' + (n % 26) as u8) as char),
+                    code: format!(
+                        "{}{}",
+                        (b'a' + (n / 26) as u8) as char,
+                        (b'a' + (n % 26) as u8) as char
+                    ),
                 });
             }
         }
@@ -103,7 +107,9 @@ impl Geography {
 
     /// Countries on a given continent, in id order.
     pub fn countries_on(&self, continent: Continent) -> impl Iterator<Item = &Country> {
-        self.countries.iter().filter(move |c| c.continent == continent)
+        self.countries
+            .iter()
+            .filter(move |c| c.continent == continent)
     }
 
     /// Coastal cities on a given continent (candidate cable landings).

@@ -6,9 +6,9 @@
 //! relationships of Giotsas et al. (§4.1 of the paper), where the same AS
 //! pair peers in one city and has a transit arrangement in another.
 
+use crate::arena::AsnInterner;
 use ir_types::{AsType, Asn, CityId, CountryId, OrgId, Prefix, Relationship};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Dense index of a node inside an [`AsGraph`].
 pub type NodeIdx = usize;
@@ -106,15 +106,17 @@ pub struct AsNode {
 pub struct AsGraph {
     nodes: Vec<AsNode>,
     adj: Vec<Vec<Link>>,
-    by_asn: BTreeMap<Asn, NodeIdx>,
+    /// Node indices are interner indices: both are assigned densely in
+    /// insertion order, so `interner.get(asn) == Some(idx)` for every node.
+    interner: AsnInterner,
 }
 
 impl AsGraph {
     /// Adds a node; its ASN must be unique. Returns the node's index.
     pub fn add_node(&mut self, node: AsNode) -> NodeIdx {
         let idx = self.nodes.len();
-        let prev = self.by_asn.insert(node.asn, idx);
-        assert!(prev.is_none(), "duplicate ASN {}", node.asn);
+        let interned = self.interner.intern(node.asn) as NodeIdx;
+        assert!(interned == idx, "duplicate ASN {}", node.asn);
         self.nodes.push(node);
         self.adj.push(Vec::new());
         idx
@@ -159,7 +161,13 @@ impl AsGraph {
 
     /// Sets a hybrid (per-city) relationship override on the `a`–`b` link;
     /// both directional views are updated consistently.
-    pub fn set_hybrid(&mut self, a: NodeIdx, b: NodeIdx, city: CityId, rel_of_b_from_a: Relationship) {
+    pub fn set_hybrid(
+        &mut self,
+        a: NodeIdx,
+        b: NodeIdx,
+        city: CityId,
+        rel_of_b_from_a: Relationship,
+    ) {
         let la = self.link_mut(a, b).expect("hybrid on missing link");
         la.rel_by_city.retain(|(c, _)| *c != city);
         la.rel_by_city.push((city, rel_of_b_from_a));
@@ -176,7 +184,9 @@ impl AsGraph {
 
     /// Sets the IGP cost of the directional view `a → b`.
     pub fn set_igp_cost(&mut self, a: NodeIdx, b: NodeIdx, cost: u32) {
-        self.link_mut(a, b).expect("igp cost on missing link").igp_cost = cost;
+        self.link_mut(a, b)
+            .expect("igp cost on missing link")
+            .igp_cost = cost;
     }
 
     /// Removes the link between `a` and `b` (both directional views).
@@ -213,9 +223,14 @@ impl AsGraph {
         &self.nodes
     }
 
-    /// Index of the node with the given ASN.
+    /// Index of the node with the given ASN. O(1) via the interner.
     pub fn index_of(&self, asn: Asn) -> Option<NodeIdx> {
-        self.by_asn.get(&asn).copied()
+        self.interner.get(asn).map(|i| i as NodeIdx)
+    }
+
+    /// The graph's `Asn ↔ NodeIdx` interner.
+    pub fn interner(&self) -> &AsnInterner {
+        &self.interner
     }
 
     /// ASN of the node at `idx`.
@@ -250,12 +265,18 @@ impl AsGraph {
 
     /// Customers of `idx` (nodes for which `idx` is a provider).
     pub fn customers(&self, idx: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.adj[idx].iter().filter(|l| l.rel == Relationship::Customer).map(|l| l.peer)
+        self.adj[idx]
+            .iter()
+            .filter(|l| l.rel == Relationship::Customer)
+            .map(|l| l.peer)
     }
 
     /// Providers of `idx`.
     pub fn providers(&self, idx: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
-        self.adj[idx].iter().filter(|l| l.rel == Relationship::Provider).map(|l| l.peer)
+        self.adj[idx]
+            .iter()
+            .filter(|l| l.rel == Relationship::Provider)
+            .map(|l| l.peer)
     }
 
     /// Size of the customer cone of `idx` (the AS itself plus all ASes
@@ -319,7 +340,13 @@ mod tests {
         let p = g.add_node(node(1));
         let c = g.add_node(node(2));
         let x = g.add_node(node(3));
-        g.add_link(p, c, Relationship::Customer, vec![CityId(0)], LinkKind::Normal);
+        g.add_link(
+            p,
+            c,
+            Relationship::Customer,
+            vec![CityId(0)],
+            LinkKind::Normal,
+        );
         g.add_link(p, x, Relationship::Peer, vec![CityId(1)], LinkKind::Normal);
         (g, p, c, x)
     }

@@ -20,6 +20,7 @@
 //! *inferred* relationship datasets — and a CAIDA serial-1-style text
 //! [`serial`]ization for them.
 
+pub mod arena;
 pub mod cables;
 pub mod classify;
 pub mod content;
@@ -33,6 +34,7 @@ pub mod reldb;
 pub mod serial;
 pub mod world;
 
+pub use arena::{AsnInterner, TopologyArena};
 pub use gen::GeneratorConfig;
 pub use graph::{AsGraph, AsNode, AsRole, Link, LinkKind, NodeIdx};
 pub use reldb::RelationshipDb;

@@ -67,7 +67,8 @@ impl OrgRegistry {
         for d in &org.domains {
             self.soa.insert(d.clone(), org.soa_domain.clone());
         }
-        self.soa.insert(org.soa_domain.clone(), org.soa_domain.clone());
+        self.soa
+            .insert(org.soa_domain.clone(), org.soa_domain.clone());
         self.orgs.push(org);
     }
 
@@ -110,7 +111,10 @@ impl OrgRegistry {
 
 /// Extracts the domain part of an email address.
 pub fn email_domain(email: &str) -> Option<&str> {
-    email.split_once('@').map(|(_, d)| d).filter(|d| !d.is_empty())
+    email
+        .split_once('@')
+        .map(|(_, d)| d)
+        .filter(|d| !d.is_empty())
 }
 
 #[cfg(test)]
@@ -145,8 +149,14 @@ mod tests {
     fn soa_unifies_org_domains() {
         let r = registry();
         assert_eq!(r.soa_lookup("dish.example"), Some("dishnetwork.example"));
-        assert_eq!(r.soa_lookup("dishaccess.example"), Some("dishnetwork.example"));
-        assert_eq!(r.soa_lookup("dishnetwork.example"), Some("dishnetwork.example"));
+        assert_eq!(
+            r.soa_lookup("dishaccess.example"),
+            Some("dishnetwork.example")
+        );
+        assert_eq!(
+            r.soa_lookup("dishnetwork.example"),
+            Some("dishnetwork.example")
+        );
         assert_eq!(r.soa_lookup("unrelated.example"), None);
     }
 

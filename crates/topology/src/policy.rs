@@ -82,7 +82,10 @@ impl PolicySpec {
 
     /// The transit scope this AS grants `neighbor`.
     pub fn transit_scope(&self, neighbor: Asn) -> TransitScope {
-        self.partial_transit.get(&neighbor).copied().unwrap_or(TransitScope::Full)
+        self.partial_transit
+            .get(&neighbor)
+            .copied()
+            .unwrap_or(TransitScope::Full)
     }
 
     /// Local-pref delta for routes learned from `neighbor`.
@@ -142,7 +145,8 @@ mod tests {
     #[test]
     fn partial_transit_and_pref_delta() {
         let mut p = PolicySpec::default();
-        p.partial_transit.insert(Asn(9), TransitScope::CustomerRoutesOnly);
+        p.partial_transit
+            .insert(Asn(9), TransitScope::CustomerRoutesOnly);
         p.neighbor_pref.insert(Asn(9), -50);
         assert_eq!(p.transit_scope(Asn(9)), TransitScope::CustomerRoutesOnly);
         assert_eq!(p.pref_delta(Asn(9)), -50);

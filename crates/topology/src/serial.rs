@@ -21,7 +21,11 @@ pub struct ParseSerialError {
 
 impl std::fmt::Display for ParseSerialError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serial-1 parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "serial-1 parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -69,7 +73,10 @@ pub fn from_serial1(text: &str) -> Result<RelationshipDb, ParseSerialError> {
             continue;
         }
         let mut parts = line.split('|');
-        let err = |m: &str| ParseSerialError { line: line_no, message: m.to_string() };
+        let err = |m: &str| ParseSerialError {
+            line: line_no,
+            message: m.to_string(),
+        };
         let a: u32 = parts
             .next()
             .ok_or_else(|| err("missing first ASN"))?

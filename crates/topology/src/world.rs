@@ -90,7 +90,6 @@ impl World {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::gen::GeneratorConfig;
     use crate::graph::{AsNode, AsRole};
     use ir_types::{Asn, CityId, CountryId, Ipv4, OrgId, Prefix};
@@ -98,7 +97,10 @@ mod tests {
     #[test]
     fn generated_worlds_validate() {
         for seed in [1u64, 2, 3] {
-            GeneratorConfig::tiny().build(seed).validate().expect("valid world");
+            GeneratorConfig::tiny()
+                .build(seed)
+                .validate()
+                .expect("valid world");
         }
     }
 
@@ -159,7 +161,6 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
     use crate::gen::GeneratorConfig;
     use proptest::prelude::*;
 

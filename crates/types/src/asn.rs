@@ -68,7 +68,12 @@ pub enum AsType {
 
 impl AsType {
     /// All variants, in the order Table 1 lists them.
-    pub const ALL: [AsType; 4] = [AsType::Stub, AsType::SmallIsp, AsType::LargeIsp, AsType::Tier1];
+    pub const ALL: [AsType; 4] = [
+        AsType::Stub,
+        AsType::SmallIsp,
+        AsType::LargeIsp,
+        AsType::Tier1,
+    ];
 
     /// Human-readable label matching the paper's Table 1 rows.
     pub fn label(self) -> &'static str {

@@ -58,7 +58,10 @@ impl Continent {
 
     /// Index into [`Continent::ALL`].
     pub fn index(self) -> usize {
-        Continent::ALL.iter().position(|c| *c == self).expect("continent in ALL")
+        Continent::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("continent in ALL")
     }
 }
 

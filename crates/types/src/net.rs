@@ -23,7 +23,12 @@ impl Ipv4 {
 
     /// Returns the four octets most-significant first.
     pub const fn octets(self) -> [u8; 4] {
-        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
     }
 }
 
@@ -77,7 +82,10 @@ impl Prefix {
     /// Builds a prefix, masking off host bits. Panics if `len > 32`.
     pub fn new(base: Ipv4, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
-        Prefix { base: Ipv4(base.0 & Self::mask(len)), len }
+        Prefix {
+            base: Ipv4(base.0 & Self::mask(len)),
+            len,
+        }
     }
 
     /// Bit mask selecting the network part of a `len`-bit prefix.
@@ -109,7 +117,11 @@ impl Prefix {
 
     /// The `i`-th host address inside the prefix. Panics if out of range.
     pub fn addr(&self, i: u64) -> Ipv4 {
-        assert!(i < self.size(), "host index {i} out of range for /{}", self.len);
+        assert!(
+            i < self.size(),
+            "host index {i} out of range for /{}",
+            self.len
+        );
         Ipv4(self.base.0 + i as u32)
     }
 }

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn caida_codes_roundtrip() {
-        for e in [EdgeRel::CustomerToProvider, EdgeRel::PeerToPeer, EdgeRel::SiblingToSibling] {
+        for e in [
+            EdgeRel::CustomerToProvider,
+            EdgeRel::PeerToPeer,
+            EdgeRel::SiblingToSibling,
+        ] {
             assert_eq!(EdgeRel::from_caida_code(e.caida_code()), Some(e));
         }
         assert_eq!(EdgeRel::from_caida_code(7), None);

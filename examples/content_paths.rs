@@ -5,7 +5,7 @@
 //! cargo run --release --example content_paths
 //! ```
 
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_core::skew::{violations, SkewBy, SkewCurve};
 use ir_experiments::scenario::{Scenario, ScenarioConfig};
 
@@ -30,8 +30,8 @@ fn main() {
     println!("{}", fig1.render());
 
     // Who do the violations point at? (Figure 2 / §5.)
-    let mut classifier = Classifier::new(&scenario.inferred, ClassifyConfig::default());
-    let vs = violations(&mut classifier, &scenario.decisions);
+    let classifier = Classifier::new(&scenario.inferred, ClassifyConfig::default());
+    let vs = violations(&classifier, &scenario.decisions);
     let by_dest = SkewCurve::build(&vs, SkewBy::Destination, None);
     println!("violations: {} total; top destinations:", vs.len());
     for (asn, n) in by_dest.ranked.iter().take(5) {
@@ -43,11 +43,18 @@ fn main() {
             .find(|p| p.origin_asns.contains(asn))
             .map(|p| format!(" ({})", p.name))
             .unwrap_or_default();
-        println!("  {asn}{provider}: {n} ({:.1}%)", 100.0 * *n as f64 / vs.len() as f64);
+        println!(
+            "  {asn}{provider}: {n} ({:.1}%)",
+            100.0 * *n as f64 / vs.len() as f64
+        );
     }
 
     // How often is each violation subtype seen?
-    for c in [Category::NonBestShort, Category::BestLong, Category::NonBestLong] {
+    for c in [
+        Category::NonBestShort,
+        Category::BestLong,
+        Category::NonBestLong,
+    ] {
         let n = vs.iter().filter(|v| v.category == c).count();
         println!("  {}: {n}", c.label());
     }

@@ -9,7 +9,7 @@
 //! cargo run --release --example informed_model
 //! ```
 
-use ir_core::classify::{Category, ClassifyConfig, Classifier};
+use ir_core::classify::{Category, Classifier, ClassifyConfig};
 use ir_core::nextmodel::InformedModel;
 use ir_experiments::exp_table2::monitor_setup;
 use ir_experiments::scenario::{Scenario, ScenarioConfig};
@@ -36,14 +36,17 @@ fn main() {
         .filter(|a| *a != Asn::TESTBED && !peering.muxes().contains(a))
         .take(40)
         .collect();
-    println!("poisoning {} target ASes to reveal their preference orders…", targets.len());
+    println!(
+        "poisoning {} target ASes to reveal their preference orders…",
+        targets.len()
+    );
     let discoveries: Vec<_> = targets
         .iter()
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
 
-    let mut learn_cl = Classifier::new(&s.inferred, ClassifyConfig::default());
-    let model = InformedModel::learn(&discoveries, &s.measured, &mut learn_cl, &s.world.orgs, 3);
+    let learn_cl = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let model = InformedModel::learn(&discoveries, &s.measured, &learn_cl, &s.world.orgs, 3);
     println!(
         "learned {} (AS, neighbor) ranking pairs; detected {} domestic-preferring ASes",
         model.learned_pairs(),
@@ -51,7 +54,7 @@ fn main() {
     );
 
     // Show individual upgrades.
-    let mut classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
+    let classifier = Classifier::new(&s.inferred, ClassifyConfig::default());
     let mut shown = 0;
     for m in &s.measured {
         for d in m.decisions() {
@@ -59,7 +62,7 @@ fn main() {
             if gr == Category::BestShort {
                 continue;
             }
-            let informed = model.classify(&mut classifier, &d, &m.path);
+            let informed = model.classify(&classifier, &d, &m.path);
             if informed == Category::BestShort && shown < 8 {
                 println!(
                     "  {} -> {} toward {}: {} under GR, explained by the informed model",
@@ -73,8 +76,7 @@ fn main() {
         }
     }
 
-    let (gr, informed, total) =
-        model.evaluate(&s.inferred, ClassifyConfig::default(), &s.measured);
+    let (gr, informed, total) = model.evaluate(&s.inferred, ClassifyConfig::default(), &s.measured);
     println!(
         "\noverall: GR explains {gr}/{total} ({:.1}%), informed model {informed}/{total} ({:.1}%)",
         100.0 * gr as f64 / total as f64,

@@ -30,7 +30,14 @@ fn main() {
     );
 
     // The measurement channels: collectors + a handful of monitor probes.
-    let vantages = feeds::pick_vantages(&world, &FeedConfig { vantages: 12, ..Default::default() }, 5);
+    let vantages = feeds::pick_vantages(
+        &world,
+        &FeedConfig {
+            vantages: 12,
+            ..Default::default()
+        },
+        5,
+    );
     let probe_ases: Vec<Asn> = world
         .graph
         .nodes()
@@ -40,7 +47,10 @@ fn main() {
         .map(|n| n.asn)
         .take(12)
         .collect();
-    let setup = ObservationSetup { feed_vantages: vantages.clone(), probe_ases };
+    let setup = ObservationSetup {
+        feed_vantages: vantages.clone(),
+        probe_ases,
+    };
 
     // Round 0: plain anycast. Pick an observed multihomed target.
     let prefix = peering.prefixes()[0];
@@ -87,12 +97,20 @@ fn main() {
     let month = feeds::monthly_feed(&world, &vantages);
     let paths: Vec<&[Asn]> = month.paths().collect();
     let inferred = infer_relationships(paths, &InferConfig::default());
-    let targets: Vec<Asn> = obs.keys().copied().filter(|a| *a != Asn::TESTBED).take(25).collect();
+    let targets: Vec<Asn> = obs
+        .keys()
+        .copied()
+        .filter(|a| *a != Asn::TESTBED)
+        .take(25)
+        .collect();
     let discoveries: Vec<_> = targets
         .iter()
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
-    let verdicts: Vec<_> = discoveries.iter().map(|d| check_order(&inferred, d)).collect();
+    let verdicts: Vec<_> = discoveries
+        .iter()
+        .map(|d| check_order(&inferred, d))
+        .collect();
     let summary = OrderSummary::tally(verdicts.iter());
     println!(
         "\nover {} informative targets: both={} best-only={} shortest-only={} neither={}",

@@ -7,7 +7,7 @@
 //! ```
 
 use ir_bgp::RoutingUniverse;
-use ir_core::classify::{ClassifyConfig, Classifier};
+use ir_core::classify::{Classifier, ClassifyConfig};
 use ir_core::dataset::MeasuredPath;
 use ir_dataplane::geo::GeoConfig;
 use ir_dataplane::{AddressPlan, GeoDb, OriginTable, TraceConfig, Tracer};
@@ -29,7 +29,10 @@ fn main() {
 
     // 2. Converge BGP for every originated prefix (rayon-parallel).
     let universe = RoutingUniverse::compute_all(&world);
-    println!("routing: {} prefixes converged", universe.prefixes().count());
+    println!(
+        "routing: {} prefixes converged",
+        universe.prefixes().count()
+    );
 
     // 3. Build the data-plane substrate and resolve a hostname like a
     //    probe would.
@@ -71,9 +74,13 @@ fn main() {
     let feed = feeds::extract_feed(&world, &universe, &vantages);
     let paths: Vec<&[Asn]> = feed.paths().collect();
     let inferred = infer_relationships(paths, &InferConfig::default());
-    let mut classifier = Classifier::new(&inferred, ClassifyConfig::default());
-    for d in measured.decisions() {
-        let v = classifier.classify(&d);
+    let classifier = Classifier::new(&inferred, ClassifyConfig::default());
+    let decisions = measured.decisions();
+    // classify_batch fans out over all cores and returns verdicts in input
+    // order; for one path it is overkill, but it is the API the experiment
+    // drivers use on whole campaigns.
+    let verdicts = classifier.classify_batch(&decisions);
+    for (d, v) in decisions.iter().zip(&verdicts) {
         println!(
             "  {} -> {} toward {}: {}",
             d.observer,

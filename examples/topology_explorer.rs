@@ -16,17 +16,26 @@ use ir_types::{AsType, Asn, Relationship};
 use std::collections::BTreeMap;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
     let world = GeneratorConfig::tiny().build(seed);
 
     // Population census.
     let mut by_role: BTreeMap<String, usize> = BTreeMap::new();
     let mut by_type: BTreeMap<AsType, usize> = BTreeMap::new();
     for idx in 0..world.graph.len() {
-        *by_role.entry(format!("{:?}", world.graph.node(idx).role)).or_default() += 1;
+        *by_role
+            .entry(format!("{:?}", world.graph.node(idx).role))
+            .or_default() += 1;
         *by_type.entry(world.graph.as_type(idx)).or_default() += 1;
     }
-    println!("world (seed {seed}): {} ASes, {} links", world.graph.len(), world.graph.link_count());
+    println!(
+        "world (seed {seed}): {} ASes, {} links",
+        world.graph.len(),
+        world.graph.link_count()
+    );
     println!("roles: {by_role:?}");
     for (t, n) in &by_type {
         println!("  {}: {n}", t.label());
@@ -39,9 +48,21 @@ fn main() {
 
     // Policy deviation census (ground truth the real Internet hides).
     let domestic = world.policies.iter().filter(|p| p.domestic_pref).count();
-    let psp = world.policies.iter().filter(|p| !p.selective_announce.is_empty()).count();
-    let partial = world.policies.iter().filter(|p| !p.partial_transit.is_empty()).count();
-    let npref = world.policies.iter().filter(|p| !p.neighbor_pref.is_empty()).count();
+    let psp = world
+        .policies
+        .iter()
+        .filter(|p| !p.selective_announce.is_empty())
+        .count();
+    let partial = world
+        .policies
+        .iter()
+        .filter(|p| !p.partial_transit.is_empty())
+        .count();
+    let npref = world
+        .policies
+        .iter()
+        .filter(|p| !p.neighbor_pref.is_empty())
+        .count();
     let hybrid = (0..world.graph.len())
         .flat_map(|i| world.graph.links(i))
         .filter(|l| l.is_hybrid())
@@ -125,13 +146,20 @@ fn main() {
     let text = serial::to_serial1(&inferred);
     let path = std::env::temp_dir().join("inferred-topology.serial1.txt");
     std::fs::write(&path, &text).expect("write serial-1 export");
-    println!("\nwrote {} relationship lines to {}", inferred.len(), path.display());
+    println!(
+        "\nwrote {} relationship lines to {}",
+        inferred.len(),
+        path.display()
+    );
 
     // And a GraphViz rendering of the ground-truth graph.
     let dot = ir_topology::dot::to_dot(&world.graph);
     let dot_path = std::env::temp_dir().join("world.dot");
     std::fs::write(&dot_path, &dot).expect("write dot export");
-    println!("wrote GraphViz graph to {} (render with: sfdp -Tsvg)", dot_path.display());
+    println!(
+        "wrote GraphViz graph to {} (render with: sfdp -Tsvg)",
+        dot_path.display()
+    );
 
     // Show a couple of interesting ASes.
     for idx in 0..world.graph.len() {
@@ -151,7 +179,11 @@ fn main() {
                     format!("{} ({rel})", world.graph.asn(l.peer))
                 })
                 .collect();
-            println!("cable AS {}: subscribers = {}", node.asn, neighbors.join(", "));
+            println!(
+                "cable AS {}: subscribers = {}",
+                node.asn,
+                neighbors.join(", ")
+            );
         }
     }
 }

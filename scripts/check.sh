@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI (and the next contributor) expects to pass.
+# Usage: scripts/check.sh [--offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" ]] || ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    OFFLINE=(--offline)
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build "${OFFLINE[@]}" --release --workspace
+run cargo test "${OFFLINE[@]}" -q --workspace
+run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
+run cargo fmt --check
+
+echo "All checks passed."

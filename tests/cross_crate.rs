@@ -4,7 +4,7 @@
 //! (no ground truth) but a simulation must pass to be trustworthy.
 
 use ir_bgp::{Announcement, PrefixSim};
-use ir_core::classify::{ClassifyConfig, Classifier};
+use ir_core::classify::{Classifier, ClassifyConfig};
 use ir_experiments::scenario::{Scenario, ScenarioConfig};
 use ir_measure::peering::{observe_routes, ObservationSetup, Peering};
 use ir_types::{Asn, Relationship, Timestamp};
@@ -22,10 +22,22 @@ fn data_plane_follows_control_plane() {
     // control-plane path of its source toward the destination prefix.
     let s = scenario();
     let mut checked = 0;
-    for tr in s.campaign.traceroutes.iter().filter(|t| t.reached).take(300) {
-        let Some(pfx) = s.universe.lpm(tr.dst_ip) else { continue };
-        let Some(src_idx) = s.world.graph.index_of(tr.src_as) else { continue };
-        let Some(route) = s.universe.route(pfx, src_idx) else { continue };
+    for tr in s
+        .campaign
+        .traceroutes
+        .iter()
+        .filter(|t| t.reached)
+        .take(300)
+    {
+        let Some(pfx) = s.universe.lpm(tr.dst_ip) else {
+            continue;
+        };
+        let Some(src_idx) = s.world.graph.index_of(tr.src_as) else {
+            continue;
+        };
+        let Some(route) = s.universe.route(pfx, src_idx) else {
+            continue;
+        };
         let mut control = vec![tr.src_as];
         if !route.is_local() {
             // A local route means the destination (e.g. an off-net cache)
@@ -35,7 +47,12 @@ fn data_plane_follows_control_plane() {
         // AS-path prepending repeats ASNs in the control-plane path but is
         // invisible to forwarding; collapse before comparing.
         control.dedup();
-        assert_eq!(tr.true_as_path(), control, "forwarding = routing for {}", tr.src_as);
+        assert_eq!(
+            tr.true_as_path(),
+            control,
+            "forwarding = routing for {}",
+            tr.src_as
+        );
         checked += 1;
     }
     assert!(checked > 100, "enough paths checked");
@@ -66,7 +83,10 @@ fn measured_links_are_mostly_real() {
     }
     let frac = real as f64 / (real + bogus).max(1) as f64;
     assert!(frac > 0.85, "true-link fraction {frac:.3}");
-    assert!(bogus > 0, "artifacts exist — the conversion problem is real");
+    assert!(
+        bogus > 0,
+        "artifacts exist — the conversion problem is real"
+    );
 }
 
 #[test]
@@ -91,7 +111,10 @@ fn inference_is_accurate_where_it_speaks() {
     }
     let frac = agree as f64 / (agree + disagree).max(1) as f64;
     assert!(frac > 0.7, "inference agreement {frac:.3}");
-    assert!(disagree > 0, "misinference exists — deviations need a source");
+    assert!(
+        disagree > 0,
+        "misinference exists — deviations need a source"
+    );
 }
 
 #[test]
@@ -116,7 +139,10 @@ fn ground_truth_psp_is_what_psp_criterion_sees() {
             }
         }
     }
-    assert!(true_hits > 0, "criterion 1 finds real selective announcements");
+    assert!(
+        true_hits > 0,
+        "criterion 1 finds real selective announcements"
+    );
 }
 
 #[test]
@@ -133,11 +159,15 @@ fn poisoning_respects_policy_opt_outs() {
     let mut sim = PrefixSim::new(&s.world, prefix);
     sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO);
     let obs = observe_routes(&sim, &setup);
-    // Poison the most common next hop.
+    // Poison the most common next hop. The testbed origin itself is not a
+    // candidate: its ASN is in every announced path by construction, so
+    // "poisoning" it would be meaningless.
     let mut counts: BTreeMap<Asn, usize> = BTreeMap::new();
     for o in obs.values() {
         if let Some(n) = o.next_hop() {
-            *counts.entry(n).or_default() += 1;
+            if n != Asn::TESTBED {
+                *counts.entry(n).or_default() += 1;
+            }
         }
     }
     let (&victim, _) = counts.iter().max_by_key(|(_, n)| **n).unwrap();
@@ -152,7 +182,10 @@ fn poisoning_respects_policy_opt_outs() {
         if o.suffix.contains(&victim) && !victim_opted_out {
             // Every AS between x and the victim would need the route; the
             // victim itself must have dropped it unless it ignores AS-sets.
-            panic!("route via poisoned {victim} observed at {x}: {:?}", o.suffix);
+            panic!(
+                "route via poisoned {victim} observed at {x}: {:?}",
+                o.suffix
+            );
         }
     }
 }
@@ -184,7 +217,10 @@ fn hybrid_ground_truth_reaches_the_classifier() {
     let Some(entry) = s.complex.hybrids().first() else {
         return; // seed produced no covered hybrids; other seeds test this
     };
-    let cfg = ClassifyConfig { complex: Some(&s.complex), ..ClassifyConfig::default() };
+    let cfg = ClassifyConfig {
+        complex: Some(&s.complex),
+        ..ClassifyConfig::default()
+    };
     let classifier = Classifier::new(&s.inferred, cfg);
     let d = ir_core::dataset::Decision {
         observer: entry.a,
@@ -211,7 +247,9 @@ fn export_policy_never_leaks_peer_routes_upstream() {
     let mut steps = 0usize;
     for prefix in s.universe.prefixes().take(40) {
         for x in 0..s.world.graph.len() {
-            let Some(route) = s.universe.route(prefix, x) else { continue };
+            let Some(route) = s.universe.route(prefix, x) else {
+                continue;
+            };
             if route.is_local() {
                 continue;
             }
@@ -220,7 +258,9 @@ fn export_policy_never_leaks_peer_routes_upstream() {
             // exported it (seq[0]) must have been allowed to export its own
             // route to x. Reconstruct seq[0]'s class from ITS route.
             let exporter = s.world.graph.index_of(seq[0]).unwrap();
-            let Some(exp_route) = s.universe.route(prefix, exporter) else { continue };
+            let Some(exp_route) = s.universe.route(prefix, exporter) else {
+                continue;
+            };
             if exp_route.is_local() {
                 continue;
             }

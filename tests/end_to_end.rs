@@ -58,7 +58,11 @@ fn table1_covers_the_hierarchy_bottom_heavily() {
 fn table2_tie_breakers_carry_real_mass() {
     let t = ir_experiments::exp_table2::run(scenario());
     let pct = |name: &str| {
-        t.rows.iter().find(|r| r.decision == name).map(|r| r.feeds_pct).unwrap_or(0.0)
+        t.rows
+            .iter()
+            .find(|r| r.decision == name)
+            .map(|r| r.feeds_pct)
+            .unwrap_or(0.0)
     };
     // Relationship + length dominate…
     assert!(pct("Best relationship") + pct("Shorter path") > 50.0);
@@ -82,10 +86,18 @@ fn figure2_violations_skew_to_content_destinations() {
     let f = ir_experiments::exp_fig2::run(scenario());
     assert!(f.total_violations > 0);
     // Destination-side skew exceeds source-side skew (§5's key contrast).
-    assert!(f.dest_skew > f.src_skew, "dest {:.3} vs src {:.3}", f.dest_skew, f.src_skew);
+    assert!(
+        f.dest_skew > f.src_skew,
+        "dest {:.3} vs src {:.3}",
+        f.dest_skew,
+        f.src_skew
+    );
     // At least one of the top destinations is a content provider.
     assert!(
-        f.top_destinations.iter().take(3).any(|(_, _, p)| p.is_some()),
+        f.top_destinations
+            .iter()
+            .take(3)
+            .any(|(_, _, p)| p.is_some()),
         "content providers among top violation destinations: {:?}",
         f.top_destinations
     );

@@ -1,0 +1,224 @@
+//! Offline façade of the `criterion` API surface this workspace uses.
+//!
+//! Each `Bencher::iter` closure is timed over a fixed number of warm-up
+//! plus measured iterations (scaled down by `sample_size`), and a
+//! mean/min/max line is printed per benchmark. No HTML reports, no
+//! statistical regression testing — just honest wall-clock numbers so
+//! `cargo bench` runs offline and its output doubles as a transcript.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+/// Anything usable as a bench name: `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: self,
+            parameter: None,
+        }
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // One untimed warm-up run, then the measured samples.
+        std_black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            times.push(t0.elapsed());
+        }
+        report(&times);
+    }
+}
+
+fn report(times: &[Duration]) {
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    println!(
+        "    time: [min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}]  ({} samples)",
+        times.len()
+    );
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        println!("{}/{}", self.name, id.into_id().render());
+        let mut b = Bencher {
+            samples: effective_samples(self.sample_size),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        println!("{}/{}", self.name, id.into_id().render());
+        let mut b = Bencher {
+            samples: effective_samples(self.sample_size),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+        println!();
+    }
+}
+
+fn effective_samples(sample_size: usize) -> usize {
+    // Criterion's default sample_size is 100, which assumes its adaptive
+    // timing loop. This façade times each sample fully, so scale down to
+    // keep `cargo bench` runs short. IR_BENCH_SAMPLES overrides.
+    let configured = std::env::var("IR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    configured.unwrap_or_else(|| (sample_size / 5).clamp(3, 20))
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        println!("{name}");
+        let mut b = Bencher {
+            samples: effective_samples(100),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.sample_size(10);
+            g.bench_function("counts", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+}

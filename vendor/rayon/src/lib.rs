@@ -1,0 +1,157 @@
+//! Offline façade of the `rayon` API surface this workspace uses:
+//! `par_iter().map(f).collect::<Vec<_>>()` over slices.
+//!
+//! This is real data parallelism, not a sequential shim: the input is split
+//! into contiguous chunks, one per available core, each chunk is mapped on
+//! its own scoped thread, and the per-chunk outputs are concatenated in
+//! chunk order — so `collect` returns results in exactly the input order,
+//! same as rayon's indexed parallel iterators.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    fn run<U>(self) -> Vec<U>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = worker_count(n);
+        if workers == 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon façade worker panicked"));
+            }
+            out
+        })
+    }
+
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+        C: From<Vec<U>>,
+    {
+        C::from(self.run())
+    }
+}
+
+/// `&collection → par_iter()`, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..4096).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let n = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(
+                n > 1,
+                "expected >1 worker thread on a {cores}-core host, saw {n}"
+            );
+        }
+    }
+}

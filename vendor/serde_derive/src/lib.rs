@@ -1,0 +1,370 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde façade.
+//!
+//! The build environment has no crates.io access, so this macro is written
+//! against `proc_macro` alone — no `syn`, no `quote`. It hand-parses the
+//! derive input (attributes, visibility, struct/enum shape, field names)
+//! and emits impls of the façade's value-based `Serialize`/`Deserialize`
+//! traits as source text.
+//!
+//! Supported shapes: structs with named fields, tuple structs (including
+//! `#[serde(transparent)]` newtypes), and enums whose variants are unit,
+//! tuple, or struct-like (externally tagged, like real serde). Generic
+//! types are not supported — nothing in the workspace derives on them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits a token sequence on commas that sit outside `<...>` nesting.
+/// Delimited groups are single tokens, so only angle brackets need depth
+/// tracking.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<&TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) from a token slice, returning the
+/// remainder and whether any attribute was `#[serde(transparent)]`.
+fn skip_attrs(mut tokens: &[TokenTree]) -> (&[TokenTree], bool) {
+    let mut transparent = false;
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..] if p.as_char() == '#' => {
+                let inner = g.stream().to_string().replace(' ', "");
+                if inner.starts_with("serde(") && inner.contains("transparent") {
+                    transparent = true;
+                }
+                tokens = rest;
+            }
+            _ => return (tokens, transparent),
+        }
+    }
+}
+
+/// Strips a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    match tokens {
+        [TokenTree::Ident(i), rest @ ..] if i.to_string() == "pub" => match rest {
+            [TokenTree::Group(g), r2 @ ..] if g.delimiter() == Delimiter::Parenthesis => r2,
+            _ => rest,
+        },
+        _ => tokens,
+    }
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_commas(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let owned: Vec<TokenTree> = chunk.into_iter().cloned().collect();
+            let (rest, _) = skip_attrs(&owned);
+            let rest = skip_vis(rest);
+            match rest {
+                [TokenTree::Ident(name), TokenTree::Punct(c), ..] if c.as_char() == ':' => {
+                    Some(name.to_string())
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Field count of a tuple body.
+fn tuple_arity(group_tokens: &[TokenTree]) -> usize {
+    split_top_commas(group_tokens)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (rest, _transparent) = skip_attrs(&tokens);
+    let rest = skip_vis(rest);
+    let (kind, rest) = match rest {
+        [TokenTree::Ident(k), rest @ ..] => (k.to_string(), rest),
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    let (name, rest) = match rest {
+        [TokenTree::Ident(n), rest @ ..] => (n.to_string(), rest),
+        _ => panic!("serde_derive: expected type name"),
+    };
+    if let Some(TokenTree::Punct(p)) = rest.first() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type {name})");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match rest {
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(named_fields(&inner))
+            }
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(tuple_arity(&inner))
+            }
+            _ => panic!("serde_derive: unsupported struct body for {name}"),
+        },
+        "enum" => match rest {
+            [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_commas(&inner)
+                    .into_iter()
+                    .filter(|c| !c.is_empty())
+                    .map(|chunk| {
+                        let owned: Vec<TokenTree> = chunk.into_iter().cloned().collect();
+                        let (rest, _) = skip_attrs(&owned);
+                        match rest {
+                            [TokenTree::Ident(v)] => (v.to_string(), VariantShape::Unit),
+                            [TokenTree::Ident(v), TokenTree::Group(g)]
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                                (v.to_string(), VariantShape::Tuple(tuple_arity(&inner)))
+                            }
+                            [TokenTree::Ident(v), TokenTree::Group(g)]
+                                if g.delimiter() == Delimiter::Brace =>
+                            {
+                                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                                (v.to_string(), VariantShape::Named(named_fields(&inner)))
+                            }
+                            _ => panic!("serde_derive: unsupported variant in {name}"),
+                        }
+                    })
+                    .collect();
+                Shape::Enum(variants)
+            }
+            _ => panic!("serde_derive: unsupported enum body for {name}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    };
+    Input { name, shape }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),")
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::serialize(f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::__get_field(obj, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(arr.get({i}).ok_or_else(|| \
+                         ::serde::DeError::new(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize(arr.get({i}).ok_or_else(|| \
+                                     ::serde::DeError::new(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array variant\"))?; \
+                             ::std::result::Result::Ok({name}::{v}({})) }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     ::serde::__get_field(o, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let o = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object variant\"))?; \
+                             ::std::result::Result::Ok({name}::{v} {{ {} }}) }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(s) = v {{\n\
+                     return match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown variant {{other}} of {name}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                     if let ::std::option::Option::Some((tag, inner)) = obj.first() {{\n\
+                         return match tag.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown variant {{other}} of {name}\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::new(\"expected {name}\"))",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+             {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}

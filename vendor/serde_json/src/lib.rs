@@ -1,0 +1,435 @@
+//! Offline JSON façade matching the slice of `serde_json` this workspace
+//! uses: `json!`, `to_value`, `to_string{,_pretty}`, `from_str`, and
+//! `Value` indexing by string key.
+//!
+//! Built on the vendored serde's [`Value`] tree rather than serializer
+//! visitors; see `vendor/serde` for the data model.
+
+pub use serde::{DeError as Error, Deserialize, Serialize, Value};
+
+use std::fmt::Write as _;
+
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, &value.serialize(), None, 0);
+    Ok(s)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    write_value(&mut s, &value.serialize(), Some(2), 0);
+    Ok(s)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::deserialize(&v)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    let nl = |out: &mut String, d: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * d {
+                out.push(' ');
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep floats round-trippable; integral floats print x.0.
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                nl(out, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            nl(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                nl(out, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            nl(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{lit}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null").map(|_| Value::Null),
+            Some(b't') => self.eat_lit("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::new("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this repo's data.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::new("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error::new("invalid utf-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new("bad number"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax: objects, arrays, `null`, and
+/// arbitrary `Serialize` expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_entries!(entries $($body)*);
+        $crate::Value::Object(entries)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_items!(items $($body)*);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Serialize::serialize(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value, ...` entries
+/// one at a time so values can be nested containers or plain expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($vec:ident) => {};
+    ($vec:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $( $crate::json_object_entries!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $( $crate::json_object_entries!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_object_entries!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : $val:expr) => {
+        $vec.push(($key.to_string(), $crate::json!($val)));
+    };
+    ($vec:ident $key:literal : $val:expr, $($rest:tt)*) => {
+        $vec.push(($key.to_string(), $crate::json!($val)));
+        $crate::json_object_entries!($vec $($rest)*);
+    };
+}
+
+/// Implementation detail of [`json!`]: munches array items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($vec:ident) => {};
+    ($vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $( $crate::json_array_items!($vec $($rest)*); )?
+    };
+    ($vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_array_items!($vec $($rest)*); )?
+    };
+    ($vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json_array_items!($vec $($rest)*); )?
+    };
+    ($vec:ident $val:expr) => {
+        $vec.push($crate::json!($val));
+    };
+    ($vec:ident $val:expr, $($rest:tt)*) => {
+        $vec.push($crate::json!($val));
+        $crate::json_array_items!($vec $($rest)*);
+    };
+}
+
+#[cfg(test)]
+// `json!` expands to build-by-push; the lint's `vec![..]` suggestion cannot
+// express the recursive entry expansion.
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let v = json!({
+            "a": 1u32,
+            "nested": { "b": [1u32, 2u32], "s": "hi" },
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"nested":{"b":[1,2],"s":"hi"}}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(to_string(&back).unwrap(), s);
+    }
+
+    #[test]
+    fn index_assign_appends() {
+        let mut v = json!({ "a": 1u32 });
+        v["b"] = Value::String("x".into());
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x"}"#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<u64>("3356").unwrap(), 3356);
+        assert_eq!(from_str::<i64>("-2").unwrap(), -2);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+}
