@@ -1,0 +1,277 @@
+//! Propagation-engine head-to-head: the event-driven worklist engine
+//! (`PrefixSim`) against the legacy full-sweep oracle (`SweepSim`), on the
+//! three shapes every campaign exercises — initial announce-to-fixpoint,
+//! incremental poisoned re-announce (the §3.2/§4.4 poisoning-loop shape),
+//! and withdraw.
+//!
+//! Besides the criterion groups, the run writes `BENCH_propagation.json`
+//! at the repo root with direct wall-clock numbers and the event/sweep
+//! speedup per case, so perf claims are recorded alongside the code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir_bgp::{Announcement, PrefixSim, SimContext, SweepSim};
+use ir_topology::{GeneratorConfig, World};
+use ir_types::{Asn, Prefix, Timestamp};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Inter-event gap comfortably above the route-age granularity.
+const ROUND: u64 = 2 * 90 * 60;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| GeneratorConfig::default().build(7))
+}
+
+/// The announced origin: a stub AS, as in the measurement campaigns.
+fn origin_prefix() -> (Asn, Prefix) {
+    let stub = world()
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.asn.value() >= 20_000)
+        .expect("default world has stubs");
+    (stub.asn, stub.prefixes[0])
+}
+
+/// First transit hop of some converged multi-hop route — the poison target
+/// a §4.4 campaign would pick to force an alternate.
+fn poison_target(sim: &PrefixSim<'_>) -> Asn {
+    (0..world().graph.len())
+        .find_map(|x| {
+            let hops = sim.best(x)?.path.sequence_asns();
+            if hops.len() >= 2 {
+                Some(hops[0])
+            } else {
+                None
+            }
+        })
+        .expect("some multi-hop route exists")
+}
+
+/// One poisoning-loop cycle: poisoned re-announce, then restore.
+fn reannounce_cycle(
+    announce: &mut dyn FnMut(Announcement, Timestamp),
+    origin: Asn,
+    prefix: Prefix,
+    poison: Asn,
+    t: &mut u64,
+) {
+    *t += ROUND;
+    let mut ann = Announcement::plain(origin, prefix);
+    ann.poison = vec![poison];
+    announce(ann, Timestamp(*t));
+    *t += ROUND;
+    announce(Announcement::plain(origin, prefix), Timestamp(*t));
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let w = world();
+    let (origin, prefix) = origin_prefix();
+    let ctx = SimContext::shared(w);
+
+    let mut g = c.benchmark_group("propagation/announce");
+    g.sample_size(25);
+    g.bench_function("event", |b| {
+        b.iter(|| {
+            let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            black_box(sim.stats())
+        })
+    });
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            black_box(sim.stats())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("propagation/reannounce_poison");
+    g.sample_size(25);
+    g.bench_function("event", |b| {
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let poison = poison_target(&sim);
+        let mut t = 0u64;
+        b.iter(|| {
+            reannounce_cycle(
+                &mut |ann, at| {
+                    sim.announce(ann, at);
+                },
+                origin,
+                prefix,
+                poison,
+                &mut t,
+            );
+            black_box(sim.clock())
+        })
+    });
+    g.bench_function("sweep", |b| {
+        let probe = {
+            let mut s = PrefixSim::with_context(ctx.clone(), prefix);
+            s.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            poison_target(&s)
+        };
+        let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            reannounce_cycle(
+                &mut |ann, at| {
+                    sim.announce(ann, at);
+                },
+                origin,
+                prefix,
+                probe,
+                &mut t,
+            );
+            black_box(sim.clock())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("propagation/withdraw");
+    g.sample_size(25);
+    g.bench_function("event", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            black_box(sim.stats())
+        })
+    });
+    g.bench_function("sweep", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            black_box(sim.stats())
+        })
+    });
+    g.finish();
+}
+
+/// Directly timed head-to-head, recorded as JSON. `iters` full repetitions
+/// per case; mean nanoseconds reported.
+fn timed<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    // One warm-up.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn write_json(c: &mut Criterion) {
+    let w = world();
+    let (origin, prefix) = origin_prefix();
+    let ctx = SimContext::shared(w);
+    let iters: u32 = std::env::var("IR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    let announce_event = timed(iters, || {
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        black_box(sim.stats());
+    });
+    let announce_sweep = timed(iters, || {
+        let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        black_box(sim.stats());
+    });
+
+    let poison = {
+        let mut s = PrefixSim::with_context(ctx.clone(), prefix);
+        s.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        poison_target(&s)
+    };
+    let reannounce_event = {
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        timed(iters, || {
+            reannounce_cycle(
+                &mut |ann, at| {
+                    sim.announce(ann, at);
+                },
+                origin,
+                prefix,
+                poison,
+                &mut t,
+            );
+        })
+    };
+    let reannounce_sweep = {
+        let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        timed(iters, || {
+            reannounce_cycle(
+                &mut |ann, at| {
+                    sim.announce(ann, at);
+                },
+                origin,
+                prefix,
+                poison,
+                &mut t,
+            );
+        })
+    };
+
+    let withdraw_event = {
+        let mut t = 0u64;
+        timed(iters, || {
+            let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+        })
+    };
+    let withdraw_sweep = {
+        let mut t = 0u64;
+        timed(iters, || {
+            let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+        })
+    };
+
+    let case = |name: &str, event: f64, sweep: f64| {
+        format!(
+            "    \"{name}\": {{\n      \"event_ns\": {event:.0},\n      \
+             \"sweep_ns\": {sweep:.0},\n      \"speedup\": {:.2}\n    }}",
+            sweep / event
+        )
+    };
+    let json = format!(
+        "{{\n  \"world\": {{ \"ases\": {}, \"links\": {}, \"seed\": 7 }},\n  \
+         \"iters\": {iters},\n  \"cases\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+        w.graph.len(),
+        w.graph.link_count(),
+        case("announce", announce_event, announce_sweep),
+        case("reannounce_poison", reannounce_event, reannounce_sweep),
+        case("withdraw", withdraw_event, withdraw_sweep),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_propagation.json");
+    std::fs::write(path, &json).expect("write BENCH_propagation.json");
+    println!("wrote {path}:\n{json}");
+    let _ = c;
+}
+
+criterion_group!(propagation, bench_engines, write_json);
+criterion_main!(propagation);

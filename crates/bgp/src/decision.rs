@@ -52,6 +52,23 @@ pub fn compare(a: &Route, b: &Route) -> Ordering {
         .then_with(|| a.entry_city.cmp(&b.entry_city))
 }
 
+/// [`compare`] with the route-age step elided. The event-driven engine
+/// selects over cached adj-RIB-in entries whose stored ages are stale; in
+/// the synchronous model every live candidate carries the current logical
+/// clock (imports are stamped at evaluation time and an origination's
+/// announce time equals the clock of the event that produced it), so the
+/// age comparison between candidates is always a tie and skipping it is
+/// exact — this stays a total order because `learned_from`/`entry_city`
+/// still separate any two distinct candidates at one AS.
+pub(crate) fn compare_ignoring_age(a: &Route, b: &Route) -> Ordering {
+    b.local_pref
+        .cmp(&a.local_pref)
+        .then_with(|| a.path.len().cmp(&b.path.len()))
+        .then_with(|| a.igp_cost.cmp(&b.igp_cost))
+        .then_with(|| a.learned_from.cmp(&b.learned_from))
+        .then_with(|| a.entry_city.cmp(&b.entry_city))
+}
+
 /// Picks the best route among candidates; also reports which decision step
 /// separated it from the runner-up.
 pub fn select(candidates: &[Route]) -> Option<(&Route, DecisionStep)> {

@@ -15,8 +15,10 @@
 //! * BGP loop prevention, which is what makes poisoning work — and its
 //!   per-AS opt-outs, which is what makes poisoning *fail* in the ways §4.4
 //!   describes;
-//! * a synchronous-rounds fixpoint engine per prefix ([`sim::PrefixSim`])
-//!   and a rayon-parallel multi-prefix layer ([`universe`]).
+//! * an event-driven worklist fixpoint engine per prefix
+//!   ([`sim::PrefixSim`], with the legacy full-sweep oracle in [`sweep`])
+//!   over a per-world shared [`sim::SimContext`], and a rayon-parallel
+//!   multi-prefix layer ([`universe`]).
 //!
 //! Hybrid relationships are modeled the way they arise operationally: a
 //! link interconnecting in two cities is **two BGP sessions**, each with the
@@ -28,9 +30,11 @@ pub mod path;
 pub mod policy_eval;
 pub mod route;
 pub mod sim;
+pub mod sweep;
 pub mod universe;
 
 pub use path::{AsPath, Segment};
 pub use route::Route;
-pub use sim::{Announcement, Convergence, PrefixSim};
+pub use sim::{Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine, SimContext};
+pub use sweep::SweepSim;
 pub use universe::RoutingUniverse;

@@ -84,10 +84,29 @@ impl AsPath {
 
     /// Prepends `asn` (route being exported by `asn`).
     pub fn prepend(&self, asn: Asn) -> AsPath {
-        let mut segs = self.0.clone();
-        match segs.first_mut() {
-            Some(Segment::Seq(v)) => v.insert(0, asn),
-            _ => segs.insert(0, Segment::Seq(vec![asn])),
+        self.prepend_n(asn, 1)
+    }
+
+    /// Prepends `count` copies of `asn` in one allocation — the bulk form
+    /// export-side prepending needs (repeated [`AsPath::prepend`] is
+    /// quadratic in the prepend count). `count == 0` returns a plain clone.
+    pub fn prepend_n(&self, asn: Asn, count: usize) -> AsPath {
+        if count == 0 {
+            return self.clone();
+        }
+        let mut segs = Vec::with_capacity(self.0.len() + 1);
+        match self.0.first() {
+            Some(Segment::Seq(v)) => {
+                let mut head = Vec::with_capacity(v.len() + count);
+                head.resize(count, asn);
+                head.extend_from_slice(v);
+                segs.push(Segment::Seq(head));
+                segs.extend_from_slice(&self.0[1..]);
+            }
+            _ => {
+                segs.push(Segment::Seq(vec![asn; count]));
+                segs.extend_from_slice(&self.0);
+            }
         }
         AsPath(segs)
     }
@@ -224,7 +243,41 @@ mod tests {
         assert_eq!(p.prepend(Asn(3)), AsPath::origin(Asn(3)));
     }
 
+    #[test]
+    fn prepend_n_matches_repeated_prepend() {
+        let base = AsPath::poisoned(Asn(47065), &[Asn(3), Asn(4)]);
+        for count in 0..6 {
+            let mut expect = base.clone();
+            for _ in 0..count {
+                expect = expect.prepend(Asn(7));
+            }
+            assert_eq!(base.prepend_n(Asn(7), count), expect, "count {count}");
+        }
+        // Onto an empty path, the bulk form still creates a fresh sequence.
+        assert_eq!(
+            AsPath::empty().prepend_n(Asn(9), 3),
+            AsPath::origin(Asn(9)).prepend(Asn(9)).prepend(Asn(9))
+        );
+        assert_eq!(AsPath::empty().prepend_n(Asn(9), 0), AsPath::empty());
+    }
+
     proptest! {
+        #[test]
+        fn prepend_n_equals_iterated_prepend(
+            origin in 1u32..65536,
+            poison in proptest::collection::vec(1u32..65536, 0..3),
+            asn in 1u32..65536,
+            count in 0usize..12,
+        ) {
+            let poison: Vec<Asn> = poison.into_iter().map(Asn).collect();
+            let base = AsPath::poisoned(Asn(origin), &poison);
+            let mut expect = base.clone();
+            for _ in 0..count {
+                expect = expect.prepend(Asn(asn));
+            }
+            prop_assert_eq!(base.prepend_n(Asn(asn), count), expect);
+        }
+
         #[test]
         fn prepend_increments_len_and_sets_first(
             origin in 1u32..65536,

@@ -56,7 +56,9 @@ impl<'w> PolicyEngine<'w> {
     /// (of `from`, as seen from `me`, hybrid-resolved by the caller).
     ///
     /// Returns `None` when the announcement is rejected (loop prevention,
-    /// AS-set filtering).
+    /// AS-set filtering). Takes the path by value: callers build the
+    /// exported path fresh, so accepting it moves it straight into the
+    /// [`Route`] without another clone.
     #[allow(clippy::too_many_arguments)]
     pub fn import(
         &self,
@@ -66,7 +68,7 @@ impl<'w> PolicyEngine<'w> {
         rel: Relationship,
         kind: LinkKind,
         prefix: Prefix,
-        path: &AsPath,
+        path: AsPath,
         igp_cost: u32,
         clock: Timestamp,
     ) -> Option<Route> {
@@ -94,13 +96,13 @@ impl<'w> PolicyEngine<'w> {
         if kind == LinkKind::Backup {
             pref += BACKUP_PENALTY;
         }
-        if policy.domestic_pref && self.path_is_domestic(me, path) {
+        if policy.domestic_pref && self.path_is_domestic(me, &path) {
             pref += DOMESTIC_BONUS;
         }
 
         Some(Route {
             prefix,
-            path: path.clone(),
+            path,
             learned_from: Some(self.world.graph.asn(from)),
             entry_city: Some(city),
             rel: Some(rel),
@@ -178,7 +180,7 @@ mod tests {
                 Relationship::Peer,
                 LinkKind::Normal,
                 pfx,
-                &looped,
+                looped,
                 1,
                 Timestamp(0)
             )
@@ -192,7 +194,7 @@ mod tests {
                 Relationship::Peer,
                 LinkKind::Normal,
                 pfx,
-                &clean,
+                clean,
                 1,
                 Timestamp(0)
             )
@@ -218,7 +220,7 @@ mod tests {
                 Relationship::Peer,
                 LinkKind::Normal,
                 pfx,
-                &poisoned,
+                poisoned,
                 1,
                 Timestamp(0)
             )
@@ -245,7 +247,7 @@ mod tests {
                 Relationship::Customer,
                 LinkKind::Normal,
                 pfx,
-                &path,
+                path.clone(),
                 1,
                 Timestamp(0),
             )
@@ -259,7 +261,7 @@ mod tests {
                 Relationship::Provider,
                 LinkKind::Backup,
                 pfx,
-                &path,
+                path.clone(),
                 1,
                 Timestamp(0),
             )
@@ -301,7 +303,7 @@ mod tests {
                 Relationship::Peer,
                 LinkKind::Normal,
                 pfx,
-                &domestic_path,
+                domestic_path.clone(),
                 1,
                 Timestamp(0),
             )
@@ -317,7 +319,7 @@ mod tests {
                 Relationship::Peer,
                 LinkKind::Normal,
                 pfx,
-                &foreign_path,
+                foreign_path,
                 1,
                 Timestamp(0),
             )

@@ -1,19 +1,36 @@
 //! Per-prefix route-propagation engine.
 //!
-//! Propagation runs in deterministic Gauss–Seidel sweeps: every AS, in a
-//! fixed round-robin order, recomputes its best route from its neighbors'
-//! *current* selections, filtered through export and import policy. A
-//! fixpoint is reached when a full sweep changes nothing; round-robin is a
-//! fair activation sequence, under which safe (dispute-free) policies
-//! provably converge, and a sweep cap turns any genuine dispute wheel into
-//! a reported non-convergence instead of a hang.
+//! Propagation is **event-driven**: every AS keeps an explicit adj-RIB-in
+//! (the last route imported per session), and an announcement, poison
+//! change, `via` change, or withdrawal only seeds the origin into a
+//! worklist. An activated AS re-selects from its cached imports; only if
+//! its selection changed (or its export policy inputs changed — the origin
+//! on re-announcement) does it re-export, refreshing its neighbors'
+//! adj-RIB-in entries and activating exactly the neighbors whose entries
+//! actually changed. The worklist is an ordered set of node indices popped
+//! lowest-first, so activation order — and therefore the fixpoint — is
+//! fully deterministic. Safe (dispute-free) policies converge under any
+//! fair activation order; an activation cap turns a genuine dispute wheel
+//! into a reported non-convergence instead of a hang.
+//!
+//! The shared, immutable per-world state (session table, policy engine,
+//! reverse session index) lives in an [`SimContext`] built once per
+//! [`World`] and shared across prefixes via `Arc`, making
+//! [`PrefixSim::with_context`] O(n) in allocation and free of per-prefix
+//! session construction. The legacy full-sweep Gauss–Seidel engine survives
+//! as [`crate::sweep::SweepSim`] — the reference implementation the
+//! differential tests compare against.
 //!
 //! The engine models exactly the announcement shapes the paper's PEERING
 //! experiments use (§3.2): plain originations, **poisoned** originations
 //! (AS-set sandwich), and originations restricted to a subset of the
 //! origin's providers (`via` — how a prefix is announced "from" particular
 //! mux locations), plus withdrawals. Events carry logical timestamps so
-//! route age is meaningful (the magnet experiment's last tie-breaker).
+//! route age is meaningful (the magnet experiment's last tie-breaker): at
+//! the end of every event, any AS whose final route is the same session
+//! and path it held before the event keeps the route's original
+//! installation age, making ages independent of transient flips during
+//! reconvergence.
 
 use crate::decision;
 use crate::path::AsPath;
@@ -23,7 +40,8 @@ use ir_topology::graph::{LinkKind, NodeIdx};
 use ir_topology::World;
 use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// An origination event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,30 +74,171 @@ impl Announcement {
     }
 }
 
-/// Result of running propagation to fixpoint.
+/// Result of running one event (announce/withdraw) to fixpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Convergence {
-    /// Rounds executed.
+    /// Work performed: full sweeps for the sweep engine, worklist
+    /// activations for the event-driven engine.
     pub rounds: usize,
-    /// Whether a fixpoint was reached (false = round cap hit; policy
+    /// Whether a fixpoint was reached (false = work cap hit; policy
     /// dispute).
     pub converged: bool,
+    /// ASes whose selection was recomputed during this event.
+    pub activations: usize,
+    /// Import policy evaluations performed during this event.
+    pub imports: usize,
+}
+
+/// Cumulative engine effort counters over a simulation's lifetime — cheap
+/// to maintain, printed by the diag binary to keep the perf trajectory
+/// observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events (announce/withdraw calls) processed.
+    pub events: usize,
+    /// Total selection recomputations across events.
+    pub activations: usize,
+    /// Total import policy evaluations across events.
+    pub imports: usize,
 }
 
 /// One BGP session: a (link, interconnection city) pair. Hybrid links
 /// produce one session per city, each with its own relationship.
 #[derive(Debug, Clone, Copy)]
-struct Session {
-    peer: NodeIdx,
-    city: CityId,
+pub(crate) struct Session {
+    pub(crate) peer: NodeIdx,
+    pub(crate) city: CityId,
     /// Relationship of `peer` as seen from the owning node, at `city`.
-    rel: Relationship,
-    kind: LinkKind,
+    pub(crate) rel: Relationship,
+    pub(crate) kind: LinkKind,
     /// IGP cost from the owning node to this session's interconnection.
-    igp: u32,
+    pub(crate) igp: u32,
 }
 
-/// Per-prefix propagation state.
+/// Immutable per-world simulation state, shared by every per-prefix
+/// simulation over the same [`World`]: the session table, the policy
+/// engine, and the reverse session index (who imports from whom). Build it
+/// once with [`SimContext::shared`] and hand clones of the `Arc` to
+/// [`PrefixSim::with_context`] / [`crate::sweep::SweepSim::with_context`].
+pub struct SimContext<'w> {
+    pub(crate) world: &'w World,
+    pub(crate) engine: PolicyEngine<'w>,
+    /// `sessions[x]` = sessions of `x`, one per (link, city).
+    pub(crate) sessions: Vec<Vec<Session>>,
+    /// Reverse index: `listeners[x]` = every `(l, si)` such that
+    /// `sessions[l][si].peer == x` — the sessions over which `x`'s exports
+    /// are imported.
+    pub(crate) listeners: Vec<Vec<(NodeIdx, u32)>>,
+}
+
+impl<'w> SimContext<'w> {
+    /// Builds the shared per-world state (O(sessions)).
+    pub fn new(world: &'w World) -> SimContext<'w> {
+        let n = world.graph.len();
+        let mut sessions = Vec::with_capacity(n);
+        for a in 0..n {
+            let mut ss = Vec::new();
+            for l in world.graph.links(a) {
+                for (pos, &city) in l.cities.iter().enumerate() {
+                    ss.push(Session {
+                        peer: l.peer,
+                        city,
+                        rel: l.rel_at(city),
+                        kind: l.kind,
+                        igp: l.igp_cost + pos as u32,
+                    });
+                }
+            }
+            sessions.push(ss);
+        }
+        let mut listeners = vec![Vec::new(); n];
+        for (x, ss) in sessions.iter().enumerate() {
+            for (si, s) in ss.iter().enumerate() {
+                listeners[s.peer].push((x, si as u32));
+            }
+        }
+        SimContext {
+            world,
+            engine: PolicyEngine::new(world),
+            sessions,
+            listeners,
+        }
+    }
+
+    /// [`SimContext::new`] wrapped for sharing across prefixes (and, with
+    /// rayon, across threads).
+    pub fn shared(world: &'w World) -> Arc<SimContext<'w>> {
+        Arc::new(SimContext::new(world))
+    }
+
+    /// The world this context is bound to.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// What `from` exports toward `to` over session `s` (the session as
+    /// held by `to`, i.e. `s.peer == from`), given `from`'s current best
+    /// route: the path as announced, with `from` prepended (plus export
+    /// prepending), or `None` if policy withholds the route. The single
+    /// source of export semantics for both engines.
+    pub(crate) fn export_path(
+        &self,
+        from: NodeIdx,
+        to: NodeIdx,
+        s: &Session,
+        best: &Route,
+        ann: Option<&Announcement>,
+    ) -> Option<AsPath> {
+        // Relationship of `to` as seen from `from` at this city: the mirror
+        // of the session relationship (set_hybrid keeps both sides
+        // consistent).
+        let rel_of_to_from_from = s.rel.reverse();
+        // The `via` restriction applies at the origin for local routes.
+        if best.is_local() {
+            if let Some(ann) = ann {
+                if let Some(via) = &ann.via {
+                    if !via.contains(&self.world.graph.asn(to)) {
+                        return None;
+                    }
+                }
+            }
+        }
+        if !self.engine.may_export(from, best, to, rel_of_to_from_from) {
+            return None;
+        }
+        let from_asn = self.world.graph.asn(from);
+        // Export-side prepending (inbound traffic engineering), plus the
+        // ordinary prepend for learned routes, in one allocation.
+        let extra = self
+            .world
+            .policy(from)
+            .prepends_to(self.world.graph.asn(to)) as usize;
+        Some(if best.is_local() {
+            best.path.prepend_n(from_asn, extra)
+        } else {
+            best.path.prepend_n(from_asn, extra + 1)
+        })
+    }
+}
+
+/// A propagation engine: anything that can run announcement events for one
+/// prefix to fixpoint. Implemented by the event-driven [`PrefixSim`] and
+/// the legacy reference [`crate::sweep::SweepSim`]; the differential tests
+/// and benches are written against this trait.
+pub trait PropagationEngine {
+    /// Announces (or re-announces) the prefix and runs to fixpoint.
+    fn announce(&mut self, ann: Announcement, at: Timestamp) -> Convergence;
+    /// Withdraws the prefix and runs to fixpoint.
+    fn withdraw(&mut self, at: Timestamp) -> Convergence;
+    /// The selected route at node `x`.
+    fn best(&self, x: NodeIdx) -> Option<&Route>;
+    /// The candidate routes AS `x` can currently choose between.
+    fn candidates(&self, x: NodeIdx) -> Vec<Route>;
+    /// Cumulative effort counters.
+    fn stats(&self) -> EngineStats;
+}
+
+/// Per-prefix propagation state (event-driven engine).
 ///
 /// ```
 /// use ir_bgp::{Announcement, PrefixSim};
@@ -98,66 +257,73 @@ struct Session {
 /// assert!(sim.best(idx).unwrap().is_local());
 /// ```
 pub struct PrefixSim<'w> {
-    world: &'w World,
-    engine: PolicyEngine<'w>,
+    ctx: Arc<SimContext<'w>>,
     prefix: Prefix,
-    sessions: Vec<Vec<Session>>,
     /// Current origination, if announced.
     announcement: Option<Announcement>,
     origin_idx: Option<NodeIdx>,
     announce_time: Timestamp,
     best: Vec<Option<Route>>,
+    /// Adj-RIB-in: `rib_in[x][si]` caches the last route imported over
+    /// `ctx.sessions[x][si]` (`None` = neighbor exports nothing usable).
+    /// Stored ages are stale by design; selection re-stamps them with the
+    /// current clock, which is exact because live candidates all share it.
+    rib_in: Vec<Vec<Option<Route>>>,
     clock: Timestamp,
+    stats: EngineStats,
 }
 
 impl<'w> PrefixSim<'w> {
-    /// Prepares a (not yet announced) simulation for `prefix`.
+    /// Prepares a (not yet announced) simulation for `prefix`, building a
+    /// private context. When simulating many prefixes over one world, build
+    /// the context once with [`SimContext::shared`] and use
+    /// [`PrefixSim::with_context`] instead.
     pub fn new(world: &'w World, prefix: Prefix) -> PrefixSim<'w> {
-        let n = world.graph.len();
-        let mut sessions = Vec::with_capacity(n);
-        for a in 0..n {
-            let mut ss = Vec::new();
-            for l in world.graph.links(a) {
-                for (pos, &city) in l.cities.iter().enumerate() {
-                    ss.push(Session {
-                        peer: l.peer,
-                        city,
-                        rel: l.rel_at(city),
-                        kind: l.kind,
-                        igp: l.igp_cost + pos as u32,
-                    });
-                }
-            }
-            sessions.push(ss);
-        }
+        PrefixSim::with_context(SimContext::shared(world), prefix)
+    }
+
+    /// Prepares a simulation for `prefix` over a shared context — O(n)
+    /// allocation, no session-table construction.
+    pub fn with_context(ctx: Arc<SimContext<'w>>, prefix: Prefix) -> PrefixSim<'w> {
+        let n = ctx.world.graph.len();
+        let rib_in = ctx.sessions.iter().map(|ss| vec![None; ss.len()]).collect();
         PrefixSim {
-            world,
-            engine: PolicyEngine::new(world),
+            ctx,
             prefix,
-            sessions,
             announcement: None,
             origin_idx: None,
             announce_time: Timestamp::ZERO,
             best: vec![None; n],
+            rib_in,
             clock: Timestamp::ZERO,
+            stats: EngineStats::default(),
         }
     }
 
     /// Announces (or re-announces with different poison/via) the prefix and
-    /// runs to fixpoint. `at` must not move backwards.
+    /// runs to fixpoint. `at` must not move backwards. Only the origin
+    /// seeds the worklist: unchanged parts of the graph are never touched,
+    /// which is what makes the poisoning loop in the alternate-route
+    /// experiments cheap.
     pub fn announce(&mut self, ann: Announcement, at: Timestamp) -> Convergence {
         assert_eq!(ann.prefix, self.prefix, "announcement for the wrong prefix");
         assert!(at >= self.clock, "time went backwards");
         let idx = self
+            .ctx
             .world
             .graph
             .index_of(ann.origin)
             .unwrap_or_else(|| panic!("unknown origin {}", ann.origin));
         self.clock = at;
         self.announce_time = at;
+        let mut seeds = BTreeSet::new();
+        if let Some(old) = self.origin_idx {
+            seeds.insert(old);
+        }
+        seeds.insert(idx);
         self.origin_idx = Some(idx);
         self.announcement = Some(ann);
-        self.run()
+        self.run_event(seeds)
     }
 
     /// Withdraws the prefix and runs to fixpoint.
@@ -165,13 +331,14 @@ impl<'w> PrefixSim<'w> {
         assert!(at >= self.clock, "time went backwards");
         self.clock = at;
         self.announcement = None;
-        self.origin_idx = None;
-        self.run()
+        let seeds: BTreeSet<NodeIdx> = self.origin_idx.take().into_iter().collect();
+        self.run_event(seeds)
     }
 
     /// The candidate routes AS `x` can currently choose between: its own
-    /// origination plus every import that survives neighbor export policy
-    /// and its own import policy. This is what the paper can only see by
+    /// origination plus every adj-RIB-in entry (each re-stamped with the
+    /// current clock, the age every live candidate carries in the
+    /// synchronous model). This is what the paper can only see by
     /// poisoning, but the simulator (like a looking glass) can enumerate.
     pub fn candidates(&self, x: NodeIdx) -> Vec<Route> {
         let mut cands = Vec::new();
@@ -184,95 +351,175 @@ impl<'w> PrefixSim<'w> {
                 ));
             }
         }
-        for s in &self.sessions[x] {
-            if let Some(r) = self.export_of(s.peer, x, s) {
-                if let Some(imported) = self.engine.import(
-                    x,
-                    s.peer,
-                    s.city,
-                    s.rel,
-                    s.kind,
-                    self.prefix,
-                    &r,
-                    s.igp,
-                    self.clock,
-                ) {
-                    cands.push(imported);
-                }
-            }
+        for r in self.rib_in[x].iter().flatten() {
+            let mut r = r.clone();
+            r.age = self.clock;
+            cands.push(r);
         }
         cands
     }
 
-    /// What neighbor `nb` exports toward `x` over session `s` (the path as
-    /// announced, i.e. with `nb` prepended), or `None` if policy withholds
-    /// the route. `s` is the session from `x`'s perspective.
-    fn export_of(&self, nb: NodeIdx, x: NodeIdx, s: &Session) -> Option<AsPath> {
-        let best = self.best[nb].as_ref()?;
-        // Relationship of `x` as seen from `nb` at this city: the mirror of
-        // the session relationship (set_hybrid keeps both sides consistent).
-        let rel_of_x_from_nb = s.rel.reverse();
-        // The `via` restriction applies at the origin for local routes.
-        if best.is_local() {
-            if let Some(ann) = &self.announcement {
-                if let Some(via) = &ann.via {
-                    if !via.contains(&self.world.graph.asn(x)) {
-                        return None;
-                    }
-                }
-            }
-        }
-        if !self.engine.may_export(nb, best, x, rel_of_x_from_nb) {
-            return None;
-        }
-        let nb_asn = self.world.graph.asn(nb);
-        let mut path = if best.is_local() {
-            best.path.clone()
-        } else {
-            best.path.prepend(nb_asn)
-        };
-        // Export-side prepending (inbound traffic engineering).
-        for _ in 0..self.world.policy(nb).prepends_to(self.world.graph.asn(x)) {
-            path = path.prepend(nb_asn);
-        }
-        Some(path)
-    }
-
-    fn run(&mut self) -> Convergence {
-        // Gauss–Seidel sweeps: each AS recomputes its selection *in place*,
-        // so later ASes in the same sweep already see earlier updates.
-        // Round-robin order is a fair activation sequence, under which any
-        // "safe" (dispute-free) policy configuration converges — and it
-        // avoids the two-node flip-flops plain Jacobi iteration can fall
-        // into even for stable configurations. Still fully deterministic.
-        let n = self.world.graph.len();
+    /// Runs the worklist seeded with `seeds` to fixpoint. Seeded nodes
+    /// re-export once unconditionally even if their selection is unchanged:
+    /// a re-announcement can change the origin's export policy (`via`)
+    /// without changing its local route.
+    ///
+    /// The worklist is wave-structured to replicate the Gauss–Seidel
+    /// schedule of the reference sweep engine exactly: within a wave,
+    /// nodes are processed in ascending index order, and a node activated
+    /// by an update joins the *current* wave if its index is still ahead
+    /// of the updater (a later AS in the same sweep sees earlier updates
+    /// in place) or the *next* wave otherwise. Since re-evaluating a node
+    /// whose inputs did not change is a no-op, this trajectory is the
+    /// sweep trajectory with the no-ops skipped — so even configurations
+    /// with multiple stable states (dispute gadgets the generator's
+    /// preference deltas can produce) reach the *same* fixpoint as the
+    /// oracle, not merely *a* fixpoint.
+    fn run_event(&mut self, seeds: BTreeSet<NodeIdx>) -> Convergence {
+        self.stats.events += 1;
+        let n = self.ctx.world.graph.len();
+        // Same wave budget as the sweep engine's round cap: far beyond
+        // anything a safe configuration needs, small enough to report a
+        // dispute wheel promptly.
         let cap = 2 * n + 16;
-        for round in 0..cap {
-            let mut changed = false;
-            for x in 0..n {
-                let cands = self.candidates(x);
-                let new_best = decision::select(&cands).map(|(r, _)| r.clone());
+        let mut force = seeds.clone();
+        let mut wave = seeds;
+        let mut next: BTreeSet<NodeIdx> = BTreeSet::new();
+        let mut pre_event: BTreeMap<NodeIdx, Option<Route>> = BTreeMap::new();
+        let mut rounds = 0usize;
+        let mut activations = 0usize;
+        let mut imports = 0usize;
+        let mut converged = true;
+        'event: while !wave.is_empty() {
+            rounds += 1;
+            if rounds > cap {
+                converged = false;
+                break;
+            }
+            while let Some(x) = wave.pop_first() {
+                activations += 1;
+                if activations > cap.saturating_mul(n.max(1)) {
+                    converged = false;
+                    break 'event;
+                }
+                let new_best = self.select_at(x);
                 let keep = match (&self.best[x], &new_best) {
-                    (Some(old), Some(new)) if old.same_route(new) => true,
+                    (Some(old), Some(new)) => old.same_route(new),
                     (None, None) => true,
                     _ => false,
                 };
+                let forced = force.remove(&x);
                 if !keep {
-                    changed = true;
+                    pre_event.entry(x).or_insert_with(|| self.best[x].clone());
                     self.best[x] = new_best;
                 }
+                if !keep || forced {
+                    imports += self.push_exports(x, &mut wave, &mut next);
+                }
             }
-            if !changed {
-                return Convergence {
-                    rounds: round + 1,
-                    converged: true,
-                };
+            std::mem::swap(&mut wave, &mut next);
+        }
+        // Age normalization: an AS that ends the event on the same session
+        // and path it started on keeps the original installation age, even
+        // if it flipped through other routes transiently.
+        for (x, old) in pre_event {
+            if let (Some(o), Some(cur)) = (old, self.best[x].as_mut()) {
+                if o.same_route(cur) {
+                    cur.age = o.age;
+                }
             }
         }
+        self.stats.activations += activations;
+        self.stats.imports += imports;
         Convergence {
-            rounds: cap,
-            converged: false,
+            rounds,
+            converged,
+            activations,
+            imports,
         }
+    }
+
+    /// Best route at `x` per the decision process over the origination and
+    /// the adj-RIB-in, with the winner re-stamped to the current clock (the
+    /// age it would carry as a live candidate).
+    fn select_at(&self, x: NodeIdx) -> Option<Route> {
+        let origination = match (self.origin_idx, &self.announcement) {
+            (Some(origin_idx), Some(ann)) if origin_idx == x => Some(Route::originate(
+                self.prefix,
+                ann.origination_path(),
+                self.announce_time,
+            )),
+            _ => None,
+        };
+        let mut best: Option<&Route> = origination.as_ref();
+        for r in self.rib_in[x].iter().flatten() {
+            best = match best {
+                Some(b) if decision::compare_ignoring_age(r, b).is_lt() => Some(r),
+                None => Some(r),
+                keep => keep,
+            };
+        }
+        let mut winner = best?.clone();
+        winner.age = self.clock;
+        Some(winner)
+    }
+
+    /// Re-exports `x`'s current best over every session importing from `x`,
+    /// refreshing the listeners' adj-RIB-in entries and activating exactly
+    /// the listeners whose entry changed — into the current wave when
+    /// still ahead of `x` this sweep, into the next wave otherwise.
+    /// Returns the number of import evaluations performed.
+    fn push_exports(
+        &mut self,
+        x: NodeIdx,
+        wave: &mut BTreeSet<NodeIdx>,
+        next: &mut BTreeSet<NodeIdx>,
+    ) -> usize {
+        let mut imports = 0;
+        let PrefixSim {
+            ctx,
+            prefix,
+            announcement,
+            best,
+            rib_in,
+            clock,
+            ..
+        } = self;
+        let ann = announcement.as_ref();
+        let best_x = best[x].as_ref();
+        for &(l, si) in &ctx.listeners[x] {
+            let s = &ctx.sessions[l][si as usize];
+            let exported = best_x.and_then(|b| ctx.export_path(x, l, s, b, ann));
+            let entry = &mut rib_in[l][si as usize];
+            // An unchanged exported path implies an unchanged import: every
+            // other route attribute is a deterministic function of the
+            // session and the path (ages are re-stamped at selection).
+            let unchanged = match (&exported, entry.as_ref()) {
+                (None, None) => true,
+                (Some(p), Some(r)) => *p == r.path,
+                _ => false,
+            };
+            if unchanged {
+                continue;
+            }
+            let imported = exported.and_then(|p| {
+                imports += 1;
+                ctx.engine
+                    .import(l, x, s.city, s.rel, s.kind, *prefix, p, s.igp, *clock)
+            });
+            // The export changed but the import verdict didn't: nothing for
+            // the listener to react to.
+            if imported.is_none() && entry.is_none() {
+                continue;
+            }
+            *entry = imported;
+            if l > x {
+                wave.insert(l);
+            } else {
+                next.insert(l);
+            }
+        }
+        imports
     }
 
     /// The selected route at node `x` (path does not include `x` itself).
@@ -282,7 +529,11 @@ impl<'w> PrefixSim<'w> {
 
     /// The selected route at the AS with number `asn`.
     pub fn best_by_asn(&self, asn: Asn) -> Option<&Route> {
-        self.world.graph.index_of(asn).and_then(|i| self.best(i))
+        self.ctx
+            .world
+            .graph
+            .index_of(asn)
+            .and_then(|i| self.best(i))
     }
 
     /// Next-hop node and interconnection city at `x`, if `x` has a
@@ -290,7 +541,7 @@ impl<'w> PrefixSim<'w> {
     pub fn next_hop(&self, x: NodeIdx) -> Option<(NodeIdx, CityId)> {
         let r = self.best(x)?;
         let nb = r.learned_from?;
-        Some((self.world.graph.index_of(nb)?, r.entry_city?))
+        Some((self.ctx.world.graph.index_of(nb)?, r.entry_city?))
     }
 
     /// The prefix being simulated.
@@ -300,12 +551,35 @@ impl<'w> PrefixSim<'w> {
 
     /// The world this simulation runs over.
     pub fn world(&self) -> &'w World {
-        self.world
+        self.ctx.world
     }
 
     /// Logical time of the last event.
     pub fn clock(&self) -> Timestamp {
         self.clock
+    }
+
+    /// Cumulative effort counters since construction.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl PropagationEngine for PrefixSim<'_> {
+    fn announce(&mut self, ann: Announcement, at: Timestamp) -> Convergence {
+        PrefixSim::announce(self, ann, at)
+    }
+    fn withdraw(&mut self, at: Timestamp) -> Convergence {
+        PrefixSim::withdraw(self, at)
+    }
+    fn best(&self, x: NodeIdx) -> Option<&Route> {
+        PrefixSim::best(self, x)
+    }
+    fn candidates(&self, x: NodeIdx) -> Vec<Route> {
+        PrefixSim::candidates(self, x)
+    }
+    fn stats(&self) -> EngineStats {
+        PrefixSim::stats(self)
     }
 }
 
@@ -485,6 +759,21 @@ mod tests {
     }
 
     #[test]
+    fn identical_reannouncement_activates_almost_nothing() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        let initial = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        assert!(initial.activations >= w.graph.len() / 2, "initial flood");
+        // Re-announcing the exact same thing only touches the origin and
+        // its direct listeners' rib entries — the incremental win.
+        let again = sim.announce(Announcement::plain(origin, prefix), Timestamp(5400));
+        assert!(again.converged);
+        assert_eq!(again.activations, 1, "only the origin re-activates");
+        assert_eq!(again.imports, 0, "no rib entry changed");
+    }
+
+    #[test]
     fn export_prepending_lengthens_paths_and_diverts_traffic() {
         let mut w = world();
         let (origin, prefix) = some_origin(&w);
@@ -549,6 +838,32 @@ mod tests {
             if let Some(b) = sim.best(x) {
                 assert!(sim.candidates(x).iter().any(|c| c.same_route(b)));
             }
+        }
+    }
+
+    #[test]
+    fn shared_context_simulations_are_independent() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let ctx = SimContext::shared(&w);
+        let mut a = PrefixSim::with_context(ctx.clone(), prefix);
+        let mut b = PrefixSim::with_context(ctx, prefix);
+        a.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        // `b` runs a different (poisoned) announcement over the same
+        // shared context.
+        let victim = (0..w.graph.len())
+            .filter_map(|x| a.best(x).map(|r| r.path.sequence_asns()))
+            .find(|s| s.len() >= 2)
+            .map(|s| s[0]);
+        let mut poisoned = Announcement::plain(origin, prefix);
+        poisoned.poison = victim.into_iter().collect();
+        b.announce(poisoned, Timestamp::ZERO);
+        // `a` is unaffected by `b` running over the same context, and both
+        // match fresh standalone runs.
+        let mut fresh = PrefixSim::new(&w, prefix);
+        fresh.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        for x in 0..w.graph.len() {
+            assert_eq!(a.best(x), fresh.best(x));
         }
     }
 }

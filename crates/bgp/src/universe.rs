@@ -8,7 +8,7 @@
 //! both consume.
 
 use crate::route::Route;
-use crate::sim::{Announcement, PrefixSim};
+use crate::sim::{Announcement, PrefixSim, SimContext};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
 use ir_types::{Asn, Ipv4, Prefix, Timestamp};
@@ -43,13 +43,16 @@ impl RoutingUniverse {
     /// owners, announced plainly at t=0), in parallel.
     pub fn compute(world: &World, prefixes: &[Prefix]) -> RoutingUniverse {
         let owners = prefix_owners(world);
+        // One session table + policy engine for the whole batch; each
+        // per-prefix sim only allocates its own mutable state.
+        let ctx = SimContext::shared(world);
         let results: Vec<(Prefix, Asn, Vec<Option<Route>>, bool)> = prefixes
             .par_iter()
             .map(|&prefix| {
                 let origin = *owners
                     .get(&prefix)
                     .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
-                let mut sim = PrefixSim::new(world, prefix);
+                let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
                 let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
                 let table: Vec<Option<Route>> = (0..world.graph.len())
                     .map(|x| sim.best(x).cloned())

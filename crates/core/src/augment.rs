@@ -12,7 +12,7 @@
 //! ordinary collector feed yields an augmented topology whose effect on
 //! classification the `exp_lg_augment` experiment measures.
 
-use ir_bgp::{Announcement, PrefixSim};
+use ir_bgp::{Announcement, PrefixSim, SimContext};
 use ir_measure::LookingGlassNet;
 use ir_topology::World;
 use ir_types::{Asn, Prefix, Timestamp};
@@ -27,11 +27,12 @@ pub fn gather_lg_paths(
     targets: &[(Asn, Prefix)],
 ) -> Vec<Vec<Asn>> {
     let mut out = Vec::new();
+    let ctx = SimContext::shared(world);
     for &(origin, prefix) in targets {
         if world.graph.index_of(origin).is_none() {
             continue;
         }
-        let mut sim = PrefixSim::new(world, prefix);
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
         sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         for host in lg.hosts() {
             let Some(routes) = lg.query_sim(&sim, host) else {

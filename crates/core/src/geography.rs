@@ -11,10 +11,11 @@
 //!   model at a far higher rate than ordinary decisions.
 
 use crate::classify::{Breakdown, Category, Classifier};
-use crate::dataset::MeasuredPath;
+use crate::dataset::{Decision, MeasuredPath};
 use ir_topology::geo::Geography;
 use ir_topology::orgs::OrgRegistry;
 use ir_types::{Asn, Continent};
+use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Figure 3: per-continent and continental-vs-not breakdowns.
@@ -102,31 +103,47 @@ pub fn domestic_stats(
     geo: &Geography,
 ) -> DomesticStats {
     let mut out = DomesticStats::default();
-    // Local per-destination cache: path extraction ignores PSP filtering,
-    // so it cannot reuse the classifier's (prefix-keyed) cache.
-    let mut routes_cache: BTreeMap<Asn, crate::grmodel::GrRoutes> = BTreeMap::new();
-    for p in paths {
-        // Only traceroutes that stayed inside one country are candidates
-        // for the domestic-preference explanation (§6 "Domestic paths").
-        let Some(continent) = p.continental() else {
-            continue;
-        };
-        if p.domestic().is_none() {
-            continue;
-        }
+    // Only traceroutes that stayed inside one country are candidates for
+    // the domestic-preference explanation (§6 "Domestic paths").
+    let candidates: Vec<&MeasuredPath> = paths
+        .iter()
+        .filter(|p| p.continental().is_some() && p.domestic().is_some())
+        .collect();
+    // Classify everything up front (the classifier fans out internally),
+    // then precompute the model's routes for every violating destination in
+    // parallel. The local cache is needed because path extraction ignores
+    // PSP filtering, so it cannot reuse the classifier's (prefix-keyed)
+    // cache.
+    let decisions: Vec<Decision> = candidates.iter().flat_map(|p| p.decisions()).collect();
+    let verdicts = classifier.classify_batch(&decisions);
+    let violating_dests: Vec<Asn> = decisions
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, v)| v.category.is_violation())
+        .map(|(d, _)| d.dest)
+        .collect::<BTreeSet<Asn>>()
+        .into_iter()
+        .collect();
+    let computed: Vec<(Asn, crate::grmodel::GrRoutes)> = violating_dests
+        .par_iter()
+        .map(|&dest| (dest, classifier.model().routes_to(dest)))
+        .collect();
+    let routes_cache: BTreeMap<Asn, crate::grmodel::GrRoutes> = computed.into_iter().collect();
+    let mut vi = 0usize;
+    for p in &candidates {
+        let continent = p.continental().expect("candidates are continental");
         let src_country = registry.whois(p.src).map(|w| w.country);
         let dst_country = registry.whois(p.dest).map(|w| w.country);
         for d in p.decisions() {
-            let v = classifier.classify(&d);
+            let v = &verdicts[vi];
+            vi += 1;
             if !v.category.is_violation() {
                 continue;
             }
             let entry = out.per_continent.entry(continent).or_insert((0, 0));
             entry.1 += 1;
             // Extract the model's preferred path and test for a foreign AS.
-            let routes = routes_cache
-                .entry(d.dest)
-                .or_insert_with(|| classifier.model().routes_to(d.dest));
+            let routes = routes_cache.get(&d.dest).expect("precomputed above");
             let Some(model_path) = routes.extract_path(d.observer) else {
                 continue;
             };

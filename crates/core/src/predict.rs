@@ -15,7 +15,8 @@
 use crate::dataset::MeasuredPath;
 use crate::grmodel::{GrModel, GrRoutes};
 use ir_types::Asn;
-use std::collections::BTreeMap;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Path-prediction agreement metrics over a measured dataset.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -66,12 +67,22 @@ pub fn predict_path(routes: &GrRoutes, src: Asn) -> Option<Vec<Asn>> {
 
 /// Evaluates path prediction over a measured dataset.
 pub fn evaluate(model: &GrModel, paths: &[MeasuredPath]) -> PredictReport {
-    let mut cache: BTreeMap<Asn, GrRoutes> = BTreeMap::new();
+    // Route computations per unique destination are independent; fan them
+    // out before the (cheap, sequential) comparison pass.
+    let dests: Vec<Asn> = paths
+        .iter()
+        .map(|m| m.dest)
+        .collect::<BTreeSet<Asn>>()
+        .into_iter()
+        .collect();
+    let computed: Vec<(Asn, GrRoutes)> = dests
+        .par_iter()
+        .map(|&dest| (dest, model.routes_to(dest)))
+        .collect();
+    let cache: BTreeMap<Asn, GrRoutes> = computed.into_iter().collect();
     let mut report = PredictReport::default();
     for m in paths {
-        let routes = cache
-            .entry(m.dest)
-            .or_insert_with(|| model.routes_to(m.dest));
+        let routes = cache.get(&m.dest).expect("precomputed above");
         let Some(predicted) = predict_path(routes, m.src) else {
             report.unpredictable += 1;
             continue;

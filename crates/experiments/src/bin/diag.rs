@@ -35,6 +35,52 @@ fn main() {
         s.observed_ases(),
         s.campaign.destination_ases()
     );
+
+    // Event-engine counters on a testbed prefix: how much work announce,
+    // an incremental poisoned re-announce, and withdraw actually do.
+    if let Some(peering) = ir_measure::peering::Peering::new(&s.world) {
+        use ir_types::Timestamp;
+        let prefix = peering.prefixes()[0];
+        let round = 90 * 60;
+        let mut sim = peering.sim(prefix);
+        let fmt = |label: &str, c: ir_bgp::Convergence| {
+            println!(
+                "  {label:<22} rounds {:>3}  activations {:>7}  imports {:>7}{}",
+                c.rounds,
+                c.activations,
+                c.imports,
+                if c.converged { "" } else { "  (NOT CONVERGED)" }
+            );
+        };
+        println!("engine counters ({prefix}):");
+        fmt(
+            "announce",
+            sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO),
+        );
+        // Poison the first transit hop of some converged route — the same
+        // incremental shape a poisoning campaign produces.
+        let poison: Vec<ir_types::Asn> = (0..s.world.graph.len())
+            .find_map(|i| {
+                let hops = sim.best(i)?.path.sequence_asns();
+                if hops.len() >= 2 {
+                    Some(vec![hops[0]])
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_default();
+        let poisoned = peering.anycast(prefix, &poison);
+        fmt(
+            "re-announce (poison)",
+            sim.announce(poisoned, Timestamp(round)),
+        );
+        fmt("withdraw", sim.withdraw(Timestamp(2 * round)));
+        let total = sim.stats();
+        println!(
+            "  {:<22} events {:>3}  activations {:>7}  imports {:>7}",
+            "cumulative", total.events, total.activations, total.imports
+        );
+    }
     println!("{}", ir_experiments::exp_table1::run(&s).render());
     println!("{}", ir_experiments::exp_fig1::run(&s).render());
     println!("{}", ir_experiments::exp_fig3::run(&s).render());

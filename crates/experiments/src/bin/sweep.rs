@@ -13,6 +13,7 @@
 use ir_core::classify::Category;
 use ir_core::refine::Variant;
 use ir_experiments::scenario::{Scenario, ScenarioConfig};
+use rayon::prelude::*;
 
 struct Row {
     seed: u64,
@@ -53,28 +54,36 @@ fn main() {
         "DestSkew",
         "SrcSkew"
     );
-    let mut rows = Vec::new();
-    for seed in 1..=seeds {
-        let cfg = match scale.as_str() {
-            "paper" => ScenarioConfig::paper_scale(seed),
-            _ => ScenarioConfig::tiny(seed),
-        };
-        let s = Scenario::build(cfg);
-        let fig1 = ir_experiments::exp_fig1::run(&s);
-        let fig3 = ir_experiments::exp_fig3::run(&s);
-        let t3 = ir_experiments::exp_table3::run(&s);
-        let fig2 = ir_experiments::exp_fig2::run(&s);
-        let row = Row {
-            seed,
-            simple: fig1.bar(Variant::Simple).best_short,
-            all1: fig1.bar(Variant::All1).best_short,
-            all2: fig1.bar(Variant::All2).best_short,
-            cont: fig3.bar("Cont").map(|b| b.best_short).unwrap_or(0.0),
-            non_cont: fig3.bar("Non Cont").map(|b| b.best_short).unwrap_or(0.0),
-            domestic: 100.0 * t3.overall_fraction,
-            dest_skew: fig2.dest_skew,
-            src_skew: fig2.src_skew,
-        };
+    // Each seed builds and analyses an independent world, so the whole
+    // sweep fans out across cores; rows are collected in seed order and
+    // printed afterwards so output stays deterministic.
+    let seed_list: Vec<u64> = (1..=seeds).collect();
+    let rows: Vec<Row> = seed_list
+        .par_iter()
+        .map(|&seed| {
+            let cfg = match scale.as_str() {
+                "paper" => ScenarioConfig::paper_scale(seed),
+                _ => ScenarioConfig::tiny(seed),
+            };
+            let s = Scenario::build(cfg);
+            let fig1 = ir_experiments::exp_fig1::run(&s);
+            let fig3 = ir_experiments::exp_fig3::run(&s);
+            let t3 = ir_experiments::exp_table3::run(&s);
+            let fig2 = ir_experiments::exp_fig2::run(&s);
+            Row {
+                seed,
+                simple: fig1.bar(Variant::Simple).best_short,
+                all1: fig1.bar(Variant::All1).best_short,
+                all2: fig1.bar(Variant::All2).best_short,
+                cont: fig3.bar("Cont").map(|b| b.best_short).unwrap_or(0.0),
+                non_cont: fig3.bar("Non Cont").map(|b| b.best_short).unwrap_or(0.0),
+                domestic: 100.0 * t3.overall_fraction,
+                dest_skew: fig2.dest_skew,
+                src_skew: fig2.src_skew,
+            }
+        })
+        .collect();
+    for row in &rows {
         println!(
             "{:>4} {:>8.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.1} {:>10.3} {:>9.3}",
             row.seed,
@@ -103,9 +112,8 @@ fn main() {
             notes.push("src skew ≥ dest skew");
         }
         if !notes.is_empty() {
-            println!("      ⚠ seed {seed}: {}", notes.join(", "));
+            println!("      ⚠ seed {}: {}", row.seed, notes.join(", "));
         }
-        rows.push(row);
 
         // One category sanity line per seed.
         let _ = Category::ALL;

@@ -12,6 +12,7 @@ use crate::scenario::Scenario;
 use ir_core::alternates::{check_order, LinkAccounting, OrderSummary, OrderVerdict};
 use ir_measure::peering::{observe_routes, AlternateDiscovery, Peering};
 use ir_types::{Asn, Timestamp};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// The full result.
@@ -38,7 +39,7 @@ pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
 
     // Target set: ASes observed on paths toward the testbed (§3.2 targeted
     // the 360 ASes it saw).
-    let mut sim = ir_bgp::PrefixSim::new(&s.world, prefix);
+    let mut sim = peering.sim(prefix);
     sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO);
     let observed = observe_routes(&sim, &setup);
     let mut targets: Vec<Asn> = observed
@@ -50,8 +51,10 @@ pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
         targets.truncate(max_targets);
     }
 
+    // Per-target discoveries are independent poisoning campaigns; rayon's
+    // collect keeps them in target order, so results stay deterministic.
     let discoveries: Vec<AlternateDiscovery> = targets
-        .iter()
+        .par_iter()
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
     let verdicts: Vec<OrderVerdict> = discoveries

@@ -10,6 +10,7 @@ use ir_core::classify::{Classifier, ClassifyConfig};
 use ir_core::nextmodel::InformedModel;
 use ir_measure::peering::{observe_routes, Peering};
 use ir_types::{Asn, Timestamp};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// The result.
@@ -32,7 +33,7 @@ pub fn run(s: &Scenario, max_targets: usize) -> Informed {
     let peering = Peering::new(&s.world).expect("world has a testbed");
     let setup = monitor_setup(s);
     let prefix = peering.prefixes()[0];
-    let mut sim = ir_bgp::PrefixSim::new(&s.world, prefix);
+    let mut sim = peering.sim(prefix);
     sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO);
     let observed = observe_routes(&sim, &setup);
     let mut targets: Vec<Asn> = observed
@@ -43,8 +44,10 @@ pub fn run(s: &Scenario, max_targets: usize) -> Informed {
     if max_targets > 0 {
         targets.truncate(max_targets);
     }
+    // Independent per-target poisoning campaigns, in parallel (order
+    // preserved by collect).
     let discoveries: Vec<_> = targets
-        .iter()
+        .par_iter()
         .map(|&t| peering.discover_alternates(prefix, t, &setup, 8))
         .collect();
 

@@ -13,6 +13,7 @@ use ir_bgp::decision::DecisionStep;
 use ir_core::magnet::{analyze_runs, classify_decision, MagnetDecision};
 use ir_measure::peering::{MagnetRun, ObservationSetup, Peering};
 use ir_types::{Asn, Timestamp};
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -22,7 +23,7 @@ pub fn monitor_setup(s: &Scenario) -> ObservationSetup {
     let peering = Peering::new(&s.world).expect("world has a testbed");
     let prefix = peering.prefixes()[0];
     // Default (anycast) paths from every probe AS toward the testbed.
-    let mut sim = ir_bgp::PrefixSim::new(&s.world, prefix);
+    let mut sim = peering.sim(prefix);
     sim.announce(peering.anycast(prefix, &[]), Timestamp::ZERO);
     let mut probe_paths = Vec::new();
     for p in s.pool.probes() {
@@ -69,11 +70,17 @@ pub fn run(s: &Scenario) -> Table2 {
     let peering = Peering::new(&s.world).expect("world has a testbed");
     let setup = monitor_setup(s);
     let prefix = peering.prefixes()[0];
-    let runs: Vec<MagnetRun> = peering
+    // One independent magnet run per mux; timestamps are derived from the
+    // mux's index so the parallel schedule cannot perturb them.
+    let indexed: Vec<(u64, Asn)> = peering
         .muxes()
         .iter()
         .enumerate()
-        .map(|(i, &mux)| peering.run_magnet(prefix, mux, &setup, Timestamp(i as u64 * 2 * 90 * 60)))
+        .map(|(i, &mux)| (i as u64, mux))
+        .collect();
+    let runs: Vec<MagnetRun> = indexed
+        .par_iter()
+        .map(|&(i, mux)| peering.run_magnet(prefix, mux, &setup, Timestamp(i * 2 * 90 * 60)))
         .collect();
     let tally = analyze_runs(&s.inferred, &runs);
     let (total_feeds, total_traceroutes) = tally.totals();

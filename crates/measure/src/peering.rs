@@ -22,10 +22,11 @@
 //! observed path exposes the route of every AS along it.
 
 use ir_bgp::decision::{self, DecisionStep};
-use ir_bgp::{Announcement, PrefixSim};
+use ir_bgp::{Announcement, PrefixSim, SimContext};
 use ir_topology::World;
 use ir_types::{Asn, Prefix, Timestamp};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The 90-minute announcement round (§3.2).
 pub const ROUND: u64 = 90 * 60;
@@ -149,6 +150,10 @@ pub struct MagnetRun {
 /// The testbed controller.
 pub struct Peering<'w> {
     world: &'w World,
+    /// Shared per-world simulation context: the experiment drivers spin up
+    /// many per-prefix sims (one per discovery target / magnet run), all
+    /// over the same session table.
+    ctx: Arc<SimContext<'w>>,
     muxes: Vec<Asn>,
     prefixes: Vec<Prefix>,
 }
@@ -166,9 +171,16 @@ impl<'w> Peering<'w> {
         let prefixes = world.graph.node(idx).prefixes.clone();
         Some(Peering {
             world,
+            ctx: SimContext::shared(world),
             muxes,
             prefixes,
         })
+    }
+
+    /// A fresh, not-yet-announced simulation for `prefix` over the shared
+    /// per-world context.
+    pub fn sim(&self, prefix: Prefix) -> PrefixSim<'w> {
+        PrefixSim::with_context(self.ctx.clone(), prefix)
     }
 
     /// The university muxes (provider ASNs).
@@ -216,7 +228,7 @@ impl<'w> Peering<'w> {
         setup: &ObservationSetup,
         max_rounds: usize,
     ) -> AlternateDiscovery {
-        let mut sim = PrefixSim::new(self.world, prefix);
+        let mut sim = self.sim(prefix);
         let mut poison: Vec<Asn> = Vec::new();
         let mut routes = Vec::new();
         let mut announcements = 0usize;
@@ -256,7 +268,7 @@ impl<'w> Peering<'w> {
         start: Timestamp,
     ) -> MagnetRun {
         assert!(self.muxes.contains(&magnet), "magnet must be a mux");
-        let mut sim = PrefixSim::new(self.world, prefix);
+        let mut sim = self.sim(prefix);
         sim.announce(self.via(prefix, &[magnet], &[]), start);
         let before = observe_routes(&sim, setup);
         sim.announce(

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Propagation-engine benchmark: event-driven worklist vs legacy full-sweep
+# oracle. Prints the criterion groups and (re)writes BENCH_propagation.json
+# at the repo root with the head-to-head timings and speedups.
+#
+# Usage: scripts/bench.sh [--offline] [--samples N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+SAMPLES="${IR_BENCH_SAMPLES:-}"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --offline) OFFLINE=(--offline); shift ;;
+        --samples) SAMPLES="$2"; shift 2 ;;
+        *) echo "usage: scripts/bench.sh [--offline] [--samples N]" >&2; exit 2 ;;
+    esac
+done
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    OFFLINE=(--offline)
+fi
+
+if [[ -n "$SAMPLES" ]]; then
+    export IR_BENCH_SAMPLES="$SAMPLES"
+fi
+
+cargo bench "${OFFLINE[@]}" -p ir-bench --bench propagation
+
+echo
+echo "==> BENCH_propagation.json"
+cat BENCH_propagation.json
