@@ -37,4 +37,4 @@ pub use path::{AsPath, Segment};
 pub use route::Route;
 pub use sim::{Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine, SimContext};
 pub use sweep::SweepSim;
-pub use universe::RoutingUniverse;
+pub use universe::{RoutingUniverse, UniverseResilience};

@@ -94,12 +94,18 @@ pub struct Convergence {
 /// observable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Events (announce/withdraw calls) processed.
+    /// Events (announce/withdraw/fault calls) processed.
     pub events: usize,
     /// Total selection recomputations across events.
     pub activations: usize,
     /// Total import policy evaluations across events.
     pub imports: usize,
+    /// Fault events (link fail/restore/reset calls) processed.
+    pub recovery_events: usize,
+    /// Worklist rounds spent reconverging after fault events.
+    pub recovery_rounds: usize,
+    /// Adj-RIB-in entries torn down by session faults.
+    pub sessions_torn: usize,
 }
 
 /// One BGP session: a (link, interconnection city) pair. Hybrid links
@@ -236,7 +242,33 @@ pub trait PropagationEngine {
     fn candidates(&self, x: NodeIdx) -> Vec<Route>;
     /// Cumulative effort counters.
     fn stats(&self) -> EngineStats;
+    /// Takes the link between `a` and `b` down (all its sessions, both
+    /// directions) and reconverges. No-op if unknown or already down.
+    fn fail_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence;
+    /// Brings a downed link back up and reconverges. No-op if not down.
+    fn restore_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence;
+    /// Resets the sessions between `a` and `b` (state cleared, immediately
+    /// re-established) and reconverges. No-op if the link is down.
+    fn reset_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence;
+    /// Declares which ASes filter announcements carrying an AS-set
+    /// (poisoned paths, §5). Applies to subsequent events.
+    fn set_poison_filters(&mut self, filters: &std::collections::BTreeSet<Asn>);
+    /// Links currently down, as canonical `(low, high)` ASN pairs.
+    fn downed_links(&self) -> Vec<(Asn, Asn)>;
 }
+
+/// Canonical key for an undirected link between two node indices.
+pub(crate) fn link_key(a: NodeIdx, b: NodeIdx) -> (NodeIdx, NodeIdx) {
+    (a.min(b), a.max(b))
+}
+
+/// The zero-work convergence returned by fault no-ops.
+pub(crate) const NO_OP_CONVERGENCE: Convergence = Convergence {
+    rounds: 0,
+    converged: true,
+    activations: 0,
+    imports: 0,
+};
 
 /// Per-prefix propagation state (event-driven engine).
 ///
@@ -269,6 +301,12 @@ pub struct PrefixSim<'w> {
     /// Stored ages are stale by design; selection re-stamps them with the
     /// current clock, which is exact because live candidates all share it.
     rib_in: Vec<Vec<Option<Route>>>,
+    /// Links currently down (canonical index pairs). Empty unless faults
+    /// are injected; exports never cross a downed link.
+    downed: BTreeSet<(NodeIdx, NodeIdx)>,
+    /// ASes that drop imports whose path carries an AS-set (poisoned
+    /// announcements). Empty unless faults are injected.
+    poison_filters: BTreeSet<NodeIdx>,
     clock: Timestamp,
     stats: EngineStats,
 }
@@ -295,6 +333,8 @@ impl<'w> PrefixSim<'w> {
             announce_time: Timestamp::ZERO,
             best: vec![None; n],
             rib_in,
+            downed: BTreeSet::new(),
+            poison_filters: BTreeSet::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
         }
@@ -333,6 +373,169 @@ impl<'w> PrefixSim<'w> {
         self.announcement = None;
         let seeds: BTreeSet<NodeIdx> = self.origin_idx.take().into_iter().collect();
         self.run_event(seeds)
+    }
+
+    /// Takes the link between `a` and `b` down: every session over it (both
+    /// directions) is torn — adj-RIB-in entries cleared, exports blocked —
+    /// and the graph reconverges around the outage. Unknown ASNs or an
+    /// already-down link are a no-op.
+    pub fn fail_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if !self.downed.insert(key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        let torn = self.tear_sessions(key);
+        self.stats.sessions_torn += torn;
+        self.run_recovery([key.0, key.1].into())
+    }
+
+    /// Brings a downed link back up: both endpoints re-export their best
+    /// routes over the restored sessions and the graph reconverges. A link
+    /// that is not down is a no-op.
+    pub fn restore_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if !self.downed.remove(&key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        let imports = self.reestablish_sessions(key);
+        self.stats.imports += imports;
+        self.run_recovery([key.0, key.1].into())
+    }
+
+    /// Resets the sessions between `a` and `b`: state is cleared and the
+    /// sessions immediately re-established. The fixpoint is unchanged but
+    /// the recovery work is real (and counted). A downed link cannot be
+    /// reset.
+    pub fn reset_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if self.downed.contains(&key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        let torn = self.tear_sessions(key);
+        self.stats.sessions_torn += torn;
+        let imports = self.reestablish_sessions(key);
+        self.stats.imports += imports;
+        self.run_recovery([key.0, key.1].into())
+    }
+
+    /// Applies one scheduled fault event.
+    pub fn apply_fault(&mut self, fault: &ir_fault::TimedFault) -> Convergence {
+        match fault.event {
+            ir_fault::FaultEvent::LinkDown { a, b } => self.fail_link(a, b, fault.at),
+            ir_fault::FaultEvent::LinkUp { a, b } => self.restore_link(a, b, fault.at),
+            ir_fault::FaultEvent::SessionReset { a, b } => self.reset_link(a, b, fault.at),
+        }
+    }
+
+    /// Declares which ASes filter AS-set-carrying (poisoned) announcements.
+    /// Takes effect for subsequent events; call before announcing.
+    pub fn set_poison_filters<I: IntoIterator<Item = Asn>>(&mut self, asns: I) {
+        let graph = &self.ctx.world.graph;
+        self.poison_filters = asns.into_iter().filter_map(|a| graph.index_of(a)).collect();
+    }
+
+    /// Links currently down, as canonical `(low, high)` ASN pairs.
+    pub fn downed_links(&self) -> Vec<(Asn, Asn)> {
+        let g = &self.ctx.world.graph;
+        self.downed
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (g.asn(a), g.asn(b));
+                (x.min(y), x.max(y))
+            })
+            .collect()
+    }
+
+    /// Is the link between `a` and `b` currently down?
+    pub fn is_link_down(&self, a: Asn, b: Asn) -> bool {
+        !self.downed.is_empty()
+            && self
+                .link_nodes(a, b)
+                .is_some_and(|key| self.downed.contains(&key))
+    }
+
+    fn link_nodes(&self, a: Asn, b: Asn) -> Option<(NodeIdx, NodeIdx)> {
+        let g = &self.ctx.world.graph;
+        Some(link_key(g.index_of(a)?, g.index_of(b)?))
+    }
+
+    /// Clears both endpoints' adj-RIB-in entries over the link's sessions;
+    /// returns how many live entries were torn.
+    fn tear_sessions(&mut self, key: (NodeIdx, NodeIdx)) -> usize {
+        let mut torn = 0;
+        for (x, other) in [(key.0, key.1), (key.1, key.0)] {
+            for (si, s) in self.ctx.sessions[x].iter().enumerate() {
+                if s.peer == other && self.rib_in[x][si].take().is_some() {
+                    torn += 1;
+                }
+            }
+        }
+        torn
+    }
+
+    /// Re-establishes the sessions over `key`: both sides exchange their
+    /// current best routes — the initial RIB exchange of a BGP session
+    /// coming up — refreshing the adj-RIB-in entries *before* the worklist
+    /// runs. Without this, the lower-index endpoint would re-select before
+    /// its neighbor's export arrives, and a configuration with multiple
+    /// stable states could land in a different equilibrium than the
+    /// pull-model sweep oracle. Returns import evaluations performed.
+    fn reestablish_sessions(&mut self, key: (NodeIdx, NodeIdx)) -> usize {
+        let mut imports = 0;
+        let PrefixSim {
+            ctx,
+            prefix,
+            announcement,
+            best,
+            rib_in,
+            poison_filters,
+            clock,
+            ..
+        } = self;
+        let ann = announcement.as_ref();
+        for (x, l) in [(key.0, key.1), (key.1, key.0)] {
+            let best_x = best[x].as_ref();
+            for (si, s) in ctx.sessions[l].iter().enumerate() {
+                if s.peer != x {
+                    continue;
+                }
+                let imported = best_x
+                    .and_then(|b| ctx.export_path(x, l, s, b, ann))
+                    .and_then(|p| {
+                        imports += 1;
+                        if !poison_filters.is_empty() && poison_filters.contains(&l) && p.has_set()
+                        {
+                            return None;
+                        }
+                        ctx.engine
+                            .import(l, x, s.city, s.rel, s.kind, *prefix, p, s.igp, *clock)
+                    });
+                rib_in[l][si] = imported;
+            }
+        }
+        imports
+    }
+
+    /// Runs a fault-seeded reconvergence, accounting rounds as recovery.
+    fn run_recovery(&mut self, seeds: BTreeSet<NodeIdx>) -> Convergence {
+        let conv = self.run_event(seeds);
+        self.stats.recovery_rounds += conv.rounds;
+        conv
     }
 
     /// The candidate routes AS `x` can currently choose between: its own
@@ -482,6 +685,8 @@ impl<'w> PrefixSim<'w> {
             announcement,
             best,
             rib_in,
+            downed,
+            poison_filters,
             clock,
             ..
         } = self;
@@ -489,7 +694,13 @@ impl<'w> PrefixSim<'w> {
         let best_x = best[x].as_ref();
         for &(l, si) in &ctx.listeners[x] {
             let s = &ctx.sessions[l][si as usize];
-            let exported = best_x.and_then(|b| ctx.export_path(x, l, s, b, ann));
+            // A downed link carries nothing in either direction.
+            let link_up = downed.is_empty() || !downed.contains(&link_key(x, l));
+            let exported = if link_up {
+                best_x.and_then(|b| ctx.export_path(x, l, s, b, ann))
+            } else {
+                None
+            };
             let entry = &mut rib_in[l][si as usize];
             // An unchanged exported path implies an unchanged import: every
             // other route attribute is a deterministic function of the
@@ -504,6 +715,11 @@ impl<'w> PrefixSim<'w> {
             }
             let imported = exported.and_then(|p| {
                 imports += 1;
+                // Fault-injected filtering: this AS drops poisoned
+                // (AS-set-carrying) announcements outright, §5.
+                if !poison_filters.is_empty() && poison_filters.contains(&l) && p.has_set() {
+                    return None;
+                }
                 ctx.engine
                     .import(l, x, s.city, s.rel, s.kind, *prefix, p, s.igp, *clock)
             });
@@ -580,6 +796,21 @@ impl PropagationEngine for PrefixSim<'_> {
     }
     fn stats(&self) -> EngineStats {
         PrefixSim::stats(self)
+    }
+    fn fail_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        PrefixSim::fail_link(self, a, b, at)
+    }
+    fn restore_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        PrefixSim::restore_link(self, a, b, at)
+    }
+    fn reset_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        PrefixSim::reset_link(self, a, b, at)
+    }
+    fn set_poison_filters(&mut self, filters: &BTreeSet<Asn>) {
+        PrefixSim::set_poison_filters(self, filters.iter().copied())
+    }
+    fn downed_links(&self) -> Vec<(Asn, Asn)> {
+        PrefixSim::downed_links(self)
     }
 }
 

@@ -19,14 +19,18 @@
 
 use crate::decision;
 use crate::route::Route;
-use crate::sim::{Announcement, Convergence, EngineStats, PropagationEngine, Session, SimContext};
+use crate::sim::{
+    link_key, Announcement, Convergence, EngineStats, PropagationEngine, Session, SimContext,
+    NO_OP_CONVERGENCE,
+};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
 use ir_types::{Asn, CityId, Prefix, Timestamp};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Per-prefix propagation state (full-sweep reference engine). Mirrors the
-/// [`crate::sim::PrefixSim`] API.
+/// [`crate::sim::PrefixSim`] API, including the session-fault surface.
 pub struct SweepSim<'w> {
     ctx: Arc<SimContext<'w>>,
     prefix: Prefix,
@@ -34,6 +38,11 @@ pub struct SweepSim<'w> {
     origin_idx: Option<NodeIdx>,
     announce_time: Timestamp,
     best: Vec<Option<Route>>,
+    /// Links currently down (canonical index pairs); candidate enumeration
+    /// skips their sessions.
+    downed: BTreeSet<(NodeIdx, NodeIdx)>,
+    /// ASes dropping AS-set-carrying (poisoned) imports.
+    poison_filters: BTreeSet<NodeIdx>,
     clock: Timestamp,
     stats: EngineStats,
 }
@@ -54,6 +63,8 @@ impl<'w> SweepSim<'w> {
             origin_idx: None,
             announce_time: Timestamp::ZERO,
             best: vec![None; n],
+            downed: BTreeSet::new(),
+            poison_filters: BTreeSet::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
         }
@@ -105,8 +116,17 @@ impl<'w> SweepSim<'w> {
             }
         }
         for s in &self.ctx.sessions[x] {
+            if !self.downed.is_empty() && self.downed.contains(&link_key(x, s.peer)) {
+                continue;
+            }
             if let Some(path) = self.export_of(s.peer, x, s) {
                 *imports += 1;
+                if !self.poison_filters.is_empty()
+                    && self.poison_filters.contains(&x)
+                    && path.has_set()
+                {
+                    continue;
+                }
                 if let Some(imported) = self.ctx.engine.import(
                     x,
                     s.peer,
@@ -189,6 +209,108 @@ impl<'w> SweepSim<'w> {
         })
     }
 
+    /// Takes the link between `a` and `b` down and reconverges. Mirrors
+    /// [`crate::sim::PrefixSim::fail_link`]; the sweep engine has no rib
+    /// state to tear, so `sessions_torn` counts the sessions over the link
+    /// whose neighbor currently holds a route.
+    pub fn fail_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if !self.downed.insert(key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        self.stats.sessions_torn += self.live_sessions(key);
+        self.run_recovery()
+    }
+
+    /// Brings a downed link back up and reconverges.
+    pub fn restore_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if !self.downed.remove(&key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        self.run_recovery()
+    }
+
+    /// Resets the sessions between `a` and `b`. The sweep engine recomputes
+    /// candidates live every sweep, so a reset reconverges to the identical
+    /// fixpoint; the recovery event is still counted.
+    pub fn reset_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(key) = self.link_nodes(a, b) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if self.downed.contains(&key) {
+            return NO_OP_CONVERGENCE;
+        }
+        self.stats.recovery_events += 1;
+        self.stats.sessions_torn += self.live_sessions(key);
+        self.run_recovery()
+    }
+
+    /// Applies one scheduled fault event.
+    pub fn apply_fault(&mut self, fault: &ir_fault::TimedFault) -> Convergence {
+        match fault.event {
+            ir_fault::FaultEvent::LinkDown { a, b } => self.fail_link(a, b, fault.at),
+            ir_fault::FaultEvent::LinkUp { a, b } => self.restore_link(a, b, fault.at),
+            ir_fault::FaultEvent::SessionReset { a, b } => self.reset_link(a, b, fault.at),
+        }
+    }
+
+    /// Declares which ASes filter AS-set-carrying (poisoned) imports.
+    pub fn set_poison_filters<I: IntoIterator<Item = Asn>>(&mut self, asns: I) {
+        let graph = &self.ctx.world().graph;
+        self.poison_filters = asns.into_iter().filter_map(|a| graph.index_of(a)).collect();
+    }
+
+    /// Links currently down, as canonical `(low, high)` ASN pairs.
+    pub fn downed_links(&self) -> Vec<(Asn, Asn)> {
+        let g = &self.ctx.world().graph;
+        self.downed
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (g.asn(a), g.asn(b));
+                (x.min(y), x.max(y))
+            })
+            .collect()
+    }
+
+    fn link_nodes(&self, a: Asn, b: Asn) -> Option<(NodeIdx, NodeIdx)> {
+        let g = &self.ctx.world().graph;
+        Some(link_key(g.index_of(a)?, g.index_of(b)?))
+    }
+
+    /// Sessions over the link whose remote side currently holds a route —
+    /// the ones a fault actually disturbs.
+    fn live_sessions(&self, key: (NodeIdx, NodeIdx)) -> usize {
+        let mut n = 0;
+        for (x, other) in [(key.0, key.1), (key.1, key.0)] {
+            if self.best[other].is_some() {
+                n += self.ctx.sessions[x]
+                    .iter()
+                    .filter(|s| s.peer == other)
+                    .count();
+            }
+        }
+        n
+    }
+
+    fn run_recovery(&mut self) -> Convergence {
+        let conv = self.run();
+        self.stats.recovery_rounds += conv.rounds;
+        conv
+    }
+
     /// The selected route at node `x` (path does not include `x` itself).
     pub fn best(&self, x: NodeIdx) -> Option<&Route> {
         self.best[x].as_ref()
@@ -247,6 +369,21 @@ impl PropagationEngine for SweepSim<'_> {
     }
     fn stats(&self) -> EngineStats {
         SweepSim::stats(self)
+    }
+    fn fail_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        SweepSim::fail_link(self, a, b, at)
+    }
+    fn restore_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        SweepSim::restore_link(self, a, b, at)
+    }
+    fn reset_link(&mut self, a: Asn, b: Asn, at: Timestamp) -> Convergence {
+        SweepSim::reset_link(self, a, b, at)
+    }
+    fn set_poison_filters(&mut self, filters: &BTreeSet<Asn>) {
+        SweepSim::set_poison_filters(self, filters.iter().copied())
+    }
+    fn downed_links(&self) -> Vec<(Asn, Asn)> {
+        SweepSim::downed_links(self)
     }
 }
 

@@ -6,9 +6,17 @@
 //! "what route does AS X use toward prefix P?" for every AS at once, which
 //! is what the data plane's forwarding walk and the collectors' BGP feeds
 //! both consume.
+//!
+//! [`RoutingUniverse::compute_with_faults`] additionally replays a
+//! [`FaultPlane`]'s timed schedule (link flaps, session resets) against
+//! every prefix after the initial announcement, and applies its poison
+//! filters — the control-plane half of the chaos layer. A quiet plane takes
+//! the exact unfaulted code path, so zero-rate configs are bit-identical
+//! to [`RoutingUniverse::compute`].
 
 use crate::route::Route;
-use crate::sim::{Announcement, PrefixSim, SimContext};
+use crate::sim::{Announcement, EngineStats, PrefixSim, SimContext};
+use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
 use ir_types::{Asn, Ipv4, Prefix, Timestamp};
@@ -24,6 +32,28 @@ pub struct RoutingUniverse {
     /// Prefixes whose propagation failed to converge (policy disputes);
     /// empty in every seeded scenario, but surfaced rather than hidden.
     unconverged: Vec<Prefix>,
+    /// Announced prefixes sorted by `(base, len)` — the LPM index.
+    lpm_index: Vec<Prefix>,
+    /// Shortest announced prefix length; bounds the LPM backward walk.
+    lpm_min_len: u8,
+    /// Fault-recovery accounting (all zero when computed without faults).
+    resilience: UniverseResilience,
+}
+
+/// Aggregate fault-recovery counters over a universe's convergence, summed
+/// across prefixes. All zeros unless the universe was computed with a
+/// non-quiet [`FaultPlane`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniverseResilience {
+    /// Fault events applied (per prefix × scheduled event, minus no-ops).
+    pub fault_events: usize,
+    /// Worklist rounds spent reconverging after faults.
+    pub recovery_rounds: usize,
+    /// Adj-RIB-in entries torn down by session faults.
+    pub sessions_torn: usize,
+    /// Links still down when convergence finished (per the schedule; the
+    /// same for every prefix).
+    pub links_down_at_end: usize,
 }
 
 /// Maps every prefix in the world to its originating AS.
@@ -38,6 +68,17 @@ pub fn prefix_owners(world: &World) -> BTreeMap<Prefix, Asn> {
     owners
 }
 
+/// One converged prefix: (prefix, origin, per-AS routing table, converged).
+type PrefixResult = (Prefix, Asn, Vec<Option<Route>>, bool);
+
+fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        !0u32 << (32 - len.min(32))
+    }
+}
+
 impl RoutingUniverse {
     /// Converges the given prefixes (all originated by their ground-truth
     /// owners, announced plainly at t=0), in parallel.
@@ -46,7 +87,7 @@ impl RoutingUniverse {
         // One session table + policy engine for the whole batch; each
         // per-prefix sim only allocates its own mutable state.
         let ctx = SimContext::shared(world);
-        let results: Vec<(Prefix, Asn, Vec<Option<Route>>, bool)> = prefixes
+        let results: Vec<PrefixResult> = prefixes
             .par_iter()
             .map(|&prefix| {
                 let origin = *owners
@@ -60,10 +101,71 @@ impl RoutingUniverse {
                 (prefix, origin, table, conv.converged)
             })
             .collect();
+        Self::assemble(results, UniverseResilience::default())
+    }
+
+    /// Converges the given prefixes under a fault plane: poison-filtering
+    /// ASes are sampled from the plane, and after the t=0 announcement the
+    /// plane's timed schedule (link flaps, session resets) is replayed
+    /// against every prefix. A quiet plane delegates to
+    /// [`RoutingUniverse::compute`] — bit-identical output.
+    pub fn compute_with_faults(
+        world: &World,
+        prefixes: &[Prefix],
+        plane: &FaultPlane,
+    ) -> RoutingUniverse {
+        if plane.is_quiet() {
+            return Self::compute(world, prefixes);
+        }
+        let owners = prefix_owners(world);
+        let ctx = SimContext::shared(world);
+        let filters: Vec<Asn> = world
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| plane.selects(FaultDomain::PoisonFilter, n.asn.value() as u64))
+            .map(|n| n.asn)
+            .collect();
+        let results: Vec<(PrefixResult, EngineStats, usize)> = prefixes
+            .par_iter()
+            .map(|&prefix| {
+                let origin = *owners
+                    .get(&prefix)
+                    .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
+                let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+                sim.set_poison_filters(filters.iter().copied());
+                let mut converged = sim
+                    .announce(Announcement::plain(origin, prefix), Timestamp::ZERO)
+                    .converged;
+                for fault in plane.schedule() {
+                    converged &= sim.apply_fault(fault).converged;
+                }
+                let table: Vec<Option<Route>> = (0..world.graph.len())
+                    .map(|x| sim.best(x).cloned())
+                    .collect();
+                let down = sim.downed_links().len();
+                ((prefix, origin, table, converged), sim.stats(), down)
+            })
+            .collect();
+        let mut resilience = UniverseResilience::default();
+        for (_, stats, down) in &results {
+            resilience.fault_events += stats.recovery_events;
+            resilience.recovery_rounds += stats.recovery_rounds;
+            resilience.sessions_torn += stats.sessions_torn;
+            resilience.links_down_at_end = resilience.links_down_at_end.max(*down);
+        }
+        let results = results.into_iter().map(|(r, _, _)| r).collect();
+        Self::assemble(results, resilience)
+    }
+
+    fn assemble(results: Vec<PrefixResult>, resilience: UniverseResilience) -> RoutingUniverse {
         let mut universe = RoutingUniverse {
             tables: BTreeMap::new(),
             origins: BTreeMap::new(),
             unconverged: Vec::new(),
+            lpm_index: Vec::new(),
+            lpm_min_len: 32,
+            resilience,
         };
         for (prefix, origin, table, converged) in results {
             if !converged {
@@ -72,6 +174,11 @@ impl RoutingUniverse {
             universe.tables.insert(prefix, table);
             universe.origins.insert(prefix, origin);
         }
+        universe.lpm_index = universe.tables.keys().copied().collect();
+        universe
+            .lpm_index
+            .sort_unstable_by_key(|p| (p.base.0, p.len));
+        universe.lpm_min_len = universe.lpm_index.iter().map(|p| p.len).min().unwrap_or(32);
         universe
     }
 
@@ -81,20 +188,40 @@ impl RoutingUniverse {
         Self::compute(world, &prefixes)
     }
 
+    /// [`RoutingUniverse::compute_all`] under a fault plane.
+    pub fn compute_all_with_faults(world: &World, plane: &FaultPlane) -> RoutingUniverse {
+        let prefixes: Vec<Prefix> = prefix_owners(world).keys().copied().collect();
+        Self::compute_with_faults(world, &prefixes, plane)
+    }
+
     /// The route AS `x` selected toward `prefix`.
     pub fn route(&self, prefix: Prefix, x: NodeIdx) -> Option<&Route> {
         self.tables.get(&prefix)?.get(x)?.as_ref()
     }
 
     /// Longest-prefix match: the covering announced prefix for `ip`.
+    ///
+    /// Sorted-index lookup: any prefix containing `ip` has its base in
+    /// `[ip & mask(min_len), ip]`, so a binary search for the insertion
+    /// point followed by a short backward walk over that window finds the
+    /// longest match without scanning the whole table. The retry scheduler
+    /// re-resolves destinations per attempt, so this path is hot under
+    /// fault-heavy campaigns.
     pub fn lpm(&self, ip: Ipv4) -> Option<Prefix> {
-        // Prefix count is modest (~thousands); a linear scan keeping the
-        // longest match is plenty and avoids a trie dependency.
-        self.tables
-            .keys()
-            .filter(|p| p.contains(ip))
-            .max_by_key(|p| p.len)
-            .copied()
+        let floor = ip.0 & prefix_mask(self.lpm_min_len);
+        let mut i = self.lpm_index.partition_point(|p| p.base.0 <= ip.0);
+        let mut best: Option<Prefix> = None;
+        while i > 0 {
+            let p = self.lpm_index[i - 1];
+            if p.base.0 < floor {
+                break;
+            }
+            if p.contains(ip) && best.is_none_or(|b| p.len > b.len) {
+                best = Some(p);
+            }
+            i -= 1;
+        }
+        best
     }
 
     /// Origin AS of a prefix.
@@ -111,11 +238,17 @@ impl RoutingUniverse {
     pub fn unconverged(&self) -> &[Prefix] {
         &self.unconverged
     }
+
+    /// Fault-recovery accounting (all zeros without fault injection).
+    pub fn resilience(&self) -> UniverseResilience {
+        self.resilience
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ir_fault::FaultConfig;
     use ir_topology::GeneratorConfig;
 
     #[test]
@@ -134,6 +267,7 @@ mod tests {
             assert_eq!(u.lpm(p.addr(7)), Some(*p));
         }
         assert_eq!(u.prefixes().count(), some.len());
+        assert_eq!(u.resilience(), UniverseResilience::default());
     }
 
     #[test]
@@ -147,5 +281,79 @@ mod tests {
         let u = RoutingUniverse::compute(&w, &ps);
         // An address outside every prefix has no match.
         assert_eq!(u.lpm(Ipv4::new(203, 0, 113, 1)), None);
+    }
+
+    #[test]
+    fn lpm_index_agrees_with_linear_scan_everywhere() {
+        let w = GeneratorConfig::tiny().build(11);
+        let u = RoutingUniverse::compute_all(&w);
+        let prefixes: Vec<Prefix> = u.prefixes().collect();
+        // Probe inside, at the edges of, and just outside every prefix.
+        for p in &prefixes {
+            for ip in [p.addr(0), p.addr(1), p.addr(p.size() - 1)] {
+                let linear = prefixes
+                    .iter()
+                    .filter(|q| q.contains(ip))
+                    .max_by_key(|q| q.len)
+                    .copied();
+                assert_eq!(u.lpm(ip), linear, "mismatch at {ip}");
+            }
+            let outside = Ipv4(p.base.0.wrapping_sub(1));
+            let linear = prefixes
+                .iter()
+                .filter(|q| q.contains(outside))
+                .max_by_key(|q| q.len)
+                .copied();
+            assert_eq!(u.lpm(outside), linear, "mismatch just below {p}");
+        }
+    }
+
+    #[test]
+    fn quiet_fault_plane_is_bit_identical_to_plain_compute() {
+        let w = GeneratorConfig::tiny().build(5);
+        let owners = prefix_owners(&w);
+        let ps: Vec<Prefix> = owners.keys().copied().take(10).collect();
+        let plain = RoutingUniverse::compute(&w, &ps);
+        let quiet = RoutingUniverse::compute_with_faults(&w, &ps, &FaultPlane::quiet());
+        for p in &ps {
+            for x in 0..w.graph.len() {
+                assert_eq!(plain.route(*p, x), quiet.route(*p, x));
+            }
+        }
+        assert_eq!(quiet.resilience(), UniverseResilience::default());
+    }
+
+    #[test]
+    fn faulted_universe_routes_around_downed_links_and_accounts() {
+        let w = GeneratorConfig::tiny().build(5);
+        let owners = prefix_owners(&w);
+        let ps: Vec<Prefix> = owners.keys().copied().take(8).collect();
+        // Schedule a permanent outage on some transit link.
+        let mut plane = FaultPlane::new(FaultConfig::quiet(), 3);
+        let (a, b) = {
+            let x = (0..w.graph.len())
+                .find(|&i| w.graph.links(i).len() >= 2)
+                .unwrap();
+            let l = &w.graph.links(x)[0];
+            (w.graph.asn(x), w.graph.asn(l.peer))
+        };
+        plane.schedule_event(
+            ir_types::Timestamp(60),
+            ir_fault::FaultEvent::LinkDown { a, b },
+        );
+        let u = RoutingUniverse::compute_with_faults(&w, &ps, &plane);
+        let r = u.resilience();
+        assert_eq!(r.fault_events, ps.len(), "one fault per prefix");
+        assert_eq!(r.links_down_at_end, 1);
+        // Invariant: no selected route crosses the downed link.
+        let (ai, bi) = (w.graph.index_of(a).unwrap(), w.graph.index_of(b).unwrap());
+        for p in &ps {
+            if let Some(route) = u.route(*p, ai) {
+                assert_ne!(route.learned_from, Some(b), "route over downed link");
+            }
+            if let Some(route) = u.route(*p, bi) {
+                assert_ne!(route.learned_from, Some(a), "route over downed link");
+            }
+        }
     }
 }

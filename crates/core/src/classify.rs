@@ -32,6 +32,7 @@ use ir_topology::RelationshipDb;
 use ir_types::{Asn, Prefix, Relationship};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// The four Figure 1 categories.
@@ -163,10 +164,38 @@ pub struct Classifier<'a> {
     /// Cache key: (destination, prefix under PSP filtering or None),
     /// sharded by destination ASN.
     cache: [CacheShard; CACHE_SHARDS],
+    /// Hit/miss/duplicate-compute telemetry, kept outside the shard locks.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    duplicates: AtomicU64,
 }
 
 /// One lock-guarded slice of the route cache.
 type CacheShard = RwLock<BTreeMap<(Asn, Option<Prefix>), Arc<GrRoutes>>>;
+
+/// Snapshot of the classifier's route-cache telemetry.
+///
+/// `duplicates` counts computations that raced: a second worker computed
+/// the same (destination, prefix) model while the first held no lock, and
+/// found the entry already present at insert time. Duplicated work is
+/// wasted cycles, not wrong answers — both sides compute the same
+/// deterministic result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    pub hits: u64,
+    pub misses: u64,
+    pub duplicates: u64,
+}
+
+impl std::fmt::Display for CacheCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} duplicated computes",
+            self.hits, self.misses, self.duplicates
+        )
+    }
+}
 
 impl<'a> Classifier<'a> {
     /// Builds a classifier over an inferred topology with the given
@@ -177,6 +206,18 @@ impl<'a> Classifier<'a> {
             db,
             cfg,
             cache: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// Route-cache telemetry accumulated so far.
+    pub fn cache_stats(&self) -> CacheCounts {
+        CacheCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
         }
     }
 
@@ -211,8 +252,10 @@ impl<'a> Classifier<'a> {
         let key = (dest, key_prefix);
         let shard = &self.cache[dest.0 as usize % CACHE_SHARDS];
         if let Some(routes) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(routes);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock; a racing thread may duplicate the work,
         // but both arrive at the same deterministic result and the first
         // insert wins.
@@ -242,7 +285,15 @@ impl<'a> Classifier<'a> {
             _ => self.model.routes_to(dest),
         });
         let mut shard = shard.write().expect("cache shard poisoned");
-        Arc::clone(shard.entry(key).or_insert(routes))
+        match shard.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                // A racing worker computed and inserted the same model
+                // between our read miss and this write lock.
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            std::collections::btree_map::Entry::Vacant(v) => Arc::clone(v.insert(routes)),
+        }
     }
 
     /// Classifies one decision.
@@ -381,6 +432,26 @@ mod tests {
         assert_eq!(v.used_class, Some(RouteClass::Customer));
         assert_eq!(v.best_class, Some(RouteClass::Customer));
         assert_eq!(v.model_shortest, Some(2));
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let db = db();
+        let c = Classifier::new(&db, ClassifyConfig::default());
+        assert_eq!(c.cache_stats(), CacheCounts::default());
+        c.classify(&decision(1, 4, 5, 2)); // dest 5: miss
+        c.classify(&decision(1, 2, 5, 2)); // dest 5 again: hit
+        c.classify(&decision(3, 1, 5, 4)); // dest 5 again: hit
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        // Duplicated computes only happen under concurrency; a sequential
+        // run never observes one.
+        assert_eq!(s.duplicates, 0);
+        // A batch over the same destinations is all hits.
+        c.classify_batch(&[decision(1, 4, 5, 2), decision(1, 2, 5, 2)]);
+        let s2 = c.cache_stats();
+        assert_eq!(s2.misses + s2.duplicates, 1);
+        assert_eq!(s2.hits + s2.duplicates, 4);
     }
 
     #[test]

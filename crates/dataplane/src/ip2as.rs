@@ -13,28 +13,40 @@ use ir_types::{Asn, Ipv4, Prefix};
 /// Prefix → origin-AS table, as derived from BGP data.
 #[derive(Debug, Clone, Default)]
 pub struct OriginTable {
-    /// Sorted by prefix for deterministic iteration; LPM scans linearly
-    /// (table sizes here are thousands of entries).
+    /// Sorted by (base address, length): the sort order doubles as the
+    /// lookup index, so LPM is a binary search plus a short backward walk
+    /// instead of a full scan.
     entries: Vec<(Prefix, Asn)>,
+    /// Shortest prefix length present — bounds the backward walk.
+    min_len: u8,
+}
+
+/// The network mask for a prefix length.
+fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
 }
 
 impl OriginTable {
     /// Builds the table from a converged routing universe (every announced
     /// prefix with its origin).
     pub fn from_universe(u: &RoutingUniverse) -> OriginTable {
-        let mut entries: Vec<(Prefix, Asn)> = u
+        let entries: Vec<(Prefix, Asn)> = u
             .prefixes()
             .filter_map(|p| u.origin(p).map(|o| (p, o)))
             .collect();
-        entries.sort_unstable();
-        OriginTable { entries }
+        Self::from_entries(entries)
     }
 
     /// Builds a table from explicit entries (tests, partial-feed studies).
     pub fn from_entries(mut entries: Vec<(Prefix, Asn)>) -> OriginTable {
         entries.sort_unstable();
         entries.dedup();
-        OriginTable { entries }
+        let min_len = entries.iter().map(|(p, _)| p.len).min().unwrap_or(32);
+        OriginTable { entries, min_len }
     }
 
     /// Longest-prefix match.
@@ -48,11 +60,21 @@ impl OriginTable {
     }
 
     fn lookup_entry(&self, ip: Ipv4) -> Option<(Prefix, Asn)> {
-        self.entries
-            .iter()
-            .filter(|(p, _)| p.contains(ip))
-            .max_by_key(|(p, _)| p.len)
-            .copied()
+        // Any prefix containing `ip` has its base in [ip & mask(min_len),
+        // ip]; entries are sorted by base, so walk backward from the first
+        // entry past `ip` until bases drop below the floor.
+        let floor = ip.0 & prefix_mask(self.min_len);
+        let pos = self.entries.partition_point(|(p, _)| p.base.0 <= ip.0);
+        let mut best: Option<(Prefix, Asn)> = None;
+        for &(p, a) in self.entries[..pos].iter().rev() {
+            if p.base.0 < floor {
+                break;
+            }
+            if p.contains(ip) && best.is_none_or(|(b, _)| p.len > b.len) {
+                best = Some((p, a));
+            }
+        }
+        best
     }
 
     /// Number of entries.
@@ -124,6 +146,48 @@ mod tests {
         assert_eq!(t.lookup(Ipv4::new(10, 1, 3, 5)), Some(Asn(100)));
         assert_eq!(t.lookup(Ipv4::new(192, 0, 2, 1)), None);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_linear_scan() {
+        // A denser table with nested and adjacent prefixes.
+        let mut entries: Vec<(Prefix, Asn)> = Vec::new();
+        for i in 0u32..32 {
+            entries.push((
+                Prefix {
+                    base: Ipv4(10 << 24 | i << 16),
+                    len: 16,
+                },
+                Asn(1000 + i),
+            ));
+            if i % 3 == 0 {
+                entries.push((
+                    Prefix {
+                        base: Ipv4(10 << 24 | i << 16 | 2 << 8),
+                        len: 24,
+                    },
+                    Asn(2000 + i),
+                ));
+            }
+        }
+        entries.push((
+            Prefix {
+                base: Ipv4(10 << 24),
+                len: 8,
+            },
+            Asn(7),
+        ));
+        let t = OriginTable::from_entries(entries.clone());
+        for x in 0u32..(1 << 14) {
+            let ip = Ipv4((10 << 24) | (x * 997));
+            let linear = entries
+                .iter()
+                .filter(|(p, _)| p.contains(ip))
+                .max_by_key(|(p, _)| p.len)
+                .map(|&(_, a)| a);
+            assert_eq!(t.lookup(ip), linear, "mismatch at {ip:?}");
+        }
+        assert_eq!(t.lookup(Ipv4::new(11, 0, 0, 1)), None);
     }
 
     fn mk_trace(hops: Vec<Hop>, reached: bool) -> Traceroute {

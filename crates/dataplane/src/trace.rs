@@ -189,8 +189,12 @@ impl<'a> Tracer<'a> {
                 tr.reached = true;
                 return tr;
             }
-            let next_asn = route.learned_from.expect("non-local route has neighbor");
-            let city = route.entry_city.expect("non-local route has entry city");
+            // A well-formed non-local route carries both; a malformed one
+            // (corrupt input table) kills the traceroute with stars rather
+            // than the whole campaign.
+            let (Some(next_asn), Some(city)) = (route.learned_from, route.entry_city) else {
+                return tr;
+            };
             let Some(next) = self.world.graph.index_of(next_asn) else {
                 return tr;
             };

@@ -1,7 +1,12 @@
 //! Internal diagnostic dump for scenario tuning (not part of the paper's
 //! deliverables; `repro` is the user-facing binary).
+//!
+//! Usage: `diag [tiny|paper] [seed] [fault-intensity]` — a nonzero third
+//! argument builds the scenario under `FaultConfig::chaos(intensity)` and
+//! prints the resilience counters alongside the usual dumps.
 
 use ir_experiments::{scenario::ScenarioConfig, Scenario};
+use ir_fault::FaultConfig;
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
@@ -9,10 +14,17 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
-    let cfg = match scale.as_str() {
+    let intensity: f64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let mut cfg = match scale.as_str() {
         "tiny" => ScenarioConfig::tiny(seed),
         _ => ScenarioConfig::paper_scale(seed),
     };
+    if intensity > 0.0 {
+        cfg.faults = FaultConfig::chaos(intensity);
+    }
     let t0 = std::time::Instant::now();
     let s = Scenario::build(cfg);
     println!("build: {:.1?}", t0.elapsed());
@@ -35,6 +47,26 @@ fn main() {
         s.observed_ases(),
         s.campaign.destination_ases()
     );
+
+    // Resilience counters: what the fault plane injected and how the stack
+    // absorbed it. All zeros under a quiet plane.
+    let res = s.universe.resilience();
+    println!(
+        "resilience: faults fired: {} | engine: {} recovery events, {} recovery rounds, \
+         {} sessions torn, {} links down at end | campaign: {}",
+        s.plane.stats(),
+        res.fault_events,
+        res.recovery_rounds,
+        res.sessions_torn,
+        res.links_down_at_end,
+        s.campaign.report
+    );
+    {
+        // Classifier route-cache telemetry over the full decision set.
+        let classifier = ir_core::classify::Classifier::new(&s.inferred, Default::default());
+        classifier.classify_batch(&s.decisions);
+        println!("classifier cache: {}", classifier.cache_stats());
+    }
 
     // Event-engine counters on a testbed prefix: how much work announce,
     // an incremental poisoned re-announce, and withdraw actually do.

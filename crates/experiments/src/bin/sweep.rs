@@ -72,9 +72,12 @@ fn main() {
             let fig2 = ir_experiments::exp_fig2::run(&s);
             Row {
                 seed,
-                simple: fig1.bar(Variant::Simple).best_short,
-                all1: fig1.bar(Variant::All1).best_short,
-                all2: fig1.bar(Variant::All2).best_short,
+                simple: fig1
+                    .bar(Variant::Simple)
+                    .map(|b| b.best_short)
+                    .unwrap_or(0.0),
+                all1: fig1.bar(Variant::All1).map(|b| b.best_short).unwrap_or(0.0),
+                all2: fig1.bar(Variant::All2).map(|b| b.best_short).unwrap_or(0.0),
                 cont: fig3.bar("Cont").map(|b| b.best_short).unwrap_or(0.0),
                 non_cont: fig3.bar("Non Cont").map(|b| b.best_short).unwrap_or(0.0),
                 domestic: 100.0 * t3.overall_fraction,

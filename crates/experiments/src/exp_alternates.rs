@@ -32,8 +32,26 @@ pub struct Alternates {
 }
 
 /// Runs the experiment. `max_targets` caps runtime (0 = all observed).
+///
+/// A world generated without a testbed AS cannot run active experiments;
+/// the result is then the empty (all-zero) accounting rather than a panic,
+/// so the rest of the pipeline still reports.
 pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
-    let peering = Peering::new(&s.world).expect("world has a testbed");
+    let Some(peering) = Peering::new(&s.world) else {
+        return Alternates {
+            targets: 0,
+            informative_targets: 0,
+            both: 0,
+            best_only: 0,
+            shortest_only: 0,
+            neither: 0,
+            total_announcements: 0,
+            observed_links: 0,
+            links_missing_from_inferred: 0,
+            poisoning_only_links: 0,
+            poisoning_only_fraction: 0.0,
+        };
+    };
     let setup = monitor_setup(s);
     let prefix = peering.prefixes()[0];
 

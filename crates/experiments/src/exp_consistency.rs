@@ -40,6 +40,7 @@ pub fn run(s: &Scenario) -> Consistency {
         },
         seed: s.cfg.seed,
         budget: None,
+        retry: Default::default(),
     };
     let clean = Campaign::run(&s.world, &s.universe, &s.plan, &s.probes, &clean_cfg);
     let clean_paths: Vec<MeasuredPath> = clean

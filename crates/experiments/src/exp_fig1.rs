@@ -47,12 +47,10 @@ pub fn run(s: &Scenario) -> Fig1 {
 }
 
 impl Fig1 {
-    /// The bar for a variant.
-    pub fn bar(&self, v: Variant) -> &Fig1Bar {
-        self.bars
-            .iter()
-            .find(|b| b.variant == v.label())
-            .expect("all variants present")
+    /// The bar for a variant; `None` when the variant is missing from a
+    /// partial (degraded) run.
+    pub fn bar(&self, v: Variant) -> Option<&Fig1Bar> {
+        self.bars.iter().find(|b| b.variant == v.label())
     }
 
     /// Paper-style text rendering.
@@ -95,7 +93,7 @@ mod tests {
     fn shapes_match_the_paper() {
         let f = fig1();
         assert_eq!(f.bars.len(), 7);
-        let simple = f.bar(Variant::Simple);
+        let simple = f.bar(Variant::Simple).unwrap();
         // A majority — but far from all — decisions follow the model.
         assert!(
             simple.best_short > 50.0 && simple.best_short < 90.0,
@@ -103,7 +101,7 @@ mod tests {
             simple.best_short
         );
         // Complex relationships barely move the needle (<2 points).
-        let complex = f.bar(Variant::Complex);
+        let complex = f.bar(Variant::Complex).unwrap();
         assert!(
             (complex.best_short - simple.best_short).abs() < 2.0,
             "Complex ≈ Simple ({:.1} vs {:.1})",
@@ -111,9 +109,9 @@ mod tests {
             simple.best_short
         );
         // Refinements never hurt, and All-1 ≥ PSP-1 ≥ Simple.
-        let psp1 = f.bar(Variant::Psp1);
-        let all1 = f.bar(Variant::All1);
-        let all2 = f.bar(Variant::All2);
+        let psp1 = f.bar(Variant::Psp1).unwrap();
+        let all1 = f.bar(Variant::All1).unwrap();
+        let all2 = f.bar(Variant::All2).unwrap();
         assert!(psp1.best_short >= simple.best_short);
         assert!(all1.best_short >= psp1.best_short - 1e-9);
         // Criterion 1 is more aggressive than criterion 2.

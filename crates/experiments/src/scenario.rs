@@ -21,6 +21,7 @@ use ir_bgp::RoutingUniverse;
 use ir_core::dataset::{Decision, MeasuredPath};
 use ir_dataplane::geo::GeoConfig;
 use ir_dataplane::{AddressPlan, GeoDb, OriginTable, TraceConfig};
+use ir_fault::{FaultConfig, FaultPlane};
 use ir_inference::feeds::{self, BgpFeed, FeedConfig};
 use ir_inference::relinfer::{infer_relationships, InferConfig};
 use ir_inference::{aggregate_snapshots, ComplexRelDb, SiblingGroups};
@@ -28,7 +29,11 @@ use ir_measure::atlas::{Probe, ProbePool};
 use ir_measure::campaign::{Campaign, CampaignConfig};
 use ir_measure::LookingGlassNet;
 use ir_topology::{GeneratorConfig, RelationshipDb, World};
-use ir_types::Asn;
+use ir_types::{Asn, Timestamp};
+
+/// The simulated window over which the fault plane schedules link flaps
+/// and session resets (one measurement day).
+pub const FAULT_WINDOW: u64 = 24 * 3600;
 
 /// Scenario parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +59,10 @@ pub struct ScenarioConfig {
     pub complex_coverage: f64,
     /// Fraction of transit ASes hosting a looking glass.
     pub lg_fraction: f64,
+    /// Fault injection rates. Quiet (all zero) by default — a scenario with
+    /// quiet faults is bit-identical to one built before the fault plane
+    /// existed.
+    pub faults: FaultConfig,
 }
 
 impl ScenarioConfig {
@@ -70,6 +79,7 @@ impl ScenarioConfig {
             trace: TraceConfig::default(),
             complex_coverage: 0.7,
             lg_fraction: 0.4,
+            faults: FaultConfig::quiet(),
         }
     }
 
@@ -89,6 +99,7 @@ impl ScenarioConfig {
             trace: TraceConfig::default(),
             complex_coverage: 0.7,
             lg_fraction: 0.5,
+            faults: FaultConfig::quiet(),
         }
     }
 }
@@ -123,6 +134,9 @@ pub struct Scenario {
     pub measured: Vec<MeasuredPath>,
     /// All routing decisions the campaign exposed.
     pub decisions: Vec<Decision>,
+    /// The fault plane the scenario was built under (quiet unless the
+    /// config set nonzero rates). Carries the fire counters for `diag`.
+    pub plane: FaultPlane,
 }
 
 impl Scenario {
@@ -132,8 +146,23 @@ impl Scenario {
         let world = cfg.gen.build(seed);
         world.validate().expect("generated world is consistent");
 
+        // Fault plane: quiet by default; with nonzero control-plane rates,
+        // derive a timed link flap/reset schedule over the topology.
+        let mut plane = FaultPlane::new(cfg.faults, seed);
+        if !plane.config().is_quiet() {
+            let mut links: Vec<(Asn, Asn)> = Vec::new();
+            for x in 0..world.graph.len() {
+                for l in world.graph.links(x) {
+                    if x < l.peer {
+                        links.push((world.graph.asn(x), world.graph.asn(l.peer)));
+                    }
+                }
+            }
+            plane.synthesize_link_schedule(&links, Timestamp(FAULT_WINDOW));
+        }
+
         // 2. Converge the present-day routing universe.
-        let universe = RoutingUniverse::compute_all(&world);
+        let universe = RoutingUniverse::compute_all_with_faults(&world, &plane);
 
         // 3. Data-plane substrate.
         let plan = AddressPlan::build(&world);
@@ -170,7 +199,7 @@ impl Scenario {
         // 6. Probe platform + passive campaign.
         let pool = ProbePool::install(&world, seed);
         let probes = pool.select_balanced(cfg.probes);
-        let campaign = Campaign::run(
+        let campaign = Campaign::run_with_faults(
             &world,
             &universe,
             &plan,
@@ -179,7 +208,9 @@ impl Scenario {
                 trace: cfg.trace,
                 seed,
                 budget: None,
+                retry: Default::default(),
             },
+            &plane,
         );
 
         // 7. Conversion + decision extraction.
@@ -208,6 +239,7 @@ impl Scenario {
             campaign,
             measured,
             decisions,
+            plane,
         }
     }
 

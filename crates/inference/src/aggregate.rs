@@ -29,10 +29,13 @@ pub fn aggregate_snapshots(snapshots: &[RelationshipDb]) -> RelationshipDb {
             let (lo, hi) = (a.min(b), a.max(b));
             // Normalize: relationship of hi as seen from lo.
             let rel_from_lo = if a == lo { rel } else { rel.reverse() };
-            let key = (
-                interner.get(lo).expect("interned"),
-                interner.get(hi).expect("interned"),
-            );
+            // Both ASNs were interned from these same snapshots; a miss
+            // would mean a corrupted snapshot — drop the pair, don't abort
+            // the aggregation.
+            let (Some(lo_id), Some(hi_id)) = (interner.get(lo), interner.get(hi)) else {
+                continue;
+            };
+            let key = (lo_id, hi_id);
             let entry = pairs
                 .entry(key)
                 .or_insert_with(|| vec![None; snapshots.len()]);
@@ -43,19 +46,23 @@ pub fn aggregate_snapshots(snapshots: &[RelationshipDb]) -> RelationshipDb {
     let n = snapshots.len();
     let mut out = RelationshipDb::default();
     for ((lo, hi), months) in pairs {
-        let rel = decide(&months, n);
-        out.insert(interner.asn(lo), interner.asn(hi), rel);
+        // `decide` is None only for an all-absent row, which cannot be
+        // constructed here; treat it as a link with no usable evidence.
+        if let Some(rel) = decide(&months, n) {
+            out.insert(interner.asn(lo), interner.asn(hi), rel);
+        }
     }
     out
 }
 
-/// The paper's decision rule for one link.
-fn decide(months: &[Option<Relationship>], n: usize) -> Relationship {
+/// The paper's decision rule for one link; `None` when no month carries an
+/// inference (no usable evidence).
+fn decide(months: &[Option<Relationship>], n: usize) -> Option<Relationship> {
     // Latest-two-months agreement short-circuits everything.
     if n >= 2 {
         if let (Some(a), Some(b)) = (months[n - 1], months[n - 2]) {
             if a == b {
-                return a;
+                return Some(a);
             }
         }
     }
@@ -73,7 +80,6 @@ fn decide(months: &[Option<Relationship>], n: usize) -> Relationship {
         .values()
         .max_by_key(|(w, rel)| (*w, std::cmp::Reverse(rel_key(*rel))))
         .map(|(_, rel)| *rel)
-        .expect("link appears in at least one month")
 }
 
 fn rel_key(rel: Relationship) -> u8 {

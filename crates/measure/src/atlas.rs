@@ -150,14 +150,12 @@ impl ProbePool {
         while chosen.len() < k && !remaining.is_empty() {
             // Pick the probe whose path adds the most uncovered ASes;
             // deterministic tie-break by probe id.
-            let (pos, _) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, (p, path))| {
-                    let gain = path.iter().filter(|a| !covered.contains(a)).count();
-                    (gain, std::cmp::Reverse(p.id))
-                })
-                .expect("remaining non-empty");
+            let Some((pos, _)) = remaining.iter().enumerate().max_by_key(|(_, (p, path))| {
+                let gain = path.iter().filter(|a| !covered.contains(a)).count();
+                (gain, std::cmp::Reverse(p.id))
+            }) else {
+                break;
+            };
             let (probe, path) = remaining.remove(pos);
             let gain = path.iter().filter(|a| !covered.contains(a)).count();
             if gain == 0 && !chosen.is_empty() {

@@ -4,12 +4,29 @@
 //! CDN-aware [`crate::dns::Resolver`] and traceroutes the result.
 //! The output is the raw traceroute dataset the paper's Figure 1–3 and
 //! Tables 3–4 analyses consume.
+//!
+//! The campaign runs as a retrying scheduler over a simulated clock: each
+//! (probe, hostname) measurement is submitted once, and transient faults
+//! (DNS resolution failures, probe dropouts) re-queue it with capped
+//! exponential backoff plus deterministic jitter. Probes that fail too many
+//! times in a row are quarantined as dead and their remaining work is
+//! abandoned. With a quiet [`FaultPlane`] no fault ever fires and the
+//! scheduler degenerates to the plain probes × hostnames sweep.
 
 use crate::atlas::Probe;
 use crate::dns::Resolver;
 use ir_bgp::RoutingUniverse;
 use ir_dataplane::{AddressPlan, TraceConfig, Tracer, Traceroute};
+use ir_fault::{key2, FaultDomain, FaultPlane, RetryPolicy};
 use ir_topology::World;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated seconds one successful measurement occupies the platform.
+const SUCCESS_COST: u64 = 2;
+
+/// Simulated seconds a failed DNS resolution costs before the retry timer.
+const DNS_COST: u64 = 1;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Default)]
@@ -22,18 +39,78 @@ pub struct CampaignConfig {
     /// (the platform's daily rate limit — §3.1 ran "at the maximum probing
     /// rate allowed"). `None` = unlimited.
     pub budget: Option<usize>,
+    /// Retry/backoff/quarantine policy for the scheduler.
+    pub retry: RetryPolicy,
+}
+
+/// What happened to the campaign, measurement by measurement.
+///
+/// Invariant (checked by [`Campaign::accounted`]): every planned measurement
+/// ends in exactly one of `succeeded`, `abandoned`, `unresolved`, or the
+/// budget-skip bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// probes × hostnames measurements submitted.
+    pub planned: usize,
+    /// Attempt executions, including retries.
+    pub attempted: usize,
+    /// Measurements that produced a traceroute.
+    pub succeeded: usize,
+    /// Re-queues after a transient fault.
+    pub retried: usize,
+    /// Measurements given up: attempts exhausted or probe dead.
+    pub abandoned: usize,
+    /// Permanent DNS misses (hostname unknown to the resolver).
+    pub unresolved: usize,
+    /// Transient DNS faults injected by the plane.
+    pub dns_failures: usize,
+    /// Probe timeout faults injected by the plane.
+    pub probe_dropouts: usize,
+    /// Probes lost mid-campaign (disconnect or quarantine).
+    pub probes_lost: usize,
+    /// Simulated seconds at completion.
+    pub clock: u64,
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} planned, {} attempted, {} ok, {} retried, {} abandoned, \
+             {} unresolved ({} dns faults, {} dropouts, {} probes lost), {}s",
+            self.planned,
+            self.attempted,
+            self.succeeded,
+            self.retried,
+            self.abandoned,
+            self.unresolved,
+            self.dns_failures,
+            self.probe_dropouts,
+            self.probes_lost,
+            self.clock
+        )
+    }
 }
 
 /// A completed campaign.
 pub struct Campaign {
-    /// All traceroutes, in (probe, hostname) order.
+    /// All traceroutes, in (probe, hostname) submission order.
     pub traceroutes: Vec<Traceroute>,
     /// Measurements dropped because the budget ran out.
     pub skipped_for_budget: usize,
+    /// Scheduler accounting.
+    pub report: CampaignReport,
+}
+
+/// Scheduler state for one submitted measurement.
+struct Item {
+    probe: usize,
+    host: usize,
+    attempts: u32,
 }
 
 impl Campaign {
-    /// Runs the campaign: `probes × hostnames` measurements.
+    /// Runs the campaign: `probes × hostnames` measurements, no faults.
     pub fn run(
         world: &World,
         universe: &RoutingUniverse,
@@ -41,33 +118,130 @@ impl Campaign {
         probes: &[Probe],
         cfg: &CampaignConfig,
     ) -> Campaign {
+        Campaign::run_with_faults(world, universe, plan, probes, cfg, &FaultPlane::quiet())
+    }
+
+    /// Runs the campaign under a fault plane. Measurements are processed in
+    /// submission order while the platform is healthy; faulted attempts are
+    /// re-queued at `now + backoff(attempt)` and interleave deterministically
+    /// (the ready-queue is keyed by `(ready_at, submission index)`).
+    pub fn run_with_faults(
+        world: &World,
+        universe: &RoutingUniverse,
+        plan: &AddressPlan,
+        probes: &[Probe],
+        cfg: &CampaignConfig,
+        plane: &FaultPlane,
+    ) -> Campaign {
         let resolver = Resolver::new(world);
         let tracer = Tracer::new(world, universe, plan, cfg.trace, cfg.seed);
-        let mut traceroutes = Vec::with_capacity(probes.len() * world.content.hostname_count());
-        let mut skipped_for_budget = 0usize;
-        'outer: for probe in probes {
-            for (_, hostname) in world.content.hostnames() {
-                if let Some(budget) = cfg.budget {
-                    if traceroutes.len() >= budget {
-                        // Everything else this probe (and later probes)
-                        // would have measured is lost to the rate limit.
-                        skipped_for_budget =
-                            probes.len() * world.content.hostname_count() - traceroutes.len();
-                        break 'outer;
-                    }
-                }
-                let Some(ip) = resolver.resolve(hostname, probe.asn) else {
-                    continue;
-                };
-                let mut tr = tracer.run(probe.asn, ip);
-                tr.dst_hostname = Some(hostname.to_string());
-                traceroutes.push(tr);
+        let policy = cfg.retry;
+        let hostnames: Vec<&str> = world.content.hostnames().map(|(_, h)| h).collect();
+
+        let mut items: Vec<Item> = Vec::with_capacity(probes.len() * hostnames.len());
+        for p in 0..probes.len() {
+            for h in 0..hostnames.len() {
+                items.push(Item {
+                    probe: p,
+                    host: h,
+                    attempts: 0,
+                });
             }
         }
-        Campaign {
-            traceroutes,
-            skipped_for_budget,
+        let planned = items.len();
+        let mut report = CampaignReport {
+            planned,
+            ..CampaignReport::default()
+        };
+        // Ready-queue: (ready_at, submission index) min-heap.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..planned).map(|i| Reverse((0, i))).collect();
+        let mut consec = vec![0u32; probes.len()];
+        let mut dead = vec![false; probes.len()];
+        let mut done: Vec<(usize, Traceroute)> = Vec::with_capacity(planned);
+        let mut skipped_for_budget = 0usize;
+        let mut clock = 0u64;
+
+        while let Some(Reverse((ready, i))) = heap.pop() {
+            if cfg.budget.is_some_and(|b| done.len() >= b) {
+                // Everything still queued — including pending retries — is
+                // lost to the rate limit.
+                skipped_for_budget = 1 + heap.len();
+                break;
+            }
+            clock = clock.max(ready);
+            let (p, h) = (items[i].probe, items[i].host);
+            if dead[p] {
+                report.abandoned += 1;
+                continue;
+            }
+            let probe = &probes[p];
+            let key = key2(probe.asn.value() as u64, h as u64);
+            let attempt = items[i].attempts;
+            items[i].attempts += 1;
+            report.attempted += 1;
+            // Mid-campaign disconnect: the probe vanishes for good.
+            if plane.fires(FaultDomain::ProbeDeath, probe.asn.value() as u64, i as u64) {
+                dead[p] = true;
+                report.probes_lost += 1;
+                report.abandoned += 1;
+                clock += policy.timeout;
+                continue;
+            }
+            // Transient faults time the attempt out.
+            let dns_fault = plane.fires(FaultDomain::DnsFailure, key, attempt as u64);
+            let dropout = !dns_fault && plane.fires(FaultDomain::ProbeDropout, key, attempt as u64);
+            if dns_fault || dropout {
+                if dns_fault {
+                    report.dns_failures += 1;
+                    clock += DNS_COST;
+                } else {
+                    report.probe_dropouts += 1;
+                    clock += policy.timeout;
+                    consec[p] += 1;
+                    if consec[p] >= policy.quarantine_after {
+                        dead[p] = true;
+                        report.probes_lost += 1;
+                    }
+                }
+                if dead[p] || items[i].attempts >= policy.max_attempts {
+                    report.abandoned += 1;
+                } else {
+                    report.retried += 1;
+                    heap.push(Reverse((clock + policy.backoff(items[i].attempts, key), i)));
+                }
+                continue;
+            }
+            let Some(ip) = resolver.resolve(hostnames[h], probe.asn) else {
+                // Permanent miss: the catalog simply has no answer; retrying
+                // a deterministic resolver would not change it.
+                report.unresolved += 1;
+                continue;
+            };
+            consec[p] = 0;
+            let mut tr = tracer.run(probe.asn, ip);
+            tr.dst_hostname = Some(hostnames[h].to_string());
+            done.push((i, tr));
+            clock += SUCCESS_COST;
         }
+
+        done.sort_unstable_by_key(|(i, _)| *i);
+        report.succeeded = done.len();
+        report.clock = clock;
+        Campaign {
+            traceroutes: done.into_iter().map(|(_, tr)| tr).collect(),
+            skipped_for_budget,
+            report,
+        }
+    }
+
+    /// True iff every planned measurement is accounted for.
+    pub fn accounted(&self) -> bool {
+        self.report.succeeded
+            + self.report.abandoned
+            + self.report.unresolved
+            + self.skipped_for_budget
+            == self.report.planned
     }
 
     /// Number of traceroutes that reached their destination.
@@ -94,6 +268,7 @@ impl Campaign {
 mod tests {
     use super::*;
     use crate::atlas::ProbePool;
+    use ir_fault::FaultConfig;
     use ir_topology::GeneratorConfig;
     use std::sync::OnceLock;
 
@@ -137,6 +312,9 @@ mod tests {
         );
         // The overwhelming majority reach their destination.
         assert!(c.reached() as f64 >= 0.9 * c.traceroutes.len() as f64);
+        assert!(c.accounted());
+        assert_eq!(c.report.retried, 0);
+        assert_eq!(c.report.abandoned, 0);
     }
 
     #[test]
@@ -174,6 +352,7 @@ mod tests {
             c.skipped_for_budget,
             probes.len() * f.world.content.hostname_count() - 25
         );
+        assert!(c.accounted());
         // Unlimited leaves nothing behind.
         let c2 = Campaign::run(
             &f.world,
@@ -196,5 +375,93 @@ mod tests {
         for (x, y) in a.traceroutes.iter().zip(&b.traceroutes) {
             assert_eq!(x.hops, y.hops);
         }
+    }
+
+    #[test]
+    fn faulted_campaign_retries_and_accounts_for_everything() {
+        let f = fx();
+        let probes = f.pool.select_balanced(30);
+        let cfg = CampaignConfig::default();
+        let plane = FaultPlane::new(
+            FaultConfig {
+                probe_dropout: 0.25,
+                dns_failure: 0.10,
+                probe_death: 0.01,
+                ..FaultConfig::quiet()
+            },
+            99,
+        );
+        let c = Campaign::run_with_faults(&f.world, &f.universe, &f.plan, &probes, &cfg, &plane);
+        assert!(c.accounted(), "{}", c.report);
+        assert!(c.report.retried > 0, "{}", c.report);
+        assert!(c.report.succeeded > 0, "{}", c.report);
+        assert!(
+            c.report.attempted > c.report.planned,
+            "retries exceed planned: {}",
+            c.report
+        );
+        // Retries push successes back up despite the fault rates.
+        assert!(
+            c.report.succeeded as f64 >= 0.8 * c.report.planned as f64,
+            "{}",
+            c.report
+        );
+        assert!(c.report.clock > 0);
+        // The plane's own counters saw the injected faults.
+        assert_eq!(
+            plane.stats().of(FaultDomain::DnsFailure),
+            c.report.dns_failures as u64
+        );
+        assert_eq!(
+            plane.stats().of(FaultDomain::ProbeDropout),
+            c.report.probe_dropouts as u64
+        );
+    }
+
+    #[test]
+    fn dead_probes_are_quarantined() {
+        let f = fx();
+        let probes = f.pool.select_balanced(20);
+        let cfg = CampaignConfig {
+            retry: RetryPolicy {
+                quarantine_after: 2,
+                max_attempts: 8,
+                ..RetryPolicy::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let plane = FaultPlane::new(
+            FaultConfig {
+                probe_dropout: 0.9,
+                ..FaultConfig::quiet()
+            },
+            7,
+        );
+        let c = Campaign::run_with_faults(&f.world, &f.universe, &f.plan, &probes, &cfg, &plane);
+        assert!(c.accounted(), "{}", c.report);
+        assert!(c.report.probes_lost > 0, "{}", c.report);
+        assert!(c.report.abandoned > 0, "{}", c.report);
+    }
+
+    #[test]
+    fn quiet_plane_is_identical_to_plain_run() {
+        let f = fx();
+        let probes = f.pool.select_balanced(12);
+        let cfg = CampaignConfig::default();
+        let a = Campaign::run(&f.world, &f.universe, &f.plan, &probes, &cfg);
+        let b = Campaign::run_with_faults(
+            &f.world,
+            &f.universe,
+            &f.plan,
+            &probes,
+            &cfg,
+            &FaultPlane::quiet(),
+        );
+        assert_eq!(a.traceroutes.len(), b.traceroutes.len());
+        for (x, y) in a.traceroutes.iter().zip(&b.traceroutes) {
+            assert_eq!(x.hops, y.hops);
+            assert_eq!(x.dst_hostname, y.dst_hostname);
+        }
+        assert_eq!(a.report, b.report);
     }
 }

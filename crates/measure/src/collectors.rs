@@ -6,6 +6,7 @@
 //! round.
 
 use ir_bgp::PrefixSim;
+use ir_fault::{FaultDomain, FaultPlane};
 use ir_types::{Asn, Prefix, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -52,9 +53,25 @@ impl Collectors {
 
     /// Takes one dump of the current state.
     pub fn snapshot(&self, sim: &PrefixSim<'_>, at: Timestamp) -> FeedSnapshot {
+        self.snapshot_with_faults(sim, at, &FaultPlane::quiet())
+    }
+
+    /// [`Collectors::snapshot`] through a fault plane: a vantage whose feed
+    /// has a gap in this dump interval is silently absent from the archive —
+    /// the way a collector outage looks in real RouteViews/RIS data.
+    pub fn snapshot_with_faults(
+        &self,
+        sim: &PrefixSim<'_>,
+        at: Timestamp,
+        plane: &FaultPlane,
+    ) -> FeedSnapshot {
         let world = sim.world();
+        let interval = at.secs() / FEED_INTERVAL;
         let mut paths = Vec::new();
         for &v in &self.vantages {
+            if plane.fires(FaultDomain::FeedGap, v.value() as u64, interval) {
+                continue;
+            }
             let Some(idx) = world.graph.index_of(v) else {
                 continue;
             };

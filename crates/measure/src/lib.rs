@@ -1,3 +1,6 @@
+// Library code must degrade gracefully, never panic on data: unwrap/expect
+// are denied outside tests (gate enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Measurement platforms: the paper's §3 apparatus.
 //!
 //! * [`atlas`] — a RIPE-Atlas-like probe platform: probes hosted in edge
@@ -26,8 +29,8 @@ pub mod looking_glass;
 pub mod peering;
 
 pub use atlas::{Probe, ProbePool};
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use collectors::Collectors;
 pub use dns::Resolver;
 pub use looking_glass::LookingGlassNet;
-pub use peering::{AlternateDiscovery, MagnetRun, ObservationSetup, Peering};
+pub use peering::{AlternateDiscovery, MagnetRun, ObservationSetup, PathSuffix, Peering};

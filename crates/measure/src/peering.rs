@@ -23,6 +23,7 @@
 
 use ir_bgp::decision::{self, DecisionStep};
 use ir_bgp::{Announcement, PrefixSim, SimContext};
+use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::World;
 use ir_types::{Asn, Prefix, Timestamp};
 use std::collections::{BTreeMap, BTreeSet};
@@ -34,11 +35,86 @@ pub const ROUND: u64 = 90 * 60;
 /// The 5-minute convergence wait between magnet and anycast.
 pub const MAGNET_WAIT: u64 = 5 * 60;
 
+/// An AS-path suffix sharing its backing allocation with every other
+/// suffix cut from the same observed path.
+///
+/// [`observe_routes`] records a suffix for *every* AS on an observed path;
+/// materializing each as its own `Vec` is O(len²) allocation per path per
+/// vantage per event. Instead all suffixes of one path alias a single
+/// `Arc<[Asn]>` and differ only in their start offset. The type derefs to
+/// `[Asn]`, and equality/ordering compare the visible slice, so call sites
+/// treat it exactly like a path vector.
+#[derive(Debug, Clone)]
+pub struct PathSuffix {
+    path: Arc<[Asn]>,
+    start: usize,
+}
+
+impl PathSuffix {
+    /// The suffix of `path` starting at `start`.
+    pub fn new(path: Arc<[Asn]>, start: usize) -> PathSuffix {
+        debug_assert!(start <= path.len());
+        PathSuffix { path, start }
+    }
+
+    /// The visible slice.
+    pub fn as_slice(&self) -> &[Asn] {
+        &self.path[self.start..]
+    }
+
+    /// Copies the suffix out into an owned vector.
+    pub fn to_vec(&self) -> Vec<Asn> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for PathSuffix {
+    type Target = [Asn];
+    fn deref(&self) -> &[Asn] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for PathSuffix {
+    fn eq(&self, other: &PathSuffix) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PathSuffix {}
+
+impl PartialEq<Vec<Asn>> for PathSuffix {
+    fn eq(&self, other: &Vec<Asn>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Asn]> for PathSuffix {
+    fn eq(&self, other: &[Asn]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl From<Vec<Asn>> for PathSuffix {
+    fn from(v: Vec<Asn>) -> PathSuffix {
+        PathSuffix {
+            path: v.into(),
+            start: 0,
+        }
+    }
+}
+
+impl FromIterator<Asn> for PathSuffix {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> PathSuffix {
+        iter.into_iter().collect::<Vec<Asn>>().into()
+    }
+}
+
 /// What the measurement infrastructure can see of one AS's route.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Observation {
     /// The AS's route as an AS-path suffix (next hop first, origin last).
-    pub suffix: Vec<Asn>,
+    pub suffix: PathSuffix,
     /// Seen in a collector feed.
     pub via_feed: bool,
     /// Seen on a monitor-probe path.
@@ -64,15 +140,27 @@ pub struct ObservationSetup {
 /// Extracts everything the channels reveal about the current routing state
 /// of `sim`: for every AS on an observed path, its route suffix.
 pub fn observe_routes(sim: &PrefixSim<'_>, setup: &ObservationSetup) -> BTreeMap<Asn, Observation> {
+    observe_routes_with_faults(sim, setup, &FaultPlane::quiet(), 0)
+}
+
+/// [`observe_routes`] through a fault plane: vantages whose collector feed
+/// has a gap this `round` and probes that drop out are blind. A quiet plane
+/// observes everything.
+pub fn observe_routes_with_faults(
+    sim: &PrefixSim<'_>,
+    setup: &ObservationSetup,
+    plane: &FaultPlane,
+    round: u64,
+) -> BTreeMap<Asn, Observation> {
     let world = sim.world();
     let mut out: BTreeMap<Asn, Observation> = BTreeMap::new();
-    let mut record = |path: &[Asn], feed: bool| {
+    // All suffixes of one observed path share its single allocation.
+    let mut record = |path: Arc<[Asn]>, feed: bool| {
         // path = [observer, ..., origin]; AS at position i routes via suffix
         // i+1.. (destination-based forwarding).
         for i in 0..path.len().saturating_sub(1) {
-            let suffix = path[i + 1..].to_vec();
-            let e = out.entry(path[i]).or_insert(Observation {
-                suffix: suffix.clone(),
+            let e = out.entry(path[i]).or_insert_with(|| Observation {
+                suffix: PathSuffix::new(path.clone(), i + 1),
                 via_feed: false,
                 via_probe: false,
             });
@@ -85,28 +173,31 @@ pub fn observe_routes(sim: &PrefixSim<'_>, setup: &ObservationSetup) -> BTreeMap
             }
         }
     };
+    let observed_path = |asn: Asn| -> Option<Arc<[Asn]>> {
+        let idx = world.graph.index_of(asn)?;
+        let route = sim.best(idx)?;
+        let mut path = vec![asn];
+        if !route.is_local() {
+            path.extend(route.path.sequence_asns());
+        }
+        Some(path.into())
+    };
     // Collector feeds: the vantage's full best path.
     for &v in &setup.feed_vantages {
-        if let Some(idx) = world.graph.index_of(v) {
-            if let Some(route) = sim.best(idx) {
-                let mut path = vec![v];
-                if !route.is_local() {
-                    path.extend(route.path.sequence_asns());
-                }
-                record(&path, true);
-            }
+        if plane.fires(FaultDomain::FeedGap, v.value() as u64, round) {
+            continue;
+        }
+        if let Some(path) = observed_path(v) {
+            record(path, true);
         }
     }
     // Probe paths (control-plane walk of data-plane forwarding).
     for &p in &setup.probe_ases {
-        if let Some(idx) = world.graph.index_of(p) {
-            if let Some(route) = sim.best(idx) {
-                let mut path = vec![p];
-                if !route.is_local() {
-                    path.extend(route.path.sequence_asns());
-                }
-                record(&path, false);
-            }
+        if plane.fires(FaultDomain::ProbeDropout, p.value() as u64, round) {
+            continue;
+        }
+        if let Some(path) = observed_path(p) {
+            record(path, false);
         }
     }
     out
@@ -218,6 +309,16 @@ impl<'w> Peering<'w> {
         }
     }
 
+    /// The muxes reachable this round under a fault plane: a mux sampled
+    /// for an outage cannot carry the round's announcement.
+    pub fn live_muxes(&self, plane: &FaultPlane, round: u64) -> Vec<Asn> {
+        self.muxes
+            .iter()
+            .copied()
+            .filter(|m| !plane.fires(FaultDomain::MuxOutage, m.value() as u64, round))
+            .collect()
+    }
+
     /// §3.2 alternate-route discovery: anycast, observe the target's next
     /// hop, poison it, repeat — until the target loses the route, vanishes
     /// from the channels, or `max_rounds` is hit.
@@ -228,21 +329,47 @@ impl<'w> Peering<'w> {
         setup: &ObservationSetup,
         max_rounds: usize,
     ) -> AlternateDiscovery {
+        self.discover_alternates_with_faults(
+            prefix,
+            target,
+            setup,
+            max_rounds,
+            &FaultPlane::quiet(),
+        )
+    }
+
+    /// [`Peering::discover_alternates`] under a fault plane: each round
+    /// announces only via the muxes that are up, and observes through
+    /// possibly-gapped channels. A round with every mux down is lost (no
+    /// announcement change), mirroring a real testbed outage window.
+    pub fn discover_alternates_with_faults(
+        &self,
+        prefix: Prefix,
+        target: Asn,
+        setup: &ObservationSetup,
+        max_rounds: usize,
+        plane: &FaultPlane,
+    ) -> AlternateDiscovery {
         let mut sim = self.sim(prefix);
         let mut poison: Vec<Asn> = Vec::new();
         let mut routes = Vec::new();
         let mut announcements = 0usize;
         for round in 0..max_rounds {
             let at = Timestamp(round as u64 * ROUND);
-            sim.announce(self.anycast(prefix, &poison), at);
+            let live = self.live_muxes(plane, round as u64);
+            if live.is_empty() {
+                // Total testbed outage: the round's announcement is lost.
+                continue;
+            }
+            sim.announce(self.via(prefix, &live, &poison), at);
             announcements += 1;
-            let obs = observe_routes(&sim, setup);
+            let obs = observe_routes_with_faults(&sim, setup, plane, round as u64);
             let Some(o) = obs.get(&target) else { break };
             let Some(next) = o.next_hop() else { break };
             routes.push(DiscoveredRoute {
                 round,
                 next_hop: next,
-                suffix: o.suffix.clone(),
+                suffix: o.suffix.to_vec(),
             });
             if poison.contains(&next) || next == Asn::TESTBED {
                 // Poisoning this neighbor did not dislodge it (loop

@@ -1,0 +1,102 @@
+//! Differential suite for the campaign scheduler under fault injection.
+//!
+//! Two properties anchor the fault plane's contract on the measurement
+//! side:
+//!
+//! * **zero rates are a strict no-op** — a quiet plane produces the same
+//!   traceroutes, report, and budget accounting as the plain `run`, for
+//!   any plane seed;
+//! * **determinism** — the same plane (seed + rates) replayed over the
+//!   same fixture yields an identical `CampaignReport` and traceroute set,
+//!   and every planned measurement is accounted for.
+
+use ir_bgp::RoutingUniverse;
+use ir_dataplane::AddressPlan;
+use ir_fault::{FaultConfig, FaultPlane};
+use ir_measure::atlas::ProbePool;
+use ir_measure::campaign::{Campaign, CampaignConfig};
+use ir_topology::{GeneratorConfig, World};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fx {
+    world: World,
+    universe: RoutingUniverse,
+    plan: AddressPlan,
+    pool: ProbePool,
+}
+
+fn fx() -> &'static Fx {
+    static F: OnceLock<Fx> = OnceLock::new();
+    F.get_or_init(|| {
+        let world = GeneratorConfig::tiny().build(23);
+        let universe = RoutingUniverse::compute_all(&world);
+        let plan = AddressPlan::build(&world);
+        let pool = ProbePool::install(&world, 23);
+        Fx {
+            world,
+            universe,
+            plan,
+            pool,
+        }
+    })
+}
+
+fn run_under(plane: &FaultPlane, budget: Option<usize>) -> Campaign {
+    let f = fx();
+    let probes = f.pool.select_balanced(24);
+    let cfg = CampaignConfig {
+        budget,
+        ..CampaignConfig::default()
+    };
+    Campaign::run_with_faults(&f.world, &f.universe, &f.plan, &probes, &cfg, plane)
+}
+
+fn same_traceroutes(a: &Campaign, b: &Campaign) -> bool {
+    a.traceroutes.len() == b.traceroutes.len()
+        && a.traceroutes
+            .iter()
+            .zip(&b.traceroutes)
+            .all(|(x, y)| x.hops == y.hops && x.dst_hostname == y.dst_hostname)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zero_rate_plane_is_a_strict_noop(seed in 0u64..10_000) {
+        let quiet = FaultPlane::new(FaultConfig::quiet(), seed);
+        let faulted_path = run_under(&quiet, None);
+        let plain = run_under(&FaultPlane::quiet(), None);
+        prop_assert!(same_traceroutes(&plain, &faulted_path));
+        prop_assert_eq!(plain.report, faulted_path.report);
+        prop_assert_eq!(quiet.stats().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_report(seed in 0u64..10_000, pct in 1u32..40) {
+        let rates = FaultConfig {
+            probe_dropout: f64::from(pct) / 100.0,
+            dns_failure: f64::from(pct) / 200.0,
+            probe_death: f64::from(pct) / 1000.0,
+            ..FaultConfig::quiet()
+        };
+        let a = run_under(&FaultPlane::new(rates, seed), None);
+        let b = run_under(&FaultPlane::new(rates, seed), None);
+        prop_assert_eq!(a.report, b.report);
+        prop_assert!(same_traceroutes(&a, &b));
+        prop_assert!(a.accounted(), "{}", a.report);
+    }
+
+    #[test]
+    fn budget_accounting_survives_faults(seed in 0u64..10_000) {
+        let rates = FaultConfig {
+            probe_dropout: 0.2,
+            dns_failure: 0.05,
+            ..FaultConfig::quiet()
+        };
+        let c = run_under(&FaultPlane::new(rates, seed), Some(40));
+        prop_assert!(c.traceroutes.len() <= 40);
+        prop_assert!(c.accounted(), "{}", c.report);
+    }
+}

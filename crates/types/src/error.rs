@@ -1,0 +1,108 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Loading, parsing, and measurement paths degrade instead of panicking:
+//! a malformed line becomes a [`Error::Parse`] the caller can log and skip,
+//! a missing field becomes [`Error::Incomplete`], an exhausted retry budget
+//! becomes [`Error::Exhausted`]. Per-crate error types convert `Into` this
+//! one at crate boundaries, so `exp_*` analyses can annotate a partial
+//! dataset with *what* went missing rather than abort.
+
+/// What went wrong, workspace-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input text did not parse; `line` is 1-based when known.
+    Parse {
+        line: Option<usize>,
+        message: String,
+    },
+    /// A referenced entity (ASN, prefix, city, hostname…) is unknown.
+    Unknown { what: &'static str, id: String },
+    /// A record is present but missing data required downstream.
+    Incomplete { what: &'static str, detail: String },
+    /// A retryable operation ran out of attempts.
+    Exhausted { what: &'static str, attempts: u32 },
+    /// A subsystem is down (fault-injected or genuinely unavailable).
+    Unavailable { what: &'static str, detail: String },
+}
+
+impl Error {
+    /// Convenience constructor for parse failures.
+    pub fn parse(line: impl Into<Option<usize>>, message: impl Into<String>) -> Error {
+        Error::Parse {
+            line: line.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for incomplete-record degradations.
+    pub fn incomplete(what: &'static str, detail: impl Into<String>) -> Error {
+        Error::Incomplete {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse {
+                line: Some(l),
+                message,
+            } => write!(f, "parse error (line {l}): {message}"),
+            Error::Parse {
+                line: None,
+                message,
+            } => write!(f, "parse error: {message}"),
+            Error::Unknown { what, id } => write!(f, "unknown {what}: {id}"),
+            Error::Incomplete { what, detail } => write!(f, "incomplete {what}: {detail}"),
+            Error::Exhausted { what, attempts } => {
+                write!(f, "{what} abandoned after {attempts} attempts")
+            }
+            Error::Unavailable { what, detail } => write!(f, "{what} unavailable: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = [
+            (Error::parse(3, "bad rel"), "parse error (line 3): bad rel"),
+            (Error::parse(None, "bad"), "parse error: bad"),
+            (
+                Error::Unknown {
+                    what: "hostname",
+                    id: "cdn.example".into(),
+                },
+                "unknown hostname: cdn.example",
+            ),
+            (
+                Error::incomplete("traceroute", "no reached hop"),
+                "incomplete traceroute: no reached hop",
+            ),
+            (
+                Error::Exhausted {
+                    what: "measurement",
+                    attempts: 4,
+                },
+                "measurement abandoned after 4 attempts",
+            ),
+            (
+                Error::Unavailable {
+                    what: "mux",
+                    detail: "outage round 2".into(),
+                },
+                "mux unavailable: outage round 2",
+            ),
+        ];
+        for (e, s) in cases {
+            assert_eq!(e.to_string(), s);
+        }
+    }
+}

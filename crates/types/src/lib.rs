@@ -11,12 +11,14 @@
 //! exported as JSON.
 
 pub mod asn;
+pub mod error;
 pub mod geo;
 pub mod net;
 pub mod rel;
 pub mod time;
 
 pub use asn::{AsType, Asn, OrgId};
+pub use error::Error;
 pub use geo::{CityId, Continent, CountryId};
 pub use net::{Ipv4, Prefix};
 pub use rel::{EdgeRel, Relationship};

@@ -17,6 +17,11 @@ run() {
 run cargo build "${OFFLINE[@]}" --release --workspace
 run cargo test "${OFFLINE[@]}" -q --workspace
 run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
+# Graceful-degradation gate: data-path library code in ir-measure and
+# ir-dataplane must not panic on malformed input. Both crates deny
+# clippy::unwrap_used / clippy::expect_used on their lib targets (tests are
+# exempt via cfg_attr); this pass fails the build if a violation slips in.
+run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane --lib -- -D warnings
 run cargo fmt --check
 
 echo "All checks passed."

@@ -30,16 +30,16 @@ fn dataset_statistics_have_paper_structure() {
 #[test]
 fn figure1_shapes() {
     let f = ir_experiments::exp_fig1::run(scenario());
-    let simple = f.bar(Variant::Simple);
-    let all1 = f.bar(Variant::All1);
-    let all2 = f.bar(Variant::All2);
+    let simple = f.bar(Variant::Simple).unwrap();
+    let all1 = f.bar(Variant::All1).unwrap();
+    let all2 = f.bar(Variant::All2).unwrap();
     // A majority but far from all decisions follow the plain model.
     assert!(simple.best_short > 55.0 && simple.best_short < 92.0);
     // The refinement pipeline explains more, with criterion 1 ≥ criterion 2.
     assert!(all1.best_short >= simple.best_short);
     assert!(all1.best_short >= all2.best_short - 1e-9);
     // Complex relationships barely move the needle (§4.1).
-    let complex = f.bar(Variant::Complex);
+    let complex = f.bar(Variant::Complex).unwrap();
     assert!((complex.best_short - simple.best_short).abs() < 2.0);
 }
 
