@@ -1,0 +1,190 @@
+//! Customer→provider cycle detection (rule `IR-A001`) and sibling-group
+//! provider conflicts (rule `IR-A006`).
+//!
+//! A cycle in the directed customer→provider graph is a "money cycle":
+//! every member pays the next for transit, which no real set of contracts
+//! produces and which breaks the Gao–Rexford safety argument. Sibling
+//! links are contracted first (an organization does not charge itself), so
+//! a cycle threaded through a sibling pair is still found. A c2p edge that
+//! lands *inside* one contracted sibling group is not a cycle but a
+//! different inconsistency — a provider arrangement between siblings — and
+//! is reported as [`RuleId::SiblingGroupConflict`].
+
+use crate::report::{Diagnostic, RuleId};
+use crate::scc::{nontrivial_sccs, UnionFind};
+use ir_topology::{RelationshipDb, World};
+use ir_types::{Asn, Relationship};
+
+/// Node-labeled edge lists for the cycle analysis, source-agnostic: built
+/// from a ground-truth world or an inferred snapshot.
+struct C2pInput {
+    label: Vec<Asn>,
+    sibling_edges: Vec<(usize, usize)>,
+    /// `(customer, provider)` pairs.
+    c2p_edges: Vec<(usize, usize)>,
+}
+
+/// Outcome of the contracted cycle analysis, shared with the certificate.
+pub(crate) struct CycleAnalysis {
+    /// Each cycle as its member ASNs, ascending.
+    pub cycles: Vec<Vec<Asn>>,
+    /// c2p edges inside one sibling group, as `(customer, provider)` ASNs.
+    pub intra_sibling: Vec<(Asn, Asn)>,
+}
+
+fn analyze(input: &C2pInput) -> CycleAnalysis {
+    let n = input.label.len();
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in &input.sibling_edges {
+        uf.union(a, b);
+    }
+    // Compact the component roots so Tarjan runs on a dense graph.
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps = 0usize;
+    for v in 0..n {
+        let r = uf.find(v);
+        if comp_of[r] == usize::MAX {
+            comp_of[r] = comps;
+            comps += 1;
+        }
+        comp_of[v] = comp_of[r];
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); comps];
+    let mut intra_sibling = Vec::new();
+    for &(c, p) in &input.c2p_edges {
+        let (cc, cp) = (comp_of[c], comp_of[p]);
+        if cc == cp {
+            intra_sibling.push((input.label[c], input.label[p]));
+        } else if !adj[cc].contains(&cp) {
+            adj[cc].push(cp);
+        }
+    }
+    // Members of each offending component group, by original node.
+    let sccs = nontrivial_sccs(&adj);
+    let mut cycles = Vec::new();
+    for scc in sccs {
+        let mut members: Vec<Asn> = (0..n)
+            .filter(|&v| scc.binary_search(&comp_of[v]).is_ok())
+            .map(|v| input.label[v])
+            .collect();
+        members.sort_unstable();
+        cycles.push(members);
+    }
+    intra_sibling.sort_unstable();
+    CycleAnalysis {
+        cycles,
+        intra_sibling,
+    }
+}
+
+fn input_from_world(world: &World, per_city: bool) -> C2pInput {
+    let g = &world.graph;
+    let n = g.len();
+    let mut input = C2pInput {
+        label: (0..n).map(|i| g.asn(i)).collect(),
+        sibling_edges: Vec::new(),
+        c2p_edges: Vec::new(),
+    };
+    for x in 0..n {
+        for l in g.links(x) {
+            if l.peer < x {
+                continue; // each undirected link once
+            }
+            let rels: Vec<Relationship> = if per_city {
+                let mut r: Vec<Relationship> = l.cities.iter().map(|&c| l.rel_at(c)).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            } else {
+                vec![l.rel]
+            };
+            for rel in rels {
+                match rel {
+                    // rel is what `peer` is to `x`.
+                    Relationship::Customer => input.c2p_edges.push((l.peer, x)),
+                    Relationship::Provider => input.c2p_edges.push((x, l.peer)),
+                    Relationship::Sibling => input.sibling_edges.push((x, l.peer)),
+                    Relationship::Peer => {}
+                }
+            }
+        }
+    }
+    input
+}
+
+fn input_from_db(db: &RelationshipDb) -> C2pInput {
+    let asns = db.asns();
+    let idx = |a: Asn| -> usize {
+        asns.binary_search(&a)
+            .unwrap_or_else(|_| unreachable!("db.asns() covers every edge endpoint"))
+    };
+    let mut input = C2pInput {
+        label: asns.clone(),
+        sibling_edges: Vec::new(),
+        c2p_edges: Vec::new(),
+    };
+    for (a, b, rel_of_b_from_a) in db.iter() {
+        match rel_of_b_from_a {
+            Relationship::Provider => input.c2p_edges.push((idx(a), idx(b))),
+            Relationship::Customer => input.c2p_edges.push((idx(b), idx(a))),
+            Relationship::Sibling => input.sibling_edges.push((idx(a), idx(b))),
+            Relationship::Peer => {}
+        }
+    }
+    input
+}
+
+fn emit(analysis: CycleAnalysis, source: &str, out: &mut Vec<Diagnostic>) {
+    for members in analysis.cycles {
+        let shown = members
+            .iter()
+            .take(12)
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let more = if members.len() > 12 { " …" } else { "" };
+        out.push(
+            Diagnostic::new(
+                RuleId::CustomerProviderCycle,
+                format!(
+                    "customer→provider cycle among {} ASes in the {source}: {shown}{more}",
+                    members.len()
+                ),
+                "break the cycle by re-typing one link as p2p, or merge the ASes into one org",
+            )
+            .with_asns(members),
+        );
+    }
+    for (c, p) in analysis.intra_sibling {
+        out.push(
+            Diagnostic::new(
+                RuleId::SiblingGroupConflict,
+                format!("{c} pays sibling {p} for transit in the {source}: a c2p edge inside one sibling group"),
+                "siblings exchange routes freely; re-type the link as sibling or split the group",
+            )
+            .with_asns(vec![c, p])
+            .with_links(vec![(c, p)]),
+        );
+    }
+}
+
+/// World-level cycle + sibling-conflict pass over the *default* link
+/// relationships (the certificate separately checks per-city sessions).
+pub(crate) fn world_cycles(world: &World, out: &mut Vec<Diagnostic>) {
+    emit(
+        analyze(&input_from_world(world, false)),
+        "ground truth",
+        out,
+    );
+}
+
+/// Session-level (per-city, hybrid-aware) cycle analysis for the
+/// certificate: returns the cycles only.
+pub(crate) fn session_cycles(world: &World) -> Vec<Vec<Asn>> {
+    analyze(&input_from_world(world, true)).cycles
+}
+
+/// Inferred-snapshot cycle + sibling-conflict pass.
+pub(crate) fn db_cycles(db: &RelationshipDb, out: &mut Vec<Diagnostic>) {
+    emit(analyze(&input_from_db(db)), "inferred snapshot", out);
+}

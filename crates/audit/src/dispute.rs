@@ -1,0 +1,95 @@
+//! Dispute-wheel candidate detection (rule `IR-A002`).
+//!
+//! Griffin's dispute wheel is a cycle of ASes u₀…uₖ where every uᵢ prefers
+//! a route through uᵢ₊₁ over its own "spoke" (direct) route. No dispute
+//! wheel ⇒ the policy system is safe and converges to a unique stable
+//! routing; a wheel is the *only* way multiple equilibria arise.
+//!
+//! The static candidate graph drawn here has an edge u→v exactly when u
+//! could act as a wheel node diverting through v:
+//!
+//! * u has a non-customer-class session to v (customer-tier diversions are
+//!   money cycles, owned by rule `IR-A001`);
+//! * u has a customer-tier spoke through some w ≠ v to divert *from*; and
+//! * u's static import preference for routes via v strictly exceeds the
+//!   best customer-tier spoke preference.
+//!
+//! Any directed cycle among such edges is reported. Two deliberate
+//! conservatisms keep the rule exact on generator worlds: spoke
+//! preferences are floored at the customer-class base (a deprioritized
+//! sole customer does not make its AS a wheel node), and the domestic-path
+//! bonus is ignored on both sides (it applies to rim and spoke alike, so
+//! it cancels for the in-country gadgets the generator builds; the
+//! certificate handles domestic preference with a dedicated blocker).
+
+use crate::report::{Diagnostic, RuleId};
+use crate::scc::nontrivial_sccs;
+use crate::view::{customer_class, sessions};
+use ir_bgp::policy_eval::{base_pref, BACKUP_PENALTY};
+use ir_topology::World;
+use ir_types::{Asn, Relationship};
+
+pub(crate) fn world_dispute_wheels(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    let n = g.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // u indexes `adj` and the graph alike
+    for u in 0..n {
+        let pol = world.policy(u);
+        let sess = sessions(g, u);
+        // Best and second-best customer-tier spoke, floored at the class
+        // base, so `best spoke excluding v` is answerable for any v.
+        let (mut s1, mut s1_peer, mut s2) = (i32::MIN, usize::MAX, i32::MIN);
+        for s in sess.iter().filter(|s| customer_class(s.rel)) {
+            let v =
+                base_pref(Relationship::Customer) + i32::from(pol.pref_delta(g.asn(s.peer))).max(0);
+            if s.peer == s1_peer {
+                s1 = s1.max(v);
+            } else if v > s1 {
+                s2 = s1;
+                s1 = v;
+                s1_peer = s.peer;
+            } else if v > s2 {
+                s2 = v;
+            }
+        }
+        if s1 == i32::MIN {
+            continue; // no spoke to divert from: u cannot be a wheel node
+        }
+        for s in sess.iter().filter(|s| !customer_class(s.rel)) {
+            let pref_via = base_pref(s.rel)
+                + i32::from(pol.pref_delta(g.asn(s.peer)))
+                + if s.backup { BACKUP_PENALTY } else { 0 };
+            let best_spoke_excl = if s.peer == s1_peer { s2 } else { s1 };
+            if best_spoke_excl != i32::MIN
+                && pref_via > best_spoke_excl
+                && !adj[u].contains(&s.peer)
+            {
+                adj[u].push(s.peer);
+            }
+        }
+    }
+    for scc in nontrivial_sccs(&adj) {
+        let members: Vec<Asn> = scc.iter().map(|&v| g.asn(v)).collect();
+        let shown = members
+            .iter()
+            .take(12)
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let more = if members.len() > 12 { " …" } else { "" };
+        out.push(
+            Diagnostic::new(
+                RuleId::DisputeWheelCandidate,
+                format!(
+                    "dispute-wheel candidate: {} ASes each prefer a route through the next \
+                     over every customer-tier alternative: {shown}{more}",
+                    members.len()
+                ),
+                "lower the neighbor_pref boosts (or raise customer preference) so each AS \
+                 prefers its customer-tier routes; wave-exact simulation is required until then",
+            )
+            .with_asns(members),
+        );
+    }
+}

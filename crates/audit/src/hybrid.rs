@@ -1,0 +1,99 @@
+//! Hybrid/complex-relationship conflict rules (`IR-A003`, `IR-A004`).
+
+use crate::report::{Diagnostic, RuleId};
+use ir_topology::World;
+use ir_types::Relationship;
+
+/// A link typed customer in one city and provider in another means the
+/// pair simultaneously pays and charges each other for the same
+/// interconnection — Giotsas-style hybrid links mix peering with transit,
+/// never the two transit orientations.
+pub(crate) fn hybrid_conflicts(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    for x in 0..g.len() {
+        for l in g.links(x) {
+            if l.peer < x || !l.is_hybrid() {
+                continue;
+            }
+            let rels: Vec<Relationship> = l.cities.iter().map(|&c| l.rel_at(c)).collect();
+            if rels.contains(&Relationship::Customer) && rels.contains(&Relationship::Provider) {
+                let (a, b) = (g.asn(x), g.asn(l.peer));
+                out.push(
+                    Diagnostic::new(
+                        RuleId::HybridLinkConflict,
+                        format!(
+                            "link {a}–{b} is typed p2c in one city and c2p in another: \
+                             the pair both pays and charges itself for transit"
+                        ),
+                        "re-type one city's session as p2p, or pick one transit orientation",
+                    )
+                    .with_asns(vec![a, b])
+                    .with_links(vec![(a, b)]),
+                );
+            }
+        }
+    }
+}
+
+/// Partial-transit scope sanity: the scope must name an actual neighbor,
+/// that neighbor must be a customer in at least one session (partial
+/// transit is a *transit* arrangement), and the two sides of one link must
+/// not both scope each other (each would be the other's provider).
+pub(crate) fn partial_transit_conflicts(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    for x in 0..g.len() {
+        let a = g.asn(x);
+        for &nb in world.policy(x).partial_transit.keys() {
+            let link = g.index_of(nb).and_then(|ni| g.link(x, ni));
+            let Some(link) = link else {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PartialTransitConflict,
+                        format!("{a} scopes partial transit for {nb}, which is not a neighbor"),
+                        "drop the stale scope or add the missing link",
+                    )
+                    .with_asns(vec![a, nb]),
+                );
+                continue;
+            };
+            let some_customer_session = link
+                .cities
+                .iter()
+                .any(|&c| link.rel_at(c) == Relationship::Customer);
+            if !some_customer_session {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PartialTransitConflict,
+                        format!(
+                            "{a} scopes partial transit for {nb}, but {nb} is not its \
+                             customer in any interconnection city"
+                        ),
+                        "partial transit only applies provider→customer; fix the link type \
+                         or drop the scope",
+                    )
+                    .with_asns(vec![a, nb])
+                    .with_links(vec![(a, nb)]),
+                );
+            }
+            // Mutual scoping: report once per pair.
+            if a < nb
+                && world
+                    .policy_of(nb)
+                    .is_some_and(|p| p.partial_transit.contains_key(&a))
+            {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PartialTransitConflict,
+                        format!(
+                            "{a} and {nb} each scope partial transit for the other: \
+                             overlapping scopes imply both are the other's provider"
+                        ),
+                        "keep the scope on the provider side only",
+                    )
+                    .with_asns(vec![a, nb])
+                    .with_links(vec![(a, nb)]),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Static policy-safety analysis for interdomain routing inputs.
+//!
+//! The paper's pipeline (and this reproduction's) trusts relationship
+//! topologies that are *inferred*, and simulates ground-truth worlds whose
+//! policies deliberately deviate from plain Gao–Rexford. Both can encode
+//! contradictions — provider cycles, conflicting hybrid typings, valley
+//! paths — that silently invalidate anything computed on top. This crate
+//! audits those inputs **without running any simulation**:
+//!
+//! * a lint pass emits structured [`Diagnostic`]s (rule id, severity,
+//!   involved ASes/links, fix hint; JSON-exportable) over a ground-truth
+//!   [`World`], an inferred [`RelationshipDb`], and/or an observed
+//!   [`BgpFeed`];
+//! * a certificate pass derives a [`SafetyCertificate`]: a conservative
+//!   Gao–Rexford condition check under which the policy system provably
+//!   has a unique stable routing, letting `ir-bgp`'s engine drop its
+//!   wave-exact scheduling for a cheaper free-order worklist.
+//!
+//! ```
+//! use ir_audit::Auditor;
+//! let world = ir_topology::gen::GeneratorConfig::tiny().build(7);
+//! let report = Auditor::new().world(&world).run();
+//! assert_eq!(report.errors(), 0, "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod certificate;
+mod cycles;
+mod dispute;
+mod hybrid;
+mod psp;
+mod report;
+mod scc;
+mod siblings;
+mod valley;
+mod view;
+
+pub use certificate::SafetyCertificate;
+pub use report::{AuditReport, Diagnostic, RuleId, Severity};
+
+use ir_inference::BgpFeed;
+use ir_topology::{RelationshipDb, World};
+
+/// Builder over the inputs one audit pass should cover.
+///
+/// Any combination works: world-only audits ground truth, db-only audits
+/// an inference snapshot, feeds are checked against whichever relationship
+/// source is present (world preferred, per-hop).
+#[derive(Default)]
+pub struct Auditor<'a> {
+    world: Option<&'a World>,
+    inferred: Option<&'a RelationshipDb>,
+    feed: Option<&'a BgpFeed>,
+}
+
+impl<'a> Auditor<'a> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Audits a ground-truth world (graph, policies, org registry).
+    pub fn world(mut self, world: &'a World) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Audits an inferred relationship snapshot.
+    pub fn inferred(mut self, db: &'a RelationshipDb) -> Self {
+        self.inferred = Some(db);
+        self
+    }
+
+    /// Audits observed feed paths for valley announcements.
+    pub fn feed(mut self, feed: &'a BgpFeed) -> Self {
+        self.feed = Some(feed);
+        self
+    }
+
+    /// Runs every applicable rule and derives the certificate.
+    pub fn run(self) -> AuditReport {
+        let mut diags = Vec::new();
+        if let Some(w) = self.world {
+            cycles::world_cycles(w, &mut diags);
+            dispute::world_dispute_wheels(w, &mut diags);
+            hybrid::hybrid_conflicts(w, &mut diags);
+            hybrid::partial_transit_conflicts(w, &mut diags);
+            siblings::sibling_org_mismatches(w, &mut diags);
+            psp::psp_contradictions(w, &mut diags);
+        }
+        if let Some(db) = self.inferred {
+            cycles::db_cycles(db, &mut diags);
+        }
+        if let Some(f) = self.feed {
+            valley::valley_announcements(f, self.world, self.inferred, &mut diags);
+        }
+        let certificate = certificate::certify(self.world, &diags);
+        let mut report = AuditReport {
+            diagnostics: diags,
+            certificate,
+        };
+        report.normalize();
+        report
+    }
+}
+
+/// Convenience: full audit of a ground-truth world alone.
+pub fn audit_world(world: &World) -> AuditReport {
+    Auditor::new().world(world).run()
+}

@@ -1,0 +1,72 @@
+//! Prefix-specific policy (selective announcement) contradictions
+//! (`IR-A008`, `IR-A009`, `IR-A010`).
+//!
+//! The paper's §4.3 prefix-specific cases are *origin-side* policies: an
+//! AS announces one of **its own** prefixes to a subset of its neighbors.
+//! Three static contradictions are possible: scoping a prefix the AS does
+//! not originate (the origin table says someone else owns it), allowing an
+//! AS that is not a neighbor (the announcement can never be sent), and an
+//! empty allow-list (the prefix is silently blackholed).
+
+use crate::report::{Diagnostic, RuleId};
+use ir_topology::World;
+
+pub(crate) fn psp_contradictions(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    for x in 0..g.len() {
+        let a = g.asn(x);
+        let node = g.node(x);
+        for (prefix, allowed) in &world.policy(x).selective_announce {
+            if !node.prefixes.contains(prefix) {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PspForeignPrefix,
+                        format!(
+                            "{a} has a prefix-specific policy for {prefix}, which it does \
+                             not originate"
+                        ),
+                        "selective announcement is origin-side; move the case to the \
+                         originating AS or fix the origin table",
+                    )
+                    .with_asns(vec![a]),
+                );
+            }
+            if allowed.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PspBlackhole,
+                        format!(
+                            "{a}'s prefix-specific policy for {prefix} allows no neighbor at all"
+                        ),
+                        "an empty allow-list blackholes the prefix; list at least one neighbor \
+                         or drop the case",
+                    )
+                    .with_asns(vec![a]),
+                );
+            }
+            let unknown: Vec<_> = allowed
+                .iter()
+                .copied()
+                .filter(|&nb| g.index_of(nb).and_then(|ni| g.link(x, ni)).is_none())
+                .collect();
+            if !unknown.is_empty() {
+                let shown = unknown
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push(
+                    Diagnostic::new(
+                        RuleId::PspUnknownNeighbor,
+                        format!(
+                            "{a}'s prefix-specific policy for {prefix} allows {shown}, \
+                             not a neighbor of {a}"
+                        ),
+                        "the case can never match an export; fix the ASN or add the link",
+                    )
+                    .with_asns(std::iter::once(a).chain(unknown).collect()),
+                );
+            }
+        }
+    }
+}

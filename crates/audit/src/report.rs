@@ -1,0 +1,240 @@
+//! Diagnostic records and the audit report container.
+//!
+//! Every lint rule emits [`Diagnostic`]s: structured, JSON-exportable
+//! records naming the rule, a severity, the ASes and links involved, and a
+//! fix hint. The [`AuditReport`] bundles the sorted diagnostics with the
+//! [`SafetyCertificate`](crate::SafetyCertificate) derived from them.
+
+use crate::certificate::SafetyCertificate;
+use ir_types::Asn;
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` findings are contradictions (the input cannot be a faithful
+/// description of a real routing system) and fail the `audit` binary;
+/// `Warning`s are suspicious-but-interpretable; `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious configuration; simulation remains well-defined.
+    Warning,
+    /// Internal contradiction; results built on this input are unsound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifier of a lint rule (the rule catalog lives in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum RuleId {
+    /// Directed cycle in the customer→provider graph (money cycle).
+    CustomerProviderCycle,
+    /// Griffin-style dispute-wheel candidate: a cycle of ASes each
+    /// preferring a transit-usable route through the next over every
+    /// customer-tier alternative.
+    DisputeWheelCandidate,
+    /// One link typed both p2c and c2p across its interconnection cities.
+    HybridLinkConflict,
+    /// Partial-transit scope naming a non-neighbor or a non-customer, or
+    /// both endpoints scoping each other.
+    PartialTransitConflict,
+    /// Sibling-typed link between ASes of different organizations.
+    SiblingOrgMismatch,
+    /// Customer→provider edge inside one inferred sibling group.
+    SiblingGroupConflict,
+    /// Feed path that violates valley-freedom under every consistent
+    /// per-city relationship assignment.
+    ValleyAnnouncement,
+    /// Prefix-specific policy case for a prefix the AS does not originate.
+    PspForeignPrefix,
+    /// Prefix-specific allow-list naming an AS that is not a neighbor.
+    PspUnknownNeighbor,
+    /// Prefix-specific allow-list that is empty (announces to nobody).
+    PspBlackhole,
+}
+
+impl RuleId {
+    /// Stable short code used in text output and JSON.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::CustomerProviderCycle => "IR-A001",
+            RuleId::DisputeWheelCandidate => "IR-A002",
+            RuleId::HybridLinkConflict => "IR-A003",
+            RuleId::PartialTransitConflict => "IR-A004",
+            RuleId::SiblingOrgMismatch => "IR-A005",
+            RuleId::SiblingGroupConflict => "IR-A006",
+            RuleId::ValleyAnnouncement => "IR-A007",
+            RuleId::PspForeignPrefix => "IR-A008",
+            RuleId::PspUnknownNeighbor => "IR-A009",
+            RuleId::PspBlackhole => "IR-A010",
+        }
+    }
+
+    /// The severity every finding of this rule carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::CustomerProviderCycle
+            | RuleId::HybridLinkConflict
+            | RuleId::SiblingOrgMismatch
+            | RuleId::ValleyAnnouncement
+            | RuleId::PspForeignPrefix => Severity::Error,
+            RuleId::DisputeWheelCandidate
+            | RuleId::PartialTransitConflict
+            | RuleId::SiblingGroupConflict
+            | RuleId::PspUnknownNeighbor
+            | RuleId::PspBlackhole => Severity::Warning,
+        }
+    }
+}
+
+/// One finding from one rule.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Stable rule code (duplicated for JSON consumers).
+    pub code: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// ASes involved, ascending.
+    pub asns: Vec<Asn>,
+    /// Links involved, each `(low, high)` by ASN, ascending.
+    pub links: Vec<(Asn, Asn)>,
+    /// What to change to make the finding go away.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding for `rule` with the rule's canonical severity.
+    pub fn new(rule: RuleId, message: impl Into<String>, hint: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            code: rule.code(),
+            severity: rule.severity(),
+            message: message.into(),
+            asns: Vec::new(),
+            links: Vec::new(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Attaches involved ASes (sorted, deduplicated).
+    pub fn with_asns(mut self, mut asns: Vec<Asn>) -> Self {
+        asns.sort_unstable();
+        asns.dedup();
+        self.asns = asns;
+        self
+    }
+
+    /// Attaches involved links (normalized to `(low, high)`, sorted).
+    pub fn with_links(mut self, links: Vec<(Asn, Asn)>) -> Self {
+        let mut links: Vec<(Asn, Asn)> = links
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        self.links = links;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.code, self.message)?;
+        if !self.hint.is_empty() {
+            write!(f, " (hint: {})", self.hint)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full result of one audit pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditReport {
+    /// All findings, most severe first, then by rule and involved ASes.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The convergence certificate derived from the audited world.
+    pub certificate: SafetyCertificate,
+}
+
+impl AuditReport {
+    /// Number of `Error` findings.
+    pub fn errors(&self) -> usize {
+        self.count_at(Severity::Error)
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warnings(&self) -> usize {
+        self.count_at(Severity::Warning)
+    }
+
+    fn count_at(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the audit found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of one rule.
+    pub fn of_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// Whether any finding of `rule` is present.
+    pub fn has_rule(&self, rule: RuleId) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            // Serialize on plain structs cannot fail; keep the path total.
+            format!("{{\"serialize_error\":\"{e}\"}}")
+        })
+    }
+
+    /// Renders a human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} error(s), {} warning(s), {} finding(s) total",
+            self.errors(),
+            self.warnings(),
+            self.diagnostics.len()
+        );
+        let _ = write!(out, "{}", self.certificate);
+        out
+    }
+
+    /// Canonical ordering: severity (worst first), rule, involved ASes.
+    pub(crate) fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.rule.cmp(&b.rule))
+                .then(a.asns.cmp(&b.asns))
+                .then(a.message.cmp(&b.message))
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Graph utilities shared by the lint rules: iterative Tarjan SCC and a
+//! union-find used to contract sibling groups before cycle detection.
+
+/// Union-find with path halving and union by size.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Strongly connected components of a directed graph given as adjacency
+/// lists, via an iterative Tarjan (explicit stack — topologies are deep
+/// enough that recursion would overflow at paper scale).
+///
+/// Returns only non-trivial components: size ≥ 2, or a single node with a
+/// self-edge. Each component's node ids are ascending.
+pub(crate) fn nontrivial_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const NONE: usize = usize::MAX;
+    let mut index = vec![NONE; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Work stack frames: (node, next child position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != NONE {
+            continue;
+        }
+        work.push((root, 0));
+        while let Some(frame) = work.last_mut() {
+            let (v, ci) = *frame;
+            if ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(ci) {
+                frame.1 += 1;
+                if index[w] == NONE {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            // All children of v visited: close the frame.
+            work.pop();
+            if let Some(&(parent, _)) = work.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let keep = comp.len() >= 2 || adj[comp[0]].contains(&comp[0]);
+                if keep {
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_cycle_and_ignores_dag() {
+        // 0→1→2→0 is a cycle; 3→4 is not.
+        let adj = vec![vec![1], vec![2], vec![0], vec![4], vec![]];
+        let sccs = nontrivial_sccs(&adj);
+        assert_eq!(sccs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_loop_is_nontrivial() {
+        let adj = vec![vec![0], vec![]];
+        assert_eq!(nontrivial_sccs(&adj), vec![vec![0]]);
+    }
+
+    #[test]
+    fn union_find_groups() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(3));
+        assert_eq!(uf.find(3), uf.find(4));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-node path graph ending in a 2-cycle.
+        let n = 10_000;
+        let mut adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        adj[n - 1] = vec![n - 2];
+        adj[n - 2].push(n - 1);
+        let sccs = nontrivial_sccs(&adj);
+        assert_eq!(sccs, vec![vec![n - 2, n - 1]]);
+    }
+}

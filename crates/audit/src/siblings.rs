@@ -1,0 +1,42 @@
+//! Sibling-group consistency (rule `IR-A005`).
+//!
+//! A sibling link asserts "same organization"; the org registry is the
+//! ground truth for that claim. A sibling-typed session between ASes of
+//! different organizations contradicts the registry — exactly the
+//! inconsistency the paper's §4.2 sibling inference has to guard against.
+//! (The db-level counterpart — a c2p edge *inside* one inferred sibling
+//! group — is reported by the cycle pass, which owns the contraction.)
+
+use crate::report::{Diagnostic, RuleId};
+use ir_topology::World;
+use ir_types::Relationship;
+
+pub(crate) fn sibling_org_mismatches(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    for x in 0..g.len() {
+        for l in g.links(x) {
+            if l.peer < x {
+                continue;
+            }
+            let sibling_somewhere = l
+                .cities
+                .iter()
+                .any(|&c| l.rel_at(c) == Relationship::Sibling);
+            if sibling_somewhere && g.node(x).org != g.node(l.peer).org {
+                let (a, b) = (g.asn(x), g.asn(l.peer));
+                out.push(
+                    Diagnostic::new(
+                        RuleId::SiblingOrgMismatch,
+                        format!(
+                            "link {a}–{b} is typed sibling but the ASes belong to \
+                             different organizations"
+                        ),
+                        "merge the organizations in the registry or re-type the link",
+                    )
+                    .with_asns(vec![a, b])
+                    .with_links(vec![(a, b)]),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Session-level view of a world's AS graph.
+//!
+//! The engine models a multi-city link as one BGP session per
+//! interconnection city, each with the relationship in force there. The
+//! preference- and certificate-level rules reason about exactly those
+//! sessions, so they share this enumeration.
+
+use ir_topology::graph::{AsGraph, LinkKind};
+use ir_types::Relationship;
+
+/// One BGP session of an AS, statically summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Sess {
+    /// Neighbor node index.
+    pub peer: usize,
+    /// Relationship of the neighbor as seen from the session owner.
+    pub rel: Relationship,
+    /// Whether the underlying link is a backup link.
+    pub backup: bool,
+}
+
+/// All sessions of node `x`, deduplicated by `(peer, rel, backup)` — two
+/// cities with the same relationship produce one summary entry, since the
+/// static rules only depend on that triple.
+pub(crate) fn sessions(graph: &AsGraph, x: usize) -> Vec<Sess> {
+    let mut out = Vec::new();
+    for l in graph.links(x) {
+        let backup = l.kind == LinkKind::Backup;
+        for &city in &l.cities {
+            let s = Sess {
+                peer: l.peer,
+                rel: l.rel_at(city),
+                backup,
+            };
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `rel` puts a learned route in the customer tier (base local
+/// preference 300): customer and sibling sessions do.
+pub(crate) fn customer_class(rel: Relationship) -> bool {
+    matches!(rel, Relationship::Customer | Relationship::Sibling)
+}

@@ -1,1 +1,2 @@
+#![forbid(unsafe_code)]
 //! Criterion benchmark crate; see `benches/`.

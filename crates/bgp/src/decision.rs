@@ -80,7 +80,7 @@ pub fn select(candidates: &[Route]) -> Option<(&Route, DecisionStep)> {
         .iter()
         .filter(|r| !std::ptr::eq(*r, best))
         .min_by(|a, b| compare(a, b))
-        .expect("≥2 candidates");
+        .unwrap_or_else(|| unreachable!("len checked ≥ 2 and only one ref is filtered"));
     let step = if best.local_pref != runner_up.local_pref {
         DecisionStep::LocalPref
     } else if best.path.len() != runner_up.path.len() {

@@ -1,3 +1,8 @@
+#![forbid(unsafe_code)]
+// Engine and topology library code must degrade gracefully, never panic on
+// data: unwrap/expect are denied outside tests (gate enforced by
+// scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Deterministic path-vector (BGP) simulator.
 //!
 //! This crate is the control-plane substrate of the reproduction. It
@@ -35,6 +40,9 @@ pub mod universe;
 
 pub use path::{AsPath, Segment};
 pub use route::Route;
-pub use sim::{Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine, SimContext};
+pub use sim::{
+    ActivationOrder, Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine,
+    SimContext,
+};
 pub use sweep::SweepSim;
 pub use universe::{RoutingUniverse, UniverseResilience};

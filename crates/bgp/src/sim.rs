@@ -288,9 +288,32 @@ pub(crate) const NO_OP_CONVERGENCE: Convergence = Convergence {
 /// let idx = world.graph.index_of(asn).unwrap();
 /// assert!(sim.best(idx).unwrap().is_local());
 /// ```
+/// Worklist scheduling discipline for [`PrefixSim`].
+///
+/// With dispute wheels in the policy system the fixpoint reached depends
+/// on activation order, so the default replays the reference sweep
+/// trajectory exactly. When a static audit (`ir-audit`) certifies the
+/// world dispute-free, the unique-fixpoint guarantee makes any fair order
+/// equivalent and the cheaper free order may be used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActivationOrder {
+    /// Replay the Gauss–Seidel sweep schedule: wave barriers, ascending
+    /// index within a wave. Always safe; required for worlds that may
+    /// contain dispute gadgets.
+    #[default]
+    WaveExact,
+    /// Single ascending-index worklist with no wave barrier: an activated
+    /// node is processed as soon as the worklist reaches its index again.
+    /// Converges to the same routing **only** for worlds with a unique
+    /// stable state — gate behind `SafetyCertificate::activation_order()`.
+    Free,
+}
+
 pub struct PrefixSim<'w> {
     ctx: Arc<SimContext<'w>>,
     prefix: Prefix,
+    /// Scheduling discipline; see [`ActivationOrder`].
+    order: ActivationOrder,
     /// Current origination, if announced.
     announcement: Option<Announcement>,
     origin_idx: Option<NodeIdx>,
@@ -323,11 +346,23 @@ impl<'w> PrefixSim<'w> {
     /// Prepares a simulation for `prefix` over a shared context — O(n)
     /// allocation, no session-table construction.
     pub fn with_context(ctx: Arc<SimContext<'w>>, prefix: Prefix) -> PrefixSim<'w> {
+        PrefixSim::with_context_ordered(ctx, prefix, ActivationOrder::default())
+    }
+
+    /// [`PrefixSim::with_context`] with an explicit scheduling discipline.
+    /// Pass [`ActivationOrder::Free`] only for worlds certified
+    /// dispute-free by `ir-audit`.
+    pub fn with_context_ordered(
+        ctx: Arc<SimContext<'w>>,
+        prefix: Prefix,
+        order: ActivationOrder,
+    ) -> PrefixSim<'w> {
         let n = ctx.world.graph.len();
         let rib_in = ctx.sessions.iter().map(|ss| vec![None; ss.len()]).collect();
         PrefixSim {
             ctx,
             prefix,
+            order,
             announcement: None,
             origin_idx: None,
             announce_time: Timestamp::ZERO,
@@ -682,6 +717,7 @@ impl<'w> PrefixSim<'w> {
         let PrefixSim {
             ctx,
             prefix,
+            order,
             announcement,
             best,
             rib_in,
@@ -690,6 +726,7 @@ impl<'w> PrefixSim<'w> {
             clock,
             ..
         } = self;
+        let free = *order == ActivationOrder::Free;
         let ann = announcement.as_ref();
         let best_x = best[x].as_ref();
         for &(l, si) in &ctx.listeners[x] {
@@ -729,7 +766,9 @@ impl<'w> PrefixSim<'w> {
                 continue;
             }
             *entry = imported;
-            if l > x {
+            if free || l > x {
+                // Free order: no wave barrier, the current worklist takes
+                // every activation (sound only under a unique fixpoint).
                 wave.insert(l);
             } else {
                 next.insert(l);

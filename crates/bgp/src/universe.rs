@@ -15,7 +15,7 @@
 //! to [`RoutingUniverse::compute`].
 
 use crate::route::Route;
-use crate::sim::{Announcement, EngineStats, PrefixSim, SimContext};
+use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, SimContext};
 use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
@@ -83,6 +83,18 @@ impl RoutingUniverse {
     /// Converges the given prefixes (all originated by their ground-truth
     /// owners, announced plainly at t=0), in parallel.
     pub fn compute(world: &World, prefixes: &[Prefix]) -> RoutingUniverse {
+        Self::compute_ordered(world, prefixes, ActivationOrder::default())
+    }
+
+    /// [`RoutingUniverse::compute`] with an explicit engine scheduling
+    /// discipline. Pass [`ActivationOrder::Free`] only when an `ir-audit`
+    /// `SafetyCertificate` certifies the world (unique stable routing);
+    /// `certificate.activation_order()` encodes exactly that contract.
+    pub fn compute_ordered(
+        world: &World,
+        prefixes: &[Prefix],
+        order: ActivationOrder,
+    ) -> RoutingUniverse {
         let owners = prefix_owners(world);
         // One session table + policy engine for the whole batch; each
         // per-prefix sim only allocates its own mutable state.
@@ -93,7 +105,7 @@ impl RoutingUniverse {
                 let origin = *owners
                     .get(&prefix)
                     .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
-                let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), prefix, order);
                 let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
                 let table: Vec<Option<Route>> = (0..world.graph.len())
                     .map(|x| sim.best(x).cloned())
@@ -114,8 +126,19 @@ impl RoutingUniverse {
         prefixes: &[Prefix],
         plane: &FaultPlane,
     ) -> RoutingUniverse {
+        Self::compute_with_faults_ordered(world, prefixes, plane, ActivationOrder::default())
+    }
+
+    /// [`RoutingUniverse::compute_with_faults`] with an explicit engine
+    /// scheduling discipline (see [`RoutingUniverse::compute_ordered`]).
+    pub fn compute_with_faults_ordered(
+        world: &World,
+        prefixes: &[Prefix],
+        plane: &FaultPlane,
+        order: ActivationOrder,
+    ) -> RoutingUniverse {
         if plane.is_quiet() {
-            return Self::compute(world, prefixes);
+            return Self::compute_ordered(world, prefixes, order);
         }
         let owners = prefix_owners(world);
         let ctx = SimContext::shared(world);
@@ -132,7 +155,7 @@ impl RoutingUniverse {
                 let origin = *owners
                     .get(&prefix)
                     .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
-                let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), prefix, order);
                 sim.set_poison_filters(filters.iter().copied());
                 let mut converged = sim
                     .announce(Announcement::plain(origin, prefix), Timestamp::ZERO)
@@ -192,6 +215,17 @@ impl RoutingUniverse {
     pub fn compute_all_with_faults(world: &World, plane: &FaultPlane) -> RoutingUniverse {
         let prefixes: Vec<Prefix> = prefix_owners(world).keys().copied().collect();
         Self::compute_with_faults(world, &prefixes, plane)
+    }
+
+    /// [`RoutingUniverse::compute_all_with_faults`] with an explicit engine
+    /// scheduling discipline (see [`RoutingUniverse::compute_ordered`]).
+    pub fn compute_all_with_faults_ordered(
+        world: &World,
+        plane: &FaultPlane,
+        order: ActivationOrder,
+    ) -> RoutingUniverse {
+        let prefixes: Vec<Prefix> = prefix_owners(world).keys().copied().collect();
+        Self::compute_with_faults_ordered(world, &prefixes, plane, order)
     }
 
     /// The route AS `x` selected toward `prefix`.

@@ -154,7 +154,9 @@ impl GrModel {
         };
 
         // Phase 1 — customer class: BFS from d ascending provider links
-        // (and crossing sibling links).
+        // (and crossing sibling links). The visit order doubles as the
+        // reached set that seeds phase 2.
+        let mut reached_c = vec![d];
         {
             let c = RouteClass::Customer.idx();
             dist[d][c] = 0;
@@ -170,6 +172,7 @@ impl GrModel {
                     {
                         dist[x][c] = dist[y][c] + 1;
                         parent[x][c] = y;
+                        reached_c.push(x);
                         q.push_back(x);
                     }
                 }
@@ -178,23 +181,24 @@ impl GrModel {
 
         // Phase 2 — peer class: one peer hop onto a customer route, then
         // sibling transparency. Multi-source BFS over sibling links, seeded
-        // by the peer-hop relaxation.
+        // by the peer-hop relaxation. Only ASes the customer-class BFS
+        // reached can be hopped *from* (peering is symmetric), so seeding
+        // walks that set's adjacency instead of every AS's — for a
+        // small-cone destination that is a tiny fraction of the graph.
         {
             let c = RouteClass::Customer.idx();
             let p = RouteClass::Peer.idx();
             let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
-            for x in 0..n {
-                for (y, rel) in adj(x) {
-                    if rel == Relationship::Peer && dist[y][c] != INF && ok(x, y) {
+            for &y in &reached_c {
+                for (x, rel) in adj(y) {
+                    if rel == Relationship::Peer && ok(x, y) {
                         let cand = dist[y][c] + 1;
                         if cand < dist[x][p] {
                             dist[x][p] = cand;
                             parent[x][p] = y;
+                            heap.push(Reverse((cand, x)));
                         }
                     }
-                }
-                if dist[x][p] != INF {
-                    heap.push(Reverse((dist[x][p], x)));
                 }
             }
             while let Some(Reverse((dv, y))) = heap.pop() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's methodology: how far do routing models hold, and why not?
 //!
 //! This crate is the primary contribution of the reproduction. Everything

@@ -1,0 +1,82 @@
+//! `audit` — static policy-safety analysis of a generated world.
+//!
+//! ```text
+//! audit [--scale tiny|paper] [--seed N] [--inferred] [--feed] [--json]
+//! ```
+//!
+//! By default only the ground-truth world is audited (fast: no routing
+//! convergence, no measurement campaign). `--inferred` and `--feed`
+//! additionally build the full scenario and audit the inferred
+//! relationship snapshot and the collector feed. Exits 1 when any
+//! Error-severity finding is present, so CI can gate on it.
+
+use ir_audit::Auditor;
+use ir_experiments::scenario::ScenarioConfig;
+use ir_experiments::Scenario;
+
+fn usage() -> ! {
+    eprintln!("usage: audit [--scale tiny|paper] [--seed N] [--inferred] [--feed] [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seed = 7u64;
+    let mut scale = "tiny".to_string();
+    let mut with_inferred = false;
+    let mut with_feed = false;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => scale = args.next().unwrap_or_else(|| usage()),
+            "--inferred" => with_inferred = true,
+            "--feed" => with_feed = true,
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    let cfg = match scale.as_str() {
+        "tiny" => ScenarioConfig::tiny(seed),
+        "paper" => ScenarioConfig::paper_scale(seed),
+        other => {
+            eprintln!("unknown scale: {other}");
+            usage();
+        }
+    };
+
+    let report = if with_inferred || with_feed {
+        // Inference and feeds only exist inside a built scenario.
+        let s = Scenario::build(cfg);
+        let mut auditor = Auditor::new().world(&s.world);
+        if with_inferred {
+            auditor = auditor.inferred(&s.inferred);
+        }
+        if with_feed {
+            auditor = auditor.feed(&s.feed);
+        }
+        auditor.run()
+    } else {
+        let world = cfg.gen.build(cfg.seed);
+        ir_audit::audit_world(&world)
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        let rendered = report.render();
+        print!("{rendered}");
+        if !rendered.ends_with('\n') {
+            println!();
+        }
+    }
+    if report.errors() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -61,6 +61,12 @@ fn main() {
         res.links_down_at_end,
         s.campaign.report
     );
+    println!(
+        "audit: {} error(s), {} warning(s) | {}",
+        s.audit.errors(),
+        s.audit.warnings(),
+        s.audit.certificate
+    );
     {
         // Classifier route-cache telemetry over the full decision set.
         let classifier = ir_core::classify::Classifier::new(&s.inferred, Default::default());

@@ -7,9 +7,14 @@
 //! With no experiment names, everything runs. Valid names: `table1`,
 //! `fig1`, `table2`, `alternates`, `fig2`, `fig3`, `table3`, `table4`,
 //! `validation`, `stats`.
+//!
+//! The report itself is assembled by
+//! [`ir_experiments::report::assemble_report`], which the
+//! artifact-freshness test also runs — the committed `repro_paper_seed7.*`
+//! files are byte-for-byte this binary's output.
 
+use ir_experiments::report::{assemble_report, ALL_EXPERIMENTS};
 use ir_experiments::{scenario::ScenarioConfig, Scenario};
-use serde_json::json;
 use std::io::Write as _;
 
 fn usage() -> ! {
@@ -42,27 +47,11 @@ fn main() {
             name => wanted.push(name.to_string()),
         }
     }
-    let all = [
-        "stats",
-        "table1",
-        "fig1",
-        "table2",
-        "alternates",
-        "fig2",
-        "fig3",
-        "table3",
-        "table4",
-        "validation",
-        "informed",
-        "consistency",
-        "lg_augment",
-        "predict",
-    ];
     if wanted.is_empty() {
-        wanted = all.iter().map(|s| s.to_string()).collect();
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
     for w in &wanted {
-        if !all.contains(&w.as_str()) {
+        if !ALL_EXPERIMENTS.contains(&w.as_str()) {
             eprintln!("unknown experiment: {w}");
             usage();
         }
@@ -80,114 +69,21 @@ fn main() {
     let t0 = std::time::Instant::now();
     let s = Scenario::build(cfg);
     eprintln!(
-        "scenario ready in {:.1?}: {} ASes, {} links, {} traceroutes, {} decisions",
+        "scenario ready in {:.1?}: {} ASes, {} links, {} traceroutes, {} decisions \
+         | audit: {} errors {} warnings, certified={}",
         t0.elapsed(),
         s.world.graph.len(),
         s.world.graph.link_count(),
         s.campaign.traceroutes.len(),
-        s.decisions.len()
+        s.decisions.len(),
+        s.audit.errors(),
+        s.audit.warnings(),
+        s.audit.certificate.certified,
     );
 
-    let mut out = json!({
-        "seed": seed,
-        "scale": scale,
-        "world": {
-            "ases": s.world.graph.len(),
-            "links": s.world.graph.link_count(),
-            "inferred_links": s.inferred.len(),
-            "probes_selected": s.probes.len(),
-            "traceroutes": s.campaign.traceroutes.len(),
-            "measured_paths": s.measured.len(),
-            "decisions": s.decisions.len(),
-            "observed_ases": s.observed_ases(),
-            "destination_ases": s.campaign.destination_ases(),
-        }
-    });
-
-    for name in &wanted {
-        match name.as_str() {
-            "stats" => {
-                println!("Dataset statistics");
-                println!(
-                    "  {} traceroutes from {} probes toward {} hostnames",
-                    s.campaign.traceroutes.len(),
-                    s.probes.len(),
-                    s.world.content.hostname_count()
-                );
-                println!(
-                    "  {} destination ASes | decisions observed for {} ASes\n",
-                    s.campaign.destination_ases(),
-                    s.observed_ases()
-                );
-            }
-            "table1" => {
-                let r = ir_experiments::exp_table1::run(&s);
-                println!("{}", r.render());
-                out["table1"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "fig1" => {
-                let r = ir_experiments::exp_fig1::run(&s);
-                println!("{}", r.render());
-                out["fig1"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "table2" => {
-                let r = ir_experiments::exp_table2::run(&s);
-                println!("{}", r.render());
-                out["table2"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "alternates" => {
-                let r = ir_experiments::exp_alternates::run(&s, 120);
-                println!("{}", r.render());
-                out["alternates"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "fig2" => {
-                let r = ir_experiments::exp_fig2::run(&s);
-                println!("{}", r.render());
-                out["fig2"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "fig3" => {
-                let r = ir_experiments::exp_fig3::run(&s);
-                println!("{}", r.render());
-                out["fig3"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "table3" => {
-                let r = ir_experiments::exp_table3::run(&s);
-                println!("{}", r.render());
-                out["table3"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "table4" => {
-                let r = ir_experiments::exp_table4::run(&s);
-                println!("{}", r.render());
-                out["table4"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "validation" => {
-                let r = ir_experiments::exp_validation::run(&s, 10);
-                println!("{}", r.render());
-                out["validation"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "informed" => {
-                let r = ir_experiments::exp_informed::run(&s, 120);
-                println!("{}", r.render());
-                out["informed"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "consistency" => {
-                let r = ir_experiments::exp_consistency::run(&s);
-                println!("{}", r.render());
-                out["consistency"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "lg_augment" => {
-                let r = ir_experiments::exp_lg_augment::run(&s, 40);
-                println!("{}", r.render());
-                out["lg_augment"] = serde_json::to_value(&r).expect("serialize");
-            }
-            "predict" => {
-                let r = ir_experiments::exp_predict::run(&s);
-                println!("{}", r.render());
-                out["predict"] = serde_json::to_value(&r).expect("serialize");
-            }
-            _ => unreachable!("validated above"),
-        }
-    }
+    let names: Vec<&str> = wanted.iter().map(|s| s.as_str()).collect();
+    let (text, out) = assemble_report(&s, seed, &scale, &names);
+    print!("{text}");
 
     if let Some(path) = json_path {
         let write = || -> std::io::Result<()> {

@@ -29,6 +29,9 @@ pub struct Alternates {
     pub links_missing_from_inferred: usize,
     pub poisoning_only_links: usize,
     pub poisoning_only_fraction: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment. `max_targets` caps runtime (0 = all observed).
@@ -38,7 +41,10 @@ pub struct Alternates {
 /// so the rest of the pipeline still reports.
 pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
     let Some(peering) = Peering::new(&s.world) else {
+        let mut degraded = s.degraded(&["universe", "inferred"]);
+        degraded.push("world: no testbed AS — active experiments skipped".into());
         return Alternates {
+            degraded,
             targets: 0,
             informative_targets: 0,
             both: 0,
@@ -83,6 +89,7 @@ pub fn run(s: &Scenario, max_targets: usize) -> Alternates {
     let acc = LinkAccounting::build(&s.inferred, &discoveries);
 
     Alternates {
+        degraded: s.degraded(&["universe", "inferred"]),
         targets: targets.len(),
         informative_targets: summary.total(),
         both: summary.both,

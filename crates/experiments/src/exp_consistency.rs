@@ -24,6 +24,9 @@ pub struct Consistency {
     /// The same check on an artifact-free re-measurement (must be zero:
     /// the simulator's forwarding is destination-based).
     pub clean_inconsistent: usize,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the check on the scenario's campaign and on a clean re-run.
@@ -51,6 +54,7 @@ pub fn run(s: &Scenario) -> Consistency {
     let clean_report: ConsistencyReport = destination_consistency(&clean_paths);
 
     Consistency {
+        degraded: s.degraded(&["universe", "measured"]),
         pairs_checked: measured.pairs_checked,
         inconsistent: measured.inconsistent.len(),
         violation_rate: measured.violation_rate(),

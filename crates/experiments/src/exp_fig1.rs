@@ -26,6 +26,9 @@ pub struct Fig1Bar {
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig1 {
     pub bars: Vec<Fig1Bar>,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -43,7 +46,10 @@ pub fn run(s: &Scenario) -> Fig1 {
             total_decisions: b.total(),
         })
         .collect();
-    Fig1 { bars }
+    Fig1 {
+        bars,
+        degraded: s.degraded(&["decisions", "inferred", "feed", "complex", "siblings"]),
+    }
 }
 
 impl Fig1 {

@@ -31,6 +31,9 @@ pub struct Fig2 {
     pub top_sources: Vec<(u32, f64)>,
     pub dest_skew: f64,
     pub src_skew: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -87,6 +90,7 @@ pub fn run(s: &Scenario) -> Fig2 {
         .collect::<Vec<_>>()
     };
     Fig2 {
+        degraded: s.degraded(&["decisions", "inferred"]),
         total_violations: vs.len(),
         dest_cumulative: dest.cumulative(),
         src_cumulative: src.cumulative(),

@@ -29,6 +29,9 @@ pub struct Fig3 {
     pub bars: Vec<Fig3Bar>,
     pub continental_paths: usize,
     pub total_paths: usize,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 fn bar(group: &str, b: &ir_core::classify::Breakdown) -> Fig3Bar {
@@ -55,6 +58,7 @@ pub fn run(s: &Scenario) -> Fig3 {
     bars.push(bar("Cont", &g.continental));
     bars.push(bar("Non Cont", &g.intercontinental));
     Fig3 {
+        degraded: s.degraded(&["inferred", "measured"]),
         bars,
         continental_paths: g.continental_paths,
         total_paths: g.total_paths,

@@ -25,6 +25,9 @@ pub struct Informed {
     pub learned_pairs: usize,
     /// ASes detected as domestic-preferring from the passive data.
     pub domestic_ases: usize,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the evaluation. `max_targets` caps the poisoning work.
@@ -61,6 +64,7 @@ pub fn run(s: &Scenario, max_targets: usize) -> Informed {
     );
     let (gr, informed, total) = model.evaluate(&s.inferred, ClassifyConfig::default(), &s.measured);
     Informed {
+        degraded: s.degraded(&["decisions", "inferred", "measured"]),
         decisions: total,
         gr_best_short: gr,
         informed_best_short: informed,

@@ -23,6 +23,9 @@ pub struct LgAugment {
     pub lg_paths: usize,
     pub base_best_short_pct: f64,
     pub augmented_best_short_pct: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment: gather glass views for up to `max_prefixes`
@@ -52,6 +55,7 @@ pub fn run(s: &Scenario, max_prefixes: usize) -> LgAugment {
     let aug_bd = aug_cl.breakdown(&s.decisions);
 
     LgAugment {
+        degraded: s.degraded(&["decisions", "feed", "inferred", "lg"]),
         base_links: s.inferred.len(),
         augmented_links: augmented.len(),
         lg_paths: lg_paths.len(),

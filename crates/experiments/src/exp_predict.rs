@@ -23,6 +23,9 @@ pub struct Predict {
     pub exact_pct: f64,
     pub first_hop_pct: f64,
     pub length_pct: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the evaluation.
@@ -30,6 +33,7 @@ pub fn run(s: &Scenario) -> Predict {
     let model = GrModel::new(&s.inferred);
     let r = evaluate(&model, &s.measured);
     Predict {
+        degraded: s.degraded(&["inferred", "measured"]),
         measured_paths: s.measured.len(),
         predicted: r.predicted,
         unpredictable: r.unpredictable,

@@ -27,6 +27,9 @@ pub struct Table1Row {
 pub struct Table1 {
     pub rows: Vec<Table1Row>,
     pub total_probes: usize,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -63,6 +66,7 @@ pub fn run(s: &Scenario) -> Table1 {
         })
         .collect();
     Table1 {
+        degraded: s.degraded(&["inferred"]),
         rows,
         total_probes: s.probes.len(),
     }

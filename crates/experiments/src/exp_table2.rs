@@ -63,6 +63,9 @@ pub struct Table2 {
     /// Agreement between the paper's inference and the simulator's ground
     /// truth, over ASes where both are known (not available to the paper).
     pub truth_agreement: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -165,6 +168,7 @@ pub fn run(s: &Scenario) -> Table2 {
         })
         .collect();
     Table2 {
+        degraded: s.degraded(&["universe", "inferred"]),
         rows,
         total_feeds,
         total_traceroutes,

@@ -25,6 +25,9 @@ pub struct Table3Row {
 pub struct Table3 {
     pub rows: Vec<Table3Row>,
     pub overall_fraction: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -43,6 +46,7 @@ pub fn run(s: &Scenario) -> Table3 {
         })
         .collect();
     Table3 {
+        degraded: s.degraded(&["inferred", "measured"]),
         rows,
         overall_fraction: stats.overall(),
     }

@@ -30,6 +30,9 @@ pub struct Table4 {
     pub deviant_fraction: f64,
     /// Overall deviant fraction, for contrast.
     pub baseline_deviant_fraction: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment.
@@ -57,6 +60,7 @@ pub fn run(s: &Scenario) -> Table4 {
     })
     .collect();
     Table4 {
+        degraded: s.degraded(&["decisions", "inferred", "measured"]),
         rows,
         path_fraction: stats.path_fraction(),
         deviant_fraction: stats.deviant_fraction(),

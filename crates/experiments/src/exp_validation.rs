@@ -25,6 +25,9 @@ pub struct Validation {
     pub precision: f64,
     /// Ground-truth precision over all cases (simulator-only oracle).
     pub true_precision: f64,
+    /// Why this run is partial, if it is: degradation reasons for the
+    /// scenario inputs this experiment consumed (empty when intact).
+    pub degraded: Vec<String>,
 }
 
 /// Runs the experiment, checking at most `limit` cases at glasses.
@@ -69,6 +72,7 @@ pub fn run(s: &Scenario, limit: usize) -> Validation {
     };
 
     Validation {
+        degraded: s.degraded(&["feed", "inferred", "lg"]),
         cases: cases.len(),
         neighbor_ases: report.neighbor_ases,
         neighbors_with_glass: report.neighbors_with_glass,

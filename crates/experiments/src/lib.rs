@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! End-to-end reproduction harness.
 //!
 //! [`scenario::Scenario`] assembles one complete experiment environment —

@@ -85,6 +85,152 @@ pub fn count_pct(count: usize, total: usize) -> String {
     }
 }
 
+/// Canonical experiment order of a full `repro` run.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "stats",
+    "table1",
+    "fig1",
+    "table2",
+    "alternates",
+    "fig2",
+    "fig3",
+    "table3",
+    "table4",
+    "validation",
+    "informed",
+    "consistency",
+    "lg_augment",
+    "predict",
+];
+
+/// Runs the named experiments over a built scenario and assembles the
+/// full reproduction report: the text `repro` prints to stdout and the
+/// JSON document `--json` writes. Shared by the `repro` binary and the
+/// artifact-freshness test, so the committed `repro_paper_seed7.*`
+/// artifacts are checked against exactly the shipping pipeline.
+///
+/// Unknown names panic — callers validate against [`ALL_EXPERIMENTS`].
+pub fn assemble_report(
+    s: &crate::Scenario,
+    seed: u64,
+    scale: &str,
+    wanted: &[&str],
+) -> (String, serde_json::Value) {
+    use std::fmt::Write as _;
+
+    let cert = &s.audit.certificate;
+    let mut out = serde_json::json!({
+        "seed": seed,
+        "scale": scale,
+        "audit": {
+            "errors": s.audit.errors(),
+            "warnings": s.audit.warnings(),
+            "certified": cert.certified,
+            "blockers": cert.blockers,
+        },
+        "world": {
+            "ases": s.world.graph.len(),
+            "links": s.world.graph.link_count(),
+            "inferred_links": s.inferred.len(),
+            "probes_selected": s.probes.len(),
+            "traceroutes": s.campaign.traceroutes.len(),
+            "measured_paths": s.measured.len(),
+            "decisions": s.decisions.len(),
+            "observed_ases": s.observed_ases(),
+            "destination_ases": s.campaign.destination_ases(),
+        }
+    });
+
+    let mut text = String::new();
+    for name in wanted {
+        match *name {
+            "stats" => {
+                let _ = writeln!(text, "Dataset statistics");
+                let _ = writeln!(
+                    text,
+                    "  {} traceroutes from {} probes toward {} hostnames",
+                    s.campaign.traceroutes.len(),
+                    s.probes.len(),
+                    s.world.content.hostname_count()
+                );
+                let _ = writeln!(
+                    text,
+                    "  {} destination ASes | decisions observed for {} ASes\n",
+                    s.campaign.destination_ases(),
+                    s.observed_ases()
+                );
+            }
+            "table1" => {
+                let r = crate::exp_table1::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["table1"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "fig1" => {
+                let r = crate::exp_fig1::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["fig1"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "table2" => {
+                let r = crate::exp_table2::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["table2"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "alternates" => {
+                let r = crate::exp_alternates::run(s, 120);
+                let _ = writeln!(text, "{}", r.render());
+                out["alternates"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "fig2" => {
+                let r = crate::exp_fig2::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["fig2"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "fig3" => {
+                let r = crate::exp_fig3::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["fig3"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "table3" => {
+                let r = crate::exp_table3::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["table3"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "table4" => {
+                let r = crate::exp_table4::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["table4"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "validation" => {
+                let r = crate::exp_validation::run(s, 10);
+                let _ = writeln!(text, "{}", r.render());
+                out["validation"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "informed" => {
+                let r = crate::exp_informed::run(s, 120);
+                let _ = writeln!(text, "{}", r.render());
+                out["informed"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "consistency" => {
+                let r = crate::exp_consistency::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["consistency"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "lg_augment" => {
+                let r = crate::exp_lg_augment::run(s, 40);
+                let _ = writeln!(text, "{}", r.render());
+                out["lg_augment"] = serde_json::to_value(&r).expect("serialize");
+            }
+            "predict" => {
+                let r = crate::exp_predict::run(s);
+                let _ = writeln!(text, "{}", r.render());
+                out["predict"] = serde_json::to_value(&r).expect("serialize");
+            }
+            other => panic!("unknown experiment: {other}"),
+        }
+    }
+    (text, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@
 //! Everything downstream (the `exp_*` runners) consumes this struct
 //! read-only.
 
+use ir_audit::AuditReport;
 use ir_bgp::RoutingUniverse;
 use ir_core::dataset::{Decision, MeasuredPath};
 use ir_dataplane::geo::GeoConfig;
@@ -137,6 +138,10 @@ pub struct Scenario {
     /// The fault plane the scenario was built under (quiet unless the
     /// config set nonzero rates). Carries the fire counters for `diag`.
     pub plane: FaultPlane,
+    /// Static policy-safety audit of the ground-truth world. Its
+    /// certificate decided the engine scheduling discipline the universe
+    /// was converged under.
+    pub audit: AuditReport,
 }
 
 impl Scenario {
@@ -161,8 +166,16 @@ impl Scenario {
             plane.synthesize_link_schedule(&links, Timestamp(FAULT_WINDOW));
         }
 
-        // 2. Converge the present-day routing universe.
-        let universe = RoutingUniverse::compute_all_with_faults(&world, &plane);
+        // 2. Audit the world, then converge the present-day routing
+        // universe. A certified world (provably unique stable routing)
+        // unlocks the engine's free-order worklist; anything else keeps
+        // the deterministic wave-exact schedule.
+        let audit = ir_audit::audit_world(&world);
+        let universe = RoutingUniverse::compute_all_with_faults_ordered(
+            &world,
+            &plane,
+            audit.certificate.activation_order(),
+        );
 
         // 3. Data-plane substrate.
         let plan = AddressPlan::build(&world);
@@ -240,7 +253,56 @@ impl Scenario {
             measured,
             decisions,
             plane,
+            audit,
         }
+    }
+
+    /// Degradation reasons for the scenario inputs named in `needs`,
+    /// making partial-run artifacts self-describing. Recognized keys:
+    /// `universe`, `feed`, `inferred`, `measured`, `decisions`, `complex`,
+    /// `siblings`, `lg`. An empty return means every input the experiment
+    /// consumes was intact.
+    pub fn degraded(&self, needs: &[&str]) -> Vec<String> {
+        let need = |k: &str| needs.contains(&k);
+        let mut reasons = Vec::new();
+        if !self.plane.is_quiet() {
+            reasons.push(format!(
+                "faults: plane active (intensity-bearing config, {} events fired) — every \
+                 downstream input was sampled under injected faults",
+                self.plane.stats().total()
+            ));
+        }
+        if need("universe") && !self.universe.unconverged().is_empty() {
+            reasons.push(format!(
+                "universe: {} prefixes failed to converge",
+                self.universe.unconverged().len()
+            ));
+        }
+        if need("feed") && self.feed.entries.is_empty() {
+            reasons.push("feed: collectors returned no entries".into());
+        }
+        if need("inferred") && self.inferred.is_empty() {
+            reasons.push("inferred: relationship inference produced no links".into());
+        }
+        if need("measured") && self.measured.is_empty() {
+            reasons.push("measured: no traceroute converted to a usable path".into());
+        }
+        if need("decisions") && self.decisions.is_empty() {
+            reasons.push("decisions: campaign exposed no routing decisions".into());
+        }
+        if need("complex")
+            && self.complex.hybrids().is_empty()
+            && self.complex.partial_transit_pairs().is_empty()
+        {
+            reasons.push("complex: side dataset is empty".into());
+        }
+        if need("siblings") && self.siblings.is_empty() {
+            reasons.push("siblings: no sibling groups inferred".into());
+        }
+        if need("lg") && self.lg.is_empty() {
+            reasons.push("lg: no looking glasses deployed".into());
+        }
+        reasons
     }
 
     /// The refinement inputs for classification pipelines.

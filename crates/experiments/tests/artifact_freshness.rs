@@ -1,0 +1,43 @@
+//! The committed `repro_paper_seed7.*` artifacts must be byte-identical
+//! to a fresh zero-fault paper-scale run of the shipping pipeline.
+//!
+//! Ignored by default: building the paper-scale scenario takes minutes in
+//! release mode (and far longer unoptimized). `scripts/check.sh` runs it
+//! explicitly with `cargo test --release ... -- --ignored`.
+//!
+//! Regenerate after an intentional pipeline change with:
+//!
+//! ```sh
+//! cargo run --release -p ir-experiments --bin repro -- --seed 7 \
+//!     --scale paper --json repro_paper_seed7.json > repro_paper_seed7.txt
+//! ```
+
+use ir_experiments::report::{assemble_report, ALL_EXPERIMENTS};
+use ir_experiments::{scenario::ScenarioConfig, Scenario};
+use std::path::Path;
+
+#[test]
+#[ignore = "paper-scale scenario build: minutes in release; run via scripts/check.sh"]
+fn committed_artifacts_match_fresh_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let txt = std::fs::read_to_string(root.join("repro_paper_seed7.txt"))
+        .expect("read repro_paper_seed7.txt");
+    let json = std::fs::read_to_string(root.join("repro_paper_seed7.json"))
+        .expect("read repro_paper_seed7.json");
+
+    let s = Scenario::build(ScenarioConfig::paper_scale(7));
+    let (text, out) = assemble_report(&s, 7, "paper", ALL_EXPERIMENTS);
+    let fresh_json = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&out).expect("serialize")
+    );
+
+    assert_eq!(
+        text, txt,
+        "repro_paper_seed7.txt is stale — regenerate it (see module docs)"
+    );
+    assert_eq!(
+        fresh_json, json,
+        "repro_paper_seed7.json is stale — regenerate it (see module docs)"
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic, seeded fault injection — the chaos layer.
 //!
 //! The paper's pipeline ran on a hostile substrate: RIPE Atlas probes

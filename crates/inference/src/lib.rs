@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Inference substrates: everything the paper consumes as "inferred data".
 //!
 //! The paper never sees ground truth. It classifies measured paths against

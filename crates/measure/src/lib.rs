@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Library code must degrade gracefully, never panic on data: unwrap/expect
 // are denied outside tests (gate enforced by scripts/check.sh).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]

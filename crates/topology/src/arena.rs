@@ -43,7 +43,8 @@ impl AsnInterner {
         if let Some(&i) = self.index.get(&asn) {
             return i;
         }
-        let i = u32::try_from(self.asns.len()).expect("more than u32::MAX ASes");
+        let i =
+            u32::try_from(self.asns.len()).unwrap_or_else(|_| panic!("more than u32::MAX ASes"));
         self.asns.push(asn);
         self.index.insert(asn, i);
         i
@@ -113,10 +114,16 @@ impl TopologyArena {
         let n = interner.len();
 
         // Degree count, then prefix-sum into offsets, then fill.
+        // `from_iter(db.asns())` interned every edge endpoint just above.
+        let idx = |a: Asn| {
+            interner
+                .get(a)
+                .unwrap_or_else(|| unreachable!("asns() covers every edge endpoint"))
+        };
         let mut degree = vec![0u32; n];
         for (a, b, _) in db.iter() {
-            degree[interner.get(a).expect("interned") as usize] += 1;
-            degree[interner.get(b).expect("interned") as usize] += 1;
+            degree[idx(a) as usize] += 1;
+            degree[idx(b) as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut total = 0u32;
@@ -128,8 +135,8 @@ impl TopologyArena {
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut neighbors = vec![(0u32, Relationship::Peer); total as usize];
         for (a, b, rel) in db.iter() {
-            let ia = interner.get(a).expect("interned");
-            let ib = interner.get(b).expect("interned");
+            let ia = idx(a);
+            let ib = idx(b);
             neighbors[cursor[ia as usize] as usize] = (ib, rel);
             cursor[ia as usize] += 1;
             neighbors[cursor[ib as usize] as usize] = (ia, rel.reverse());

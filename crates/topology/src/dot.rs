@@ -24,13 +24,13 @@ pub fn to_dot(graph: &AsGraph) -> String {
             AsRole::CableOperator => "salmon",
             AsRole::Enterprise => "lightgray",
         };
-        writeln!(
+        // Writing to a String is infallible.
+        let _ = writeln!(
             out,
             "  n{} [label=\"{}\", fillcolor={color}];",
             node.asn.value(),
             node.asn
-        )
-        .expect("write to String");
+        );
     }
     for a in 0..graph.len() {
         for l in graph.links(a) {
@@ -47,7 +47,7 @@ pub fn to_dot(graph: &AsGraph) -> String {
                 Relationship::Sibling => ("dotted", None),
             };
             let extra = if l.is_hybrid() { ", color=red" } else { "" };
-            match dir {
+            let _ = match dir {
                 Some((customer, provider)) => writeln!(
                     out,
                     "  n{} -- n{} [style={style}, dir=forward{extra}];",
@@ -60,8 +60,7 @@ pub fn to_dot(graph: &AsGraph) -> String {
                     graph.asn(a).value(),
                     graph.asn(l.peer).value()
                 ),
-            }
-            .expect("write to String");
+            };
         }
     }
     out.push_str("}\n");

@@ -126,6 +126,26 @@ impl GeneratorConfig {
         }
     }
 
+    /// A tiny world restricted to policies that satisfy `ir-audit`'s
+    /// conservative Gao–Rexford convergence certificate: no domestic-path
+    /// preference, no neighbor-ranking deltas, no backup links, no sibling
+    /// orgs, no loop-prevention opt-outs, and no cable systems (cable
+    /// subscriptions carry a +250 preference boost). Hybrid links, partial
+    /// transit, selective announcement and AS-set filters stay on — they
+    /// restrict routing without reordering preferences, so certification
+    /// survives them. Used by the free-order differential suite.
+    pub fn certifiably_safe() -> Self {
+        GeneratorConfig {
+            cables: 0,
+            domestic_pref_fraction: 0.0,
+            neighbor_pref_fraction: 0.0,
+            backup_link_fraction: 0.0,
+            no_loop_prevention_fraction: 0.0,
+            sibling_org_fraction: 0.0,
+            ..GeneratorConfig::tiny()
+        }
+    }
+
     /// Builds a world from this configuration and a seed.
     ///
     /// ```
@@ -726,7 +746,10 @@ impl Builder {
                 // block, which is also the one selective announcement
                 // policies apply to (§4.3's enterprise-class prefixes).
                 let host_node = self.graph.node(h);
-                let base = *host_node.prefixes.last().expect("host has a prefix");
+                let base = *host_node
+                    .prefixes
+                    .last()
+                    .unwrap_or_else(|| panic!("host AS {} has no prefix", host_node.asn));
                 let cache = Prefix::new(Ipv4(base.base.0 + 64), 26);
                 deployments.push(Deployment {
                     host_as: host_node.asn,

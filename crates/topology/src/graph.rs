@@ -168,13 +168,17 @@ impl AsGraph {
         city: CityId,
         rel_of_b_from_a: Relationship,
     ) {
-        let la = self.link_mut(a, b).expect("hybrid on missing link");
+        let la = self
+            .link_mut(a, b)
+            .unwrap_or_else(|| panic!("hybrid on missing link {a}–{b}"));
         la.rel_by_city.retain(|(c, _)| *c != city);
         la.rel_by_city.push((city, rel_of_b_from_a));
         if !la.cities.contains(&city) {
             la.cities.push(city);
         }
-        let lb = self.link_mut(b, a).expect("hybrid on missing link");
+        let lb = self
+            .link_mut(b, a)
+            .unwrap_or_else(|| panic!("hybrid on missing link {a}–{b}"));
         lb.rel_by_city.retain(|(c, _)| *c != city);
         lb.rel_by_city.push((city, rel_of_b_from_a.reverse()));
         if !lb.cities.contains(&city) {
@@ -185,7 +189,7 @@ impl AsGraph {
     /// Sets the IGP cost of the directional view `a → b`.
     pub fn set_igp_cost(&mut self, a: NodeIdx, b: NodeIdx, cost: u32) {
         self.link_mut(a, b)
-            .expect("igp cost on missing link")
+            .unwrap_or_else(|| panic!("igp cost on missing link {a}–{b}"))
             .igp_cost = cost;
     }
 

@@ -1,3 +1,8 @@
+#![forbid(unsafe_code)]
+// Engine and topology library code must degrade gracefully, never panic on
+// data: unwrap/expect are denied outside tests (gate enforced by
+// scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! AS-level topology substrate.
 //!
 //! The paper's analyses run against two different views of the Internet:

@@ -58,7 +58,8 @@ pub fn to_serial1(db: &RelationshipDb) -> String {
     }
     lines.sort_unstable();
     for (x, y, code) in lines {
-        writeln!(out, "{}|{}|{}", x.0, y.0, code).expect("write to String");
+        // Writing to a String is infallible.
+        let _ = writeln!(out, "{}|{}|{}", x.0, y.0, code);
     }
     out
 }

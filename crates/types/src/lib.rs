@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Primitive vocabulary types shared by every crate in the workspace.
 //!
 //! This crate deliberately contains **no logic beyond the types themselves**:

@@ -17,11 +17,20 @@ run() {
 run cargo build "${OFFLINE[@]}" --release --workspace
 run cargo test "${OFFLINE[@]}" -q --workspace
 run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
-# Graceful-degradation gate: data-path library code in ir-measure and
-# ir-dataplane must not panic on malformed input. Both crates deny
-# clippy::unwrap_used / clippy::expect_used on their lib targets (tests are
-# exempt via cfg_attr); this pass fails the build if a violation slips in.
-run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane --lib -- -D warnings
+# Graceful-degradation gate: library code on the data and control paths
+# (ir-measure, ir-dataplane, ir-bgp, ir-topology, ir-audit) must not panic
+# on malformed input. These crates deny clippy::unwrap_used /
+# clippy::expect_used on their lib targets (tests are exempt via
+# cfg_attr); this pass fails the build if a violation slips in.
+run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
+    -p ir-audit --lib -- -D warnings
 run cargo fmt --check
+# Policy-safety gate: the generated tiny world must audit clean (the
+# binary exits 1 on any Error-severity finding).
+run cargo run "${OFFLINE[@]}" --release -p ir-experiments --bin audit -- --scale tiny --seed 7
+# Artifact freshness: the committed repro_paper_seed7.* files must match
+# a fresh zero-fault paper-scale run (minutes; release only).
+run cargo test "${OFFLINE[@]}" --release -q -p ir-experiments --test artifact_freshness \
+    -- --ignored
 
 echo "All checks passed."
