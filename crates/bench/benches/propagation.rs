@@ -1,15 +1,19 @@
 //! Propagation-engine head-to-head: the event-driven worklist engine
 //! (`PrefixSim`) against the legacy full-sweep oracle (`SweepSim`), on the
-//! three shapes every campaign exercises — initial announce-to-fixpoint,
+//! four shapes every campaign exercises — initial announce-to-fixpoint,
 //! incremental poisoned re-announce (the §3.2/§4.4 poisoning-loop shape),
-//! and withdraw.
+//! announce-then-withdraw from scratch, and the incremental
+//! withdraw/re-announce cascade on a warm table.
 //!
 //! Besides the criterion groups, the run writes `BENCH_propagation.json`
 //! at the repo root with direct wall-clock numbers and the event/sweep
-//! speedup per case, so perf claims are recorded alongside the code.
+//! speedup per case, plus the whole-universe batched-vs-per-prefix
+//! comparison (shape groups computed, prefixes shared by fan-out), so perf
+//! claims are recorded alongside the code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ir_bgp::{Announcement, PrefixSim, SimContext, SweepSim};
+use ir_bgp::universe::prefix_owners;
+use ir_bgp::{ActivationOrder, Announcement, PrefixSim, RoutingUniverse, SimContext, SweepSim};
 use ir_topology::{GeneratorConfig, World};
 use ir_types::{Asn, Prefix, Timestamp};
 use std::hint::black_box;
@@ -158,6 +162,36 @@ fn bench_engines(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // Incremental withdraw/re-announce cascade on a warm table: the
+    // torture-suite shape, and the one the bucketed worklist exists for.
+    let mut g = c.benchmark_group("propagation/withdraw_cascade");
+    g.sample_size(25);
+    g.bench_function("event", |b| {
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            black_box(sim.clock())
+        })
+    });
+    g.bench_function("sweep", |b| {
+        let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+            black_box(sim.clock())
+        })
+    });
+    g.finish();
 }
 
 /// Directly timed head-to-head, recorded as JSON. `iters` full repetitions
@@ -251,6 +285,45 @@ fn write_json(c: &mut Criterion) {
         })
     };
 
+    let cascade_event = {
+        let mut sim = PrefixSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        timed(iters, || {
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+        })
+    };
+    let cascade_sweep = {
+        let mut sim = SweepSim::with_context(ctx.clone(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let mut t = 0u64;
+        timed(iters, || {
+            t += ROUND;
+            sim.withdraw(Timestamp(t));
+            t += ROUND;
+            sim.announce(Announcement::plain(origin, prefix), Timestamp(t));
+        })
+    };
+
+    // Whole-universe convergence: shape-batched vs per-prefix, same result
+    // byte for byte. Records how much announcement work fan-out saved.
+    let prefixes: Vec<Prefix> = prefix_owners(w).keys().copied().collect();
+    let universe_iters = iters.div_ceil(5).max(2);
+    let batched_ns = timed(universe_iters, || {
+        black_box(RoutingUniverse::compute(w, &prefixes));
+    });
+    let per_prefix_ns = timed(universe_iters, || {
+        black_box(RoutingUniverse::compute_per_prefix_ordered(
+            w,
+            &prefixes,
+            ActivationOrder::default(),
+        ));
+    });
+    let ustats = RoutingUniverse::compute(w, &prefixes).engine_stats();
+
     let case = |name: &str, event: f64, sweep: f64| {
         format!(
             "    \"{name}\": {{\n      \"event_ns\": {event:.0},\n      \
@@ -260,12 +333,20 @@ fn write_json(c: &mut Criterion) {
     };
     let json = format!(
         "{{\n  \"world\": {{ \"ases\": {}, \"links\": {}, \"seed\": 7 }},\n  \
-         \"iters\": {iters},\n  \"cases\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+         \"iters\": {iters},\n  \"cases\": {{\n{},\n{},\n{},\n{}\n  }},\n  \
+         \"universe\": {{\n    \"prefixes\": {},\n    \"shapes_computed\": {},\n    \
+         \"prefixes_shared\": {},\n    \"batched_ns\": {batched_ns:.0},\n    \
+         \"per_prefix_ns\": {per_prefix_ns:.0},\n    \"speedup\": {:.2}\n  }}\n}}\n",
         w.graph.len(),
         w.graph.link_count(),
         case("announce", announce_event, announce_sweep),
         case("reannounce_poison", reannounce_event, reannounce_sweep),
         case("withdraw", withdraw_event, withdraw_sweep),
+        case("withdraw_cascade", cascade_event, cascade_sweep),
+        prefixes.len(),
+        ustats.shapes_computed,
+        ustats.prefixes_shared,
+        per_prefix_ns / batched_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_propagation.json");
     std::fs::write(path, &json).expect("write BENCH_propagation.json");

@@ -37,6 +37,7 @@ pub mod route;
 pub mod sim;
 pub mod sweep;
 pub mod universe;
+mod worklist;
 
 pub use path::{AsPath, Segment};
 pub use route::Route;

@@ -36,6 +36,7 @@ use crate::decision;
 use crate::path::AsPath;
 use crate::policy_eval::PolicyEngine;
 use crate::route::Route;
+use crate::worklist::BitWorklist;
 use ir_topology::graph::{LinkKind, NodeIdx};
 use ir_topology::World;
 use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
@@ -106,6 +107,26 @@ pub struct EngineStats {
     pub recovery_rounds: usize,
     /// Adj-RIB-in entries torn down by session faults.
     pub sessions_torn: usize,
+    /// Distinct announcement shapes actually propagated (universe-level
+    /// cross-prefix batching; 0 for a standalone per-prefix sim).
+    pub shapes_computed: usize,
+    /// Prefixes whose routing was fanned out from another prefix's
+    /// converged RIB instead of re-propagated (universe-level batching).
+    pub prefixes_shared: usize,
+}
+
+impl EngineStats {
+    /// Field-wise sum — how the universe layer aggregates per-shape sims.
+    pub(crate) fn absorb(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.activations += other.activations;
+        self.imports += other.imports;
+        self.recovery_events += other.recovery_events;
+        self.recovery_rounds += other.recovery_rounds;
+        self.sessions_torn += other.sessions_torn;
+        self.shapes_computed += other.shapes_computed;
+        self.prefixes_shared += other.prefixes_shared;
+    }
 }
 
 /// One BGP session: a (link, interconnection city) pair. Hybrid links
@@ -332,6 +353,11 @@ pub struct PrefixSim<'w> {
     poison_filters: BTreeSet<NodeIdx>,
     clock: Timestamp,
     stats: EngineStats,
+    /// Current-wave worklist, reused across events (generation-reset, not
+    /// reallocated). Taken out of `self` while an event runs.
+    wave: BitWorklist,
+    /// Next-wave worklist; same lifecycle as `wave`.
+    next: BitWorklist,
 }
 
 impl<'w> PrefixSim<'w> {
@@ -372,6 +398,8 @@ impl<'w> PrefixSim<'w> {
             poison_filters: BTreeSet::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
+            wave: BitWorklist::new(n),
+            next: BitWorklist::new(n),
         }
     }
 
@@ -391,11 +419,7 @@ impl<'w> PrefixSim<'w> {
             .unwrap_or_else(|| panic!("unknown origin {}", ann.origin));
         self.clock = at;
         self.announce_time = at;
-        let mut seeds = BTreeSet::new();
-        if let Some(old) = self.origin_idx {
-            seeds.insert(old);
-        }
-        seeds.insert(idx);
+        let seeds = [self.origin_idx.filter(|&old| old != idx), Some(idx)];
         self.origin_idx = Some(idx);
         self.announcement = Some(ann);
         self.run_event(seeds)
@@ -406,7 +430,7 @@ impl<'w> PrefixSim<'w> {
         assert!(at >= self.clock, "time went backwards");
         self.clock = at;
         self.announcement = None;
-        let seeds: BTreeSet<NodeIdx> = self.origin_idx.take().into_iter().collect();
+        let seeds = [self.origin_idx.take(), None];
         self.run_event(seeds)
     }
 
@@ -426,7 +450,7 @@ impl<'w> PrefixSim<'w> {
         self.stats.recovery_events += 1;
         let torn = self.tear_sessions(key);
         self.stats.sessions_torn += torn;
-        self.run_recovery([key.0, key.1].into())
+        self.run_recovery(key)
     }
 
     /// Brings a downed link back up: both endpoints re-export their best
@@ -444,7 +468,7 @@ impl<'w> PrefixSim<'w> {
         self.stats.recovery_events += 1;
         let imports = self.reestablish_sessions(key);
         self.stats.imports += imports;
-        self.run_recovery([key.0, key.1].into())
+        self.run_recovery(key)
     }
 
     /// Resets the sessions between `a` and `b`: state is cleared and the
@@ -465,7 +489,7 @@ impl<'w> PrefixSim<'w> {
         self.stats.sessions_torn += torn;
         let imports = self.reestablish_sessions(key);
         self.stats.imports += imports;
-        self.run_recovery([key.0, key.1].into())
+        self.run_recovery(key)
     }
 
     /// Applies one scheduled fault event.
@@ -567,8 +591,8 @@ impl<'w> PrefixSim<'w> {
     }
 
     /// Runs a fault-seeded reconvergence, accounting rounds as recovery.
-    fn run_recovery(&mut self, seeds: BTreeSet<NodeIdx>) -> Convergence {
-        let conv = self.run_event(seeds);
+    fn run_recovery(&mut self, key: (NodeIdx, NodeIdx)) -> Convergence {
+        let conv = self.run_event([Some(key.0), Some(key.1)]);
         self.stats.recovery_rounds += conv.rounds;
         conv
     }
@@ -597,10 +621,11 @@ impl<'w> PrefixSim<'w> {
         cands
     }
 
-    /// Runs the worklist seeded with `seeds` to fixpoint. Seeded nodes
-    /// re-export once unconditionally even if their selection is unchanged:
-    /// a re-announcement can change the origin's export policy (`via`)
-    /// without changing its local route.
+    /// Runs the worklist seeded with `seeds` to fixpoint (every event has
+    /// at most two seeds: the origin pair on re-origination, a link's
+    /// endpoints on a fault). Seeded nodes re-export once unconditionally
+    /// even if their selection is unchanged: a re-announcement can change
+    /// the origin's export policy (`via`) without changing its local route.
     ///
     /// The worklist is wave-structured to replicate the Gauss–Seidel
     /// schedule of the reference sweep engine exactly: within a wave,
@@ -613,16 +638,29 @@ impl<'w> PrefixSim<'w> {
     /// with multiple stable states (dispute gadgets the generator's
     /// preference deltas can produce) reach the *same* fixpoint as the
     /// oracle, not merely *a* fixpoint.
-    fn run_event(&mut self, seeds: BTreeSet<NodeIdx>) -> Convergence {
+    ///
+    /// Both worklists are [`BitWorklist`]s owned by the sim and reused
+    /// across events: a generation bump (not a word-array clear) hides
+    /// whatever a capped previous event left behind, so an abandoned wave
+    /// can never leak seeds into a later `run_recovery`.
+    fn run_event(&mut self, seeds: [Option<NodeIdx>; 2]) -> Convergence {
         self.stats.events += 1;
         let n = self.ctx.world.graph.len();
         // Same wave budget as the sweep engine's round cap: far beyond
         // anything a safe configuration needs, small enough to report a
         // dispute wheel promptly.
         let cap = 2 * n + 16;
-        let mut force = seeds.clone();
-        let mut wave = seeds;
-        let mut next: BTreeSet<NodeIdx> = BTreeSet::new();
+        let mut force = seeds;
+        // Take the worklists out of `self` so `push_exports` can borrow the
+        // rest of the sim mutably; restored below (the `'event` break lands
+        // there too).
+        let mut wave = std::mem::take(&mut self.wave);
+        let mut next = std::mem::take(&mut self.next);
+        wave.reset();
+        next.reset();
+        for s in seeds.into_iter().flatten() {
+            wave.insert(s);
+        }
         let mut pre_event: BTreeMap<NodeIdx, Option<Route>> = BTreeMap::new();
         let mut rounds = 0usize;
         let mut activations = 0usize;
@@ -646,7 +684,13 @@ impl<'w> PrefixSim<'w> {
                     (None, None) => true,
                     _ => false,
                 };
-                let forced = force.remove(&x);
+                let mut forced = false;
+                for slot in force.iter_mut() {
+                    if *slot == Some(x) {
+                        *slot = None;
+                        forced = true;
+                    }
+                }
                 if !keep {
                     pre_event.entry(x).or_insert_with(|| self.best[x].clone());
                     self.best[x] = new_best;
@@ -657,6 +701,8 @@ impl<'w> PrefixSim<'w> {
             }
             std::mem::swap(&mut wave, &mut next);
         }
+        self.wave = wave;
+        self.next = next;
         // Age normalization: an AS that ends the event on the same session
         // and path it started on keeps the original installation age, even
         // if it flipped through other routes transiently.
@@ -710,8 +756,8 @@ impl<'w> PrefixSim<'w> {
     fn push_exports(
         &mut self,
         x: NodeIdx,
-        wave: &mut BTreeSet<NodeIdx>,
-        next: &mut BTreeSet<NodeIdx>,
+        wave: &mut BitWorklist,
+        next: &mut BitWorklist,
     ) -> usize {
         let mut imports = 0;
         let PrefixSim {

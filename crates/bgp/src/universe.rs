@@ -13,6 +13,21 @@
 //! filters — the control-plane half of the chaos layer. A quiet plane takes
 //! the exact unfaulted code path, so zero-rate configs are bit-identical
 //! to [`RoutingUniverse::compute`].
+//!
+//! **Cross-prefix batching.** The decision process, import/export policy,
+//! and fault schedule never look at prefix *bits*: the only prefix-sensitive
+//! input to propagation is the origin's selective-announce (PSP) entry for
+//! the prefix. Prefixes sharing an **announcement shape** — same origin,
+//! same PSP entry (poison and `via` are constant: universe announcements
+//! are plain) — therefore converge to tables that differ only in the prefix
+//! each route carries. The universe groups prefixes by shape, propagates
+//! once per shape, and fans the converged RIB out to the other members by
+//! rewriting the carried prefix, which is byte-identical to (and much
+//! cheaper than) re-running propagation per member. The
+//! `compute_per_prefix*` variants keep the unbatched path alive as the
+//! oracle the batching-invariance proptests compare against;
+//! [`EngineStats::shapes_computed`] / [`EngineStats::prefixes_shared`]
+//! (via [`RoutingUniverse::engine_stats`]) make the sharing observable.
 
 use crate::route::Route;
 use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, SimContext};
@@ -21,7 +36,7 @@ use ir_topology::graph::NodeIdx;
 use ir_topology::World;
 use ir_types::{Asn, Ipv4, Prefix, Timestamp};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Converged routing state for a set of prefixes.
 pub struct RoutingUniverse {
@@ -38,6 +53,9 @@ pub struct RoutingUniverse {
     lpm_min_len: u8,
     /// Fault-recovery accounting (all zero when computed without faults).
     resilience: UniverseResilience,
+    /// Aggregate engine effort across shapes, including the batching
+    /// counters (`shapes_computed`, `prefixes_shared`).
+    stats: EngineStats,
 }
 
 /// Aggregate fault-recovery counters over a universe's convergence, summed
@@ -71,6 +89,69 @@ pub fn prefix_owners(world: &World) -> BTreeMap<Prefix, Asn> {
 /// One converged prefix: (prefix, origin, per-AS routing table, converged).
 type PrefixResult = (Prefix, Asn, Vec<Option<Route>>, bool);
 
+/// What makes two plain prefix announcements propagate identically: the
+/// origin node and the origin's selective-announce entry for the prefix
+/// (`None` = announce to everyone). Nothing else in the engine reads the
+/// prefix.
+type ShapeKey = (NodeIdx, Option<BTreeSet<Asn>>);
+
+/// Groups `prefixes` by announcement shape (insertion order within a
+/// group, key order across groups — both deterministic). With `batch`
+/// off every prefix is its own singleton group: the per-prefix oracle
+/// path.
+fn shape_groups(
+    world: &World,
+    prefixes: &[Prefix],
+    owners: &BTreeMap<Prefix, Asn>,
+    batch: bool,
+) -> Vec<(Asn, Vec<Prefix>)> {
+    let owner = |prefix: Prefix| -> Asn {
+        *owners
+            .get(&prefix)
+            .unwrap_or_else(|| panic!("prefix {prefix} has no owner"))
+    };
+    if !batch {
+        return prefixes.iter().map(|&p| (owner(p), vec![p])).collect();
+    }
+    let mut groups: BTreeMap<ShapeKey, (Asn, Vec<Prefix>)> = BTreeMap::new();
+    for &prefix in prefixes {
+        let origin = owner(prefix);
+        let idx = world
+            .graph
+            .index_of(origin)
+            .unwrap_or_else(|| panic!("unknown origin {origin}"));
+        let psp = world.policy(idx).selective_announce.get(&prefix).cloned();
+        groups
+            .entry((idx, psp))
+            .or_insert_with(|| (origin, Vec::new()))
+            .1
+            .push(prefix);
+    }
+    groups.into_values().collect()
+}
+
+/// Fans a shape's converged table out to every member prefix. Routes are
+/// identical across members except for the prefix they carry, so clone +
+/// rewrite reproduces the per-member tables byte for byte. The computed
+/// table is moved into the representative (first member) without a clone.
+fn fan_out(
+    origin: Asn,
+    members: &[Prefix],
+    table: Vec<Option<Route>>,
+    converged: bool,
+) -> Vec<PrefixResult> {
+    let mut out = Vec::with_capacity(members.len());
+    for &m in &members[1..] {
+        let mut t = table.clone();
+        for r in t.iter_mut().flatten() {
+            r.prefix = m;
+        }
+        out.push((m, origin, t, converged));
+    }
+    out.push((members[0], origin, table, converged));
+    out
+}
+
 fn prefix_mask(len: u8) -> u32 {
     if len == 0 {
         0
@@ -95,25 +176,55 @@ impl RoutingUniverse {
         prefixes: &[Prefix],
         order: ActivationOrder,
     ) -> RoutingUniverse {
+        Self::compute_ordered_impl(world, prefixes, order, true)
+    }
+
+    /// [`RoutingUniverse::compute_ordered`] without cross-prefix batching:
+    /// every prefix runs its own propagation. Same result byte for byte —
+    /// kept as the oracle the batching-invariance tests compare against.
+    pub fn compute_per_prefix_ordered(
+        world: &World,
+        prefixes: &[Prefix],
+        order: ActivationOrder,
+    ) -> RoutingUniverse {
+        Self::compute_ordered_impl(world, prefixes, order, false)
+    }
+
+    fn compute_ordered_impl(
+        world: &World,
+        prefixes: &[Prefix],
+        order: ActivationOrder,
+        batch: bool,
+    ) -> RoutingUniverse {
         let owners = prefix_owners(world);
         // One session table + policy engine for the whole batch; each
-        // per-prefix sim only allocates its own mutable state.
+        // per-shape sim only allocates its own mutable state.
         let ctx = SimContext::shared(world);
-        let results: Vec<PrefixResult> = prefixes
+        let groups = shape_groups(world, prefixes, &owners, batch);
+        let per_shape: Vec<(Vec<PrefixResult>, EngineStats)> = groups
             .par_iter()
-            .map(|&prefix| {
-                let origin = *owners
-                    .get(&prefix)
-                    .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
-                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), prefix, order);
-                let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            .map(|(origin, members)| {
+                let rep = members[0];
+                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), rep, order);
+                let conv = sim.announce(Announcement::plain(*origin, rep), Timestamp::ZERO);
                 let table: Vec<Option<Route>> = (0..world.graph.len())
                     .map(|x| sim.best(x).cloned())
                     .collect();
-                (prefix, origin, table, conv.converged)
+                (
+                    fan_out(*origin, members, table, conv.converged),
+                    sim.stats(),
+                )
             })
             .collect();
-        Self::assemble(results, UniverseResilience::default())
+        let mut stats = EngineStats::default();
+        let mut results = Vec::with_capacity(prefixes.len());
+        for (shape_results, shape_stats) in per_shape {
+            stats.absorb(&shape_stats);
+            stats.shapes_computed += 1;
+            stats.prefixes_shared += shape_results.len() - 1;
+            results.extend(shape_results);
+        }
+        Self::assemble(results, UniverseResilience::default(), stats)
     }
 
     /// Converges the given prefixes under a fault plane: poison-filtering
@@ -137,8 +248,29 @@ impl RoutingUniverse {
         plane: &FaultPlane,
         order: ActivationOrder,
     ) -> RoutingUniverse {
+        Self::compute_with_faults_impl(world, prefixes, plane, order, true)
+    }
+
+    /// [`RoutingUniverse::compute_with_faults_ordered`] without cross-prefix
+    /// batching (see [`RoutingUniverse::compute_per_prefix_ordered`]).
+    pub fn compute_per_prefix_with_faults_ordered(
+        world: &World,
+        prefixes: &[Prefix],
+        plane: &FaultPlane,
+        order: ActivationOrder,
+    ) -> RoutingUniverse {
+        Self::compute_with_faults_impl(world, prefixes, plane, order, false)
+    }
+
+    fn compute_with_faults_impl(
+        world: &World,
+        prefixes: &[Prefix],
+        plane: &FaultPlane,
+        order: ActivationOrder,
+        batch: bool,
+    ) -> RoutingUniverse {
         if plane.is_quiet() {
-            return Self::compute_ordered(world, prefixes, order);
+            return Self::compute_ordered_impl(world, prefixes, order, batch);
         }
         let owners = prefix_owners(world);
         let ctx = SimContext::shared(world);
@@ -149,16 +281,17 @@ impl RoutingUniverse {
             .filter(|n| plane.selects(FaultDomain::PoisonFilter, n.asn.value() as u64))
             .map(|n| n.asn)
             .collect();
-        let results: Vec<(PrefixResult, EngineStats, usize)> = prefixes
+        // Poison filters and the timed schedule are prefix-independent, so
+        // the announcement-shape grouping stays valid under faults.
+        let groups = shape_groups(world, prefixes, &owners, batch);
+        let per_shape: Vec<(Vec<PrefixResult>, EngineStats, usize)> = groups
             .par_iter()
-            .map(|&prefix| {
-                let origin = *owners
-                    .get(&prefix)
-                    .unwrap_or_else(|| panic!("prefix {prefix} has no owner"));
-                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), prefix, order);
+            .map(|(origin, members)| {
+                let rep = members[0];
+                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), rep, order);
                 sim.set_poison_filters(filters.iter().copied());
                 let mut converged = sim
-                    .announce(Announcement::plain(origin, prefix), Timestamp::ZERO)
+                    .announce(Announcement::plain(*origin, rep), Timestamp::ZERO)
                     .converged;
                 for fault in plane.schedule() {
                     converged &= sim.apply_fault(fault).converged;
@@ -167,21 +300,39 @@ impl RoutingUniverse {
                     .map(|x| sim.best(x).cloned())
                     .collect();
                 let down = sim.downed_links().len();
-                ((prefix, origin, table, converged), sim.stats(), down)
+                (
+                    fan_out(*origin, members, table, converged),
+                    sim.stats(),
+                    down,
+                )
             })
             .collect();
         let mut resilience = UniverseResilience::default();
-        for (_, stats, down) in &results {
-            resilience.fault_events += stats.recovery_events;
-            resilience.recovery_rounds += stats.recovery_rounds;
-            resilience.sessions_torn += stats.sessions_torn;
-            resilience.links_down_at_end = resilience.links_down_at_end.max(*down);
+        let mut stats = EngineStats::default();
+        let mut results = Vec::with_capacity(prefixes.len());
+        for (shape_results, shape_stats, down) in per_shape {
+            // Shared members skip the replay but would have produced the
+            // exact counters of their representative (identical dynamics is
+            // the batching premise); scaling keeps the resilience accounting
+            // byte-identical to the per-prefix path.
+            let members = shape_results.len();
+            resilience.fault_events += shape_stats.recovery_events * members;
+            resilience.recovery_rounds += shape_stats.recovery_rounds * members;
+            resilience.sessions_torn += shape_stats.sessions_torn * members;
+            resilience.links_down_at_end = resilience.links_down_at_end.max(down);
+            stats.absorb(&shape_stats);
+            stats.shapes_computed += 1;
+            stats.prefixes_shared += members - 1;
+            results.extend(shape_results);
         }
-        let results = results.into_iter().map(|(r, _, _)| r).collect();
-        Self::assemble(results, resilience)
+        Self::assemble(results, resilience, stats)
     }
 
-    fn assemble(results: Vec<PrefixResult>, resilience: UniverseResilience) -> RoutingUniverse {
+    fn assemble(
+        results: Vec<PrefixResult>,
+        resilience: UniverseResilience,
+        stats: EngineStats,
+    ) -> RoutingUniverse {
         let mut universe = RoutingUniverse {
             tables: BTreeMap::new(),
             origins: BTreeMap::new(),
@@ -189,6 +340,7 @@ impl RoutingUniverse {
             lpm_index: Vec::new(),
             lpm_min_len: 32,
             resilience,
+            stats,
         };
         for (prefix, origin, table, converged) in results {
             if !converged {
@@ -197,6 +349,9 @@ impl RoutingUniverse {
             universe.tables.insert(prefix, table);
             universe.origins.insert(prefix, origin);
         }
+        // Results arrive grouped by shape; canonicalize so batched and
+        // per-prefix computations report unconverged prefixes identically.
+        universe.unconverged.sort_unstable();
         universe.lpm_index = universe.tables.keys().copied().collect();
         universe
             .lpm_index
@@ -277,6 +432,14 @@ impl RoutingUniverse {
     pub fn resilience(&self) -> UniverseResilience {
         self.resilience
     }
+
+    /// Aggregate engine effort across all shape propagations, with
+    /// `shapes_computed` = propagations actually run and `prefixes_shared`
+    /// = prefixes served by fan-out instead of their own run
+    /// (`shapes_computed + prefixes_shared` = total prefixes).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +503,61 @@ mod tests {
                 .copied();
             assert_eq!(u.lpm(outside), linear, "mismatch just below {p}");
         }
+    }
+
+    #[test]
+    fn batched_universe_is_byte_identical_to_per_prefix() {
+        let w = GeneratorConfig::tiny().build(9);
+        let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().collect();
+        let batched = RoutingUniverse::compute(&w, &ps);
+        let oracle =
+            RoutingUniverse::compute_per_prefix_ordered(&w, &ps, ActivationOrder::default());
+        for p in &ps {
+            assert_eq!(batched.origin(*p), oracle.origin(*p));
+            for x in 0..w.graph.len() {
+                assert_eq!(batched.route(*p, x), oracle.route(*p, x), "{p} at {x}");
+            }
+        }
+        assert_eq!(batched.unconverged(), oracle.unconverged());
+        assert_eq!(batched.resilience(), oracle.resilience());
+        // Sharing really happened: the generator gives transit/content ASes
+        // multiple prefixes with no PSP split, so shapes < prefixes.
+        let stats = batched.engine_stats();
+        assert!(stats.prefixes_shared > 0, "no prefixes shared");
+        assert_eq!(stats.shapes_computed + stats.prefixes_shared, ps.len());
+        let oracle_stats = oracle.engine_stats();
+        assert_eq!(oracle_stats.shapes_computed, ps.len());
+        assert_eq!(oracle_stats.prefixes_shared, 0);
+    }
+
+    #[test]
+    fn psp_split_prefixes_get_their_own_shape() {
+        // Give one multi-prefix origin a selective-announce entry for its
+        // first prefix only: that prefix must leave the shared shape and
+        // still route correctly (restricted at the origin).
+        let mut w = GeneratorConfig::tiny().build(9);
+        let (idx, ps) = (0..w.graph.len())
+            .find_map(|i| {
+                let node = w.graph.node(i);
+                (node.prefixes.len() >= 2 && w.graph.providers(i).count() >= 2)
+                    .then(|| (i, node.prefixes.clone()))
+            })
+            .expect("a multihomed multi-prefix AS exists");
+        let keep = w.graph.asn(w.graph.providers(idx).next().unwrap());
+        w.policies[idx]
+            .selective_announce
+            .insert(ps[0], [keep].into_iter().collect());
+        let u = RoutingUniverse::compute(&w, &ps);
+        let oracle =
+            RoutingUniverse::compute_per_prefix_ordered(&w, &ps, ActivationOrder::default());
+        for p in &ps {
+            for x in 0..w.graph.len() {
+                assert_eq!(u.route(*p, x), oracle.route(*p, x), "{p} at {x}");
+            }
+        }
+        // Both shapes ran: the PSP-restricted prefix plus the shared rest.
+        assert_eq!(u.engine_stats().shapes_computed, 2);
+        assert_eq!(u.engine_stats().prefixes_shared, ps.len() - 2);
     }
 
     #[test]

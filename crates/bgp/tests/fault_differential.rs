@@ -243,6 +243,82 @@ fn no_routes_survive_over_downed_links_and_faults_are_accounted() {
     }
 }
 
+/// The stale-generation edge of the reusable bitset worklist: every
+/// `run_recovery` reuses the sim's two worklists, so seeds left undrained
+/// by one event must never leak into the next. `reset_link` is the
+/// sharpest probe — its fixpoint is unchanged by construction, so *any*
+/// resurrected seed shows up as either spurious work (activation counters)
+/// or, worse, a diverged route.
+#[test]
+fn reused_worklists_across_reset_link_do_not_resurrect_seeds() {
+    for seed in [5u64, 13, 31] {
+        let w = GeneratorConfig::tiny().build(seed);
+        let (origin, prefix) = stub_origin(&w, seed as usize);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let baseline: Vec<_> = (0..w.graph.len()).map(|x| sim.best(x).cloned()).collect();
+
+        // Hammer the same worklists through many recoveries: resets on
+        // rotating links, each leaving the two worklists in a different
+        // drained state for the next to reuse. (No fail/restore here — an
+        // outage cycle may legitimately settle a multi-equilibrium region
+        // elsewhere; a reset provably preserves the fixpoint, which is
+        // what makes leaked seeds observable.)
+        let links = some_links(&w, 5);
+        let mut t = ROUND;
+        let mut reset_work = Vec::new();
+        for cycle in 0..6 {
+            for &(a, b) in &links {
+                let conv = sim.reset_link(a, b, Timestamp(t));
+                assert!(conv.converged);
+                if cycle > 0 {
+                    reset_work.push(((a, b), conv.activations));
+                }
+                t += ROUND;
+            }
+        }
+        // A reset never changes the fixpoint; a leaked seed from an
+        // earlier recovery would re-run selection somewhere it shouldn't
+        // and could flip a multi-equilibrium region.
+        for (x, base) in baseline.iter().enumerate() {
+            match (base, sim.best(x)) {
+                (Some(b), Some(cur)) => assert!(
+                    b.same_route(cur),
+                    "seed {seed}: route changed at {} after resets",
+                    w.graph.asn(x)
+                ),
+                (None, None) => {}
+                _ => panic!("seed {seed}: reachability changed at {}", w.graph.asn(x)),
+            }
+        }
+        // And the work per reset is stable across cycles: identical resets
+        // on a converged graph do identical work, so any drift would mean
+        // stale seeds were processed.
+        for (link, work) in &reset_work {
+            let expected = reset_work
+                .iter()
+                .find(|(l, _)| l == link)
+                .map(|(_, w)| *w)
+                .unwrap();
+            assert_eq!(
+                *work, expected,
+                "seed {seed}: reset work on {link:?} drifted across worklist reuses"
+            );
+        }
+        // The reused sim agrees with a fresh one that never recovered.
+        let mut fresh = PrefixSim::new(&w, prefix);
+        fresh.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        for x in 0..w.graph.len() {
+            assert_eq!(
+                sim.best(x).map(|r| &r.path),
+                fresh.best(x).map(|r| &r.path),
+                "seed {seed}: reused sim diverged from fresh at {}",
+                w.graph.asn(x)
+            );
+        }
+    }
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -183,6 +183,7 @@ mod tests {
                     suffix: suffix.into_iter().map(Asn).collect(),
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 

@@ -222,6 +222,7 @@ mod tests {
                     suffix: vec![Asn(nh), Asn(99)],
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 

@@ -61,6 +61,18 @@ fn main() {
         res.links_down_at_end,
         s.campaign.report
     );
+    // Cross-prefix batching: how many propagations the announcement-shape
+    // grouping actually saved while converging the universe.
+    let ustats = s.universe.engine_stats();
+    println!(
+        "universe: {} prefixes from {} shape propagations ({} shared by fan-out) | \
+         {} activations, {} imports",
+        ustats.shapes_computed + ustats.prefixes_shared,
+        ustats.shapes_computed,
+        ustats.prefixes_shared,
+        ustats.activations,
+        ustats.imports
+    );
     println!(
         "audit: {} error(s), {} warning(s) | {}",
         s.audit.errors(),

@@ -31,9 +31,26 @@ pub struct Informed {
 }
 
 /// Runs the evaluation. `max_targets` caps the poisoning work.
+///
+/// A world generated without a testbed AS cannot learn rankings; the
+/// result is then the plain-GR-only evaluation (nothing learned) rather
+/// than a panic, so the rest of the pipeline still reports.
 pub fn run(s: &Scenario, max_targets: usize) -> Informed {
     // Reuse the active-experiment machinery to learn rankings.
-    let peering = Peering::new(&s.world).expect("world has a testbed");
+    let Some(peering) = Peering::new(&s.world) else {
+        let mut degraded = s.degraded(&["decisions", "inferred", "measured"]);
+        degraded.push("world: no testbed AS — ranking discovery skipped".into());
+        return Informed {
+            degraded,
+            decisions: 0,
+            gr_best_short: 0,
+            informed_best_short: 0,
+            gr_pct: 0.0,
+            informed_pct: 0.0,
+            learned_pairs: 0,
+            domestic_ases: 0,
+        };
+    };
     let setup = monitor_setup(s);
     let prefix = peering.prefixes()[0];
     let mut sim = peering.sim(prefix);

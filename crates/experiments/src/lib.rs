@@ -1,4 +1,7 @@
 #![forbid(unsafe_code)]
+// Library code must degrade gracefully, never panic on data: unwrap/expect
+// are denied outside tests (gate enforced by scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! End-to-end reproduction harness.
 //!
 //! [`scenario::Scenario`] assembles one complete experiment environment —

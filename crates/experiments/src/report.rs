@@ -103,6 +103,13 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "predict",
 ];
 
+/// Serializes one experiment result into the report JSON. Every result
+/// struct derives `Serialize` with no fallible fields, so a failure here
+/// is a bug in the result type, not bad input.
+fn to_json<T: serde::Serialize>(r: &T) -> serde_json::Value {
+    serde_json::to_value(r).unwrap_or_else(|e| panic!("experiment result serialization: {e}"))
+}
+
 /// Runs the named experiments over a built scenario and assembles the
 /// full reproduction report: the text `repro` prints to stdout and the
 /// JSON document `--json` writes. Shared by the `repro` binary and the
@@ -163,67 +170,67 @@ pub fn assemble_report(
             "table1" => {
                 let r = crate::exp_table1::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["table1"] = serde_json::to_value(&r).expect("serialize");
+                out["table1"] = to_json(&r);
             }
             "fig1" => {
                 let r = crate::exp_fig1::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["fig1"] = serde_json::to_value(&r).expect("serialize");
+                out["fig1"] = to_json(&r);
             }
             "table2" => {
                 let r = crate::exp_table2::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["table2"] = serde_json::to_value(&r).expect("serialize");
+                out["table2"] = to_json(&r);
             }
             "alternates" => {
                 let r = crate::exp_alternates::run(s, 120);
                 let _ = writeln!(text, "{}", r.render());
-                out["alternates"] = serde_json::to_value(&r).expect("serialize");
+                out["alternates"] = to_json(&r);
             }
             "fig2" => {
                 let r = crate::exp_fig2::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["fig2"] = serde_json::to_value(&r).expect("serialize");
+                out["fig2"] = to_json(&r);
             }
             "fig3" => {
                 let r = crate::exp_fig3::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["fig3"] = serde_json::to_value(&r).expect("serialize");
+                out["fig3"] = to_json(&r);
             }
             "table3" => {
                 let r = crate::exp_table3::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["table3"] = serde_json::to_value(&r).expect("serialize");
+                out["table3"] = to_json(&r);
             }
             "table4" => {
                 let r = crate::exp_table4::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["table4"] = serde_json::to_value(&r).expect("serialize");
+                out["table4"] = to_json(&r);
             }
             "validation" => {
                 let r = crate::exp_validation::run(s, 10);
                 let _ = writeln!(text, "{}", r.render());
-                out["validation"] = serde_json::to_value(&r).expect("serialize");
+                out["validation"] = to_json(&r);
             }
             "informed" => {
                 let r = crate::exp_informed::run(s, 120);
                 let _ = writeln!(text, "{}", r.render());
-                out["informed"] = serde_json::to_value(&r).expect("serialize");
+                out["informed"] = to_json(&r);
             }
             "consistency" => {
                 let r = crate::exp_consistency::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["consistency"] = serde_json::to_value(&r).expect("serialize");
+                out["consistency"] = to_json(&r);
             }
             "lg_augment" => {
                 let r = crate::exp_lg_augment::run(s, 40);
                 let _ = writeln!(text, "{}", r.render());
-                out["lg_augment"] = serde_json::to_value(&r).expect("serialize");
+                out["lg_augment"] = to_json(&r);
             }
             "predict" => {
                 let r = crate::exp_predict::run(s);
                 let _ = writeln!(text, "{}", r.render());
-                out["predict"] = serde_json::to_value(&r).expect("serialize");
+                out["predict"] = to_json(&r);
             }
             other => panic!("unknown experiment: {other}"),
         }

@@ -149,7 +149,9 @@ impl Scenario {
     pub fn build(cfg: ScenarioConfig) -> Scenario {
         let seed = cfg.seed;
         let world = cfg.gen.build(seed);
-        world.validate().expect("generated world is consistent");
+        if let Err(e) = world.validate() {
+            panic!("generated world is inconsistent: {e}");
+        }
 
         // Fault plane: quiet by default; with nonzero control-plane rates,
         // derive a timed link flap/reset schedule over the topology.

@@ -214,6 +214,25 @@ pub struct DiscoveredRoute {
     pub suffix: Vec<Asn>,
 }
 
+/// A poisoning round whose announcement window was disturbed by the fault
+/// plane: a mux flapped between rounds (timed schedule) or was sampled
+/// into an outage, so the round ran with fewer muxes — or none. Recorded
+/// rather than silently shortening the campaign, because §5's revealed
+/// preference order is only trustworthy when every round actually
+/// announced the shape it meant to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedRound {
+    /// Round number (same numbering as [`DiscoveredRoute::round`]).
+    pub round: usize,
+    /// Muxes that could carry this round's announcement.
+    pub live_muxes: usize,
+    /// Muxes the testbed has.
+    pub total_muxes: usize,
+    /// Timed fault events replayed in the window before this round's
+    /// announcement (mux link flaps mid-campaign).
+    pub timed_faults: usize,
+}
+
 /// The outcome of an alternate-route discovery for one target.
 #[derive(Debug, Clone)]
 pub struct AlternateDiscovery {
@@ -222,6 +241,9 @@ pub struct AlternateDiscovery {
     pub routes: Vec<DiscoveredRoute>,
     /// Total poisoned announcements used.
     pub announcements: usize,
+    /// Rounds that ran degraded (mux lost to a flap or outage) or were
+    /// lost outright (`live_muxes == 0`). Empty under a quiet plane.
+    pub degraded: Vec<DegradedRound>,
 }
 
 /// The outcome of one magnet run.
@@ -338,10 +360,15 @@ impl<'w> Peering<'w> {
         )
     }
 
-    /// [`Peering::discover_alternates`] under a fault plane: each round
-    /// announces only via the muxes that are up, and observes through
-    /// possibly-gapped channels. A round with every mux down is lost (no
-    /// announcement change), mirroring a real testbed outage window.
+    /// [`Peering::discover_alternates`] under a fault plane: the plane's
+    /// timed schedule is replayed between rounds (a mux can flap mid-
+    /// campaign), each round announces only via the muxes that are up —
+    /// neither outage-sampled nor with their testbed link currently down —
+    /// and observes through possibly-gapped channels. Disturbed rounds are
+    /// recorded in [`AlternateDiscovery::degraded`]; a round with every mux
+    /// down is lost (no announcement change) but still recorded, mirroring
+    /// a real testbed outage window instead of silently shortening the
+    /// campaign.
     pub fn discover_alternates_with_faults(
         &self,
         prefix: Prefix,
@@ -354,11 +381,37 @@ impl<'w> Peering<'w> {
         let mut poison: Vec<Asn> = Vec::new();
         let mut routes = Vec::new();
         let mut announcements = 0usize;
+        let mut degraded = Vec::new();
+        let mut schedule = plane.schedule().iter().peekable();
         for round in 0..max_rounds {
             let at = Timestamp(round as u64 * ROUND);
-            let live = self.live_muxes(plane, round as u64);
+            // Replay timed faults landing before this round's announcement:
+            // the §5 methodology's sensitivity to transient unreachability.
+            let mut timed_faults = 0usize;
+            while let Some(fault) = schedule.peek() {
+                if fault.at > at {
+                    break;
+                }
+                sim.apply_fault(fault);
+                schedule.next();
+                timed_faults += 1;
+            }
+            let live: Vec<Asn> = self
+                .live_muxes(plane, round as u64)
+                .into_iter()
+                .filter(|&m| !sim.is_link_down(Asn::TESTBED, m))
+                .collect();
+            if timed_faults > 0 || live.len() < self.muxes.len() {
+                degraded.push(DegradedRound {
+                    round,
+                    live_muxes: live.len(),
+                    total_muxes: self.muxes.len(),
+                    timed_faults,
+                });
+            }
             if live.is_empty() {
-                // Total testbed outage: the round's announcement is lost.
+                // Total testbed outage: the round's announcement is lost
+                // (recorded above).
                 continue;
             }
             sim.announce(self.via(prefix, &live, &poison), at);
@@ -383,6 +436,7 @@ impl<'w> Peering<'w> {
             target,
             routes,
             announcements,
+            degraded,
         }
     }
 
@@ -522,6 +576,104 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), hops.len(), "distinct next hops {hops:?}");
         assert!(d.announcements >= d.routes.len());
+    }
+
+    #[test]
+    fn mux_flap_between_rounds_is_recorded_as_degraded() {
+        use ir_fault::{FaultConfig, FaultEvent};
+        let w = world();
+        let p = Peering::new(w).unwrap();
+        let s = setup(w);
+        let prefix = p.prefixes()[0];
+        let mut sim = PrefixSim::new(w, prefix);
+        sim.announce(p.anycast(prefix, &[]), Timestamp::ZERO);
+        let obs = observe_routes(&sim, &s);
+        let target = *obs
+            .keys()
+            .find(|a| {
+                let idx = w.graph.index_of(**a).unwrap();
+                w.graph.links(idx).len() >= 3 && **a != Asn::TESTBED
+            })
+            .expect("an observed multihomed AS");
+
+        // A quiet plane records no degraded rounds.
+        let quiet = p.discover_alternates(prefix, target, &s, 6);
+        assert!(quiet.degraded.is_empty(), "quiet: {:?}", quiet.degraded);
+        assert!(quiet.routes.len() >= 2, "target reveals alternates");
+
+        // One mux flaps between rounds: down in the 0→1 window, back up in
+        // the 1→2 window. Round 1 must run short a mux and round 2 must
+        // record the replayed LinkUp — neither silently dropped.
+        let flapped = p.muxes()[0];
+        let mut plane = FaultPlane::new(FaultConfig::quiet(), 7);
+        plane.schedule_event(
+            Timestamp(ROUND / 2),
+            FaultEvent::LinkDown {
+                a: Asn::TESTBED,
+                b: flapped,
+            },
+        );
+        plane.schedule_event(
+            Timestamp(ROUND + ROUND / 2),
+            FaultEvent::LinkUp {
+                a: Asn::TESTBED,
+                b: flapped,
+            },
+        );
+        let d = p.discover_alternates_with_faults(prefix, target, &s, 6, &plane);
+        assert!(
+            !d.degraded.iter().any(|r| r.round == 0),
+            "round 0 predates the flap"
+        );
+        let r1 = d
+            .degraded
+            .iter()
+            .find(|r| r.round == 1)
+            .expect("flapped round marked degraded");
+        assert_eq!(r1.timed_faults, 1, "the LinkDown replayed before round 1");
+        assert_eq!(r1.live_muxes, r1.total_muxes - 1, "flapped mux missing");
+        let r2 = d
+            .degraded
+            .iter()
+            .find(|r| r.round == 2)
+            .expect("recovery round records the replayed LinkUp");
+        assert_eq!(r2.timed_faults, 1);
+        assert_eq!(r2.live_muxes, r2.total_muxes, "mux back after the flap");
+        // The campaign itself still announced every round it reached.
+        assert!(d.announcements >= 3, "rounds 0..=2 announced: {d:?}");
+
+        // Every mux down across the 0→1 window: round 1 is lost outright
+        // (no live mux, no announcement) but recorded — the campaign
+        // resumes once the links return instead of silently shortening.
+        let mut outage = FaultPlane::new(FaultConfig::quiet(), 7);
+        for &m in p.muxes() {
+            outage.schedule_event(
+                Timestamp(ROUND / 2),
+                FaultEvent::LinkDown {
+                    a: Asn::TESTBED,
+                    b: m,
+                },
+            );
+            outage.schedule_event(
+                Timestamp(ROUND + ROUND / 2),
+                FaultEvent::LinkUp {
+                    a: Asn::TESTBED,
+                    b: m,
+                },
+            );
+        }
+        let d2 = p.discover_alternates_with_faults(prefix, target, &s, 6, &outage);
+        let lost = d2
+            .degraded
+            .iter()
+            .find(|r| r.round == 1)
+            .expect("outage round recorded");
+        assert_eq!(lost.live_muxes, 0, "total outage: no mux could announce");
+        assert!(
+            d2.routes.iter().any(|r| r.round >= 2),
+            "campaign resumed after the outage window: {:?}",
+            d2.routes
+        );
     }
 
     #[test]

@@ -18,13 +18,19 @@ run cargo build "${OFFLINE[@]}" --release --workspace
 run cargo test "${OFFLINE[@]}" -q --workspace
 run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
 # Graceful-degradation gate: library code on the data and control paths
-# (ir-measure, ir-dataplane, ir-bgp, ir-topology, ir-audit) must not panic
-# on malformed input. These crates deny clippy::unwrap_used /
-# clippy::expect_used on their lib targets (tests are exempt via
-# cfg_attr); this pass fails the build if a violation slips in.
+# (ir-measure, ir-dataplane, ir-bgp, ir-topology, ir-audit,
+# ir-experiments) must not panic on malformed input. These crates deny
+# clippy::unwrap_used / clippy::expect_used on their lib targets (tests
+# are exempt via cfg_attr); this pass fails the build if a violation
+# slips in.
 run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
-    -p ir-audit --lib -- -D warnings
+    -p ir-audit -p ir-experiments --lib -- -D warnings
 run cargo fmt --check
+# Engine-equivalence gate in release: the differential suites compare the
+# event-driven engine against the sweep oracle under optimized codegen too
+# (debug-only runs have missed wrapping/ordering bugs before).
+run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
+    --test differential --test fault_differential
 # Policy-safety gate: the generated tiny world must audit clean (the
 # binary exits 1 on any Error-severity finding).
 run cargo run "${OFFLINE[@]}" --release -p ir-experiments --bin audit -- --scale tiny --seed 7
