@@ -10,8 +10,18 @@ use ir_fault::{FaultConfig, FaultPlane};
 use ir_topology::{GeneratorConfig, World};
 use ir_types::Prefix;
 
+/// Both-orders universe computation over every prefix is quadratic-ish in
+/// world size; like the sweep-oracle differentials, this suite is gated to
+/// paper-scale worlds (scale coverage lives in the release-mode smoke).
+const MAX_DIFFERENTIAL_ASES: usize = 2_000;
+
 /// Every announced prefix of the world, in deterministic order.
 fn prefixes(world: &World) -> Vec<Prefix> {
+    assert!(
+        world.graph.len() <= MAX_DIFFERENTIAL_ASES,
+        "free-order differentials are gated to <= {MAX_DIFFERENTIAL_ASES} ASes, got {}",
+        world.graph.len()
+    );
     let mut ps: Vec<Prefix> = world
         .graph
         .nodes()
@@ -27,7 +37,7 @@ fn prefixes(world: &World) -> Vec<Prefix> {
 /// reaches the same fixpoint through a different activation sequence, so
 /// logical installation times legitimately differ while the selected
 /// path, preference, and entry session must not.
-fn same_route(a: Option<&Route>, b: Option<&Route>) -> bool {
+fn same_route(a: Option<Route>, b: Option<Route>) -> bool {
     match (a, b) {
         (None, None) => true,
         (Some(a), Some(b)) => {

@@ -1,0 +1,25 @@
+//! Pins the `internet_scale` preset to the Gao–Rexford convergence
+//! certificate. The preset's contract is that a ≥50k-AS world *always*
+//! converges; that only holds because the preference-reordering policy
+//! quirks (neighbor deltas, domestic preference, backup links, siblings,
+//! loop-prevention opt-outs) are off — with them on, an 8k-AS instance
+//! was measured oscillating to the round cap. If someone re-enables a
+//! quirk in the preset, this test fails before the ignored scale smoke
+//! test gets a chance to burn an hour discovering it empirically.
+
+use ir_audit::audit_world;
+use ir_topology::GeneratorConfig;
+
+#[test]
+fn internet_scale_certifies() {
+    for &(target, seed) in &[(1_000usize, 7u64), (2_500, 11)] {
+        let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+        let report = audit_world(&world);
+        assert!(
+            report.certificate.certified,
+            "internet_scale_sized({target}) seed {seed} lost its convergence \
+             certificate: {:?}",
+            report.certificate.blockers
+        );
+    }
+}

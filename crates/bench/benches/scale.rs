@@ -1,0 +1,226 @@
+//! Memory-budgeted scale sweep of the compact route storage: converges a
+//! single stub prefix on `internet_scale_sized` worlds of 1k, 5k, 20k and
+//! 50k ASes and records ns/route and bytes/route per tier, plus a
+//! compact-vs-legacy bytes/route comparison at the ~700-AS paper scale.
+//! Results land in `BENCH_scale.json` at the repo root (validated by
+//! `tests/bench_schema.rs`), keeping the tentpole's memory claim recorded
+//! alongside the code.
+//!
+//! The legacy estimator deliberately favors the old layout: it charges
+//! every slot `size_of::<Option<Route>>()` and every stored path only its
+//! exact element bytes (no `Vec`/`BTreeSet` over-allocation, no allocator
+//! headers), so the reported reduction is a floor, not a cherry-pick.
+//!
+//! Run with `cargo bench --bench scale` (release). `IR_BENCH_SAMPLES`
+//! controls timing repetitions (default 5). The 50k tier is skipped in
+//! debug builds — an unoptimized sweep takes minutes and measures nothing.
+
+use ir_bgp::{Announcement, PrefixSim, Route};
+use ir_topology::GeneratorConfig;
+use ir_types::{Asn, Timestamp};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean nanoseconds over `iters` runs, after one warm-up.
+fn timed<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Heap bytes a materialized [`Route`]'s path occupies, counted at exact
+/// element size — the under-estimate keeping the legacy comparison honest.
+fn path_heap_bytes(r: &Route) -> usize {
+    use ir_bgp::Segment;
+    r.path
+        .segments()
+        .iter()
+        .map(|s| {
+            std::mem::size_of::<Segment>()
+                + match s {
+                    Segment::Seq(v) => v.len() * std::mem::size_of::<Asn>(),
+                    Segment::Set(set) => set.len() * std::mem::size_of::<Asn>(),
+                }
+        })
+        .sum()
+}
+
+struct Tier {
+    target: usize,
+    ases: usize,
+    links: usize,
+    build_ms: f64,
+    converge_ms: f64,
+    rounds: usize,
+    activations: usize,
+    imports: usize,
+    routes: usize,
+    ns_per_route: f64,
+    bytes_per_route: f64,
+    arena_bytes: usize,
+    intern_hit_rate: f64,
+}
+
+fn run_tier(target: usize, seed: u64, iters: u32) -> Tier {
+    let t0 = Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stub = world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .find(|n| !n.prefixes.is_empty())
+        .expect("world has an origin");
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+
+    let converge_ns = timed(iters, || {
+        let mut sim = PrefixSim::new(&world, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        black_box(sim.clock());
+    });
+    let mut sim = PrefixSim::new(&world, prefix);
+    let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+    assert!(conv.converged, "{target}-AS tier did not converge");
+    let mem = sim.stats().memory;
+    Tier {
+        target,
+        ases: world.graph.len(),
+        links: world.graph.link_count(),
+        build_ms,
+        converge_ms: converge_ns / 1e6,
+        rounds: conv.rounds,
+        activations: conv.activations,
+        imports: conv.imports,
+        routes: mem.routes,
+        ns_per_route: converge_ns / mem.routes.max(1) as f64,
+        bytes_per_route: mem.bytes_per_route(),
+        arena_bytes: mem.arena_bytes,
+        intern_hit_rate: mem.intern_hit_rate(),
+    }
+}
+
+/// Compact vs legacy storage for the same converged state at paper scale.
+/// Legacy kept `Option<Route>` per best slot and per adj-RIB-in session
+/// slot; its byte count is reconstructed from the materialized routes the
+/// compact engine still hands out, so both sides describe identical
+/// routing.
+fn paper_scale_comparison(seed: u64) -> (usize, f64, f64) {
+    let world = GeneratorConfig::default().build(seed);
+    let stub = world
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.asn.value() >= 20_000)
+        .expect("paper world has stubs");
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+    let mut sim = PrefixSim::new(&world, prefix);
+    sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+    let mem = sim.stats().memory;
+    let compact = mem.bytes_per_route();
+
+    let n = world.graph.len();
+    let slot = std::mem::size_of::<Option<Route>>();
+    let rib_slots: usize = (0..n).map(|x| world.graph.links(x).len()).sum();
+    let mut legacy = (n + rib_slots) * slot;
+    for x in 0..n {
+        // `candidates` materializes every adj-RIB-in entry plus the local
+        // origination; the best route is one of the rib entries, so its
+        // path heap is charged once more to mirror the old duplicated
+        // `Vec<Option<Route>>` best column.
+        for r in sim.candidates(x) {
+            legacy += path_heap_bytes(&r);
+        }
+        if let Some(r) = sim.best(x) {
+            legacy += path_heap_bytes(&r);
+        }
+    }
+    (
+        world.graph.len(),
+        compact,
+        legacy as f64 / mem.routes.max(1) as f64,
+    )
+}
+
+fn main() {
+    let seed = 7u64;
+    let iters: u32 = std::env::var("IR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let targets: &[usize] = if cfg!(debug_assertions) {
+        &[1_000, 5_000, 20_000]
+    } else {
+        &[1_000, 5_000, 20_000, 50_000]
+    };
+
+    let mut tiers = Vec::new();
+    for &target in targets {
+        let tier = run_tier(target, seed, iters);
+        println!(
+            "tier {:>6}: {} ASes {} links | build {:.0} ms, converge {:.1} ms | \
+             {} routes, {:.1} ns/route, {:.1} B/route (arena {} B, hit rate {:.0}%)",
+            target,
+            tier.ases,
+            tier.links,
+            tier.build_ms,
+            tier.converge_ms,
+            tier.routes,
+            tier.ns_per_route,
+            tier.bytes_per_route,
+            tier.arena_bytes,
+            tier.intern_hit_rate * 100.0
+        );
+        tiers.push(tier);
+    }
+
+    let (paper_ases, compact_bpr, legacy_bpr) = paper_scale_comparison(seed);
+    println!(
+        "paper scale ({paper_ases} ASes): {compact_bpr:.1} B/route compact vs \
+         {legacy_bpr:.1} B/route legacy ({:.1}x)",
+        legacy_bpr / compact_bpr
+    );
+
+    let tier_json: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\n      \"target\": {},\n      \"ases\": {},\n      \
+                 \"links\": {},\n      \"build_ms\": {:.1},\n      \
+                 \"converge_ms\": {:.3},\n      \"rounds\": {},\n      \
+                 \"activations\": {},\n      \"imports\": {},\n      \
+                 \"routes\": {},\n      \"ns_per_route\": {:.1},\n      \
+                 \"bytes_per_route\": {:.1},\n      \"arena_bytes\": {},\n      \
+                 \"intern_hit_rate\": {:.3}\n    }}",
+                t.target,
+                t.ases,
+                t.links,
+                t.build_ms,
+                t.converge_ms,
+                t.rounds,
+                t.activations,
+                t.imports,
+                t.routes,
+                t.ns_per_route,
+                t.bytes_per_route,
+                t.arena_bytes,
+                t.intern_hit_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"iters\": {iters},\n  \"tiers\": [\n{}\n  ],\n  \
+         \"paper_scale_comparison\": {{\n    \"ases\": {paper_ases},\n    \
+         \"compact_bytes_per_route\": {compact_bpr:.1},\n    \
+         \"legacy_bytes_per_route\": {legacy_bpr:.1},\n    \
+         \"reduction\": {:.2}\n  }}\n}}\n",
+        tier_json.join(",\n"),
+        legacy_bpr / compact_bpr,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, &json).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}

@@ -50,7 +50,7 @@ fn bench_bgp_convergence(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = PrefixSim::new(w, prefix);
             sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
-            black_box(sim.best(0).cloned())
+            black_box(sim.best(0))
         })
     });
     g.bench_function("poisoned_reconvergence", |b| {

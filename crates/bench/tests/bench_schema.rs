@@ -1,0 +1,109 @@
+//! Schema checks for the committed bench artifacts at the repo root.
+//!
+//! `BENCH_propagation.json` and `BENCH_scale.json` are written by
+//! hand-rolled formatting in the bench binaries (no serde on the write
+//! path, to keep the bench dependency-light). These tests re-parse the
+//! committed files with serde_json and assert the keys downstream readers
+//! (scripts/check.sh, DESIGN.md claims, CI dashboards) rely on — so a
+//! format drift in the writer fails here instead of silently producing an
+//! artifact nothing can read.
+
+use serde_json::Value;
+
+fn load(name: &str) -> Value {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} must be committed at the repo root ({e})"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn number(v: &Value, path: &str) -> f64 {
+    let mut cur = v;
+    for key in path.split('.') {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing key `{path}` (at `{key}`)"));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("key `{path}` is not a number: {cur:?}"))
+}
+
+#[test]
+fn propagation_json_has_required_keys() {
+    let v = load("BENCH_propagation.json");
+    assert!(number(&v, "world.ases") > 0.0);
+    assert!(number(&v, "world.links") > 0.0);
+    for case in [
+        "announce",
+        "reannounce_poison",
+        "withdraw",
+        "withdraw_cascade",
+    ] {
+        for field in [
+            "event_ns",
+            "sweep_ns",
+            "speedup",
+            "event_activations",
+            "event_imports",
+            "sweep_activations",
+            "sweep_imports",
+        ] {
+            assert!(
+                number(&v, &format!("cases.{case}.{field}")) >= 0.0,
+                "cases.{case}.{field}"
+            );
+        }
+    }
+    assert!(number(&v, "universe.prefixes") > 0.0);
+    assert!(number(&v, "universe.shapes_computed") > 0.0);
+    assert!(number(&v, "universe.speedup") > 0.0);
+    // The documented work-parity story: the warm-table cascade activates
+    // (nearly) every node in both engines. If the event engine ever learns
+    // to do materially less work here, the 1x parity note in the bench
+    // header and DESIGN.md is stale — this assertion is the tripwire.
+    let ea = number(&v, "cases.withdraw_cascade.event_activations");
+    let sa = number(&v, "cases.withdraw_cascade.sweep_activations");
+    assert!(
+        ea >= sa * 0.5,
+        "cascade event activations ({ea}) fell far below sweep ({sa}); \
+         update the parity documentation"
+    );
+}
+
+#[test]
+fn scale_json_has_required_keys() {
+    let v = load("BENCH_scale.json");
+    let tiers = v
+        .get("tiers")
+        .and_then(Value::as_array)
+        .expect("tiers array");
+    assert!(tiers.len() >= 4, "need >= 4 tiers, got {}", tiers.len());
+    let mut prev_target = 0.0;
+    for t in tiers {
+        for field in [
+            "target",
+            "ases",
+            "links",
+            "converge_ms",
+            "routes",
+            "ns_per_route",
+            "bytes_per_route",
+            "intern_hit_rate",
+        ] {
+            assert!(number(t, field) >= 0.0, "tier field {field}");
+        }
+        let target = number(t, "target");
+        assert!(target > prev_target, "tiers must be ascending");
+        prev_target = target;
+        assert!(number(t, "ases") >= target, "tier under-sized");
+        assert!(number(t, "bytes_per_route") < 120.0);
+    }
+    assert!(number(tiers.last().unwrap(), "ases") >= 50_000.0);
+    let compact = number(&v, "paper_scale_comparison.compact_bytes_per_route");
+    let legacy = number(&v, "paper_scale_comparison.legacy_bytes_per_route");
+    assert!(
+        compact < legacy,
+        "compact storage must beat the legacy estimate ({compact} vs {legacy})"
+    );
+    assert!(number(&v, "paper_scale_comparison.reduction") > 1.0);
+}

@@ -60,6 +60,11 @@ pub fn compare(a: &Route, b: &Route) -> Ordering {
 /// age comparison between candidates is always a tie and skipping it is
 /// exact — this stays a total order because `learned_from`/`entry_city`
 /// still separate any two distinct candidates at one AS.
+///
+/// The live implementation of this order is `sim::compare_compact`, which
+/// runs on compact routes without materializing; this materialized form is
+/// kept as the oracle the sim's agreement test compares it against.
+#[cfg(test)]
 pub(crate) fn compare_ignoring_age(a: &Route, b: &Route) -> Ordering {
     b.local_pref
         .cmp(&a.local_pref)

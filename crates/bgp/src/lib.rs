@@ -30,8 +30,10 @@
 //! relationship in force at its city. A route therefore remembers the city
 //! it entered through, which the data plane later geolocates.
 
+mod compact;
 pub mod decision;
 pub mod path;
+pub mod patharena;
 pub mod policy_eval;
 pub mod route;
 pub mod sim;
@@ -39,7 +41,9 @@ pub mod sweep;
 pub mod universe;
 mod worklist;
 
+pub use compact::MemoryBudget;
 pub use path::{AsPath, Segment};
+pub use patharena::{ArenaStats, PathArena, PathId};
 pub use route::Route;
 pub use sim::{
     ActivationOrder, Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine,

@@ -164,6 +164,14 @@ impl AsPath {
     pub fn segments(&self) -> &[Segment] {
         &self.0
     }
+
+    /// Rebuilds a path from raw segments — the materialization side of the
+    /// path arena. Callers are responsible for canonical form (no empty or
+    /// adjacent sequence segments), which the arena guarantees because it
+    /// only ever interns paths built by this type's constructors.
+    pub(crate) fn from_segments(segments: Vec<Segment>) -> AsPath {
+        AsPath(segments)
+    }
 }
 
 impl fmt::Display for AsPath {

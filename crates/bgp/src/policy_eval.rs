@@ -5,7 +5,9 @@
 //! provider 100), then the world's per-AS deviations are layered on top:
 //! per-neighbor deltas, a +1000 domestic tier, a −400 backup-link penalty.
 
+use crate::compact::{rel_tag, CompactRoute};
 use crate::path::AsPath;
+use crate::patharena::{PathArena, PathId};
 use crate::route::Route;
 use ir_topology::graph::{LinkKind, NodeIdx};
 use ir_topology::policy::TransitScope;
@@ -43,6 +45,19 @@ impl<'w> PolicyEngine<'w> {
     pub fn path_is_domestic(&self, me: NodeIdx, path: &AsPath) -> bool {
         let home = self.world.graph.node(me).home_country;
         path.asns().all(|asn| {
+            self.world
+                .graph
+                .index_of(asn)
+                .map(|i| self.world.graph.node(i).home_country == home)
+                .unwrap_or(false)
+        })
+    }
+
+    /// [`PolicyEngine::path_is_domestic`] over an interned path: one arena
+    /// walk, no materialization.
+    fn path_is_domestic_c(&self, me: NodeIdx, arena: &PathArena, path: PathId) -> bool {
+        let home = self.world.graph.node(me).home_country;
+        arena.asns_all(path, |asn| {
             self.world
                 .graph
                 .index_of(asn)
@@ -112,6 +127,59 @@ impl<'w> PolicyEngine<'w> {
         })
     }
 
+    /// [`PolicyEngine::import`] over interned paths: same filters, same
+    /// preference computation, but the path stays a [`PathId`] (loop and
+    /// set checks walk the arena) and the result is a [`CompactRoute`].
+    /// Compact routes carry no prefix — the per-prefix engine holds it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn import_compact(
+        &self,
+        arena: &PathArena,
+        me: NodeIdx,
+        from: NodeIdx,
+        city: CityId,
+        rel: Relationship,
+        kind: LinkKind,
+        path: PathId,
+        igp_cost: u32,
+        age: u32,
+    ) -> Option<CompactRoute> {
+        let me_node = self.world.graph.node(me);
+        let policy = self.world.policy(me);
+
+        // Loop prevention, exactly as in `import`: sequence hits are always
+        // fatal; `no_loop_prevention` only waives the AS-set check.
+        if arena.seq_contains(path, me_node.asn) {
+            return None;
+        }
+        if !policy.no_loop_prevention && arena.contains(path, me_node.asn) {
+            return None;
+        }
+        if policy.filters_as_sets && arena.has_set(path) {
+            return None;
+        }
+
+        let mut pref = base_pref(rel);
+        pref += i32::from(policy.pref_delta(self.world.graph.asn(from)));
+        if kind == LinkKind::Backup {
+            pref += BACKUP_PENALTY;
+        }
+        if policy.domestic_pref && self.path_is_domestic_c(me, arena, path) {
+            pref += DOMESTIC_BONUS;
+        }
+
+        Some(CompactRoute {
+            path,
+            path_len: arena.len(path) as u16,
+            learned_from: from as u32,
+            city: city.0,
+            rel: rel_tag(Some(rel)),
+            local_pref: pref,
+            igp_cost,
+            age,
+        })
+    }
+
     /// Export filter: may `me` announce its current `route` to neighbor
     /// `to`, whose relationship over the session in question is `rel_to`?
     ///
@@ -125,11 +193,26 @@ impl<'w> PolicyEngine<'w> {
         to: NodeIdx,
         rel_to: Relationship,
     ) -> bool {
+        self.may_export_parts(me, route.rel, route.prefix, to, rel_to)
+    }
+
+    /// [`PolicyEngine::may_export`] from the decomposed inputs the compact
+    /// engine has on hand: the class the route was learned on (`None` =
+    /// local origination) and the prefix (consulted only for local routes'
+    /// selective-announcement policy).
+    pub(crate) fn may_export_parts(
+        &self,
+        me: NodeIdx,
+        learned_rel: Option<Relationship>,
+        prefix: Prefix,
+        to: NodeIdx,
+        rel_to: Relationship,
+    ) -> bool {
         let policy = self.world.policy(me);
         let to_asn = self.world.graph.asn(to);
 
         // Class the route was learned on; local originations export freely.
-        if let Some(learned_rel) = route.rel {
+        if let Some(learned_rel) = learned_rel {
             if !learned_rel.exportable_to(rel_to) {
                 return false;
             }
@@ -141,7 +224,7 @@ impl<'w> PolicyEngine<'w> {
             }
         } else {
             // Origin-side prefix-specific policy (§4.3).
-            if !policy.may_announce(&route.prefix, to_asn) {
+            if !policy.may_announce(&prefix, to_asn) {
                 return false;
             }
         }
@@ -379,6 +462,74 @@ mod tests {
             ..provider_route
         };
         assert!(eng.may_export(me, &customer_route, to, Relationship::Customer));
+    }
+
+    #[test]
+    fn import_compact_agrees_with_import() {
+        let w = world();
+        let eng = PolicyEngine::new(&w);
+        let arena = PathArena::new();
+        let pfx: Prefix = "10.0.0.0/24".parse().unwrap();
+        for me in 0..w.graph.len() {
+            let links = w.graph.links(me);
+            let Some(link) = links.first() else { continue };
+            let (from, city) = (link.peer, link.cities[0]);
+            let paths = [
+                AsPath::origin(Asn(9_999_999)),
+                AsPath::origin(Asn(9_999_999)).prepend(w.graph.asn(from)),
+                AsPath::poisoned(Asn(9_999_999), &[w.graph.asn(me)]),
+                AsPath::poisoned(Asn(9_999_999), &[Asn(123)]),
+                AsPath::origin(Asn(9_999_999)).prepend(w.graph.asn(me)),
+            ];
+            for path in paths {
+                for rel in [
+                    Relationship::Customer,
+                    Relationship::Peer,
+                    Relationship::Provider,
+                ] {
+                    for kind in [LinkKind::Normal, LinkKind::Backup] {
+                        let full = eng.import(
+                            me,
+                            from,
+                            city,
+                            rel,
+                            kind,
+                            pfx,
+                            path.clone(),
+                            3,
+                            Timestamp(60),
+                        );
+                        let compact = eng.import_compact(
+                            &arena,
+                            me,
+                            from,
+                            city,
+                            rel,
+                            kind,
+                            arena.intern(&path),
+                            3,
+                            60,
+                        );
+                        match (full, compact) {
+                            (None, None) => {}
+                            (Some(r), Some(c)) => {
+                                assert_eq!(r.local_pref, c.local_pref);
+                                assert_eq!(r.igp_cost, c.igp_cost);
+                                assert_eq!(r.path, arena.materialize(c.path));
+                                assert_eq!(usize::from(c.path_len), r.path.len());
+                                assert_eq!(c.learned_from, from as u32);
+                                assert_eq!(Some(CityId(c.city)), r.entry_city);
+                            }
+                            (a, b) => panic!(
+                                "verdicts diverge at node {me}: full={} compact={}",
+                                a.is_some(),
+                                b.is_some()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,13 +13,26 @@
 //! fair activation order; an activation cap turns a genuine dispute wheel
 //! into a reported non-convergence instead of a hang.
 //!
-//! The shared, immutable per-world state (session table, policy engine,
-//! reverse session index) lives in an [`SimContext`] built once per
+//! **Compact storage.** Routes are held as [`CompactRoute`] scalars in
+//! struct-of-arrays [`RouteColumns`] — the best table indexed by node, the
+//! adj-RIB-in as one flat table indexed by dense session offsets from the
+//! context's CSR session arena. Paths live in a hash-consed
+//! [`PathArena`]: a route's path is a `u32` handle, prepend-on-export is a
+//! cons, and the unchanged-export fast path is a handle compare. Public
+//! accessors ([`PrefixSim::best`], [`PrefixSim::candidates`]) materialize
+//! full [`Route`] values at the API boundary, so consumers — and the
+//! sweep-oracle differentials — observe exactly the routes the legacy
+//! representation produced.
+//!
+//! The shared, immutable per-world state (CSR session table, policy
+//! engine, reverse session index) lives in a [`SimContext`] built once per
 //! [`World`] and shared across prefixes via `Arc`, making
-//! [`PrefixSim::with_context`] O(n) in allocation and free of per-prefix
-//! session construction. The legacy full-sweep Gauss–Seidel engine survives
-//! as [`crate::sweep::SweepSim`] — the reference implementation the
-//! differential tests compare against.
+//! [`PrefixSim::with_context`] O(n + sessions) in allocation and free of
+//! per-prefix session construction. The legacy full-sweep Gauss–Seidel
+//! engine survives as [`crate::sweep::SweepSim`] — the reference
+//! implementation the differential tests compare against; it still stores
+//! materialized [`Route`]s, so the differentials also cross-check the
+//! compact layout against the original one.
 //!
 //! The engine models exactly the announcement shapes the paper's PEERING
 //! experiments use (§3.2): plain originations, **poisoned** originations
@@ -32,15 +45,18 @@
 //! installation age, making ages independent of transient flips during
 //! reconvergence.
 
-use crate::decision;
+use crate::compact::{clamp_age, rel_of_tag, CompactRoute, MemoryBudget, RouteColumns};
+use crate::compact::{NO_CITY, NO_NODE, REL_NONE};
 use crate::path::AsPath;
+use crate::patharena::{PathArena, PathId};
 use crate::policy_eval::PolicyEngine;
 use crate::route::Route;
 use crate::worklist::BitWorklist;
-use ir_topology::graph::{LinkKind, NodeIdx};
+use ir_topology::graph::{AsGraph, LinkKind, NodeIdx};
 use ir_topology::World;
 use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -113,6 +129,10 @@ pub struct EngineStats {
     /// Prefixes whose routing was fanned out from another prefix's
     /// converged RIB instead of re-propagated (universe-level batching).
     pub prefixes_shared: usize,
+    /// Memory accounting of the compact route storage (columns + path
+    /// arena), refreshed on every [`PrefixSim::stats`] call; zeros for the
+    /// sweep oracle, which keeps materialized routes.
+    pub memory: MemoryBudget,
 }
 
 impl EngineStats {
@@ -126,6 +146,7 @@ impl EngineStats {
         self.sessions_torn += other.sessions_torn;
         self.shapes_computed += other.shapes_computed;
         self.prefixes_shared += other.prefixes_shared;
+        self.memory.absorb(&other.memory);
     }
 }
 
@@ -142,32 +163,33 @@ pub(crate) struct Session {
     pub(crate) igp: u32,
 }
 
-/// Immutable per-world simulation state, shared by every per-prefix
-/// simulation over the same [`World`]: the session table, the policy
-/// engine, and the reverse session index (who imports from whom). Build it
-/// once with [`SimContext::shared`] and hand clones of the `Arc` to
-/// [`PrefixSim::with_context`] / [`crate::sweep::SweepSim::with_context`].
-pub struct SimContext<'w> {
-    pub(crate) world: &'w World,
-    pub(crate) engine: PolicyEngine<'w>,
-    /// `sessions[x]` = sessions of `x`, one per (link, city).
-    pub(crate) sessions: Vec<Vec<Session>>,
-    /// Reverse index: `listeners[x]` = every `(l, si)` such that
-    /// `sessions[l][si].peer == x` — the sessions over which `x`'s exports
-    /// are imported.
-    pub(crate) listeners: Vec<Vec<(NodeIdx, u32)>>,
+/// CSR layout of the world's BGP sessions: every session of every node in
+/// one flat vector with per-node offsets, plus the flat reverse index.
+/// The adj-RIB-in table indexes by the same dense offsets, so one world
+/// has exactly one session numbering shared by topology and route storage.
+struct CsrTopology {
+    /// All sessions, grouped by owning node (ascending).
+    sessions: Vec<Session>,
+    /// `session_off[x]..session_off[x + 1]` = `x`'s slice of `sessions`.
+    session_off: Vec<u32>,
+    /// Reverse index entries `(listener, rib)`: the sessions over which a
+    /// node's exports are imported, where `rib` is the flat session (and
+    /// adj-RIB-in) index of the listener's session back to the exporter.
+    listeners: Vec<(u32, u32)>,
+    /// `listener_off[x]..listener_off[x + 1]` = `x`'s slice of `listeners`.
+    listener_off: Vec<u32>,
 }
 
-impl<'w> SimContext<'w> {
-    /// Builds the shared per-world state (O(sessions)).
-    pub fn new(world: &'w World) -> SimContext<'w> {
+impl CsrTopology {
+    fn build(world: &World) -> CsrTopology {
         let n = world.graph.len();
-        let mut sessions = Vec::with_capacity(n);
+        let mut sessions = Vec::new();
+        let mut session_off = Vec::with_capacity(n + 1);
+        session_off.push(0u32);
         for a in 0..n {
-            let mut ss = Vec::new();
             for l in world.graph.links(a) {
                 for (pos, &city) in l.cities.iter().enumerate() {
-                    ss.push(Session {
+                    sessions.push(Session {
                         peer: l.peer,
                         city,
                         rel: l.rel_at(city),
@@ -176,19 +198,64 @@ impl<'w> SimContext<'w> {
                     });
                 }
             }
-            sessions.push(ss);
+            session_off.push(sessions.len() as u32);
         }
-        let mut listeners = vec![Vec::new(); n];
-        for (x, ss) in sessions.iter().enumerate() {
-            for (si, s) in ss.iter().enumerate() {
-                listeners[s.peer].push((x, si as u32));
+        // Reverse index, CSR too: count, prefix-sum, fill (ascending owner
+        // order, so each node's listeners come out ascending as well).
+        let mut counts = vec![0u32; n];
+        for s in &sessions {
+            counts[s.peer] += 1;
+        }
+        let mut listener_off = Vec::with_capacity(n + 1);
+        listener_off.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            listener_off.push(acc);
+        }
+        let mut cursor: Vec<u32> = listener_off[..n].to_vec();
+        let mut listeners = vec![(0u32, 0u32); sessions.len()];
+        for l in 0..n {
+            let base = session_off[l];
+            let (lo, hi) = (session_off[l] as usize, session_off[l + 1] as usize);
+            for (si, s) in sessions[lo..hi].iter().enumerate() {
+                let slot = cursor[s.peer] as usize;
+                cursor[s.peer] += 1;
+                listeners[slot] = (l as u32, base + si as u32);
             }
         }
+        CsrTopology {
+            sessions,
+            session_off,
+            listeners,
+            listener_off,
+        }
+    }
+}
+
+/// Immutable per-world simulation state, shared by every per-prefix
+/// simulation over the same [`World`]: the CSR session table, the policy
+/// engine, and the path arena routes intern into. Build it once with
+/// [`SimContext::shared`] and hand clones of the `Arc` to
+/// [`PrefixSim::with_context`] / [`crate::sweep::SweepSim::with_context`];
+/// [`SimContext::fork`] shares the session table but gives the fork a
+/// fresh arena (how the universe keeps per-shape arenas small and
+/// contention-free).
+pub struct SimContext<'w> {
+    pub(crate) world: &'w World,
+    pub(crate) engine: PolicyEngine<'w>,
+    topo: Arc<CsrTopology>,
+    pub(crate) arena: Arc<PathArena>,
+}
+
+impl<'w> SimContext<'w> {
+    /// Builds the shared per-world state (O(sessions)).
+    pub fn new(world: &'w World) -> SimContext<'w> {
         SimContext {
             world,
             engine: PolicyEngine::new(world),
-            sessions,
-            listeners,
+            topo: Arc::new(CsrTopology::build(world)),
+            arena: Arc::new(PathArena::new()),
         }
     }
 
@@ -198,16 +265,58 @@ impl<'w> SimContext<'w> {
         Arc::new(SimContext::new(world))
     }
 
+    /// A context sharing this one's session table but with a **fresh,
+    /// private path arena**. Arena handles are context-scoped, so state
+    /// from one context (a [`PrefixSim`], an extracted table) must never
+    /// mix with another's; the universe forks per announcement shape so
+    /// each shape interns only its own route tree.
+    pub fn fork(&self) -> Arc<SimContext<'w>> {
+        Arc::new(SimContext {
+            world: self.world,
+            engine: PolicyEngine::new(self.world),
+            topo: Arc::clone(&self.topo),
+            arena: Arc::new(PathArena::new()),
+        })
+    }
+
     /// The world this context is bound to.
     pub fn world(&self) -> &'w World {
         self.world
     }
 
+    /// Sessions of node `x`.
+    pub(crate) fn sessions(&self, x: NodeIdx) -> &[Session] {
+        &self.topo.sessions
+            [self.topo.session_off[x] as usize..self.topo.session_off[x + 1] as usize]
+    }
+
+    /// Flat session (= adj-RIB-in) index of `x`'s first session.
+    pub(crate) fn rib_base(&self, x: NodeIdx) -> usize {
+        self.topo.session_off[x] as usize
+    }
+
+    /// Total sessions in the world (the adj-RIB-in table length).
+    pub(crate) fn total_sessions(&self) -> usize {
+        self.topo.sessions.len()
+    }
+
+    /// The session behind a flat index.
+    pub(crate) fn session_at(&self, rib: usize) -> &Session {
+        &self.topo.sessions[rib]
+    }
+
+    /// Reverse index: every `(listener, rib)` importing from `x`.
+    pub(crate) fn listeners(&self, x: NodeIdx) -> &[(u32, u32)] {
+        &self.topo.listeners
+            [self.topo.listener_off[x] as usize..self.topo.listener_off[x + 1] as usize]
+    }
+
     /// What `from` exports toward `to` over session `s` (the session as
     /// held by `to`, i.e. `s.peer == from`), given `from`'s current best
     /// route: the path as announced, with `from` prepended (plus export
-    /// prepending), or `None` if policy withholds the route. The single
-    /// source of export semantics for both engines.
+    /// prepending), or `None` if policy withholds the route. Kept on
+    /// materialized routes for the sweep oracle; the event engine uses the
+    /// arena-native [`SimContext::export_compact`].
     pub(crate) fn export_path(
         &self,
         from: NodeIdx,
@@ -246,19 +355,126 @@ impl<'w> SimContext<'w> {
             best.path.prepend_n(from_asn, extra + 1)
         })
     }
+
+    /// [`SimContext::export_path`] over compact routes: same policy
+    /// decisions, but the prepend is an arena cons and the result a path
+    /// handle. `prefix` is the prefix being simulated (compact routes do
+    /// not carry it; it is constant per sim).
+    pub(crate) fn export_compact(
+        &self,
+        from: NodeIdx,
+        to: NodeIdx,
+        s: &Session,
+        best: &CompactRoute,
+        prefix: Prefix,
+        ann: Option<&Announcement>,
+    ) -> Option<PathId> {
+        let rel_of_to_from_from = s.rel.reverse();
+        if best.is_local() {
+            if let Some(ann) = ann {
+                if let Some(via) = &ann.via {
+                    if !via.contains(&self.world.graph.asn(to)) {
+                        return None;
+                    }
+                }
+            }
+        }
+        if !self.engine.may_export_parts(
+            from,
+            rel_of_tag(best.rel),
+            prefix,
+            to,
+            rel_of_to_from_from,
+        ) {
+            return None;
+        }
+        let from_asn = self.world.graph.asn(from);
+        let extra = self
+            .world
+            .policy(from)
+            .prepends_to(self.world.graph.asn(to)) as usize;
+        let count = if best.is_local() { extra } else { extra + 1 };
+        Some(self.arena.prepend_n(best.path, from_asn, count))
+    }
+}
+
+/// Materializes a compact route back into the public [`Route`] shape.
+/// `asn_of` resolves the stored neighbor node index (the graph for a live
+/// sim, a captured ASN table for a detached universe).
+pub(crate) fn materialize_route(
+    r: CompactRoute,
+    prefix: Prefix,
+    arena: &PathArena,
+    asn_of: impl Fn(u32) -> Asn,
+) -> Route {
+    Route {
+        prefix,
+        path: arena.materialize(r.path),
+        learned_from: (r.learned_from != NO_NODE).then(|| asn_of(r.learned_from)),
+        entry_city: (r.city != NO_CITY).then_some(CityId(r.city)),
+        rel: rel_of_tag(r.rel),
+        local_pref: r.local_pref,
+        igp_cost: r.igp_cost,
+        age: Timestamp(u64::from(r.age)),
+    }
+}
+
+/// [`crate::decision::compare_ignoring_age`] over compact routes. The
+/// neighbor tie-breaker compares **ASNs** (router-id proxy), not node
+/// indices, and local routes (`None`) still sort first — identical total
+/// order, resolved through the graph's O(1) index→ASN table.
+fn compare_compact(graph: &AsGraph, a: &CompactRoute, b: &CompactRoute) -> Ordering {
+    let neighbor =
+        |r: &CompactRoute| (r.learned_from != NO_NODE).then(|| graph.asn(r.learned_from as usize));
+    let city = |r: &CompactRoute| (r.city != NO_CITY).then_some(r.city);
+    b.local_pref
+        .cmp(&a.local_pref)
+        .then_with(|| a.path_len.cmp(&b.path_len))
+        .then_with(|| a.igp_cost.cmp(&b.igp_cost))
+        .then_with(|| neighbor(a).cmp(&neighbor(b)))
+        .then_with(|| city(a).cmp(&city(b)))
+}
+
+/// A converged per-shape routing table in compact form, carrying its own
+/// (post-convergence, re-interned) arena. The universe shares one
+/// `Arc<ShapeTable>` across every prefix of an announcement shape and
+/// injects the concrete prefix at materialization time.
+pub(crate) struct ShapeTable {
+    pub(crate) rows: RouteColumns,
+    arena: Arc<PathArena>,
+}
+
+impl ShapeTable {
+    /// The route at `x`, materialized for `prefix`.
+    pub(crate) fn route(&self, prefix: Prefix, x: NodeIdx, asns: &[Asn]) -> Option<Route> {
+        if x >= self.rows.len() {
+            return None;
+        }
+        let r = self.rows.get(x)?;
+        Some(materialize_route(r, prefix, &self.arena, |i| {
+            asns[i as usize]
+        }))
+    }
+
+    /// Resident bytes (columns + private arena).
+    pub(crate) fn bytes(&self) -> usize {
+        self.rows.bytes() + self.arena.stats().bytes
+    }
 }
 
 /// A propagation engine: anything that can run announcement events for one
 /// prefix to fixpoint. Implemented by the event-driven [`PrefixSim`] and
 /// the legacy reference [`crate::sweep::SweepSim`]; the differential tests
-/// and benches are written against this trait.
+/// and benches are written against this trait. Routes are returned by
+/// value: the event engine stores them compactly and materializes at this
+/// boundary.
 pub trait PropagationEngine {
     /// Announces (or re-announces) the prefix and runs to fixpoint.
     fn announce(&mut self, ann: Announcement, at: Timestamp) -> Convergence;
     /// Withdraws the prefix and runs to fixpoint.
     fn withdraw(&mut self, at: Timestamp) -> Convergence;
     /// The selected route at node `x`.
-    fn best(&self, x: NodeIdx) -> Option<&Route>;
+    fn best(&self, x: NodeIdx) -> Option<Route>;
     /// The candidate routes AS `x` can currently choose between.
     fn candidates(&self, x: NodeIdx) -> Vec<Route>;
     /// Cumulative effort counters.
@@ -291,24 +507,6 @@ pub(crate) const NO_OP_CONVERGENCE: Convergence = Convergence {
     imports: 0,
 };
 
-/// Per-prefix propagation state (event-driven engine).
-///
-/// ```
-/// use ir_bgp::{Announcement, PrefixSim};
-/// use ir_topology::GeneratorConfig;
-/// use ir_types::Timestamp;
-///
-/// let world = GeneratorConfig::tiny().build(1);
-/// let origin = world.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
-/// let (asn, prefix) = (origin.asn, origin.prefixes[0]);
-///
-/// let mut sim = PrefixSim::new(&world, prefix);
-/// let conv = sim.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
-/// assert!(conv.converged);
-/// // The origin holds a local route; the rest of the graph routes to it.
-/// let idx = world.graph.index_of(asn).unwrap();
-/// assert!(sim.best(idx).unwrap().is_local());
-/// ```
 /// Worklist scheduling discipline for [`PrefixSim`].
 ///
 /// With dispute wheels in the policy system the fixpoint reached depends
@@ -330,6 +528,24 @@ pub enum ActivationOrder {
     Free,
 }
 
+/// Per-prefix propagation state (event-driven engine).
+///
+/// ```
+/// use ir_bgp::{Announcement, PrefixSim};
+/// use ir_topology::GeneratorConfig;
+/// use ir_types::Timestamp;
+///
+/// let world = GeneratorConfig::tiny().build(1);
+/// let origin = world.graph.nodes().iter().find(|n| n.asn.value() >= 20_000).unwrap();
+/// let (asn, prefix) = (origin.asn, origin.prefixes[0]);
+///
+/// let mut sim = PrefixSim::new(&world, prefix);
+/// let conv = sim.announce(Announcement::plain(asn, prefix), Timestamp::ZERO);
+/// assert!(conv.converged);
+/// // The origin holds a local route; the rest of the graph routes to it.
+/// let idx = world.graph.index_of(asn).unwrap();
+/// assert!(sim.best(idx).unwrap().is_local());
+/// ```
 pub struct PrefixSim<'w> {
     ctx: Arc<SimContext<'w>>,
     prefix: Prefix,
@@ -339,12 +555,18 @@ pub struct PrefixSim<'w> {
     announcement: Option<Announcement>,
     origin_idx: Option<NodeIdx>,
     announce_time: Timestamp,
-    best: Vec<Option<Route>>,
-    /// Adj-RIB-in: `rib_in[x][si]` caches the last route imported over
-    /// `ctx.sessions[x][si]` (`None` = neighbor exports nothing usable).
-    /// Stored ages are stale by design; selection re-stamps them with the
-    /// current clock, which is exact because live candidates all share it.
-    rib_in: Vec<Vec<Option<Route>>>,
+    /// Interned origination path of the current announcement (+ its cached
+    /// BGP length), refreshed by [`PrefixSim::announce`].
+    ann_path: PathId,
+    ann_path_len: u16,
+    /// Best table: one compact slot per node.
+    best: RouteColumns,
+    /// Adj-RIB-in: slot `ctx.rib_base(x) + si` caches the last route
+    /// imported over `ctx.sessions(x)[si]` (vacant = neighbor exports
+    /// nothing usable). Stored ages are stale by design; selection
+    /// re-stamps them with the current clock, which is exact because live
+    /// candidates all share it.
+    rib: RouteColumns,
     /// Links currently down (canonical index pairs). Empty unless faults
     /// are injected; exports never cross a downed link.
     downed: BTreeSet<(NodeIdx, NodeIdx)>,
@@ -369,8 +591,8 @@ impl<'w> PrefixSim<'w> {
         PrefixSim::with_context(SimContext::shared(world), prefix)
     }
 
-    /// Prepares a simulation for `prefix` over a shared context — O(n)
-    /// allocation, no session-table construction.
+    /// Prepares a simulation for `prefix` over a shared context — O(n +
+    /// sessions) allocation, no session-table construction.
     pub fn with_context(ctx: Arc<SimContext<'w>>, prefix: Prefix) -> PrefixSim<'w> {
         PrefixSim::with_context_ordered(ctx, prefix, ActivationOrder::default())
     }
@@ -384,7 +606,7 @@ impl<'w> PrefixSim<'w> {
         order: ActivationOrder,
     ) -> PrefixSim<'w> {
         let n = ctx.world.graph.len();
-        let rib_in = ctx.sessions.iter().map(|ss| vec![None; ss.len()]).collect();
+        let rib = RouteColumns::new(ctx.total_sessions());
         PrefixSim {
             ctx,
             prefix,
@@ -392,8 +614,10 @@ impl<'w> PrefixSim<'w> {
             announcement: None,
             origin_idx: None,
             announce_time: Timestamp::ZERO,
-            best: vec![None; n],
-            rib_in,
+            ann_path: PathId::EMPTY,
+            ann_path_len: 0,
+            best: RouteColumns::new(n),
+            rib,
             downed: BTreeSet::new(),
             poison_filters: BTreeSet::new(),
             clock: Timestamp::ZERO,
@@ -419,6 +643,9 @@ impl<'w> PrefixSim<'w> {
             .unwrap_or_else(|| panic!("unknown origin {}", ann.origin));
         self.clock = at;
         self.announce_time = at;
+        let path = ann.origination_path();
+        self.ann_path = self.ctx.arena.intern(&path);
+        self.ann_path_len = path.len() as u16;
         let seeds = [self.origin_idx.filter(|&old| old != idx), Some(idx)];
         self.origin_idx = Some(idx);
         self.announcement = Some(ann);
@@ -537,9 +764,11 @@ impl<'w> PrefixSim<'w> {
     /// returns how many live entries were torn.
     fn tear_sessions(&mut self, key: (NodeIdx, NodeIdx)) -> usize {
         let mut torn = 0;
+        let PrefixSim { ctx, rib, .. } = self;
         for (x, other) in [(key.0, key.1), (key.1, key.0)] {
-            for (si, s) in self.ctx.sessions[x].iter().enumerate() {
-                if s.peer == other && self.rib_in[x][si].take().is_some() {
+            let base = ctx.rib_base(x);
+            for (si, s) in ctx.sessions(x).iter().enumerate() {
+                if s.peer == other && rib.take(base + si).is_some() {
                     torn += 1;
                 }
             }
@@ -561,30 +790,35 @@ impl<'w> PrefixSim<'w> {
             prefix,
             announcement,
             best,
-            rib_in,
+            rib,
             poison_filters,
             clock,
             ..
         } = self;
         let ann = announcement.as_ref();
+        let age = clamp_age(*clock);
         for (x, l) in [(key.0, key.1), (key.1, key.0)] {
-            let best_x = best[x].as_ref();
-            for (si, s) in ctx.sessions[l].iter().enumerate() {
+            let best_x = best.get(x);
+            let base = ctx.rib_base(l);
+            for (si, s) in ctx.sessions(l).iter().enumerate() {
                 if s.peer != x {
                     continue;
                 }
                 let imported = best_x
-                    .and_then(|b| ctx.export_path(x, l, s, b, ann))
+                    .as_ref()
+                    .and_then(|b| ctx.export_compact(x, l, s, b, *prefix, ann))
                     .and_then(|p| {
                         imports += 1;
-                        if !poison_filters.is_empty() && poison_filters.contains(&l) && p.has_set()
+                        if !poison_filters.is_empty()
+                            && poison_filters.contains(&l)
+                            && ctx.arena.has_set(p)
                         {
                             return None;
                         }
                         ctx.engine
-                            .import(l, x, s.city, s.rel, s.kind, *prefix, p, s.igp, *clock)
+                            .import_compact(&ctx.arena, l, x, s.city, s.rel, s.kind, p, s.igp, age)
                     });
-                rib_in[l][si] = imported;
+                rib.set(base + si, imported);
             }
         }
         imports
@@ -613,10 +847,13 @@ impl<'w> PrefixSim<'w> {
                 ));
             }
         }
-        for r in self.rib_in[x].iter().flatten() {
-            let mut r = r.clone();
-            r.age = self.clock;
-            cands.push(r);
+        let base = self.ctx.rib_base(x);
+        for si in 0..self.ctx.sessions(x).len() {
+            if let Some(r) = self.rib.get(base + si) {
+                let mut r = self.materialize(r);
+                r.age = self.clock;
+                cands.push(r);
+            }
         }
         cands
     }
@@ -661,7 +898,7 @@ impl<'w> PrefixSim<'w> {
         for s in seeds.into_iter().flatten() {
             wave.insert(s);
         }
-        let mut pre_event: BTreeMap<NodeIdx, Option<Route>> = BTreeMap::new();
+        let mut pre_event: BTreeMap<NodeIdx, Option<CompactRoute>> = BTreeMap::new();
         let mut rounds = 0usize;
         let mut activations = 0usize;
         let mut imports = 0usize;
@@ -679,8 +916,9 @@ impl<'w> PrefixSim<'w> {
                     break 'event;
                 }
                 let new_best = self.select_at(x);
-                let keep = match (&self.best[x], &new_best) {
-                    (Some(old), Some(new)) => old.same_route(new),
+                let old = self.best.get(x);
+                let keep = match (&old, &new_best) {
+                    (Some(o), Some(new)) => o.same_route(new),
                     (None, None) => true,
                     _ => false,
                 };
@@ -692,8 +930,8 @@ impl<'w> PrefixSim<'w> {
                     }
                 }
                 if !keep {
-                    pre_event.entry(x).or_insert_with(|| self.best[x].clone());
-                    self.best[x] = new_best;
+                    pre_event.entry(x).or_insert(old);
+                    self.best.set(x, new_best);
                 }
                 if !keep || forced {
                     imports += self.push_exports(x, &mut wave, &mut next);
@@ -707,9 +945,9 @@ impl<'w> PrefixSim<'w> {
         // and path it started on keeps the original installation age, even
         // if it flipped through other routes transiently.
         for (x, old) in pre_event {
-            if let (Some(o), Some(cur)) = (old, self.best[x].as_mut()) {
-                if o.same_route(cur) {
-                    cur.age = o.age;
+            if let (Some(o), Some(cur)) = (old, self.best.get(x)) {
+                if o.same_route(&cur) {
+                    self.best.set_age(x, o.age);
                 }
             }
         }
@@ -726,25 +964,34 @@ impl<'w> PrefixSim<'w> {
     /// Best route at `x` per the decision process over the origination and
     /// the adj-RIB-in, with the winner re-stamped to the current clock (the
     /// age it would carry as a live candidate).
-    fn select_at(&self, x: NodeIdx) -> Option<Route> {
+    fn select_at(&self, x: NodeIdx) -> Option<CompactRoute> {
         let origination = match (self.origin_idx, &self.announcement) {
-            (Some(origin_idx), Some(ann)) if origin_idx == x => Some(Route::originate(
-                self.prefix,
-                ann.origination_path(),
-                self.announce_time,
-            )),
+            (Some(origin_idx), Some(_)) if origin_idx == x => Some(CompactRoute {
+                path: self.ann_path,
+                path_len: self.ann_path_len,
+                learned_from: NO_NODE,
+                city: NO_CITY,
+                rel: REL_NONE,
+                local_pref: i32::MAX, // local routes beat everything
+                igp_cost: 0,
+                age: clamp_age(self.announce_time),
+            }),
             _ => None,
         };
-        let mut best: Option<&Route> = origination.as_ref();
-        for r in self.rib_in[x].iter().flatten() {
-            best = match best {
-                Some(b) if decision::compare_ignoring_age(r, b).is_lt() => Some(r),
-                None => Some(r),
-                keep => keep,
-            };
+        let graph = &self.ctx.world.graph;
+        let base = self.ctx.rib_base(x);
+        let mut best = origination;
+        for si in 0..self.ctx.sessions(x).len() {
+            if let Some(r) = self.rib.get(base + si) {
+                best = match best {
+                    Some(b) if compare_compact(graph, &r, &b).is_lt() => Some(r),
+                    None => Some(r),
+                    keep => keep,
+                };
+            }
         }
-        let mut winner = best?.clone();
-        winner.age = self.clock;
+        let mut winner = best?;
+        winner.age = clamp_age(self.clock);
         Some(winner)
     }
 
@@ -766,7 +1013,7 @@ impl<'w> PrefixSim<'w> {
             order,
             announcement,
             best,
-            rib_in,
+            rib,
             downed,
             poison_filters,
             clock,
@@ -774,24 +1021,28 @@ impl<'w> PrefixSim<'w> {
         } = self;
         let free = *order == ActivationOrder::Free;
         let ann = announcement.as_ref();
-        let best_x = best[x].as_ref();
-        for &(l, si) in &ctx.listeners[x] {
-            let s = &ctx.sessions[l][si as usize];
+        let best_x = best.get(x);
+        let age = clamp_age(*clock);
+        for &(l, rib_idx) in ctx.listeners(x) {
+            let (l, rib_idx) = (l as usize, rib_idx as usize);
+            let s = ctx.session_at(rib_idx);
             // A downed link carries nothing in either direction.
             let link_up = downed.is_empty() || !downed.contains(&link_key(x, l));
             let exported = if link_up {
-                best_x.and_then(|b| ctx.export_path(x, l, s, b, ann))
+                best_x
+                    .as_ref()
+                    .and_then(|b| ctx.export_compact(x, l, s, b, *prefix, ann))
             } else {
                 None
             };
-            let entry = &mut rib_in[l][si as usize];
             // An unchanged exported path implies an unchanged import: every
             // other route attribute is a deterministic function of the
             // session and the path (ages are re-stamped at selection).
-            let unchanged = match (&exported, entry.as_ref()) {
-                (None, None) => true,
-                (Some(p), Some(r)) => *p == r.path,
-                _ => false,
+            // Equal paths ⇔ equal handles, so this is one u32 compare.
+            let entry_pid = rib.path_id(rib_idx);
+            let unchanged = match exported {
+                None => entry_pid.is_empty(),
+                Some(p) => p == entry_pid,
             };
             if unchanged {
                 continue;
@@ -800,18 +1051,19 @@ impl<'w> PrefixSim<'w> {
                 imports += 1;
                 // Fault-injected filtering: this AS drops poisoned
                 // (AS-set-carrying) announcements outright, §5.
-                if !poison_filters.is_empty() && poison_filters.contains(&l) && p.has_set() {
+                if !poison_filters.is_empty() && poison_filters.contains(&l) && ctx.arena.has_set(p)
+                {
                     return None;
                 }
                 ctx.engine
-                    .import(l, x, s.city, s.rel, s.kind, *prefix, p, s.igp, *clock)
+                    .import_compact(&ctx.arena, l, x, s.city, s.rel, s.kind, p, s.igp, age)
             });
             // The export changed but the import verdict didn't: nothing for
             // the listener to react to.
-            if imported.is_none() && entry.is_none() {
+            if imported.is_none() && !rib.is_some(rib_idx) {
                 continue;
             }
-            *entry = imported;
+            rib.set(rib_idx, imported);
             if free || l > x {
                 // Free order: no wave barrier, the current worklist takes
                 // every activation (sound only under a unique fixpoint).
@@ -823,13 +1075,20 @@ impl<'w> PrefixSim<'w> {
         imports
     }
 
-    /// The selected route at node `x` (path does not include `x` itself).
-    pub fn best(&self, x: NodeIdx) -> Option<&Route> {
-        self.best[x].as_ref()
+    /// Materializes a compact route at this sim's API boundary.
+    fn materialize(&self, r: CompactRoute) -> Route {
+        let graph = &self.ctx.world.graph;
+        materialize_route(r, self.prefix, &self.ctx.arena, |i| graph.asn(i as usize))
+    }
+
+    /// The selected route at node `x` (path does not include `x` itself),
+    /// materialized from compact storage.
+    pub fn best(&self, x: NodeIdx) -> Option<Route> {
+        self.best.get(x).map(|r| self.materialize(r))
     }
 
     /// The selected route at the AS with number `asn`.
-    pub fn best_by_asn(&self, asn: Asn) -> Option<&Route> {
+    pub fn best_by_asn(&self, asn: Asn) -> Option<Route> {
         self.ctx
             .world
             .graph
@@ -838,11 +1097,32 @@ impl<'w> PrefixSim<'w> {
     }
 
     /// Next-hop node and interconnection city at `x`, if `x` has a
-    /// non-local route.
+    /// non-local route. O(1): the compact route stores the neighbor as a
+    /// node index already.
     pub fn next_hop(&self, x: NodeIdx) -> Option<(NodeIdx, CityId)> {
-        let r = self.best(x)?;
-        let nb = r.learned_from?;
-        Some((self.ctx.world.graph.index_of(nb)?, r.entry_city?))
+        let r = self.best.get(x)?;
+        if r.is_local() {
+            return None;
+        }
+        Some((r.learned_from as usize, CityId(r.city)))
+    }
+
+    /// Extracts the converged best table for universe fan-out: live rows
+    /// are re-interned into a fresh arena holding exactly the surviving
+    /// route tree, so the table's footprint is independent of how much the
+    /// propagation churned. Handles in the result are scoped to the
+    /// returned table's own arena.
+    pub(crate) fn extract_table(&self) -> ShapeTable {
+        let arena = Arc::new(PathArena::new());
+        let n = self.best.len();
+        let mut rows = RouteColumns::new(n);
+        for x in 0..n {
+            if let Some(mut r) = self.best.get(x) {
+                r.path = arena.intern(&self.ctx.arena.materialize(r.path));
+                rows.set(x, Some(r));
+            }
+        }
+        ShapeTable { rows, arena }
     }
 
     /// The prefix being simulated.
@@ -860,9 +1140,17 @@ impl<'w> PrefixSim<'w> {
         self.clock
     }
 
-    /// Cumulative effort counters since construction.
+    /// Cumulative effort counters since construction, with the memory
+    /// budget of the compact storage (columns + shared arena) refreshed at
+    /// call time.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.memory = MemoryBudget::from_parts(
+            self.best.bytes() + self.rib.bytes(),
+            self.best.occupied() + self.rib.occupied(),
+            self.ctx.arena.stats(),
+        );
+        stats
     }
 }
 
@@ -873,7 +1161,7 @@ impl PropagationEngine for PrefixSim<'_> {
     fn withdraw(&mut self, at: Timestamp) -> Convergence {
         PrefixSim::withdraw(self, at)
     }
-    fn best(&self, x: NodeIdx) -> Option<&Route> {
+    fn best(&self, x: NodeIdx) -> Option<Route> {
         PrefixSim::best(self, x)
     }
     fn candidates(&self, x: NodeIdx) -> Vec<Route> {
@@ -1058,14 +1346,14 @@ mod tests {
         let (origin, prefix) = some_origin(&w);
         let mut sim = PrefixSim::new(&w, prefix);
         sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
-        let before: Vec<Option<Route>> = (0..w.graph.len()).map(|x| sim.best(x).cloned()).collect();
+        let before: Vec<Option<Route>> = (0..w.graph.len()).map(|x| sim.best(x)).collect();
         // Re-announce identically much later: nothing should change,
         // including ages.
         sim.announce(Announcement::plain(origin, prefix), Timestamp(5400));
         for (x, prev) in before.iter().enumerate() {
             match (prev, sim.best(x)) {
                 (Some(a), Some(b)) => {
-                    assert!(a.same_route(b));
+                    assert!(a.same_route(&b));
                     assert_eq!(a.age, b.age, "age preserved at {}", w.graph.asn(x));
                 }
                 (None, None) => {}
@@ -1152,7 +1440,7 @@ mod tests {
         // The best is always among the candidates.
         for x in 0..w.graph.len() {
             if let Some(b) = sim.best(x) {
-                assert!(sim.candidates(x).iter().any(|c| c.same_route(b)));
+                assert!(sim.candidates(x).iter().any(|c| c.same_route(&b)));
             }
         }
     }
@@ -1166,7 +1454,7 @@ mod tests {
         let mut b = PrefixSim::with_context(ctx, prefix);
         a.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         // `b` runs a different (poisoned) announcement over the same
-        // shared context.
+        // shared context (and therefore the same shared arena).
         let victim = (0..w.graph.len())
             .filter_map(|x| a.best(x).map(|r| r.path.sequence_asns()))
             .find(|s| s.len() >= 2)
@@ -1181,6 +1469,70 @@ mod tests {
         for x in 0..w.graph.len() {
             assert_eq!(a.best(x), fresh.best(x));
         }
+    }
+
+    #[test]
+    fn forked_context_matches_shared_context() {
+        // fork() gives a private arena over the shared session table;
+        // handles differ, routes must not.
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let ctx = SimContext::shared(&w);
+        let mut a = PrefixSim::with_context(ctx.clone(), prefix);
+        let mut b = PrefixSim::with_context(ctx.fork(), prefix);
+        a.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        b.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        for x in 0..w.graph.len() {
+            assert_eq!(a.best(x), b.best(x));
+        }
+    }
+
+    #[test]
+    fn compact_compare_agrees_with_route_compare() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let graph = &w.graph;
+        for x in 0..graph.len() {
+            let base = sim.ctx.rib_base(x);
+            let m = sim.ctx.sessions(x).len();
+            let compacts: Vec<CompactRoute> =
+                (0..m).filter_map(|si| sim.rib.get(base + si)).collect();
+            for a in &compacts {
+                for b in &compacts {
+                    let (ra, rb) = (sim.materialize(*a), sim.materialize(*b));
+                    assert_eq!(
+                        compare_compact(graph, a, b),
+                        crate::decision::compare_ignoring_age(&ra, &rb),
+                        "order diverges at {} between {ra:?} and {rb:?}",
+                        graph.asn(x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_memory_budget() {
+        let w = world();
+        let (origin, prefix) = some_origin(&w);
+        let mut sim = PrefixSim::new(&w, prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        let m = sim.stats().memory;
+        assert!(m.routes > 0, "routes stored");
+        assert!(m.route_bytes > 0 && m.arena_bytes > 0);
+        assert!(m.arena_cells > 0);
+        // Suffix sharing means far more cons hits than fresh cells.
+        assert!(
+            m.intern_hit_rate() > 0.2,
+            "hit rate {}",
+            m.intern_hit_rate()
+        );
+        // The whole point: well under the ~150+ heap bytes a materialized
+        // Route with its path clone costs.
+        let bpr = m.bytes_per_route();
+        assert!(bpr > 0.0 && bpr < 120.0, "bytes/route {bpr}");
     }
 }
 

@@ -115,7 +115,7 @@ impl<'w> SweepSim<'w> {
                 ));
             }
         }
-        for s in &self.ctx.sessions[x] {
+        for s in self.ctx.sessions(x) {
             if !self.downed.is_empty() && self.downed.contains(&link_key(x, s.peer)) {
                 continue;
             }
@@ -296,7 +296,9 @@ impl<'w> SweepSim<'w> {
         let mut n = 0;
         for (x, other) in [(key.0, key.1), (key.1, key.0)] {
             if self.best[other].is_some() {
-                n += self.ctx.sessions[x]
+                n += self
+                    .ctx
+                    .sessions(x)
                     .iter()
                     .filter(|s| s.peer == other)
                     .count();
@@ -312,12 +314,14 @@ impl<'w> SweepSim<'w> {
     }
 
     /// The selected route at node `x` (path does not include `x` itself).
-    pub fn best(&self, x: NodeIdx) -> Option<&Route> {
-        self.best[x].as_ref()
+    /// Returned by value, matching the [`PropagationEngine`] boundary the
+    /// compact engine materializes at.
+    pub fn best(&self, x: NodeIdx) -> Option<Route> {
+        self.best[x].clone()
     }
 
     /// The selected route at the AS with number `asn`.
-    pub fn best_by_asn(&self, asn: Asn) -> Option<&Route> {
+    pub fn best_by_asn(&self, asn: Asn) -> Option<Route> {
         self.ctx
             .world()
             .graph
@@ -328,7 +332,7 @@ impl<'w> SweepSim<'w> {
     /// Next-hop node and interconnection city at `x`, if `x` has a
     /// non-local route.
     pub fn next_hop(&self, x: NodeIdx) -> Option<(NodeIdx, CityId)> {
-        let r = self.best(x)?;
+        let r = self.best[x].as_ref()?;
         let nb = r.learned_from?;
         Some((self.ctx.world().graph.index_of(nb)?, r.entry_city?))
     }
@@ -361,7 +365,7 @@ impl PropagationEngine for SweepSim<'_> {
     fn withdraw(&mut self, at: Timestamp) -> Convergence {
         SweepSim::withdraw(self, at)
     }
-    fn best(&self, x: NodeIdx) -> Option<&Route> {
+    fn best(&self, x: NodeIdx) -> Option<Route> {
         SweepSim::best(self, x)
     }
     fn candidates(&self, x: NodeIdx) -> Vec<Route> {

@@ -30,18 +30,25 @@
 //! (via [`RoutingUniverse::engine_stats`]) make the sharing observable.
 
 use crate::route::Route;
-use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, SimContext};
+use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, ShapeTable, SimContext};
 use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
 use ir_types::{Asn, Ipv4, Prefix, Timestamp};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Converged routing state for a set of prefixes.
 pub struct RoutingUniverse {
-    /// Per prefix: the route selected at each AS (indexed by [`NodeIdx`]).
-    tables: BTreeMap<Prefix, Vec<Option<Route>>>,
+    /// Per prefix: the compact per-AS routing table (indexed by
+    /// [`NodeIdx`]). Prefixes of one announcement shape share a single
+    /// `Arc` — the fan-out stores no per-member copy; the member's prefix
+    /// is injected when a route is materialized.
+    tables: BTreeMap<Prefix, Arc<ShapeTable>>,
+    /// Node index → ASN, captured from the world so materialization does
+    /// not need to re-borrow it.
+    asns: Vec<Asn>,
     /// Origin of each prefix.
     origins: BTreeMap<Prefix, Asn>,
     /// Prefixes whose propagation failed to converge (policy disputes);
@@ -87,7 +94,7 @@ pub fn prefix_owners(world: &World) -> BTreeMap<Prefix, Asn> {
 }
 
 /// One converged prefix: (prefix, origin, per-AS routing table, converged).
-type PrefixResult = (Prefix, Asn, Vec<Option<Route>>, bool);
+type PrefixResult = (Prefix, Asn, Arc<ShapeTable>, bool);
 
 /// What makes two plain prefix announcements propagate identically: the
 /// origin node and the origin's selective-announce entry for the prefix
@@ -131,22 +138,20 @@ fn shape_groups(
 }
 
 /// Fans a shape's converged table out to every member prefix. Routes are
-/// identical across members except for the prefix they carry, so clone +
-/// rewrite reproduces the per-member tables byte for byte. The computed
-/// table is moved into the representative (first member) without a clone.
+/// identical across members except for the prefix they carry, and compact
+/// tables don't store the prefix at all — so sharing is an `Arc` clone per
+/// member, with the member's prefix injected at materialization time. (The
+/// representative is listed last, matching the historical move-into-last
+/// ordering the assemble step normalizes away.)
 fn fan_out(
     origin: Asn,
     members: &[Prefix],
-    table: Vec<Option<Route>>,
+    table: Arc<ShapeTable>,
     converged: bool,
 ) -> Vec<PrefixResult> {
     let mut out = Vec::with_capacity(members.len());
     for &m in &members[1..] {
-        let mut t = table.clone();
-        for r in t.iter_mut().flatten() {
-            r.prefix = m;
-        }
-        out.push((m, origin, t, converged));
+        out.push((m, origin, Arc::clone(&table), converged));
     }
     out.push((members[0], origin, table, converged));
     out
@@ -198,18 +203,19 @@ impl RoutingUniverse {
     ) -> RoutingUniverse {
         let owners = prefix_owners(world);
         // One session table + policy engine for the whole batch; each
-        // per-shape sim only allocates its own mutable state.
+        // per-shape sim forks the context — shared CSR topology, private
+        // path arena — so parallel shapes never contend on interning, and
+        // the retained table (re-interned at extraction) holds only the
+        // routes that survived convergence.
         let ctx = SimContext::shared(world);
         let groups = shape_groups(world, prefixes, &owners, batch);
         let per_shape: Vec<(Vec<PrefixResult>, EngineStats)> = groups
             .par_iter()
             .map(|(origin, members)| {
                 let rep = members[0];
-                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), rep, order);
+                let mut sim = PrefixSim::with_context_ordered(ctx.fork(), rep, order);
                 let conv = sim.announce(Announcement::plain(*origin, rep), Timestamp::ZERO);
-                let table: Vec<Option<Route>> = (0..world.graph.len())
-                    .map(|x| sim.best(x).cloned())
-                    .collect();
+                let table = Arc::new(sim.extract_table());
                 (
                     fan_out(*origin, members, table, conv.converged),
                     sim.stats(),
@@ -224,7 +230,7 @@ impl RoutingUniverse {
             stats.prefixes_shared += shape_results.len() - 1;
             results.extend(shape_results);
         }
-        Self::assemble(results, UniverseResilience::default(), stats)
+        Self::assemble(world, results, UniverseResilience::default(), stats)
     }
 
     /// Converges the given prefixes under a fault plane: poison-filtering
@@ -288,7 +294,7 @@ impl RoutingUniverse {
             .par_iter()
             .map(|(origin, members)| {
                 let rep = members[0];
-                let mut sim = PrefixSim::with_context_ordered(ctx.clone(), rep, order);
+                let mut sim = PrefixSim::with_context_ordered(ctx.fork(), rep, order);
                 sim.set_poison_filters(filters.iter().copied());
                 let mut converged = sim
                     .announce(Announcement::plain(*origin, rep), Timestamp::ZERO)
@@ -296,9 +302,7 @@ impl RoutingUniverse {
                 for fault in plane.schedule() {
                     converged &= sim.apply_fault(fault).converged;
                 }
-                let table: Vec<Option<Route>> = (0..world.graph.len())
-                    .map(|x| sim.best(x).cloned())
-                    .collect();
+                let table = Arc::new(sim.extract_table());
                 let down = sim.downed_links().len();
                 (
                     fan_out(*origin, members, table, converged),
@@ -325,16 +329,18 @@ impl RoutingUniverse {
             stats.prefixes_shared += members - 1;
             results.extend(shape_results);
         }
-        Self::assemble(results, resilience, stats)
+        Self::assemble(world, results, resilience, stats)
     }
 
     fn assemble(
+        world: &World,
         results: Vec<PrefixResult>,
         resilience: UniverseResilience,
         stats: EngineStats,
     ) -> RoutingUniverse {
         let mut universe = RoutingUniverse {
             tables: BTreeMap::new(),
+            asns: world.graph.nodes().iter().map(|n| n.asn).collect(),
             origins: BTreeMap::new(),
             unconverged: Vec::new(),
             lpm_index: Vec::new(),
@@ -383,9 +389,22 @@ impl RoutingUniverse {
         Self::compute_with_faults_ordered(world, &prefixes, plane, order)
     }
 
-    /// The route AS `x` selected toward `prefix`.
-    pub fn route(&self, prefix: Prefix, x: NodeIdx) -> Option<&Route> {
-        self.tables.get(&prefix)?.get(x)?.as_ref()
+    /// The route AS `x` selected toward `prefix`, materialized from the
+    /// shared compact shape table (hence returned by value).
+    pub fn route(&self, prefix: Prefix, x: NodeIdx) -> Option<Route> {
+        self.tables.get(&prefix)?.route(prefix, x, &self.asns)
+    }
+
+    /// Resident bytes of the retained routing state: compact columns plus
+    /// per-shape arenas, each shared table counted once regardless of how
+    /// many prefixes fan out of it.
+    pub fn resident_bytes(&self) -> usize {
+        let mut seen = BTreeSet::new();
+        self.tables
+            .values()
+            .filter(|t| seen.insert(Arc::as_ptr(t) as usize))
+            .map(|t| t.bytes())
+            .sum()
     }
 
     /// Longest-prefix match: the covering announced prefix for `ip`.

@@ -25,8 +25,23 @@ struct Pair<'w> {
     compared: usize,
 }
 
+/// Ceiling on worlds the sweep oracle is asked to replay. The oracle
+/// recomputes every node each round over materialized routes — O(rounds ·
+/// E) with per-route allocations — which is the point (independence from
+/// the compact engine) and also why it must never meet an internet-scale
+/// world: the guard turns an accidental hookup into an immediate,
+/// explainable failure instead of a CI hang. Scale coverage lives in the
+/// release-mode `scale_smoke` suite instead.
+const MAX_ORACLE_ASES: usize = 2_000;
+
 impl<'w> Pair<'w> {
     fn new(world: &'w World, prefix: Prefix) -> Pair<'w> {
+        assert!(
+            world.graph.len() <= MAX_ORACLE_ASES,
+            "sweep-oracle differentials are gated to <= {MAX_ORACLE_ASES} ASes, got {}; \
+             use the ignored scale smoke test for internet-scale worlds",
+            world.graph.len()
+        );
         let ctx = SimContext::shared(world);
         Pair {
             event: PrefixSim::with_context(ctx.clone(), prefix),

@@ -20,7 +20,19 @@ use std::collections::BTreeSet;
 
 const ROUND: u64 = 90 * 60;
 
+/// Same gate as the main differential suite: every test here replays its
+/// fault schedule through the sweep oracle too, so internet-scale worlds
+/// must fail loudly rather than grind. Every test funnels through
+/// `stub_origin`, which is where the guard lives.
+const MAX_ORACLE_ASES: usize = 2_000;
+
 fn stub_origin(world: &World, pick: usize) -> (Asn, Prefix) {
+    assert!(
+        world.graph.len() <= MAX_ORACLE_ASES,
+        "sweep-oracle differentials are gated to <= {MAX_ORACLE_ASES} ASes, got {}; \
+         use the ignored scale smoke test for internet-scale worlds",
+        world.graph.len()
+    );
     let stubs: Vec<_> = world
         .graph
         .nodes()
@@ -256,7 +268,7 @@ fn reused_worklists_across_reset_link_do_not_resurrect_seeds() {
         let (origin, prefix) = stub_origin(&w, seed as usize);
         let mut sim = PrefixSim::new(&w, prefix);
         sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
-        let baseline: Vec<_> = (0..w.graph.len()).map(|x| sim.best(x).cloned()).collect();
+        let baseline: Vec<_> = (0..w.graph.len()).map(|x| sim.best(x)).collect();
 
         // Hammer the same worklists through many recoveries: resets on
         // rotating links, each leaving the two worklists in a different
@@ -283,7 +295,7 @@ fn reused_worklists_across_reset_link_do_not_resurrect_seeds() {
         for (x, base) in baseline.iter().enumerate() {
             match (base, sim.best(x)) {
                 (Some(b), Some(cur)) => assert!(
-                    b.same_route(cur),
+                    b.same_route(&cur),
                     "seed {seed}: route changed at {} after resets",
                     w.graph.asn(x)
                 ),
@@ -310,8 +322,8 @@ fn reused_worklists_across_reset_link_do_not_resurrect_seeds() {
         fresh.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
         for x in 0..w.graph.len() {
             assert_eq!(
-                sim.best(x).map(|r| &r.path),
-                fresh.best(x).map(|r| &r.path),
+                sim.best(x).map(|r| r.path),
+                fresh.best(x).map(|r| r.path),
                 "seed {seed}: reused sim diverged from fresh at {}",
                 w.graph.asn(x)
             );

@@ -1,12 +1,102 @@
 //! Internal diagnostic dump for scenario tuning (not part of the paper's
 //! deliverables; `repro` is the user-facing binary).
 //!
-//! Usage: `diag [tiny|paper] [seed] [fault-intensity]` — a nonzero third
-//! argument builds the scenario under `FaultConfig::chaos(intensity)` and
-//! prints the resilience counters alongside the usual dumps.
+//! Usage: `diag [tiny|paper|internet_scale] [seed] [fault-intensity]` — a
+//! nonzero third argument builds the scenario under
+//! `FaultConfig::chaos(intensity)` and prints the resilience counters
+//! alongside the usual dumps.
+//!
+//! `diag internet_scale [seed] [target-ases]` skips the measurement
+//! scenario entirely (feeds and traceroutes over 50k ASes are not the
+//! point) and instead reports what the compact route storage costs at
+//! scale: it converges one stub prefix over the full topology, then a
+//! 1000-prefix universe slice, printing the engine's `MemoryBudget` and
+//! the universe's resident table bytes. Run it in release mode.
 
 use ir_experiments::{scenario::ScenarioConfig, Scenario};
 use ir_fault::FaultConfig;
+
+fn internet_scale_diag(seed: u64, target: usize) {
+    use ir_bgp::{Announcement, PrefixSim, RoutingUniverse};
+    use ir_topology::GeneratorConfig;
+    use ir_types::{Prefix, Timestamp};
+
+    let t0 = std::time::Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    println!(
+        "build: {:.1?} | world: {} ASes {} links",
+        t0.elapsed(),
+        world.graph.len(),
+        world.graph.link_count()
+    );
+
+    // One stub prefix converged over the full topology.
+    let stub = world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .find(|n| !n.prefixes.is_empty())
+        .expect("world has an origin");
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+    let t1 = std::time::Instant::now();
+    let mut sim = PrefixSim::new(&world, prefix);
+    let conv = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+    let dt = t1.elapsed();
+    let mem = sim.stats().memory;
+    println!(
+        "single prefix {prefix} (origin {origin}): {:.1?}, {} rounds, {} activations, {} imports{}",
+        dt,
+        conv.rounds,
+        conv.activations,
+        conv.imports,
+        if conv.converged {
+            ""
+        } else {
+            "  (NOT CONVERGED)"
+        }
+    );
+    println!(
+        "  memory: {} routes resident, {:.1} B/route | arena: {} cells, {} B, \
+         intern hit rate {:.0}%",
+        mem.routes,
+        mem.bytes_per_route(),
+        mem.arena_cells,
+        mem.arena_bytes,
+        mem.intern_hit_rate() * 100.0
+    );
+
+    // A 1000-prefix universe slice: the shape-batched fan-out plus the
+    // per-prefix shared tables, reported as retained bytes.
+    let prefixes: Vec<Prefix> = world
+        .graph
+        .nodes()
+        .iter()
+        .filter_map(|n| n.prefixes.first().copied())
+        .take(1000)
+        .collect();
+    let t2 = std::time::Instant::now();
+    let u = RoutingUniverse::compute(&world, &prefixes);
+    let dt = t2.elapsed();
+    let ustats = u.engine_stats();
+    let resident = u.resident_bytes();
+    let route_slots = prefixes.len() * world.graph.len();
+    println!(
+        "universe slice: {} prefixes in {:.1?} from {} shape propagations \
+         ({} shared by fan-out), {} unconverged",
+        prefixes.len(),
+        dt,
+        ustats.shapes_computed,
+        ustats.prefixes_shared,
+        u.unconverged().len()
+    );
+    println!(
+        "  resident tables: {:.1} MiB for {} (prefix, AS) slots = {:.2} B/slot",
+        resident as f64 / (1024.0 * 1024.0),
+        route_slots,
+        resident as f64 / route_slots as f64
+    );
+}
 
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
@@ -18,6 +108,14 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
+    if scale.starts_with("internet") {
+        let target = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50_000);
+        internet_scale_diag(seed, target);
+        return;
+    }
     let mut cfg = match scale.as_str() {
         "tiny" => ScenarioConfig::tiny(seed),
         _ => ScenarioConfig::paper_scale(seed),
@@ -72,6 +170,18 @@ fn main() {
         ustats.prefixes_shared,
         ustats.activations,
         ustats.imports
+    );
+    println!(
+        "memory: {:.1} MiB resident route tables ({:.2} B per (prefix, AS) slot) | \
+         shape sims (transient, summed): {} routes at {:.1} B/route, \
+         arena intern hit rate {:.0}%",
+        s.universe.resident_bytes() as f64 / (1024.0 * 1024.0),
+        s.universe.resident_bytes() as f64
+            / (s.world.graph.len() * (ustats.shapes_computed + ustats.prefixes_shared).max(1))
+                as f64,
+        ustats.memory.routes,
+        ustats.memory.bytes_per_route(),
+        ustats.memory.intern_hit_rate() * 100.0
     );
     println!(
         "audit: {} error(s), {} warning(s) | {}",

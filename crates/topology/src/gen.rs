@@ -146,6 +146,81 @@ impl GeneratorConfig {
         }
     }
 
+    /// An internet-scale world of at least 50 000 ASes with a CAIDA-like
+    /// degree distribution: a handful of tier-1 hubs whose customer cones
+    /// and global footprints give them degrees in the thousands, a middle
+    /// tier of continental and national ISPs, and a heavy tail of ~97%
+    /// stub ASes with 1–3 providers each. Generation stays O(E): wiring
+    /// probes the smaller adjacency side and IGP randomization walks links
+    /// by index, so no step is quadratic in hub degree.
+    pub fn internet_scale() -> Self {
+        Self::internet_scale_sized(50_000)
+    }
+
+    /// The internet-scale preset sized to at least `target_ases` ASes
+    /// (used by the scale bench to sweep 1k → 50k). The transit backbone
+    /// (tier-1s, large ISPs, small ISPs) grows sub-linearly with the
+    /// target, and stubs fill the remainder — the same shape real AS-level
+    /// snapshots show, where edge growth dominates.
+    ///
+    /// Two features of the default world are deliberately absent: cable
+    /// systems (the cable-operator ASN base at 64 000 sits inside the stub
+    /// ASN range once stubs pass 44 000) and the PEERING-like testbed (its
+    /// real ASN 47 065 likewise collides with the stub cursor). Both are
+    /// paper-experiment furniture, not routing substrate.
+    ///
+    /// The preset also stays inside `ir-audit`'s Gao–Rexford convergence
+    /// certificate (see [`GeneratorConfig::certifiably_safe`]): the
+    /// preference-reordering quirks — neighbor-ranking deltas, domestic
+    /// preference, backup links, sibling orgs, loop-prevention opt-outs —
+    /// are off. Those quirks make convergence *unguaranteed*, and while
+    /// every 688-AS paper instance happens to converge anyway, at tens of
+    /// thousands of ASes some instances contain live dispute wheels: an
+    /// 8k-AS world with the quirks on was measured oscillating for 16 025
+    /// rounds (102M activations) before the round cap fired. A preset
+    /// whose job is to converge 50k ASes must be safe by construction;
+    /// the features that only *restrict* routing (hybrid links, partial
+    /// transit, selective announcement, AS-set filters) survive the
+    /// certificate and stay on. `ir-audit`'s `internet_scale_certifies`
+    /// test pins this contract.
+    pub fn internet_scale_sized(target_ases: usize) -> Self {
+        let countries_per_continent = (target_ases / 2_000).clamp(2, 25);
+        let countries = 6 * countries_per_continent;
+        let tier1s = (target_ases / 2_500).clamp(8, 20);
+        let large_isps = (target_ases / 250).clamp(20, 200);
+        let small_isps_per_country = 8;
+        let education_per_continent = 5;
+        let content_providers = 14;
+        let backbone = tier1s
+            + large_isps
+            + small_isps_per_country * countries
+            + education_per_continent * 6
+            + content_providers;
+        let stubs_per_country = target_ases
+            .saturating_sub(backbone)
+            .div_ceil(countries)
+            .max(1);
+        GeneratorConfig {
+            countries_per_continent,
+            cities_per_country: 3,
+            tier1s,
+            large_isps,
+            small_isps_per_country,
+            stubs_per_country,
+            education_per_continent,
+            content_providers,
+            content_hostnames: 34,
+            cables: 0,
+            include_testbed: false,
+            domestic_pref_fraction: 0.0,
+            neighbor_pref_fraction: 0.0,
+            backup_link_fraction: 0.0,
+            no_loop_prevention_fraction: 0.0,
+            sibling_org_fraction: 0.0,
+            ..GeneratorConfig::default()
+        }
+    }
+
     /// Builds a world from this configuration and a seed.
     ///
     /// ```
@@ -923,11 +998,15 @@ impl Builder {
     }
 
     fn randomize_igp_costs(&mut self) {
+        // Indexed walk instead of a peer-scan per link: `set_igp_cost(a, b)`
+        // re-finds `b` in `a`'s adjacency, which is O(Σ deg²) across hubs at
+        // internet scale. Iteration (and hence the RNG draw sequence) is
+        // unchanged — link order is adjacency order, exactly what the old
+        // peer-vec loop walked — so seeded worlds stay bit-identical.
         for a in 0..self.graph.len() {
-            let peers: Vec<NodeIdx> = self.graph.links(a).iter().map(|l| l.peer).collect();
-            for b in peers {
+            for i in 0..self.graph.links(a).len() {
                 let cost = self.rng.random_range(1..=10u32);
-                self.graph.set_igp_cost(a, b, cost);
+                self.graph.set_igp_cost_at(a, i, cost);
             }
         }
     }
@@ -1149,6 +1228,43 @@ mod tests {
         let a = GeneratorConfig::tiny().build(1);
         let b = GeneratorConfig::tiny().build(2);
         assert_ne!(a.graph.link_count(), b.graph.link_count());
+    }
+
+    #[test]
+    fn internet_scale_sizing_meets_target() {
+        for target in [1_000usize, 2_500] {
+            let cfg = GeneratorConfig::internet_scale_sized(target);
+            let w = cfg.build(3);
+            assert!(
+                w.graph.len() >= target,
+                "asked for {target} ASes, got {}",
+                w.graph.len()
+            );
+            // The backbone must stay a small minority: stubs dominate, as
+            // in real AS-level snapshots.
+            let stubs = w
+                .graph
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.role, AsRole::Eyeball | AsRole::Enterprise))
+                .count();
+            assert!(stubs * 10 >= w.graph.len() * 8, "{stubs} stubs");
+            w.validate()
+                .expect("internet-scale world is self-consistent");
+        }
+    }
+
+    #[test]
+    fn internet_scale_degree_distribution_is_heavy_tailed() {
+        let w = GeneratorConfig::internet_scale_sized(1_000).build(9);
+        let mut degrees: Vec<usize> = (0..w.graph.len()).map(|x| w.graph.links(x).len()).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degrees[w.graph.len() / 100].max(degrees[0]);
+        let median = degrees[w.graph.len() / 2];
+        assert!(
+            top >= 20 * median.max(1),
+            "hubs should dwarf the median: top {top}, median {median}"
+        );
     }
 
     #[test]

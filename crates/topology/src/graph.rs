@@ -135,8 +135,16 @@ impl AsGraph {
     ) {
         assert_ne!(a, b, "self-link on {}", self.nodes[a].asn);
         assert!(!cities.is_empty(), "link needs an interconnection city");
+        // Probe the smaller adjacency: hubs in internet-scale worlds carry
+        // tens of thousands of links, stubs a handful, so scanning the stub
+        // side keeps wiring O(E) overall instead of O(E · max-degree).
+        let (probe, want) = if self.adj[a].len() <= self.adj[b].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert!(
-            self.link(a, b).is_none(),
+            !self.adj[probe].iter().any(|l| l.peer == want),
             "duplicate link {} - {}",
             self.nodes[a].asn,
             self.nodes[b].asn
@@ -191,6 +199,13 @@ impl AsGraph {
         self.link_mut(a, b)
             .unwrap_or_else(|| panic!("igp cost on missing link {a}–{b}"))
             .igp_cost = cost;
+    }
+
+    /// Sets the IGP cost of `a`'s `i`-th directional link by position,
+    /// skipping the peer scan. The bulk-randomization pass over every
+    /// directional view would otherwise cost O(Σ deg²).
+    pub fn set_igp_cost_at(&mut self, a: NodeIdx, i: usize, cost: u32) {
+        self.adj[a][i].igp_cost = cost;
     }
 
     /// Removes the link between `a` and `b` (both directional views).

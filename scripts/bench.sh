@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Propagation-engine benchmark: event-driven worklist vs legacy full-sweep
-# oracle. Prints the criterion groups and (re)writes BENCH_propagation.json
-# at the repo root with the head-to-head timings and speedups.
+# Perf benchmarks with recorded artifacts. Runs the propagation-engine
+# head-to-head (event-driven worklist vs legacy full-sweep oracle) and the
+# internet-scale route-storage sweep, (re)writing BENCH_propagation.json
+# and BENCH_scale.json at the repo root with timings, speedups, work
+# counters, and per-tier ns/route + bytes/route.
 #
 # Usage: scripts/bench.sh [--offline] [--samples N]
 set -euo pipefail
@@ -25,7 +27,11 @@ if [[ -n "$SAMPLES" ]]; then
 fi
 
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench propagation
+cargo bench "${OFFLINE[@]}" -p ir-bench --bench scale
 
 echo
 echo "==> BENCH_propagation.json"
 cat BENCH_propagation.json
+echo
+echo "==> BENCH_scale.json"
+cat BENCH_scale.json

@@ -31,6 +31,13 @@ run cargo fmt --check
 # (debug-only runs have missed wrapping/ordering bugs before).
 run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
     --test differential --test fault_differential
+# Internet-scale smoke (release, ignored by default): a ≥50k-AS world must
+# converge a single prefix and a 1000-prefix universe slice inside the
+# compact storage's memory budget. Minutes on one core.
+run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp --test scale_smoke -- --ignored
+# Bench-artifact schema gate: the committed BENCH_*.json files at the repo
+# root must parse and carry the keys documentation and dashboards read.
+run cargo test "${OFFLINE[@]}" -q -p ir-bench --test bench_schema
 # Policy-safety gate: the generated tiny world must audit clean (the
 # binary exits 1 on any Error-severity finding).
 run cargo run "${OFFLINE[@]}" --release -p ir-experiments --bin audit -- --scale tiny --seed 7

@@ -61,7 +61,51 @@ pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derived strategy applying `f` to every generated value.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
 }
+
+/// What [`Strategy::prop_map`] returns.
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for MapStrategy<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// Tuples of strategies generate tuples of values (left to right), as in
+// real proptest.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
 
 /// `any::<T>()` for primitives.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
@@ -410,6 +454,17 @@ mod tests {
         fn assume_skips_cases(n in 0u32..10) {
             prop_assume!(n != 3);
             prop_assert_ne!(n, 3);
+        }
+
+        #[test]
+        fn tuple_and_map_strategies(
+            pair in (1u32..5, 10u32..20).prop_map(|(a, b)| a + b),
+            triples in crate::collection::vec((0u8..3, 0u8..3), 0..4),
+        ) {
+            prop_assert!((11..25).contains(&pair));
+            for (a, b) in triples {
+                prop_assert!(a < 3 && b < 3);
+            }
         }
     }
 
