@@ -1,0 +1,203 @@
+//! What-if serving benchmark: warm (converge-once, fork + seeded
+//! reconvergence) versus cold (announce from scratch, then apply the same
+//! edit) on `internet_scale_sized` worlds of 1k, 5k and 20k ASes. Records
+//! per-tier query latencies, the warm/cold speedup for a link edit and a
+//! policy edit, sustained queries/s (sequential and rayon-batched), and
+//! the fraction of ASes a warm query actually touches — the observable
+//! form of the delta-seeding contract ("cost scales with how far the edit
+//! propagates, not with the size of the internet").
+//!
+//! Results land in `BENCH_whatif.json` at the repo root (validated by
+//! `tests/bench_schema.rs`). Run with `cargo bench --bench whatif`
+//! (release); `IR_BENCH_SAMPLES` controls timing repetitions (default 5).
+
+use ir_bgp::{Announcement, Delta, PrefixSim, SimContext, WhatIfEngine, WhatIfQuery};
+use ir_topology::GeneratorConfig;
+use ir_types::Timestamp;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean nanoseconds over `iters` runs, after one warm-up.
+fn timed<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Tier {
+    target: usize,
+    ases: usize,
+    links: usize,
+    base_build_ms: f64,
+    cold_link_ns: f64,
+    warm_link_ns: f64,
+    cold_policy_ns: f64,
+    warm_policy_ns: f64,
+    warm_queries_per_s: f64,
+    batch_queries_per_s: f64,
+    touched_fraction: f64,
+}
+
+fn run_tier(target: usize, seed: u64, iters: u32) -> Tier {
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    let stub = world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .find(|n| !n.prefixes.is_empty())
+        .expect("world has an origin");
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+
+    // Localized edit targets: a high-index (edge-of-the-internet) node's
+    // uplink, away from the origin — the kind of edit whose blast radius
+    // is a handful of ASes out of tens of thousands.
+    let g = &world.graph;
+    let t = (0..g.len())
+        .rev()
+        .find(|&x| !g.links(x).is_empty() && g.asn(x) != origin)
+        .expect("world has a linked node");
+    let (t_asn, t_peer) = (g.asn(t), g.asn(g.links(t)[0].peer));
+    let link_edit = Delta::LinkDown {
+        a: t_asn,
+        b: t_peer,
+    };
+    let policy_edit = Delta::NeighborPref {
+        of: t_asn,
+        neighbor: t_peer,
+        delta: Some(-500),
+    };
+
+    let t0 = Instant::now();
+    let engine = WhatIfEngine::new(&world, &[prefix]);
+    let base_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(engine.base_converged(), "{target}-AS base did not converge");
+
+    let q_link = WhatIfQuery::single(prefix, link_edit.clone());
+    let q_policy = WhatIfQuery::single(prefix, policy_edit.clone());
+
+    let warm_link_ns = timed(iters, || {
+        black_box(engine.query(&q_link));
+    });
+    let warm_policy_ns = timed(iters, || {
+        black_box(engine.query(&q_policy));
+    });
+
+    // Cold baseline: what answering the same question costs without the
+    // resident engine — converge the prefix from scratch, then apply the
+    // edit (exactly what the batch universe layer would redo per edit).
+    let ctx = SimContext::shared(&world);
+    let cold = |delta: &Delta| {
+        let mut sim = PrefixSim::with_context(ctx.fork(), prefix);
+        sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        sim.apply_delta(delta, Timestamp(60));
+        black_box(sim.clock());
+    };
+    let cold_link_ns = timed(iters, || cold(&link_edit));
+    let cold_policy_ns = timed(iters, || cold(&policy_edit));
+
+    // Sustained throughput: sequential mean of the two query kinds, and a
+    // rayon-batched fan-out of 64 independent queries.
+    let warm_mean_ns = (warm_link_ns + warm_policy_ns) / 2.0;
+    let batch: Vec<WhatIfQuery> = (0..64)
+        .map(|i| {
+            if i % 2 == 0 {
+                q_link.clone()
+            } else {
+                q_policy.clone()
+            }
+        })
+        .collect();
+    let batch_ns = timed(iters, || {
+        black_box(engine.query_batch(&batch));
+    });
+
+    let answer = engine.query(&q_link).expect("prefix resident");
+    let touched_fraction = answer.stats.activations as f64 / world.graph.len() as f64;
+
+    Tier {
+        target,
+        ases: world.graph.len(),
+        links: world.graph.link_count(),
+        base_build_ms,
+        cold_link_ns,
+        warm_link_ns,
+        cold_policy_ns,
+        warm_policy_ns,
+        warm_queries_per_s: 1e9 / warm_mean_ns,
+        batch_queries_per_s: batch.len() as f64 * 1e9 / batch_ns,
+        touched_fraction,
+    }
+}
+
+fn main() {
+    let seed = 7u64;
+    let iters: u32 = std::env::var("IR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let targets: &[usize] = &[1_000, 5_000, 20_000];
+
+    let mut tiers = Vec::new();
+    for &target in targets {
+        let tier = run_tier(target, seed, iters);
+        println!(
+            "tier {:>6}: {} ASes {} links | base {:.0} ms | link {:.0} µs warm vs \
+             {:.0} µs cold ({:.0}x) | policy {:.0} µs warm vs {:.0} µs cold ({:.0}x) | \
+             {:.0} q/s seq, {:.0} q/s batched | {:.2}% ASes touched",
+            target,
+            tier.ases,
+            tier.links,
+            tier.base_build_ms,
+            tier.warm_link_ns / 1e3,
+            tier.cold_link_ns / 1e3,
+            tier.cold_link_ns / tier.warm_link_ns,
+            tier.warm_policy_ns / 1e3,
+            tier.cold_policy_ns / 1e3,
+            tier.cold_policy_ns / tier.warm_policy_ns,
+            tier.warm_queries_per_s,
+            tier.batch_queries_per_s,
+            tier.touched_fraction * 100.0
+        );
+        tiers.push(tier);
+    }
+
+    let tier_json: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\n      \"target\": {},\n      \"ases\": {},\n      \
+                 \"links\": {},\n      \"base_build_ms\": {:.1},\n      \
+                 \"cold_link_ns\": {:.0},\n      \"warm_link_ns\": {:.0},\n      \
+                 \"speedup_link\": {:.2},\n      \"cold_policy_ns\": {:.0},\n      \
+                 \"warm_policy_ns\": {:.0},\n      \"speedup_policy\": {:.2},\n      \
+                 \"warm_queries_per_s\": {:.0},\n      \
+                 \"batch_queries_per_s\": {:.0},\n      \
+                 \"touched_fraction\": {:.5}\n    }}",
+                t.target,
+                t.ases,
+                t.links,
+                t.base_build_ms,
+                t.cold_link_ns,
+                t.warm_link_ns,
+                t.cold_link_ns / t.warm_link_ns,
+                t.cold_policy_ns,
+                t.warm_policy_ns,
+                t.cold_policy_ns / t.warm_policy_ns,
+                t.warm_queries_per_s,
+                t.batch_queries_per_s,
+                t.touched_fraction
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"iters\": {iters},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        tier_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_whatif.json");
+    std::fs::write(path, &json).expect("write BENCH_whatif.json");
+    println!("wrote {path}");
+}

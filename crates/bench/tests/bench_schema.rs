@@ -107,3 +107,62 @@ fn scale_json_has_required_keys() {
     );
     assert!(number(&v, "paper_scale_comparison.reduction") > 1.0);
 }
+
+#[test]
+fn whatif_json_has_required_keys() {
+    let v = load("BENCH_whatif.json");
+    assert!(number(&v, "seed") >= 0.0);
+    assert!(number(&v, "iters") >= 1.0);
+    let tiers = v
+        .get("tiers")
+        .and_then(Value::as_array)
+        .expect("tiers array");
+    assert!(tiers.len() >= 3, "need >= 3 tiers, got {}", tiers.len());
+    let mut prev_target = 0.0;
+    for t in tiers {
+        for field in [
+            "target",
+            "ases",
+            "links",
+            "base_build_ms",
+            "cold_link_ns",
+            "warm_link_ns",
+            "speedup_link",
+            "cold_policy_ns",
+            "warm_policy_ns",
+            "speedup_policy",
+            "warm_queries_per_s",
+            "batch_queries_per_s",
+            "touched_fraction",
+        ] {
+            assert!(number(t, field) >= 0.0, "tier field {field}");
+        }
+        let target = number(t, "target");
+        assert!(target > prev_target, "tiers must be ascending");
+        prev_target = target;
+        assert!(number(t, "ases") >= target, "tier under-sized");
+        assert!(number(t, "warm_queries_per_s") > 0.0);
+        // The delta-seeding contract, as data: a localized edit must not
+        // touch more than a few percent of the internet.
+        assert!(
+            number(t, "touched_fraction") < 0.05,
+            "warm query touched {}% of ASes",
+            number(t, "touched_fraction") * 100.0
+        );
+    }
+    // The headline claim: at the 20k tier, answering warm must beat cold
+    // recomputation by at least an order of magnitude on both edit kinds.
+    let last = tiers.last().unwrap();
+    assert!(
+        number(last, "target") >= 20_000.0,
+        "largest tier must be 20k"
+    );
+    assert!(
+        number(last, "speedup_link") >= 10.0,
+        "link-edit speedup regressed below 10x"
+    );
+    assert!(
+        number(last, "speedup_policy") >= 10.0,
+        "policy-edit speedup regressed below 10x"
+    );
+}

@@ -96,7 +96,9 @@ impl CompactRoute {
 
 /// A table of optional compact routes as parallel columns. Vacancy is
 /// encoded in the `path` column ([`PathId::EMPTY`] = no route), so
-/// presence checks touch one `u32` vector.
+/// presence checks touch one `u32` vector. `Clone` is the copy-on-write
+/// fork behind what-if queries: eight flat `memcpy`s, no per-route work.
+#[derive(Clone)]
 pub(crate) struct RouteColumns {
     path: Vec<PathId>,
     path_len: Vec<u16>,

@@ -37,8 +37,10 @@ pub mod patharena;
 pub mod policy_eval;
 pub mod route;
 pub mod sim;
+mod snapshot;
 pub mod sweep;
 pub mod universe;
+pub mod whatif;
 mod worklist;
 
 pub use compact::MemoryBudget;
@@ -46,8 +48,9 @@ pub use path::{AsPath, Segment};
 pub use patharena::{ArenaStats, PathArena, PathId};
 pub use route::Route;
 pub use sim::{
-    ActivationOrder, Announcement, Convergence, EngineStats, PrefixSim, PropagationEngine,
+    ActivationOrder, Announcement, Convergence, Delta, EngineStats, PrefixSim, PropagationEngine,
     SimContext,
 };
 pub use sweep::SweepSim;
 pub use universe::{RoutingUniverse, UniverseResilience};
+pub use whatif::{DeltaStats, RouteDiff, WhatIfAnswer, WhatIfEngine, WhatIfQuery};

@@ -66,6 +66,10 @@ struct Cell {
 const META_IS_SET: u8 = 1;
 const META_HAS_SET: u8 = 2;
 
+/// Serialized form of one cons cell — `(is_set, elem, tail)` — exchanged
+/// with the snapshot codec by [`PathArena::raw_cells`] / [`PathArena::from_raw`].
+pub(crate) type RawCell = (bool, u32, u32);
+
 #[derive(Default)]
 struct ArenaCore {
     cells: Vec<Cell>,
@@ -314,6 +318,84 @@ impl PathArena {
             cur = c.tail;
         }
         true
+    }
+
+    /// Raw dump for snapshot serialization: every cell as `(is_set, elem,
+    /// tail)` in id order, plus the interned set table. Together with
+    /// [`PathArena::from_raw`] this round-trips the arena **preserving cell
+    /// ids**, so serialized [`PathId`]s stay valid against the reloaded
+    /// arena.
+    pub(crate) fn raw_cells(&self) -> (Vec<RawCell>, Vec<Vec<Asn>>) {
+        let core = self.read();
+        let cells = core
+            .cells
+            .iter()
+            .map(|c| (c.meta & META_IS_SET != 0, c.elem, c.tail))
+            .collect();
+        (cells, core.sets.clone())
+    }
+
+    /// Rebuilds an arena from [`PathArena::raw_cells`] output, recomputing
+    /// the cached metadata and both dedup maps. Returns `None` on
+    /// structurally invalid input (a tail that is not an earlier cell, a
+    /// set index out of range, an unsorted or duplicated set, a duplicate
+    /// `(is_set, elem, tail)` cell — none of which [`PathArena::raw_cells`]
+    /// can produce): corrupt snapshots are reported, not trusted.
+    pub(crate) fn from_raw(cells: &[RawCell], sets: Vec<Vec<Asn>>) -> Option<PathArena> {
+        if cells.len() >= u32::MAX as usize || sets.len() >= u32::MAX as usize {
+            return None;
+        }
+        for s in &sets {
+            if !s.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+        }
+        let mut core = ArenaCore {
+            cells: Vec::with_capacity(cells.len()),
+            dedup: HashMap::with_capacity(cells.len()),
+            set_dedup: sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), i as u32))
+                .collect(),
+            sets,
+        };
+        if core.set_dedup.len() != core.sets.len() {
+            return None; // duplicate sets
+        }
+        for (id, &(is_set, elem, tail)) in cells.iter().enumerate() {
+            let (tail_len, tail_meta) = if tail == u32::MAX {
+                (0, 0)
+            } else {
+                // Append-only invariant: a tail always precedes its cell.
+                if tail as usize >= id {
+                    return None;
+                }
+                let t = &core.cells[tail as usize];
+                (t.len, t.meta)
+            };
+            if is_set && elem as usize >= core.sets.len() {
+                return None;
+            }
+            let mut meta = tail_meta & META_HAS_SET;
+            if is_set {
+                meta |= META_IS_SET | META_HAS_SET;
+            }
+            if core.dedup.insert((is_set, elem, tail), id as u32).is_some() {
+                return None; // hash-consing violated: duplicate cell
+            }
+            core.cells.push(Cell {
+                elem,
+                tail,
+                len: tail_len + 1,
+                meta,
+            });
+        }
+        Some(PathArena {
+            core: RwLock::new(core),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
     }
 
     /// Occupancy snapshot for memory accounting.

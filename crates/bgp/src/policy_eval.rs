@@ -10,7 +10,7 @@ use crate::path::AsPath;
 use crate::patharena::{PathArena, PathId};
 use crate::route::Route;
 use ir_topology::graph::{LinkKind, NodeIdx};
-use ir_topology::policy::TransitScope;
+use ir_topology::policy::{PolicySpec, TransitScope};
 use ir_topology::World;
 use ir_types::{CityId, Prefix, Relationship, Timestamp};
 
@@ -131,9 +131,15 @@ impl<'w> PolicyEngine<'w> {
     /// preference computation, but the path stays a [`PathId`] (loop and
     /// set checks walk the arena) and the result is a [`CompactRoute`].
     /// Compact routes carry no prefix — the per-prefix engine holds it.
+    ///
+    /// `policy` is `me`'s *resolved* spec: the world's ground truth, or a
+    /// per-sim overlay entry when a [`crate::sim::Delta`] edited it. The
+    /// engine never resolves the spec itself so delta edits stay scoped to
+    /// the simulation that applied them.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn import_compact(
         &self,
+        policy: &PolicySpec,
         arena: &PathArena,
         me: NodeIdx,
         from: NodeIdx,
@@ -145,7 +151,6 @@ impl<'w> PolicyEngine<'w> {
         age: u32,
     ) -> Option<CompactRoute> {
         let me_node = self.world.graph.node(me);
-        let policy = self.world.policy(me);
 
         // Loop prevention, exactly as in `import`: sequence hits are always
         // fatal; `no_loop_prevention` only waives the AS-set check.
@@ -193,22 +198,22 @@ impl<'w> PolicyEngine<'w> {
         to: NodeIdx,
         rel_to: Relationship,
     ) -> bool {
-        self.may_export_parts(me, route.rel, route.prefix, to, rel_to)
+        self.may_export_parts(self.world.policy(me), route.rel, route.prefix, to, rel_to)
     }
 
     /// [`PolicyEngine::may_export`] from the decomposed inputs the compact
     /// engine has on hand: the class the route was learned on (`None` =
     /// local origination) and the prefix (consulted only for local routes'
-    /// selective-announcement policy).
+    /// selective-announcement policy). `policy` is `me`'s resolved spec —
+    /// see [`PolicyEngine::import_compact`].
     pub(crate) fn may_export_parts(
         &self,
-        me: NodeIdx,
+        policy: &PolicySpec,
         learned_rel: Option<Relationship>,
         prefix: Prefix,
         to: NodeIdx,
         rel_to: Relationship,
     ) -> bool {
-        let policy = self.world.policy(me);
         let to_asn = self.world.graph.asn(to);
 
         // Class the route was learned on; local originations export freely.
@@ -500,6 +505,7 @@ mod tests {
                             Timestamp(60),
                         );
                         let compact = eng.import_compact(
+                            w.policy(me),
                             &arena,
                             me,
                             from,

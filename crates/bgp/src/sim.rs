@@ -53,6 +53,7 @@ use crate::policy_eval::PolicyEngine;
 use crate::route::Route;
 use crate::worklist::BitWorklist;
 use ir_topology::graph::{AsGraph, LinkKind, NodeIdx};
+use ir_topology::policy::{PolicySpec, TransitScope};
 use ir_topology::World;
 use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,14 @@ pub struct EngineStats {
     /// Prefixes whose routing was fanned out from another prefix's
     /// converged RIB instead of re-propagated (universe-level batching).
     pub prefixes_shared: usize,
+    /// [`Delta`] edits applied through [`PrefixSim::apply_delta`].
+    pub deltas_applied: usize,
+    /// Worklist seed nodes across events — the ASes whose inputs changed;
+    /// everything else reconverges only if the change propagates to it.
+    pub ases_seeded: usize,
+    /// Best-table routes that survived an event unchanged (summed per
+    /// event): the routes delta reconvergence did *not* have to recompute.
+    pub routes_retained: usize,
     /// Memory accounting of the compact route storage (columns + path
     /// arena), refreshed on every [`PrefixSim::stats`] call; zeros for the
     /// sweep oracle, which keeps materialized routes.
@@ -146,6 +155,9 @@ impl EngineStats {
         self.sessions_torn += other.sessions_torn;
         self.shapes_computed += other.shapes_computed;
         self.prefixes_shared += other.prefixes_shared;
+        self.deltas_applied += other.deltas_applied;
+        self.ases_seeded += other.ases_seeded;
+        self.routes_retained += other.routes_retained;
         self.memory.absorb(&other.memory);
     }
 }
@@ -359,10 +371,14 @@ impl<'w> SimContext<'w> {
     /// [`SimContext::export_path`] over compact routes: same policy
     /// decisions, but the prepend is an arena cons and the result a path
     /// handle. `prefix` is the prefix being simulated (compact routes do
-    /// not carry it; it is constant per sim).
+    /// not carry it; it is constant per sim). `from_policy` is the
+    /// exporter's resolved spec — the world's ground truth, or the sim's
+    /// overlay entry after a [`Delta`] edited it.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn export_compact(
         &self,
         from: NodeIdx,
+        from_policy: &PolicySpec,
         to: NodeIdx,
         s: &Session,
         best: &CompactRoute,
@@ -380,7 +396,7 @@ impl<'w> SimContext<'w> {
             }
         }
         if !self.engine.may_export_parts(
-            from,
+            from_policy,
             rel_of_tag(best.rel),
             prefix,
             to,
@@ -389,10 +405,7 @@ impl<'w> SimContext<'w> {
             return None;
         }
         let from_asn = self.world.graph.asn(from);
-        let extra = self
-            .world
-            .policy(from)
-            .prepends_to(self.world.graph.asn(to)) as usize;
+        let extra = from_policy.prepends_to(self.world.graph.asn(to)) as usize;
         let count = if best.is_local() { extra } else { extra + 1 };
         Some(self.arena.prepend_n(best.path, from_asn, count))
     }
@@ -460,6 +473,17 @@ impl ShapeTable {
     pub(crate) fn bytes(&self) -> usize {
         self.rows.bytes() + self.arena.stats().bytes
     }
+
+    /// The table's private arena (snapshot serialization reads it raw).
+    pub(crate) fn arena(&self) -> &Arc<PathArena> {
+        &self.arena
+    }
+
+    /// Reassembles a table from deserialized parts. `rows` path handles
+    /// must be scoped to `arena`.
+    pub(crate) fn from_parts(rows: RouteColumns, arena: Arc<PathArena>) -> ShapeTable {
+        ShapeTable { rows, arena }
+    }
 }
 
 /// A propagation engine: anything that can run announcement events for one
@@ -506,6 +530,78 @@ pub(crate) const NO_OP_CONVERGENCE: Convergence = Convergence {
     activations: 0,
     imports: 0,
 };
+
+/// One edit to a converged simulation's inputs — the generalization of the
+/// `fail_link`/`restore_link` machinery to every input the engine reads.
+/// Applied through [`PrefixSim::apply_delta`], each variant seeds the
+/// worklist only from the AS(es) whose inputs changed and reconverges in
+/// place over the existing route state; the unchanged remainder of the
+/// graph is never activated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// Take the link between `a` and `b` down (all sessions, both ways).
+    LinkDown { a: Asn, b: Asn },
+    /// Bring a downed link back up.
+    LinkUp { a: Asn, b: Asn },
+    /// Session preference edit: set `of`'s per-neighbor local-pref delta
+    /// toward `neighbor` (`None` clears the override). Import-side: `of`'s
+    /// adj-RIB-in is re-derived before reconvergence.
+    NeighborPref {
+        of: Asn,
+        neighbor: Asn,
+        delta: Option<i16>,
+    },
+    /// Export-side prepending edit toward `neighbor` (`None` clears it).
+    ExportPrepend {
+        of: Asn,
+        neighbor: Asn,
+        count: Option<u8>,
+    },
+    /// Partial-transit edit: `of` grants `neighbor` customer-routes-only
+    /// (`true`) or full (`false`) transit.
+    PartialTransit {
+        of: Asn,
+        neighbor: Asn,
+        customer_routes_only: bool,
+    },
+    /// Origin-side selective-announce edit: `prefix` is announced only to
+    /// `allowed` (`None` removes the restriction).
+    SelectiveAnnounce {
+        of: Asn,
+        prefix: Prefix,
+        allowed: Option<BTreeSet<Asn>>,
+    },
+    /// Toggle AS-set (poison) filtering at `of` — the import-side filter
+    /// [`PrefixSim::set_poison_filters`] declares in bulk.
+    PoisonFilter { of: Asn, enabled: bool },
+    /// Re-originate: origin, poison, or `via` change.
+    Announce(Announcement),
+    /// Withdraw the prefix.
+    Withdraw,
+}
+
+/// Per-sim policy edits layered over the world's ground truth: the
+/// copy-on-write half of delta reconvergence. Worlds stay immutable and
+/// shared; a [`Delta`] policy edit clones the affected AS's resolved spec
+/// into the sim's private overlay.
+pub(crate) type PolicyOverlay = BTreeMap<NodeIdx, Arc<PolicySpec>>;
+
+/// Resolves `x`'s effective [`PolicySpec`]: the overlay entry when one
+/// exists, the world's ground truth otherwise. The empty-overlay fast path
+/// keeps delta-free simulations at exactly their old cost.
+pub(crate) fn overlay_policy<'a>(
+    world: &'a World,
+    overlay: &'a PolicyOverlay,
+    x: NodeIdx,
+) -> &'a PolicySpec {
+    if overlay.is_empty() {
+        return world.policy(x);
+    }
+    match overlay.get(&x) {
+        Some(spec) => spec.as_ref(),
+        None => world.policy(x),
+    }
+}
 
 /// Worklist scheduling discipline for [`PrefixSim`].
 ///
@@ -573,6 +669,9 @@ pub struct PrefixSim<'w> {
     /// ASes that drop imports whose path carries an AS-set (poisoned
     /// announcements). Empty unless faults are injected.
     poison_filters: BTreeSet<NodeIdx>,
+    /// Per-sim policy edits over the world's ground truth (see
+    /// [`PolicyOverlay`]). Empty unless [`Delta`] policy edits applied.
+    overlay: PolicyOverlay,
     clock: Timestamp,
     stats: EngineStats,
     /// Current-wave worklist, reused across events (generation-reset, not
@@ -620,6 +719,7 @@ impl<'w> PrefixSim<'w> {
             rib,
             downed: BTreeSet::new(),
             poison_filters: BTreeSet::new(),
+            overlay: PolicyOverlay::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
             wave: BitWorklist::new(n),
@@ -695,7 +795,13 @@ impl<'w> PrefixSim<'w> {
         self.stats.recovery_events += 1;
         let imports = self.reestablish_sessions(key);
         self.stats.imports += imports;
-        self.run_recovery(key)
+        // The RIB-exchange imports belong to *this* event: fold them into
+        // the returned per-event counters (the cumulative stats above
+        // already have them exactly once), so per-event sums equal
+        // cumulative deltas and DeltaStats never double-counts.
+        let mut conv = self.run_recovery(key);
+        conv.imports += imports;
+        conv
     }
 
     /// Resets the sessions between `a` and `b`: state is cleared and the
@@ -716,7 +822,10 @@ impl<'w> PrefixSim<'w> {
         self.stats.sessions_torn += torn;
         let imports = self.reestablish_sessions(key);
         self.stats.imports += imports;
-        self.run_recovery(key)
+        // As in `restore_link`: per-event counters include the re-exchange.
+        let mut conv = self.run_recovery(key);
+        conv.imports += imports;
+        conv
     }
 
     /// Applies one scheduled fault event.
@@ -726,6 +835,189 @@ impl<'w> PrefixSim<'w> {
             ir_fault::FaultEvent::LinkUp { a, b } => self.restore_link(a, b, fault.at),
             ir_fault::FaultEvent::SessionReset { a, b } => self.reset_link(a, b, fault.at),
         }
+    }
+
+    /// Applies one [`Delta`] edit at time `at` and reconverges in place,
+    /// seeding the worklist only from the AS(es) whose inputs changed. The
+    /// returned [`Convergence`] counts this event alone (no cumulative
+    /// carry-over), which is what [`crate::whatif::DeltaStats`] sums.
+    pub fn apply_delta(&mut self, delta: &Delta, at: Timestamp) -> Convergence {
+        self.stats.deltas_applied += 1;
+        match delta {
+            Delta::LinkDown { a, b } => self.fail_link(*a, *b, at),
+            Delta::LinkUp { a, b } => self.restore_link(*a, *b, at),
+            Delta::Announce(ann) => self.announce(ann.clone(), at),
+            Delta::Withdraw => self.withdraw(at),
+            Delta::NeighborPref {
+                of,
+                neighbor,
+                delta,
+            } => {
+                let (neighbor, delta) = (*neighbor, *delta);
+                // Import-side: `of`'s adj-RIB-in local-prefs are stale.
+                self.policy_edit(*of, at, true, move |spec| match delta {
+                    Some(d) => {
+                        spec.neighbor_pref.insert(neighbor, d);
+                    }
+                    None => {
+                        spec.neighbor_pref.remove(&neighbor);
+                    }
+                })
+            }
+            Delta::ExportPrepend {
+                of,
+                neighbor,
+                count,
+            } => {
+                let (neighbor, count) = (*neighbor, *count);
+                self.policy_edit(*of, at, false, move |spec| match count {
+                    Some(c) => {
+                        spec.export_prepend.insert(neighbor, c);
+                    }
+                    None => {
+                        spec.export_prepend.remove(&neighbor);
+                    }
+                })
+            }
+            Delta::PartialTransit {
+                of,
+                neighbor,
+                customer_routes_only,
+            } => {
+                let (neighbor, cro) = (*neighbor, *customer_routes_only);
+                self.policy_edit(*of, at, false, move |spec| {
+                    if cro {
+                        spec.partial_transit
+                            .insert(neighbor, TransitScope::CustomerRoutesOnly);
+                    } else {
+                        spec.partial_transit.remove(&neighbor);
+                    }
+                })
+            }
+            Delta::SelectiveAnnounce {
+                of,
+                prefix,
+                allowed,
+            } => {
+                let (prefix, allowed) = (*prefix, allowed.clone());
+                self.policy_edit(*of, at, false, move |spec| match allowed {
+                    Some(set) => {
+                        spec.selective_announce.insert(prefix, set);
+                    }
+                    None => {
+                        spec.selective_announce.remove(&prefix);
+                    }
+                })
+            }
+            Delta::PoisonFilter { of, enabled } => self.poison_filter_edit(*of, *enabled, at),
+        }
+    }
+
+    /// Shared tail of the policy-editing [`Delta`] variants: clone `of`'s
+    /// effective spec into the overlay, apply `edit`, then reconverge with
+    /// `of` as the only forced seed. Import-side edits (local-pref)
+    /// invalidate `of`'s cached adj-RIB-in, so it is re-derived from the
+    /// neighbors' (unchanged) best routes first; export-side edits need
+    /// only the forced re-export — unchanged exports are skipped by the
+    /// one-u32 fast path, so fan-out stays proportional to what changed.
+    fn policy_edit(
+        &mut self,
+        of: Asn,
+        at: Timestamp,
+        import_side: bool,
+        edit: impl FnOnce(&mut PolicySpec),
+    ) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(x) = self.ctx.world.graph.index_of(of) else {
+            return NO_OP_CONVERGENCE;
+        };
+        let mut spec = overlay_policy(self.ctx.world, &self.overlay, x).clone();
+        edit(&mut spec);
+        self.overlay.insert(x, Arc::new(spec));
+        let imports = if import_side { self.rederive_rib(x) } else { 0 };
+        self.stats.imports += imports;
+        let mut conv = self.run_event([Some(x), None]);
+        conv.imports += imports;
+        conv
+    }
+
+    /// [`Delta::PoisonFilter`]: toggles AS-set filtering at one AS and
+    /// reconverges. Import-side, so the adj-RIB-in is re-derived like a
+    /// preference edit. A toggle to the current state is a no-op.
+    fn poison_filter_edit(&mut self, of: Asn, enabled: bool, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(x) = self.ctx.world.graph.index_of(of) else {
+            return NO_OP_CONVERGENCE;
+        };
+        let changed = if enabled {
+            self.poison_filters.insert(x)
+        } else {
+            self.poison_filters.remove(&x)
+        };
+        if !changed {
+            return NO_OP_CONVERGENCE;
+        }
+        let imports = self.rederive_rib(x);
+        self.stats.imports += imports;
+        let mut conv = self.run_event([Some(x), None]);
+        conv.imports += imports;
+        conv
+    }
+
+    /// Recomputes `x`'s entire adj-RIB-in from its neighbors' current best
+    /// routes under the *current* (post-edit) policies. Sound at any
+    /// converged point because the engine maintains the invariant
+    /// `rib[x][si] == import(export(peer's best))` for live sessions — the
+    /// stored entries are a pure function of state this pass re-reads.
+    /// Returns import evaluations performed.
+    fn rederive_rib(&mut self, x: NodeIdx) -> usize {
+        let mut imports = 0;
+        let PrefixSim {
+            ctx,
+            prefix,
+            announcement,
+            best,
+            rib,
+            downed,
+            poison_filters,
+            overlay,
+            clock,
+            ..
+        } = self;
+        let ann = announcement.as_ref();
+        let age = clamp_age(*clock);
+        let policy_x = overlay_policy(ctx.world, overlay, x);
+        let base = ctx.rib_base(x);
+        for (si, s) in ctx.sessions(x).iter().enumerate() {
+            let peer = s.peer;
+            let link_up = downed.is_empty() || !downed.contains(&link_key(x, peer));
+            let imported = if link_up {
+                best.get(peer)
+                    .as_ref()
+                    .and_then(|b| {
+                        let policy_peer = overlay_policy(ctx.world, overlay, peer);
+                        ctx.export_compact(peer, policy_peer, x, s, b, *prefix, ann)
+                    })
+                    .and_then(|p| {
+                        imports += 1;
+                        if !poison_filters.is_empty()
+                            && poison_filters.contains(&x)
+                            && ctx.arena.has_set(p)
+                        {
+                            return None;
+                        }
+                        ctx.engine.import_compact(
+                            policy_x, &ctx.arena, x, peer, s.city, s.rel, s.kind, p, s.igp, age,
+                        )
+                    })
+            } else {
+                None
+            };
+            rib.set(base + si, imported);
+        }
+        imports
     }
 
     /// Declares which ASes filter AS-set-carrying (poisoned) announcements.
@@ -792,6 +1084,7 @@ impl<'w> PrefixSim<'w> {
             best,
             rib,
             poison_filters,
+            overlay,
             clock,
             ..
         } = self;
@@ -799,6 +1092,8 @@ impl<'w> PrefixSim<'w> {
         let age = clamp_age(*clock);
         for (x, l) in [(key.0, key.1), (key.1, key.0)] {
             let best_x = best.get(x);
+            let policy_x = overlay_policy(ctx.world, overlay, x);
+            let policy_l = overlay_policy(ctx.world, overlay, l);
             let base = ctx.rib_base(l);
             for (si, s) in ctx.sessions(l).iter().enumerate() {
                 if s.peer != x {
@@ -806,7 +1101,7 @@ impl<'w> PrefixSim<'w> {
                 }
                 let imported = best_x
                     .as_ref()
-                    .and_then(|b| ctx.export_compact(x, l, s, b, *prefix, ann))
+                    .and_then(|b| ctx.export_compact(x, policy_x, l, s, b, *prefix, ann))
                     .and_then(|p| {
                         imports += 1;
                         if !poison_filters.is_empty()
@@ -815,8 +1110,9 @@ impl<'w> PrefixSim<'w> {
                         {
                             return None;
                         }
-                        ctx.engine
-                            .import_compact(&ctx.arena, l, x, s.city, s.rel, s.kind, p, s.igp, age)
+                        ctx.engine.import_compact(
+                            policy_l, &ctx.arena, l, x, s.city, s.rel, s.kind, p, s.igp, age,
+                        )
                     });
                 rib.set(base + si, imported);
             }
@@ -882,6 +1178,7 @@ impl<'w> PrefixSim<'w> {
     /// can never leak seeds into a later `run_recovery`.
     fn run_event(&mut self, seeds: [Option<NodeIdx>; 2]) -> Convergence {
         self.stats.events += 1;
+        self.stats.ases_seeded += seeds.iter().flatten().count();
         let n = self.ctx.world.graph.len();
         // Same wave budget as the sweep engine's round cap: far beyond
         // anything a safe configuration needs, small enough to report a
@@ -943,14 +1240,25 @@ impl<'w> PrefixSim<'w> {
         self.next = next;
         // Age normalization: an AS that ends the event on the same session
         // and path it started on keeps the original installation age, even
-        // if it flipped through other routes transiently.
+        // if it flipped through other routes transiently. The same pass
+        // counts net route changes for the retention counter below.
+        let mut changed = 0usize;
         for (x, old) in pre_event {
-            if let (Some(o), Some(cur)) = (old, self.best.get(x)) {
-                if o.same_route(&cur) {
-                    self.best.set_age(x, o.age);
+            match (old, self.best.get(x)) {
+                (Some(o), Some(cur)) => {
+                    if o.same_route(&cur) {
+                        self.best.set_age(x, o.age);
+                    } else {
+                        changed += 1;
+                    }
                 }
+                (None, Some(_)) => changed += 1,
+                // (Some, None) is a loss, not a retention; (None, None)
+                // was a transient that settled back to nothing.
+                _ => {}
             }
         }
+        self.stats.routes_retained += self.best.occupied().saturating_sub(changed);
         self.stats.activations += activations;
         self.stats.imports += imports;
         Convergence {
@@ -1016,12 +1324,14 @@ impl<'w> PrefixSim<'w> {
             rib,
             downed,
             poison_filters,
+            overlay,
             clock,
             ..
         } = self;
         let free = *order == ActivationOrder::Free;
         let ann = announcement.as_ref();
         let best_x = best.get(x);
+        let policy_x = overlay_policy(ctx.world, overlay, x);
         let age = clamp_age(*clock);
         for &(l, rib_idx) in ctx.listeners(x) {
             let (l, rib_idx) = (l as usize, rib_idx as usize);
@@ -1031,7 +1341,7 @@ impl<'w> PrefixSim<'w> {
             let exported = if link_up {
                 best_x
                     .as_ref()
-                    .and_then(|b| ctx.export_compact(x, l, s, b, *prefix, ann))
+                    .and_then(|b| ctx.export_compact(x, policy_x, l, s, b, *prefix, ann))
             } else {
                 None
             };
@@ -1055,8 +1365,18 @@ impl<'w> PrefixSim<'w> {
                 {
                     return None;
                 }
-                ctx.engine
-                    .import_compact(&ctx.arena, l, x, s.city, s.rel, s.kind, p, s.igp, age)
+                ctx.engine.import_compact(
+                    overlay_policy(ctx.world, overlay, l),
+                    &ctx.arena,
+                    l,
+                    x,
+                    s.city,
+                    s.rel,
+                    s.kind,
+                    p,
+                    s.igp,
+                    age,
+                )
             });
             // The export changed but the import verdict didn't: nothing for
             // the listener to react to.
@@ -1076,7 +1396,7 @@ impl<'w> PrefixSim<'w> {
     }
 
     /// Materializes a compact route at this sim's API boundary.
-    fn materialize(&self, r: CompactRoute) -> Route {
+    pub(crate) fn materialize(&self, r: CompactRoute) -> Route {
         let graph = &self.ctx.world.graph;
         materialize_route(r, self.prefix, &self.ctx.arena, |i| graph.asn(i as usize))
     }
@@ -1123,6 +1443,83 @@ impl<'w> PrefixSim<'w> {
             }
         }
         ShapeTable { rows, arena }
+    }
+
+    /// Copy-on-write fork of this sim's full converged state, retargeted
+    /// at `member` (a prefix sharing this sim's announcement shape — same
+    /// origin and export restrictions, so the converged tables are
+    /// identical by the universe's batching invariant). The fork shares the
+    /// `SimContext` (and thus the path arena: handles stay comparable
+    /// across base and fork) but owns private best/rib columns, so deltas
+    /// applied to it never disturb the base. Cost is eight flat memcpys per
+    /// table — no per-route work, no re-propagation.
+    pub(crate) fn fork_for(&self, member: Prefix) -> PrefixSim<'w> {
+        let announcement = self.announcement.clone().map(|mut a| {
+            a.prefix = member;
+            a
+        });
+        let n = self.best.len();
+        PrefixSim {
+            ctx: Arc::clone(&self.ctx),
+            prefix: member,
+            order: self.order,
+            announcement,
+            origin_idx: self.origin_idx,
+            announce_time: self.announce_time,
+            ann_path: self.ann_path,
+            ann_path_len: self.ann_path_len,
+            best: self.best.clone(),
+            rib: self.rib.clone(),
+            downed: self.downed.clone(),
+            poison_filters: self.poison_filters.clone(),
+            overlay: self.overlay.clone(),
+            clock: self.clock,
+            stats: EngineStats::default(),
+            wave: BitWorklist::new(n),
+            next: BitWorklist::new(n),
+        }
+    }
+
+    /// The selected compact route at `x` — raw column load, no
+    /// materialization. Valid to compare field-for-field against another
+    /// sim's rows **only** when both share one arena (base and its
+    /// [`PrefixSim::fork_for`] forks do).
+    pub(crate) fn best_compact(&self, x: NodeIdx) -> Option<CompactRoute> {
+        self.best.get(x)
+    }
+
+    /// Rebuilds a live, delta-ready sim from a converged [`ShapeTable`]
+    /// (universe fan-out state or a reloaded snapshot) without replaying
+    /// propagation: the best table is re-interned into the new context's
+    /// arena and the adj-RIB-in re-derived per node from the converged
+    /// invariant — O(sessions) policy evaluations instead of a full
+    /// worklist run. Assumes the table came from a plain announcement at
+    /// `Timestamp::ZERO`, which is how [`crate::RoutingUniverse`] computes.
+    pub(crate) fn hydrate(
+        ctx: Arc<SimContext<'w>>,
+        order: ActivationOrder,
+        prefix: Prefix,
+        origin: Asn,
+        table: &ShapeTable,
+    ) -> PrefixSim<'w> {
+        let mut sim = PrefixSim::with_context_ordered(ctx, prefix, order);
+        let ann = Announcement::plain(origin, prefix);
+        let path = ann.origination_path();
+        sim.ann_path = sim.ctx.arena.intern(&path);
+        sim.ann_path_len = path.len() as u16;
+        sim.origin_idx = sim.ctx.world.graph.index_of(origin);
+        sim.announcement = Some(ann);
+        let n = sim.best.len();
+        for x in 0..n.min(table.rows.len()) {
+            if let Some(mut r) = table.rows.get(x) {
+                r.path = sim.ctx.arena.intern(&table.arena.materialize(r.path));
+                sim.best.set(x, Some(r));
+            }
+        }
+        for x in 0..n {
+            sim.rederive_rib(x);
+        }
+        sim
     }
 
     /// The prefix being simulated.

@@ -1,0 +1,206 @@
+//! Little-endian byte codec behind universe snapshots.
+//!
+//! [`crate::RoutingUniverse::to_snapshot_bytes`] /
+//! [`crate::RoutingUniverse::from_snapshot_bytes`] live with the universe
+//! (they read its private fields); this module holds the deliberately dumb
+//! encoding layer they share. The format is versioned by a magic string,
+//! fully deterministic (BTreeMap iteration order everywhere), and decoding
+//! validates structure instead of trusting it — a truncated or corrupt
+//! snapshot becomes an [`Error`], never a panic.
+
+use ir_types::Error;
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A collection length, checked into `u32` (the format's count width).
+    pub(crate) fn len(&mut self, n: usize) -> Result<(), Error> {
+        let v = u32::try_from(n)
+            .map_err(|_| Error::incomplete("snapshot", format!("collection too large: {n}")))?;
+        self.u32(v);
+        Ok(())
+    }
+}
+
+/// Checked little-endian cursor over snapshot bytes.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(Error::parse(
+                None,
+                format!("snapshot truncated at byte {}", self.pos),
+            )),
+        }
+    }
+
+    pub(crate) fn expect_magic(&mut self, magic: &[u8]) -> Result<(), Error> {
+        if self.take(magic.len())? != magic {
+            return Err(Error::parse(None, "snapshot magic mismatch"));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, Error> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn i32(&mut self) -> Result<i32, Error> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// A collection length as `usize`, sanity-capped against the remaining
+    /// bytes so a corrupt count cannot trigger a huge pre-allocation.
+    pub(crate) fn len(&mut self, min_elem_bytes: usize) -> Result<usize, Error> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(Error::parse(
+                None,
+                format!("snapshot count {n} exceeds remaining bytes"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Decoding must consume the whole snapshot — trailing garbage means
+    /// the format disagrees with the writer.
+    pub(crate) fn done(&self) -> Result<(), Error> {
+        if self.pos != self.buf.len() {
+            return Err(Error::parse(
+                None,
+                format!("snapshot has {} trailing bytes", self.buf.len() - self.pos),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(65_000);
+        w.u32(4_000_000_000);
+        w.u64(u64::MAX - 1);
+        w.i32(-5);
+        w.len(3).unwrap();
+        for v in [1u8, 2, 3] {
+            w.u8(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_000);
+        assert_eq!(r.u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i32().unwrap(), -5);
+        let n = r.len(1).unwrap();
+        assert_eq!(n, 3);
+        for v in [1u8, 2, 3] {
+            assert_eq!(r.u8().unwrap(), v);
+        }
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut w = Writer::new();
+        w.u32(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.u64().is_err(), "truncated read");
+        let mut r = Reader::new(&bytes);
+        r.u16().unwrap();
+        assert!(r.done().is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.len(1).is_err());
+    }
+
+    #[test]
+    fn magic_mismatch_is_an_error() {
+        let mut r = Reader::new(b"IRUNIV01");
+        assert!(r.expect_magic(b"IRUNIV99").is_err());
+        let mut r = Reader::new(b"IRUNIV01");
+        assert!(r.expect_magic(b"IRUNIV01").is_ok());
+    }
+}

@@ -29,15 +29,22 @@
 //! [`EngineStats::shapes_computed`] / [`EngineStats::prefixes_shared`]
 //! (via [`RoutingUniverse::engine_stats`]) make the sharing observable.
 
+use crate::compact::{CompactRoute, MemoryBudget, RouteColumns};
+use crate::patharena::{PathArena, PathId};
 use crate::route::Route;
 use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, ShapeTable, SimContext};
+use crate::snapshot::{Reader, Writer};
 use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
-use ir_types::{Asn, Ipv4, Prefix, Timestamp};
+use ir_types::{Asn, Error, Ipv4, Prefix, Timestamp};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
+
+/// Snapshot format tag; bump on any layout change.
+const SNAPSHOT_MAGIC: &[u8] = b"IRUNIV01";
 
 /// Converged routing state for a set of prefixes.
 pub struct RoutingUniverse {
@@ -106,7 +113,7 @@ type ShapeKey = (NodeIdx, Option<BTreeSet<Asn>>);
 /// group, key order across groups — both deterministic). With `batch`
 /// off every prefix is its own singleton group: the per-prefix oracle
 /// path.
-fn shape_groups(
+pub(crate) fn shape_groups(
     world: &World,
     prefixes: &[Prefix],
     owners: &BTreeMap<Prefix, Asn>,
@@ -458,6 +465,276 @@ impl RoutingUniverse {
     /// (`shapes_computed + prefixes_shared` = total prefixes).
     pub fn engine_stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// The per-prefix shape tables (Arc-shared across a shape's members) —
+    /// what the what-if engine hydrates live sims from.
+    pub(crate) fn tables(&self) -> &BTreeMap<Prefix, Arc<ShapeTable>> {
+        &self.tables
+    }
+
+    /// Node index → ASN capture (see the field doc).
+    pub(crate) fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Serializes the converged universe — compact columns, path arenas,
+    /// shape sharing, accounting — into a deterministic byte image.
+    /// Everything derivable (the LPM index) is rebuilt on load; everything
+    /// else round-trips exactly, so
+    /// [`RoutingUniverse::from_snapshot_bytes`] followed by another
+    /// `to_snapshot_bytes` is byte-identical. Shape tables shared across
+    /// member prefixes are written once and re-shared on load.
+    pub fn to_snapshot_bytes(&self) -> Result<Vec<u8>, Error> {
+        let mut w = Writer::new();
+        w.bytes(SNAPSHOT_MAGIC);
+        w.len(self.asns.len())?;
+        for a in &self.asns {
+            w.u32(a.value());
+        }
+        // Dedup shared tables by Arc identity, numbered in first-seen order
+        // over the (deterministic) prefix walk.
+        let mut shape_idx: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut shapes: Vec<&ShapeTable> = Vec::new();
+        for table in self.tables.values() {
+            let ptr = Arc::as_ptr(table) as usize;
+            shape_idx.entry(ptr).or_insert_with(|| {
+                shapes.push(table);
+                (shapes.len() - 1) as u32
+            });
+        }
+        w.len(shapes.len())?;
+        for table in &shapes {
+            let (cells, sets) = table.arena().raw_cells();
+            w.len(sets.len())?;
+            for s in &sets {
+                w.len(s.len())?;
+                for a in s {
+                    w.u32(a.value());
+                }
+            }
+            w.len(cells.len())?;
+            for &(is_set, elem, tail) in &cells {
+                w.u8(u8::from(is_set));
+                w.u32(elem);
+                w.u32(tail);
+            }
+            w.len(table.rows.len())?;
+            for x in 0..table.rows.len() {
+                match table.rows.get(x) {
+                    None => w.u32(PathId::EMPTY.0),
+                    Some(r) => {
+                        w.u32(r.path.0);
+                        w.u16(r.path_len);
+                        w.u32(r.learned_from);
+                        w.u16(r.city);
+                        w.u8(r.rel);
+                        w.i32(r.local_pref);
+                        w.u32(r.igp_cost);
+                        w.u32(r.age);
+                    }
+                }
+            }
+        }
+        w.len(self.tables.len())?;
+        for (prefix, table) in &self.tables {
+            let origin = self.origins.get(prefix).ok_or_else(|| {
+                Error::incomplete("snapshot", format!("prefix {prefix} has no origin"))
+            })?;
+            w.u32(prefix.base.0);
+            w.u8(prefix.len);
+            w.u32(origin.value());
+            w.u32(shape_idx[&(Arc::as_ptr(table) as usize)]);
+        }
+        w.len(self.unconverged.len())?;
+        for p in &self.unconverged {
+            w.u32(p.base.0);
+            w.u8(p.len);
+        }
+        w.u64(self.resilience.fault_events as u64);
+        w.u64(self.resilience.recovery_rounds as u64);
+        w.u64(self.resilience.sessions_torn as u64);
+        w.u64(self.resilience.links_down_at_end as u64);
+        for v in [
+            self.stats.events,
+            self.stats.activations,
+            self.stats.imports,
+            self.stats.recovery_events,
+            self.stats.recovery_rounds,
+            self.stats.sessions_torn,
+            self.stats.shapes_computed,
+            self.stats.prefixes_shared,
+            self.stats.deltas_applied,
+            self.stats.ases_seeded,
+            self.stats.routes_retained,
+            self.stats.memory.route_bytes,
+            self.stats.memory.routes,
+            self.stats.memory.arena_bytes,
+            self.stats.memory.arena_cells,
+        ] {
+            w.u64(v as u64);
+        }
+        w.u64(self.stats.memory.intern_hits);
+        w.u64(self.stats.memory.intern_misses);
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a [`RoutingUniverse::to_snapshot_bytes`] image. Fully
+    /// validating: truncation, bad counts, dangling shape/path references,
+    /// or a corrupt arena all return an [`Error`] instead of panicking.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<RoutingUniverse, Error> {
+        fn to_usize(v: u64) -> Result<usize, Error> {
+            usize::try_from(v)
+                .map_err(|_| Error::parse(None, format!("snapshot counter {v} overflows usize")))
+        }
+        let mut r = Reader::new(bytes);
+        r.expect_magic(SNAPSHOT_MAGIC)?;
+        let n_asns = r.len(4)?;
+        let mut asns = Vec::with_capacity(n_asns);
+        for _ in 0..n_asns {
+            asns.push(Asn(r.u32()?));
+        }
+        let n_shapes = r.len(1)?;
+        let mut shapes: Vec<Arc<ShapeTable>> = Vec::with_capacity(n_shapes);
+        for _ in 0..n_shapes {
+            let n_sets = r.len(4)?;
+            let mut sets = Vec::with_capacity(n_sets);
+            for _ in 0..n_sets {
+                let m = r.len(4)?;
+                let mut set = Vec::with_capacity(m);
+                for _ in 0..m {
+                    set.push(Asn(r.u32()?));
+                }
+                sets.push(set);
+            }
+            let n_cells = r.len(9)?;
+            let mut cells = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                let is_set = r.u8()? != 0;
+                cells.push((is_set, r.u32()?, r.u32()?));
+            }
+            let arena = PathArena::from_raw(&cells, sets)
+                .ok_or_else(|| Error::parse(None, "snapshot arena is structurally invalid"))?;
+            let n_rows = r.len(4)?;
+            let mut rows = RouteColumns::new(n_rows);
+            for x in 0..n_rows {
+                let pid = r.u32()?;
+                if pid == PathId::EMPTY.0 {
+                    continue;
+                }
+                if pid as usize >= n_cells {
+                    return Err(Error::parse(
+                        None,
+                        format!("snapshot row references unknown path cell {pid}"),
+                    ));
+                }
+                rows.set(
+                    x,
+                    Some(CompactRoute {
+                        path: PathId(pid),
+                        path_len: r.u16()?,
+                        learned_from: r.u32()?,
+                        city: r.u16()?,
+                        rel: r.u8()?,
+                        local_pref: r.i32()?,
+                        igp_cost: r.u32()?,
+                        age: r.u32()?,
+                    }),
+                );
+            }
+            shapes.push(Arc::new(ShapeTable::from_parts(rows, Arc::new(arena))));
+        }
+        let n_prefixes = r.len(13)?;
+        let mut tables = BTreeMap::new();
+        let mut origins = BTreeMap::new();
+        for _ in 0..n_prefixes {
+            let prefix = Prefix {
+                base: Ipv4(r.u32()?),
+                len: r.u8()?,
+            };
+            let origin = Asn(r.u32()?);
+            let si = r.u32()? as usize;
+            let table = shapes.get(si).ok_or_else(|| {
+                Error::parse(
+                    None,
+                    format!("snapshot prefix references unknown shape {si}"),
+                )
+            })?;
+            tables.insert(prefix, Arc::clone(table));
+            origins.insert(prefix, origin);
+        }
+        let n_unconverged = r.len(5)?;
+        let mut unconverged = Vec::with_capacity(n_unconverged);
+        for _ in 0..n_unconverged {
+            unconverged.push(Prefix {
+                base: Ipv4(r.u32()?),
+                len: r.u8()?,
+            });
+        }
+        let resilience = UniverseResilience {
+            fault_events: to_usize(r.u64()?)?,
+            recovery_rounds: to_usize(r.u64()?)?,
+            sessions_torn: to_usize(r.u64()?)?,
+            links_down_at_end: to_usize(r.u64()?)?,
+        };
+        let stats = EngineStats {
+            events: to_usize(r.u64()?)?,
+            activations: to_usize(r.u64()?)?,
+            imports: to_usize(r.u64()?)?,
+            recovery_events: to_usize(r.u64()?)?,
+            recovery_rounds: to_usize(r.u64()?)?,
+            sessions_torn: to_usize(r.u64()?)?,
+            shapes_computed: to_usize(r.u64()?)?,
+            prefixes_shared: to_usize(r.u64()?)?,
+            deltas_applied: to_usize(r.u64()?)?,
+            ases_seeded: to_usize(r.u64()?)?,
+            routes_retained: to_usize(r.u64()?)?,
+            memory: MemoryBudget {
+                route_bytes: to_usize(r.u64()?)?,
+                routes: to_usize(r.u64()?)?,
+                arena_bytes: to_usize(r.u64()?)?,
+                arena_cells: to_usize(r.u64()?)?,
+                intern_hits: r.u64()?,
+                intern_misses: r.u64()?,
+            },
+        };
+        r.done()?;
+        let mut universe = RoutingUniverse {
+            tables,
+            asns,
+            origins,
+            unconverged,
+            lpm_index: Vec::new(),
+            lpm_min_len: 32,
+            resilience,
+            stats,
+        };
+        // Rebuild the derived LPM index exactly as assemble does.
+        universe.lpm_index = universe.tables.keys().copied().collect();
+        universe
+            .lpm_index
+            .sort_unstable_by_key(|p| (p.base.0, p.len));
+        universe.lpm_min_len = universe.lpm_index.iter().map(|p| p.len).min().unwrap_or(32);
+        Ok(universe)
+    }
+
+    /// Writes [`RoutingUniverse::to_snapshot_bytes`] to `path`.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), Error> {
+        let bytes = self.to_snapshot_bytes()?;
+        std::fs::write(path, bytes).map_err(|e| Error::Unavailable {
+            what: "snapshot file",
+            detail: format!("{}: {e}", path.display()),
+        })
+    }
+
+    /// Reads and decodes a snapshot file written by
+    /// [`RoutingUniverse::save_snapshot`].
+    pub fn load_snapshot(path: &Path) -> Result<RoutingUniverse, Error> {
+        let bytes = std::fs::read(path).map_err(|e| Error::Unavailable {
+            what: "snapshot file",
+            detail: format!("{}: {e}", path.display()),
+        })?;
+        Self::from_snapshot_bytes(&bytes)
     }
 }
 

@@ -1,0 +1,524 @@
+//! Incremental what-if serving: converge once, answer deltas warm.
+//!
+//! The paper's methodology is counterfactual — "how would routing differ
+//! if this policy (or link) changed?" — which the batch layer answers by
+//! recomputing a whole universe per edit. This module holds the converged
+//! state *resident* instead: a [`WhatIfEngine`] keeps one live
+//! [`PrefixSim`] per announcement shape, and each query forks that sim
+//! copy-on-write (eight flat column memcpys, shared path arena), applies
+//! its [`Delta`] edits through seeded reconvergence, and diffs the result
+//! against the base — so the cost of a question scales with how far the
+//! edit's effects propagate, not with the size of the internet.
+//!
+//! **The delta-seeding contract** (see DESIGN.md §11): an edit seeds the
+//! worklist only from the AS(es) whose *inputs* changed. Everything else
+//! retains its routes and is activated only if a changed export actually
+//! reaches it; the generation-tagged [`crate::worklist::BitWorklist`]
+//! makes reusing the worklists across events safe even after a capped
+//! (unconverged) run. The differential suites prove warm answers
+//! route-for-route identical — ages included — to cold recomputation.
+//!
+//! Queries are independent, so [`WhatIfEngine::query_batch`] fans them out
+//! across rayon; every fork shares the base's immutable `SimContext`
+//! (session CSR + policy engine + arena), which is what keeps the
+//! per-query setup allocation-light.
+
+use crate::route::Route;
+use crate::sim::{
+    ActivationOrder, Announcement, Convergence, Delta, PrefixSim, ShapeTable, SimContext,
+};
+use crate::universe::{prefix_owners, shape_groups, RoutingUniverse, UniverseResilience};
+use ir_topology::graph::NodeIdx;
+use ir_topology::World;
+use ir_types::{Asn, Error, Prefix, Timestamp};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One what-if question: a prefix and an ordered edit sequence to apply
+/// over the converged base state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhatIfQuery {
+    /// The prefix whose routing the question is about.
+    pub prefix: Prefix,
+    /// Edits applied in order, each followed by seeded reconvergence.
+    pub deltas: Vec<Delta>,
+}
+
+impl WhatIfQuery {
+    /// A single-edit question.
+    pub fn single(prefix: Prefix, delta: Delta) -> WhatIfQuery {
+        WhatIfQuery {
+            prefix,
+            deltas: vec![delta],
+        }
+    }
+}
+
+/// One AS whose selected route changed under the query's edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteDiff {
+    /// The AS whose selection changed.
+    pub asn: Asn,
+    /// Selected route before the edits (`None` = no route).
+    pub before: Option<Route>,
+    /// Selected route after the edits (`None` = no route).
+    pub after: Option<Route>,
+}
+
+/// Effort and retention accounting for one answered query — the
+/// observable proof that delta reconvergence only touched what changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// [`Delta`] edits applied.
+    pub deltas_applied: usize,
+    /// Worklist seed nodes across the edits (the ASes whose inputs
+    /// changed — at most two per edit).
+    pub ases_seeded: usize,
+    /// Selection recomputations across the reconvergences.
+    pub activations: usize,
+    /// Import policy evaluations across the reconvergences.
+    pub imports: usize,
+    /// Worklist rounds across the reconvergences.
+    pub rounds: usize,
+    /// ASes whose selected route is unchanged vs. the base (full route
+    /// equality, age included).
+    pub routes_retained: usize,
+    /// ASes whose selected route differs from the base (= `diffs.len()`).
+    pub routes_changed: usize,
+    /// Whether every reconvergence (and the base) reached a fixpoint.
+    pub converged: bool,
+}
+
+/// The answer to a [`WhatIfQuery`]: the structured route diff against the
+/// converged base, plus [`DeltaStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhatIfAnswer {
+    /// The queried prefix.
+    pub prefix: Prefix,
+    /// Every AS whose selection changed, ascending by node index. ASes not
+    /// listed kept their base route exactly.
+    pub diffs: Vec<RouteDiff>,
+    /// Effort and retention accounting.
+    pub stats: DeltaStats,
+}
+
+/// One resident converged shape: the live sim queries fork from, plus the
+/// member prefixes it answers for.
+struct ShapeState<'w> {
+    sim: PrefixSim<'w>,
+    converged: bool,
+}
+
+/// A resident what-if service over one world: converge once (or adopt a
+/// [`RoutingUniverse`] via [`WhatIfEngine::from_universe`]), then answer
+/// policy/topology deltas by copy-on-write fork + seeded reconvergence.
+///
+/// ```
+/// use ir_bgp::{Delta, WhatIfEngine, WhatIfQuery};
+/// use ir_topology::GeneratorConfig;
+///
+/// let world = GeneratorConfig::tiny().build(1);
+/// let origin = world.graph.nodes().iter().find(|n| !n.prefixes.is_empty()).unwrap();
+/// let (asn, prefix) = (origin.asn, origin.prefixes[0]);
+/// let peer = world.graph.links(world.graph.index_of(asn).unwrap())[0].peer;
+/// let peer_asn = world.graph.asn(peer);
+///
+/// let engine = WhatIfEngine::new(&world, &[prefix]);
+/// let answer = engine
+///     .query(&WhatIfQuery::single(prefix, Delta::LinkDown { a: asn, b: peer_asn }))
+///     .unwrap();
+/// assert!(answer.stats.converged);
+/// // The base engine is untouched: ask again, get the same answer.
+/// let again = engine
+///     .query(&WhatIfQuery::single(prefix, Delta::LinkDown { a: asn, b: peer_asn }))
+///     .unwrap();
+/// assert_eq!(answer, again);
+/// ```
+pub struct WhatIfEngine<'w> {
+    world: &'w World,
+    order: ActivationOrder,
+    shapes: Vec<ShapeState<'w>>,
+    /// Prefix → index into `shapes`.
+    by_prefix: BTreeMap<Prefix, usize>,
+    /// Logical clock the base converged at; query edits are stamped after
+    /// it (one minute apart, like the fault schedules).
+    base_clock: Timestamp,
+}
+
+impl<'w> WhatIfEngine<'w> {
+    /// Converges `prefixes` (plain announcements by their ground-truth
+    /// owners at t=0, one propagation per announcement shape, in parallel)
+    /// and keeps the state resident for querying.
+    pub fn new(world: &'w World, prefixes: &[Prefix]) -> WhatIfEngine<'w> {
+        Self::with_order(world, prefixes, ActivationOrder::default())
+    }
+
+    /// [`WhatIfEngine::new`] with an explicit scheduling discipline. Pass
+    /// [`ActivationOrder::Free`] only for worlds certified dispute-free by
+    /// `ir-audit` (unique fixpoint ⇒ warm and cold answers still agree).
+    pub fn with_order(
+        world: &'w World,
+        prefixes: &[Prefix],
+        order: ActivationOrder,
+    ) -> WhatIfEngine<'w> {
+        let owners = prefix_owners(world);
+        let ctx = SimContext::shared(world);
+        let groups = shape_groups(world, prefixes, &owners, true);
+        let shapes: Vec<(ShapeState<'w>, Vec<Prefix>)> = groups
+            .par_iter()
+            .map(|(origin, members)| {
+                let rep = members[0];
+                let mut sim = PrefixSim::with_context_ordered(ctx.fork(), rep, order);
+                let conv = sim.announce(Announcement::plain(*origin, rep), Timestamp::ZERO);
+                (
+                    ShapeState {
+                        sim,
+                        converged: conv.converged,
+                    },
+                    members.clone(),
+                )
+            })
+            .collect();
+        Self::assemble(world, order, shapes)
+    }
+
+    /// Adopts an already-converged [`RoutingUniverse`] without replaying
+    /// propagation: each shape table is hydrated back into a live sim
+    /// (best columns re-interned, adj-RIB-in re-derived from the converged
+    /// invariant). The universe must be fully converged, computed without
+    /// faults, and over this same `world` — the service path after
+    /// reloading a snapshot from disk.
+    pub fn from_universe(
+        world: &'w World,
+        universe: &RoutingUniverse,
+        order: ActivationOrder,
+    ) -> Result<WhatIfEngine<'w>, Error> {
+        if !universe.unconverged().is_empty() {
+            return Err(Error::incomplete(
+                "what-if base",
+                format!("{} unconverged prefixes", universe.unconverged().len()),
+            ));
+        }
+        if universe.resilience() != UniverseResilience::default() {
+            return Err(Error::incomplete(
+                "what-if base",
+                "universe was computed under faults; recompute quiet state first",
+            ));
+        }
+        let world_asns: Vec<Asn> = world.graph.nodes().iter().map(|n| n.asn).collect();
+        if universe.asns() != world_asns.as_slice() {
+            return Err(Error::incomplete(
+                "what-if base",
+                "universe does not belong to this world (ASN table mismatch)",
+            ));
+        }
+        // Rebuild the shape grouping from the Arc sharing the universe
+        // recorded: first-seen order over the (deterministic) BTreeMap walk.
+        let mut by_ptr: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut groups: Vec<(Asn, Vec<Prefix>, Arc<ShapeTable>)> = Vec::new();
+        for (&prefix, table) in universe.tables() {
+            let origin = universe.origin(prefix).ok_or_else(|| {
+                Error::incomplete("what-if base", format!("prefix {prefix} has no origin"))
+            })?;
+            let ptr = Arc::as_ptr(table) as usize;
+            match by_ptr.get(&ptr) {
+                Some(&gi) => groups[gi].1.push(prefix),
+                None => {
+                    by_ptr.insert(ptr, groups.len());
+                    groups.push((origin, vec![prefix], Arc::clone(table)));
+                }
+            }
+        }
+        let ctx = SimContext::shared(world);
+        let shapes: Vec<(ShapeState<'w>, Vec<Prefix>)> = groups
+            .par_iter()
+            .map(|(origin, members, table)| {
+                let rep = members[0];
+                let sim = PrefixSim::hydrate(ctx.fork(), order, rep, *origin, table);
+                (
+                    ShapeState {
+                        sim,
+                        converged: true,
+                    },
+                    members.clone(),
+                )
+            })
+            .collect();
+        Ok(Self::assemble(world, order, shapes))
+    }
+
+    fn assemble(
+        world: &'w World,
+        order: ActivationOrder,
+        shapes: Vec<(ShapeState<'w>, Vec<Prefix>)>,
+    ) -> WhatIfEngine<'w> {
+        let mut by_prefix = BTreeMap::new();
+        let mut states = Vec::with_capacity(shapes.len());
+        let mut base_clock = Timestamp::ZERO;
+        for (state, members) in shapes {
+            base_clock = base_clock.max(state.sim.clock());
+            for m in members {
+                by_prefix.insert(m, states.len());
+            }
+            states.push(state);
+        }
+        WhatIfEngine {
+            world,
+            order,
+            shapes: states,
+            by_prefix,
+            base_clock,
+        }
+    }
+
+    /// Answers one query: fork the prefix's shape copy-on-write, apply the
+    /// edits (each stamped one minute after the last), and diff against
+    /// the base. `None` if the prefix is not resident.
+    ///
+    /// The base state is never modified — the same engine answers any
+    /// number of queries, concurrently via [`WhatIfEngine::query_batch`].
+    pub fn query(&self, q: &WhatIfQuery) -> Option<WhatIfAnswer> {
+        let state = &self.shapes[*self.by_prefix.get(&q.prefix)?];
+        let base = &state.sim;
+        let mut fork = base.fork_for(q.prefix);
+        let mut stats = DeltaStats {
+            converged: state.converged,
+            ..DeltaStats::default()
+        };
+        for (i, delta) in q.deltas.iter().enumerate() {
+            let at = Timestamp(self.base_clock.0 + 60 * (i as u64 + 1));
+            // Re-target origination edits at the queried member prefix so
+            // one delta sequence is meaningful for every member of a shape.
+            let conv = match delta {
+                Delta::Announce(ann) if ann.prefix != q.prefix => {
+                    let mut ann = ann.clone();
+                    ann.prefix = q.prefix;
+                    fork.apply_delta(&Delta::Announce(ann), at)
+                }
+                _ => fork.apply_delta(delta, at),
+            };
+            stats.activations += conv.activations;
+            stats.imports += conv.imports;
+            stats.rounds += conv.rounds;
+            stats.converged &= conv.converged;
+        }
+        let fork_stats = fork.stats();
+        stats.deltas_applied = fork_stats.deltas_applied;
+        stats.ases_seeded = fork_stats.ases_seeded;
+        // Diff against the base. The fork shares the base's arena, so
+        // compact rows compare field-for-field (path handles included).
+        let mut diffs = Vec::new();
+        for x in 0..self.world.graph.len() {
+            let before = base.best_compact(x);
+            let after = fork.best_compact(x);
+            if before == after {
+                if before.is_some() {
+                    stats.routes_retained += 1;
+                }
+                continue;
+            }
+            stats.routes_changed += 1;
+            diffs.push(RouteDiff {
+                asn: self.world.graph.asn(x),
+                // Materialize through the fork: same arena and graph as the
+                // base, but routes carry the queried member prefix.
+                before: before.map(|r| fork.materialize(r)),
+                after: after.map(|r| fork.materialize(r)),
+            });
+        }
+        Some(WhatIfAnswer {
+            prefix: q.prefix,
+            diffs,
+            stats,
+        })
+    }
+
+    /// Answers many independent queries in parallel (rayon), results in
+    /// input order. Each query forks its own copy-on-write state; the
+    /// shared base is read-only throughout.
+    pub fn query_batch(&self, queries: &[WhatIfQuery]) -> Vec<Option<WhatIfAnswer>> {
+        queries.par_iter().map(|q| self.query(q)).collect()
+    }
+
+    /// The base (pre-edit) route at node `x` for a resident prefix.
+    pub fn base_route(&self, prefix: Prefix, x: NodeIdx) -> Option<Route> {
+        let state = &self.shapes[*self.by_prefix.get(&prefix)?];
+        let r = state.sim.best_compact(x)?;
+        let mut route = state.sim.materialize(r);
+        route.prefix = prefix;
+        Some(route)
+    }
+
+    /// The world this engine serves.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The scheduling discipline queries reconverge under.
+    pub fn order(&self) -> ActivationOrder {
+        self.order
+    }
+
+    /// Resident prefixes, ascending.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.by_prefix.keys().copied()
+    }
+
+    /// Distinct announcement shapes held resident (= live base sims).
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether every base shape reached a fixpoint.
+    pub fn base_converged(&self) -> bool {
+        self.shapes.iter().all(|s| s.converged)
+    }
+}
+
+/// Summed [`Convergence`] over an edit sequence — cold-side bookkeeping
+/// for speedup comparisons (warm side comes from [`DeltaStats`]).
+pub fn sum_convergence(convs: &[Convergence]) -> Convergence {
+    let mut total = Convergence {
+        rounds: 0,
+        converged: true,
+        activations: 0,
+        imports: 0,
+    };
+    for c in convs {
+        total.rounds += c.rounds;
+        total.activations += c.activations;
+        total.imports += c.imports;
+        total.converged &= c.converged;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::prefix_owners;
+    use ir_topology::GeneratorConfig;
+
+    fn world() -> World {
+        GeneratorConfig::tiny().build(3)
+    }
+
+    fn stub_prefix(w: &World) -> (Asn, Prefix) {
+        let owners = prefix_owners(w);
+        let (&p, &o) = owners.iter().next().unwrap();
+        (o, p)
+    }
+
+    #[test]
+    fn noop_edit_retains_every_route() {
+        let w = world();
+        let (origin, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        // Clearing an override nobody set is a no-op delta.
+        let q = WhatIfQuery::single(
+            prefix,
+            Delta::NeighborPref {
+                of: origin,
+                neighbor: origin,
+                delta: None,
+            },
+        );
+        let a = engine.query(&q).unwrap();
+        assert!(a.diffs.is_empty());
+        assert_eq!(a.stats.routes_changed, 0);
+        assert!(a.stats.converged);
+        assert_eq!(a.stats.deltas_applied, 1);
+    }
+
+    #[test]
+    fn link_down_query_diffs_against_untouched_base() {
+        let w = world();
+        let (origin, prefix) = stub_prefix(&w);
+        let oidx = w.graph.index_of(origin).unwrap();
+        let peer = w.graph.links(oidx)[0].peer;
+        let peer_asn = w.graph.asn(peer);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        let before_at_peer = engine.base_route(prefix, peer);
+        let q = WhatIfQuery::single(
+            prefix,
+            Delta::LinkDown {
+                a: origin,
+                b: peer_asn,
+            },
+        );
+        let a = engine.query(&q).unwrap();
+        assert!(a.stats.converged);
+        // The neighbor's route changed (it was using the direct link).
+        let peer_diff = a.diffs.iter().find(|d| d.asn == peer_asn);
+        if before_at_peer
+            .as_ref()
+            .is_some_and(|r| r.learned_from == Some(origin))
+        {
+            let d = peer_diff.expect("direct neighbor must be in the diff");
+            assert_eq!(d.before, before_at_peer);
+            assert_ne!(d.before, d.after);
+        }
+        // The base engine is untouched.
+        assert_eq!(engine.base_route(prefix, peer), before_at_peer);
+        // Accounting is consistent.
+        let n_with_routes = a.stats.routes_retained + a.stats.routes_changed;
+        assert!(n_with_routes <= w.graph.len());
+        assert_eq!(a.stats.routes_changed, a.diffs.len());
+        assert_eq!(a.stats.ases_seeded, 2, "a link edit seeds both endpoints");
+    }
+
+    #[test]
+    fn unknown_prefix_is_none() {
+        let w = world();
+        let (_, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        let other: Prefix = "203.0.113.0/24".parse().unwrap();
+        assert!(engine
+            .query(&WhatIfQuery::single(other, Delta::Withdraw))
+            .is_none());
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let w = world();
+        let owners = prefix_owners(&w);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(6).collect();
+        let engine = WhatIfEngine::new(&w, &prefixes);
+        let queries: Vec<WhatIfQuery> = prefixes
+            .iter()
+            .map(|&p| WhatIfQuery::single(p, Delta::Withdraw))
+            .collect();
+        let batch = engine.query_batch(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(engine.query(q).as_ref(), b.as_ref());
+        }
+    }
+
+    #[test]
+    fn from_universe_answers_like_fresh_engine() {
+        let w = world();
+        let owners = prefix_owners(&w);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(8).collect();
+        let u = RoutingUniverse::compute(&w, &prefixes);
+        let adopted = WhatIfEngine::from_universe(&w, &u, ActivationOrder::default()).unwrap();
+        let fresh = WhatIfEngine::new(&w, &prefixes);
+        assert_eq!(adopted.shape_count(), fresh.shape_count());
+        for &p in &prefixes {
+            let origin = owners[&p];
+            let oidx = w.graph.index_of(origin).unwrap();
+            let peer_asn = w.graph.asn(w.graph.links(oidx)[0].peer);
+            let q = WhatIfQuery::single(
+                p,
+                Delta::LinkDown {
+                    a: origin,
+                    b: peer_asn,
+                },
+            );
+            assert_eq!(adopted.query(&q), fresh.query(&q), "{p}");
+            for x in 0..w.graph.len() {
+                assert_eq!(adopted.base_route(p, x), fresh.base_route(p, x));
+            }
+        }
+    }
+}

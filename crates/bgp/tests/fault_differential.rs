@@ -402,3 +402,53 @@ mod proptests {
         }
     }
 }
+
+#[test]
+fn per_event_convergence_sums_equal_cumulative_stats() {
+    // Satellite of the what-if work: the per-event `Convergence` returned
+    // by announce/fail/restore/reset must sum exactly to the cumulative
+    // `EngineStats` deltas — no double-counting of session re-exchange
+    // imports, no recovery rounds attributed twice. `DeltaStats` is built
+    // from these per-event values, so this is what keeps what-if effort
+    // accounting honest.
+    for seed in [3u64, 13, 29] {
+        let w = GeneratorConfig::tiny().build(seed);
+        let (origin, prefix) = stub_origin(&w, seed as usize);
+        let mut sim = PrefixSim::new(&w, prefix);
+        let mut activations = 0usize;
+        let mut imports = 0usize;
+        let mut fault_rounds = 0usize;
+        let mut events = 0usize;
+        let mut fault_events = 0usize;
+
+        let c = sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+        activations += c.activations;
+        imports += c.imports;
+        events += 1;
+
+        let links = some_links(&w, 3);
+        let mut t = ROUND;
+        for &(a, b) in &links {
+            for phase in 0..3 {
+                let c = match phase {
+                    0 => sim.fail_link(a, b, Timestamp(t)),
+                    1 => sim.restore_link(a, b, Timestamp(t + 1)),
+                    _ => sim.reset_link(a, b, Timestamp(t + 2)),
+                };
+                activations += c.activations;
+                imports += c.imports;
+                fault_rounds += c.rounds;
+                events += 1;
+                fault_events += 1;
+            }
+            t += ROUND;
+        }
+
+        let s = sim.stats();
+        assert_eq!(s.activations, activations, "seed {seed}: activations");
+        assert_eq!(s.imports, imports, "seed {seed}: imports");
+        assert_eq!(s.recovery_rounds, fault_rounds, "seed {seed}: rounds");
+        assert_eq!(s.events, events, "seed {seed}: events");
+        assert_eq!(s.recovery_events, fault_events, "seed {seed}: faults");
+    }
+}

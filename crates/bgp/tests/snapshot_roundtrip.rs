@@ -1,0 +1,126 @@
+//! Snapshot/restore round-trip: a converged `RoutingUniverse` serialized
+//! to bytes and reloaded must be *the same universe* — route-for-route
+//! (ages included), accounting included, and byte-identical when saved
+//! again. This is what lets a service converge the full prefix set once,
+//! persist it, and answer what-if queries from a cold start without
+//! re-propagating.
+
+use ir_bgp::universe::prefix_owners;
+use ir_bgp::{ActivationOrder, Delta, RoutingUniverse, WhatIfEngine, WhatIfQuery};
+use ir_topology::GeneratorConfig;
+use ir_types::Prefix;
+
+#[test]
+fn snapshot_bytes_round_trip_exactly() {
+    let w = GeneratorConfig::tiny().build(9);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let bytes = u.to_snapshot_bytes().expect("serialize");
+    let loaded = RoutingUniverse::from_snapshot_bytes(&bytes).expect("deserialize");
+    // Re-serializing the loaded universe reproduces the image bit for bit:
+    // nothing was lost, reordered, or regenerated differently.
+    let bytes2 = loaded.to_snapshot_bytes().expect("re-serialize");
+    assert_eq!(bytes, bytes2, "snapshot is not byte-stable");
+}
+
+#[test]
+fn loaded_universe_equals_original_route_for_route() {
+    let w = GeneratorConfig::tiny().build(7);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let loaded = RoutingUniverse::from_snapshot_bytes(&u.to_snapshot_bytes().expect("serialize"))
+        .expect("deserialize");
+    for &p in &ps {
+        assert_eq!(u.origin(p), loaded.origin(p));
+        for x in 0..w.graph.len() {
+            assert_eq!(u.route(p, x), loaded.route(p, x), "{p} at node {x}");
+        }
+        // LPM was rebuilt, not stored: probe it.
+        assert_eq!(u.lpm(p.addr(1)), loaded.lpm(p.addr(1)));
+    }
+    assert_eq!(u.unconverged(), loaded.unconverged());
+    assert_eq!(u.resilience(), loaded.resilience());
+    assert_eq!(u.engine_stats(), loaded.engine_stats());
+    // Shape sharing survived: shared tables are still one allocation each.
+    assert_eq!(u.resident_bytes(), loaded.resident_bytes());
+}
+
+#[test]
+fn snapshot_file_round_trips() {
+    let w = GeneratorConfig::tiny().build(5);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().take(6).collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ir_universe_snapshot_{}.bin", std::process::id()));
+    u.save_snapshot(&path).expect("save");
+    let loaded = RoutingUniverse::load_snapshot(&path).expect("load");
+    let _ = std::fs::remove_file(&path);
+    for &p in &ps {
+        for x in 0..w.graph.len() {
+            assert_eq!(u.route(p, x), loaded.route(p, x));
+        }
+    }
+}
+
+#[test]
+fn whatif_engine_hydrated_from_snapshot_answers_like_fresh() {
+    let w = GeneratorConfig::tiny().build(3);
+    let owners = prefix_owners(&w);
+    let ps: Vec<Prefix> = owners.keys().copied().collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let loaded = RoutingUniverse::from_snapshot_bytes(&u.to_snapshot_bytes().expect("serialize"))
+        .expect("deserialize");
+    let adopted = WhatIfEngine::from_universe(&w, &loaded, ActivationOrder::default())
+        .expect("hydrate from loaded snapshot");
+    let fresh = WhatIfEngine::new(&w, &ps);
+    assert_eq!(adopted.shape_count(), fresh.shape_count());
+    for &p in &ps {
+        let origin = owners[&p];
+        let oidx = w.graph.index_of(origin).unwrap();
+        let peer_asn = w.graph.asn(w.graph.links(oidx)[0].peer);
+        for delta in [
+            Delta::LinkDown {
+                a: origin,
+                b: peer_asn,
+            },
+            Delta::NeighborPref {
+                of: peer_asn,
+                neighbor: origin,
+                delta: Some(-400),
+            },
+            Delta::Withdraw,
+        ] {
+            let q = WhatIfQuery::single(p, delta);
+            assert_eq!(adopted.query(&q), fresh.query(&q), "{p}");
+        }
+    }
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected_not_trusted() {
+    let w = GeneratorConfig::tiny().build(5);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().take(4).collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let bytes = u.to_snapshot_bytes().expect("serialize");
+    // Wrong magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(RoutingUniverse::from_snapshot_bytes(&bad).is_err());
+    // Truncations at every eighth byte: must error, never panic.
+    for cut in (0..bytes.len()).step_by(8) {
+        assert!(
+            RoutingUniverse::from_snapshot_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} silently accepted"
+        );
+    }
+    // Bit flips across the image: either a clean error or a decode that
+    // re-serializes (corruption may land in unvalidated counters, which is
+    // fine — the contract is "no panic, no trust in structure").
+    for i in (8..bytes.len()).step_by(97) {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x40;
+        if let Ok(loaded) = RoutingUniverse::from_snapshot_bytes(&flipped) {
+            let _ = loaded.to_snapshot_bytes();
+        }
+    }
+}

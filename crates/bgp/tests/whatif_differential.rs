@@ -1,0 +1,450 @@
+//! Differential proof of the what-if serving contract: a warm answer —
+//! copy-on-write fork of the converged base, [`Delta`] edits applied
+//! through seeded reconvergence — must be route-for-route identical,
+//! **installation ages included**, to a cold recomputation that announces
+//! from scratch and replays the same edit sequence at the same
+//! timestamps. The suites below drive that equivalence across randomized
+//! edit sequences, both activation orders, chaos-plane fault replay, and
+//! the batched shape fan-out (every member of a shared announcement shape
+//! answers as if it had been converged alone).
+//!
+//! Scenario accounting: each test asserts its own floor; the file totals
+//! 230+ randomized scenarios, with the certified free-order suite in
+//! `crates/audit/tests/whatif_certified.rs` adding the edited-world
+//! ground-truth cases on top.
+
+use ir_bgp::universe::prefix_owners;
+use ir_bgp::whatif::RouteDiff;
+use ir_bgp::{
+    ActivationOrder, Announcement, Delta, PrefixSim, SimContext, WhatIfEngine, WhatIfQuery,
+};
+use ir_fault::{FaultConfig, FaultEvent, FaultPlane};
+use ir_topology::{GeneratorConfig, World};
+use ir_types::{Asn, Prefix, Timestamp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cold replays converge a fresh sim per scenario; keep worlds paper-scale.
+const MAX_DIFFERENTIAL_ASES: usize = 2_000;
+
+/// Deterministic xorshift64* — the tests carry their own RNG so scenario
+/// generation is reproducible from the seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A spread sample of the world's links as ASN pairs — strided, not the
+/// first `count`, so tier-1 interconnects don't dominate the edit pool.
+fn spread_links(w: &World, count: usize) -> Vec<(Asn, Asn)> {
+    let g = &w.graph;
+    let all: Vec<(Asn, Asn)> = (0..g.len())
+        .flat_map(|x| {
+            g.links(x)
+                .iter()
+                .filter(move |l| x < l.peer)
+                .map(move |l| (g.asn(x), g.asn(l.peer)))
+        })
+        .collect();
+    assert!(!all.is_empty(), "world has no links");
+    let step = (all.len() / count.max(1)).max(1);
+    all.into_iter().step_by(step).take(count).collect()
+}
+
+/// One random edit drawn from every [`Delta`] class. Origination edits
+/// (selective announce, re-announce) target the queried prefix so warm
+/// and cold see byte-identical inputs.
+fn random_delta(
+    rng: &mut Rng,
+    w: &World,
+    origin: Asn,
+    prefix: Prefix,
+    links: &[(Asn, Asn)],
+) -> Delta {
+    let (a, b) = links[rng.below(links.len())];
+    match rng.below(10) {
+        0 | 1 => Delta::LinkDown { a, b },
+        2 => Delta::LinkUp { a, b },
+        3 => Delta::NeighborPref {
+            of: a,
+            neighbor: b,
+            delta: if rng.below(5) == 0 {
+                None
+            } else {
+                Some(rng.below(1601) as i16 - 800)
+            },
+        },
+        4 => Delta::ExportPrepend {
+            of: a,
+            neighbor: b,
+            count: if rng.below(4) == 0 {
+                None
+            } else {
+                Some(1 + rng.below(3) as u8)
+            },
+        },
+        5 => Delta::PartialTransit {
+            of: a,
+            neighbor: b,
+            customer_routes_only: rng.below(2) == 0,
+        },
+        6 => {
+            let oidx = w.graph.index_of(origin).expect("origin in graph");
+            let neighbors: Vec<Asn> = w
+                .graph
+                .links(oidx)
+                .iter()
+                .map(|l| w.graph.asn(l.peer))
+                .collect();
+            if neighbors.is_empty() {
+                return Delta::LinkDown { a, b };
+            }
+            let allowed = if rng.below(3) == 0 {
+                None
+            } else {
+                let keep = 1 + rng.below(neighbors.len());
+                Some(neighbors.into_iter().take(keep).collect::<BTreeSet<_>>())
+            };
+            Delta::SelectiveAnnounce {
+                of: origin,
+                prefix,
+                allowed,
+            }
+        }
+        7 => Delta::PoisonFilter {
+            of: a,
+            enabled: rng.below(2) == 0,
+        },
+        8 => Delta::Announce(Announcement {
+            origin,
+            prefix,
+            via: None,
+            poison: if rng.below(2) == 0 {
+                vec![b]
+            } else {
+                Vec::new()
+            },
+        }),
+        _ => Delta::Withdraw,
+    }
+}
+
+/// The core check: warm answer (base + diffs) against a cold sim that
+/// announces from scratch and replays the same deltas at the same stamps
+/// ([`WhatIfEngine::query`] stamps edit `i` at `base_clock + 60·(i+1)`;
+/// the base announces at t=0, so cold uses `60·(i+1)` too). Equality is
+/// full [`ir_bgp::Route`] equality — age included.
+fn check_warm_vs_cold(
+    engine: &WhatIfEngine<'_>,
+    w: &World,
+    prefix: Prefix,
+    origin: Asn,
+    deltas: &[Delta],
+    order: ActivationOrder,
+    label: &str,
+) {
+    assert!(
+        w.graph.len() <= MAX_DIFFERENTIAL_ASES,
+        "{label}: world too large"
+    );
+    let q = WhatIfQuery {
+        prefix,
+        deltas: deltas.to_vec(),
+    };
+    let a = engine
+        .query(&q)
+        .unwrap_or_else(|| panic!("{label}: prefix not resident"));
+    assert_eq!(a.stats.routes_changed, a.diffs.len(), "{label}");
+    assert_eq!(a.stats.deltas_applied, deltas.len(), "{label}");
+    assert!(
+        a.stats.routes_retained + a.stats.routes_changed <= w.graph.len(),
+        "{label}: retention accounting exceeds world size"
+    );
+
+    let mut cold = PrefixSim::with_context_ordered(SimContext::shared(w), prefix, order);
+    cold.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+    for (i, d) in deltas.iter().enumerate() {
+        cold.apply_delta(d, Timestamp(60 * (i as u64 + 1)));
+    }
+
+    let by_asn: BTreeMap<Asn, &RouteDiff> = a.diffs.iter().map(|d| (d.asn, d)).collect();
+    for x in 0..w.graph.len() {
+        let asn = w.graph.asn(x);
+        let warm = match by_asn.get(&asn) {
+            Some(d) => {
+                assert_eq!(
+                    d.before,
+                    engine.base_route(prefix, x),
+                    "{label}: diff.before disagrees with the base at AS {asn}"
+                );
+                d.after.clone()
+            }
+            None => engine.base_route(prefix, x),
+        };
+        assert_eq!(
+            warm,
+            cold.best(x),
+            "{label}: warm/cold divergence at AS {asn} for {prefix} after {deltas:?}"
+        );
+    }
+}
+
+#[test]
+fn randomized_edit_sequences_match_cold_replay_wave_exact() {
+    let mut scenarios = 0usize;
+    for seed in [1u64, 3, 5, 7, 9, 11, 13, 23] {
+        let w = GeneratorConfig::tiny().build(seed);
+        let owners = prefix_owners(&w);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(4).collect();
+        let engine = WhatIfEngine::new(&w, &prefixes);
+        assert!(engine.base_converged(), "seed {seed}: base must converge");
+        let links = spread_links(&w, 24);
+        for (pi, &prefix) in prefixes.iter().enumerate() {
+            let origin = owners[&prefix];
+            for round in 0..4u64 {
+                let mut rng = Rng::new(seed * 10_000 + pi as u64 * 100 + round);
+                let n = 1 + rng.below(4);
+                let deltas: Vec<Delta> = (0..n)
+                    .map(|_| random_delta(&mut rng, &w, origin, prefix, &links))
+                    .collect();
+                check_warm_vs_cold(
+                    &engine,
+                    &w,
+                    prefix,
+                    origin,
+                    &deltas,
+                    ActivationOrder::WaveExact,
+                    &format!("wave seed {seed} prefix {prefix} round {round}"),
+                );
+                scenarios += 1;
+            }
+        }
+    }
+    assert!(
+        scenarios >= 128,
+        "only {scenarios} wave-exact scenarios ran"
+    );
+}
+
+#[test]
+fn randomized_edit_sequences_match_cold_replay_free_order() {
+    // Free order is only offered for certified worlds; the generator
+    // preset below is the one the audit suite certifies. Warm and cold
+    // share the scheduling discipline, so the check is exact (ages too).
+    let mut scenarios = 0usize;
+    for seed in [2u64, 4, 6, 8, 10, 12] {
+        let w = GeneratorConfig::certifiably_safe().build(seed);
+        let owners = prefix_owners(&w);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(3).collect();
+        let engine = WhatIfEngine::with_order(&w, &prefixes, ActivationOrder::Free);
+        assert_eq!(engine.order(), ActivationOrder::Free);
+        let links = spread_links(&w, 24);
+        for (pi, &prefix) in prefixes.iter().enumerate() {
+            let origin = owners[&prefix];
+            for round in 0..4u64 {
+                let mut rng = Rng::new(seed * 77_000 + pi as u64 * 31 + round);
+                let n = 1 + rng.below(4);
+                let deltas: Vec<Delta> = (0..n)
+                    .map(|_| random_delta(&mut rng, &w, origin, prefix, &links))
+                    .collect();
+                check_warm_vs_cold(
+                    &engine,
+                    &w,
+                    prefix,
+                    origin,
+                    &deltas,
+                    ActivationOrder::Free,
+                    &format!("free seed {seed} prefix {prefix} round {round}"),
+                );
+                scenarios += 1;
+            }
+        }
+    }
+    assert!(scenarios >= 72, "only {scenarios} free-order scenarios ran");
+}
+
+#[test]
+fn chaos_plane_replay_interleaved_with_policy_edits() {
+    // Faults synthesized by the chaos plane, replayed *as deltas* with
+    // policy edits woven between them — the what-if path must agree with
+    // cold recomputation even when the edit sequence is a fault storm.
+    let mut scenarios = 0usize;
+    for seed in [7u64, 17, 27, 37, 47, 57, 67, 77] {
+        let w = GeneratorConfig::tiny().build(seed);
+        let owners = prefix_owners(&w);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(3).collect();
+        let engine = WhatIfEngine::new(&w, &prefixes);
+        let links = spread_links(&w, 8);
+        let mut plane = FaultPlane::new(FaultConfig::chaos(0.5), seed);
+        plane.synthesize_link_schedule(&links, Timestamp(40));
+        for (pi, &prefix) in prefixes.iter().enumerate() {
+            let origin = owners[&prefix];
+            let mut rng = Rng::new(seed * 31 + pi as u64);
+            let mut deltas = Vec::new();
+            for f in plane.schedule() {
+                match f.event {
+                    FaultEvent::LinkDown { a, b } => deltas.push(Delta::LinkDown { a, b }),
+                    FaultEvent::LinkUp { a, b } => deltas.push(Delta::LinkUp { a, b }),
+                    FaultEvent::SessionReset { a, b } => {
+                        deltas.push(Delta::LinkDown { a, b });
+                        deltas.push(Delta::LinkUp { a, b });
+                    }
+                }
+                if rng.below(2) == 0 {
+                    deltas.push(random_delta(&mut rng, &w, origin, prefix, &links));
+                }
+                if deltas.len() >= 10 {
+                    break;
+                }
+            }
+            if deltas.is_empty() {
+                let (a, b) = links[0];
+                deltas.push(Delta::LinkDown { a, b });
+            }
+            check_warm_vs_cold(
+                &engine,
+                &w,
+                prefix,
+                origin,
+                &deltas,
+                ActivationOrder::WaveExact,
+                &format!("chaos seed {seed} prefix {prefix}"),
+            );
+            scenarios += 1;
+        }
+    }
+    assert!(scenarios >= 24, "only {scenarios} chaos scenarios ran");
+}
+
+#[test]
+fn shape_fan_out_members_answer_like_per_prefix_recompute() {
+    // Multiple prefixes plainly announced by one origin share ONE resident
+    // shape; querying any member forks that shared table copy-on-write.
+    // Each member's answer must be byte-identical to a cold sim converged
+    // for that member alone.
+    let mut scenarios = 0usize;
+    for seed in [1u64, 5, 9] {
+        let w = GeneratorConfig::tiny().build(seed);
+        let multi = w
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.prefixes.len() >= 2)
+            .expect("tiny worlds have a multi-prefix origin");
+        let origin = multi.asn;
+        let members: Vec<Prefix> = multi.prefixes.clone();
+        let engine = WhatIfEngine::new(&w, &members);
+        assert_eq!(
+            engine.shape_count(),
+            1,
+            "plain announcements by one origin must share a shape"
+        );
+        let links = spread_links(&w, 16);
+        for (qi, &prefix) in members.iter().enumerate() {
+            let mut rng = Rng::new(seed * 7919 + qi as u64);
+            let deltas: Vec<Delta> = (0..3)
+                .map(|_| random_delta(&mut rng, &w, origin, prefix, &links))
+                .collect();
+            check_warm_vs_cold(
+                &engine,
+                &w,
+                prefix,
+                origin,
+                &deltas,
+                ActivationOrder::WaveExact,
+                &format!("fan-out seed {seed} member {qi}"),
+            );
+            scenarios += 1;
+        }
+        // A prefix-free edit must produce member-wise identical answers
+        // modulo the prefix carried in the routes.
+        let (a, b) = links[links.len() / 2];
+        let edit = Delta::LinkDown { a, b };
+        let first = engine
+            .query(&WhatIfQuery::single(members[0], edit.clone()))
+            .expect("member 0 resident");
+        for &m in &members[1..] {
+            let other = engine
+                .query(&WhatIfQuery::single(m, edit.clone()))
+                .expect("member resident");
+            assert_eq!(first.diffs.len(), other.diffs.len());
+            for (x, y) in first.diffs.iter().zip(&other.diffs) {
+                assert_eq!(x.asn, y.asn);
+                let strip = |r: &Option<ir_bgp::Route>| {
+                    r.clone().map(|mut r| {
+                        r.prefix = members[0];
+                        r
+                    })
+                };
+                assert_eq!(strip(&x.before), strip(&y.before), "member diff skew");
+                assert_eq!(strip(&x.after), strip(&y.after), "member diff skew");
+            }
+            scenarios += 1;
+        }
+    }
+    assert!(scenarios >= 9, "only {scenarios} fan-out scenarios ran");
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Torture: withdraw storms and re-originations interleaved with
+        /// random policy/topology edits. Warm must equal cold after every
+        /// sequence, however destructive.
+        #[test]
+        fn edit_storms_with_withdrawals_stay_identical(
+            seed in 1u64..64,
+            salt in any::<u64>(),
+            storms in 0usize..3,
+        ) {
+            let w = GeneratorConfig::tiny().build(seed % 8);
+            let owners = prefix_owners(&w);
+            let pick = seed as usize % owners.len();
+            let (&prefix, &origin) = owners.iter().nth(pick).expect("world announces prefixes");
+            let engine = WhatIfEngine::new(&w, &[prefix]);
+            let links = spread_links(&w, 12);
+            let mut rng = Rng::new(salt ^ seed);
+            let mut deltas = Vec::new();
+            for _ in 0..storms {
+                deltas.push(Delta::Withdraw);
+                deltas.push(Delta::Announce(Announcement {
+                    origin,
+                    prefix,
+                    via: None,
+                    poison: vec![links[rng.below(links.len())].0],
+                }));
+            }
+            for _ in 0..6 {
+                deltas.push(random_delta(&mut rng, &w, origin, prefix, &links));
+            }
+            check_warm_vs_cold(
+                &engine,
+                &w,
+                prefix,
+                origin,
+                &deltas,
+                ActivationOrder::WaveExact,
+                &format!("torture seed {seed} salt {salt} storms {storms}"),
+            );
+        }
+    }
+}

@@ -12,6 +12,12 @@
 //! scale: it converges one stub prefix over the full topology, then a
 //! 1000-prefix universe slice, printing the engine's `MemoryBudget` and
 //! the universe's resident table bytes. Run it in release mode.
+//!
+//! `diag whatif [target-ases] [seed]` exercises the incremental what-if
+//! engine: converge one stub prefix, then answer a localized link edit
+//! and a policy edit both warm (copy-on-write fork + seeded
+//! reconvergence) and cold (fresh convergence), printing the speedup, the
+//! touched-AS fraction, and the retention counters. Run it in release.
 
 use ir_experiments::{scenario::ScenarioConfig, Scenario};
 use ir_fault::FaultConfig;
@@ -98,6 +104,100 @@ fn internet_scale_diag(seed: u64, target: usize) {
     );
 }
 
+fn whatif_diag(target: usize, seed: u64) {
+    use ir_bgp::{Announcement, Delta, PrefixSim, SimContext, WhatIfEngine, WhatIfQuery};
+    use ir_topology::GeneratorConfig;
+    use ir_types::Timestamp;
+
+    let t0 = std::time::Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    println!(
+        "build: {:.1?} | world: {} ASes {} links",
+        t0.elapsed(),
+        world.graph.len(),
+        world.graph.link_count()
+    );
+    let stub = world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .find(|n| !n.prefixes.is_empty())
+        .expect("world has an origin");
+    let (origin, prefix) = (stub.asn, stub.prefixes[0]);
+    let g = &world.graph;
+    let t = (0..g.len())
+        .rev()
+        .find(|&x| !g.links(x).is_empty() && g.asn(x) != origin)
+        .expect("world has a linked node");
+    let (t_asn, t_peer) = (g.asn(t), g.asn(g.links(t)[0].peer));
+
+    let t1 = std::time::Instant::now();
+    let engine = WhatIfEngine::new(&world, &[prefix]);
+    println!(
+        "base: {prefix} (origin {origin}) converged in {:.1?}, resident as {} shape(s)",
+        t1.elapsed(),
+        engine.shape_count()
+    );
+
+    let timed = |label: &str, iters: u32, f: &mut dyn FnMut()| -> f64 {
+        f();
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        println!("  {label:<28} {:.2} ms", ns / 1e6);
+        ns
+    };
+    let ctx = SimContext::shared(&world);
+    for (label, delta) in [
+        (
+            "link edit",
+            Delta::LinkDown {
+                a: t_asn,
+                b: t_peer,
+            },
+        ),
+        (
+            "policy edit",
+            Delta::NeighborPref {
+                of: t_asn,
+                neighbor: t_peer,
+                delta: Some(-500),
+            },
+        ),
+    ] {
+        let q = WhatIfQuery::single(prefix, delta.clone());
+        let a = engine.query(&q).expect("prefix resident");
+        println!("{label} ({t_asn} ~ {t_peer}):");
+        let warm = timed("warm (fork + reconverge)", 10, &mut || {
+            std::hint::black_box(engine.query(&q));
+        });
+        let cold = timed("cold (announce + edit)", 3, &mut || {
+            let mut sim = PrefixSim::with_context(ctx.fork(), prefix);
+            sim.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+            sim.apply_delta(&delta, Timestamp(60));
+            std::hint::black_box(sim.clock());
+        });
+        println!(
+            "  speedup {:.1}x | seeded {} AS(es), touched {:.3}% of ASes \
+             ({} activations) | {} routes retained, {} changed{}",
+            cold / warm,
+            a.stats.ases_seeded,
+            a.stats.activations as f64 * 100.0 / world.graph.len() as f64,
+            a.stats.activations,
+            a.stats.routes_retained,
+            a.stats.routes_changed,
+            if a.stats.converged {
+                ""
+            } else {
+                "  (NOT CONVERGED)"
+            }
+        );
+    }
+}
+
 fn main() {
     let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
     let seed = std::env::args()
@@ -108,6 +208,18 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
+    if scale == "whatif" {
+        let target = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20_000);
+        let seed = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        whatif_diag(target, seed);
+        return;
+    }
     if scale.starts_with("internet") {
         let target = std::env::args()
             .nth(3)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Perf benchmarks with recorded artifacts. Runs the propagation-engine
-# head-to-head (event-driven worklist vs legacy full-sweep oracle) and the
-# internet-scale route-storage sweep, (re)writing BENCH_propagation.json
-# and BENCH_scale.json at the repo root with timings, speedups, work
-# counters, and per-tier ns/route + bytes/route.
+# head-to-head (event-driven worklist vs legacy full-sweep oracle), the
+# internet-scale route-storage sweep, and the what-if serving comparison
+# (warm fork + seeded reconvergence vs cold recomputation), (re)writing
+# BENCH_propagation.json, BENCH_scale.json and BENCH_whatif.json at the
+# repo root with timings, speedups, work counters, per-tier ns/route +
+# bytes/route, and warm/cold queries/s.
 #
 # Usage: scripts/bench.sh [--offline] [--samples N]
 set -euo pipefail
@@ -28,6 +30,7 @@ fi
 
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench propagation
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench scale
+cargo bench "${OFFLINE[@]}" -p ir-bench --bench whatif
 
 echo
 echo "==> BENCH_propagation.json"
@@ -35,3 +38,6 @@ cat BENCH_propagation.json
 echo
 echo "==> BENCH_scale.json"
 cat BENCH_scale.json
+echo
+echo "==> BENCH_whatif.json"
+cat BENCH_whatif.json

@@ -27,10 +27,11 @@ run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane -p ir-bgp -p ir-t
     -p ir-audit -p ir-experiments --lib -- -D warnings
 run cargo fmt --check
 # Engine-equivalence gate in release: the differential suites compare the
-# event-driven engine against the sweep oracle under optimized codegen too
-# (debug-only runs have missed wrapping/ordering bugs before).
+# event-driven engine against the sweep oracle — and warm what-if answers
+# against cold recomputation — under optimized codegen too (debug-only
+# runs have missed wrapping/ordering bugs before).
 run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
-    --test differential --test fault_differential
+    --test differential --test fault_differential --test whatif_differential
 # Internet-scale smoke (release, ignored by default): a ≥50k-AS world must
 # converge a single prefix and a 1000-prefix universe slice inside the
 # compact storage's memory budget. Minutes on one core.
