@@ -80,10 +80,10 @@ fn run_tier(target: usize, seed: u64, iters: u32) -> Tier {
     let q_policy = WhatIfQuery::single(prefix, policy_edit.clone());
 
     let warm_link_ns = timed(iters, || {
-        black_box(engine.query(&q_link));
+        let _ = black_box(engine.query(&q_link));
     });
     let warm_policy_ns = timed(iters, || {
-        black_box(engine.query(&q_policy));
+        let _ = black_box(engine.query(&q_policy));
     });
 
     // Cold baseline: what answering the same question costs without the

@@ -49,8 +49,8 @@ pub use patharena::{ArenaStats, PathArena, PathId};
 pub use route::Route;
 pub use sim::{
     ActivationOrder, Announcement, Convergence, Delta, EngineStats, PrefixSim, PropagationEngine,
-    SimContext,
+    SimContext, StepBudget,
 };
 pub use sweep::SweepSim;
-pub use universe::{RoutingUniverse, UniverseResilience};
-pub use whatif::{DeltaStats, RouteDiff, WhatIfAnswer, WhatIfEngine, WhatIfQuery};
+pub use universe::{snapshot_staging_path, RoutingUniverse, UniverseResilience};
+pub use whatif::{DeltaStats, QueryError, RouteDiff, WhatIfAnswer, WhatIfEngine, WhatIfQuery};

@@ -59,6 +59,7 @@ use ir_types::{Asn, CityId, Prefix, Relationship, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// An origination event.
@@ -107,6 +108,53 @@ pub struct Convergence {
     pub imports: usize,
 }
 
+/// Cooperative work budget for one simulation's worklist runs — the
+/// serving plane's deadline mechanism. A budget bounds an event's
+/// activations (deterministic: the same query trips at the same point on
+/// every run) and/or carries a cancel token an external watchdog can set
+/// (wall-clock deadlines). [`PrefixSim::run_event`] checks the activation
+/// bound on every activation and polls the token every
+/// [`StepBudget::CHECK_INTERVAL`] activations; a tripped budget ends the
+/// event early with `converged = false` and marks the sim
+/// [`PrefixSim::budget_tripped`], so callers can distinguish "deadline"
+/// from "dispute wheel" and degrade instead of hanging.
+#[derive(Debug, Clone, Default)]
+pub struct StepBudget {
+    /// Activation ceiling per event (`None` = unlimited).
+    max_activations: Option<u64>,
+    /// External cancellation flag, polled cooperatively.
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl StepBudget {
+    /// How many activations pass between cancel-token polls.
+    pub const CHECK_INTERVAL: usize = 64;
+
+    /// No limits — the default for every sim.
+    pub fn unlimited() -> StepBudget {
+        StepBudget::default()
+    }
+
+    /// Budget of at most `n` activations per event.
+    pub fn activations(n: u64) -> StepBudget {
+        StepBudget {
+            max_activations: Some(n),
+            cancel: None,
+        }
+    }
+
+    /// Attaches an external cancel token (set by a deadline watchdog).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> StepBudget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether this budget can ever trip.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_activations.is_none() && self.cancel.is_none()
+    }
+}
+
 /// Cumulative engine effort counters over a simulation's lifetime — cheap
 /// to maintain, printed by the diag binary to keep the perf trajectory
 /// observable.
@@ -138,6 +186,15 @@ pub struct EngineStats {
     /// Best-table routes that survived an event unchanged (summed per
     /// event): the routes delta reconvergence did *not* have to recompute.
     pub routes_retained: usize,
+    /// Events ended early by a tripped [`StepBudget`] (deadline or cancel)
+    /// instead of reaching a fixpoint.
+    pub deadline_aborts: usize,
+    /// Queries rejected at admission by a serving layer (load shedding);
+    /// the sim never increments this itself.
+    pub queries_shed: usize,
+    /// Queries answered degraded (base route, no reconvergence) by a
+    /// serving layer; the sim never increments this itself.
+    pub queries_degraded: usize,
     /// Memory accounting of the compact route storage (columns + path
     /// arena), refreshed on every [`PrefixSim::stats`] call; zeros for the
     /// sweep oracle, which keeps materialized routes.
@@ -158,6 +215,9 @@ impl EngineStats {
         self.deltas_applied += other.deltas_applied;
         self.ases_seeded += other.ases_seeded;
         self.routes_retained += other.routes_retained;
+        self.deadline_aborts += other.deadline_aborts;
+        self.queries_shed += other.queries_shed;
+        self.queries_degraded += other.queries_degraded;
         self.memory.absorb(&other.memory);
     }
 }
@@ -674,6 +734,12 @@ pub struct PrefixSim<'w> {
     overlay: PolicyOverlay,
     clock: Timestamp,
     stats: EngineStats,
+    /// Cooperative work budget checked inside [`PrefixSim::run_event`];
+    /// unlimited by default (zero overhead on the fast path).
+    budget: StepBudget,
+    /// Sticky flag: some event since the last [`PrefixSim::set_step_budget`]
+    /// ended early on a tripped budget.
+    budget_tripped: bool,
     /// Current-wave worklist, reused across events (generation-reset, not
     /// reallocated). Taken out of `self` while an event runs.
     wave: BitWorklist,
@@ -722,9 +788,25 @@ impl<'w> PrefixSim<'w> {
             overlay: PolicyOverlay::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
+            budget: StepBudget::unlimited(),
+            budget_tripped: false,
             wave: BitWorklist::new(n),
             next: BitWorklist::new(n),
         }
+    }
+
+    /// Installs a [`StepBudget`] for subsequent events and clears the
+    /// tripped flag. Pass [`StepBudget::unlimited`] to remove limits.
+    pub fn set_step_budget(&mut self, budget: StepBudget) {
+        self.budget = budget;
+        self.budget_tripped = false;
+    }
+
+    /// Whether any event since the last [`PrefixSim::set_step_budget`]
+    /// ended early because the budget tripped (deadline/cancel), as opposed
+    /// to the dispute-wheel work cap.
+    pub fn budget_tripped(&self) -> bool {
+        self.budget_tripped
     }
 
     /// Announces (or re-announces with different poison/via) the prefix and
@@ -1200,6 +1282,10 @@ impl<'w> PrefixSim<'w> {
         let mut activations = 0usize;
         let mut imports = 0usize;
         let mut converged = true;
+        // Deadline machinery, hoisted: the unlimited default costs one
+        // branch per activation and never takes it.
+        let budget_max = self.budget.max_activations.unwrap_or(u64::MAX);
+        let budget_cancel = self.budget.cancel.clone();
         'event: while !wave.is_empty() {
             rounds += 1;
             if rounds > cap {
@@ -1208,6 +1294,17 @@ impl<'w> PrefixSim<'w> {
             }
             while let Some(x) = wave.pop_first() {
                 activations += 1;
+                if activations as u64 > budget_max
+                    || (activations.is_multiple_of(StepBudget::CHECK_INTERVAL)
+                        && budget_cancel
+                            .as_ref()
+                            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)))
+                {
+                    converged = false;
+                    self.budget_tripped = true;
+                    self.stats.deadline_aborts += 1;
+                    break 'event;
+                }
                 if activations > cap.saturating_mul(n.max(1)) {
                     converged = false;
                     break 'event;
@@ -1475,6 +1572,10 @@ impl<'w> PrefixSim<'w> {
             overlay: self.overlay.clone(),
             clock: self.clock,
             stats: EngineStats::default(),
+            // Budgets are per-caller concerns: a fork starts unlimited and
+            // the query layer installs its own.
+            budget: StepBudget::unlimited(),
+            budget_tripped: false,
             wave: BitWorklist::new(n),
             next: BitWorklist::new(n),
         }

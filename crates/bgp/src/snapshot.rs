@@ -10,6 +10,67 @@
 
 use ir_types::Error;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the integrity trailer on snapshot images.
+/// Detects torn writes and bit flips that happen to land in unvalidated
+/// fields (counters, ages) where structural decoding would not notice.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends the CRC-32 trailer over everything written so far.
+pub(crate) fn seal_with_crc(bytes: &mut Vec<u8>) {
+    let c = crc32(bytes);
+    bytes.extend_from_slice(&c.to_le_bytes());
+}
+
+/// Verifies and strips the CRC-32 trailer, returning the sealed payload.
+/// A missing or mismatching trailer is a parse error — the caller never
+/// sees unverified bytes.
+pub(crate) fn verify_crc(bytes: &[u8]) -> Result<&[u8], Error> {
+    let Some(body_len) = bytes.len().checked_sub(4) else {
+        return Err(Error::parse(
+            None,
+            "snapshot too short for its CRC32 trailer",
+        ));
+    };
+    let (body, trailer) = bytes.split_at(body_len);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(Error::parse(
+            None,
+            format!("snapshot CRC32 mismatch (stored {stored:#010x}, computed {actual:#010x}): torn or corrupt file"),
+        ));
+    }
+    Ok(body)
+}
+
 /// Append-only little-endian byte sink.
 #[derive(Default)]
 pub(crate) struct Writer {
@@ -194,6 +255,29 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(r.len(1).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_seal_and_verify_round_trip() {
+        let mut bytes = b"IRUNIV01payload".to_vec();
+        seal_with_crc(&mut bytes);
+        let body = verify_crc(&bytes).unwrap();
+        assert_eq!(body, b"IRUNIV01payload");
+        // Any flip — payload or trailer — breaks verification.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x80;
+            assert!(verify_crc(&bad).is_err(), "flip at {i} accepted");
+        }
+        // Too short for a trailer at all.
+        assert!(verify_crc(b"abc").is_err());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::compact::{CompactRoute, MemoryBudget, RouteColumns};
 use crate::patharena::{PathArena, PathId};
 use crate::route::Route;
 use crate::sim::{ActivationOrder, Announcement, EngineStats, PrefixSim, ShapeTable, SimContext};
-use crate::snapshot::{Reader, Writer};
+use crate::snapshot::{seal_with_crc, verify_crc, Reader, Writer};
 use ir_fault::{FaultDomain, FaultPlane};
 use ir_topology::graph::NodeIdx;
 use ir_topology::World;
@@ -98,6 +98,18 @@ pub fn prefix_owners(world: &World) -> BTreeMap<Prefix, Asn> {
         }
     }
     owners
+}
+
+/// Where [`RoutingUniverse::save_snapshot`] stages its atomic write:
+/// `<file>.tmp` next to the target, so the final `rename` never crosses a
+/// filesystem boundary.
+pub fn snapshot_staging_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// One converged prefix: (prefix, origin, per-AS routing table, converged).
@@ -567,6 +579,9 @@ impl RoutingUniverse {
             self.stats.deltas_applied,
             self.stats.ases_seeded,
             self.stats.routes_retained,
+            self.stats.deadline_aborts,
+            self.stats.queries_shed,
+            self.stats.queries_degraded,
             self.stats.memory.route_bytes,
             self.stats.memory.routes,
             self.stats.memory.arena_bytes,
@@ -576,7 +591,9 @@ impl RoutingUniverse {
         }
         w.u64(self.stats.memory.intern_hits);
         w.u64(self.stats.memory.intern_misses);
-        Ok(w.into_bytes())
+        let mut bytes = w.into_bytes();
+        seal_with_crc(&mut bytes);
+        Ok(bytes)
     }
 
     /// Decodes a [`RoutingUniverse::to_snapshot_bytes`] image. Fully
@@ -587,6 +604,10 @@ impl RoutingUniverse {
             usize::try_from(v)
                 .map_err(|_| Error::parse(None, format!("snapshot counter {v} overflows usize")))
         }
+        // The CRC32 trailer is verified (and stripped) before any structural
+        // decoding: a torn or bit-flipped file is rejected wholesale, so the
+        // validating decode below only ever sees what the writer sealed.
+        let bytes = verify_crc(bytes)?;
         let mut r = Reader::new(bytes);
         r.expect_magic(SNAPSHOT_MAGIC)?;
         let n_asns = r.len(4)?;
@@ -689,6 +710,9 @@ impl RoutingUniverse {
             deltas_applied: to_usize(r.u64()?)?,
             ases_seeded: to_usize(r.u64()?)?,
             routes_retained: to_usize(r.u64()?)?,
+            deadline_aborts: to_usize(r.u64()?)?,
+            queries_shed: to_usize(r.u64()?)?,
+            queries_degraded: to_usize(r.u64()?)?,
             memory: MemoryBudget {
                 route_bytes: to_usize(r.u64()?)?,
                 routes: to_usize(r.u64()?)?,
@@ -718,13 +742,37 @@ impl RoutingUniverse {
         Ok(universe)
     }
 
-    /// Writes [`RoutingUniverse::to_snapshot_bytes`] to `path`.
+    /// Writes [`RoutingUniverse::to_snapshot_bytes`] to `path` atomically:
+    /// the image is staged at [`snapshot_staging_path`], fsynced, then
+    /// renamed over the target. A crash at any point leaves either the old
+    /// snapshot or the new one — never a torn file at `path` (and any
+    /// abandoned staging file fails its CRC check, so it can't be mistaken
+    /// for a good image either).
     pub fn save_snapshot(&self, path: &Path) -> Result<(), Error> {
         let bytes = self.to_snapshot_bytes()?;
-        std::fs::write(path, bytes).map_err(|e| Error::Unavailable {
+        let unavailable = |e: std::io::Error| Error::Unavailable {
             what: "snapshot file",
             detail: format!("{}: {e}", path.display()),
-        })
+        };
+        let staging = snapshot_staging_path(path);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&staging).map_err(unavailable)?;
+            f.write_all(&bytes).map_err(unavailable)?;
+            // The rename only publishes durable bytes: fsync before it, or
+            // a crash could surface the new name over an empty inode.
+            f.sync_all().map_err(unavailable)?;
+        }
+        std::fs::rename(&staging, path).map_err(unavailable)?;
+        // Persist the rename itself. Not all filesystems let a directory be
+        // fsynced; failure here narrows the crash window, it does not
+        // un-publish the file, so it is best-effort.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Reads and decodes a snapshot file written by
@@ -735,6 +783,18 @@ impl RoutingUniverse {
             detail: format!("{}: {e}", path.display()),
         })?;
         Self::from_snapshot_bytes(&bytes)
+    }
+
+    /// Restart-after-crash load: discards any staging debris a crash
+    /// mid-[`RoutingUniverse::save_snapshot`] left behind, then loads the
+    /// last published (CRC-verified) snapshot at `path`. This is the only
+    /// load path the serving daemon uses.
+    pub fn recover_snapshot(path: &Path) -> Result<RoutingUniverse, Error> {
+        let staging = snapshot_staging_path(path);
+        if staging.exists() {
+            let _ = std::fs::remove_file(&staging);
+        }
+        Self::load_snapshot(path)
     }
 }
 

@@ -26,6 +26,7 @@
 use crate::route::Route;
 use crate::sim::{
     ActivationOrder, Announcement, Convergence, Delta, PrefixSim, ShapeTable, SimContext,
+    StepBudget,
 };
 use crate::universe::{prefix_owners, shape_groups, RoutingUniverse, UniverseResilience};
 use ir_topology::graph::NodeIdx;
@@ -54,6 +55,30 @@ impl WhatIfQuery {
         }
     }
 }
+
+/// Why one what-if query was rejected. Structured per cause so a serving
+/// layer can map each to a distinct client-visible error, and returned per
+/// query so one bad query never aborts a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The queried prefix is not resident in this engine.
+    UnknownPrefix(Prefix),
+    /// A delta names an AS that does not exist in the world. (Applying it
+    /// anyway would silently no-op — rejecting is kinder to callers who
+    /// typoed an ASN.)
+    UnknownAsn(Asn),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownPrefix(p) => write!(f, "prefix {p} is not resident"),
+            QueryError::UnknownAsn(a) => write!(f, "delta references unknown AS {a}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One AS whose selected route changed under the query's edits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +113,10 @@ pub struct DeltaStats {
     pub routes_changed: usize,
     /// Whether every reconvergence (and the base) reached a fixpoint.
     pub converged: bool,
+    /// The query's [`StepBudget`] tripped (deadline): reconvergence was
+    /// abandoned and the answer is degraded — it reports the *base* routes
+    /// (empty diff), not the post-edit fixpoint.
+    pub deadline_aborted: bool,
 }
 
 /// The answer to a [`WhatIfQuery`]: the structured route diff against the
@@ -274,14 +303,35 @@ impl<'w> WhatIfEngine<'w> {
 
     /// Answers one query: fork the prefix's shape copy-on-write, apply the
     /// edits (each stamped one minute after the last), and diff against
-    /// the base. `None` if the prefix is not resident.
+    /// the base. Rejections are per-cause [`QueryError`]s.
     ///
     /// The base state is never modified — the same engine answers any
     /// number of queries, concurrently via [`WhatIfEngine::query_batch`].
-    pub fn query(&self, q: &WhatIfQuery) -> Option<WhatIfAnswer> {
-        let state = &self.shapes[*self.by_prefix.get(&q.prefix)?];
+    pub fn query(&self, q: &WhatIfQuery) -> Result<WhatIfAnswer, QueryError> {
+        self.query_budgeted(q, &StepBudget::unlimited())
+    }
+
+    /// [`WhatIfEngine::query`] under a [`StepBudget`] — the serving plane's
+    /// deadline path. If the budget trips mid-reconvergence the answer
+    /// **degrades instead of hanging**: the edits' effects are abandoned
+    /// and the answer reports the base routes (empty diff) with
+    /// [`DeltaStats::deadline_aborted`] set, so callers can attach their
+    /// `degraded: ["deadline"]` marker and still respond.
+    pub fn query_budgeted(
+        &self,
+        q: &WhatIfQuery,
+        budget: &StepBudget,
+    ) -> Result<WhatIfAnswer, QueryError> {
+        let state = match self.by_prefix.get(&q.prefix) {
+            Some(&i) => &self.shapes[i],
+            None => return Err(QueryError::UnknownPrefix(q.prefix)),
+        };
+        self.validate_deltas(&q.deltas)?;
         let base = &state.sim;
         let mut fork = base.fork_for(q.prefix);
+        if !budget.is_unlimited() {
+            fork.set_step_budget(budget.clone());
+        }
         let mut stats = DeltaStats {
             converged: state.converged,
             ..DeltaStats::default()
@@ -302,10 +352,24 @@ impl<'w> WhatIfEngine<'w> {
             stats.imports += conv.imports;
             stats.rounds += conv.rounds;
             stats.converged &= conv.converged;
+            if fork.budget_tripped() {
+                break;
+            }
         }
         let fork_stats = fork.stats();
         stats.deltas_applied = fork_stats.deltas_applied;
         stats.ases_seeded = fork_stats.ases_seeded;
+        if fork.budget_tripped() {
+            // The fork stopped mid-propagation; its tables are not a
+            // fixpoint of anything. Don't diff against them — answer with
+            // the base routes, marked degraded.
+            stats.deadline_aborted = true;
+            return Ok(WhatIfAnswer {
+                prefix: q.prefix,
+                diffs: Vec::new(),
+                stats,
+            });
+        }
         // Diff against the base. The fork shares the base's arena, so
         // compact rows compare field-for-field (path handles included).
         let mut diffs = Vec::new();
@@ -327,17 +391,49 @@ impl<'w> WhatIfEngine<'w> {
                 after: after.map(|r| fork.materialize(r)),
             });
         }
-        Some(WhatIfAnswer {
+        Ok(WhatIfAnswer {
             prefix: q.prefix,
             diffs,
             stats,
         })
     }
 
+    /// Rejects deltas that name ASes outside the world — the sim would
+    /// treat them as silent no-ops, which is the right semantics for fault
+    /// replay but the wrong one for a query API.
+    fn validate_deltas(&self, deltas: &[Delta]) -> Result<(), QueryError> {
+        let check = |asn: Asn| -> Result<(), QueryError> {
+            if self.world.graph.index_of(asn).is_none() {
+                return Err(QueryError::UnknownAsn(asn));
+            }
+            Ok(())
+        };
+        for delta in deltas {
+            match delta {
+                Delta::LinkDown { a, b } | Delta::LinkUp { a, b } => {
+                    check(*a)?;
+                    check(*b)?;
+                }
+                Delta::NeighborPref { of, neighbor, .. }
+                | Delta::ExportPrepend { of, neighbor, .. }
+                | Delta::PartialTransit { of, neighbor, .. } => {
+                    check(*of)?;
+                    check(*neighbor)?;
+                }
+                Delta::SelectiveAnnounce { of, .. } | Delta::PoisonFilter { of, .. } => {
+                    check(*of)?;
+                }
+                Delta::Announce(ann) => check(ann.origin)?,
+                Delta::Withdraw => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Answers many independent queries in parallel (rayon), results in
-    /// input order. Each query forks its own copy-on-write state; the
-    /// shared base is read-only throughout.
-    pub fn query_batch(&self, queries: &[WhatIfQuery]) -> Vec<Option<WhatIfAnswer>> {
+    /// input order. Each result stands alone: a rejected query yields its
+    /// own [`QueryError`] and never aborts the rest of the batch.
+    pub fn query_batch(&self, queries: &[WhatIfQuery]) -> Vec<Result<WhatIfAnswer, QueryError>> {
         queries.par_iter().map(|q| self.query(q)).collect()
     }
 
@@ -469,14 +565,92 @@ mod tests {
     }
 
     #[test]
-    fn unknown_prefix_is_none() {
+    fn unknown_prefix_is_a_structured_error() {
         let w = world();
         let (_, prefix) = stub_prefix(&w);
         let engine = WhatIfEngine::new(&w, &[prefix]);
         let other: Prefix = "203.0.113.0/24".parse().unwrap();
-        assert!(engine
-            .query(&WhatIfQuery::single(other, Delta::Withdraw))
-            .is_none());
+        assert_eq!(
+            engine.query(&WhatIfQuery::single(other, Delta::Withdraw)),
+            Err(QueryError::UnknownPrefix(other))
+        );
+    }
+
+    #[test]
+    fn unknown_asn_is_a_structured_error() {
+        let w = world();
+        let (origin, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        let ghost = Asn(4_000_000_000);
+        assert!(w.graph.index_of(ghost).is_none(), "ghost AS must not exist");
+        let q = WhatIfQuery::single(
+            prefix,
+            Delta::LinkDown {
+                a: origin,
+                b: ghost,
+            },
+        );
+        assert_eq!(engine.query(&q), Err(QueryError::UnknownAsn(ghost)));
+    }
+
+    #[test]
+    fn one_bad_query_does_not_abort_the_batch() {
+        let w = world();
+        let (origin, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        let other: Prefix = "203.0.113.0/24".parse().unwrap();
+        let queries = vec![
+            WhatIfQuery::single(prefix, Delta::Withdraw),
+            WhatIfQuery::single(other, Delta::Withdraw),
+            WhatIfQuery::single(
+                prefix,
+                Delta::LinkDown {
+                    a: origin,
+                    b: Asn(4_000_000_000),
+                },
+            ),
+            WhatIfQuery::single(prefix, Delta::Withdraw),
+        ];
+        let results = engine.query_batch(&queries);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(QueryError::UnknownPrefix(other)));
+        assert_eq!(results[2], Err(QueryError::UnknownAsn(Asn(4_000_000_000))));
+        assert_eq!(results[3], results[0]);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_base_routes() {
+        let w = world();
+        let (_, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        // Withdrawing the prefix touches the whole graph; one activation
+        // cannot finish it.
+        let q = WhatIfQuery::single(prefix, Delta::Withdraw);
+        let a = engine
+            .query_budgeted(&q, &StepBudget::activations(1))
+            .unwrap();
+        assert!(a.stats.deadline_aborted, "budget must trip");
+        assert!(!a.stats.converged);
+        assert!(a.diffs.is_empty(), "degraded answer serves the base routes");
+        // The same query under no budget converges and changes routes.
+        let full = engine.query(&q).unwrap();
+        assert!(full.stats.converged);
+        assert!(!full.stats.deadline_aborted);
+        assert!(full.stats.routes_changed > 0);
+        // The base engine survives tripped queries untouched.
+        assert_eq!(engine.query(&q).unwrap(), full);
+    }
+
+    #[test]
+    fn budget_trip_is_deterministic() {
+        let w = world();
+        let (_, prefix) = stub_prefix(&w);
+        let engine = WhatIfEngine::new(&w, &[prefix]);
+        let q = WhatIfQuery::single(prefix, Delta::Withdraw);
+        let budget = StepBudget::activations(7);
+        let a = engine.query_budgeted(&q, &budget).unwrap();
+        let b = engine.query_budgeted(&q, &budget).unwrap();
+        assert_eq!(a, b, "same budget, same query ⇒ same (degraded) answer");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! re-propagating.
 
 use ir_bgp::universe::prefix_owners;
-use ir_bgp::{ActivationOrder, Delta, RoutingUniverse, WhatIfEngine, WhatIfQuery};
+use ir_bgp::{
+    snapshot_staging_path, ActivationOrder, Delta, RoutingUniverse, WhatIfEngine, WhatIfQuery,
+};
 use ir_topology::GeneratorConfig;
 use ir_types::Prefix;
 
@@ -113,14 +115,81 @@ fn corrupt_snapshots_are_rejected_not_trusted() {
             "truncation at {cut} silently accepted"
         );
     }
-    // Bit flips across the image: either a clean error or a decode that
-    // re-serializes (corruption may land in unvalidated counters, which is
-    // fine — the contract is "no panic, no trust in structure").
+    // Bit flips anywhere in the image — counters and ages included — are
+    // caught by the CRC32 trailer before structural decoding even starts.
     for i in (8..bytes.len()).step_by(97) {
         let mut flipped = bytes.clone();
         flipped[i] ^= 0x40;
-        if let Ok(loaded) = RoutingUniverse::from_snapshot_bytes(&flipped) {
-            let _ = loaded.to_snapshot_bytes();
-        }
+        assert!(
+            RoutingUniverse::from_snapshot_bytes(&flipped).is_err(),
+            "bit flip at byte {i} silently accepted"
+        );
     }
+}
+
+#[test]
+fn torn_writes_fail_the_crc_at_every_kib_boundary() {
+    let w = GeneratorConfig::tiny().build(11);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let bytes = u.to_snapshot_bytes().expect("serialize");
+    assert!(bytes.len() > 4096, "image too small to exercise truncation");
+    // A torn write is a prefix of the real image: every 1 KiB truncation
+    // point must be rejected — structurally or by the CRC trailer.
+    for cut in (0..bytes.len()).step_by(1024) {
+        assert!(
+            RoutingUniverse::from_snapshot_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} silently accepted",
+            bytes.len()
+        );
+    }
+    // Including the worst case: everything but the trailer's last byte.
+    assert!(RoutingUniverse::from_snapshot_bytes(&bytes[..bytes.len() - 1]).is_err());
+}
+
+#[test]
+fn single_byte_flips_fail_the_crc_everywhere() {
+    let w = GeneratorConfig::tiny().build(11);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().take(3).collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let bytes = u.to_snapshot_bytes().expect("serialize");
+    // Dense sweep: flip one byte at every offset (trailer included).
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x01;
+        assert!(
+            RoutingUniverse::from_snapshot_bytes(&flipped).is_err(),
+            "single-byte flip at {i} silently accepted"
+        );
+    }
+}
+
+#[test]
+fn save_is_atomic_and_recovery_discards_staging_debris() {
+    let w = GeneratorConfig::tiny().build(5);
+    let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().take(4).collect();
+    let u = RoutingUniverse::compute(&w, &ps);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ir_snapshot_atomic_{}.iruniv", std::process::id()));
+    let staging = snapshot_staging_path(&path);
+    u.save_snapshot(&path).expect("save");
+    assert!(path.exists());
+    assert!(
+        !staging.exists(),
+        "staging file must not survive a clean save"
+    );
+    // Simulate a crash mid-save: torn bytes parked at the staging path.
+    let good = std::fs::read(&path).expect("read back");
+    std::fs::write(&staging, &good[..good.len() / 2]).expect("plant debris");
+    // A torn staging file must never decode as a snapshot...
+    assert!(RoutingUniverse::from_snapshot_bytes(&good[..good.len() / 2]).is_err());
+    // ...and recovery cleans it up and serves the last published image.
+    let recovered = RoutingUniverse::recover_snapshot(&path).expect("recover");
+    assert!(!staging.exists(), "recovery must discard staging debris");
+    assert_eq!(
+        recovered.to_snapshot_bytes().expect("re-serialize"),
+        good,
+        "recovered universe is not byte-identical to the last good save"
+    );
+    let _ = std::fs::remove_file(&path);
 }

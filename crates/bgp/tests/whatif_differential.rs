@@ -168,7 +168,7 @@ fn check_warm_vs_cold(
     };
     let a = engine
         .query(&q)
-        .unwrap_or_else(|| panic!("{label}: prefix not resident"));
+        .unwrap_or_else(|e| panic!("{label}: query rejected: {e}"));
     assert_eq!(a.stats.routes_changed, a.diffs.len(), "{label}");
     assert_eq!(a.stats.deltas_applied, deltas.len(), "{label}");
     assert!(

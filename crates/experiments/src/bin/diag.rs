@@ -105,7 +105,9 @@ fn internet_scale_diag(seed: u64, target: usize) {
 }
 
 fn whatif_diag(target: usize, seed: u64) {
-    use ir_bgp::{Announcement, Delta, PrefixSim, SimContext, WhatIfEngine, WhatIfQuery};
+    use ir_bgp::{
+        Announcement, Delta, PrefixSim, SimContext, StepBudget, WhatIfEngine, WhatIfQuery,
+    };
     use ir_topology::GeneratorConfig;
     use ir_types::Timestamp;
 
@@ -172,7 +174,7 @@ fn whatif_diag(target: usize, seed: u64) {
         let a = engine.query(&q).expect("prefix resident");
         println!("{label} ({t_asn} ~ {t_peer}):");
         let warm = timed("warm (fork + reconverge)", 10, &mut || {
-            std::hint::black_box(engine.query(&q));
+            let _ = std::hint::black_box(engine.query(&q));
         });
         let cold = timed("cold (announce + edit)", 3, &mut || {
             let mut sim = PrefixSim::with_context(ctx.fork(), prefix);
@@ -196,6 +198,112 @@ fn whatif_diag(target: usize, seed: u64) {
             }
         );
     }
+
+    // The serving plane's deadline path: a 1-activation budget must trip
+    // and degrade to the base routes, never hang.
+    let q = WhatIfQuery::single(prefix, Delta::Withdraw);
+    let degraded = engine
+        .query_budgeted(&q, &StepBudget::activations(1))
+        .expect("prefix resident");
+    println!(
+        "degraded path (budget 1): deadline_aborted={} diffs={} (base routes reported)",
+        degraded.stats.deadline_aborted,
+        degraded.diffs.len()
+    );
+}
+
+/// In-process serving-loop diagnostic: run a hostile little traffic mix
+/// against a live [`ir_serve::Server`] and print the robustness counters.
+fn serve_diag(seed: u64) {
+    use ir_bgp::{ActivationOrder, Delta, RoutingUniverse, WhatIfEngine};
+    use ir_fault::{RetryPolicy, ServiceClock};
+    use ir_serve::{control_line, whatif_line, Client, ServeConfig, Server};
+    use ir_types::Prefix;
+
+    let t0 = std::time::Instant::now();
+    let world = ir_topology::GeneratorConfig::tiny().build(seed);
+    let prefixes: Vec<Prefix> = world
+        .graph
+        .nodes()
+        .iter()
+        .filter_map(|n| n.prefixes.first().copied())
+        .take(8)
+        .collect();
+    let universe = RoutingUniverse::compute(&world, &prefixes);
+    let engine = WhatIfEngine::from_universe(&world, &universe, ActivationOrder::default())
+        .expect("universe hydrates");
+    println!(
+        "build: {:.1?} | {} ASes, {} resident prefixes, {} shapes",
+        t0.elapsed(),
+        world.graph.len(),
+        prefixes.len(),
+        engine.shape_count()
+    );
+    let a = world.graph.nodes()[0].asn;
+    let b = world.graph.nodes()[1].asn;
+    let server = Server::new(ServeConfig {
+        queue_cap: 8,
+        workers: 2,
+        breaker: RetryPolicy {
+            quarantine_after: 3,
+            jitter: 0,
+            ..RetryPolicy::default()
+        },
+        clock: ServiceClock::simulated(),
+        ..ServeConfig::default()
+    });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::scope(|s| {
+        let server = &server;
+        let engine = &engine;
+        let universe = &universe;
+        s.spawn(move || {
+            server
+                .run(engine, Some(universe), listener)
+                .expect("serve loop");
+        });
+        let mut c = Client::connect(addr).expect("connect");
+        for i in 0..40u64 {
+            let line = match i % 8 {
+                // Budget-1 queries trip the deadline and, after three
+                // trips, open the prefix's circuit breaker.
+                2 | 3 => whatif_line(Some(i), prefixes[1], &[Delta::Withdraw], Some(1)),
+                5 => format!("{{\"op\": {i}"),
+                _ => whatif_line(Some(i), prefixes[0], &[Delta::LinkDown { a, b }], None),
+            };
+            let _ = c.request(&line);
+        }
+        // Burst past the queue cap with workers paused to exercise the
+        // load-shed path.
+        server.pause_workers();
+        for i in 0..24u64 {
+            c.send_line(&whatif_line(
+                Some(100 + i),
+                prefixes[0],
+                &[Delta::LinkDown { a, b }],
+                None,
+            ))
+            .expect("burst send");
+        }
+        for _ in 0..16 {
+            let _ = c.recv_line();
+        }
+        server.resume_workers();
+        for _ in 0..8 {
+            let _ = c.recv_line();
+        }
+        let _ = c.request(&control_line(None, "shutdown"));
+    });
+    let s = server.stats();
+    println!(
+        "served {} | shed {} | degraded {} (deadline {}, quarantine {}) | errors {}",
+        s.served, s.shed, s.degraded, s.deadline_aborts, s.quarantine_refusals, s.errors
+    );
+    println!(
+        "breaker trips {} | queue high-water {} (cap 8) | disconnects {} | autosaves {}",
+        s.breaker_trips, s.queue_high_water, s.disconnects, s.autosaves
+    );
 }
 
 fn main() {
@@ -208,6 +316,14 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
+    if scale == "serve" {
+        let seed = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        serve_diag(seed);
+        return;
+    }
     if scale == "whatif" {
         let target = std::env::args()
             .nth(2)

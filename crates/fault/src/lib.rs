@@ -441,6 +441,141 @@ impl RetryPolicy {
     }
 }
 
+/// Millisecond clock the serving plane reads deadlines and breaker timers
+/// from. Production uses [`ServiceClock::wall`]; deterministic tests use
+/// [`ServiceClock::simulated`], advanced explicitly — the chaos soak's
+/// reproducible-counter guarantee depends on no code path consulting the
+/// wall clock behind the test's back.
+#[derive(Debug, Clone)]
+pub enum ServiceClock {
+    /// Monotonic wall time, measured from construction.
+    Wall(std::time::Instant),
+    /// Test-driven counter; clones share the counter.
+    Simulated(std::sync::Arc<AtomicU64>),
+}
+
+impl ServiceClock {
+    /// A wall clock starting at 0 now.
+    pub fn wall() -> ServiceClock {
+        ServiceClock::Wall(std::time::Instant::now())
+    }
+
+    /// A simulated clock starting at 0, advanced only by
+    /// [`ServiceClock::advance_ms`].
+    pub fn simulated() -> ServiceClock {
+        ServiceClock::Simulated(std::sync::Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Milliseconds elapsed since this clock's origin.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            ServiceClock::Wall(origin) => origin.elapsed().as_millis() as u64,
+            ServiceClock::Simulated(ms) => ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a simulated clock; a no-op on a wall clock (time advances
+    /// itself).
+    pub fn advance_ms(&self, ms: u64) {
+        if let ServiceClock::Simulated(counter) = self {
+            counter.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Circuit-breaker state for one protected key (a prefix, a probe, a
+/// neighbor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests pass through.
+    Closed,
+    /// Quarantined until the stated clock reading: requests are refused.
+    Open {
+        /// [`ServiceClock::now_ms`] reading at which the quarantine lapses.
+        until_ms: u64,
+    },
+    /// Quarantine lapsed; one probe request is in flight. Success closes
+    /// the breaker, failure re-opens it with a longer backoff.
+    HalfOpen,
+}
+
+/// A deterministic circuit breaker over [`RetryPolicy`]'s quarantine
+/// machinery: `quarantine_after` consecutive failures open it, and each
+/// (re-)opening quarantines for `backoff(trips, key)` seconds — the same
+/// deterministic exponential-plus-jitter schedule retries use, so two
+/// breakers with the same policy, key, and failure history quarantine
+/// identically.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: RetryPolicy,
+    /// Jitter key — also what makes distinct keys desynchronize.
+    key: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Times this breaker has opened (drives the backoff exponent).
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for `key` under `policy`.
+    pub fn new(policy: RetryPolicy, key: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            key,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (after lapse checks as of the last `allows` call).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may proceed at clock reading `now_ms`. An open
+    /// breaker whose quarantine has lapsed transitions to half-open and
+    /// admits exactly this request as the probe.
+    pub fn allows(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ms } if now_ms >= until_ms => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Records a successful request: failures reset, breaker closes.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed request at clock reading `now_ms`. A half-open
+    /// probe failure re-opens immediately; `quarantine_after` consecutive
+    /// failures open a closed breaker.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let should_open = matches!(self.state, BreakerState::HalfOpen)
+            || self.consecutive_failures >= self.policy.quarantine_after;
+        if should_open {
+            self.trips = self.trips.saturating_add(1);
+            let hold_s = self.policy.backoff(self.trips, self.key).max(1);
+            self.state = BreakerState::Open {
+                until_ms: now_ms.saturating_add(hold_s.saturating_mul(1000)),
+            };
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// Times this breaker has opened.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,5 +712,82 @@ mod tests {
         assert!(b2 >= 2 * p.base_backoff);
         assert!(b5 <= p.max_backoff + p.jitter, "cap holds");
         assert_eq!(p.backoff(3, 9), p.backoff(3, 9), "jitter is a pure hash");
+    }
+
+    #[test]
+    fn simulated_clock_is_shared_and_explicit() {
+        let c = ServiceClock::simulated();
+        let c2 = c.clone();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(250);
+        assert_eq!(c2.now_ms(), 250, "clones share the counter");
+        // Wall clocks ignore advance and are monotone.
+        let w = ServiceClock::wall();
+        w.advance_ms(1_000_000);
+        assert!(w.now_ms() < 1_000_000);
+    }
+
+    #[test]
+    fn breaker_opens_after_quarantine_threshold_and_recovers() {
+        let policy = RetryPolicy {
+            quarantine_after: 3,
+            jitter: 0,
+            ..RetryPolicy::default()
+        };
+        let mut b = CircuitBreaker::new(policy, 7);
+        let clock = ServiceClock::simulated();
+        // Two failures: still closed.
+        for _ in 0..2 {
+            assert!(b.allows(clock.now_ms()));
+            b.record_failure(clock.now_ms());
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Third consecutive failure trips it.
+        b.record_failure(clock.now_ms());
+        let BreakerState::Open { until_ms } = b.state() else {
+            panic!("breaker must open after quarantine_after failures");
+        };
+        assert_eq!(
+            until_ms,
+            policy.base_backoff * 1000,
+            "backoff(1), no jitter"
+        );
+        assert!(!b.allows(clock.now_ms()), "open breaker refuses requests");
+        // Quarantine lapses: one half-open probe is admitted.
+        clock.advance_ms(until_ms);
+        assert!(b.allows(clock.now_ms()));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe failure re-opens immediately, with a longer hold.
+        b.record_failure(clock.now_ms());
+        let BreakerState::Open { until_ms: again } = b.state() else {
+            panic!("failed probe must re-open the breaker");
+        };
+        assert!(again - clock.now_ms() > until_ms, "backoff grows per trip");
+        assert_eq!(b.trips(), 2);
+        // Eventually a successful probe closes it for good.
+        clock.advance_ms(again);
+        assert!(b.allows(clock.now_ms()));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(clock.now_ms()));
+    }
+
+    #[test]
+    fn breaker_schedule_is_deterministic_per_key() {
+        let policy = RetryPolicy::default();
+        let run = |key: u64| {
+            let mut b = CircuitBreaker::new(policy, key);
+            let mut states = Vec::new();
+            for i in 0..24u64 {
+                let now = i * 500;
+                let allowed = b.allows(now);
+                if allowed {
+                    b.record_failure(now);
+                }
+                states.push((allowed, b.state()));
+            }
+            states
+        };
+        assert_eq!(run(11), run(11), "same key ⇒ same quarantine timeline");
     }
 }

@@ -1,0 +1,197 @@
+//! Bounded admission queue with explicit load-shedding.
+//!
+//! The serving loop's backpressure point: readers [`AdmissionQueue::try_push`]
+//! work in, workers [`AdmissionQueue::pop`] it out, and a full queue rejects
+//! *immediately* — the caller turns that into a `shed` response with a
+//! retry hint instead of letting latency grow without bound. The queue also
+//! owns the drain handshake: once [`AdmissionQueue::drain`] is called no new
+//! work is admitted, and `pop` returns `None` exactly when the backlog is
+//! empty, so workers finish everything that was already accepted and then
+//! exit.
+//!
+//! `pause`/`resume` exist for the chaos soak: pausing consumption lets a
+//! test fill the queue to a deterministic depth before any worker runs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    high_water: usize,
+    draining: bool,
+    paused: bool,
+}
+
+/// A bounded MPMC queue that sheds instead of blocking producers.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue admitting at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                high_water: 0,
+                draining: false,
+                paused: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A poisoned queue mutex means a worker panicked mid-pop; the queue
+        // itself is still structurally sound, so keep serving.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The admission cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Admits `item`, or returns it to the caller when the queue is full or
+    /// draining — the load-shed path, never a block.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.lock();
+        if g.draining || g.q.len() >= self.cap {
+            return Err(item);
+        }
+        g.q.push_back(item);
+        g.high_water = g.high_water.max(g.q.len());
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` once the queue is draining
+    /// *and* empty — the worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if !g.paused {
+                if let Some(item) = g.q.pop_front() {
+                    return Some(item);
+                }
+                if g.draining {
+                    return None;
+                }
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admission and wakes every waiter; workers drain the backlog
+    /// and then see `None`.
+    pub fn drain(&self) {
+        let mut g = self.lock();
+        g.draining = true;
+        g.paused = false;
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Pauses consumption (admission continues) — test hook for filling the
+    /// queue to a known depth.
+    pub fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Resumes consumption after [`AdmissionQueue::pause`].
+    pub fn resume(&self) {
+        self.lock().paused = false;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().q.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().q.is_empty()
+    }
+
+    /// Deepest backlog ever observed — bounded by `cap` by construction,
+    /// asserted by the chaos soak.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    /// Whether [`AdmissionQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_cap_instead_of_blocking() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue returns the item");
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed readmits");
+    }
+
+    #[test]
+    fn drain_finishes_backlog_then_signals_exit() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.drain();
+        assert_eq!(q.try_push(3), Err(3), "draining refuses admission");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained and empty");
+
+        // A worker blocked in pop() is woken by drain.
+        let q2 = Arc::new(AdmissionQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q2);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.drain();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pause_fills_to_known_depth() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.pause();
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(9), Err(9));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..4 {
+                    if let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                }
+                got
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 4, "paused queue holds its depth");
+        q.resume();
+        assert_eq!(popper.join().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(q.high_water(), 4);
+    }
+}

@@ -1,0 +1,584 @@
+//! Newline-delimited JSON wire protocol.
+//!
+//! One request object per line in, one response object per line out. The
+//! decoder is deliberately hand-rolled over the [`Value`] tree rather than
+//! derive-based: a hostile or malformed line must become a structured
+//! `error` response, never a panic or a dropped connection, and every
+//! rejection reason should name the field it came from.
+//!
+//! Responses echo the request's optional `id` so pipelining clients can
+//! match answers arriving in completion order.
+
+use ir_bgp::{Announcement, Delta, DeltaStats, QueryError, Route, WhatIfAnswer};
+use ir_types::{Asn, Prefix};
+use serde_json::Value;
+use std::collections::BTreeSet;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A what-if query: fork, apply deltas under a budget, diff.
+    WhatIf {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Queried prefix (must be resident).
+        prefix: Prefix,
+        /// Edits to apply in order.
+        deltas: Vec<Delta>,
+        /// Requested activation budget (clamped to the server's cap).
+        budget: Option<u64>,
+    },
+    /// Base-universe route lookup at one AS — no fork, no reconvergence.
+    Route {
+        /// Correlation id.
+        id: Option<u64>,
+        /// Resident prefix to look up.
+        prefix: Prefix,
+        /// AS whose selected route is wanted.
+        asn: Asn,
+    },
+    /// Liveness/readiness probe; always bypasses admission.
+    Health {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+    /// Serving counters snapshot; bypasses admission.
+    Stats {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+    /// Snapshot the universe to the configured path now.
+    Save {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+    /// Graceful drain: stop admitting, finish queued work, exit.
+    Shutdown {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+}
+
+impl Request {
+    /// The request's correlation id, if the client set one.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::WhatIf { id, .. }
+            | Request::Route { id, .. }
+            | Request::Health { id }
+            | Request::Stats { id }
+            | Request::Save { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
+}
+
+fn field_asn(v: &Value, key: &str) -> Result<Asn, String> {
+    let raw = field_u64(v, key)?;
+    u32::try_from(raw)
+        .map(Asn)
+        .map_err(|_| format!("field `{key}` is not a valid ASN"))
+}
+
+fn field_prefix(v: &Value, key: &str) -> Result<Prefix, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("field `{key}` must be a string"))?
+        .parse::<Prefix>()
+        .map_err(|_| format!("field `{key}` is not a prefix (want `a.b.c.d/len`)"))
+}
+
+fn field_asn_set(v: &Value, key: &str) -> Result<Option<BTreeSet<Asn>>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Array(items)) => {
+            let mut set = BTreeSet::new();
+            for item in items {
+                let raw = item
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("field `{key}` must hold ASNs"))?;
+                set.insert(Asn(raw));
+            }
+            Ok(Some(set))
+        }
+        Some(_) => Err(format!("field `{key}` must be an array of ASNs or null")),
+    }
+}
+
+/// Decodes one wire delta object (`{"kind": "...", ...}`).
+pub fn delta_from_value(v: &Value) -> Result<Delta, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "delta needs a string `kind`".to_string())?;
+    match kind {
+        "link_down" => Ok(Delta::LinkDown {
+            a: field_asn(v, "a")?,
+            b: field_asn(v, "b")?,
+        }),
+        "link_up" => Ok(Delta::LinkUp {
+            a: field_asn(v, "a")?,
+            b: field_asn(v, "b")?,
+        }),
+        "neighbor_pref" => {
+            let delta =
+                match v.get("delta") {
+                    None | Some(Value::Null) => None,
+                    Some(d) => Some(d.as_i64().and_then(|n| i16::try_from(n).ok()).ok_or_else(
+                        || "field `delta` must be a small integer or null".to_string(),
+                    )?),
+                };
+            Ok(Delta::NeighborPref {
+                of: field_asn(v, "of")?,
+                neighbor: field_asn(v, "neighbor")?,
+                delta,
+            })
+        }
+        "export_prepend" => {
+            let count =
+                match v.get("count") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(c.as_u64().and_then(|n| u8::try_from(n).ok()).ok_or_else(
+                        || "field `count` must be a small integer or null".to_string(),
+                    )?),
+                };
+            Ok(Delta::ExportPrepend {
+                of: field_asn(v, "of")?,
+                neighbor: field_asn(v, "neighbor")?,
+                count,
+            })
+        }
+        "partial_transit" => Ok(Delta::PartialTransit {
+            of: field_asn(v, "of")?,
+            neighbor: field_asn(v, "neighbor")?,
+            customer_routes_only: v
+                .get("customer_routes_only")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| "field `customer_routes_only` must be a bool".to_string())?,
+        }),
+        "selective_announce" => Ok(Delta::SelectiveAnnounce {
+            of: field_asn(v, "of")?,
+            prefix: field_prefix(v, "prefix")?,
+            allowed: field_asn_set(v, "allowed")?,
+        }),
+        "poison_filter" => Ok(Delta::PoisonFilter {
+            of: field_asn(v, "of")?,
+            enabled: v
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| "field `enabled` must be a bool".to_string())?,
+        }),
+        "announce" => {
+            let poison = match v.get("poison") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(Value::Array(items)) => {
+                    let mut out = Vec::new();
+                    for item in items {
+                        let raw = item
+                            .as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| "field `poison` must hold ASNs".to_string())?;
+                        out.push(Asn(raw));
+                    }
+                    out
+                }
+                Some(_) => return Err("field `poison` must be an array of ASNs".to_string()),
+            };
+            Ok(Delta::Announce(Announcement {
+                origin: field_asn(v, "origin")?,
+                prefix: field_prefix(v, "prefix")?,
+                via: field_asn_set(v, "via")?,
+                poison,
+            }))
+        }
+        "withdraw" => Ok(Delta::Withdraw),
+        other => Err(format!("unknown delta kind `{other}`")),
+    }
+}
+
+/// Encodes a [`Delta`] as its wire object — the inverse of
+/// [`delta_from_value`], used by the client library.
+pub fn delta_to_value(d: &Delta) -> Value {
+    let asn = |a: Asn| Value::UInt(u64::from(a.value()));
+    let asns = |set: &BTreeSet<Asn>| Value::Array(set.iter().map(|&a| asn(a)).collect());
+    let mut obj: Vec<(String, Value)> = Vec::new();
+    let mut put = |k: &str, v: Value| obj.push((k.to_string(), v));
+    match d {
+        Delta::LinkDown { a, b } => {
+            put("kind", Value::String("link_down".into()));
+            put("a", asn(*a));
+            put("b", asn(*b));
+        }
+        Delta::LinkUp { a, b } => {
+            put("kind", Value::String("link_up".into()));
+            put("a", asn(*a));
+            put("b", asn(*b));
+        }
+        Delta::NeighborPref {
+            of,
+            neighbor,
+            delta,
+        } => {
+            put("kind", Value::String("neighbor_pref".into()));
+            put("of", asn(*of));
+            put("neighbor", asn(*neighbor));
+            put(
+                "delta",
+                match delta {
+                    Some(d) => Value::Int(i64::from(*d)),
+                    None => Value::Null,
+                },
+            );
+        }
+        Delta::ExportPrepend {
+            of,
+            neighbor,
+            count,
+        } => {
+            put("kind", Value::String("export_prepend".into()));
+            put("of", asn(*of));
+            put("neighbor", asn(*neighbor));
+            put(
+                "count",
+                match count {
+                    Some(c) => Value::UInt(u64::from(*c)),
+                    None => Value::Null,
+                },
+            );
+        }
+        Delta::PartialTransit {
+            of,
+            neighbor,
+            customer_routes_only,
+        } => {
+            put("kind", Value::String("partial_transit".into()));
+            put("of", asn(*of));
+            put("neighbor", asn(*neighbor));
+            put("customer_routes_only", Value::Bool(*customer_routes_only));
+        }
+        Delta::SelectiveAnnounce {
+            of,
+            prefix,
+            allowed,
+        } => {
+            put("kind", Value::String("selective_announce".into()));
+            put("of", asn(*of));
+            put("prefix", Value::String(prefix.to_string()));
+            put(
+                "allowed",
+                match allowed {
+                    Some(set) => asns(set),
+                    None => Value::Null,
+                },
+            );
+        }
+        Delta::PoisonFilter { of, enabled } => {
+            put("kind", Value::String("poison_filter".into()));
+            put("of", asn(*of));
+            put("enabled", Value::Bool(*enabled));
+        }
+        Delta::Announce(ann) => {
+            put("kind", Value::String("announce".into()));
+            put("origin", asn(ann.origin));
+            put("prefix", Value::String(ann.prefix.to_string()));
+            put(
+                "via",
+                match &ann.via {
+                    Some(set) => asns(set),
+                    None => Value::Null,
+                },
+            );
+            put(
+                "poison",
+                Value::Array(ann.poison.iter().map(|&a| asn(a)).collect()),
+            );
+        }
+        Delta::Withdraw => {
+            put("kind", Value::String("withdraw".into()));
+        }
+    }
+    Value::Object(obj)
+}
+
+/// Decodes one request line. Every failure is a message fit for an
+/// `error` response — the caller never disconnects over bad input.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request must be a JSON object".to_string());
+    }
+    let id = v.get("id").and_then(Value::as_u64);
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "request needs a string `op`".to_string())?;
+    match op {
+        "whatif" => {
+            let prefix = field_prefix(&v, "prefix")?;
+            let deltas = match v.get("deltas") {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(delta_from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("field `deltas` must be an array".to_string()),
+            };
+            let budget = match v.get("budget") {
+                None | Some(Value::Null) => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .ok_or_else(|| "field `budget` must be an unsigned integer".to_string())?,
+                ),
+            };
+            Ok(Request::WhatIf {
+                id,
+                prefix,
+                deltas,
+                budget,
+            })
+        }
+        "route" => Ok(Request::Route {
+            id,
+            prefix: field_prefix(&v, "prefix")?,
+            asn: field_asn(&v, "asn")?,
+        }),
+        "health" => Ok(Request::Health { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "save" => Ok(Request::Save { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn id_entry(obj: &mut Vec<(String, Value)>, id: Option<u64>) {
+    if let Some(id) = id {
+        obj.push(("id".to_string(), Value::UInt(id)));
+    }
+}
+
+/// Encodes a route for the wire (`null` when the AS holds no route).
+pub fn route_to_value(route: &Option<Route>) -> Value {
+    match route {
+        None => Value::Null,
+        Some(r) => Value::Object(vec![
+            (
+                "via".to_string(),
+                match r.learned_from {
+                    Some(a) => Value::UInt(u64::from(a.value())),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "path".to_string(),
+                Value::Array(
+                    r.path
+                        .asns()
+                        .map(|a| Value::UInt(u64::from(a.value())))
+                        .collect(),
+                ),
+            ),
+            (
+                "local_pref".to_string(),
+                Value::Int(i64::from(r.local_pref)),
+            ),
+            ("age".to_string(), Value::UInt(r.age.0)),
+        ]),
+    }
+}
+
+fn delta_stats_value(s: &DeltaStats) -> Value {
+    Value::Object(vec![
+        (
+            "deltas_applied".to_string(),
+            Value::UInt(s.deltas_applied as u64),
+        ),
+        ("ases_seeded".to_string(), Value::UInt(s.ases_seeded as u64)),
+        ("activations".to_string(), Value::UInt(s.activations as u64)),
+        ("rounds".to_string(), Value::UInt(s.rounds as u64)),
+        (
+            "routes_retained".to_string(),
+            Value::UInt(s.routes_retained as u64),
+        ),
+        (
+            "routes_changed".to_string(),
+            Value::UInt(s.routes_changed as u64),
+        ),
+        ("converged".to_string(), Value::Bool(s.converged)),
+        (
+            "deadline_aborted".to_string(),
+            Value::Bool(s.deadline_aborted),
+        ),
+    ])
+}
+
+fn render(v: Value) -> String {
+    // The Value tree contains no non-finite floats, so encoding can't fail.
+    serde_json::to_string(&v).unwrap_or_else(|_| "{\"status\":\"error\"}".to_string())
+}
+
+/// `status: ok` response for a served answer. A degraded answer (tripped
+/// budget or open breaker) instead goes through [`degraded_response`].
+pub fn ok_response(id: Option<u64>, answer: &WhatIfAnswer) -> String {
+    let mut obj = Vec::new();
+    id_entry(&mut obj, id);
+    obj.push(("status".to_string(), Value::String("ok".into())));
+    obj.push((
+        "prefix".to_string(),
+        Value::String(answer.prefix.to_string()),
+    ));
+    obj.push((
+        "diffs".to_string(),
+        Value::Array(
+            answer
+                .diffs
+                .iter()
+                .map(|d| {
+                    Value::Object(vec![
+                        ("asn".to_string(), Value::UInt(u64::from(d.asn.value()))),
+                        ("before".to_string(), route_to_value(&d.before)),
+                        ("after".to_string(), route_to_value(&d.after)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    obj.push(("stats".to_string(), delta_stats_value(&answer.stats)));
+    render(Value::Object(obj))
+}
+
+/// `status: degraded` response: the query could not be answered exactly
+/// (deadline tripped, breaker open), so the server answers with the base
+/// universe's routing — an empty diff — plus the degradation markers.
+pub fn degraded_response(
+    id: Option<u64>,
+    prefix: Prefix,
+    markers: &[&str],
+    stats: Option<&DeltaStats>,
+) -> String {
+    let mut obj = Vec::new();
+    id_entry(&mut obj, id);
+    obj.push(("status".to_string(), Value::String("degraded".into())));
+    obj.push((
+        "degraded".to_string(),
+        Value::Array(
+            markers
+                .iter()
+                .map(|m| Value::String((*m).to_string()))
+                .collect(),
+        ),
+    ));
+    obj.push(("prefix".to_string(), Value::String(prefix.to_string())));
+    obj.push(("diffs".to_string(), Value::Array(Vec::new())));
+    if let Some(s) = stats {
+        obj.push(("stats".to_string(), delta_stats_value(s)));
+    }
+    render(Value::Object(obj))
+}
+
+/// `status: shed` response: admission refused the query under load; the
+/// client should retry after the stated backoff.
+pub fn shed_response(id: Option<u64>, retry_after_ms: u64) -> String {
+    let mut obj = Vec::new();
+    id_entry(&mut obj, id);
+    obj.push(("status".to_string(), Value::String("shed".into())));
+    obj.push(("retry_after_ms".to_string(), Value::UInt(retry_after_ms)));
+    render(Value::Object(obj))
+}
+
+/// `status: error` response for malformed or rejected requests.
+pub fn error_response(id: Option<u64>, message: &str) -> String {
+    let mut obj = Vec::new();
+    id_entry(&mut obj, id);
+    obj.push(("status".to_string(), Value::String("error".into())));
+    obj.push(("error".to_string(), Value::String(message.to_string())));
+    render(Value::Object(obj))
+}
+
+/// Maps a [`QueryError`] onto an `error` response.
+pub fn query_error_response(id: Option<u64>, err: &QueryError) -> String {
+    error_response(id, &err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_wire_deltas() {
+        let deltas = vec![
+            Delta::LinkDown {
+                a: Asn(1),
+                b: Asn(2),
+            },
+            Delta::NeighborPref {
+                of: Asn(3),
+                neighbor: Asn(4),
+                delta: Some(-120),
+            },
+            Delta::ExportPrepend {
+                of: Asn(3),
+                neighbor: Asn(4),
+                count: None,
+            },
+            Delta::Withdraw,
+        ];
+        let arr = Value::Array(deltas.iter().map(delta_to_value).collect());
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("op".to_string(), Value::String("whatif".into())),
+            ("id".to_string(), Value::UInt(9)),
+            ("prefix".to_string(), Value::String("10.0.0.0/24".into())),
+            ("deltas".to_string(), arr),
+        ]))
+        .unwrap();
+        match parse_request(&line).unwrap() {
+            Request::WhatIf {
+                id,
+                prefix,
+                deltas: got,
+                budget,
+            } => {
+                assert_eq!(id, Some(9));
+                assert_eq!(prefix, "10.0.0.0/24".parse().unwrap());
+                assert_eq!(got, deltas);
+                assert_eq!(budget, None);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        for bad in [
+            "",
+            "not json",
+            "42",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"whatif"}"#,
+            r#"{"op":"whatif","prefix":"x","deltas":[]}"#,
+            r#"{"op":"whatif","prefix":"10.0.0.0/24","deltas":[{"kind":"warp"}]}"#,
+            r#"{"op":"route","prefix":"10.0.0.0/24"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_ids_and_statuses() {
+        let shed = shed_response(Some(5), 40);
+        let v: Value = serde_json::from_str(&shed).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("shed"));
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_u64), Some(40));
+        let err = error_response(None, "nope");
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert!(v.get("id").is_none());
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+    }
+}

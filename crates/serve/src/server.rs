@@ -1,0 +1,659 @@
+//! The supervised serving loop.
+//!
+//! One [`Server`] owns the robustness machinery around a resident
+//! [`WhatIfEngine`]:
+//!
+//! * **Admission control** — query work goes through a bounded
+//!   [`AdmissionQueue`]; a full queue sheds with `retry_after_ms` instead
+//!   of queueing unboundedly (control ops — health, stats, save, shutdown —
+//!   bypass admission so the server stays observable under overload).
+//! * **Deadlines** — every query runs under a [`StepBudget`] activation
+//!   cap, and when a wall deadline is configured a watchdog thread flips
+//!   the query's cancel token so the sim aborts cooperatively mid-worklist.
+//!   Either trip degrades the answer to the base routes with a
+//!   `degraded: ["deadline"]` marker — the client always gets a response.
+//! * **Circuit breakers** — per-prefix [`CircuitBreaker`]s (keyed off
+//!   `ir-fault`'s deterministic quarantine schedule) open after repeated
+//!   deadline trips, so a pathological prefix answers degraded immediately
+//!   instead of burning a worker every time.
+//! * **Graceful drain** — a `shutdown` request stops admission, lets the
+//!   workers finish the accepted backlog, force-EOFs idle readers, runs a
+//!   final autosave, and joins every thread before [`Server::run`] returns.
+//! * **Crash-safe autosave** — the universe is periodically re-published
+//!   through [`RoutingUniverse::save_snapshot`]'s atomic temp + fsync +
+//!   rename path, so a kill at any instant leaves a loadable last-good
+//!   snapshot.
+//!
+//! All counters are atomics and every scheduling decision that affects
+//! them is deterministic given the request interleaving, which is what the
+//! chaos soak's reproducibility assertion leans on.
+
+use crate::admission::AdmissionQueue;
+use crate::protocol::{
+    degraded_response, error_response, ok_response, parse_request, query_error_response,
+    route_to_value, shed_response, Request,
+};
+use ir_bgp::{Delta, RoutingUniverse, StepBudget, WhatIfEngine, WhatIfQuery};
+use ir_fault::{key2, CircuitBreaker, RetryPolicy, ServiceClock};
+use ir_types::Prefix;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Serving-loop tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission queue capacity; queries beyond it are shed.
+    pub queue_cap: usize,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Activation budget for queries that don't request one.
+    pub default_budget: u64,
+    /// Hard ceiling on client-requested activation budgets.
+    pub budget_cap: u64,
+    /// Retry hint attached to shed responses, milliseconds.
+    pub retry_after_ms: u64,
+    /// Wall deadline per query (admission to answer), milliseconds;
+    /// `0` disables the watchdog and leaves only the activation budget.
+    pub deadline_ms: u64,
+    /// Quarantine schedule for the per-prefix circuit breakers.
+    pub breaker: RetryPolicy,
+    /// Where `save` requests and autosave publish the universe snapshot.
+    pub snapshot_path: Option<PathBuf>,
+    /// Autosave interval, milliseconds; `0` disables periodic saves
+    /// (a final save on drain still runs when `snapshot_path` is set).
+    pub autosave_ms: u64,
+    /// Clock the deadlines and breakers read. Production wants
+    /// [`ServiceClock::wall`]; deterministic tests inject
+    /// [`ServiceClock::simulated`].
+    pub clock: ServiceClock,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_cap: 64,
+            workers: 4,
+            default_budget: 5_000_000,
+            budget_cap: 50_000_000,
+            retry_after_ms: 25,
+            deadline_ms: 0,
+            breaker: RetryPolicy::default(),
+            snapshot_path: None,
+            autosave_ms: 0,
+            clock: ServiceClock::wall(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Query requests that reached admission.
+    pub received: u64,
+    /// Queries answered exactly (`status: ok`).
+    pub served: u64,
+    /// Queries refused by admission (`status: shed`).
+    pub shed: u64,
+    /// Queries answered degraded (deadline or quarantine).
+    pub degraded: u64,
+    /// Degraded answers caused by a tripped deadline/budget.
+    pub deadline_aborts: u64,
+    /// Degraded answers caused by an open circuit breaker.
+    pub quarantine_refusals: u64,
+    /// Requests rejected with `status: error` (malformed, unknown prefix…).
+    pub errors: u64,
+    /// Connections that vanished while a response was owed.
+    pub disconnects: u64,
+    /// Snapshot publishes (autosave + explicit `save` + drain save).
+    pub autosaves: u64,
+    /// Times any per-prefix breaker opened.
+    pub breaker_trips: u64,
+    /// Deepest admission backlog observed.
+    pub queue_high_water: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    received: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    deadline_aborts: AtomicU64,
+    quarantine_refusals: AtomicU64,
+    errors: AtomicU64,
+    disconnects: AtomicU64,
+    autosaves: AtomicU64,
+}
+
+/// One admitted query, queued for a worker.
+struct Job {
+    id: Option<u64>,
+    prefix: Prefix,
+    deltas: Vec<Delta>,
+    budget: Option<u64>,
+    /// Absolute [`ServiceClock::now_ms`] deadline, if the server has one.
+    deadline_ms: Option<u64>,
+    /// Flipped by the watchdog when the deadline passes; the sim polls it.
+    cancel: Arc<AtomicBool>,
+    reply: mpsc::Sender<String>,
+}
+
+/// In-flight deadline registry the watchdog thread scans.
+#[derive(Default)]
+struct Watchlist {
+    next_token: AtomicU64,
+    entries: Mutex<BTreeMap<u64, (u64, Arc<AtomicBool>)>>,
+}
+
+impl Watchlist {
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<u64, (u64, Arc<AtomicBool>)>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register(&self, deadline_ms: u64, cancel: Arc<AtomicBool>) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.lock().insert(token, (deadline_ms, cancel));
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        self.lock().remove(&token);
+    }
+
+    /// Cancels every entry whose deadline has passed.
+    fn fire_expired(&self, now_ms: u64) {
+        let mut g = self.lock();
+        g.retain(|_, (deadline, cancel)| {
+            if now_ms >= *deadline {
+                cancel.store(true, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+
+/// The resident what-if server. Construct with [`Server::new`], then call
+/// [`Server::run`] — it owns the calling thread until drain completes.
+pub struct Server {
+    cfg: ServeConfig,
+    queue: AdmissionQueue<Job>,
+    metrics: Metrics,
+    state: AtomicU8,
+    clock: ServiceClock,
+    breakers: Mutex<BTreeMap<Prefix, CircuitBreaker>>,
+    watch: Watchlist,
+    /// Read-halves of live connections, force-EOF'd on drain.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Server {
+    /// A server with the given tuning; nothing runs until [`Server::run`].
+    pub fn new(cfg: ServeConfig) -> Server {
+        let clock = cfg.clock.clone();
+        let queue = AdmissionQueue::new(cfg.queue_cap);
+        Server {
+            cfg,
+            queue,
+            metrics: Metrics::default(),
+            state: AtomicU8::new(STATE_RUNNING),
+            clock,
+            breakers: Mutex::new(BTreeMap::new()),
+            watch: Watchlist::default(),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pauses worker consumption (admission continues) — test hook for
+    /// staging load deterministically.
+    pub fn pause_workers(&self) {
+        self.queue.pause();
+    }
+
+    /// Resumes worker consumption after [`Server::pause_workers`].
+    pub fn resume_workers(&self) {
+        self.queue.resume();
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let m = &self.metrics;
+        let trips = self
+            .lock_breakers()
+            .values()
+            .map(|b| u64::from(b.trips()))
+            .sum();
+        ServeStats {
+            received: m.received.load(Ordering::Relaxed),
+            served: m.served.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            degraded: m.degraded.load(Ordering::Relaxed),
+            deadline_aborts: m.deadline_aborts.load(Ordering::Relaxed),
+            quarantine_refusals: m.quarantine_refusals.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            disconnects: m.disconnects.load(Ordering::Relaxed),
+            autosaves: m.autosaves.load(Ordering::Relaxed),
+            breaker_trips: trips,
+            queue_high_water: self.queue.high_water() as u64,
+        }
+    }
+
+    /// Whether the server has begun draining.
+    pub fn is_draining(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == STATE_DRAINING
+    }
+
+    /// Begins graceful drain: admission stops, accepted work finishes,
+    /// idle readers are force-EOF'd, [`Server::run`] returns once every
+    /// thread has joined.
+    pub fn initiate_drain(&self) {
+        self.state.store(STATE_DRAINING, Ordering::Relaxed);
+        self.queue.drain();
+        let conns = self.lock_conns();
+        for c in conns.iter() {
+            let _ = c.shutdown(Shutdown::Read);
+        }
+    }
+
+    fn lock_breakers(&self) -> MutexGuard<'_, BTreeMap<Prefix, CircuitBreaker>> {
+        self.breakers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_conns(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Serves `listener` until a `shutdown` request (or
+    /// [`Server::initiate_drain`] from another thread) drains the loop.
+    /// `universe` powers `save`/autosave; without it (or a
+    /// `snapshot_path`) save requests answer with an error.
+    pub fn run(
+        &self,
+        engine: &WhatIfEngine<'_>,
+        universe: Option<&RoutingUniverse>,
+        listener: TcpListener,
+    ) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers.max(1) {
+                scope.spawn(move || {
+                    while let Some(job) = self.queue.pop() {
+                        self.execute(engine, job);
+                    }
+                });
+            }
+            if self.cfg.deadline_ms > 0 {
+                scope.spawn(move || {
+                    while !self.is_draining()
+                        || !self.queue.is_empty()
+                        || !self.watch.lock().is_empty()
+                    {
+                        self.watch.fire_expired(self.clock.now_ms());
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                });
+            }
+            if self.cfg.autosave_ms > 0 && self.cfg.snapshot_path.is_some() && universe.is_some() {
+                scope.spawn(move || self.autosave_loop(universe));
+            }
+            loop {
+                if self.is_draining() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        if let Ok(read_half) = stream.try_clone() {
+                            self.lock_conns().push(read_half);
+                        }
+                        scope.spawn(move || self.serve_connection(engine, universe, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // Final publish: the drain save runs even with autosave off.
+            if self.cfg.autosave_ms == 0 {
+                self.save_now(universe);
+            }
+        });
+        Ok(())
+    }
+
+    fn autosave_loop(&self, universe: Option<&RoutingUniverse>) {
+        let mut since_save = 0u64;
+        while !self.is_draining() {
+            std::thread::sleep(Duration::from_millis(20));
+            since_save += 20;
+            if since_save >= self.cfg.autosave_ms {
+                since_save = 0;
+                self.save_now(universe);
+            }
+        }
+        self.save_now(universe);
+    }
+
+    /// Publishes a snapshot through the atomic save path, if configured.
+    fn save_now(&self, universe: Option<&RoutingUniverse>) -> bool {
+        let (Some(path), Some(u)) = (self.cfg.snapshot_path.as_ref(), universe) else {
+            return false;
+        };
+        match u.save_snapshot(path) {
+            Ok(()) => {
+                self.metrics.autosaves.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Reader half of one connection: parse lines, answer control ops
+    /// inline, admit query ops. A paired writer thread serialises all
+    /// responses (inline ones and worker ones) onto the socket.
+    fn serve_connection(
+        &self,
+        engine: &WhatIfEngine<'_>,
+        universe: Option<&RoutingUniverse>,
+        stream: TcpStream,
+    ) {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let (tx, rx) = mpsc::channel::<String>();
+        let writer = std::thread::spawn(move || {
+            let mut w = write_half;
+            let mut died = false;
+            while let Ok(line) = rx.recv() {
+                if w.write_all(line.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .is_err()
+                {
+                    died = true;
+                    break;
+                }
+            }
+            died
+        });
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match parse_request(trimmed) {
+                Err(msg) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(error_response(None, &msg));
+                }
+                Ok(req) => {
+                    if self.handle_request(engine, universe, req, &tx) {
+                        break; // shutdown requested on this connection
+                    }
+                }
+            }
+        }
+        drop(tx);
+        if let Ok(true) = writer.join() {
+            self.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Dispatches one parsed request. Returns `true` when the request was
+    /// a shutdown and the reader should stop.
+    fn handle_request(
+        &self,
+        engine: &WhatIfEngine<'_>,
+        universe: Option<&RoutingUniverse>,
+        req: Request,
+        tx: &mpsc::Sender<String>,
+    ) -> bool {
+        match req {
+            Request::WhatIf {
+                id,
+                prefix,
+                deltas,
+                budget,
+            } => {
+                self.metrics.received.fetch_add(1, Ordering::Relaxed);
+                let deadline_ms = (self.cfg.deadline_ms > 0)
+                    .then(|| self.clock.now_ms().saturating_add(self.cfg.deadline_ms));
+                let job = Job {
+                    id,
+                    prefix,
+                    deltas,
+                    budget,
+                    deadline_ms,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    reply: tx.clone(),
+                };
+                if let Err(job) = self.queue.try_push(job) {
+                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(shed_response(job.id, self.cfg.retry_after_ms));
+                }
+                false
+            }
+            Request::Route { id, prefix, asn } => {
+                self.metrics.received.fetch_add(1, Ordering::Relaxed);
+                let node = engine.world().graph.index_of(asn);
+                let resident = engine.prefixes().any(|p| p == prefix);
+                let response = match node {
+                    None => {
+                        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        error_response(id, &format!("unknown AS {asn}"))
+                    }
+                    Some(_) if !resident => {
+                        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        error_response(id, &format!("prefix {prefix} is not resident"))
+                    }
+                    Some(x) => {
+                        self.metrics.served.fetch_add(1, Ordering::Relaxed);
+                        let route = engine.base_route(prefix, x);
+                        let mut obj = Vec::new();
+                        if let Some(id) = id {
+                            obj.push(("id".to_string(), Value::UInt(id)));
+                        }
+                        obj.push(("status".to_string(), Value::String("ok".into())));
+                        obj.push(("prefix".to_string(), Value::String(prefix.to_string())));
+                        obj.push(("route".to_string(), route_to_value(&route)));
+                        serde_json::to_string(&Value::Object(obj))
+                            .unwrap_or_else(|_| error_response(id, "encoding failed"))
+                    }
+                };
+                let _ = tx.send(response);
+                false
+            }
+            Request::Health { id } => {
+                let state = if self.is_draining() {
+                    "draining"
+                } else {
+                    "running"
+                };
+                let mut obj = Vec::new();
+                if let Some(id) = id {
+                    obj.push(("id".to_string(), Value::UInt(id)));
+                }
+                obj.push(("status".to_string(), Value::String("ok".into())));
+                obj.push(("state".to_string(), Value::String(state.into())));
+                obj.push((
+                    "prefixes".to_string(),
+                    Value::UInt(engine.prefixes().count() as u64),
+                ));
+                obj.push((
+                    "shapes".to_string(),
+                    Value::UInt(engine.shape_count() as u64),
+                ));
+                let _ = tx.send(
+                    serde_json::to_string(&Value::Object(obj))
+                        .unwrap_or_else(|_| error_response(id, "encoding failed")),
+                );
+                false
+            }
+            Request::Stats { id } => {
+                let _ = tx.send(stats_response(id, &self.stats(), self.queue.cap()));
+                false
+            }
+            Request::Save { id } => {
+                let response = if universe.is_none() || self.cfg.snapshot_path.is_none() {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(id, "no snapshot path configured")
+                } else if self.save_now(universe) {
+                    let mut obj = Vec::new();
+                    if let Some(id) = id {
+                        obj.push(("id".to_string(), Value::UInt(id)));
+                    }
+                    obj.push(("status".to_string(), Value::String("ok".into())));
+                    obj.push(("saved".to_string(), Value::Bool(true)));
+                    serde_json::to_string(&Value::Object(obj))
+                        .unwrap_or_else(|_| error_response(id, "encoding failed"))
+                } else {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(id, "snapshot save failed")
+                };
+                let _ = tx.send(response);
+                false
+            }
+            Request::Shutdown { id } => {
+                let mut obj = Vec::new();
+                if let Some(id) = id {
+                    obj.push(("id".to_string(), Value::UInt(id)));
+                }
+                obj.push(("status".to_string(), Value::String("ok".into())));
+                obj.push(("state".to_string(), Value::String("draining".into())));
+                let _ = tx.send(
+                    serde_json::to_string(&Value::Object(obj))
+                        .unwrap_or_else(|_| error_response(id, "encoding failed")),
+                );
+                self.initiate_drain();
+                true
+            }
+        }
+    }
+
+    /// Runs one admitted query to a response — the worker body.
+    fn execute(&self, engine: &WhatIfEngine<'_>, job: Job) {
+        let now = self.clock.now_ms();
+        // Expired while queued: answer degraded without burning a worker.
+        if job.cancel.load(Ordering::Relaxed) || job.deadline_ms.is_some_and(|d| now >= d) {
+            self.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            let _ = job
+                .reply
+                .send(degraded_response(job.id, job.prefix, &["deadline"], None));
+            return;
+        }
+        // Quarantined prefixes answer degraded immediately.
+        let allowed = {
+            let mut breakers = self.lock_breakers();
+            let key = key2(u64::from(job.prefix.base.0), u64::from(job.prefix.len));
+            breakers
+                .entry(job.prefix)
+                .or_insert_with(|| CircuitBreaker::new(self.cfg.breaker, key))
+                .allows(now)
+        };
+        if !allowed {
+            self.metrics
+                .quarantine_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            let _ = job
+                .reply
+                .send(degraded_response(job.id, job.prefix, &["quarantine"], None));
+            return;
+        }
+        let activations = job
+            .budget
+            .unwrap_or(self.cfg.default_budget)
+            .min(self.cfg.budget_cap)
+            .max(1);
+        let mut budget = StepBudget::activations(activations);
+        if job.deadline_ms.is_some() {
+            budget = budget.with_cancel(Arc::clone(&job.cancel));
+        }
+        let token = job
+            .deadline_ms
+            .map(|d| self.watch.register(d, Arc::clone(&job.cancel)));
+        let query = WhatIfQuery {
+            prefix: job.prefix,
+            deltas: job.deltas,
+        };
+        let result = engine.query_budgeted(&query, &budget);
+        if let Some(token) = token {
+            self.watch.deregister(token);
+        }
+        let response = match result {
+            Err(e) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                query_error_response(job.id, &e)
+            }
+            Ok(answer) if answer.stats.deadline_aborted => {
+                self.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                self.breaker_failure(job.prefix);
+                degraded_response(job.id, job.prefix, &["deadline"], Some(&answer.stats))
+            }
+            Ok(answer) => {
+                self.metrics.served.fetch_add(1, Ordering::Relaxed);
+                self.breaker_success(job.prefix);
+                ok_response(job.id, &answer)
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+
+    fn breaker_failure(&self, prefix: Prefix) {
+        let now = self.clock.now_ms();
+        if let Some(b) = self.lock_breakers().get_mut(&prefix) {
+            b.record_failure(now);
+        }
+    }
+
+    fn breaker_success(&self, prefix: Prefix) {
+        if let Some(b) = self.lock_breakers().get_mut(&prefix) {
+            b.record_success();
+        }
+    }
+}
+
+/// Encodes a [`ServeStats`] snapshot as a `stats` response.
+pub fn stats_response(id: Option<u64>, s: &ServeStats, queue_cap: usize) -> String {
+    let mut obj = Vec::new();
+    if let Some(id) = id {
+        obj.push(("id".to_string(), Value::UInt(id)));
+    }
+    obj.push(("status".to_string(), Value::String("ok".into())));
+    for (key, v) in [
+        ("received", s.received),
+        ("served", s.served),
+        ("shed", s.shed),
+        ("degraded", s.degraded),
+        ("deadline_aborts", s.deadline_aborts),
+        ("quarantine_refusals", s.quarantine_refusals),
+        ("errors", s.errors),
+        ("disconnects", s.disconnects),
+        ("autosaves", s.autosaves),
+        ("breaker_trips", s.breaker_trips),
+        ("queue_high_water", s.queue_high_water),
+        ("queue_cap", queue_cap as u64),
+    ] {
+        obj.push((key.to_string(), Value::UInt(v)));
+    }
+    serde_json::to_string(&Value::Object(obj)).unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
+}

@@ -1,0 +1,252 @@
+//! Deterministic chaos soak: a seeded FaultPlane drives a hostile traffic
+//! mix — slow queries that trip their budget, malformed lines, unknown
+//! prefixes, a burst at 4× the queue cap, and a client that disconnects
+//! with answers still owed — and the serving counters must come out
+//! *identical* across two same-seed runs. A global deadline guarantees
+//! the suite fails loudly instead of hanging.
+
+use ir_bgp::{ActivationOrder, Delta, RoutingUniverse, WhatIfEngine};
+use ir_fault::{FaultConfig, FaultDomain, FaultPlane, RetryPolicy, ServiceClock};
+use ir_serve::{control_line, whatif_line, Client, ServeConfig, ServeStats, Server};
+use ir_types::Prefix;
+use serde_json::Value;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const QUEUE_CAP: usize = 8;
+const PHASE_A_QUERIES: u64 = 120;
+
+fn status_of(line: &str) -> String {
+    let v: Value = serde_json::from_str(line).unwrap_or(Value::Null);
+    v.get("status")
+        .and_then(Value::as_str)
+        .unwrap_or("<none>")
+        .to_string()
+}
+
+/// One full soak run; returns the drained counters.
+fn soak(seed: u64) -> ServeStats {
+    let world = ir_topology::GeneratorConfig::tiny().build(7);
+    let prefixes: Vec<Prefix> = world
+        .graph
+        .nodes()
+        .iter()
+        .filter_map(|n| n.prefixes.first().copied())
+        .take(8)
+        .collect();
+    let universe = RoutingUniverse::compute(&world, &prefixes);
+    let engine = WhatIfEngine::from_universe(&world, &universe, ActivationOrder::default())
+        .expect("tiny universe hydrates");
+    let a = world.graph.nodes()[0].asn;
+    let b = world.graph.nodes()[1].asn;
+    // Simulated clock: quarantines never lapse behind the test's back, so
+    // breaker decisions depend only on the (deterministic) traffic.
+    let server = Server::new(ServeConfig {
+        queue_cap: QUEUE_CAP,
+        workers: 2,
+        breaker: RetryPolicy {
+            quarantine_after: 3,
+            jitter: 0,
+            ..RetryPolicy::default()
+        },
+        clock: ServiceClock::simulated(),
+        ..ServeConfig::default()
+    });
+    // The traffic chooser: a seeded fault plane classifies each query
+    // index, so the mix is hostile but exactly reproducible.
+    let plane = FaultPlane::new(
+        FaultConfig {
+            probe_dropout: 0.20, // → slow query (budget 1)
+            dns_failure: 0.15,   // → malformed line
+            feed_gap: 0.15,      // → unknown prefix
+            ..FaultConfig::quiet()
+        },
+        seed,
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr");
+    // The prefix slow queries hammer — its breaker opens deterministically.
+    let slow_prefix = prefixes[1];
+    let normal_prefix = prefixes[0];
+
+    std::thread::scope(|s| {
+        let server = &server;
+        s.spawn(move || {
+            server
+                .run(&engine, Some(&universe), listener)
+                .expect("serve loop");
+        });
+
+        // ── Phase A: sequential hostile mix (lockstep ⇒ deterministic). ──
+        let mut c = Client::connect(addr).expect("soak client");
+        for i in 0..PHASE_A_QUERIES {
+            let line = if plane.selects(FaultDomain::ProbeDropout, i) {
+                whatif_line(Some(i), slow_prefix, &[Delta::Withdraw], Some(1))
+            } else if plane.selects(FaultDomain::DnsFailure, i) {
+                format!("{{\"op\":\"whatif\",\"garbage\":{i}")
+            } else if plane.selects(FaultDomain::FeedGap, i) {
+                whatif_line(
+                    Some(i),
+                    "203.0.113.0/24".parse().unwrap(),
+                    &[Delta::Withdraw],
+                    None,
+                )
+            } else {
+                whatif_line(Some(i), normal_prefix, &[Delta::LinkDown { a, b }], None)
+            };
+            let resp = c.request(&line).unwrap().expect("soak response");
+            assert!(
+                matches!(status_of(&resp).as_str(), "ok" | "degraded" | "error"),
+                "query {i}: {resp}"
+            );
+        }
+
+        // ── Phase B: burst at 4× the queue cap with workers paused. ──
+        server.pause_workers();
+        let mut burst = Client::connect(addr).expect("burst client");
+        let total = 4 * QUEUE_CAP as u64;
+        for i in 0..total {
+            burst
+                .send_line(&whatif_line(
+                    Some(1_000 + i),
+                    normal_prefix,
+                    &[Delta::LinkDown { a, b }],
+                    None,
+                ))
+                .unwrap();
+        }
+        // Sequential reader ⇒ exactly cap admitted, the rest shed inline.
+        let mut shed = 0;
+        for _ in 0..(total - QUEUE_CAP as u64) {
+            let line = burst.recv_line().unwrap().expect("burst shed");
+            assert_eq!(status_of(&line), "shed", "got: {line}");
+            shed += 1;
+        }
+        assert_eq!(shed, total - QUEUE_CAP as u64);
+        server.resume_workers();
+        for _ in 0..QUEUE_CAP {
+            let line = burst.recv_line().unwrap().expect("burst answer");
+            assert_eq!(status_of(&line), "ok", "got: {line}");
+        }
+
+        // ── Phase C: disconnect with responses still owed. ──
+        {
+            let mut goner = Client::connect(addr).expect("goner client");
+            for i in 0..4u64 {
+                goner
+                    .send_line(&whatif_line(
+                        Some(2_000 + i),
+                        normal_prefix,
+                        &[Delta::LinkDown { a, b }],
+                        None,
+                    ))
+                    .unwrap();
+            }
+            // Drop without reading: the server must neither hang nor panic,
+            // and the queries still execute (served is counted at execution,
+            // not delivery, so the tally stays deterministic).
+        }
+        // Wait for the goner's lines to clear admission before draining —
+        // drain force-EOFs readers, which would otherwise race the last
+        // writes out of the socket buffer.
+        let expected_received = PHASE_A_QUERIES - malformed_count(seed) + total + 4;
+        for _ in 0..2_000 {
+            if server.stats().received >= expected_received {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().received, expected_received);
+
+        // ── Drain. ──
+        let resp = c
+            .request(&control_line(Some(9_999), "shutdown"))
+            .unwrap()
+            .expect("shutdown ack");
+        assert_eq!(status_of(&resp), "ok");
+    });
+    server.stats()
+}
+
+#[test]
+fn chaos_soak_counters_are_reproducible_and_bounded() {
+    // Global deadline: the whole soak (two runs) must finish or the test
+    // *fails*, never hangs — the zero-hang guarantee.
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for _ in 0..1_200 {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                if done.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            eprintln!("chaos soak exceeded its 120s global deadline");
+            std::process::exit(101);
+        })
+    };
+
+    let first = soak(42);
+    let second = soak(42);
+    done.store(true, Ordering::Relaxed);
+
+    // Disconnect detection depends on OS socket buffering; everything else
+    // must be bit-identical across same-seed runs.
+    let scrub = |mut s: ServeStats| {
+        s.disconnects = 0;
+        s
+    };
+    assert_eq!(scrub(first), scrub(second), "same seed ⇒ same counters");
+
+    // The mix actually exercised every path…
+    assert!(first.served > 0, "some queries answered exactly");
+    assert!(first.deadline_aborts > 0, "some budgets tripped");
+    assert!(first.errors > 0, "malformed + unknown-prefix traffic");
+    assert!(
+        first.breaker_trips > 0,
+        "the slow prefix opened its breaker"
+    );
+    assert!(first.quarantine_refusals > 0, "quarantine answered for it");
+    assert_eq!(
+        first.shed,
+        3 * QUEUE_CAP as u64,
+        "burst at 4× cap sheds exactly 3× cap"
+    );
+    // …and the backlog stayed bounded.
+    assert!(
+        first.queue_high_water <= QUEUE_CAP as u64,
+        "high water {} exceeds cap {QUEUE_CAP}",
+        first.queue_high_water
+    );
+    assert_eq!(first.queue_high_water, QUEUE_CAP as u64, "burst filled it");
+    // Every query got exactly one terminal accounting.
+    assert_eq!(
+        first.received,
+        first.served + first.shed + first.degraded + (first.errors - malformed_count(42)),
+        "terminal accounting covers admission"
+    );
+
+    let _ = watchdog.join();
+}
+
+/// Malformed lines never reach admission, so they're counted in `errors`
+/// but not `received`; the accounting identity needs them separated out.
+fn malformed_count(seed: u64) -> u64 {
+    let plane = FaultPlane::new(
+        FaultConfig {
+            probe_dropout: 0.20,
+            dns_failure: 0.15,
+            feed_gap: 0.15,
+            ..FaultConfig::quiet()
+        },
+        seed,
+    );
+    (0..PHASE_A_QUERIES)
+        .filter(|&i| {
+            !plane.selects(FaultDomain::ProbeDropout, i)
+                && plane.selects(FaultDomain::DnsFailure, i)
+        })
+        .count() as u64
+}

@@ -1,0 +1,234 @@
+//! In-process serving-loop integration: every request class gets exactly
+//! one response — ok, degraded, shed, or error — and a `shutdown` request
+//! drains cleanly with all threads joined.
+
+use ir_bgp::{ActivationOrder, Delta, RoutingUniverse, WhatIfEngine};
+use ir_fault::{RetryPolicy, ServiceClock};
+use ir_serve::{control_line, route_line, whatif_line, Client, ServeConfig, Server};
+use ir_topology::{GeneratorConfig, World};
+use ir_types::Prefix;
+use serde_json::Value;
+use std::net::TcpListener;
+
+fn status_of(line: &str) -> String {
+    let v: Value = serde_json::from_str(line).unwrap_or(Value::Null);
+    v.get("status")
+        .and_then(Value::as_str)
+        .unwrap_or("<none>")
+        .to_string()
+}
+
+fn tiny_fixture() -> (World, Vec<Prefix>) {
+    let world = GeneratorConfig::tiny().build(7);
+    let prefixes: Vec<Prefix> = world
+        .graph
+        .nodes()
+        .iter()
+        .filter_map(|n| n.prefixes.first().copied())
+        .take(8)
+        .collect();
+    (world, prefixes)
+}
+
+/// Runs `body` against a live server, then drains and returns the final
+/// counters.
+fn with_server<F>(cfg: ServeConfig, body: F) -> ir_serve::ServeStats
+where
+    F: FnOnce(&Server, std::net::SocketAddr) + Send,
+{
+    let (world, prefixes) = tiny_fixture();
+    let universe = RoutingUniverse::compute(&world, &prefixes);
+    let engine = WhatIfEngine::from_universe(&world, &universe, ActivationOrder::default())
+        .expect("tiny universe hydrates");
+    let server = Server::new(cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::scope(|s| {
+        let server = &server;
+        s.spawn(move || {
+            server
+                .run(&engine, Some(&universe), listener)
+                .expect("serve loop");
+        });
+        body(server, addr);
+        if !server.is_draining() {
+            let mut c = Client::connect(addr).expect("drain client");
+            let _ = c.request(&control_line(None, "shutdown"));
+        }
+    });
+    server.stats()
+}
+
+#[test]
+fn every_request_class_gets_one_response() {
+    let (world, prefixes) = tiny_fixture();
+    let resident = prefixes[0];
+    let a = world.graph.nodes()[0].asn;
+    let b = world.graph.nodes()[1].asn;
+    let stats = with_server(ServeConfig::default(), |_, addr| {
+        let mut c = Client::connect(addr).expect("connect");
+        // Health and stats bypass admission.
+        let health = c
+            .request(&control_line(Some(1), "health"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&health), "ok");
+        assert!(health.contains("\"state\":\"running\""));
+        // A normal query answers ok with diffs + stats.
+        let ok = c
+            .request(&whatif_line(
+                Some(2),
+                resident,
+                &[Delta::LinkDown { a, b }],
+                None,
+            ))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&ok), "ok", "got: {ok}");
+        let v: Value = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(2));
+        assert!(v.get("diffs").and_then(Value::as_array).is_some());
+        assert!(v.get("stats").is_some());
+        // Malformed JSON → structured error, connection stays usable.
+        let err = c.request("this is not json").unwrap().unwrap();
+        assert_eq!(status_of(&err), "error");
+        // Unknown prefix → structured error.
+        let err = c
+            .request(&whatif_line(
+                Some(3),
+                "203.0.113.0/24".parse().unwrap(),
+                &[Delta::Withdraw],
+                None,
+            ))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&err), "error");
+        assert!(err.contains("not resident"), "got: {err}");
+        // Budget 1 → degraded deadline answer, not a hang.
+        let deg = c
+            .request(&whatif_line(Some(4), resident, &[Delta::Withdraw], Some(1)))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&deg), "degraded", "got: {deg}");
+        assert!(deg.contains("\"deadline\""), "got: {deg}");
+        // Base route lookup.
+        let route = c
+            .request(&route_line(Some(5), resident, a))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&route), "ok");
+        // Stats reflect the traffic so far.
+        let st = c.request(&control_line(Some(6), "stats")).unwrap().unwrap();
+        let v: Value = serde_json::from_str(&st).unwrap();
+        assert!(v.get("served").and_then(Value::as_u64).unwrap() >= 2);
+        assert!(v.get("degraded").and_then(Value::as_u64).unwrap() >= 1);
+    });
+    assert_eq!(stats.served, 2, "one whatif + one route");
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.deadline_aborts, 1);
+    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn full_queue_sheds_with_retry_hint() {
+    let cfg = ServeConfig {
+        queue_cap: 4,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let (_, prefixes) = tiny_fixture();
+    let resident = prefixes[0];
+    let stats = with_server(cfg, |server, addr| {
+        server.pause_workers();
+        let mut c = Client::connect(addr).expect("connect");
+        // Pipeline 12 queries; with workers paused exactly 4 are admitted.
+        for i in 0..12u64 {
+            c.send_line(&whatif_line(Some(i), resident, &[Delta::Withdraw], None))
+                .unwrap();
+        }
+        // With workers paused the first 4 sends fill the queue and the
+        // next 8 shed inline — so the first 8 responses are all sheds.
+        for i in 0..8 {
+            let line = c.recv_line().unwrap().expect("shed response");
+            assert_eq!(status_of(&line), "shed", "response {i}: {line}");
+            let v: Value = serde_json::from_str(&line).unwrap();
+            assert!(v.get("retry_after_ms").and_then(Value::as_u64).is_some());
+        }
+        server.resume_workers();
+        // The 4 admitted queries still answer.
+        for _ in 0..4 {
+            let line = c.recv_line().unwrap().expect("admitted answer");
+            assert_eq!(status_of(&line), "ok", "got: {line}");
+        }
+    });
+    assert_eq!(stats.shed, 8);
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.queue_high_water, 4, "backlog bounded at cap");
+}
+
+#[test]
+fn quarantine_opens_after_repeated_deadline_trips() {
+    let cfg = ServeConfig {
+        workers: 1,
+        breaker: RetryPolicy {
+            quarantine_after: 3,
+            jitter: 0,
+            ..RetryPolicy::default()
+        },
+        clock: ServiceClock::simulated(),
+        ..ServeConfig::default()
+    };
+    let (_, prefixes) = tiny_fixture();
+    let resident = prefixes[0];
+    let stats = with_server(cfg, |_, addr| {
+        let mut c = Client::connect(addr).expect("connect");
+        // Three deadline trips open the breaker…
+        for i in 0..3u64 {
+            let line = c
+                .request(&whatif_line(Some(i), resident, &[Delta::Withdraw], Some(1)))
+                .unwrap()
+                .unwrap();
+            assert!(line.contains("\"deadline\""), "trip {i}: {line}");
+        }
+        // …after which the prefix answers degraded-quarantine immediately,
+        // even for queries that would otherwise be fine.
+        let line = c
+            .request(&whatif_line(Some(9), resident, &[Delta::Withdraw], None))
+            .unwrap()
+            .unwrap();
+        assert_eq!(status_of(&line), "degraded", "got: {line}");
+        assert!(line.contains("\"quarantine\""), "got: {line}");
+    });
+    assert_eq!(stats.deadline_aborts, 3);
+    assert_eq!(stats.quarantine_refusals, 1);
+    assert_eq!(stats.degraded, 4);
+    assert_eq!(stats.breaker_trips, 1);
+}
+
+#[test]
+fn save_publishes_through_the_atomic_path() {
+    let dir = std::env::temp_dir().join(format!("ir-serve-save-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("u.iruniv");
+    let cfg = ServeConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let stats = with_server(cfg, |_, addr| {
+        let mut c = Client::connect(addr).expect("connect");
+        let line = c.request(&control_line(Some(1), "save")).unwrap().unwrap();
+        assert_eq!(status_of(&line), "ok", "got: {line}");
+    });
+    // Explicit save + the drain save.
+    assert_eq!(stats.autosaves, 2);
+    let recovered = RoutingUniverse::recover_snapshot(&path).expect("published snapshot loads");
+    let (world, prefixes) = tiny_fixture();
+    let want = RoutingUniverse::compute(&world, &prefixes);
+    assert_eq!(
+        recovered.to_snapshot_bytes().unwrap(),
+        want.to_snapshot_bytes().unwrap(),
+        "published snapshot is byte-identical to the served universe"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

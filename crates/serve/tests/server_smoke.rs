@@ -1,0 +1,103 @@
+//! End-to-end smoke over the real binary: spawn `ir-serve` on an
+//! ephemeral port, drive a mixed batch of queries (including malformed
+//! JSON and an over-deadline query), then drain with a `shutdown` request
+//! and require a clean exit.
+
+use ir_bgp::Delta;
+use ir_serve::{control_line, whatif_line, Client};
+use ir_types::{Asn, Prefix};
+use serde_json::Value;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+fn status_of(line: &str) -> String {
+    let v: Value = serde_json::from_str(line).unwrap_or(Value::Null);
+    v.get("status")
+        .and_then(Value::as_str)
+        .unwrap_or("<none>")
+        .to_string()
+}
+
+#[test]
+fn binary_serves_a_mixed_batch_and_drains_clean() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ir-serve"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--prefixes",
+            "8",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ir-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("banner line");
+    // "ir-serve listening on 127.0.0.1:PORT (...)"
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unparseable banner: {banner}"))
+        .to_string();
+
+    // The same prefixes the binary selected (same generator, same seed).
+    let world = ir_topology::GeneratorConfig::tiny().build(7);
+    let prefixes: Vec<Prefix> = world
+        .graph
+        .nodes()
+        .iter()
+        .filter_map(|n| n.prefixes.first().copied())
+        .take(8)
+        .collect();
+    let asns: Vec<Asn> = world.graph.nodes().iter().map(|n| n.asn).take(2).collect();
+
+    let mut c = Client::connect(addr.as_str()).expect("connect to daemon");
+    let mut ok = 0;
+    let mut degraded = 0;
+    let mut errors = 0;
+    for i in 0..50u64 {
+        let line = match i % 10 {
+            // Malformed JSON: must answer an error, not drop the conn.
+            3 => format!("{{\"op\": {i}"),
+            // Over-deadline query: budget 1 trips and degrades.
+            7 => whatif_line(Some(i), prefixes[1], &[Delta::Withdraw], Some(1)),
+            _ => whatif_line(
+                Some(i),
+                prefixes[(i % 8) as usize],
+                &[Delta::LinkDown {
+                    a: asns[0],
+                    b: asns[1],
+                }],
+                None,
+            ),
+        };
+        let resp = c.request(&line).unwrap().expect("response");
+        match status_of(&resp).as_str() {
+            "ok" => ok += 1,
+            "degraded" => degraded += 1,
+            "error" => errors += 1,
+            other => panic!("query {i}: unexpected status {other}: {resp}"),
+        }
+    }
+    assert_eq!(ok + degraded + errors, 50, "every query answered");
+    assert_eq!(errors, 5, "the malformed lines");
+    assert!(degraded >= 1, "the over-deadline queries degraded");
+    assert!(ok >= 40, "the normal mix served");
+
+    // Graceful drain: shutdown acks, then the process exits 0.
+    let ack = c
+        .request(&control_line(Some(99), "shutdown"))
+        .unwrap()
+        .expect("shutdown ack");
+    assert_eq!(status_of(&ack), "ok");
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "daemon exited {status}");
+}

@@ -24,7 +24,7 @@ run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
 # are exempt via cfg_attr); this pass fails the build if a violation
 # slips in.
 run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
-    -p ir-audit -p ir-experiments --lib -- -D warnings
+    -p ir-audit -p ir-experiments -p ir-serve --lib -- -D warnings
 run cargo fmt --check
 # Engine-equivalence gate in release: the differential suites compare the
 # event-driven engine against the sweep oracle — and warm what-if answers
@@ -36,6 +36,12 @@ run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
 # converge a single prefix and a 1000-prefix universe slice inside the
 # compact storage's memory budget. Minutes on one core.
 run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp --test scale_smoke -- --ignored
+# Serving-loop gate (release): the real ir-serve binary on an ephemeral
+# port answers a 50-query mixed batch (malformed JSON and over-deadline
+# included), drains clean on a shutdown request, and exits 0 — and a
+# SIGKILL mid-snapshot-write must recover the last-good image on restart.
+run cargo test "${OFFLINE[@]}" --release -q -p ir-serve \
+    --test server_smoke --test crash_safety
 # Bench-artifact schema gate: the committed BENCH_*.json files at the repo
 # root must parse and carry the keys documentation and dashboards read.
 run cargo test "${OFFLINE[@]}" -q -p ir-bench --test bench_schema
