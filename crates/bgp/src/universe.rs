@@ -43,8 +43,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::Arc;
 
-/// Snapshot format tag; bump on any layout change.
-const SNAPSHOT_MAGIC: &[u8] = b"IRUNIV01";
+/// Snapshot format tag; bump on any layout change. `02` sealed the CRC32
+/// trailer and the serving-path [`EngineStats`] counters into the layout.
+const SNAPSHOT_MAGIC: &[u8] = b"IRUNIV02";
 
 /// Converged routing state for a set of prefixes.
 pub struct RoutingUniverse {
@@ -607,7 +608,20 @@ impl RoutingUniverse {
         // The CRC32 trailer is verified (and stripped) before any structural
         // decoding: a torn or bit-flipped file is rejected wholesale, so the
         // validating decode below only ever sees what the writer sealed.
-        let bytes = verify_crc(bytes)?;
+        // Older-format images (pre-CRC layouts) would fail that check with a
+        // misleading "torn or corrupt" error, so a recognizable foreign
+        // version magic reports as a format mismatch instead.
+        let bytes = verify_crc(bytes).map_err(|e| match bytes.get(..SNAPSHOT_MAGIC.len()) {
+            Some(m) if m.starts_with(b"IRUNIV") && m != SNAPSHOT_MAGIC => Error::parse(
+                None,
+                format!(
+                    "snapshot format {} is not supported by this build (expected {})",
+                    String::from_utf8_lossy(m),
+                    String::from_utf8_lossy(SNAPSHOT_MAGIC)
+                ),
+            ),
+            _ => e,
+        })?;
         let mut r = Reader::new(bytes);
         r.expect_magic(SNAPSHOT_MAGIC)?;
         let n_asns = r.len(4)?;
@@ -914,6 +928,35 @@ mod tests {
         // Both shapes ran: the PSP-restricted prefix plus the shared rest.
         assert_eq!(u.engine_stats().shapes_computed, 2);
         assert_eq!(u.engine_stats().prefixes_shared, ps.len() - 2);
+    }
+
+    #[test]
+    fn older_snapshot_format_reports_a_version_error_not_corruption() {
+        let w = GeneratorConfig::tiny().build(9);
+        let ps: Vec<Prefix> = prefix_owners(&w).keys().copied().take(4).collect();
+        let u = RoutingUniverse::compute(&w, &ps);
+        // A pre-CRC image: the old magic and no trailer. The decoder must
+        // name the format mismatch, not claim the file is torn.
+        let mut old = u.to_snapshot_bytes().unwrap();
+        old[..8].copy_from_slice(b"IRUNIV01");
+        old.truncate(old.len() - 4);
+        let Err(err) = RoutingUniverse::from_snapshot_bytes(&old) else {
+            panic!("old-format image accepted");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("IRUNIV01") && msg.contains("not supported"),
+            "unhelpful version error: {msg}"
+        );
+        // A same-format corrupt file still reports corruption.
+        let mut torn = u.to_snapshot_bytes().unwrap();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x01;
+        let Err(err) = RoutingUniverse::from_snapshot_bytes(&torn) else {
+            panic!("corrupt image accepted");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("CRC32"), "corruption misreported: {msg}");
     }
 
     #[test]

@@ -437,6 +437,12 @@ impl<'w> WhatIfEngine<'w> {
         queries.par_iter().map(|q| self.query(q)).collect()
     }
 
+    /// Whether `prefix` is resident in the engine — O(log n) map lookup,
+    /// cheap enough for admission-time checks on every request.
+    pub fn is_resident(&self, prefix: Prefix) -> bool {
+        self.by_prefix.contains_key(&prefix)
+    }
+
     /// The base (pre-edit) route at node `x` for a resident prefix.
     pub fn base_route(&self, prefix: Prefix, x: NodeIdx) -> Option<Route> {
         let state = &self.shapes[*self.by_prefix.get(&prefix)?];

@@ -193,8 +193,16 @@ pub struct Server {
     clock: ServiceClock,
     breakers: Mutex<BTreeMap<Prefix, CircuitBreaker>>,
     watch: Watchlist,
-    /// Read-halves of live connections, force-EOF'd on drain.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Read-halves of live connections keyed by registration token,
+    /// force-EOF'd on drain. Entries are removed when their connection
+    /// finishes, so the map only ever holds live sockets — a long-lived
+    /// daemon does not accumulate dead fds.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    conn_token: AtomicU64,
+    /// Serializes snapshot publishing: autosave, `save` ops, and the drain
+    /// save all stage to the same `<file>.tmp`, so concurrent saves would
+    /// interleave write/rename and publish a torn image.
+    save_lock: Mutex<()>,
 }
 
 impl Server {
@@ -210,7 +218,9 @@ impl Server {
             clock,
             breakers: Mutex::new(BTreeMap::new()),
             watch: Watchlist::default(),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(BTreeMap::new()),
+            conn_token: AtomicU64::new(0),
+            save_lock: Mutex::new(()),
         }
     }
 
@@ -260,17 +270,49 @@ impl Server {
         self.state.store(STATE_DRAINING, Ordering::Relaxed);
         self.queue.drain();
         let conns = self.lock_conns();
-        for c in conns.iter() {
+        for c in conns.values() {
             let _ = c.shutdown(Shutdown::Read);
         }
+    }
+
+    /// Live connections currently registered (readers that have not yet
+    /// finished). Test/observability hook for the no-fd-leak invariant.
+    pub fn open_connections(&self) -> usize {
+        self.lock_conns().len()
+    }
+
+    /// Per-prefix circuit-breaker entries tracked. Bounded by the resident
+    /// prefix count — non-resident query prefixes never create state here.
+    pub fn breaker_count(&self) -> usize {
+        self.lock_breakers().len()
     }
 
     fn lock_breakers(&self) -> MutexGuard<'_, BTreeMap<Prefix, CircuitBreaker>> {
         self.breakers.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_conns(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+    fn lock_conns(&self) -> MutexGuard<'_, BTreeMap<u64, TcpStream>> {
         self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a connection's read-half for the drain EOF sweep and
+    /// returns its removal token. The draining check shares the `conns`
+    /// lock with [`Server::initiate_drain`]'s sweep, so a connection
+    /// accepted concurrently with drain is shut down by exactly one of the
+    /// two paths — never missed by both (which would leave its reader
+    /// blocked in `read_line` and hang the scope join).
+    fn register_conn(&self, read_half: TcpStream) -> u64 {
+        let token = self.conn_token.fetch_add(1, Ordering::Relaxed);
+        let mut conns = self.lock_conns();
+        if self.is_draining() {
+            let _ = read_half.shutdown(Shutdown::Read);
+        }
+        conns.insert(token, read_half);
+        token
+    }
+
+    fn deregister_conn(&self, token: u64) {
+        self.lock_conns().remove(&token);
     }
 
     /// Serves `listener` until a `shutdown` request (or
@@ -313,10 +355,13 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
-                        if let Ok(read_half) = stream.try_clone() {
-                            self.lock_conns().push(read_half);
-                        }
-                        scope.spawn(move || self.serve_connection(engine, universe, stream));
+                        let token = stream.try_clone().ok().map(|h| self.register_conn(h));
+                        scope.spawn(move || {
+                            self.serve_connection(engine, universe, stream);
+                            if let Some(token) = token {
+                                self.deregister_conn(token);
+                            }
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(10));
@@ -346,10 +391,17 @@ impl Server {
     }
 
     /// Publishes a snapshot through the atomic save path, if configured.
+    /// Callers race (autosave thread, `save` ops on any reader, drain);
+    /// `save_lock` serializes them so only one save stages at `<file>.tmp`
+    /// at a time and the published image is never torn.
     fn save_now(&self, universe: Option<&RoutingUniverse>) -> bool {
         let (Some(path), Some(u)) = (self.cfg.snapshot_path.as_ref(), universe) else {
             return false;
         };
+        let _publish = self
+            .save_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match u.save_snapshot(path) {
             Ok(()) => {
                 self.metrics.autosaves.fetch_add(1, Ordering::Relaxed);
@@ -453,7 +505,7 @@ impl Server {
             Request::Route { id, prefix, asn } => {
                 self.metrics.received.fetch_add(1, Ordering::Relaxed);
                 let node = engine.world().graph.index_of(asn);
-                let resident = engine.prefixes().any(|p| p == prefix);
+                let resident = engine.is_resident(prefix);
                 let response = match node {
                     None => {
                         self.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -559,8 +611,11 @@ impl Server {
                 .send(degraded_response(job.id, job.prefix, &["deadline"], None));
             return;
         }
-        // Quarantined prefixes answer degraded immediately.
-        let allowed = {
+        // Quarantined prefixes answer degraded immediately. Only resident
+        // prefixes get breaker state — arbitrary client-supplied prefixes
+        // would otherwise grow the map without bound; non-resident ones
+        // fall through to `query_budgeted`'s structured rejection.
+        let allowed = !engine.is_resident(job.prefix) || {
             let mut breakers = self.lock_breakers();
             let key = key2(u64::from(job.prefix.base.0), u64::from(job.prefix.len));
             breakers

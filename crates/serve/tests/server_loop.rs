@@ -207,6 +207,88 @@ fn quarantine_opens_after_repeated_deadline_trips() {
 }
 
 #[test]
+fn non_resident_prefixes_never_create_breaker_state() {
+    // Regression: breaker entries were created before residency was
+    // checked, so a client cycling arbitrary prefixes grew the map without
+    // bound. Non-resident queries must error without leaving state behind.
+    let stats = with_server(ServeConfig::default(), |server, addr| {
+        let mut c = Client::connect(addr).expect("connect");
+        for i in 0..32u64 {
+            let prefix: Prefix = format!("203.0.{i}.0/24").parse().unwrap();
+            let line = c
+                .request(&whatif_line(Some(i), prefix, &[Delta::Withdraw], None))
+                .unwrap()
+                .unwrap();
+            assert_eq!(status_of(&line), "error", "got: {line}");
+        }
+        assert_eq!(server.breaker_count(), 0, "breaker map grew");
+    });
+    assert_eq!(stats.errors, 32);
+}
+
+#[test]
+fn finished_connections_leave_the_registry() {
+    // Regression: every accepted connection used to stay registered
+    // forever, leaking one cloned fd per client until EMFILE. The registry
+    // must return to empty once clients disconnect.
+    let stats = with_server(ServeConfig::default(), |server, addr| {
+        for i in 0..16u64 {
+            let mut c = Client::connect(addr).expect("connect");
+            let line = c
+                .request(&control_line(Some(i), "health"))
+                .unwrap()
+                .unwrap();
+            assert_eq!(status_of(&line), "ok");
+            drop(c);
+        }
+        // Readers observe the EOF asynchronously; poll briefly.
+        let mut waited = 0;
+        while server.open_connections() > 0 && waited < 5_000 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waited += 10;
+        }
+        assert_eq!(
+            server.open_connections(),
+            0,
+            "finished connections still registered"
+        );
+    });
+    assert_eq!(stats.received, 0, "health bypasses admission");
+}
+
+#[test]
+fn concurrent_saves_always_publish_a_loadable_snapshot() {
+    // Regression: unserialized saves staged to the same `<file>.tmp` and
+    // could interleave write/rename, publishing a torn image. Hammer the
+    // save op from several clients at once; the published file must load
+    // after every round.
+    let dir = std::env::temp_dir().join(format!("ir-serve-racesave-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("u.iruniv");
+    let cfg = ServeConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let stats = with_server(cfg, |_, addr| {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..8u64 {
+                        let line = c.request(&control_line(Some(i), "save")).unwrap().unwrap();
+                        assert_eq!(status_of(&line), "ok", "save raced: {line}");
+                    }
+                });
+            }
+        });
+        RoutingUniverse::recover_snapshot(&path).expect("snapshot loadable mid-hammer");
+    });
+    // 4 clients × 8 saves + the drain save, none lost to rename races.
+    assert_eq!(stats.autosaves, 33);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn save_publishes_through_the_atomic_path() {
     let dir = std::env::temp_dir().join(format!("ir-serve-save-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
