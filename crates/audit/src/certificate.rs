@@ -35,13 +35,69 @@
 
 use crate::cycles::session_cycles;
 use crate::report::{Diagnostic, RuleId, Severity};
-use crate::view::{customer_class, sessions};
+use crate::view::{customer_class, sessions, Sess};
 use ir_bgp::policy_eval::{base_pref, BACKUP_PENALTY};
 use ir_bgp::ActivationOrder;
+use ir_topology::graph::AsGraph;
+use ir_topology::policy::PolicySpec;
 use ir_topology::World;
 use ir_types::Asn;
 use serde::Serialize;
 use std::fmt;
+
+/// Per-AS summary of the Gao–Rexford preference conditions, computed from
+/// one session view and one effective policy. Shared between the full
+/// [`certify`] pass and the incremental `DeltaAuditor`, which re-derives
+/// it only for the ASes an edit touched — both must judge identically or
+/// the incremental verdict drifts from the full re-audit.
+pub(crate) struct GrSummary {
+    /// Lowest customer/sibling-tier import preference and the peer holding
+    /// it; `None` when the AS has no customer-class session.
+    pub cust_floor: Option<(i32, Asn)>,
+    /// Highest peer/provider-tier import preference and the peer holding
+    /// it; `None` when the AS has no foreign-tier session.
+    pub other_ceil: Option<(i32, Asn)>,
+    /// Whether any session is a sibling session.
+    pub has_sibling: bool,
+}
+
+impl GrSummary {
+    /// Condition 3's violation: some foreign-tier route ranks at or above
+    /// a customer-tier route.
+    pub fn inverted(&self) -> Option<((i32, Asn), (i32, Asn))> {
+        match (self.cust_floor, self.other_ceil) {
+            (Some(floor), Some(ceil)) if floor.0 <= ceil.0 => Some((floor, ceil)),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn gr_summary(g: &AsGraph, pol: &PolicySpec, sess: &[Sess]) -> GrSummary {
+    let mut cust_floor: Option<(i32, Asn)> = None;
+    let mut other_ceil: Option<(i32, Asn)> = None;
+    let mut has_sibling = false;
+    for s in sess {
+        let peer = g.asn(s.peer);
+        let pref = base_pref(s.rel)
+            + i32::from(pol.pref_delta(peer))
+            + if s.backup { BACKUP_PENALTY } else { 0 };
+        if s.rel == ir_types::Relationship::Sibling {
+            has_sibling = true;
+        }
+        if customer_class(s.rel) {
+            if cust_floor.is_none_or(|(f, _)| pref < f) {
+                cust_floor = Some((pref, peer));
+            }
+        } else if other_ceil.is_none_or(|(c, _)| pref > c) {
+            other_ceil = Some((pref, peer));
+        }
+    }
+    GrSummary {
+        cust_floor,
+        other_ceil,
+        has_sibling,
+    }
+}
 
 /// The audit pass's verdict on whether free-order simulation is safe.
 #[derive(Debug, Clone, Serialize)]
@@ -154,31 +210,14 @@ pub(crate) fn certify(world: Option<&World>, diagnostics: &[Diagnostic]) -> Safe
         if pol.no_loop_prevention {
             no_loop.push(g.asn(u));
         }
-        let mut cust_floor = i32::MAX;
-        let mut other_ceil = i32::MIN;
-        let mut has_foreign_tier = false;
-        for s in &sess {
-            let pref = base_pref(s.rel)
-                + i32::from(pol.pref_delta(g.asn(s.peer)))
-                + if s.backup { BACKUP_PENALTY } else { 0 };
-            if customer_class(s.rel) {
-                cust_floor = cust_floor.min(pref);
-            } else {
-                other_ceil = other_ceil.max(pref);
-                has_foreign_tier = true;
-            }
-        }
-        if cust_floor != i32::MAX && other_ceil != i32::MIN && cust_floor <= other_ceil {
+        let summary = gr_summary(g, pol, &sess);
+        if summary.inverted().is_some() {
             inverted.push(g.asn(u));
         }
-        if pol.domestic_pref && has_foreign_tier {
+        if pol.domestic_pref && summary.other_ceil.is_some() {
             domestic.push(g.asn(u));
         }
-        if sess
-            .iter()
-            .any(|s| s.rel == ir_types::Relationship::Sibling)
-            && has_foreign_tier
-        {
+        if summary.has_sibling && summary.other_ceil.is_some() {
             transparent.push(g.asn(u));
         }
     }

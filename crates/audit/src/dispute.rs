@@ -24,51 +24,62 @@
 
 use crate::report::{Diagnostic, RuleId};
 use crate::scc::nontrivial_sccs;
-use crate::view::{customer_class, sessions};
+use crate::view::{customer_class, sessions, Sess};
 use ir_bgp::policy_eval::{base_pref, BACKUP_PENALTY};
+use ir_topology::graph::AsGraph;
+use ir_topology::policy::PolicySpec;
 use ir_topology::World;
 use ir_types::{Asn, Relationship};
 
-pub(crate) fn world_dispute_wheels(world: &World, out: &mut Vec<Diagnostic>) {
-    let g = &world.graph;
-    let n = g.len();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    #[allow(clippy::needless_range_loop)] // u indexes `adj` and the graph alike
-    for u in 0..n {
-        let pol = world.policy(u);
-        let sess = sessions(g, u);
-        // Best and second-best customer-tier spoke, floored at the class
-        // base, so `best spoke excluding v` is answerable for any v.
-        let (mut s1, mut s1_peer, mut s2) = (i32::MIN, usize::MAX, i32::MIN);
-        for s in sess.iter().filter(|s| customer_class(s.rel)) {
-            let v =
-                base_pref(Relationship::Customer) + i32::from(pol.pref_delta(g.asn(s.peer))).max(0);
-            if s.peer == s1_peer {
-                s1 = s1.max(v);
-            } else if v > s1 {
-                s2 = s1;
-                s1 = v;
-                s1_peer = s.peer;
-            } else if v > s2 {
-                s2 = v;
-            }
-        }
-        if s1 == i32::MIN {
-            continue; // no spoke to divert from: u cannot be a wheel node
-        }
-        for s in sess.iter().filter(|s| !customer_class(s.rel)) {
-            let pref_via = base_pref(s.rel)
-                + i32::from(pol.pref_delta(g.asn(s.peer)))
-                + if s.backup { BACKUP_PENALTY } else { 0 };
-            let best_spoke_excl = if s.peer == s1_peer { s2 } else { s1 };
-            if best_spoke_excl != i32::MIN
-                && pref_via > best_spoke_excl
-                && !adj[u].contains(&s.peer)
-            {
-                adj[u].push(s.peer);
-            }
+/// The preference-diversion out-edges of one candidate-graph node, from
+/// its session view and effective policy alone. Shared between the full
+/// pass below and the incremental `DeltaAuditor`, which recomputes exactly
+/// the nodes an edit touched — both must draw identical edges or the
+/// incremental verdict drifts from the full re-audit.
+pub(crate) fn candidate_out_edges(g: &AsGraph, pol: &PolicySpec, sess: &[Sess]) -> Vec<usize> {
+    // Best and second-best customer-tier spoke, floored at the class
+    // base, so `best spoke excluding v` is answerable for any v.
+    let (mut s1, mut s1_peer, mut s2) = (i32::MIN, usize::MAX, i32::MIN);
+    for s in sess.iter().filter(|s| customer_class(s.rel)) {
+        let v = base_pref(Relationship::Customer) + i32::from(pol.pref_delta(g.asn(s.peer))).max(0);
+        if s.peer == s1_peer {
+            s1 = s1.max(v);
+        } else if v > s1 {
+            s2 = s1;
+            s1 = v;
+            s1_peer = s.peer;
+        } else if v > s2 {
+            s2 = v;
         }
     }
+    let mut out = Vec::new();
+    if s1 == i32::MIN {
+        return out; // no spoke to divert from: u cannot be a wheel node
+    }
+    for s in sess.iter().filter(|s| !customer_class(s.rel)) {
+        let pref_via = base_pref(s.rel)
+            + i32::from(pol.pref_delta(g.asn(s.peer)))
+            + if s.backup { BACKUP_PENALTY } else { 0 };
+        let best_spoke_excl = if s.peer == s1_peer { s2 } else { s1 };
+        if best_spoke_excl != i32::MIN && pref_via > best_spoke_excl && !out.contains(&s.peer) {
+            out.push(s.peer);
+        }
+    }
+    out
+}
+
+/// The full dispute-wheel candidate adjacency of a world, one out-edge
+/// list per node index.
+pub(crate) fn candidate_graph(world: &World) -> Vec<Vec<usize>> {
+    let g = &world.graph;
+    (0..g.len())
+        .map(|u| candidate_out_edges(g, world.policy(u), &sessions(g, u)))
+        .collect()
+}
+
+pub(crate) fn world_dispute_wheels(world: &World, out: &mut Vec<Diagnostic>) {
+    let g = &world.graph;
+    let adj = candidate_graph(world);
     for scc in nontrivial_sccs(&adj) {
         let members: Vec<Asn> = scc.iter().map(|&v| g.asn(v)).collect();
         let shown = members

@@ -28,6 +28,7 @@
 
 mod certificate;
 mod cycles;
+mod delta;
 mod dispute;
 mod hybrid;
 mod psp;
@@ -38,6 +39,11 @@ mod valley;
 mod view;
 
 pub use certificate::SafetyCertificate;
+pub use delta::{edited_world, DeltaAuditor};
+// Verdict and trait live in ir-bgp (the engine consults the certifier
+// without depending on this crate); re-exported so audit users see one
+// coherent surface.
+pub use ir_bgp::{CertificateDelta, DeltaCertifier};
 pub use report::{AuditReport, Diagnostic, RuleId, Severity};
 
 use ir_inference::BgpFeed;

@@ -7,6 +7,7 @@
 
 use ir_topology::graph::{AsGraph, LinkKind};
 use ir_types::Relationship;
+use std::collections::BTreeSet;
 
 /// One BGP session of an AS, statically summarized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,8 +24,25 @@ pub(crate) struct Sess {
 /// cities with the same relationship produce one summary entry, since the
 /// static rules only depend on that triple.
 pub(crate) fn sessions(graph: &AsGraph, x: usize) -> Vec<Sess> {
+    static NO_DOWNED: BTreeSet<(usize, usize)> = BTreeSet::new();
+    sessions_excluding(graph, x, &NO_DOWNED)
+}
+
+/// [`sessions`] restricted to links that are up: any link whose canonical
+/// `(min, max)` node pair is in `downed` contributes no sessions. This is
+/// the view the incremental delta auditor reasons over — it matches the
+/// engine's semantics that a downed link carries nothing in either
+/// direction.
+pub(crate) fn sessions_excluding(
+    graph: &AsGraph,
+    x: usize,
+    downed: &BTreeSet<(usize, usize)>,
+) -> Vec<Sess> {
     let mut out = Vec::new();
     for l in graph.links(x) {
+        if !downed.is_empty() && downed.contains(&(x.min(l.peer), x.max(l.peer))) {
+            continue;
+        }
         let backup = l.kind == LinkKind::Backup;
         for &city in &l.cities {
             let s = Sess {

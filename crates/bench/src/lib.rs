@@ -1,2 +1,3 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Criterion benchmark crate; see `benches/`.

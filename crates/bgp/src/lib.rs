@@ -53,4 +53,7 @@ pub use sim::{
 };
 pub use sweep::SweepSim;
 pub use universe::{snapshot_staging_path, RoutingUniverse, UniverseResilience};
-pub use whatif::{DeltaStats, QueryError, RouteDiff, WhatIfAnswer, WhatIfEngine, WhatIfQuery};
+pub use whatif::{
+    CertificateDelta, DeltaCertifier, DeltaStats, QueryError, RouteDiff, WhatIfAnswer,
+    WhatIfEngine, WhatIfQuery,
+};

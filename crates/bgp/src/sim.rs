@@ -195,6 +195,14 @@ pub struct EngineStats {
     /// Queries answered degraded (base route, no reconvergence) by a
     /// serving layer; the sim never increments this itself.
     pub queries_degraded: usize,
+    /// What-if queries whose delta set was proved certificate-preserving
+    /// by a [`crate::whatif::DeltaCertifier`], counted by a serving layer;
+    /// the sim never increments this itself.
+    pub certificates_preserved: usize,
+    /// What-if queries whose delta set revoked the safety certificate
+    /// (forcing a wave-exact fallback), counted by a serving layer; the
+    /// sim never increments this itself.
+    pub certificates_revoked: usize,
     /// Memory accounting of the compact route storage (columns + path
     /// arena), refreshed on every [`PrefixSim::stats`] call; zeros for the
     /// sweep oracle, which keeps materialized routes.
@@ -218,6 +226,8 @@ impl EngineStats {
         self.deadline_aborts += other.deadline_aborts;
         self.queries_shed += other.queries_shed;
         self.queries_degraded += other.queries_degraded;
+        self.certificates_preserved += other.certificates_preserved;
+        self.certificates_revoked += other.certificates_revoked;
         self.memory.absorb(&other.memory);
     }
 }
@@ -740,6 +750,10 @@ pub struct PrefixSim<'w> {
     /// Sticky flag: some event since the last [`PrefixSim::set_step_budget`]
     /// ended early on a tripped budget.
     budget_tripped: bool,
+    /// Whether a certifier vouched that this sim's pending deltas preserve
+    /// the world's safety certificate — see
+    /// [`PrefixSim::grant_certificate_token`]. Never copied by forks.
+    cert_token: bool,
     /// Current-wave worklist, reused across events (generation-reset, not
     /// reallocated). Taken out of `self` while an event runs.
     wave: BitWorklist,
@@ -790,6 +804,7 @@ impl<'w> PrefixSim<'w> {
             stats: EngineStats::default(),
             budget: StepBudget::unlimited(),
             budget_tripped: false,
+            cert_token: false,
             wave: BitWorklist::new(n),
             next: BitWorklist::new(n),
         }
@@ -807,6 +822,33 @@ impl<'w> PrefixSim<'w> {
     /// to the dispute-wheel work cap.
     pub fn budget_tripped(&self) -> bool {
         self.budget_tripped
+    }
+
+    /// The scheduling discipline currently in force. It may be stricter
+    /// than the one this sim was constructed with:
+    /// [`PrefixSim::apply_delta`] downgrades an uncertified free-order sim
+    /// to wave-exact before applying a preference edit.
+    pub fn order(&self) -> ActivationOrder {
+        self.order
+    }
+
+    /// Switches the scheduling discipline for subsequent events.
+    /// Downgrading to [`ActivationOrder::WaveExact`] is always sound;
+    /// switching to [`ActivationOrder::Free`] carries the same
+    /// certified-world proof obligation as constructing with it.
+    pub fn set_order(&mut self, order: ActivationOrder) {
+        self.order = order;
+    }
+
+    /// Marks this sim's pending [`Delta`] edits certificate-preserving: a
+    /// certifier (`ir-audit`'s `DeltaAuditor` through
+    /// [`crate::whatif::DeltaCertifier`]) proved the edits keep the world's
+    /// safety certificate, so [`PrefixSim::apply_delta`] may keep
+    /// [`ActivationOrder::Free`] across preference edits. Forks never
+    /// inherit the token ([`PrefixSim::fork_for`] clears it) — every delta
+    /// set must earn its own.
+    pub fn grant_certificate_token(&mut self) {
+        self.cert_token = true;
     }
 
     /// Announces (or re-announces with different poison/via) the prefix and
@@ -924,6 +966,22 @@ impl<'w> PrefixSim<'w> {
     /// returned [`Convergence`] counts this event alone (no cumulative
     /// carry-over), which is what [`crate::whatif::DeltaStats`] sums.
     pub fn apply_delta(&mut self, delta: &Delta, at: Timestamp) -> Convergence {
+        // Free-order safety net: a preference edit can manufacture a
+        // dispute gadget, and with one in place the free-order fixpoint is
+        // activation-order-dependent. Unless a certifier vouched for this
+        // sim's delta set ([`PrefixSim::grant_certificate_token`]), the sim
+        // downgrades itself to the always-safe schedule before applying
+        // the edit. The other variants keep the fast order: link edits
+        // only tighten the certified Gao–Rexford preference conditions
+        // (removal raises the customer floor and lowers the foreign
+        // ceiling), and export/origination/filter edits change which
+        // routes exist, not how tiers rank — uniqueness survives both.
+        if self.order == ActivationOrder::Free
+            && !self.cert_token
+            && matches!(delta, Delta::NeighborPref { .. })
+        {
+            self.order = ActivationOrder::WaveExact;
+        }
         self.stats.deltas_applied += 1;
         match delta {
             Delta::LinkDown { a, b } => self.fail_link(*a, *b, at),
@@ -1576,6 +1634,9 @@ impl<'w> PrefixSim<'w> {
             // the query layer installs its own.
             budget: StepBudget::unlimited(),
             budget_tripped: false,
+            // Certificate tokens are per-delta-set: every fork must earn
+            // its own from a certifier before applying preference edits.
+            cert_token: false,
             wave: BitWorklist::new(n),
             next: BitWorklist::new(n),
         }

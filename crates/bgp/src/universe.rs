@@ -727,6 +727,10 @@ impl RoutingUniverse {
             deadline_aborts: to_usize(r.u64()?)?,
             queries_shed: to_usize(r.u64()?)?,
             queries_degraded: to_usize(r.u64()?)?,
+            // Serving-layer counters are not part of the snapshot format:
+            // a universe is computed, not served, so they are always zero.
+            certificates_preserved: 0,
+            certificates_revoked: 0,
             memory: MemoryBudget {
                 route_bytes: to_usize(r.u64()?)?,
                 routes: to_usize(r.u64()?)?,

@@ -80,6 +80,71 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// What a [`Delta`] edit set does to the world's safety certificate,
+/// judged statically — *before* the edits are applied — by a
+/// [`DeltaCertifier`].
+///
+/// The contract the serving plane relies on:
+///
+/// * [`CertificateDelta::Preserved`] — every cumulative prefix of the edit
+///   sequence keeps the certified world certified, so the unique-fixpoint
+///   guarantee holds at every intermediate state and the free activation
+///   order stays sound end to end.
+/// * [`CertificateDelta::Revoked`] — some prefix of the sequence breaks a
+///   certification condition; `rule` names the rule or condition
+///   (`"IR-A002"`, `"GR-PREF"`, …) and `witness` describes the concrete
+///   violation. The engine must fall back to wave-exact scheduling.
+/// * [`CertificateDelta::Unknown`] — the certifier cannot judge the edit
+///   (uncertified base, unknown ASN, …). **Unknown always falls back to
+///   wave-exact**: correctness is never traded for speed on a guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateDelta {
+    /// The edits provably keep the safety certificate.
+    Preserved,
+    /// The edits break certification; wave-exact scheduling is required.
+    Revoked {
+        /// Rule or certificate-condition code, e.g. `IR-A002`, `GR-PREF`.
+        rule: String,
+        /// Human-readable description of the violation found.
+        witness: String,
+    },
+    /// The certifier cannot judge the edit; treated like a revocation.
+    Unknown,
+}
+
+impl CertificateDelta {
+    /// Whether the free activation order stays licensed under the edits.
+    pub fn preserved(&self) -> bool {
+        matches!(self, CertificateDelta::Preserved)
+    }
+}
+
+impl std::fmt::Display for CertificateDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateDelta::Preserved => write!(f, "preserved"),
+            CertificateDelta::Revoked { rule, .. } => write!(f, "revoked:{rule}"),
+            CertificateDelta::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Incremental certificate maintenance, abstract over the analyzer.
+///
+/// `ir-audit` implements this with its `DeltaAuditor` (incremental
+/// re-checks scoped to the edited ASes); the engine only needs the
+/// verdict. Defined here — not in `ir-audit` — because the audit crate
+/// already depends on this one, and the engine must consult the verdict
+/// without a dependency cycle.
+///
+/// Implementations must be pure with respect to the engine's world (judge
+/// the edits, mutate nothing) and thread-safe: `query_batch` consults the
+/// certifier from rayon workers concurrently.
+pub trait DeltaCertifier: Send + Sync {
+    /// Judges an ordered edit sequence against the certified base world.
+    fn audit_deltas(&self, deltas: &[Delta]) -> CertificateDelta;
+}
+
 /// One AS whose selected route changed under the query's edits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteDiff {
@@ -130,6 +195,12 @@ pub struct WhatIfAnswer {
     pub diffs: Vec<RouteDiff>,
     /// Effort and retention accounting.
     pub stats: DeltaStats,
+    /// The [`DeltaCertifier`]'s verdict on the query's edits, when one was
+    /// consulted: `Some` only for free-order engines with a certifier
+    /// attached ([`WhatIfEngine::set_certifier`]). Anything but
+    /// [`CertificateDelta::Preserved`] means the answer was computed under
+    /// the wave-exact fallback.
+    pub certificate: Option<CertificateDelta>,
 }
 
 /// One resident converged shape: the live sim queries fork from, plus the
@@ -173,6 +244,11 @@ pub struct WhatIfEngine<'w> {
     /// Logical clock the base converged at; query edits are stamped after
     /// it (one minute apart, like the fault schedules).
     base_clock: Timestamp,
+    /// Incremental certificate maintenance for free-order engines; see
+    /// [`WhatIfEngine::set_certifier`]. `None` = judge nothing (queries on
+    /// a free-order engine then rely on the sim's own preference-edit
+    /// downgrade).
+    certifier: Option<Box<dyn DeltaCertifier + 'w>>,
 }
 
 impl<'w> WhatIfEngine<'w> {
@@ -298,7 +374,26 @@ impl<'w> WhatIfEngine<'w> {
             shapes: states,
             by_prefix,
             base_clock,
+            certifier: None,
         }
+    }
+
+    /// Attaches incremental certificate maintenance: every query on a
+    /// free-order engine first has its delta set judged by `certifier`,
+    /// and unless the verdict is [`CertificateDelta::Preserved`] the
+    /// query's fork transparently falls back to wave-exact scheduling —
+    /// answers stay correct, never just fast. The verdict is surfaced in
+    /// [`WhatIfAnswer::certificate`].
+    ///
+    /// Wave-exact engines never consult the certifier (there is no fast
+    /// path to protect).
+    pub fn set_certifier(&mut self, certifier: Box<dyn DeltaCertifier + 'w>) {
+        self.certifier = Some(certifier);
+    }
+
+    /// Whether a [`DeltaCertifier`] is attached.
+    pub fn has_certifier(&self) -> bool {
+        self.certifier.is_some()
     }
 
     /// Answers one query: fork the prefix's shape copy-on-write, apply the
@@ -329,6 +424,19 @@ impl<'w> WhatIfEngine<'w> {
         self.validate_deltas(&q.deltas)?;
         let base = &state.sim;
         let mut fork = base.fork_for(q.prefix);
+        // Certificate maintenance (free-order engines with a certifier
+        // only): a preserved verdict licenses the fork to keep the free
+        // order across preference edits; anything else downgrades the fork
+        // to the always-safe wave-exact schedule before any edit applies.
+        let certificate = match &self.certifier {
+            Some(c) if self.order == ActivationOrder::Free => Some(c.audit_deltas(&q.deltas)),
+            _ => None,
+        };
+        match &certificate {
+            Some(CertificateDelta::Preserved) => fork.grant_certificate_token(),
+            Some(_) => fork.set_order(ActivationOrder::WaveExact),
+            None => {}
+        }
         if !budget.is_unlimited() {
             fork.set_step_budget(budget.clone());
         }
@@ -368,6 +476,7 @@ impl<'w> WhatIfEngine<'w> {
                 prefix: q.prefix,
                 diffs: Vec::new(),
                 stats,
+                certificate,
             });
         }
         // Diff against the base. The fork shares the base's arena, so
@@ -395,6 +504,7 @@ impl<'w> WhatIfEngine<'w> {
             prefix: q.prefix,
             diffs,
             stats,
+            certificate,
         })
     }
 

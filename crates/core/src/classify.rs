@@ -33,7 +33,7 @@ use ir_types::{Asn, Prefix, Relationship};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// The four Figure 1 categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -63,6 +63,16 @@ impl Category {
             (false, true) => Category::NonBestShort,
             (true, false) => Category::BestLong,
             (false, false) => Category::NonBestLong,
+        }
+    }
+
+    /// Index into [`Category::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Category::BestShort => 0,
+            Category::NonBestShort => 1,
+            Category::BestLong => 2,
+            Category::NonBestLong => 3,
         }
     }
 
@@ -251,7 +261,13 @@ impl<'a> Classifier<'a> {
         let key_prefix = psp.and(prefix);
         let key = (dest, key_prefix);
         let shard = &self.cache[dest.0 as usize % CACHE_SHARDS];
-        if let Some(routes) = shard.read().expect("cache shard poisoned").get(&key) {
+        // Poison recovery: cache contents are deterministic, so a shard
+        // written by a panicking thread is still coherent to read.
+        if let Some(routes) = shard
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(routes);
         }
@@ -284,7 +300,7 @@ impl<'a> Classifier<'a> {
             }
             _ => self.model.routes_to(dest),
         });
-        let mut shard = shard.write().expect("cache shard poisoned");
+        let mut shard = shard.write().unwrap_or_else(PoisonError::into_inner);
         match shard.entry(key) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 // A racing worker computed and inserted the same model
@@ -361,19 +377,12 @@ pub struct Breakdown {
 impl Breakdown {
     /// Records one categorized decision.
     pub fn add(&mut self, c: Category) {
-        let i = Category::ALL
-            .iter()
-            .position(|x| *x == c)
-            .expect("category");
-        self.counts[i] += 1;
+        self.counts[c.index()] += 1;
     }
 
     /// Count in a category.
     pub fn count(&self, c: Category) -> usize {
-        self.counts[Category::ALL
-            .iter()
-            .position(|x| *x == c)
-            .expect("category")]
+        self.counts[c.index()]
     }
 
     /// Total decisions.
@@ -395,6 +404,13 @@ impl Breakdown {
 mod tests {
     use super::*;
     use ir_types::CityId;
+
+    #[test]
+    fn category_index_matches_all_order() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
 
     /// Inferred topology: 1==2 peers at the top; 3,4 customers of 1;
     /// 5 customer of 2 and of 4.

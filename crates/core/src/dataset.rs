@@ -44,6 +44,7 @@ impl MeasuredPath {
     /// path is trivial.
     pub fn build(tr: &Traceroute, table: &OriginTable, geo: &GeoDb) -> Option<MeasuredPath> {
         let path = as_path_of(tr, table)?;
+        let (&dest, _) = path.split_last()?;
         if path.len() < 2 {
             return None;
         }
@@ -85,7 +86,7 @@ impl MeasuredPath {
         }
         Some(MeasuredPath {
             src: tr.src_as,
-            dest: *path.last().expect("non-empty"),
+            dest,
             prefix: table.lookup_prefix(tr.dst_ip),
             hostname: tr.dst_hostname.clone(),
             path,

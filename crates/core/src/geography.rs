@@ -105,16 +105,19 @@ pub fn domestic_stats(
     let mut out = DomesticStats::default();
     // Only traceroutes that stayed inside one country are candidates for
     // the domestic-preference explanation (§6 "Domestic paths").
-    let candidates: Vec<&MeasuredPath> = paths
+    // Carrying the continent alongside the path keeps the filter and its
+    // downstream use in one place — no later re-derivation to go stale.
+    let candidates: Vec<(&MeasuredPath, Continent)> = paths
         .iter()
-        .filter(|p| p.continental().is_some() && p.domestic().is_some())
+        .filter(|p| p.domestic().is_some())
+        .filter_map(|p| p.continental().map(|c| (p, c)))
         .collect();
     // Classify everything up front (the classifier fans out internally),
     // then precompute the model's routes for every violating destination in
     // parallel. The local cache is needed because path extraction ignores
     // PSP filtering, so it cannot reuse the classifier's (prefix-keyed)
     // cache.
-    let decisions: Vec<Decision> = candidates.iter().flat_map(|p| p.decisions()).collect();
+    let decisions: Vec<Decision> = candidates.iter().flat_map(|(p, _)| p.decisions()).collect();
     let verdicts = classifier.classify_batch(&decisions);
     let violating_dests: Vec<Asn> = decisions
         .iter()
@@ -130,8 +133,7 @@ pub fn domestic_stats(
         .collect();
     let routes_cache: BTreeMap<Asn, crate::grmodel::GrRoutes> = computed.into_iter().collect();
     let mut vi = 0usize;
-    for p in &candidates {
-        let continent = p.continental().expect("candidates are continental");
+    for &(p, continent) in &candidates {
         let src_country = registry.whois(p.src).map(|w| w.country);
         let dst_country = registry.whois(p.dest).map(|w| w.country);
         for d in p.decisions() {
@@ -143,7 +145,12 @@ pub fn domestic_stats(
             let entry = out.per_continent.entry(continent).or_insert((0, 0));
             entry.1 += 1;
             // Extract the model's preferred path and test for a foreign AS.
-            let routes = routes_cache.get(&d.dest).expect("precomputed above");
+            let Some(routes) = routes_cache.get(&d.dest) else {
+                // Every violating dest was precomputed; skipping (like an
+                // inextractable path below) only forgoes the multinational
+                // test for this decision.
+                continue;
+            };
             let Some(model_path) = routes.extract_path(d.observer) else {
                 continue;
             };

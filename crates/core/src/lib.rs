@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! The paper's methodology: how far do routing models hold, and why not?
 //!
 //! This crate is the primary contribution of the reproduction. Everything

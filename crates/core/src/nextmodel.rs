@@ -105,12 +105,14 @@ impl InformedModel {
     /// rank... is known. `None` when the model has no data for the pair.
     fn rank_consistent(&self, observer: Asn, next_hop: Asn) -> Option<bool> {
         let used = *self.ranks.get(&(observer, next_hop))?;
+        // Non-empty by construction (`used` came from this range), so the
+        // `?` can only be hit if the map were emptied concurrently — and
+        // `&self` forbids that.
         let best = self
             .ranks
             .range((observer, Asn(0))..=(observer, Asn(u32::MAX)))
             .map(|(_, r)| *r)
-            .min()
-            .expect("at least the used pair");
+            .min()?;
         Some(used == best)
     }
 

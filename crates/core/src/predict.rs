@@ -82,7 +82,13 @@ pub fn evaluate(model: &GrModel, paths: &[MeasuredPath]) -> PredictReport {
     let cache: BTreeMap<Asn, GrRoutes> = computed.into_iter().collect();
     let mut report = PredictReport::default();
     for m in paths {
-        let routes = cache.get(&m.dest).expect("precomputed above");
+        // Every dest was precomputed above; a miss can only mean the path
+        // set changed under us, and counting it unpredictable keeps totals
+        // consistent.
+        let Some(routes) = cache.get(&m.dest) else {
+            report.unpredictable += 1;
+            continue;
+        };
         let Some(predicted) = predict_path(routes, m.src) else {
             report.unpredictable += 1;
             continue;

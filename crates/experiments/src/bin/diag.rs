@@ -13,6 +13,11 @@
 //! 1000-prefix universe slice, printing the engine's `MemoryBudget` and
 //! the universe's resident table bytes. Run it in release mode.
 //!
+//! `diag audit-delta [target-ases] [seed]` measures incremental
+//! certificate maintenance on a certified internet-scale world: wall time
+//! of single-delta `DeltaAuditor` verdicts versus a full `audit_world`
+//! re-run, plus a verdict-agreement spot check. Run it in release.
+//!
 //! `diag whatif [target-ases] [seed]` exercises the incremental what-if
 //! engine: converge one stub prefix, then answer a localized link edit
 //! and a policy edit both warm (copy-on-write fork + seeded
@@ -212,6 +217,116 @@ fn whatif_diag(target: usize, seed: u64) {
     );
 }
 
+/// Incremental certificate-maintenance diagnostic: on an internet-scale
+/// certified world, compare the cost of judging a single-delta edit set
+/// with the [`ir_audit::DeltaAuditor`] against a full `audit_world`
+/// re-run on the edited world, and verify the verdicts agree. The
+/// incremental path is the serving plane's per-query admission check, so
+/// its margin over the full audit is the whole point. Run it in release.
+fn audit_delta_diag(target: usize, seed: u64) {
+    use ir_audit::{audit_world, edited_world, CertificateDelta, DeltaAuditor};
+    use ir_bgp::Delta;
+    use ir_topology::GeneratorConfig;
+
+    let t0 = std::time::Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    println!(
+        "build: {:.1?} | world: {} ASes {} links",
+        t0.elapsed(),
+        world.graph.len(),
+        world.graph.link_count()
+    );
+
+    let t1 = std::time::Instant::now();
+    let report = audit_world(&world);
+    let full_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "full audit: {full_ms:.1} ms | certified: {} ({} diagnostics)",
+        report.certificate.certified,
+        report.diagnostics.len()
+    );
+    if !report.certificate.certified {
+        println!("world does not certify; incremental maintenance has nothing to maintain");
+        return;
+    }
+    let t2 = std::time::Instant::now();
+    let auditor = DeltaAuditor::with_report(&world, report);
+    println!("auditor setup (candidate graph): {:.1?}", t2.elapsed());
+
+    // A spread of single-delta edit sets across the delta classes the
+    // serving plane accepts.
+    let g = &world.graph;
+    let step = (g.len() / 256).max(1);
+    let mut edits: Vec<Delta> = Vec::new();
+    for x in (0..g.len()).step_by(step) {
+        let Some(l) = g.links(x).first() else {
+            continue;
+        };
+        let (a, b) = (g.asn(x), g.asn(l.peer));
+        edits.push(match edits.len() % 4 {
+            0 => Delta::LinkDown { a, b },
+            1 => Delta::NeighborPref {
+                of: a,
+                neighbor: b,
+                delta: Some(-200),
+            },
+            // Foreign-tier boost: revokes wherever `a` has customers.
+            2 => Delta::NeighborPref {
+                of: a,
+                neighbor: b,
+                delta: Some(500),
+            },
+            _ => Delta::ExportPrepend {
+                of: a,
+                neighbor: b,
+                count: Some(3),
+            },
+        });
+    }
+
+    // Incremental: judge every edit set, record verdicts.
+    let t3 = std::time::Instant::now();
+    let verdicts: Vec<CertificateDelta> = edits
+        .iter()
+        .map(|d| auditor.audit_deltas(std::slice::from_ref(d)))
+        .collect();
+    let inc_total = t3.elapsed();
+    let inc_us = inc_total.as_secs_f64() * 1e6 / edits.len() as f64;
+    let preserved = verdicts
+        .iter()
+        .filter(|v| matches!(v, CertificateDelta::Preserved))
+        .count();
+    println!(
+        "incremental: {} single-delta audits in {:.1?} ({inc_us:.1} µs/delta) | \
+         {preserved} preserved, {} revoked",
+        edits.len(),
+        inc_total,
+        edits.len() - preserved
+    );
+    println!(
+        "speedup vs full re-audit: {:.0}x per delta",
+        full_ms * 1e3 / inc_us
+    );
+
+    // Agreement spot-check: a subsample re-audited in full on the edited
+    // world (clone + re-audit per edit — exactly the cost the incremental
+    // path avoids).
+    let sample = edits.len().min(32);
+    let t4 = std::time::Instant::now();
+    let mut agree = 0usize;
+    for (d, v) in edits.iter().zip(&verdicts).take(sample) {
+        let full = audit_world(&edited_world(&world, std::slice::from_ref(d)));
+        let truth_preserved = full.certificate.certified;
+        if matches!(v, CertificateDelta::Preserved) == truth_preserved {
+            agree += 1;
+        }
+    }
+    println!(
+        "agreement: {agree}/{sample} verdicts match the full re-audit ({:.1?} to verify)",
+        t4.elapsed()
+    );
+}
+
 /// In-process serving-loop diagnostic: run a hostile little traffic mix
 /// against a live [`ir_serve::Server`] and print the robustness counters.
 fn serve_diag(seed: u64) {
@@ -322,6 +437,21 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(7);
         serve_diag(seed);
+        return;
+    }
+    if scale == "audit-delta" {
+        let target = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20_000);
+        // Seed 0 by default: larger internet_scale worlds can grow
+        // session-level c2p cycles under some seeds (e.g. seed 7 at
+        // ≥10k), and an uncertified world has nothing to maintain.
+        let seed = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        audit_delta_diag(target, seed);
         return;
     }
     if scale == "whatif" {

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Deterministic, seeded fault injection — the chaos layer.
 //!
 //! The paper's pipeline ran on a hostile substrate: RIPE Atlas probes

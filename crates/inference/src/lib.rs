@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Inference substrates: everything the paper consumes as "inferred data".
 //!
 //! The paper never sees ground truth. It classifies measured paths against

@@ -20,7 +20,8 @@
 //! suite: it saves the same snapshot in a tight loop so a test can
 //! `kill -9` the process mid-write and prove recovery.
 
-use ir_bgp::{ActivationOrder, RoutingUniverse, WhatIfEngine};
+use ir_audit::DeltaAuditor;
+use ir_bgp::{RoutingUniverse, WhatIfEngine};
 use ir_fault::RetryPolicy;
 use ir_serve::{ServeConfig, Server};
 use ir_topology::{GeneratorConfig, World};
@@ -66,7 +67,7 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ir-serve [--listen ADDR] [--scale tiny|internet] [--size N] [--seed N]\n\
+        "usage: ir-serve [--listen ADDR] [--scale tiny|safe|internet] [--size N] [--seed N]\n\
          \x20               [--prefixes N] [--snapshot PATH] [--workers N] [--queue-cap N]\n\
          \x20               [--budget ACTIVATIONS] [--deadline-ms N] [--autosave-ms N]"
     );
@@ -124,9 +125,12 @@ fn parse_args() -> Args {
 fn build_world(args: &Args) -> World {
     let cfg = match args.scale.as_str() {
         "tiny" => GeneratorConfig::tiny(),
+        // A world that passes certification, so the daemon runs the
+        // free-order engine with incremental certificate maintenance.
+        "safe" => GeneratorConfig::certifiably_safe(),
         "internet" => GeneratorConfig::internet_scale_sized(args.size),
         other => {
-            eprintln!("unknown --scale {other} (want tiny|internet)");
+            eprintln!("unknown --scale {other} (want tiny|safe|internet)");
             exit(2)
         }
     };
@@ -180,13 +184,34 @@ fn main() {
         },
         _ => RoutingUniverse::compute(&world, &pick_prefixes(&world, args.prefixes)),
     };
-    let engine = match WhatIfEngine::from_universe(&world, &universe, ActivationOrder::default()) {
+    // Audit the world once at startup: the certificate picks the engine's
+    // activation order, and on certified worlds the same report seeds the
+    // incremental delta auditor that judges every query's edit set.
+    let report = ir_audit::audit_world(&world);
+    let order = report.certificate.activation_order();
+    let certified = report.certificate.certified;
+    // Stderr: the first stdout line is the listen banner, which harnesses
+    // parse for the bound address.
+    eprintln!(
+        "startup audit: {} ({} errors, {} warnings) — {order:?} engine",
+        if certified {
+            "certified"
+        } else {
+            "not certified"
+        },
+        report.errors(),
+        report.warnings(),
+    );
+    let mut engine = match WhatIfEngine::from_universe(&world, &universe, order) {
         Ok(engine) => engine,
         Err(e) => {
             eprintln!("cannot serve this universe: {e}");
             exit(1);
         }
     };
+    if certified {
+        engine.set_certifier(Box::new(DeltaAuditor::with_report(&world, report)));
+    }
     // Publish the initial state so a crash before the first autosave still
     // has something to recover.
     if let Some(path) = &args.snapshot {
@@ -235,7 +260,8 @@ fn main() {
     let s = server.stats();
     println!(
         "drained: served {} shed {} degraded {} (deadline {}, quarantine {}) \
-         errors {} disconnects {} autosaves {} high-water {}",
+         errors {} disconnects {} autosaves {} high-water {} \
+         certificates preserved {} revoked {}",
         s.served,
         s.shed,
         s.degraded,
@@ -244,6 +270,8 @@ fn main() {
         s.errors,
         s.disconnects,
         s.autosaves,
-        s.queue_high_water
+        s.queue_high_water,
+        s.certificates_preserved,
+        s.certificates_revoked
     );
 }

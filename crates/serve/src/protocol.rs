@@ -9,7 +9,7 @@
 //! Responses echo the request's optional `id` so pipelining clients can
 //! match answers arriving in completion order.
 
-use ir_bgp::{Announcement, Delta, DeltaStats, QueryError, Route, WhatIfAnswer};
+use ir_bgp::{Announcement, CertificateDelta, Delta, DeltaStats, QueryError, Route, WhatIfAnswer};
 use ir_types::{Asn, Prefix};
 use serde_json::Value;
 use std::collections::BTreeSet;
@@ -47,6 +47,11 @@ pub enum Request {
         /// Correlation id.
         id: Option<u64>,
     },
+    /// Full safety re-audit of the resident world; bypasses admission.
+    Audit {
+        /// Correlation id.
+        id: Option<u64>,
+    },
     /// Snapshot the universe to the configured path now.
     Save {
         /// Correlation id.
@@ -67,6 +72,7 @@ impl Request {
             | Request::Route { id, .. }
             | Request::Health { id }
             | Request::Stats { id }
+            | Request::Audit { id }
             | Request::Save { id }
             | Request::Shutdown { id } => *id,
         }
@@ -350,6 +356,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "health" => Ok(Request::Health { id }),
         "stats" => Ok(Request::Stats { id }),
+        "audit" => Ok(Request::Audit { id }),
         "save" => Ok(Request::Save { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(format!("unknown op `{other}`")),
@@ -449,7 +456,18 @@ pub fn ok_response(id: Option<u64>, answer: &WhatIfAnswer) -> String {
         ),
     ));
     obj.push(("stats".to_string(), delta_stats_value(&answer.stats)));
+    certificate_entry(&mut obj, answer.certificate.as_ref());
     render(Value::Object(obj))
+}
+
+/// Adds the `certificate` field when the server's incremental delta
+/// auditor judged the edit set (`"preserved"`, `"revoked:IR-A002"`, or
+/// `"unknown"`). Absent when no certifier is attached — wave-exact
+/// servers have no certificate to maintain.
+fn certificate_entry(obj: &mut Vec<(String, Value)>, certificate: Option<&CertificateDelta>) {
+    if let Some(c) = certificate {
+        obj.push(("certificate".to_string(), Value::String(c.to_string())));
+    }
 }
 
 /// `status: degraded` response: the query could not be answered exactly
@@ -460,6 +478,7 @@ pub fn degraded_response(
     prefix: Prefix,
     markers: &[&str],
     stats: Option<&DeltaStats>,
+    certificate: Option<&CertificateDelta>,
 ) -> String {
     let mut obj = Vec::new();
     id_entry(&mut obj, id);
@@ -478,6 +497,30 @@ pub fn degraded_response(
     if let Some(s) = stats {
         obj.push(("stats".to_string(), delta_stats_value(s)));
     }
+    certificate_entry(&mut obj, certificate);
+    render(Value::Object(obj))
+}
+
+/// `status: ok` response for the `audit` control op: the full-world
+/// re-audit verdict, serving as both an operator probe and the ground
+/// truth the incremental certificate verdicts can be checked against.
+pub fn audit_response(
+    id: Option<u64>,
+    certified: bool,
+    errors: usize,
+    warnings: usize,
+    blockers: &[String],
+) -> String {
+    let mut obj = Vec::new();
+    id_entry(&mut obj, id);
+    obj.push(("status".to_string(), Value::String("ok".into())));
+    obj.push(("certified".to_string(), Value::Bool(certified)));
+    obj.push(("errors".to_string(), Value::UInt(errors as u64)));
+    obj.push(("warnings".to_string(), Value::UInt(warnings as u64)));
+    obj.push((
+        "blockers".to_string(),
+        Value::Array(blockers.iter().map(|b| Value::String(b.clone())).collect()),
+    ));
     render(Value::Object(obj))
 }
 

@@ -30,10 +30,10 @@
 
 use crate::admission::AdmissionQueue;
 use crate::protocol::{
-    degraded_response, error_response, ok_response, parse_request, query_error_response,
-    route_to_value, shed_response, Request,
+    audit_response, degraded_response, error_response, ok_response, parse_request,
+    query_error_response, route_to_value, shed_response, Request,
 };
-use ir_bgp::{Delta, RoutingUniverse, StepBudget, WhatIfEngine, WhatIfQuery};
+use ir_bgp::{CertificateDelta, Delta, RoutingUniverse, StepBudget, WhatIfEngine, WhatIfQuery};
 use ir_fault::{key2, CircuitBreaker, RetryPolicy, ServiceClock};
 use ir_types::Prefix;
 use serde_json::Value;
@@ -116,6 +116,12 @@ pub struct ServeStats {
     pub breaker_trips: u64,
     /// Deepest admission backlog observed.
     pub queue_high_water: u64,
+    /// Query edit sets the incremental delta auditor judged
+    /// certificate-preserving (free-order answer stayed licensed).
+    pub certificates_preserved: u64,
+    /// Query edit sets that revoked the certificate (the answer fell back
+    /// to wave-exact reconvergence on the fork).
+    pub certificates_revoked: u64,
 }
 
 #[derive(Default)]
@@ -129,6 +135,8 @@ struct Metrics {
     errors: AtomicU64,
     disconnects: AtomicU64,
     autosaves: AtomicU64,
+    certificates_preserved: AtomicU64,
+    certificates_revoked: AtomicU64,
 }
 
 /// One admitted query, queued for a worker.
@@ -255,6 +263,8 @@ impl Server {
             autosaves: m.autosaves.load(Ordering::Relaxed),
             breaker_trips: trips,
             queue_high_water: self.queue.high_water() as u64,
+            certificates_preserved: m.certificates_preserved.load(Ordering::Relaxed),
+            certificates_revoked: m.certificates_revoked.load(Ordering::Relaxed),
         }
     }
 
@@ -562,6 +572,20 @@ impl Server {
                 let _ = tx.send(stats_response(id, &self.stats(), self.queue.cap()));
                 false
             }
+            Request::Audit { id } => {
+                // Full re-audit of the resident world, inline like the
+                // other control ops: it bypasses admission so operators
+                // can probe safety even when the query queue is saturated.
+                let report = ir_audit::audit_world(engine.world());
+                let _ = tx.send(audit_response(
+                    id,
+                    report.certificate.certified,
+                    report.errors(),
+                    report.warnings(),
+                    &report.certificate.blockers,
+                ));
+                false
+            }
             Request::Save { id } => {
                 let response = if universe.is_none() || self.cfg.snapshot_path.is_none() {
                     self.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -606,9 +630,13 @@ impl Server {
         if job.cancel.load(Ordering::Relaxed) || job.deadline_ms.is_some_and(|d| now >= d) {
             self.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
             self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
-            let _ = job
-                .reply
-                .send(degraded_response(job.id, job.prefix, &["deadline"], None));
+            let _ = job.reply.send(degraded_response(
+                job.id,
+                job.prefix,
+                &["deadline"],
+                None,
+                None,
+            ));
             return;
         }
         // Quarantined prefixes answer degraded immediately. Only resident
@@ -628,9 +656,13 @@ impl Server {
                 .quarantine_refusals
                 .fetch_add(1, Ordering::Relaxed);
             self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
-            let _ = job
-                .reply
-                .send(degraded_response(job.id, job.prefix, &["quarantine"], None));
+            let _ = job.reply.send(degraded_response(
+                job.id,
+                job.prefix,
+                &["quarantine"],
+                None,
+                None,
+            ));
             return;
         }
         let activations = job
@@ -661,16 +693,43 @@ impl Server {
             Ok(answer) if answer.stats.deadline_aborted => {
                 self.metrics.deadline_aborts.fetch_add(1, Ordering::Relaxed);
                 self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                self.record_certificate(answer.certificate.as_ref());
                 self.breaker_failure(job.prefix);
-                degraded_response(job.id, job.prefix, &["deadline"], Some(&answer.stats))
+                degraded_response(
+                    job.id,
+                    job.prefix,
+                    &["deadline"],
+                    Some(&answer.stats),
+                    answer.certificate.as_ref(),
+                )
             }
             Ok(answer) => {
                 self.metrics.served.fetch_add(1, Ordering::Relaxed);
+                self.record_certificate(answer.certificate.as_ref());
                 self.breaker_success(job.prefix);
                 ok_response(job.id, &answer)
             }
         };
         let _ = job.reply.send(response);
+    }
+
+    /// Tallies the incremental delta auditor's verdict on an answered
+    /// query. `Unknown` (and no-certifier `None`) counts as neither: there
+    /// was no certificate decision to record.
+    fn record_certificate(&self, certificate: Option<&CertificateDelta>) {
+        match certificate {
+            Some(CertificateDelta::Preserved) => {
+                self.metrics
+                    .certificates_preserved
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Some(CertificateDelta::Revoked { .. }) => {
+                self.metrics
+                    .certificates_revoked
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Some(CertificateDelta::Unknown) | None => {}
+        }
     }
 
     fn breaker_failure(&self, prefix: Prefix) {
@@ -707,6 +766,8 @@ pub fn stats_response(id: Option<u64>, s: &ServeStats, queue_cap: usize) -> Stri
         ("breaker_trips", s.breaker_trips),
         ("queue_high_water", s.queue_high_water),
         ("queue_cap", queue_cap as u64),
+        ("certificates_preserved", s.certificates_preserved),
+        ("certificates_revoked", s.certificates_revoked),
     ] {
         obj.push((key.to_string(), Value::UInt(v)));
     }

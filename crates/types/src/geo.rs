@@ -58,10 +58,14 @@ impl Continent {
 
     /// Index into [`Continent::ALL`].
     pub fn index(self) -> usize {
-        Continent::ALL
-            .iter()
-            .position(|c| *c == self)
-            .expect("continent in ALL")
+        match self {
+            Continent::Africa => 0,
+            Continent::Asia => 1,
+            Continent::Europe => 2,
+            Continent::NorthAmerica => 3,
+            Continent::Oceania => 4,
+            Continent::SouthAmerica => 5,
+        }
     }
 }
 

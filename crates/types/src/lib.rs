@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Primitive vocabulary types shared by every crate in the workspace.
 //!
 //! This crate deliberately contains **no logic beyond the types themselves**:

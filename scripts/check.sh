@@ -17,14 +17,13 @@ run() {
 run cargo build "${OFFLINE[@]}" --release --workspace
 run cargo test "${OFFLINE[@]}" -q --workspace
 run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
-# Graceful-degradation gate: library code on the data and control paths
-# (ir-measure, ir-dataplane, ir-bgp, ir-topology, ir-audit,
-# ir-experiments) must not panic on malformed input. These crates deny
-# clippy::unwrap_used / clippy::expect_used on their lib targets (tests
-# are exempt via cfg_attr); this pass fails the build if a violation
-# slips in.
-run cargo clippy "${OFFLINE[@]}" -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
-    -p ir-audit -p ir-experiments -p ir-serve --lib -- -D warnings
+# Graceful-degradation gate: every workspace library must not panic on
+# malformed input. All lib targets deny clippy::unwrap_used /
+# clippy::expect_used (tests are exempt via cfg_attr); this pass fails
+# the build if a violation slips in.
+run cargo clippy "${OFFLINE[@]}" -p ir-types -p ir-fault -p ir-inference -p ir-core \
+    -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
+    -p ir-audit -p ir-experiments -p ir-serve -p ir-bench --lib -- -D warnings
 run cargo fmt --check
 # Engine-equivalence gate in release: the differential suites compare the
 # event-driven engine against the sweep oracle — and warm what-if answers
@@ -32,6 +31,13 @@ run cargo fmt --check
 # runs have missed wrapping/ordering bugs before).
 run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
     --test differential --test fault_differential --test whatif_differential
+# Certificate-maintenance gate (release): ≥1000 randomized (certified
+# world, delta batch) pairs must get the same verdict from the incremental
+# DeltaAuditor as from a full re-audit of the edited world, and certified
+# Free-order serving answers must stay route-for-route exact (ages
+# included) against cold WaveExact replay under both verdicts.
+run cargo test "${OFFLINE[@]}" --release -q -p ir-audit \
+    --test delta_audit_differential
 # Internet-scale smoke (release, ignored by default): a ≥50k-AS world must
 # converge a single prefix and a 1000-prefix universe slice inside the
 # compact storage's memory budget. Minutes on one core.
