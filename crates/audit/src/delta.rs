@@ -242,6 +242,16 @@ impl<'w> DeltaAuditor<'w> {
                         return CertificateDelta::Unknown;
                     }
                 }
+                Delta::Hijack { attacker, .. } => {
+                    // An adversarial origination is a routing event like
+                    // `Announce`: it changes which routes exist, never how
+                    // policy tiers rank, so the certificate is untouched.
+                    // Only the attacker must resolve — forged origins may
+                    // be arbitrary (even nonexistent) ASNs by design.
+                    if resolve(*attacker).is_none() {
+                        return CertificateDelta::Unknown;
+                    }
+                }
                 Delta::Withdraw => {}
             }
             // Origin-side selective-announce legality (IR-A008, an error
@@ -464,7 +474,10 @@ pub fn edited_world(world: &World, deltas: &[Delta]) -> World {
             }
             // Routing events and the engine-level poison filter leave the
             // world's policies and topology untouched.
-            Delta::PoisonFilter { .. } | Delta::Announce(_) | Delta::Withdraw => {}
+            Delta::PoisonFilter { .. }
+            | Delta::Announce(_)
+            | Delta::Withdraw
+            | Delta::Hijack { .. } => {}
         }
     }
     for (a, b) in net_down {

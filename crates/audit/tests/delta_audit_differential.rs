@@ -753,6 +753,157 @@ fn free_order_fork_downgrades_on_uncertified_preference_edit() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PolicyExtension-bearing worlds: serving exactness must survive a
+// DefensePlan installed on the resident sims — the configuration the
+// security scenario suite queries hijack deltas against.
+// ---------------------------------------------------------------------------
+
+/// Ground-truth origin pinning: reject any import whose claimed origin
+/// is not the prefix's registered owner. A local stand-in for the
+/// scenario suite's ROV (this crate cannot depend on `ir-scenarios`);
+/// what matters here is only that the extension actually rejects routes,
+/// so the defended base differs from the undefended one.
+struct OriginPin {
+    owners: BTreeMap<Prefix, Asn>,
+}
+
+impl ir_bgp::PolicyExtension for OriginPin {
+    fn name(&self) -> &'static str {
+        "origin-pin"
+    }
+
+    fn accept_import(&self, check: &ir_bgp::ExtensionCheck<'_>) -> bool {
+        match (self.owners.get(&check.prefix), check.origin_asn()) {
+            (Some(&owner), Some(origin)) => origin == owner,
+            _ => true,
+        }
+    }
+}
+
+/// [`cold_wave_exact`] with a [`DefensePlan`] installed before any event
+/// — the defended ground truth.
+fn cold_wave_exact_defended<'w>(
+    world: &'w World,
+    origin: Asn,
+    prefix: Prefix,
+    deltas: &[Delta],
+    defenses: std::sync::Arc<ir_bgp::DefensePlan>,
+) -> PrefixSim<'w> {
+    let mut cold = PrefixSim::with_context_ordered(
+        SimContext::shared(world),
+        prefix,
+        ActivationOrder::WaveExact,
+    );
+    cold.set_defenses(Some(defenses));
+    cold.announce(Announcement::plain(origin, prefix), Timestamp::ZERO);
+    for (i, d) in deltas.iter().enumerate() {
+        cold.apply_delta(d, Timestamp(60 * (i as u64 + 1)));
+    }
+    cold
+}
+
+#[test]
+fn defended_serving_answers_stay_exact_under_both_verdicts() {
+    use std::sync::Arc;
+
+    let mut preserved = 0usize;
+    let mut revoked = 0usize;
+    for seed in [3u64, 5] {
+        let world = GeneratorConfig::certifiably_safe().build(seed);
+        let report = audit_world(&world);
+        assert!(report.certificate.certified, "seed {seed} must certify");
+        let owners = prefix_owners(&world);
+        let prefixes: Vec<Prefix> = owners.keys().copied().take(2).collect();
+
+        // Partial adoption (every other AS) so both the extension path
+        // and the plain import path run inside every propagation.
+        let mut plan = ir_bgp::DefensePlan::for_world(&world);
+        if let Some(id) = plan.register(Arc::new(OriginPin {
+            owners: owners.clone(),
+        })) {
+            for x in (0..world.graph.len()).step_by(2) {
+                plan.adopt(x, id);
+            }
+        }
+        let plan = Arc::new(plan);
+
+        let mut engine = WhatIfEngine::with_order_defended(
+            &world,
+            &prefixes,
+            ActivationOrder::Free,
+            Some(Arc::clone(&plan)),
+        );
+        assert!(engine.base_converged());
+        engine.set_certifier(Box::new(DeltaAuditor::with_report(&world, report)));
+
+        let g = &world.graph;
+        let links = spread_links(&world, 16);
+        let mut rng = Rng::new(seed ^ 0x0D3F);
+        for batch in 0..45 {
+            let prefix = prefixes[rng.below(prefixes.len())];
+            let origin = owners[&prefix];
+            let len = 1 + rng.below(3);
+            // Mix adversarial originations into the usual policy/link
+            // edits: a hijack is exactly the delta class the defended
+            // configuration exists to serve.
+            let deltas: Vec<Delta> = (0..len)
+                .map(|_| {
+                    if rng.below(3) == 0 {
+                        let attacker = loop {
+                            let a = g.asn(rng.below(g.len()));
+                            if a != origin {
+                                break a;
+                            }
+                        };
+                        let stealth = rng.below(2) == 0;
+                        Delta::Hijack {
+                            attacker,
+                            forged_origin: if rng.below(2) == 0 {
+                                Some(origin)
+                            } else {
+                                None
+                            },
+                            poison: vec![],
+                            stealth,
+                        }
+                    } else {
+                        loop {
+                            let d = random_delta(&mut rng, &world, &links);
+                            if !matches!(d, Delta::SelectiveAnnounce { .. }) {
+                                break d;
+                            }
+                        }
+                    }
+                })
+                .collect();
+            let answer = engine
+                .query(&WhatIfQuery {
+                    prefix,
+                    deltas: deltas.clone(),
+                })
+                .expect("prefix resident");
+            assert!(answer.stats.converged);
+            let tag = format!("defended seed {seed} batch {batch}");
+            match answer
+                .certificate
+                .as_ref()
+                .expect("certifier attached: verdict must be present")
+            {
+                CertificateDelta::Preserved => preserved += 1,
+                CertificateDelta::Revoked { .. } => revoked += 1,
+                CertificateDelta::Unknown => panic!("{tag}: Unknown on certified base"),
+            }
+            // Exactness holds for BOTH verdicts, with the DefensePlan in
+            // force on both sides of the differential.
+            let cold = cold_wave_exact_defended(&world, origin, prefix, &deltas, Arc::clone(&plan));
+            assert_exact(&world, &engine, prefix, &answer.diffs, &cold, &tag);
+        }
+    }
+    assert!(preserved >= 8, "only {preserved} preserved answers");
+    assert!(revoked >= 8, "only {revoked} revoked answers");
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,147 @@
+//! Security scenario sweep benchmark: the Monte-Carlo adoption grid from
+//! `ir-scenarios` run on an internet-scale world, one sweep per defense
+//! (ROV, enforce-first-AS, peerlock-lite) over the attack ladder. Records
+//! sweep throughput (ms/cell), proves same-seed determinism by rendering
+//! each sweep twice and comparing bytes, and emits the per-(defense,
+//! attack, adoption) outcome-rate curves — the repo's canonical "what
+//! does partial adoption buy" artifact.
+//!
+//! Results land in `BENCH_hijack.json` at the repo root (validated by
+//! `tests/bench_schema.rs`). Run with `cargo bench --bench hijack`
+//! (release); `IR_BENCH_TARGET` overrides the world size (default 5000).
+
+use ir_bgp::ActivationOrder;
+use ir_scenarios::{run_sweep, sweep_to_csv, AttackKind, DefenseKind, SweepConfig, SweepRow};
+use ir_topology::GeneratorConfig;
+use std::time::Instant;
+
+const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+const TRIALS: usize = 5;
+
+fn attacks() -> Vec<AttackKind> {
+    vec![
+        AttackKind::OriginForgery,
+        AttackKind::SubprefixHijack,
+        AttackKind::ForgedOrigin {
+            stealth: true,
+            poison: vec![],
+        },
+    ]
+}
+
+struct DefenseResult {
+    defense: &'static str,
+    cells: usize,
+    sweep_ms: f64,
+    rows: Vec<SweepRow>,
+}
+
+fn mean_rates(rows: &[SweepRow], attack: &str, adoption: f64) -> (f64, f64, f64) {
+    let cells: Vec<&SweepRow> = rows
+        .iter()
+        .filter(|r| r.attack == attack && r.adoption == adoption)
+        .collect();
+    let n = cells.len().max(1) as f64;
+    (
+        cells.iter().map(|r| r.legit_rate()).sum::<f64>() / n,
+        cells.iter().map(|r| r.hijack_rate()).sum::<f64>() / n,
+        cells.iter().map(|r| r.disconnect_rate()).sum::<f64>() / n,
+    )
+}
+
+fn main() {
+    let seed = 7u64;
+    let target: usize = std::env::var("IR_BENCH_TARGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let t0 = Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "world: {} ASes {} links ({build_ms:.0} ms)",
+        world.graph.len(),
+        world.graph.link_count()
+    );
+
+    let mut deterministic = true;
+    let mut results = Vec::new();
+    for defense in [
+        DefenseKind::Rov,
+        DefenseKind::EnforceFirstAs,
+        DefenseKind::PeerlockLite,
+    ] {
+        let config = SweepConfig {
+            seed,
+            fractions: FRACTIONS.to_vec(),
+            trials: TRIALS,
+            attacks: attacks(),
+            defense,
+            order: ActivationOrder::WaveExact,
+        };
+        let t1 = Instant::now();
+        let rows = run_sweep(&world, &config);
+        let sweep_ms = t1.elapsed().as_secs_f64() * 1e3;
+        // Same-seed determinism: a second full run must render identical
+        // bytes, or the Monte-Carlo layer has a scheduling leak.
+        let same = sweep_to_csv(&rows) == sweep_to_csv(&run_sweep(&world, &config));
+        deterministic &= same;
+        println!(
+            "defense {:<16} {} cells in {sweep_ms:.0} ms ({:.1} ms/cell){}",
+            defense.name(),
+            rows.len(),
+            sweep_ms / rows.len().max(1) as f64,
+            if same { "" } else { "  (NON-DETERMINISTIC)" }
+        );
+        results.push(DefenseResult {
+            defense: defense.name(),
+            cells: rows.len(),
+            sweep_ms,
+            rows,
+        });
+    }
+    assert!(deterministic, "same-seed sweeps rendered different bytes");
+
+    let defense_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let curves: Vec<String> = attacks()
+                .iter()
+                .flat_map(|attack| {
+                    FRACTIONS.iter().map(move |&adoption| {
+                        let (legit, hijack, disconnect) =
+                            mean_rates(&r.rows, attack.name(), adoption);
+                        format!(
+                            "        {{ \"attack\": \"{}\", \"adoption\": {adoption}, \
+                             \"legit_rate\": {legit:.6}, \"hijack_rate\": {hijack:.6}, \
+                             \"disconnect_rate\": {disconnect:.6} }}",
+                            attack.name()
+                        )
+                    })
+                })
+                .collect();
+            format!(
+                "    {{\n      \"defense\": \"{}\",\n      \"cells\": {},\n      \
+                 \"sweep_ms\": {:.1},\n      \"ms_per_cell\": {:.2},\n      \
+                 \"curves\": [\n{}\n      ]\n    }}",
+                r.defense,
+                r.cells,
+                r.sweep_ms,
+                r.sweep_ms / r.cells.max(1) as f64,
+                curves.join(",\n")
+            )
+        })
+        .collect();
+    let total_cells: usize = results.iter().map(|r| r.cells).sum();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"target\": {target},\n  \"ases\": {},\n  \
+         \"links\": {},\n  \"build_ms\": {build_ms:.1},\n  \"cells\": {total_cells},\n  \
+         \"trials\": {TRIALS},\n  \"deterministic\": true,\n  \"defenses\": [\n{}\n  ]\n}}\n",
+        world.graph.len(),
+        world.graph.link_count(),
+        defense_json.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hijack.json");
+    std::fs::write(path, &json).expect("write BENCH_hijack.json");
+    println!("wrote {path}");
+}

@@ -109,6 +109,84 @@ fn scale_json_has_required_keys() {
 }
 
 #[test]
+fn hijack_json_has_required_keys() {
+    let v = load("BENCH_hijack.json");
+    assert!(number(&v, "seed") >= 0.0);
+    assert!(
+        number(&v, "target") >= 5_000.0,
+        "sweep must run at >= 5k ASes"
+    );
+    assert!(
+        number(&v, "ases") >= number(&v, "target"),
+        "world under-sized"
+    );
+    assert!(number(&v, "cells") >= 200.0, "need >= 200 cells total");
+    assert_eq!(
+        v.get("deterministic"),
+        Some(&Value::Bool(true)),
+        "same-seed sweeps must render identical bytes"
+    );
+    let defenses = v
+        .get("defenses")
+        .and_then(Value::as_array)
+        .expect("defenses array");
+    let names: Vec<&str> = defenses
+        .iter()
+        .map(|d| d.get("defense").and_then(Value::as_str).expect("name"))
+        .collect();
+    for want in ["rov", "enforce-first-as", "peerlock-lite"] {
+        assert!(names.contains(&want), "missing defense {want}");
+    }
+    for d in defenses {
+        assert!(number(d, "cells") > 0.0);
+        assert!(number(d, "ms_per_cell") > 0.0);
+        let curves = d
+            .get("curves")
+            .and_then(Value::as_array)
+            .expect("curves array");
+        assert!(curves.len() >= 10, "curves under-populated");
+        for c in curves {
+            let adoption = number(c, "adoption");
+            assert!((0.0..=1.0).contains(&adoption));
+            let rates: Vec<f64> = ["legit_rate", "hijack_rate", "disconnect_rate"]
+                .iter()
+                .map(|f| number(c, f))
+                .collect();
+            for &r in &rates {
+                assert!((0.0..=1.0).contains(&r), "rate out of range: {r}");
+            }
+            let total: f64 = rates.iter().sum();
+            // Each rate is rounded to 6 decimals by the writer, so the
+            // partition check tolerates the accumulated rounding.
+            assert!(
+                (total - 1.0).abs() < 1e-5,
+                "outcome rates must partition the world (sum {total})"
+            );
+        }
+        // The headline security claim: ROV at full adoption reduces the
+        // origin-forgery capture rate to (essentially) just the attacker.
+        if d.get("defense").and_then(Value::as_str) == Some("rov") {
+            let rate_at = |attack: &str, adoption: f64| {
+                curves
+                    .iter()
+                    .find(|c| {
+                        c.get("attack").and_then(Value::as_str) == Some(attack)
+                            && number(c, "adoption") == adoption
+                    })
+                    .map(|c| number(c, "hijack_rate"))
+                    .unwrap_or_else(|| panic!("no {attack} curve at {adoption}"))
+            };
+            let undefended = rate_at("origin-forgery", 0.0);
+            let full = rate_at("origin-forgery", 1.0);
+            assert!(
+                full < 0.01 && full < undefended,
+                "full ROV must blank origin forgery ({undefended} -> {full})"
+            );
+        }
+    }
+}
+
+#[test]
 fn whatif_json_has_required_keys() {
     let v = load("BENCH_whatif.json");
     assert!(number(&v, "seed") >= 0.0);

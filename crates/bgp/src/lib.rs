@@ -32,6 +32,7 @@
 
 mod compact;
 pub mod decision;
+pub mod extension;
 pub mod path;
 pub mod patharena;
 pub mod policy_eval;
@@ -44,12 +45,13 @@ pub mod whatif;
 mod worklist;
 
 pub use compact::MemoryBudget;
+pub use extension::{DefenseId, DefensePlan, ExtensionCheck, PolicyExtension, MAX_DEFENSES};
 pub use path::{AsPath, Segment};
 pub use patharena::{ArenaStats, PathArena, PathId};
 pub use route::Route;
 pub use sim::{
-    ActivationOrder, Announcement, Convergence, Delta, EngineStats, PrefixSim, PropagationEngine,
-    SimContext, StepBudget,
+    hijack_origination, ActivationOrder, Announcement, Convergence, Delta, EngineStats, PrefixSim,
+    PropagationEngine, SimContext, StepBudget,
 };
 pub use sweep::SweepSim;
 pub use universe::{snapshot_staging_path, RoutingUniverse, UniverseResilience};

@@ -320,6 +320,56 @@ impl PathArena {
         true
     }
 
+    /// The originating AS — the last *sequence* element, sets skipped,
+    /// mirroring [`AsPath::origin_as`]. What route-origin validation
+    /// (ROV-style [`crate::extension::PolicyExtension`]s) reads per import,
+    /// walked over interned cells with no allocation.
+    pub fn origin_as(&self, id: PathId) -> Option<Asn> {
+        let core = self.read();
+        let mut cur = id.0;
+        let mut last = None;
+        while cur != u32::MAX {
+            let c = &core.cells[cur as usize];
+            if c.meta & META_IS_SET == 0 {
+                last = Some(Asn(c.elem));
+            }
+            cur = c.tail;
+        }
+        last
+    }
+
+    /// The first (most recent) *sequence* AS on the path, mirroring
+    /// [`AsPath::first`] — what an enforce-first-AS import check compares
+    /// against the session peer.
+    pub fn first_as(&self, id: PathId) -> Option<Asn> {
+        let core = self.read();
+        let mut cur = id.0;
+        while cur != u32::MAX {
+            let c = &core.cells[cur as usize];
+            if c.meta & META_IS_SET == 0 {
+                return Some(Asn(c.elem));
+            }
+            cur = c.tail;
+        }
+        None
+    }
+
+    /// Whether any *sequence* ASN on the path satisfies `f` (set members
+    /// are measurement artifacts, not claimed transit) — the shape of the
+    /// peerlock check.
+    pub fn seq_any(&self, id: PathId, mut f: impl FnMut(Asn) -> bool) -> bool {
+        let core = self.read();
+        let mut cur = id.0;
+        while cur != u32::MAX {
+            let c = &core.cells[cur as usize];
+            if c.meta & META_IS_SET == 0 && f(Asn(c.elem)) {
+                return true;
+            }
+            cur = c.tail;
+        }
+        false
+    }
+
     /// Raw dump for snapshot serialization: every cell as `(is_set, elem,
     /// tail)` in id order, plus the interned set table. Together with
     /// [`PathArena::from_raw`] this round-trips the arena **preserving cell

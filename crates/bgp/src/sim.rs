@@ -47,6 +47,7 @@
 
 use crate::compact::{clamp_age, rel_of_tag, CompactRoute, MemoryBudget, RouteColumns};
 use crate::compact::{NO_CITY, NO_NODE, REL_NONE};
+use crate::extension::{DefensePlan, ExtensionCheck};
 use crate::path::AsPath;
 use crate::patharena::{PathArena, PathId};
 use crate::policy_eval::PolicyEngine;
@@ -91,6 +92,53 @@ impl Announcement {
     pub fn origination_path(&self) -> AsPath {
         AsPath::poisoned(self.origin, &self.poison)
     }
+}
+
+/// The AS path an attacker originates for a hijack.
+///
+/// * `forged_origin: None` — plain origin forgery: the attacker claims to
+///   originate the prefix itself (`[attacker]`); origin validation (ROV)
+///   catches this.
+/// * `forged_origin: Some(v)` — the path pretends `v` originated the
+///   prefix. Unless `stealth`, the attacker still appears as the first
+///   hop (`[attacker, v]`), the realistic forged-origin hijack that
+///   defeats origin validation. With `stealth`, the attacker omits itself
+///   entirely (`[v]`) — shorter and more attractive, but its first hop no
+///   longer matches the session peer, which is exactly what an
+///   enforce-first-AS import check detects.
+///
+/// `poison` wraps ASNs around the claimed origin in an AS-set sandwich,
+/// the same construction as a legitimate poisoned origination — so
+/// AS-set (poison) filters and BGP loop prevention apply to hijacks
+/// unchanged.
+pub fn hijack_origination(
+    attacker: Asn,
+    forged_origin: Option<Asn>,
+    poison: &[Asn],
+    stealth: bool,
+) -> AsPath {
+    match forged_origin {
+        Some(origin) => {
+            let base = AsPath::poisoned(origin, poison);
+            if stealth {
+                base
+            } else {
+                base.prepend(attacker)
+            }
+        }
+        None => AsPath::poisoned(attacker, poison),
+    }
+}
+
+/// One adversarial origination injected on top of the primary
+/// announcement — the engine-level state behind [`PrefixSim::hijack`]:
+/// the attacker originates the sim's prefix with a crafted interned path
+/// while the legitimate announcement stays up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExtraOrigin {
+    path: PathId,
+    path_len: u16,
+    at: Timestamp,
 }
 
 /// Result of running one event (announce/withdraw) to fixpoint.
@@ -648,6 +696,23 @@ pub enum Delta {
     Announce(Announcement),
     /// Withdraw the prefix.
     Withdraw,
+    /// Adversarial origination: `attacker` starts originating the sim's
+    /// prefix with a crafted path (see [`hijack_origination`]) while the
+    /// legitimate announcement stays up. Routing-event-side like
+    /// [`Delta::Announce`]: it changes which routes exist, not how policy
+    /// tiers rank, so it is certificate-neutral.
+    Hijack {
+        /// AS injecting the adversarial origination.
+        attacker: Asn,
+        /// Claimed origin (`None` = the attacker claims the prefix
+        /// itself — plain origin forgery).
+        forged_origin: Option<Asn>,
+        /// ASNs wrapped in an AS-set sandwich around the claimed origin.
+        poison: Vec<Asn>,
+        /// Omit the attacker from its own announcement (see
+        /// [`hijack_origination`]).
+        stealth: bool,
+    },
 }
 
 /// Per-sim policy edits layered over the world's ground truth: the
@@ -671,6 +736,61 @@ pub(crate) fn overlay_policy<'a>(
         Some(spec) => spec.as_ref(),
         None => world.policy(x),
     }
+}
+
+/// Import-side defense hook: whether `me` accepts path `path` from
+/// `peer`. `None` and empty plans short-circuit to accept — the
+/// undefended fast path, which keeps defense-free simulations
+/// bit-identical to their pre-extension behavior.
+fn defense_accepts_import(
+    defenses: Option<&DefensePlan>,
+    ctx: &SimContext<'_>,
+    me: NodeIdx,
+    peer: NodeIdx,
+    rel: Relationship,
+    prefix: Prefix,
+    path: PathId,
+) -> bool {
+    let Some(plan) = defenses else { return true };
+    if plan.is_empty() {
+        return true;
+    }
+    plan.accepts_import(&ExtensionCheck {
+        world: ctx.world,
+        arena: &ctx.arena,
+        me,
+        peer,
+        rel,
+        prefix,
+        path,
+    })
+}
+
+/// Export-side defense hook: whether `me` lets `path` (prepends included)
+/// out toward `peer`. Same fast-path contract as
+/// [`defense_accepts_import`].
+fn defense_allows_export(
+    defenses: Option<&DefensePlan>,
+    ctx: &SimContext<'_>,
+    me: NodeIdx,
+    peer: NodeIdx,
+    rel: Relationship,
+    prefix: Prefix,
+    path: PathId,
+) -> bool {
+    let Some(plan) = defenses else { return true };
+    if plan.is_empty() {
+        return true;
+    }
+    plan.allows_export(&ExtensionCheck {
+        world: ctx.world,
+        arena: &ctx.arena,
+        me,
+        peer,
+        rel,
+        prefix,
+        path,
+    })
 }
 
 /// Worklist scheduling discipline for [`PrefixSim`].
@@ -739,6 +859,13 @@ pub struct PrefixSim<'w> {
     /// ASes that drop imports whose path carries an AS-set (poisoned
     /// announcements). Empty unless faults are injected.
     poison_filters: BTreeSet<NodeIdx>,
+    /// Adversarial originations keyed by originating node — see
+    /// [`PrefixSim::hijack`]. Empty unless hijacks are injected.
+    extra_origins: BTreeMap<NodeIdx, ExtraOrigin>,
+    /// Per-AS defense extensions consulted on the import/export path —
+    /// see [`DefensePlan`]. `None` (the default) is the undefended fast
+    /// path.
+    defenses: Option<Arc<DefensePlan>>,
     /// Per-sim policy edits over the world's ground truth (see
     /// [`PolicyOverlay`]). Empty unless [`Delta`] policy edits applied.
     overlay: PolicyOverlay,
@@ -799,6 +926,8 @@ impl<'w> PrefixSim<'w> {
             rib,
             downed: BTreeSet::new(),
             poison_filters: BTreeSet::new(),
+            extra_origins: BTreeMap::new(),
+            defenses: None,
             overlay: PolicyOverlay::new(),
             clock: Timestamp::ZERO,
             stats: EngineStats::default(),
@@ -883,6 +1012,62 @@ impl<'w> PrefixSim<'w> {
         self.announcement = None;
         let seeds = [self.origin_idx.take(), None];
         self.run_event(seeds)
+    }
+
+    /// Injects an adversarial origination and runs to fixpoint: `attacker`
+    /// starts originating this sim's prefix with the crafted
+    /// [`hijack_origination`] path, competing with the legitimate
+    /// announcement (which stays up). The attacker's local route wins
+    /// locally like any origination, and the crafted path propagates
+    /// exactly like a real announcement — BGP loop prevention (the forged
+    /// origin never imports a path carrying its own ASN), poison filters,
+    /// and any installed [`DefensePlan`] apply unchanged. An unknown
+    /// attacker is a no-op; re-hijacking from the same attacker replaces
+    /// its previous crafted path.
+    pub fn hijack(
+        &mut self,
+        attacker: Asn,
+        forged_origin: Option<Asn>,
+        poison: &[Asn],
+        stealth: bool,
+        at: Timestamp,
+    ) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        self.clock = at;
+        let Some(idx) = self.ctx.world.graph.index_of(attacker) else {
+            return NO_OP_CONVERGENCE;
+        };
+        let path = hijack_origination(attacker, forged_origin, poison, stealth);
+        let origin = ExtraOrigin {
+            path: self.ctx.arena.intern(&path),
+            path_len: path.len() as u16,
+            at,
+        };
+        self.extra_origins.insert(idx, origin);
+        self.run_event([Some(idx), None])
+    }
+
+    /// Withdraws `attacker`'s adversarial origination
+    /// ([`PrefixSim::hijack`]); the graph reconverges back onto the
+    /// legitimate routes. No-op if the attacker is unknown or not
+    /// currently hijacking.
+    pub fn clear_hijack(&mut self, attacker: Asn, at: Timestamp) -> Convergence {
+        assert!(at >= self.clock, "time went backwards");
+        let Some(idx) = self.ctx.world.graph.index_of(attacker) else {
+            return NO_OP_CONVERGENCE;
+        };
+        if self.extra_origins.remove(&idx).is_none() {
+            return NO_OP_CONVERGENCE;
+        }
+        self.clock = at;
+        self.run_event([Some(idx), None])
+    }
+
+    /// Installs (or clears) the per-AS [`DefensePlan`] consulted on the
+    /// import/export path. Like [`PrefixSim::set_poison_filters`], takes
+    /// effect for subsequent events — install before announcing.
+    pub fn set_defenses(&mut self, defenses: Option<Arc<DefensePlan>>) {
+        self.defenses = defenses;
     }
 
     /// Takes the link between `a` and `b` down: every session over it (both
@@ -1050,6 +1235,12 @@ impl<'w> PrefixSim<'w> {
                 })
             }
             Delta::PoisonFilter { of, enabled } => self.poison_filter_edit(*of, *enabled, at),
+            Delta::Hijack {
+                attacker,
+                forged_origin,
+                poison,
+                stealth,
+            } => self.hijack(*attacker, *forged_origin, poison, *stealth, at),
         }
     }
 
@@ -1118,15 +1309,16 @@ impl<'w> PrefixSim<'w> {
             ctx,
             prefix,
             announcement,
+            origin_idx,
             best,
             rib,
             downed,
             poison_filters,
+            defenses,
             overlay,
             clock,
             ..
         } = self;
-        let ann = announcement.as_ref();
         let age = clamp_age(*clock);
         let policy_x = overlay_policy(ctx.world, overlay, x);
         let base = ctx.rib_base(x);
@@ -1138,7 +1330,24 @@ impl<'w> PrefixSim<'w> {
                     .as_ref()
                     .and_then(|b| {
                         let policy_peer = overlay_policy(ctx.world, overlay, peer);
+                        // `via` restrictions are the primary origin's alone.
+                        let ann = if *origin_idx == Some(peer) {
+                            announcement.as_ref()
+                        } else {
+                            None
+                        };
                         ctx.export_compact(peer, policy_peer, x, s, b, *prefix, ann)
+                    })
+                    .filter(|&p| {
+                        defense_allows_export(
+                            defenses.as_deref(),
+                            ctx,
+                            peer,
+                            x,
+                            s.rel.reverse(),
+                            *prefix,
+                            p,
+                        )
                     })
                     .and_then(|p| {
                         imports += 1;
@@ -1146,6 +1355,17 @@ impl<'w> PrefixSim<'w> {
                             && poison_filters.contains(&x)
                             && ctx.arena.has_set(p)
                         {
+                            return None;
+                        }
+                        if !defense_accepts_import(
+                            defenses.as_deref(),
+                            ctx,
+                            x,
+                            peer,
+                            s.rel,
+                            *prefix,
+                            p,
+                        ) {
                             return None;
                         }
                         ctx.engine.import_compact(
@@ -1221,19 +1441,26 @@ impl<'w> PrefixSim<'w> {
             ctx,
             prefix,
             announcement,
+            origin_idx,
             best,
             rib,
             poison_filters,
+            defenses,
             overlay,
             clock,
             ..
         } = self;
-        let ann = announcement.as_ref();
         let age = clamp_age(*clock);
         for (x, l) in [(key.0, key.1), (key.1, key.0)] {
             let best_x = best.get(x);
             let policy_x = overlay_policy(ctx.world, overlay, x);
             let policy_l = overlay_policy(ctx.world, overlay, l);
+            // `via` restrictions are the primary origin's alone.
+            let ann = if *origin_idx == Some(x) {
+                announcement.as_ref()
+            } else {
+                None
+            };
             let base = ctx.rib_base(l);
             for (si, s) in ctx.sessions(l).iter().enumerate() {
                 if s.peer != x {
@@ -1242,12 +1469,34 @@ impl<'w> PrefixSim<'w> {
                 let imported = best_x
                     .as_ref()
                     .and_then(|b| ctx.export_compact(x, policy_x, l, s, b, *prefix, ann))
+                    .filter(|&p| {
+                        defense_allows_export(
+                            defenses.as_deref(),
+                            ctx,
+                            x,
+                            l,
+                            s.rel.reverse(),
+                            *prefix,
+                            p,
+                        )
+                    })
                     .and_then(|p| {
                         imports += 1;
                         if !poison_filters.is_empty()
                             && poison_filters.contains(&l)
                             && ctx.arena.has_set(p)
                         {
+                            return None;
+                        }
+                        if !defense_accepts_import(
+                            defenses.as_deref(),
+                            ctx,
+                            l,
+                            x,
+                            s.rel,
+                            *prefix,
+                            p,
+                        ) {
                             return None;
                         }
                         ctx.engine.import_compact(
@@ -1282,6 +1531,13 @@ impl<'w> PrefixSim<'w> {
                     self.announce_time,
                 ));
             }
+        }
+        if let Some(e) = self.extra_origins.get(&x) {
+            cands.push(Route::originate(
+                self.prefix,
+                self.ctx.arena.materialize(e.path),
+                e.at,
+            ));
         }
         let base = self.ctx.rib_base(x);
         for si in 0..self.ctx.sessions(x).len() {
@@ -1442,8 +1698,27 @@ impl<'w> PrefixSim<'w> {
             _ => None,
         };
         let graph = &self.ctx.world.graph;
-        let base = self.ctx.rib_base(x);
         let mut best = origination;
+        if !self.extra_origins.is_empty() {
+            if let Some(e) = self.extra_origins.get(&x) {
+                let cand = CompactRoute {
+                    path: e.path,
+                    path_len: e.path_len,
+                    learned_from: NO_NODE,
+                    city: NO_CITY,
+                    rel: REL_NONE,
+                    local_pref: i32::MAX,
+                    igp_cost: 0,
+                    age: clamp_age(e.at),
+                };
+                best = match best {
+                    Some(b) if compare_compact(graph, &cand, &b).is_lt() => Some(cand),
+                    None => Some(cand),
+                    keep => keep,
+                };
+            }
+        }
+        let base = self.ctx.rib_base(x);
         for si in 0..self.ctx.sessions(x).len() {
             if let Some(r) = self.rib.get(base + si) {
                 best = match best {
@@ -1475,16 +1750,25 @@ impl<'w> PrefixSim<'w> {
             prefix,
             order,
             announcement,
+            origin_idx,
             best,
             rib,
             downed,
             poison_filters,
+            defenses,
             overlay,
             clock,
             ..
         } = self;
         let free = *order == ActivationOrder::Free;
-        let ann = announcement.as_ref();
+        // The announcement's export restrictions (`via`) belong to the
+        // primary origin alone: an adversarial extra origination exports
+        // to all neighbors.
+        let ann = if *origin_idx == Some(x) {
+            announcement.as_ref()
+        } else {
+            None
+        };
         let best_x = best.get(x);
         let policy_x = overlay_policy(ctx.world, overlay, x);
         let age = clamp_age(*clock);
@@ -1497,6 +1781,17 @@ impl<'w> PrefixSim<'w> {
                 best_x
                     .as_ref()
                     .and_then(|b| ctx.export_compact(x, policy_x, l, s, b, *prefix, ann))
+                    .filter(|&p| {
+                        defense_allows_export(
+                            defenses.as_deref(),
+                            ctx,
+                            x,
+                            l,
+                            s.rel.reverse(),
+                            *prefix,
+                            p,
+                        )
+                    })
             } else {
                 None
             };
@@ -1518,6 +1813,9 @@ impl<'w> PrefixSim<'w> {
                 // (AS-set-carrying) announcements outright, §5.
                 if !poison_filters.is_empty() && poison_filters.contains(&l) && ctx.arena.has_set(p)
                 {
+                    return None;
+                }
+                if !defense_accepts_import(defenses.as_deref(), ctx, l, x, s.rel, *prefix, p) {
                     return None;
                 }
                 ctx.engine.import_compact(
@@ -1627,6 +1925,8 @@ impl<'w> PrefixSim<'w> {
             rib: self.rib.clone(),
             downed: self.downed.clone(),
             poison_filters: self.poison_filters.clone(),
+            extra_origins: self.extra_origins.clone(),
+            defenses: self.defenses.clone(),
             overlay: self.overlay.clone(),
             clock: self.clock,
             stats: EngineStats::default(),

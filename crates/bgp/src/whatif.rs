@@ -23,6 +23,7 @@
 //! (session CSR + policy engine + arena), which is what keeps the
 //! per-query setup allocation-light.
 
+use crate::extension::DefensePlan;
 use crate::route::Route;
 use crate::sim::{
     ActivationOrder, Announcement, Convergence, Delta, PrefixSim, ShapeTable, SimContext,
@@ -267,6 +268,22 @@ impl<'w> WhatIfEngine<'w> {
         prefixes: &[Prefix],
         order: ActivationOrder,
     ) -> WhatIfEngine<'w> {
+        Self::with_order_defended(world, prefixes, order, None)
+    }
+
+    /// [`WhatIfEngine::with_order`] with a [`DefensePlan`] installed on
+    /// every resident sim *before* the base convergence, so both the base
+    /// routes and every forked query answer honor the plan's extensions —
+    /// what the security scenario suite queries hijack deltas against.
+    /// `None` is exactly [`WhatIfEngine::with_order`]. (The
+    /// [`WhatIfEngine::from_universe`] path stays undefended: universe
+    /// snapshots are computed without extensions.)
+    pub fn with_order_defended(
+        world: &'w World,
+        prefixes: &[Prefix],
+        order: ActivationOrder,
+        defenses: Option<Arc<DefensePlan>>,
+    ) -> WhatIfEngine<'w> {
         let owners = prefix_owners(world);
         let ctx = SimContext::shared(world);
         let groups = shape_groups(world, prefixes, &owners, true);
@@ -275,6 +292,7 @@ impl<'w> WhatIfEngine<'w> {
             .map(|(origin, members)| {
                 let rep = members[0];
                 let mut sim = PrefixSim::with_context_ordered(ctx.fork(), rep, order);
+                sim.set_defenses(defenses.clone());
                 let conv = sim.announce(Announcement::plain(*origin, rep), Timestamp::ZERO);
                 (
                     ShapeState {
@@ -534,6 +552,9 @@ impl<'w> WhatIfEngine<'w> {
                     check(*of)?;
                 }
                 Delta::Announce(ann) => check(ann.origin)?,
+                // Only the attacker must exist; a forged origin may be any
+                // ASN — attackers forge nonexistent origins too.
+                Delta::Hijack { attacker, .. } => check(*attacker)?,
                 Delta::Withdraw => {}
             }
         }

@@ -23,6 +23,13 @@
 //! and a policy edit both warm (copy-on-write fork + seeded
 //! reconvergence) and cold (fresh convergence), printing the speedup, the
 //! touched-AS fraction, and the retention counters. Run it in release.
+//!
+//! `diag hijack [target-ases] [seed]` runs the security scenario sweep on
+//! an internet-scale world: a 200-cell Monte-Carlo grid (adoption
+//! fraction × attack × trial) of ROV against origin-forgery and
+//! subprefix hijacks, printing per-fraction outcome rates and proving
+//! same-seed determinism by rendering the sweep twice and comparing
+//! bytes. Run it in release.
 
 use ir_experiments::{scenario::ScenarioConfig, Scenario};
 use ir_fault::FaultConfig;
@@ -215,6 +222,100 @@ fn whatif_diag(target: usize, seed: u64) {
         degraded.stats.deadline_aborted,
         degraded.diffs.len()
     );
+}
+
+/// Security scenario sweep diagnostic: grid ROV adoption against the
+/// attack ladder on an internet-scale world and prove the sweep's
+/// same-seed determinism (rayon scheduling must never leak into output).
+/// Run it in release.
+fn hijack_diag(target: usize, seed: u64) {
+    use ir_bgp::ActivationOrder;
+    use ir_scenarios::{
+        run_sweep, sweep_to_csv, sweep_to_json, AttackKind, DefenseKind, SweepConfig,
+    };
+    use ir_topology::GeneratorConfig;
+
+    let t0 = std::time::Instant::now();
+    let world = GeneratorConfig::internet_scale_sized(target).build(seed);
+    println!(
+        "build: {:.1?} | world: {} ASes {} links",
+        t0.elapsed(),
+        world.graph.len(),
+        world.graph.link_count()
+    );
+
+    let config = SweepConfig {
+        seed,
+        fractions: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        trials: 20,
+        attacks: vec![AttackKind::OriginForgery, AttackKind::SubprefixHijack],
+        defense: DefenseKind::Rov,
+        order: ActivationOrder::WaveExact,
+    };
+    println!(
+        "sweep: {} cells ({} fractions x {} attacks x {} trials), defense {}",
+        config.cells(),
+        config.fractions.len(),
+        config.attacks.len(),
+        config.trials,
+        config.defense.name()
+    );
+
+    let t1 = std::time::Instant::now();
+    let rows = run_sweep(&world, &config);
+    let dt = t1.elapsed();
+    let csv = sweep_to_csv(&rows);
+    let json = sweep_to_json(&rows);
+    println!(
+        "swept {} cells in {:.1?} ({:.1} ms/cell) | {} CSV bytes, {} JSON bytes",
+        rows.len(),
+        dt,
+        dt.as_secs_f64() * 1e3 / rows.len().max(1) as f64,
+        csv.len(),
+        json.len()
+    );
+
+    // Same-seed determinism across two full runs: the acceptance gate for
+    // the Monte-Carlo layer. Cells are planned sequentially and carry
+    // their own derived generators, so rayon scheduling cannot reorder or
+    // reshuffle anything observable.
+    let t2 = std::time::Instant::now();
+    let again = sweep_to_csv(&run_sweep(&world, &config));
+    assert_eq!(
+        csv, again,
+        "same-seed sweep runs rendered different CSV bytes"
+    );
+    println!(
+        "determinism: second same-seed run byte-identical ({:.1?})",
+        t2.elapsed()
+    );
+
+    // Per-(attack, fraction) mean rates — the adoption curve the sweep
+    // exists to draw.
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>12}",
+        "attack", "adoption", "legit", "hijacked", "disconnected"
+    );
+    for attack in &config.attacks {
+        for &f in &config.fractions {
+            let cells: Vec<_> = rows
+                .iter()
+                .filter(|r| r.attack == attack.name() && r.adoption == f)
+                .collect();
+            let n = cells.len().max(1) as f64;
+            let mean = |get: &dyn Fn(&ir_scenarios::SweepRow) -> f64| {
+                cells.iter().map(|r| get(r)).sum::<f64>() / n
+            };
+            println!(
+                "{:<16} {:>8.0}% {:>11.1}% {:>11.1}% {:>11.1}%",
+                attack.name(),
+                f * 100.0,
+                mean(&|r| r.legit_rate()) * 100.0,
+                mean(&|r| r.hijack_rate()) * 100.0,
+                mean(&|r| r.disconnect_rate()) * 100.0
+            );
+        }
+    }
 }
 
 /// Incremental certificate-maintenance diagnostic: on an internet-scale
@@ -452,6 +553,18 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
         audit_delta_diag(target, seed);
+        return;
+    }
+    if scale == "hijack" {
+        let target = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5_000);
+        let seed = std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        hijack_diag(target, seed);
         return;
     }
     if scale == "whatif" {

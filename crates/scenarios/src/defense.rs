@@ -1,0 +1,134 @@
+//! Defense policies as engine [`PolicyExtension`]s.
+//!
+//! Each defense is a stateless import-side predicate the engine consults
+//! for adopting ASes only (see [`ir_bgp::DefensePlan`]). They model the
+//! three deployable mitigations the hijack literature keeps returning
+//! to, each catching a different rung of the attacker-sophistication
+//! ladder built into [`ir_bgp::hijack_origination`]:
+//!
+//! * [`Rov`] — route-origin validation: drops paths whose claimed origin
+//!   is [`RouteOriginVerdict::Invalid`] against the ROA registry.
+//!   Catches plain origin forgery (`[attacker]`) and subprefix hijacks
+//!   (length past `max_len`), but not forged-origin paths.
+//! * [`EnforceFirstAs`] — requires the first AS on a received path to be
+//!   the session peer. Catches the *stealth* forged-origin hijack
+//!   (`[victim]` sent by the attacker) at the attacker's own neighbors,
+//!   where the forged path's first hop cannot match the session.
+//! * [`PeerlockLite`] — the route-server-era heuristic: never accept a
+//!   path that crosses a protected backbone AS from anyone but a
+//!   provider (or the protected AS itself). Protected networks are
+//!   bought from, not heard *through* peers and customers.
+
+use crate::roa::{RoaRegistry, RouteOriginVerdict};
+use ir_bgp::{ExtensionCheck, PolicyExtension};
+use ir_topology::{AsRole, World};
+use ir_types::{Asn, Relationship};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Route-origin validation against a [`RoaRegistry`].
+///
+/// Only `Invalid` is dropped: `NotFound` (unsigned space) is accepted,
+/// matching deployed ROV.
+#[derive(Debug, Clone)]
+pub struct Rov {
+    registry: Arc<RoaRegistry>,
+}
+
+impl Rov {
+    /// ROV against `registry`.
+    pub fn new(registry: Arc<RoaRegistry>) -> Rov {
+        Rov { registry }
+    }
+}
+
+impl PolicyExtension for Rov {
+    fn name(&self) -> &'static str {
+        "rov"
+    }
+
+    fn accept_import(&self, check: &ExtensionCheck<'_>) -> bool {
+        match check.origin_asn() {
+            Some(origin) => !matches!(
+                self.registry.validate(check.prefix, origin),
+                RouteOriginVerdict::Invalid
+            ),
+            // No sequence origin (pure AS-set path): nothing to validate.
+            None => true,
+        }
+    }
+}
+
+/// Require the first AS of a received path to be the session peer
+/// (RFC 4271 §6.3 `enforce-first-as`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnforceFirstAs;
+
+impl PolicyExtension for EnforceFirstAs {
+    fn name(&self) -> &'static str {
+        "enforce-first-as"
+    }
+
+    fn accept_import(&self, check: &ExtensionCheck<'_>) -> bool {
+        check.first_asn() == Some(check.peer_asn())
+    }
+}
+
+/// Peerlock-lite: drop paths containing a protected (backbone) ASN
+/// unless learned from a provider or from the protected AS itself.
+#[derive(Debug, Clone)]
+pub struct PeerlockLite {
+    protected: BTreeSet<Asn>,
+}
+
+impl PeerlockLite {
+    /// Protect an explicit AS set.
+    pub fn new(protected: BTreeSet<Asn>) -> PeerlockLite {
+        PeerlockLite { protected }
+    }
+
+    /// Protect the `k` transit ASes with the largest customer cones —
+    /// the synthetic world's stand-in for the tier-1 clique operators
+    /// actually peerlock.
+    pub fn top_transit(world: &World, k: usize) -> PeerlockLite {
+        let mut transits: Vec<(usize, Asn)> = world
+            .graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role == AsRole::Transit)
+            .map(|(i, n)| (world.graph.customer_cone_size(i), n.asn))
+            .collect();
+        // Largest cone first; ASN breaks ties deterministically.
+        transits.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        PeerlockLite {
+            protected: transits.into_iter().take(k).map(|(_, a)| a).collect(),
+        }
+    }
+
+    /// The protected AS set.
+    pub fn protected(&self) -> &BTreeSet<Asn> {
+        &self.protected
+    }
+}
+
+impl PolicyExtension for PeerlockLite {
+    fn name(&self) -> &'static str {
+        "peerlock-lite"
+    }
+
+    fn accept_import(&self, check: &ExtensionCheck<'_>) -> bool {
+        // Providers legitimately carry backbone paths downhill.
+        if check.rel == Relationship::Provider {
+            return true;
+        }
+        let peer = check.peer_asn();
+        // The protected AS may of course announce paths through itself.
+        // Deployed peerlock filters are as-path regexes: any occurrence of
+        // the protected ASN matters, AS-set members included — which is
+        // what lets the filter catch poison-wrapped forgeries too.
+        check
+            .arena
+            .asns_all(check.path, |a| a == peer || !self.protected.contains(&a))
+    }
+}

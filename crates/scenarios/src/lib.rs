@@ -1,0 +1,47 @@
+#![forbid(unsafe_code)]
+// Scenario library code must degrade gracefully, never panic on data:
+// unwrap/expect are denied outside tests (gate enforced by
+// scripts/check.sh).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! Security scenario suite over the policy simulator.
+//!
+//! The paper measures which routing policies ASes run *in the wild*; this
+//! crate asks the security dual: **what do those policies — and the
+//! defenses operators could add — actually block?** It packages three
+//! pieces on top of `ir-bgp`'s event-driven engine:
+//!
+//! * [`scenario`] — hijack attack scenarios: plain origin forgery,
+//!   subprefix hijack (classified through the longest-prefix-match
+//!   forwarding semantics of [`ir_dataplane::OriginTable`]), and
+//!   forged-origin hijacks reusing the engine's poisoning/AS-set
+//!   machinery. Outcomes are per-AS: does its forwarding walk end at the
+//!   legitimate origin, at the attacker, or nowhere?
+//! * [`roa`] + [`defense`] — a synthetic route-origin-authorization
+//!   registry derived from the generator's ground truth, and three
+//!   [`ir_bgp::PolicyExtension`] implementations evaluated in the
+//!   engine's import path: ROV ([`defense::Rov`]), first-AS enforcement
+//!   ([`defense::EnforceFirstAs`]), and peerlock-lite
+//!   ([`defense::PeerlockLite`]).
+//! * [`sweep`] — a deterministic Monte-Carlo adoption sweep: sample
+//!   attacker/victim pairs and adopter sets per (adoption fraction,
+//!   attack, trial) cell, run each cell's scenario, and report
+//!   legitimate/hijacked/disconnected rates as CSV or JSON. The same
+//!   seed yields byte-identical output whether cells run sequentially
+//!   or under rayon.
+//!
+//! Everything here is differentially tested against cold engine
+//! convergence (see `tests/hijack_differential.rs`): scenarios are sugar
+//! over the engine, never a second implementation of it.
+
+pub mod defense;
+pub mod roa;
+pub mod scenario;
+pub mod sweep;
+
+pub use defense::{EnforceFirstAs, PeerlockLite, Rov};
+pub use roa::{Roa, RoaRegistry, RouteOriginVerdict};
+pub use scenario::{AsOutcome, AttackKind, HijackScenario, ScenarioOutcome, ScenarioRun};
+pub use sweep::{
+    plan_cells, run_sweep, run_sweep_sequential, sweep_to_csv, sweep_to_json, DefenseKind,
+    SweepCell, SweepConfig, SweepRow,
+};

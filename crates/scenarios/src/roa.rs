@@ -1,0 +1,229 @@
+//! Synthetic route-origin authorizations (ROAs).
+//!
+//! Real ROV deployments validate announcements against RPKI ROAs; the
+//! synthetic worlds have perfect ground truth instead — every prefix's
+//! legitimate origin is recorded on its [`ir_topology::AsNode`]. A
+//! [`RoaRegistry`] derived with [`RoaRegistry::from_world`] is therefore
+//! the "everyone signed a ROA" ideal: one ROA per ground-truth
+//! origination with `max_len` pinned to the announced length, so any
+//! origin forgery *and* any more-specific (subprefix) announcement under
+//! a covered prefix validates as [`RouteOriginVerdict::Invalid`].
+//!
+//! Lookup follows RFC 6811 semantics: a route is `Valid` if some
+//! covering ROA authorizes its origin at its length, `Invalid` if
+//! covering ROAs exist but none match, and `NotFound` when no ROA covers
+//! it at all. ROV as deployed treats `NotFound` like `Valid` (dropping
+//! unsigned space would break the Internet), and [`crate::Rov`] does the
+//! same.
+
+use ir_topology::World;
+use ir_types::{Asn, Prefix};
+
+/// One route-origin authorization: `origin` may announce `prefix` and
+/// more-specifics down to `max_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Roa {
+    /// Covered prefix.
+    pub prefix: Prefix,
+    /// Authorized origin AS.
+    pub origin: Asn,
+    /// Longest announcement length the ROA authorizes.
+    pub max_len: u8,
+}
+
+/// RFC 6811 route-origin validation result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOriginVerdict {
+    /// A covering ROA authorizes this origin at this length.
+    Valid,
+    /// Covering ROAs exist but none authorizes this (origin, length).
+    Invalid,
+    /// No ROA covers the prefix.
+    NotFound,
+}
+
+/// A validated-ROA set with indexed covering-ROA lookup.
+///
+/// Entries are kept sorted by (base address, length); like the
+/// data-plane's LPM table, a query walks backward from the first entry
+/// past the queried base, bounded by the shortest ROA length present —
+/// so validation is a binary search plus a short scan, cheap enough for
+/// the engine's import hot path.
+#[derive(Debug, Clone, Default)]
+pub struct RoaRegistry {
+    roas: Vec<Roa>,
+    /// Shortest covered prefix length — bounds the backward walk.
+    min_len: u8,
+}
+
+impl RoaRegistry {
+    /// Builds a registry from explicit ROAs (tests, partial-deployment
+    /// studies).
+    pub fn new(mut roas: Vec<Roa>) -> RoaRegistry {
+        roas.sort_unstable_by_key(|r| (r.prefix.base.0, r.prefix.len, r.origin.0, r.max_len));
+        roas.dedup();
+        let min_len = roas.iter().map(|r| r.prefix.len).min().unwrap_or(32);
+        RoaRegistry { roas, min_len }
+    }
+
+    /// The full-deployment registry: one ROA per ground-truth origination
+    /// in `world`, `max_len` pinned to the announced length.
+    pub fn from_world(world: &World) -> RoaRegistry {
+        let roas = world
+            .graph
+            .nodes()
+            .iter()
+            .flat_map(|node| {
+                node.prefixes.iter().map(|&prefix| Roa {
+                    prefix,
+                    origin: node.asn,
+                    max_len: prefix.len,
+                })
+            })
+            .collect();
+        RoaRegistry::new(roas)
+    }
+
+    /// Validates an announcement of `prefix` by `origin` (RFC 6811).
+    pub fn validate(&self, prefix: Prefix, origin: Asn) -> RouteOriginVerdict {
+        if self.roas.is_empty() {
+            return RouteOriginVerdict::NotFound;
+        }
+        // Any covering ROA has its base in [prefix.base & mask(min_len),
+        // prefix.base]; entries are sorted by base, so walk backward from
+        // the first entry past the base until bases drop below the floor.
+        let floor = prefix.base.0 & Prefix::mask(self.min_len);
+        let pos = self
+            .roas
+            .partition_point(|r| r.prefix.base.0 <= prefix.base.0);
+        let mut covered = false;
+        for r in self.roas[..pos].iter().rev() {
+            if r.prefix.base.0 < floor {
+                break;
+            }
+            if !r.prefix.covers(&prefix) {
+                continue;
+            }
+            covered = true;
+            if r.origin == origin && prefix.len <= r.max_len {
+                return RouteOriginVerdict::Valid;
+            }
+        }
+        if covered {
+            RouteOriginVerdict::Invalid
+        } else {
+            RouteOriginVerdict::NotFound
+        }
+    }
+
+    /// Number of ROAs.
+    pub fn len(&self) -> usize {
+        self.roas.len()
+    }
+
+    /// Whether the registry holds no ROAs.
+    pub fn is_empty(&self) -> bool {
+        self.roas.is_empty()
+    }
+
+    /// The ROAs, sorted by (base, length, origin).
+    pub fn roas(&self) -> &[Roa] {
+        &self.roas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn registry() -> RoaRegistry {
+        RoaRegistry::new(vec![
+            Roa {
+                prefix: p("10.1.0.0/16"),
+                origin: Asn(100),
+                max_len: 16,
+            },
+            Roa {
+                prefix: p("10.2.0.0/16"),
+                origin: Asn(200),
+                max_len: 24,
+            },
+        ])
+    }
+
+    #[test]
+    fn exact_match_is_valid() {
+        let r = registry();
+        assert_eq!(
+            r.validate(p("10.1.0.0/16"), Asn(100)),
+            RouteOriginVerdict::Valid
+        );
+    }
+
+    #[test]
+    fn origin_forgery_is_invalid() {
+        let r = registry();
+        assert_eq!(
+            r.validate(p("10.1.0.0/16"), Asn(666)),
+            RouteOriginVerdict::Invalid
+        );
+    }
+
+    #[test]
+    fn subprefix_past_max_len_is_invalid_even_for_right_origin() {
+        let r = registry();
+        assert_eq!(
+            r.validate(p("10.1.2.0/24"), Asn(100)),
+            RouteOriginVerdict::Invalid
+        );
+        // ...but allowed where max_len authorizes more-specifics.
+        assert_eq!(
+            r.validate(p("10.2.2.0/24"), Asn(200)),
+            RouteOriginVerdict::Valid
+        );
+    }
+
+    #[test]
+    fn uncovered_space_is_not_found() {
+        let r = registry();
+        assert_eq!(
+            r.validate(p("192.0.2.0/24"), Asn(100)),
+            RouteOriginVerdict::NotFound
+        );
+        assert_eq!(
+            RoaRegistry::default().validate(p("10.1.0.0/16"), Asn(100)),
+            RouteOriginVerdict::NotFound
+        );
+    }
+
+    #[test]
+    fn covering_walk_finds_shorter_roas() {
+        // A /8 ROA covering everything below, plus an unrelated /16 —
+        // the backward walk must skip the non-covering /16 and still
+        // reach the /8.
+        let r = RoaRegistry::new(vec![
+            Roa {
+                prefix: p("10.0.0.0/8"),
+                origin: Asn(7),
+                max_len: 8,
+            },
+            Roa {
+                prefix: p("10.3.0.0/16"),
+                origin: Asn(300),
+                max_len: 16,
+            },
+        ]);
+        assert_eq!(
+            r.validate(p("10.9.0.0/16"), Asn(7)),
+            RouteOriginVerdict::Invalid
+        );
+        assert_eq!(
+            r.validate(p("10.0.0.0/8"), Asn(7)),
+            RouteOriginVerdict::Valid
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Hijack attack scenarios and per-AS outcome classification.
+//!
+//! A [`HijackScenario`] is one attack drawn from the standard ladder —
+//! plain origin forgery, subprefix hijack, forged-origin hijack (with
+//! optional stealth and AS-set poisoning) — run against a world with an
+//! optional [`DefensePlan`] installed. [`HijackScenario::run`] converges
+//! the legitimate announcement, launches the attack through the engine's
+//! [`PrefixSim::hijack`] event, and classifies every AS by walking its
+//! *forwarding* chain for a probe address inside the attacked space:
+//! control-plane route tables per prefix, data-plane longest-prefix
+//! match across them (via [`OriginTable`], the same index the traceroute
+//! pipeline uses). That distinction is what makes subprefix hijacks
+//! devastating: an AS can hold a perfectly legitimate route for the
+//! covering prefix and still forward the probe into the attacker's
+//! more-specific.
+
+use ir_bgp::{ActivationOrder, Announcement, DefensePlan, Delta, PrefixSim, SimContext};
+use ir_dataplane::OriginTable;
+use ir_topology::graph::NodeIdx;
+use ir_types::{Asn, Prefix, Timestamp};
+use std::sync::Arc;
+
+/// When the legitimate announcement goes up.
+pub const T_ANNOUNCE: Timestamp = Timestamp::ZERO;
+/// When the attack launches (after legitimate convergence).
+pub const T_ATTACK: Timestamp = Timestamp::from_minutes(1);
+
+/// The attack ladder, least to most sophisticated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The attacker originates the victim's exact prefix itself
+    /// (`[attacker]`). ROV classifies it Invalid.
+    OriginForgery,
+    /// The attacker originates a more-specific of the victim's prefix
+    /// (one bit longer). Forwarding prefers it wherever it propagates,
+    /// even at ASes still holding the legitimate covering route.
+    SubprefixHijack,
+    /// The attacker forges the victim as origin (`[attacker, victim]`,
+    /// or `[victim]` with `stealth`), optionally wrapping `poison` ASNs
+    /// in an AS-set sandwich to keep them from importing it.
+    ForgedOrigin {
+        /// Omit the attacker from the path — shorter and ROV-clean, but
+        /// the first hop no longer matches the session
+        /// (enforce-first-AS catches it).
+        stealth: bool,
+        /// ASNs poisoned into the forged path.
+        poison: Vec<Asn>,
+    },
+}
+
+impl AttackKind {
+    /// Stable label used in sweep output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::OriginForgery => "origin-forgery",
+            AttackKind::SubprefixHijack => "subprefix",
+            AttackKind::ForgedOrigin { stealth: false, .. } => "forged-origin",
+            AttackKind::ForgedOrigin { stealth: true, .. } => "forged-origin-stealth",
+        }
+    }
+}
+
+/// One attacker/victim/attack instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HijackScenario {
+    /// Legitimate origin of [`HijackScenario::prefix`].
+    pub victim: Asn,
+    /// The victim's announced prefix.
+    pub prefix: Prefix,
+    /// The hijacking AS.
+    pub attacker: Asn,
+    /// Which rung of the attack ladder.
+    pub kind: AttackKind,
+}
+
+/// Per-AS fate under the attack, judged at the forwarding plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsOutcome {
+    /// The forwarding walk reaches the victim's origination.
+    Legitimate,
+    /// The forwarding walk reaches the attacker's origination.
+    Hijacked,
+    /// No route, a forwarding loop, or a walk ending anywhere else.
+    Disconnected,
+}
+
+/// Aggregated per-AS outcomes for one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Outcome per node index (every AS in the world, attacker and
+    /// victim included: the attacker counts as hijacked — it originates
+    /// the forged route — and a victim forwarding into the attacker's
+    /// more-specific counts as hijacked too).
+    pub outcomes: Vec<AsOutcome>,
+    /// ASes whose walk ends at the victim.
+    pub legitimate: usize,
+    /// ASes whose walk ends at the attacker.
+    pub hijacked: usize,
+    /// ASes with no usable forwarding chain.
+    pub disconnected: usize,
+}
+
+impl ScenarioOutcome {
+    fn tally(outcomes: Vec<AsOutcome>) -> ScenarioOutcome {
+        let mut legitimate = 0;
+        let mut hijacked = 0;
+        let mut disconnected = 0;
+        for o in &outcomes {
+            match o {
+                AsOutcome::Legitimate => legitimate += 1,
+                AsOutcome::Hijacked => hijacked += 1,
+                AsOutcome::Disconnected => disconnected += 1,
+            }
+        }
+        ScenarioOutcome {
+            outcomes,
+            legitimate,
+            hijacked,
+            disconnected,
+        }
+    }
+
+    /// Number of ASes classified.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the world had no ASes at all.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Node indices classified [`AsOutcome::Hijacked`].
+    pub fn hijacked_nodes(&self) -> Vec<NodeIdx> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == AsOutcome::Hijacked)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A finished scenario: the converged sims (for differential inspection)
+/// plus the classified outcome.
+pub struct ScenarioRun<'w> {
+    /// Sim for the victim's prefix (legitimate announcement, and the
+    /// attack too unless it targets a more-specific).
+    pub victim_sim: PrefixSim<'w>,
+    /// Sim for the attacker's more-specific ([`AttackKind::SubprefixHijack`]
+    /// only).
+    pub attack_sim: Option<PrefixSim<'w>>,
+    /// Per-AS classification.
+    pub outcome: ScenarioOutcome,
+}
+
+impl HijackScenario {
+    /// The prefix the attacker actually announces: the victim's prefix,
+    /// or its first-half more-specific for a subprefix hijack (a /32
+    /// cannot be sub-hijacked and degrades to exact-prefix forgery).
+    pub fn attack_prefix(&self) -> Prefix {
+        match self.kind {
+            AttackKind::SubprefixHijack if self.prefix.len < 32 => {
+                Prefix::new(self.prefix.base, self.prefix.len + 1)
+            }
+            _ => self.prefix,
+        }
+    }
+
+    /// The attack's origination parameters, as fed to
+    /// [`PrefixSim::hijack`].
+    fn attack_params(&self) -> (Option<Asn>, &[Asn], bool) {
+        match &self.kind {
+            AttackKind::OriginForgery | AttackKind::SubprefixHijack => (None, &[], false),
+            AttackKind::ForgedOrigin { stealth, poison } => {
+                (Some(self.victim), poison.as_slice(), *stealth)
+            }
+        }
+    }
+
+    /// The attack as an engine [`Delta`], for the warm what-if path.
+    /// Only exact-prefix attacks map onto a delta against the victim's
+    /// resident sim; a subprefix hijack targets a different prefix and
+    /// has no warm equivalent.
+    pub fn as_delta(&self) -> Option<Delta> {
+        if self.attack_prefix() != self.prefix {
+            return None;
+        }
+        let (forged_origin, poison, stealth) = self.attack_params();
+        Some(Delta::Hijack {
+            attacker: self.attacker,
+            forged_origin,
+            poison: poison.to_vec(),
+            stealth,
+        })
+    }
+
+    /// Runs the scenario cold: converge the legitimate announcement at
+    /// [`T_ANNOUNCE`], launch the attack at [`T_ATTACK`], classify every
+    /// AS. The optional `defenses` plan is installed on every sim before
+    /// any event.
+    pub fn run<'w>(
+        &self,
+        ctx: &Arc<SimContext<'w>>,
+        order: ActivationOrder,
+        defenses: Option<Arc<DefensePlan>>,
+    ) -> ScenarioRun<'w> {
+        let mut victim_sim = PrefixSim::with_context_ordered(Arc::clone(ctx), self.prefix, order);
+        victim_sim.set_defenses(defenses.clone());
+        victim_sim.announce(Announcement::plain(self.victim, self.prefix), T_ANNOUNCE);
+
+        let attack_prefix = self.attack_prefix();
+        let (forged_origin, poison, stealth) = self.attack_params();
+        let mut attack_sim = if attack_prefix != self.prefix {
+            let mut sim = PrefixSim::with_context_ordered(Arc::clone(ctx), attack_prefix, order);
+            sim.set_defenses(defenses);
+            Some(sim)
+        } else {
+            None
+        };
+        match attack_sim.as_mut() {
+            Some(sim) => sim.hijack(self.attacker, forged_origin, poison, stealth, T_ATTACK),
+            None => victim_sim.hijack(self.attacker, forged_origin, poison, stealth, T_ATTACK),
+        };
+
+        let outcome = classify(self, &victim_sim, attack_sim.as_ref());
+        ScenarioRun {
+            victim_sim,
+            attack_sim,
+            outcome,
+        }
+    }
+}
+
+/// Classifies every AS by its forwarding walk for a probe address inside
+/// the attacked space.
+pub fn classify(
+    scenario: &HijackScenario,
+    victim_sim: &PrefixSim<'_>,
+    attack_sim: Option<&PrefixSim<'_>>,
+) -> ScenarioOutcome {
+    let world = victim_sim.world();
+    let graph = &world.graph;
+    let n = graph.len();
+    let attacker_idx = graph.index_of(scenario.attacker);
+    let victim_idx = graph.index_of(scenario.victim);
+
+    // Resolve the probe through the data-plane LPM index: among the
+    // prefixes in play, which one governs forwarding for an address in
+    // the attacked space? Most-specific first, covering prefix as
+    // fallback at ASes the more-specific never reached.
+    let attack_prefix = scenario.attack_prefix();
+    let probe = attack_prefix.base;
+    let mut entries = vec![(scenario.prefix, scenario.victim)];
+    if attack_prefix != scenario.prefix {
+        entries.push((attack_prefix, scenario.attacker));
+    }
+    let table = OriginTable::from_entries(entries);
+    let sims: Vec<&PrefixSim<'_>> = match (attack_sim, table.lookup_prefix(probe)) {
+        (Some(a), Some(p)) if p == a.prefix() => vec![a, victim_sim],
+        (Some(a), _) => vec![victim_sim, a],
+        (None, _) => vec![victim_sim],
+    };
+
+    let outcomes = (0..n)
+        .map(|start| {
+            let mut cur = start;
+            // Each hop either forwards or terminates; a walk longer than
+            // n ASes must have cycled (cross-table forwarding loops are
+            // real for subprefix hijacks) — that's a blackhole.
+            for _ in 0..=n {
+                let mut forwarded = None;
+                let mut local = false;
+                for sim in &sims {
+                    if let Some((next, _)) = sim.next_hop(cur) {
+                        forwarded = Some(next);
+                        break;
+                    }
+                    if sim.best(cur).is_some() {
+                        // A route with no next hop is a local origination.
+                        local = true;
+                        break;
+                    }
+                }
+                match (forwarded, local) {
+                    (Some(next), _) => cur = next,
+                    (None, true) => {
+                        return if Some(cur) == attacker_idx {
+                            AsOutcome::Hijacked
+                        } else if Some(cur) == victim_idx {
+                            AsOutcome::Legitimate
+                        } else {
+                            AsOutcome::Disconnected
+                        };
+                    }
+                    (None, false) => return AsOutcome::Disconnected,
+                }
+            }
+            AsOutcome::Disconnected
+        })
+        .collect();
+    ScenarioOutcome::tally(outcomes)
+}

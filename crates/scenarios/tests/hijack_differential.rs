@@ -1,0 +1,471 @@
+//! Differential proof that the scenario layer is sugar over the engine,
+//! plus gadget fixtures pinning each defense individually.
+//!
+//! * **Sugar, not a second engine**: [`HijackScenario::run`] must produce
+//!   exactly the state a hand-rolled engine replay produces — announce
+//!   at `T_ANNOUNCE`, [`PrefixSim::hijack`] at `T_ATTACK` — route for
+//!   route, installation ages included, for every attack kind.
+//! * **Order independence on certified worlds**: the same scenario under
+//!   [`ActivationOrder::Free`] (certified by `ir-audit`) and
+//!   [`ActivationOrder::WaveExact`] must agree route-for-route, ages
+//!   included, defended or not — hijack originations and defense
+//!   filters must not reopen the free-order hole.
+//! * **Gadget fixtures**: a 5-AS hand-built world where each defense's
+//!   one catch — ROV vs origin forgery, enforce-first-AS vs stealth,
+//!   peerlock-lite vs poison-wrapped forgery — is pinned along with the
+//!   attack variant that defeats it.
+
+use ir_audit::audit_world;
+use ir_bgp::{ActivationOrder, Announcement, DefensePlan, PolicyExtension, PrefixSim, SimContext};
+use ir_scenarios::{
+    AsOutcome, AttackKind, EnforceFirstAs, HijackScenario, PeerlockLite, Roa, RoaRegistry, Rov,
+    ScenarioRun,
+};
+use ir_topology::graph::{AsNode, AsRole, NodeIdx};
+use ir_topology::policy::PolicySpec;
+use ir_topology::{GeneratorConfig, LinkKind, World};
+use ir_types::{Asn, CityId, CountryId, Ipv4, OrgId, Prefix, Relationship};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use ir_scenarios::scenario::{T_ANNOUNCE, T_ATTACK};
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Every attack rung, poisonless and poisoned.
+fn all_attacks() -> Vec<AttackKind> {
+    vec![
+        AttackKind::OriginForgery,
+        AttackKind::SubprefixHijack,
+        AttackKind::ForgedOrigin {
+            stealth: false,
+            poison: vec![],
+        },
+        AttackKind::ForgedOrigin {
+            stealth: true,
+            poison: vec![],
+        },
+    ]
+}
+
+/// A plan where every AS adopts `ext`.
+fn adopt_everywhere(world: &World, ext: Arc<dyn PolicyExtension>) -> Arc<DefensePlan> {
+    let mut plan = DefensePlan::for_world(world);
+    let id = plan.register(ext).expect("register");
+    plan.adopt_all(id);
+    Arc::new(plan)
+}
+
+/// A plan where exactly `nodes` adopt `ext`.
+fn adopt_at(world: &World, ext: Arc<dyn PolicyExtension>, nodes: &[NodeIdx]) -> Arc<DefensePlan> {
+    let mut plan = DefensePlan::for_world(world);
+    let id = plan.register(ext).expect("register");
+    for &n in nodes {
+        plan.adopt(n, id);
+    }
+    Arc::new(plan)
+}
+
+/// Asserts two sims agree route-for-route — full [`ir_bgp::Route`]
+/// equality, installation ages included.
+fn assert_routes_equal(a: &PrefixSim<'_>, b: &PrefixSim<'_>, tag: &str) {
+    let n = a.world().graph.len();
+    for x in 0..n {
+        assert_eq!(
+            a.best(x),
+            b.best(x),
+            "{tag}: route divergence at {}",
+            a.world().graph.asn(x)
+        );
+    }
+}
+
+/// First AS (by node order) originating a prefix, plus that prefix.
+fn first_origin(world: &World) -> (Asn, Prefix) {
+    world
+        .graph
+        .nodes()
+        .iter()
+        .find_map(|n| n.prefixes.first().map(|&p| (n.asn, p)))
+        .expect("world originates something")
+}
+
+/// An AS far from `avoid` in node order — the attacker pick.
+fn some_other_as(world: &World, avoid: Asn) -> Asn {
+    let g = &world.graph;
+    let last = g.asn(g.len() - 1);
+    if last != avoid {
+        last
+    } else {
+        g.asn(g.len() - 2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: scenario == manual engine replay
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scenario_run_equals_manual_engine_replay() {
+    for seed in [1u64, 2, 3] {
+        let world = GeneratorConfig::tiny().build(seed);
+        let (victim, prefix) = first_origin(&world);
+        let attacker = some_other_as(&world, victim);
+        for kind in all_attacks() {
+            let scenario = HijackScenario {
+                victim,
+                prefix,
+                attacker,
+                kind: kind.clone(),
+            };
+            let ctx = SimContext::shared(&world);
+            let run = scenario.run(&ctx, ActivationOrder::WaveExact, None);
+
+            // Hand-rolled replay of the exact same engine events.
+            let (forged_origin, poison, stealth) = match &kind {
+                AttackKind::OriginForgery | AttackKind::SubprefixHijack => (None, vec![], false),
+                AttackKind::ForgedOrigin { stealth, poison } => {
+                    (Some(victim), poison.clone(), *stealth)
+                }
+            };
+            let ctx2 = SimContext::shared(&world);
+            let mut manual_victim = PrefixSim::with_context_ordered(
+                Arc::clone(&ctx2),
+                prefix,
+                ActivationOrder::WaveExact,
+            );
+            manual_victim.announce(Announcement::plain(victim, prefix), T_ANNOUNCE);
+            let attack_prefix = scenario.attack_prefix();
+            let tag = format!("seed {seed} kind {}", kind.name());
+            if attack_prefix == prefix {
+                manual_victim.hijack(attacker, forged_origin, &poison, stealth, T_ATTACK);
+                assert!(run.attack_sim.is_none(), "{tag}: unexpected attack sim");
+            } else {
+                let mut manual_attack = PrefixSim::with_context_ordered(
+                    Arc::clone(&ctx2),
+                    attack_prefix,
+                    ActivationOrder::WaveExact,
+                );
+                manual_attack.hijack(attacker, forged_origin, &poison, stealth, T_ATTACK);
+                let attack_sim = run.attack_sim.as_ref().expect("subprefix attack sim");
+                assert_routes_equal(attack_sim, &manual_attack, &tag);
+            }
+            assert_routes_equal(&run.victim_sim, &manual_victim, &tag);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: Free (certified) vs WaveExact, defended and not
+// ---------------------------------------------------------------------------
+
+#[test]
+fn free_order_agrees_with_wave_exact_on_certified_worlds() {
+    for seed in [2u64, 4] {
+        let world = GeneratorConfig::certifiably_safe().build(seed);
+        assert!(
+            audit_world(&world).certificate.certified,
+            "seed {seed} must certify"
+        );
+        let (victim, prefix) = first_origin(&world);
+        let attacker = some_other_as(&world, victim);
+        let registry = Arc::new(RoaRegistry::from_world(&world));
+        let defense_plans: Vec<(&str, Option<Arc<DefensePlan>>)> = vec![
+            ("undefended", None),
+            (
+                "rov",
+                Some(adopt_everywhere(
+                    &world,
+                    Arc::new(Rov::new(Arc::clone(&registry))),
+                )),
+            ),
+            (
+                "enforce-first-as",
+                Some(adopt_everywhere(&world, Arc::new(EnforceFirstAs))),
+            ),
+            (
+                "peerlock-lite",
+                Some(adopt_everywhere(
+                    &world,
+                    Arc::new(PeerlockLite::top_transit(&world, 8)),
+                )),
+            ),
+        ];
+        for kind in all_attacks() {
+            for (dname, plan) in &defense_plans {
+                let scenario = HijackScenario {
+                    victim,
+                    prefix,
+                    attacker,
+                    kind: kind.clone(),
+                };
+                let ctx = SimContext::shared(&world);
+                let wave = scenario.run(&ctx, ActivationOrder::WaveExact, plan.clone());
+                let ctx = SimContext::shared(&world);
+                let free = scenario.run(&ctx, ActivationOrder::Free, plan.clone());
+                let tag = format!("seed {seed} kind {} defense {dname}", kind.name());
+                assert_routes_equal(&wave.victim_sim, &free.victim_sim, &tag);
+                match (&wave.attack_sim, &free.attack_sim) {
+                    (Some(w), Some(f)) => assert_routes_equal(w, f, &tag),
+                    (None, None) => {}
+                    _ => panic!("{tag}: attack sim presence diverged"),
+                }
+                assert_eq!(
+                    wave.outcome, free.outcome,
+                    "{tag}: outcome classification diverged"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gadget fixtures: 5 ASes, each defense pinned individually.
+//
+//          4  (transit top; protected by peerlock)
+//         / \
+//        2   3        4 is provider of 2 and 3
+//        |   |
+//        1   5        2 is provider of 1 (victim); 3 of 5 (attacker)
+// ---------------------------------------------------------------------------
+
+const VICTIM: Asn = Asn(1);
+const ATTACKER: Asn = Asn(5);
+const BACKBONE: Asn = Asn(4);
+
+fn gadget() -> World {
+    let mut world = World::default();
+    let city = CityId(0);
+    for i in 1u32..=5 {
+        world.graph.add_node(AsNode {
+            asn: Asn(i),
+            org: OrgId(i),
+            home_country: CountryId(0),
+            presence: vec![city],
+            role: AsRole::Transit,
+            prefixes: vec![Prefix::new(Ipv4(i << 24 | 10 << 16), 16)],
+        });
+    }
+    let provider = |w: &mut World, low: u32, high: u32| {
+        w.graph.add_link(
+            (low - 1) as usize,
+            (high - 1) as usize,
+            Relationship::Provider,
+            vec![city],
+            LinkKind::Normal,
+        );
+    };
+    provider(&mut world, 1, 2);
+    provider(&mut world, 2, 4);
+    provider(&mut world, 3, 4);
+    provider(&mut world, 5, 3);
+    world.policies = vec![PolicySpec::default(); 5];
+    world
+}
+
+fn victim_prefix(world: &World) -> Prefix {
+    world.graph.nodes()[0].prefixes[0]
+}
+
+fn run_gadget(
+    world: &World,
+    kind: AttackKind,
+    defenses: Option<Arc<DefensePlan>>,
+) -> ScenarioRun<'_> {
+    let scenario = HijackScenario {
+        victim: VICTIM,
+        prefix: victim_prefix(world),
+        attacker: ATTACKER,
+        kind,
+    };
+    let ctx = SimContext::shared(world);
+    scenario.run(&ctx, ActivationOrder::WaveExact, defenses)
+}
+
+fn node(world: &World, asn: Asn) -> NodeIdx {
+    world.graph.index_of(asn).expect("gadget AS")
+}
+
+#[test]
+fn gadget_rov_blocks_origin_forgery_but_not_forged_origin() {
+    let world = gadget();
+    let registry = Arc::new(RoaRegistry::from_world(&world));
+
+    // Undefended origin forgery captures the attacker's provider (AS3
+    // prefers the short customer-tier forgery over its provider route).
+    let run = run_gadget(&world, AttackKind::OriginForgery, None);
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+    assert_eq!(run.outcome.disconnected, 0);
+
+    // Full ROV contains it to the attacker itself.
+    let rov = adopt_everywhere(&world, Arc::new(Rov::new(Arc::clone(&registry))));
+    let run = run_gadget(&world, AttackKind::OriginForgery, Some(rov.clone()));
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+    assert_eq!(run.outcome.legitimate, 4);
+
+    // ...and full ROV also kills the subprefix hijack (max_len pins the
+    // announced length), where undefended it captures the entire world.
+    let run = run_gadget(&world, AttackKind::SubprefixHijack, None);
+    assert_eq!(run.outcome.hijacked, 5, "subprefix captures everyone");
+    let run = run_gadget(&world, AttackKind::SubprefixHijack, Some(rov));
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+
+    // But a forged-origin path validates: ROV at 100% is defeated.
+    let rov = adopt_everywhere(&world, Arc::new(Rov::new(registry)));
+    let run = run_gadget(
+        &world,
+        AttackKind::ForgedOrigin {
+            stealth: false,
+            poison: vec![],
+        },
+        Some(rov),
+    );
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+}
+
+#[test]
+fn gadget_enforce_first_as_blocks_stealth_forgery_only() {
+    let world = gadget();
+    let stealth = AttackKind::ForgedOrigin {
+        stealth: true,
+        poison: vec![],
+    };
+
+    // Undefended, the stealth path `[victim]` wins at the attacker's
+    // provider like any short customer route.
+    let run = run_gadget(&world, stealth.clone(), None);
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+
+    // Enforce-first-AS at the attacker's provider alone contains it: the
+    // forged path's first hop (the victim) cannot match the session peer.
+    let efa = adopt_at(&world, Arc::new(EnforceFirstAs), &[node(&world, Asn(3))]);
+    let run = run_gadget(&world, stealth, Some(efa));
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+    assert_eq!(run.outcome.legitimate, 4);
+
+    // The non-stealth variant keeps the attacker as first hop, so even
+    // world-wide enforce-first-AS never fires.
+    let efa = adopt_everywhere(&world, Arc::new(EnforceFirstAs));
+    let run = run_gadget(
+        &world,
+        AttackKind::ForgedOrigin {
+            stealth: false,
+            poison: vec![],
+        },
+        Some(efa),
+    );
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+}
+
+#[test]
+fn gadget_peerlock_lite_blocks_poison_wrapped_forgery() {
+    let world = gadget();
+    let poisoned = AttackKind::ForgedOrigin {
+        stealth: false,
+        poison: vec![BACKBONE],
+    };
+    let peerlock =
+        || Arc::new(PeerlockLite::new(BTreeSet::from([BACKBONE]))) as Arc<dyn PolicyExtension>;
+
+    // Undefended, the poison-wrapped forgery still takes the attacker's
+    // provider (the backbone itself is immune via loop prevention — its
+    // own ASN sits in the poison set).
+    let run = run_gadget(&world, poisoned.clone(), None);
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+
+    // Peerlock-lite at the attacker's provider rejects the path: a
+    // protected backbone ASN heard from a customer session.
+    let plan = adopt_at(&world, peerlock(), &[node(&world, Asn(3))]);
+    let run = run_gadget(&world, poisoned.clone(), Some(plan));
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+    assert_eq!(run.outcome.legitimate, 4);
+
+    // Full adoption costs nothing legitimate: backbone paths still flow
+    // downhill (provider sessions are exempt), and the poisoned forgery
+    // stays contained.
+    let plan = adopt_everywhere(&world, peerlock());
+    let run = run_gadget(&world, poisoned, Some(plan.clone()));
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+    assert_eq!(run.outcome.legitimate, 4);
+
+    // ...but an unpoisoned forgery sails through peerlock everywhere.
+    let run = run_gadget(
+        &world,
+        AttackKind::ForgedOrigin {
+            stealth: false,
+            poison: vec![],
+        },
+        Some(plan),
+    );
+    assert_eq!(
+        run.outcome.hijacked_nodes(),
+        vec![node(&world, Asn(3)), node(&world, ATTACKER)]
+    );
+}
+
+#[test]
+fn gadget_outcomes_classify_every_as() {
+    let world = gadget();
+    // No attack interference at the victim or its provider: both still
+    // reach the legitimate origin under plain origin forgery.
+    let run = run_gadget(&world, AttackKind::OriginForgery, None);
+    assert_eq!(run.outcome.len(), 5);
+    assert_eq!(
+        run.outcome.outcomes[node(&world, VICTIM)],
+        AsOutcome::Legitimate
+    );
+    assert_eq!(
+        run.outcome.outcomes[node(&world, Asn(2))],
+        AsOutcome::Legitimate
+    );
+    assert_eq!(
+        run.outcome.outcomes[node(&world, BACKBONE)],
+        AsOutcome::Legitimate
+    );
+    assert_eq!(
+        run.outcome.legitimate + run.outcome.hijacked + run.outcome.disconnected,
+        5
+    );
+}
+
+#[test]
+fn explicit_roa_registry_drives_rov_verdicts() {
+    // A registry authorizing a *different* origin turns even the
+    // legitimate announcement invalid: full-ROV adopters drop it and the
+    // world partitions around the victim. This pins that Rov consults
+    // the registry rather than world ground truth.
+    let world = gadget();
+    let prefix = victim_prefix(&world);
+    let rogue_registry = Arc::new(RoaRegistry::new(vec![Roa {
+        prefix,
+        origin: Asn(2),
+        max_len: prefix.len,
+    }]));
+    let rov = adopt_everywhere(&world, Arc::new(Rov::new(rogue_registry)));
+    let run = run_gadget(&world, AttackKind::OriginForgery, Some(rov));
+    // Nobody imports the victim's (now "invalid") announcement or the
+    // attacker's forgery: everyone but victim and attacker is cut off.
+    assert_eq!(run.outcome.hijacked_nodes(), vec![node(&world, ATTACKER)]);
+    assert_eq!(
+        run.outcome.outcomes[node(&world, VICTIM)],
+        AsOutcome::Legitimate
+    );
+    assert_eq!(run.outcome.disconnected, 3);
+}

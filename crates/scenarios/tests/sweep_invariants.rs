@@ -1,0 +1,284 @@
+//! Sweep invariants: the Monte-Carlo layer adds sampling, never
+//! semantics.
+//!
+//! * **0% adoption is the undefended engine**: a sweep at adoption 0.0
+//!   renders byte-identical CSV to replaying each cell's attack as a
+//!   plain [`Delta::Hijack`] on an undefended cold sim — the empty
+//!   [`DefensePlan`] short-circuits to the exact fast path.
+//! * **100% ROV kills origin forgery**: with every AS validating, the
+//!   only hijacked AS in any origin-forgery or subprefix cell is the
+//!   attacker itself.
+//! * **Scheduling never leaks into output**: rayon and sequential
+//!   runners render byte-identical CSV for the same seed (proptest over
+//!   seeds), and the same seed twice is byte-identical (determinism).
+
+use ir_bgp::{ActivationOrder, Announcement, PrefixSim, SimContext};
+use ir_scenarios::scenario::{classify, T_ANNOUNCE, T_ATTACK};
+use ir_scenarios::{
+    plan_cells, run_sweep, run_sweep_sequential, sweep_to_csv, sweep_to_json, AttackKind,
+    DefenseKind, HijackScenario, SweepConfig, SweepRow,
+};
+use ir_topology::{GeneratorConfig, World};
+use std::sync::Arc;
+
+fn tiny(seed: u64) -> World {
+    GeneratorConfig::tiny().build(seed)
+}
+
+fn config(seed: u64, fractions: Vec<f64>, attacks: Vec<AttackKind>) -> SweepConfig {
+    SweepConfig {
+        seed,
+        fractions,
+        trials: 3,
+        attacks,
+        defense: DefenseKind::Rov,
+        order: ActivationOrder::WaveExact,
+    }
+}
+
+#[test]
+fn zero_adoption_sweep_matches_plain_delta_replay_byte_for_byte() {
+    let world = tiny(11);
+    let cfg = config(
+        7,
+        vec![0.0],
+        vec![
+            AttackKind::OriginForgery,
+            AttackKind::ForgedOrigin {
+                stealth: false,
+                poison: vec![],
+            },
+            AttackKind::ForgedOrigin {
+                stealth: true,
+                poison: vec![],
+            },
+        ],
+    );
+
+    // Replay every planned cell through the raw engine: undefended cold
+    // sim, attack applied as a wire-shaped `Delta::Hijack`, no
+    // DefensePlan anywhere near it.
+    let rows: Vec<SweepRow> = plan_cells(&world, &cfg)
+        .iter()
+        .map(|cell| {
+            let scenario = HijackScenario {
+                victim: cell.victim,
+                prefix: cell.prefix,
+                attacker: cell.attacker,
+                kind: cell.attack.clone(),
+            };
+            let ctx = SimContext::shared(&world);
+            let mut sim = PrefixSim::with_context_ordered(ctx, cell.prefix, cfg.order);
+            sim.announce(Announcement::plain(cell.victim, cell.prefix), T_ANNOUNCE);
+            let delta = scenario.as_delta().expect("exact-prefix attack");
+            sim.apply_delta(&delta, T_ATTACK);
+            let outcome = classify(&scenario, &sim, None);
+            SweepRow {
+                adoption: cell.adoption,
+                trial: cell.trial,
+                attack: cell.attack.name(),
+                attacker: cell.attacker,
+                victim: cell.victim,
+                defense: cfg.defense.name(),
+                n: outcome.len(),
+                legitimate: outcome.legitimate,
+                hijacked: outcome.hijacked,
+                disconnected: outcome.disconnected,
+            }
+        })
+        .collect();
+
+    let swept = run_sweep(&world, &cfg);
+    assert_eq!(sweep_to_csv(&swept), sweep_to_csv(&rows));
+}
+
+#[test]
+fn full_rov_adoption_blocks_every_origin_forgery() {
+    use ir_bgp::DefensePlan;
+    use ir_scenarios::AsOutcome;
+
+    for world_seed in [3u64, 11] {
+        let world = tiny(world_seed);
+        let cfg = config(
+            5,
+            vec![1.0],
+            vec![AttackKind::OriginForgery, AttackKind::SubprefixHijack],
+        );
+
+        let rows = run_sweep(&world, &cfg);
+        assert_eq!(rows.len(), cfg.cells());
+        for r in &rows {
+            if r.attack == "origin-forgery" {
+                // The only "hijacked" AS is the attacker originating the
+                // forgery to itself.
+                assert_eq!(
+                    r.hijacked, 1,
+                    "world {world_seed}: {} cell trial {} leaked past full ROV",
+                    r.attack, r.trial
+                );
+            }
+        }
+
+        // Node-level form of the claim, per attack. ROV is a
+        // control-plane filter, so what it guarantees differs by rung:
+        //
+        // * origin forgery — the forged route never installs beyond the
+        //   attacker, so nobody else is captured. ASes whose baseline
+        //   path avoided the attacker keep it verbatim (losing an
+        //   alternative never changes a BGP best path); ASes that relied
+        //   on the attacker for *transit* lose that path when the
+        //   attacker swaps in its forged origination, and either reroute
+        //   or go dark — ROV saves them from capture, not from losing
+        //   the route.
+        // * subprefix — propagation is blocked (the more-specific
+        //   installs only at the attacker), but the attacker's own FIB
+        //   still prefers its more-specific, so ASes whose *baseline*
+        //   forwarding path transits the attacker are captured anyway.
+        //   ROV confines the hijack to the attacker's on-path set; it
+        //   cannot shrink it further.
+        let ext = cfg.defense.build(&world);
+        for cell in plan_cells(&world, &cfg) {
+            let ctx = SimContext::shared(&world);
+            let mut baseline =
+                PrefixSim::with_context_ordered(Arc::clone(&ctx), cell.prefix, cfg.order);
+            baseline.announce(Announcement::plain(cell.victim, cell.prefix), T_ANNOUNCE);
+
+            let mut plan = DefensePlan::for_world(&world);
+            if let Some(id) = plan.register(Arc::clone(&ext)) {
+                plan.adopt_all(id);
+            }
+            let scenario = HijackScenario {
+                victim: cell.victim,
+                prefix: cell.prefix,
+                attacker: cell.attacker,
+                kind: cell.attack.clone(),
+            };
+            let run = scenario.run(&ctx, cfg.order, Some(Arc::new(plan)));
+
+            let attacker_idx = world
+                .graph
+                .index_of(cell.attacker)
+                .expect("attacker in world");
+            let n = world.graph.len();
+
+            // Baseline walk per node: does it reach the victim, and does
+            // it pass through the attacker on the way?
+            let walk = |start: usize| -> (bool, bool) {
+                let mut cur = start;
+                let mut through_attacker = cur == attacker_idx;
+                for _ in 0..=n {
+                    match baseline.next_hop(cur) {
+                        Some((next, _)) => {
+                            cur = next;
+                            through_attacker |= cur == attacker_idx;
+                        }
+                        None => return (baseline.best(cur).is_some(), through_attacker),
+                    }
+                }
+                (false, through_attacker)
+            };
+
+            match cell.attack {
+                AttackKind::OriginForgery => {
+                    assert_eq!(run.outcome.hijacked_nodes(), vec![attacker_idx]);
+                    for i in 0..n {
+                        if i == attacker_idx {
+                            continue;
+                        }
+                        let (reaches, through_attacker) = walk(i);
+                        if through_attacker {
+                            assert_ne!(
+                                run.outcome.outcomes[i],
+                                AsOutcome::Hijacked,
+                                "world {world_seed}: transit customer {i} of the \
+                                 attacker captured despite full ROV"
+                            );
+                        } else {
+                            let expected = if reaches {
+                                AsOutcome::Legitimate
+                            } else {
+                                AsOutcome::Disconnected
+                            };
+                            assert_eq!(
+                                run.outcome.outcomes[i], expected,
+                                "world {world_seed}: node {i} off the attacker's \
+                                 path changed fate under full ROV"
+                            );
+                        }
+                    }
+                }
+                AttackKind::SubprefixHijack => {
+                    // Control plane: the more-specific installed only at
+                    // the attacker.
+                    let attack_sim = run.attack_sim.as_ref().expect("subprefix attack sim");
+                    for i in 0..n {
+                        assert_eq!(
+                            attack_sim.best(i).is_some(),
+                            i == attacker_idx,
+                            "world {world_seed}: subprefix route leaked to node {i}"
+                        );
+                    }
+                    // Forwarding plane: captured == attacker + its
+                    // baseline on-path set, nothing else.
+                    for i in 0..n {
+                        let (reaches, through_attacker) = walk(i);
+                        let expected = if i == attacker_idx || (reaches && through_attacker) {
+                            AsOutcome::Hijacked
+                        } else if reaches {
+                            AsOutcome::Legitimate
+                        } else {
+                            AsOutcome::Disconnected
+                        };
+                        assert_eq!(
+                            run.outcome.outcomes[i], expected,
+                            "world {world_seed}: node {i} outside the on-path capture set"
+                        );
+                    }
+                }
+                _ => unreachable!("grid only runs origin-forgery and subprefix"),
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_are_deterministic() {
+    let world = tiny(11);
+    let cfg = config(42, vec![0.0, 0.5], vec![AttackKind::OriginForgery]);
+    let a = run_sweep(&world, &cfg);
+    let b = run_sweep(&world, &cfg);
+    assert_eq!(sweep_to_csv(&a), sweep_to_csv(&b));
+    assert_eq!(sweep_to_json(&a), sweep_to_json(&b));
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Rayon is a pure throughput choice: for any seed and fraction
+        /// grid, the parallel and sequential runners render identical
+        /// bytes.
+        #[test]
+        fn rayon_and_sequential_sweeps_render_identical_csv(
+            sweep_seed in 0u64..1000,
+            world_seed in 1u64..4,
+            stealth in any::<bool>(),
+        ) {
+            let world = tiny(world_seed);
+            let cfg = config(
+                sweep_seed,
+                vec![0.0, 0.3, 1.0],
+                vec![
+                    AttackKind::OriginForgery,
+                    AttackKind::ForgedOrigin { stealth, poison: vec![] },
+                ],
+            );
+            let par = run_sweep(&world, &cfg);
+            let seq = run_sweep_sequential(&world, &cfg);
+            prop_assert_eq!(sweep_to_csv(&par), sweep_to_csv(&seq));
+            prop_assert_eq!(sweep_to_json(&par), sweep_to_json(&seq));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Warm-path differential: hijacks served as [`Delta::Hijack`] through a
+//! resident [`WhatIfEngine`] answer route-for-route identically —
+//! installation ages included — to the cold [`HijackScenario::run`]
+//! ground truth, with or without a [`DefensePlan`] installed.
+//!
+//! Also pins the safety interlock on defended worlds: a free-order
+//! engine whose certifier returns `Revoked` or `Unknown` transparently
+//! downgrades the query fork to wave-exact, and a `Preserved` verdict
+//! (hijacks are certificate-neutral: they change which routes exist,
+//! never how policy ranks them) keeps the free fast path — both proven
+//! by exactness against the cold wave-exact replay.
+
+use ir_audit::{audit_world, DeltaAuditor};
+use ir_bgp::{
+    ActivationOrder, CertificateDelta, DefensePlan, Delta, DeltaCertifier, PolicyExtension,
+    PrefixSim, Route, SimContext, WhatIfEngine, WhatIfQuery,
+};
+use ir_scenarios::{AttackKind, DefenseKind, HijackScenario};
+use ir_topology::{GeneratorConfig, World};
+use ir_types::{Asn, Prefix};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Exact-prefix rungs of the attack ladder — the ones that map onto a
+/// [`Delta::Hijack`] against the victim's resident sim
+/// ([`HijackScenario::as_delta`]; subprefix targets a different prefix
+/// and has no warm equivalent).
+fn warm_attacks() -> Vec<AttackKind> {
+    vec![
+        AttackKind::OriginForgery,
+        AttackKind::ForgedOrigin {
+            stealth: false,
+            poison: vec![],
+        },
+        AttackKind::ForgedOrigin {
+            stealth: true,
+            poison: vec![],
+        },
+    ]
+}
+
+/// A plan adopting `defense` at every AS, or `None` for the undefended
+/// world.
+fn full_plan(world: &World, defense: Option<DefenseKind>) -> Option<Arc<DefensePlan>> {
+    let defense = defense?;
+    let mut plan = DefensePlan::for_world(world);
+    if let Some(id) = plan.register(defense.build(world)) {
+        plan.adopt_all(id);
+    }
+    Some(Arc::new(plan))
+}
+
+/// First origin-bearing AS and its first prefix.
+fn first_origin(world: &World) -> (Asn, Prefix) {
+    let node = world
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| !n.prefixes.is_empty())
+        .expect("generated world has origins");
+    (node.asn, node.prefixes[0])
+}
+
+/// An attacker distinct from `avoid`.
+fn some_other_as(world: &World, avoid: Asn) -> Asn {
+    world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .map(|n| n.asn)
+        .find(|&a| a != avoid)
+        .expect("world has at least two ASes")
+}
+
+/// Every AS's warm route (diff overlay over the engine's base) must
+/// equal the cold sim's exactly — full [`Route`] equality, ages
+/// included.
+fn assert_exact(
+    world: &World,
+    engine: &WhatIfEngine<'_>,
+    prefix: Prefix,
+    diffs: &[ir_bgp::RouteDiff],
+    cold: &PrefixSim<'_>,
+    tag: &str,
+) {
+    let by_asn: BTreeMap<Asn, &ir_bgp::RouteDiff> = diffs.iter().map(|d| (d.asn, d)).collect();
+    for x in 0..world.graph.len() {
+        let asn = world.graph.asn(x);
+        let warm: Option<Route> = match by_asn.get(&asn) {
+            Some(d) => d.after.clone(),
+            None => engine.base_route(prefix, x),
+        };
+        assert_eq!(
+            warm,
+            cold.best(x),
+            "{tag}: warm/cold divergence at AS {asn} for {prefix}"
+        );
+    }
+}
+
+/// Runs one attack both ways — warm [`Delta::Hijack`] query against a
+/// resident engine, cold [`HijackScenario::run`] — and asserts route
+/// identity. Returns the answer for verdict inspection.
+fn run_both(
+    world: &World,
+    engine: &WhatIfEngine<'_>,
+    scenario: &HijackScenario,
+    defenses: Option<Arc<DefensePlan>>,
+    tag: &str,
+) -> ir_bgp::WhatIfAnswer {
+    let delta = scenario.as_delta().expect("exact-prefix attack");
+    let answer = engine
+        .query(&WhatIfQuery::single(scenario.prefix, delta))
+        .expect("prefix resident");
+    assert!(answer.stats.converged, "{tag}: warm answer unconverged");
+
+    let ctx = SimContext::shared(world);
+    let cold = scenario.run(&ctx, ActivationOrder::WaveExact, defenses);
+    assert!(
+        cold.attack_sim.is_none(),
+        "{tag}: exact-prefix attack must not spawn a subprefix sim"
+    );
+    assert_exact(
+        world,
+        engine,
+        scenario.prefix,
+        &answer.diffs,
+        &cold.victim_sim,
+        tag,
+    );
+    answer
+}
+
+#[test]
+fn warm_hijack_query_agrees_with_cold_scenario() {
+    for seed in [1u64, 2, 3] {
+        let world = GeneratorConfig::tiny().build(seed);
+        let (victim, prefix) = first_origin(&world);
+        let attacker = some_other_as(&world, victim);
+        for defense in [
+            None,
+            Some(DefenseKind::Rov),
+            Some(DefenseKind::EnforceFirstAs),
+        ] {
+            let plan = full_plan(&world, defense);
+            let engine = WhatIfEngine::with_order_defended(
+                &world,
+                &[prefix],
+                ActivationOrder::WaveExact,
+                plan.clone(),
+            );
+            assert!(engine.base_converged());
+            for kind in warm_attacks() {
+                let scenario = HijackScenario {
+                    victim,
+                    prefix,
+                    attacker,
+                    kind,
+                };
+                let tag = format!(
+                    "seed {seed} defense {:?} attack {}",
+                    defense.map(|d| d.name()),
+                    scenario.kind.name()
+                );
+                let answer = run_both(&world, &engine, &scenario, plan.clone(), &tag);
+                // Wave-exact engines never consult a certifier.
+                assert!(answer.certificate.is_none(), "{tag}: unexpected verdict");
+            }
+        }
+    }
+}
+
+#[test]
+fn preserved_hijack_keeps_free_fast_path_on_defended_world() {
+    let world = GeneratorConfig::certifiably_safe().build(2);
+    let report = audit_world(&world);
+    assert!(report.certificate.certified, "base world must certify");
+    let (victim, prefix) = first_origin(&world);
+    let attacker = some_other_as(&world, victim);
+
+    let plan = full_plan(&world, Some(DefenseKind::Rov));
+    let mut engine =
+        WhatIfEngine::with_order_defended(&world, &[prefix], ActivationOrder::Free, plan.clone());
+    assert!(engine.base_converged());
+    engine.set_certifier(Box::new(DeltaAuditor::with_report(&world, report)));
+
+    for kind in warm_attacks() {
+        let scenario = HijackScenario {
+            victim,
+            prefix,
+            attacker,
+            kind,
+        };
+        let tag = format!("preserved attack {}", scenario.kind.name());
+        let answer = run_both(&world, &engine, &scenario, plan.clone(), &tag);
+        // Hijacks are routing events, not policy edits: the real auditor
+        // must judge them certificate-neutral, keeping the free order.
+        assert_eq!(
+            answer.certificate,
+            Some(CertificateDelta::Preserved),
+            "{tag}: hijack delta must preserve the certificate"
+        );
+    }
+}
+
+/// A certifier pinned to one verdict — isolates the engine's downgrade
+/// plumbing from the auditor's judgment.
+struct FixedVerdict(CertificateDelta);
+
+impl DeltaCertifier for FixedVerdict {
+    fn audit_deltas(&self, _deltas: &[Delta]) -> CertificateDelta {
+        self.0.clone()
+    }
+}
+
+#[test]
+fn revoked_and_unknown_verdicts_downgrade_defended_free_fork() {
+    let world = GeneratorConfig::certifiably_safe().build(4);
+    assert!(audit_world(&world).certificate.certified);
+    let (victim, prefix) = first_origin(&world);
+    let attacker = some_other_as(&world, victim);
+
+    let verdicts = [
+        CertificateDelta::Revoked {
+            rule: "TEST-FORCED".to_string(),
+            witness: "fixture verdict".to_string(),
+        },
+        CertificateDelta::Unknown,
+    ];
+    for verdict in verdicts {
+        let plan = full_plan(&world, Some(DefenseKind::Rov));
+        let mut engine = WhatIfEngine::with_order_defended(
+            &world,
+            &[prefix],
+            ActivationOrder::Free,
+            plan.clone(),
+        );
+        assert!(engine.base_converged());
+        engine.set_certifier(Box::new(FixedVerdict(verdict.clone())));
+
+        for kind in warm_attacks() {
+            let scenario = HijackScenario {
+                victim,
+                prefix,
+                attacker,
+                kind,
+            };
+            let tag = format!("verdict {verdict} attack {}", scenario.kind.name());
+            // The fork must run wave-exact (the cold side's order), so
+            // exactness — ages included — is the observable downgrade.
+            let answer = run_both(&world, &engine, &scenario, plan.clone(), &tag);
+            assert_eq!(answer.certificate, Some(verdict.clone()), "{tag}");
+        }
+    }
+}
+
+/// Defense plans change the engine's import surface; make sure the
+/// extension trait's default export hook composes too (a no-op extension
+/// must leave warm answers untouched).
+#[test]
+fn noop_extension_leaves_warm_answers_identical_to_undefended() {
+    #[derive(Debug)]
+    struct AcceptAll;
+    impl PolicyExtension for AcceptAll {
+        fn name(&self) -> &'static str {
+            "accept-all"
+        }
+    }
+
+    let world = GeneratorConfig::tiny().build(2);
+    let (victim, prefix) = first_origin(&world);
+    let attacker = some_other_as(&world, victim);
+
+    let mut plan = DefensePlan::for_world(&world);
+    if let Some(id) = plan.register(Arc::new(AcceptAll)) {
+        plan.adopt_all(id);
+    }
+    let defended = WhatIfEngine::with_order_defended(
+        &world,
+        &[prefix],
+        ActivationOrder::WaveExact,
+        Some(Arc::new(plan)),
+    );
+    let undefended = WhatIfEngine::with_order(&world, &[prefix], ActivationOrder::WaveExact);
+
+    for kind in warm_attacks() {
+        let scenario = HijackScenario {
+            victim,
+            prefix,
+            attacker,
+            kind,
+        };
+        let delta = scenario.as_delta().expect("exact-prefix attack");
+        let q = WhatIfQuery::single(prefix, delta);
+        let a = defended.query(&q).expect("prefix resident");
+        let b = undefended.query(&q).expect("prefix resident");
+        assert_eq!(a.diffs, b.diffs, "attack {}", scenario.kind.name());
+    }
+}

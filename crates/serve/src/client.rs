@@ -89,6 +89,37 @@ pub fn whatif_line(
     render(with_id(obj, id))
 }
 
+/// Builds a `hijack` request line — the scenario-query sugar op.
+pub fn hijack_line(
+    id: Option<u64>,
+    prefix: Prefix,
+    attacker: Asn,
+    forged_origin: Option<Asn>,
+    stealth: bool,
+    budget: Option<u64>,
+) -> String {
+    let mut obj = vec![
+        ("op".to_string(), Value::String("hijack".into())),
+        ("prefix".to_string(), Value::String(prefix.to_string())),
+        (
+            "attacker".to_string(),
+            Value::UInt(u64::from(attacker.value())),
+        ),
+        (
+            "forged_origin".to_string(),
+            match forged_origin {
+                Some(o) => Value::UInt(u64::from(o.value())),
+                None => Value::Null,
+            },
+        ),
+        ("stealth".to_string(), Value::Bool(stealth)),
+    ];
+    if let Some(b) = budget {
+        obj.push(("budget".to_string(), Value::UInt(b)));
+    }
+    render(with_id(obj, id))
+}
+
 /// Builds a `route` request line.
 pub fn route_line(id: Option<u64>, prefix: Prefix, asn: Asn) -> String {
     let obj = vec![

@@ -38,6 +38,6 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::AdmissionQueue;
-pub use client::{control_line, route_line, whatif_line, Client};
+pub use client::{control_line, hijack_line, route_line, whatif_line, Client};
 pub use protocol::{parse_request, Request};
-pub use server::{stats_response, ServeConfig, ServeStats, Server};
+pub use server::{stats_response, OpKind, OpLatency, ServeConfig, ServeStats, Server};

@@ -28,6 +28,24 @@ pub enum Request {
         /// Requested activation budget (clamped to the server's cap).
         budget: Option<u64>,
     },
+    /// Hijack scenario query: sugar for a single-[`Delta::Hijack`]
+    /// what-if, tracked as its own op in the per-op stats breakdown.
+    Hijack {
+        /// Correlation id.
+        id: Option<u64>,
+        /// Victim prefix (must be resident).
+        prefix: Prefix,
+        /// AS injecting the adversarial origination.
+        attacker: Asn,
+        /// Claimed origin (`None` = plain origin forgery).
+        forged_origin: Option<Asn>,
+        /// ASNs wrapped in an AS-set sandwich around the claimed origin.
+        poison: Vec<Asn>,
+        /// Omit the attacker from its own announcement.
+        stealth: bool,
+        /// Requested activation budget (clamped to the server's cap).
+        budget: Option<u64>,
+    },
     /// Base-universe route lookup at one AS — no fork, no reconvergence.
     Route {
         /// Correlation id.
@@ -69,6 +87,7 @@ impl Request {
     pub fn id(&self) -> Option<u64> {
         match self {
             Request::WhatIf { id, .. }
+            | Request::Hijack { id, .. }
             | Request::Route { id, .. }
             | Request::Health { id }
             | Request::Stats { id }
@@ -98,6 +117,31 @@ fn field_prefix(v: &Value, key: &str) -> Result<Prefix, String> {
         .ok_or_else(|| format!("field `{key}` must be a string"))?
         .parse::<Prefix>()
         .map_err(|_| format!("field `{key}` is not a prefix (want `a.b.c.d/len`)"))
+}
+
+fn field_asn_opt(v: &Value, key: &str) -> Result<Option<Asn>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(_) => field_asn(v, key).map(Some),
+    }
+}
+
+fn field_asn_list(v: &Value, key: &str) -> Result<Vec<Asn>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::new();
+            for item in items {
+                let raw = item
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("field `{key}` must hold ASNs"))?;
+                out.push(Asn(raw));
+            }
+            Ok(out)
+        }
+        Some(_) => Err(format!("field `{key}` must be an array of ASNs")),
+    }
 }
 
 fn field_asn_set(v: &Value, key: &str) -> Result<Option<BTreeSet<Asn>>, String> {
@@ -181,29 +225,25 @@ pub fn delta_from_value(v: &Value) -> Result<Delta, String> {
                 .and_then(Value::as_bool)
                 .ok_or_else(|| "field `enabled` must be a bool".to_string())?,
         }),
-        "announce" => {
-            let poison = match v.get("poison") {
-                None | Some(Value::Null) => Vec::new(),
-                Some(Value::Array(items)) => {
-                    let mut out = Vec::new();
-                    for item in items {
-                        let raw = item
-                            .as_u64()
-                            .and_then(|n| u32::try_from(n).ok())
-                            .ok_or_else(|| "field `poison` must hold ASNs".to_string())?;
-                        out.push(Asn(raw));
-                    }
-                    out
-                }
-                Some(_) => return Err("field `poison` must be an array of ASNs".to_string()),
-            };
-            Ok(Delta::Announce(Announcement {
-                origin: field_asn(v, "origin")?,
-                prefix: field_prefix(v, "prefix")?,
-                via: field_asn_set(v, "via")?,
-                poison,
-            }))
-        }
+        "announce" => Ok(Delta::Announce(Announcement {
+            origin: field_asn(v, "origin")?,
+            prefix: field_prefix(v, "prefix")?,
+            via: field_asn_set(v, "via")?,
+            poison: field_asn_list(v, "poison")?,
+        })),
+        "hijack" => Ok(Delta::Hijack {
+            attacker: field_asn(v, "attacker")?,
+            forged_origin: field_asn_opt(v, "forged_origin")?,
+            poison: field_asn_list(v, "poison")?,
+            stealth: v
+                .get("stealth")
+                .map(|s| {
+                    s.as_bool()
+                        .ok_or_else(|| "field `stealth` must be a bool".to_string())
+                })
+                .transpose()?
+                .unwrap_or(false),
+        }),
         "withdraw" => Ok(Delta::Withdraw),
         other => Err(format!("unknown delta kind `{other}`")),
     }
@@ -306,6 +346,27 @@ pub fn delta_to_value(d: &Delta) -> Value {
                 Value::Array(ann.poison.iter().map(|&a| asn(a)).collect()),
             );
         }
+        Delta::Hijack {
+            attacker,
+            forged_origin,
+            poison,
+            stealth,
+        } => {
+            put("kind", Value::String("hijack".into()));
+            put("attacker", asn(*attacker));
+            put(
+                "forged_origin",
+                match forged_origin {
+                    Some(o) => asn(*o),
+                    None => Value::Null,
+                },
+            );
+            put(
+                "poison",
+                Value::Array(poison.iter().map(|&a| asn(a)).collect()),
+            );
+            put("stealth", Value::Bool(*stealth));
+        }
         Delta::Withdraw => {
             put("kind", Value::String("withdraw".into()));
         }
@@ -346,6 +407,31 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 id,
                 prefix,
                 deltas,
+                budget,
+            })
+        }
+        "hijack" => {
+            let budget = match v.get("budget") {
+                None | Some(Value::Null) => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .ok_or_else(|| "field `budget` must be an unsigned integer".to_string())?,
+                ),
+            };
+            Ok(Request::Hijack {
+                id,
+                prefix: field_prefix(&v, "prefix")?,
+                attacker: field_asn(&v, "attacker")?,
+                forged_origin: field_asn_opt(&v, "forged_origin")?,
+                poison: field_asn_list(&v, "poison")?,
+                stealth: v
+                    .get("stealth")
+                    .map(|s| {
+                        s.as_bool()
+                            .ok_or_else(|| "field `stealth` must be a bool".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(false),
                 budget,
             })
         }
@@ -569,6 +655,18 @@ mod tests {
                 neighbor: Asn(4),
                 count: None,
             },
+            Delta::Hijack {
+                attacker: Asn(5),
+                forged_origin: Some(Asn(6)),
+                poison: vec![Asn(7)],
+                stealth: false,
+            },
+            Delta::Hijack {
+                attacker: Asn(8),
+                forged_origin: None,
+                poison: Vec::new(),
+                stealth: true,
+            },
             Delta::Withdraw,
         ];
         let arr = Value::Array(deltas.iter().map(delta_to_value).collect());
@@ -607,8 +705,35 @@ mod tests {
             r#"{"op":"whatif","prefix":"x","deltas":[]}"#,
             r#"{"op":"whatif","prefix":"10.0.0.0/24","deltas":[{"kind":"warp"}]}"#,
             r#"{"op":"route","prefix":"10.0.0.0/24"}"#,
+            r#"{"op":"hijack","prefix":"10.0.0.0/24"}"#,
+            r#"{"op":"hijack","prefix":"10.0.0.0/24","attacker":1,"stealth":"yes"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn hijack_op_parses_with_defaults() {
+        let line = r#"{"op":"hijack","id":3,"prefix":"10.0.0.0/24","attacker":65000}"#;
+        match parse_request(line).unwrap() {
+            Request::Hijack {
+                id,
+                prefix,
+                attacker,
+                forged_origin,
+                poison,
+                stealth,
+                budget,
+            } => {
+                assert_eq!(id, Some(3));
+                assert_eq!(prefix, "10.0.0.0/24".parse().unwrap());
+                assert_eq!(attacker, Asn(65000));
+                assert_eq!(forged_origin, None);
+                assert!(poison.is_empty());
+                assert!(!stealth);
+                assert_eq!(budget, None);
+            }
+            other => panic!("wrong request: {other:?}"),
         }
     }
 

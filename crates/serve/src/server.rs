@@ -91,6 +91,52 @@ impl Default for ServeConfig {
     }
 }
 
+/// Wire names of the tracked ops, in [`OpKind`] discriminant order.
+const OP_NAMES: [&str; 8] = [
+    "whatif", "hijack", "route", "health", "stats", "audit", "save", "shutdown",
+];
+
+/// One tracked request op — the index into the per-op latency breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `whatif` queries (admitted, worker-executed).
+    WhatIf = 0,
+    /// `hijack` scenario queries (admitted, worker-executed).
+    Hijack = 1,
+    /// `route` base-universe lookups (inline).
+    Route = 2,
+    /// `health` probes (inline).
+    Health = 3,
+    /// `stats` snapshots (inline).
+    Stats = 4,
+    /// `audit` re-audits (inline).
+    Audit = 5,
+    /// `save` snapshot publishes (inline).
+    Save = 6,
+    /// `shutdown` drains (inline).
+    Shutdown = 7,
+}
+
+impl OpKind {
+    /// The op's wire name, as it appears in `stats` responses.
+    pub fn name(self) -> &'static str {
+        OP_NAMES[self as usize]
+    }
+}
+
+/// Completed-request count and wall-latency tallies for one op. For
+/// admitted ops (`whatif`, `hijack`) latency spans admission to response
+/// — queue wait included; for inline ops it is the handling time alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Requests of this op answered, any response status (shed included).
+    pub count: u64,
+    /// Total wall latency across those answers, milliseconds.
+    pub total_ms: u64,
+    /// Slowest single answer, milliseconds.
+    pub max_ms: u64,
+}
+
 /// Point-in-time snapshot of the serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -122,6 +168,15 @@ pub struct ServeStats {
     /// Query edit sets that revoked the certificate (the answer fell back
     /// to wave-exact reconvergence on the fork).
     pub certificates_revoked: u64,
+    /// Per-op count/latency breakdown, indexed by [`OpKind`].
+    pub ops: [OpLatency; 8],
+}
+
+#[derive(Default)]
+struct OpMetrics {
+    count: AtomicU64,
+    total_ms: AtomicU64,
+    max_ms: AtomicU64,
 }
 
 #[derive(Default)]
@@ -137,11 +192,18 @@ struct Metrics {
     autosaves: AtomicU64,
     certificates_preserved: AtomicU64,
     certificates_revoked: AtomicU64,
+    ops: [OpMetrics; 8],
 }
 
 /// One admitted query, queued for a worker.
 struct Job {
     id: Option<u64>,
+    /// Which op admitted this job (`whatif` or `hijack`) — the per-op
+    /// latency bucket its answer is recorded under.
+    op: OpKind,
+    /// [`ServiceClock::now_ms`] at admission; latency is measured from
+    /// here, so queue wait counts.
+    started_ms: u64,
     prefix: Prefix,
     deltas: Vec<Delta>,
     budget: Option<u64>,
@@ -265,7 +327,21 @@ impl Server {
             queue_high_water: self.queue.high_water() as u64,
             certificates_preserved: m.certificates_preserved.load(Ordering::Relaxed),
             certificates_revoked: m.certificates_revoked.load(Ordering::Relaxed),
+            ops: std::array::from_fn(|i| OpLatency {
+                count: m.ops[i].count.load(Ordering::Relaxed),
+                total_ms: m.ops[i].total_ms.load(Ordering::Relaxed),
+                max_ms: m.ops[i].max_ms.load(Ordering::Relaxed),
+            }),
         }
+    }
+
+    /// Tallies one answered request into its op's latency bucket.
+    fn record_op(&self, op: OpKind, started_ms: u64) {
+        let elapsed = self.clock.now_ms().saturating_sub(started_ms);
+        let m = &self.metrics.ops[op as usize];
+        m.count.fetch_add(1, Ordering::Relaxed);
+        m.total_ms.fetch_add(elapsed, Ordering::Relaxed);
+        m.max_ms.fetch_max(elapsed, Ordering::Relaxed);
     }
 
     /// Whether the server has begun draining.
@@ -487,6 +563,7 @@ impl Server {
         req: Request,
         tx: &mpsc::Sender<String>,
     ) -> bool {
+        let started = self.clock.now_ms();
         match req {
             Request::WhatIf {
                 id,
@@ -494,22 +571,28 @@ impl Server {
                 deltas,
                 budget,
             } => {
-                self.metrics.received.fetch_add(1, Ordering::Relaxed);
-                let deadline_ms = (self.cfg.deadline_ms > 0)
-                    .then(|| self.clock.now_ms().saturating_add(self.cfg.deadline_ms));
-                let job = Job {
-                    id,
-                    prefix,
-                    deltas,
-                    budget,
-                    deadline_ms,
-                    cancel: Arc::new(AtomicBool::new(false)),
-                    reply: tx.clone(),
-                };
-                if let Err(job) = self.queue.try_push(job) {
-                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(shed_response(job.id, self.cfg.retry_after_ms));
-                }
+                self.admit_query(OpKind::WhatIf, id, prefix, deltas, budget, started, tx);
+                false
+            }
+            Request::Hijack {
+                id,
+                prefix,
+                attacker,
+                forged_origin,
+                poison,
+                stealth,
+                budget,
+            } => {
+                // Sugar over the what-if path: one hijack delta on a fork,
+                // tracked under its own op so scenario load is observable
+                // separately from ordinary what-if traffic.
+                let deltas = vec![Delta::Hijack {
+                    attacker,
+                    forged_origin,
+                    poison,
+                    stealth,
+                }];
+                self.admit_query(OpKind::Hijack, id, prefix, deltas, budget, started, tx);
                 false
             }
             Request::Route { id, prefix, asn } => {
@@ -540,6 +623,7 @@ impl Server {
                     }
                 };
                 let _ = tx.send(response);
+                self.record_op(OpKind::Route, started);
                 false
             }
             Request::Health { id } => {
@@ -566,10 +650,12 @@ impl Server {
                     serde_json::to_string(&Value::Object(obj))
                         .unwrap_or_else(|_| error_response(id, "encoding failed")),
                 );
+                self.record_op(OpKind::Health, started);
                 false
             }
             Request::Stats { id } => {
                 let _ = tx.send(stats_response(id, &self.stats(), self.queue.cap()));
+                self.record_op(OpKind::Stats, started);
                 false
             }
             Request::Audit { id } => {
@@ -584,6 +670,7 @@ impl Server {
                     report.warnings(),
                     &report.certificate.blockers,
                 ));
+                self.record_op(OpKind::Audit, started);
                 false
             }
             Request::Save { id } => {
@@ -604,6 +691,7 @@ impl Server {
                     error_response(id, "snapshot save failed")
                 };
                 let _ = tx.send(response);
+                self.record_op(OpKind::Save, started);
                 false
             }
             Request::Shutdown { id } => {
@@ -617,9 +705,46 @@ impl Server {
                     serde_json::to_string(&Value::Object(obj))
                         .unwrap_or_else(|_| error_response(id, "encoding failed")),
                 );
+                self.record_op(OpKind::Shutdown, started);
                 self.initiate_drain();
                 true
             }
+        }
+    }
+
+    /// Shared admission path for the worker-executed query ops (`whatif`
+    /// and `hijack`): count receipt, stamp the deadline, enqueue; a full
+    /// queue sheds with a retry hint. The job remembers its op and
+    /// admission time so [`Server::execute`] can tally per-op latency.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_query(
+        &self,
+        op: OpKind,
+        id: Option<u64>,
+        prefix: Prefix,
+        deltas: Vec<Delta>,
+        budget: Option<u64>,
+        started_ms: u64,
+        tx: &mpsc::Sender<String>,
+    ) {
+        self.metrics.received.fetch_add(1, Ordering::Relaxed);
+        let deadline_ms = (self.cfg.deadline_ms > 0)
+            .then(|| self.clock.now_ms().saturating_add(self.cfg.deadline_ms));
+        let job = Job {
+            id,
+            op,
+            started_ms,
+            prefix,
+            deltas,
+            budget,
+            deadline_ms,
+            cancel: Arc::new(AtomicBool::new(false)),
+            reply: tx.clone(),
+        };
+        if let Err(job) = self.queue.try_push(job) {
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(shed_response(job.id, self.cfg.retry_after_ms));
+            self.record_op(op, started_ms);
         }
     }
 
@@ -637,6 +762,7 @@ impl Server {
                 None,
                 None,
             ));
+            self.record_op(job.op, job.started_ms);
             return;
         }
         // Quarantined prefixes answer degraded immediately. Only resident
@@ -663,6 +789,7 @@ impl Server {
                 None,
                 None,
             ));
+            self.record_op(job.op, job.started_ms);
             return;
         }
         let activations = job
@@ -711,6 +838,7 @@ impl Server {
             }
         };
         let _ = job.reply.send(response);
+        self.record_op(job.op, job.started_ms);
     }
 
     /// Tallies the incremental delta auditor's verdict on an answered
@@ -771,5 +899,20 @@ pub fn stats_response(id: Option<u64>, s: &ServeStats, queue_cap: usize) -> Stri
     ] {
         obj.push((key.to_string(), Value::UInt(v)));
     }
+    let ops = OP_NAMES
+        .iter()
+        .zip(s.ops.iter())
+        .map(|(name, o)| {
+            (
+                (*name).to_string(),
+                Value::Object(vec![
+                    ("count".to_string(), Value::UInt(o.count)),
+                    ("total_ms".to_string(), Value::UInt(o.total_ms)),
+                    ("max_ms".to_string(), Value::UInt(o.max_ms)),
+                ]),
+            )
+        })
+        .collect();
+    obj.push(("ops".to_string(), Value::Object(ops)));
     serde_json::to_string(&Value::Object(obj)).unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
 }

@@ -4,7 +4,7 @@
 //! and require a clean exit.
 
 use ir_bgp::Delta;
-use ir_serve::{control_line, whatif_line, Client};
+use ir_serve::{control_line, hijack_line, whatif_line, Client};
 use ir_types::{Asn, Prefix, Relationship};
 use serde_json::Value;
 use std::io::{BufRead, BufReader};
@@ -102,6 +102,57 @@ fn binary_serves_a_mixed_batch_and_drains_clean() {
     assert_eq!(errors, 5, "the malformed lines");
     assert!(degraded >= 1, "the over-deadline queries degraded");
     assert!(ok >= 40, "the normal mix served");
+
+    // The hijack sugar op serves and is observable: an attacker forging
+    // the first prefix's origin answers ok, and the per-op latency
+    // counters in `stats` record it under its own name.
+    let victim = world
+        .graph
+        .nodes()
+        .iter()
+        .find(|n| n.prefixes.first() == Some(&prefixes[0]))
+        .map(|n| n.asn)
+        .expect("prefix owner");
+    let attacker = world
+        .graph
+        .nodes()
+        .iter()
+        .rev()
+        .map(|n| n.asn)
+        .find(|&a| a != victim)
+        .expect("a second AS");
+    let hijack = c
+        .request(&hijack_line(
+            Some(90),
+            prefixes[0],
+            attacker,
+            None,
+            false,
+            None,
+        ))
+        .unwrap()
+        .expect("hijack response");
+    assert_eq!(status_of(&hijack), "ok", "{hijack}");
+
+    let stats = c
+        .request(&control_line(Some(91), "stats"))
+        .unwrap()
+        .expect("stats response");
+    let v: Value = serde_json::from_str(&stats).expect("stats json");
+    let hijack_count = v
+        .get("ops")
+        .and_then(|ops| ops.get("hijack"))
+        .and_then(|op| op.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("no ops.hijack.count in {stats}"));
+    assert!(hijack_count >= 1, "hijack op not counted: {stats}");
+    let whatif_count = v
+        .get("ops")
+        .and_then(|ops| ops.get("whatif"))
+        .and_then(|op| op.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("no ops.whatif.count in {stats}"));
+    assert!(whatif_count >= 40, "whatif ops not counted: {stats}");
 
     // Graceful drain: shutdown acks, then the process exits 0.
     let ack = c

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Perf benchmarks with recorded artifacts. Runs the propagation-engine
 # head-to-head (event-driven worklist vs legacy full-sweep oracle), the
-# internet-scale route-storage sweep, and the what-if serving comparison
-# (warm fork + seeded reconvergence vs cold recomputation), (re)writing
-# BENCH_propagation.json, BENCH_scale.json and BENCH_whatif.json at the
-# repo root with timings, speedups, work counters, per-tier ns/route +
-# bytes/route, and warm/cold queries/s.
+# internet-scale route-storage sweep, the what-if serving comparison
+# (warm fork + seeded reconvergence vs cold recomputation), and the
+# security-scenario adoption sweep (three defenses x the attack ladder),
+# (re)writing BENCH_propagation.json, BENCH_scale.json,
+# BENCH_whatif.json and BENCH_hijack.json at the repo root with timings,
+# speedups, work counters, per-tier ns/route + bytes/route, warm/cold
+# queries/s, and per-(defense, attack, adoption) outcome-rate curves.
 #
 # Usage: scripts/bench.sh [--offline] [--samples N]
 set -euo pipefail
@@ -31,6 +33,7 @@ fi
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench propagation
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench scale
 cargo bench "${OFFLINE[@]}" -p ir-bench --bench whatif
+cargo bench "${OFFLINE[@]}" -p ir-bench --bench hijack
 
 echo
 echo "==> BENCH_propagation.json"
@@ -41,3 +44,6 @@ cat BENCH_scale.json
 echo
 echo "==> BENCH_whatif.json"
 cat BENCH_whatif.json
+echo
+echo "==> BENCH_hijack.json"
+cat BENCH_hijack.json

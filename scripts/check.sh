@@ -23,7 +23,7 @@ run cargo clippy "${OFFLINE[@]}" --workspace -- -D warnings
 # the build if a violation slips in.
 run cargo clippy "${OFFLINE[@]}" -p ir-types -p ir-fault -p ir-inference -p ir-core \
     -p ir-measure -p ir-dataplane -p ir-bgp -p ir-topology \
-    -p ir-audit -p ir-experiments -p ir-serve -p ir-bench --lib -- -D warnings
+    -p ir-audit -p ir-scenarios -p ir-experiments -p ir-serve -p ir-bench --lib -- -D warnings
 run cargo fmt --check
 # Engine-equivalence gate in release: the differential suites compare the
 # event-driven engine against the sweep oracle — and warm what-if answers
@@ -38,6 +38,15 @@ run cargo test "${OFFLINE[@]}" --release -q -p ir-bgp \
 # included) against cold WaveExact replay under both verdicts.
 run cargo test "${OFFLINE[@]}" --release -q -p ir-audit \
     --test delta_audit_differential
+# Security-scenario gate (release): hijack scenarios must equal
+# hand-driven cold engine convergence, 0%-adoption sweeps must equal
+# plain delta replay byte-for-byte, full-ROV capture sets must match the
+# per-attack node-level invariants, rayon and sequential sweeps must
+# render identical bytes, and warm hijack what-ifs must stay
+# route-for-route exact (ages included) against cold scenario runs under
+# every defense and both certifier verdicts.
+run cargo test "${OFFLINE[@]}" --release -q -p ir-scenarios \
+    --test hijack_differential --test sweep_invariants --test warm_hijack
 # Internet-scale smoke (release, ignored by default): a ≥50k-AS world must
 # converge a single prefix and a 1000-prefix universe slice inside the
 # compact storage's memory budget. Minutes on one core.
